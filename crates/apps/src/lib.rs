@@ -1,0 +1,114 @@
+#![warn(missing_docs)]
+
+//! `xbfs-apps` — graph algorithms built on XBFS.
+//!
+//! The paper's introduction motivates fast BFS through its consumers:
+//! strongly-connected-component detection uses forward and backward BFS
+//! (iSpan, Slota et al.), betweenness centrality and subgraph matching
+//! "rely heavily on BFS", and peer-to-peer routing is BFS in practice.
+//! This crate implements those consumers with XBFS-on-the-simulated-GCD as
+//! the traversal engine, so every algorithm inherits the adaptive
+//! strategies and their performance profile.
+
+pub mod bc;
+pub mod components;
+pub mod reachability;
+pub mod scc;
+
+pub use bc::betweenness_centrality;
+pub use components::{connected_components, largest_component};
+pub use reachability::{eccentricity, estimate_diameter, khop_sizes};
+pub use scc::strongly_connected_components;
+
+use gcd_sim::Device;
+use xbfs_core::{BfsRun, Xbfs, XbfsConfig};
+use xbfs_graph::Csr;
+
+/// A reusable XBFS engine bound to one graph — the shared traversal
+/// substrate for every algorithm in this crate.
+pub struct BfsEngine<'g> {
+    device: Device,
+    graph: &'g Csr,
+    cfg: XbfsConfig,
+}
+
+impl<'g> BfsEngine<'g> {
+    /// Engine on a fresh simulated MI250X GCD.
+    pub fn new(graph: &'g Csr) -> Self {
+        Self::with_config(graph, XbfsConfig::default())
+    }
+
+    /// Engine with a custom XBFS configuration.
+    pub fn with_config(graph: &'g Csr, cfg: XbfsConfig) -> Self {
+        Self {
+            device: Device::mi250x(),
+            graph,
+            cfg,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Csr {
+        self.graph
+    }
+
+    /// One BFS from `source`. Each call uploads state to the (simulated)
+    /// device and runs the full adaptive pipeline.
+    pub fn bfs(&self, source: u32) -> BfsRun {
+        Xbfs::new(&self.device, self.graph, self.cfg).run(source)
+    }
+
+    /// BFS restricted to a vertex mask: vertices where `alive[v]` is false
+    /// are treated as deleted (used by FW-BW SCC). Implemented by running
+    /// on a filtered copy of the graph — the masked subgraph.
+    pub fn bfs_masked(&self, source: u32, alive: &[bool]) -> Vec<u32> {
+        assert_eq!(alive.len(), self.graph.num_vertices());
+        assert!(alive[source as usize], "source must be alive");
+        let sub = masked_subgraph(self.graph, alive);
+        let run = Xbfs::new(&self.device, &sub, self.cfg).run(source);
+        run.levels
+    }
+}
+
+/// Copy of `g` with all arcs touching dead vertices removed (vertex count
+/// unchanged, so ids remain stable).
+pub fn masked_subgraph(g: &Csr, alive: &[bool]) -> Csr {
+    let n = g.num_vertices();
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u64);
+    let mut adjacency = Vec::new();
+    for (u, nbrs) in g.iter_rows() {
+        if alive[u as usize] {
+            adjacency.extend(nbrs.iter().filter(|&&v| alive[v as usize]));
+        }
+        offsets.push(adjacency.len() as u64);
+    }
+    Csr::from_parts(offsets, adjacency).expect("masked subgraph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_graph::generators::erdos_renyi;
+
+    #[test]
+    fn masked_subgraph_removes_dead_arcs() {
+        let g = erdos_renyi(50, 200, 1);
+        let mut alive = vec![true; 50];
+        alive[3] = false;
+        let sub = masked_subgraph(&g, &alive);
+        assert_eq!(sub.num_vertices(), 50);
+        assert!(sub.neighbors(3).is_empty());
+        for v in 0..50u32 {
+            assert!(!sub.neighbors(v).contains(&3));
+        }
+    }
+
+    #[test]
+    fn engine_runs_bfs() {
+        let g = erdos_renyi(200, 800, 2);
+        let engine = BfsEngine::new(&g);
+        let run = engine.bfs(0);
+        assert_eq!(run.levels, xbfs_graph::bfs_levels_serial(&g, 0));
+    }
+}

@@ -1,0 +1,95 @@
+//! Reachability-flavored queries: k-hop neighborhood sizes (the
+//! peer-to-peer-routing use case of the intro), eccentricity, and a
+//! two-sweep diameter estimate.
+
+use crate::BfsEngine;
+use xbfs_graph::{Csr, UNVISITED};
+
+/// Number of vertices within exactly `0..=k` hops of `source`:
+/// `result[i]` counts vertices at distance `i`.
+pub fn khop_sizes(g: &Csr, source: u32, k: u32) -> Vec<u64> {
+    let engine = BfsEngine::new(g);
+    let levels = engine.bfs(source).levels;
+    let mut counts = vec![0u64; k as usize + 1];
+    for &l in &levels {
+        if l != UNVISITED && l <= k {
+            counts[l as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Eccentricity of `source`: the greatest BFS distance to any reachable
+/// vertex.
+pub fn eccentricity(g: &Csr, source: u32) -> u32 {
+    let engine = BfsEngine::new(g);
+    engine
+        .bfs(source)
+        .levels
+        .iter()
+        .filter(|&&l| l != UNVISITED)
+        .max()
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `seed`, then BFS
+/// from the farthest vertex found. Exact on trees, a strong lower bound in
+/// general — and a realistic BFS-heavy workload.
+pub fn estimate_diameter(g: &Csr, seed: u32) -> u32 {
+    let engine = BfsEngine::new(g);
+    let first = engine.bfs(seed).levels;
+    let far = first
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l != UNVISITED)
+        .max_by_key(|(_, &l)| l)
+        .map(|(v, _)| v as u32)
+        .unwrap_or(seed);
+    eccentricity(g, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_graph::generators::layered_citation_graph;
+
+    fn path5() -> Csr {
+        Csr::from_parts(
+            vec![0, 1, 3, 5, 7, 8],
+            vec![1, 0, 2, 1, 3, 2, 4, 3],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn khop_counts_ring_out() {
+        let g = path5();
+        assert_eq!(khop_sizes(&g, 0, 4), vec![1, 1, 1, 1, 1]);
+        assert_eq!(khop_sizes(&g, 2, 2), vec![1, 2, 2]);
+        assert_eq!(khop_sizes(&g, 2, 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn eccentricity_on_path() {
+        let g = path5();
+        assert_eq!(eccentricity(&g, 0), 4);
+        assert_eq!(eccentricity(&g, 2), 2);
+    }
+
+    #[test]
+    fn double_sweep_finds_path_diameter() {
+        let g = path5();
+        // Starting anywhere, two sweeps find the true diameter of a path.
+        for seed in 0..5 {
+            assert_eq!(estimate_diameter(&g, seed), 4, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deep_graph_has_large_diameter_estimate() {
+        let g = layered_citation_graph(3000, 60, 3, 4, 1);
+        let est = estimate_diameter(&g, 0);
+        assert!(est >= 20, "layered graph estimate {est} too small");
+    }
+}

@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+
+//! Baseline GPU BFS implementations on the same simulated GCD substrate.
+//!
+//! The paper's Fig. 8 compares XBFS against Gunrock; its related-work
+//! section (§II) additionally characterizes the hierarchical-queue method,
+//! the scan approach (Enterprise), and SSSP-based asynchronous BFS. Each is
+//! implemented here as an independent engine so every comparison runs on
+//! identical "hardware" assumptions:
+//!
+//! * [`SimpleTopDown`] — conventional status-array BFS: rescan the status
+//!   array every level, no queues at all.
+//! * [`GunrockLike`] — edge-frontier filtering: expansion enqueues every
+//!   unvisited neighbor *without claiming*, so the frontier contains
+//!   duplicates that a later filter pass removes — the "excessive space
+//!   consumption and duplicated frontiers at high-frontier levels" of §II.
+//! * [`EnterpriseLike`] — scan-based queue generation with degree-binned
+//!   expansion every level: strong at big frontiers, pays the `O(|V|)`
+//!   scan at small ones.
+//! * [`HierarchicalQueue`] — per-wave private sub-queues compacted by a
+//!   second kernel: cheap for tiny frontiers, strided and space-hungry for
+//!   large ones.
+//! * [`SsspAsync`] — BFS as unit-weight SSSP with atomic-min relaxations
+//!   and no level synchronization: redundant revisits across iterations.
+//! * [`BeamerLike`] — classical direction-optimizing BFS (push/pull with
+//!   Beamer's α/β switch), the strongest non-adaptive competitor.
+//!
+//! All engines implement [`GpuBfs`] and are validated against the CPU
+//! reference in unit and property tests.
+
+pub mod beamer;
+pub mod engines;
+
+use gcd_sim::Device;
+use xbfs_graph::Csr;
+
+/// Result of one baseline BFS run.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Per-vertex levels (`u32::MAX` = unreachable).
+    pub levels: Vec<u32>,
+    /// Modeled end-to-end time, ms.
+    pub total_ms: f64,
+    /// Edges traversed (Graph500 convention).
+    pub traversed_edges: u64,
+    /// Giga-traversed-edges per second.
+    pub gteps: f64,
+}
+
+/// A GPU BFS engine that can be benchmarked head-to-head with XBFS.
+pub trait GpuBfs {
+    /// Engine name as it appears in benchmark output.
+    fn name(&self) -> &'static str;
+    /// Run one BFS from `source` on `device`.
+    fn run(&self, device: &Device, graph: &Csr, source: u32) -> BaselineRun;
+}
+
+pub use beamer::BeamerLike;
+pub use engines::{
+    EnterpriseLike, GunrockLike, HierarchicalQueue, SimpleTopDown, SsspAsync,
+};
+
+/// Compute traversal stats shared by every engine.
+pub(crate) fn finish_run(device: &Device, graph: &Csr, levels: Vec<u32>) -> BaselineRun {
+    let total_us = device.elapsed_us();
+    let traversed_edges: u64 = levels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l != u32::MAX)
+        .map(|(v, _)| graph.degree(v as u32) as u64)
+        .sum();
+    let gteps = if total_us > 0.0 {
+        traversed_edges as f64 / (total_us * 1e-6) / 1e9
+    } else {
+        0.0
+    };
+    BaselineRun {
+        levels,
+        total_ms: total_us / 1000.0,
+        traversed_edges,
+        gteps,
+    }
+}

@@ -1,0 +1,48 @@
+//! Property-based correctness of every baseline engine.
+
+use gcd_sim::Device;
+use proptest::prelude::*;
+use xbfs_baselines::{
+    BeamerLike, EnterpriseLike, GpuBfs, GunrockLike, HierarchicalQueue, SimpleTopDown,
+    SsspAsync,
+};
+use xbfs_graph::builder::{BuildOptions, CsrBuilder};
+use xbfs_graph::reference::bfs_levels_serial;
+use xbfs_graph::Csr;
+
+fn arb_graph_and_source() -> impl Strategy<Value = (Csr, u32)> {
+    (2usize..60).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n as u32, 0..n as u32), 1..180),
+            0..n as u32,
+        )
+            .prop_map(move |(edges, src)| {
+                let mut b = CsrBuilder::new(n);
+                b.extend_edges(edges);
+                (b.build(BuildOptions::default()), src)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_baselines_are_exact_bfs((g, src) in arb_graph_and_source()) {
+        let engines: Vec<Box<dyn GpuBfs>> = vec![
+            Box::new(SimpleTopDown),
+            Box::new(GunrockLike),
+            Box::new(EnterpriseLike),
+            Box::new(HierarchicalQueue),
+            Box::new(SsspAsync),
+            Box::new(BeamerLike::default()),
+        ];
+        let expect = bfs_levels_serial(&g, src);
+        for e in engines {
+            let dev = Device::mi250x();
+            let run = e.run(&dev, &g, src);
+            prop_assert_eq!(&run.levels, &expect, "engine {}", e.name());
+            prop_assert!(run.total_ms > 0.0);
+        }
+    }
+}

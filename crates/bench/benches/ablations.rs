@@ -1,0 +1,66 @@
+//! Criterion bench for the §IV ablations: every AMD-specific optimization
+//! toggled off individually.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbfs_bench::common::{default_source, mi250x_functional};
+use xbfs_core::{Xbfs, XbfsConfig};
+use xbfs_graph::generators::{rmat_graph, RmatParams};
+
+fn bench_ablations(c: &mut Criterion) {
+    let g = rmat_graph(RmatParams::graph500(14), 7);
+    let src = default_source(&g);
+    let variants: Vec<(&str, XbfsConfig)> = vec![
+        ("optimized", XbfsConfig::optimized_amd()),
+        (
+            "multi-stream",
+            XbfsConfig {
+                multi_stream: true,
+                ..XbfsConfig::optimized_amd()
+            },
+        ),
+        (
+            "no-nfg",
+            XbfsConfig {
+                nfg: false,
+                ..XbfsConfig::optimized_amd()
+            },
+        ),
+        (
+            "bu-balancing-on",
+            XbfsConfig {
+                balancing_bottom_up: true,
+                ..XbfsConfig::optimized_amd()
+            },
+        ),
+        (
+            "no-proactive",
+            XbfsConfig {
+                proactive: false,
+                ..XbfsConfig::optimized_amd()
+            },
+        ),
+        (
+            "no-td-balancing",
+            XbfsConfig {
+                balancing_top_down: false,
+                ..XbfsConfig::optimized_amd()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("ablations");
+    for (label, cfg) in variants {
+        let dev = mi250x_functional(&cfg);
+        let xbfs = Xbfs::new(&dev, &g, cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &xbfs, |b, x| {
+            b.iter(|| std::hint::black_box(x.run(src)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the §IV-A compiler study: forced bottom-up BFS under
+//! clang -O3, hipcc -O3 and clang without -O3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcd_sim::{ArchProfile, Compiler, ExecMode};
+use xbfs_bench::common::{default_source, mk_device};
+use xbfs_core::{Strategy, Xbfs, XbfsConfig};
+use xbfs_graph::generators::{rmat_graph, RmatParams};
+
+fn bench_compilers(c: &mut Criterion) {
+    let g = rmat_graph(RmatParams::graph500(14), 7);
+    let src = default_source(&g);
+    let cfg = XbfsConfig::forced(Strategy::BottomUp);
+    let mut group = c.benchmark_group("compiler_model_bottom_up");
+    for (label, compiler) in [
+        ("clang-O3", Compiler::ClangO3),
+        ("hipcc-O3", Compiler::HipccO3),
+        ("clang-O0", Compiler::ClangO0),
+    ] {
+        let dev = mk_device(ArchProfile::mi250x_gcd(), ExecMode::Functional, &cfg, compiler);
+        let xbfs = Xbfs::new(&dev, &g, cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &xbfs, |b, x| {
+            b.iter(|| std::hint::black_box(x.run(src)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compilers
+}
+criterion_main!(benches);

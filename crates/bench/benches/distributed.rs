@@ -1,0 +1,52 @@
+//! Criterion bench for the multi-GCD engine: strong scaling and the
+//! push-only vs direction-optimizing comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbfs_bench::common::default_source;
+use xbfs_graph::generators::{rmat_graph, RmatParams};
+use xbfs_multi_gcd::{ClusterConfig, GcdCluster, LinkModel};
+
+fn bench_distributed(c: &mut Criterion) {
+    let g = rmat_graph(RmatParams::graph500(14), 7);
+    let src = default_source(&g);
+    let mut group = c.benchmark_group("distributed_bfs");
+    for num_gcds in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("direction_optimizing", num_gcds),
+            &num_gcds,
+            |b, &p| {
+                b.iter(|| {
+                    let cfg = ClusterConfig {
+                        num_gcds: p,
+                        ..ClusterConfig::node_of_8()
+                    };
+                    let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier());
+                    std::hint::black_box(cluster.run(src))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("push_only", num_gcds),
+            &num_gcds,
+            |b, &p| {
+                b.iter(|| {
+                    let cfg = ClusterConfig {
+                        num_gcds: p,
+                        push_only: true,
+                        ..ClusterConfig::node_of_8()
+                    };
+                    let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier());
+                    std::hint::black_box(cluster.run(src))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_distributed
+}
+criterion_main!(benches);

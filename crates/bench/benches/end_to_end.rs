@@ -1,0 +1,49 @@
+//! Criterion bench for Fig. 8: XBFS vs every baseline engine on each of
+//! the six dataset analogs (small scale; the `repro fig8` binary runs the
+//! full comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcd_sim::Device;
+use xbfs_baselines::{EnterpriseLike, GpuBfs, GunrockLike, HierarchicalQueue, SimpleTopDown, SsspAsync};
+use xbfs_bench::common::default_source;
+use xbfs_bench::Scale;
+use xbfs_core::{Xbfs, XbfsConfig};
+use xbfs_graph::Dataset;
+
+fn bench_fig8(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    for d in [Dataset::LiveJournal, Dataset::Rmat25] {
+        let g = scale.dataset(d, 1);
+        let src = default_source(&g);
+        let mut group = c.benchmark_group(format!("fig8_{d}"));
+        let cfg = XbfsConfig::default();
+        let dev = Device::mi250x();
+        let xbfs = Xbfs::new(&dev, &g, cfg);
+        group.bench_function("xbfs", |b| {
+            b.iter(|| std::hint::black_box(xbfs.run(src)))
+        });
+        let engines: Vec<Box<dyn GpuBfs>> = vec![
+            Box::new(GunrockLike),
+            Box::new(EnterpriseLike),
+            Box::new(SimpleTopDown),
+            Box::new(HierarchicalQueue),
+            Box::new(SsspAsync),
+        ];
+        for e in engines {
+            let dev = Device::mi250x();
+            group.bench_with_input(
+                BenchmarkId::from_parameter(e.name()),
+                &e,
+                |b, e| b.iter(|| std::hint::black_box(e.run(&dev, &g, src))),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for Fig. 5: the three porting stages — CUDA original on
+//! the P6000 profile, naive hipify on MI250X, optimized AMD port.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcd_sim::{ArchProfile, Compiler, ExecMode};
+use xbfs_bench::common::{default_source, mk_device};
+use xbfs_core::{Xbfs, XbfsConfig};
+use xbfs_graph::generators::{rmat_graph, RmatParams};
+
+fn bench_porting(c: &mut Criterion) {
+    let g = rmat_graph(RmatParams::graph500(14), 7);
+    let src = default_source(&g);
+    let configs: [(&str, ArchProfile, XbfsConfig, Compiler); 3] = [
+        (
+            "cuda-original-p6000",
+            ArchProfile::p6000(),
+            XbfsConfig::cuda_original(),
+            Compiler::ClangO3,
+        ),
+        (
+            "naive-hipify-mi250x",
+            ArchProfile::mi250x_gcd(),
+            XbfsConfig::naive_port(),
+            Compiler::HipccO3,
+        ),
+        (
+            "optimized-mi250x",
+            ArchProfile::mi250x_gcd(),
+            XbfsConfig::optimized_amd(),
+            Compiler::ClangO3,
+        ),
+    ];
+    let mut group = c.benchmark_group("fig5_porting_stages");
+    for (label, arch, cfg, compiler) in configs {
+        let dev = mk_device(arch, ExecMode::Functional, &cfg, compiler);
+        let xbfs = Xbfs::new(&dev, &g, cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &xbfs, |b, x| {
+            b.iter(|| std::hint::black_box(x.run(src)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_porting
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Table I / the 17.9% Fig. 8 claim: full XBFS on the
+//! R-MAT analog with and without degree-aware neighbor re-arrangement
+//! (plus the adversarial ascending order as a sanity pole).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbfs_bench::common::{default_source, mi250x_functional};
+use xbfs_core::{Xbfs, XbfsConfig};
+use xbfs_graph::generators::{rmat_graph, RmatParams};
+use xbfs_graph::{rearrange_by_degree, RearrangeOrder};
+
+fn bench_rearrangement(c: &mut Criterion) {
+    let base = rmat_graph(RmatParams::graph500(14), 7);
+    let src = default_source(&base);
+    let mut group = c.benchmark_group("rearrangement");
+    for (label, order) in [
+        ("vertex-id", RearrangeOrder::VertexId),
+        ("degree-descending", RearrangeOrder::DegreeDescending),
+        ("degree-ascending", RearrangeOrder::DegreeAscending),
+    ] {
+        let g = rearrange_by_degree(&base, order);
+        let cfg = XbfsConfig::default();
+        let dev = mi250x_functional(&cfg);
+        let xbfs = Xbfs::new(&dev, &g, cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &xbfs, |b, x| {
+            b.iter(|| std::hint::black_box(x.run(src)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rearrangement
+}
+criterion_main!(benches);

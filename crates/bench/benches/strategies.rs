@@ -1,0 +1,38 @@
+//! Criterion bench for Fig. 7 / Tables III–VI: one full forced-strategy
+//! BFS per strategy on the R-MAT dataset, plus the adaptive controller run
+//! that mixes them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbfs_bench::common::{default_source, mi250x_functional};
+use xbfs_core::{Strategy, Xbfs, XbfsConfig};
+use xbfs_graph::generators::{rmat_graph, RmatParams};
+
+fn bench_strategies(c: &mut Criterion) {
+    let g = rmat_graph(RmatParams::graph500(14), 7);
+    let src = default_source(&g);
+    let mut group = c.benchmark_group("forced_strategy_bfs");
+    for strat in [Strategy::ScanFree, Strategy::SingleScan, Strategy::BottomUp] {
+        let cfg = XbfsConfig::forced(strat);
+        let dev = mi250x_functional(&cfg);
+        let xbfs = Xbfs::new(&dev, &g, cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strat),
+            &xbfs,
+            |b, xbfs| b.iter(|| std::hint::black_box(xbfs.run(src))),
+        );
+    }
+    let cfg = XbfsConfig::default();
+    let dev = mi250x_functional(&cfg);
+    let xbfs = Xbfs::new(&dev, &g, cfg);
+    group.bench_function("adaptive", |b| {
+        b.iter(|| std::hint::black_box(xbfs.run(src)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_strategies
+}
+criterion_main!(benches);

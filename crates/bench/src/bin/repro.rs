@@ -1,0 +1,61 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p xbfs-bench --bin repro            # everything
+//! cargo run --release -p xbfs-bench --bin repro fig8       # one experiment
+//! cargo run --release -p xbfs-bench --bin repro --smoke    # fast sizes
+//! cargo run --release -p xbfs-bench --bin repro --shift 8  # custom scale
+//! ```
+
+use xbfs_bench::{run_experiment, Scale, EXPERIMENTS};
+
+fn main() {
+    let mut scale = Scale::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => scale = Scale::smoke(),
+            "--shift" => {
+                let v = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--shift needs an integer");
+                scale.dataset_shift = v;
+                scale.table_shift = v + 2;
+            }
+            "--sources" => {
+                scale.sources = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sources needs an integer");
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--smoke] [--shift N] [--sources N] [experiment...]\n\
+                     experiments: {}",
+                    EXPERIMENTS.join(" ")
+                );
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    let names: Vec<&str> = if selected.is_empty() {
+        EXPERIMENTS.to_vec()
+    } else {
+        selected.iter().map(String::as_str).collect()
+    };
+    for name in names {
+        match run_experiment(name, &scale) {
+            Some(report) => {
+                println!("================ {name} ================");
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment {name:?}; known: {}", EXPERIMENTS.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Concurrent multi-source BFS (iBFS-style).
+//!
+//! The paper's introduction cites the authors' iBFS work: many BFS
+//! instances — e.g. the 64 search keys of a Graph500 run, or an all-pairs
+//! sweep for betweenness centrality — can share one traversal. This module
+//! implements the bit-parallel formulation on the simulated GCD: each
+//! vertex carries a 32-bit *visited mask* (one bit per concurrent source),
+//! a frontier level expands the union frontier once, and newly discovered
+//! `(vertex, source)` pairs are the bits that survive
+//! `frontier_bits & !seen_bits`, propagated with `atomicOr`.
+//!
+//! Sharing pays because hub vertices are touched once per *level* instead
+//! of once per *source* — the same locality argument as the paper's
+//! degree-aware re-arrangement, one level up.
+
+use crate::device_graph::DeviceGraph;
+use crate::state::UNVISITED;
+use gcd_sim::{BufU32, Device, LaunchCfg, WaveCtx};
+use xbfs_graph::Csr;
+
+/// Maximum sources per batch (bits in the visited mask).
+pub const MAX_CONCURRENT: usize = 32;
+
+/// Result of a concurrent run.
+#[derive(Debug, Clone)]
+pub struct MsBfsRun {
+    /// `levels[i][v]` = BFS level of `v` from `sources[i]`.
+    pub levels: Vec<Vec<u32>>,
+    /// Modeled end-to-end time for the whole batch, ms.
+    pub total_ms: f64,
+    /// Sum of per-source traversed edges (Graph500 convention).
+    pub traversed_edges: u64,
+    /// Aggregate GTEPS across the batch.
+    pub gteps: f64,
+}
+
+/// Run up to [`MAX_CONCURRENT`] BFS instances in one shared traversal.
+pub fn ms_bfs(device: &Device, graph: &Csr, sources: &[u32]) -> MsBfsRun {
+    assert!(!sources.is_empty(), "need at least one source");
+    assert!(
+        sources.len() <= MAX_CONCURRENT,
+        "at most {MAX_CONCURRENT} concurrent sources"
+    );
+    let n = graph.num_vertices();
+    for &s in sources {
+        assert!((s as usize) < n, "source {s} out of range");
+    }
+    let g = DeviceGraph::upload(device, graph);
+
+    device.reset_timeline();
+    device.set_phase("msbfs init");
+    let seen = device.alloc_u32(n); // bit s = visited by source s
+    let fresh = device.alloc_u32(n); // bits claimed during this level
+    let mut frontier = device.alloc_u32(n); // union frontier (vertex ids)
+    let mut next_frontier = device.alloc_u32(n);
+    let counters = device.alloc_u32(2); // [0] = next frontier len
+    let level_of: Vec<BufU32> = (0..sources.len()).map(|_| device.alloc_u32(n)).collect();
+    for l in &level_of {
+        device.fill_u32(0, l, UNVISITED);
+    }
+    // Seed: sources may coincide; OR their bits.
+    let mut seed_mask = vec![0u32; n];
+    for (i, &s) in sources.iter().enumerate() {
+        seed_mask[s as usize] |= 1 << i;
+        level_of[i].store(s as usize, 0);
+    }
+    let mut init_frontier: Vec<u32> = sources.to_vec();
+    init_frontier.sort_unstable();
+    init_frontier.dedup();
+    for (i, &v) in init_frontier.iter().enumerate() {
+        frontier.store(i, v);
+        seen.store(v as usize, seed_mask[v as usize]);
+    }
+    device.charge_transfer(0, 4 * (init_frontier.len() as u64 + 1));
+    let mut qlen = init_frontier.len();
+    let mut level = 0u32;
+
+    // Reusable frontier/seen swap not needed: `fresh` is zeroed per level.
+    while qlen > 0 {
+        device.set_phase(format!("msbfs level {level}"));
+        device.fill_u32(0, &fresh, 0);
+        device.fill_u32(0, &counters, 0);
+        device.launch(
+            0,
+            LaunchCfg::new("msbfs_expand", qlen).with_registers(48),
+            |w| expand_kernel(w, &g, &seen, &fresh, &frontier, qlen),
+        );
+        // Fold: merge fresh bits into seen, record levels, build the next
+        // union frontier.
+        let lvl = level + 1;
+        device.launch(
+            0,
+            LaunchCfg::new("msbfs_fold", n).with_registers(32),
+            |w| fold_kernel(w, &seen, &fresh, &next_frontier, &counters, &level_of, lvl),
+        );
+        device.sync();
+        device.charge_transfer(0, 4);
+        qlen = counters.load(0) as usize;
+        // Pointer-swap frontiers (free on real hardware).
+        std::mem::swap(&mut frontier, &mut next_frontier);
+        level += 1;
+    }
+
+    let total_ms = device.elapsed_us() / 1000.0;
+    let levels: Vec<Vec<u32>> = level_of.iter().map(|b| b.to_host()).collect();
+    let traversed_edges: u64 = levels
+        .iter()
+        .map(|ls| {
+            ls.iter()
+                .enumerate()
+                .filter(|(_, &l)| l != UNVISITED)
+                .map(|(v, _)| graph.degree(v as u32) as u64)
+                .sum::<u64>()
+        })
+        .sum();
+    let gteps = if total_ms > 0.0 {
+        traversed_edges as f64 / (total_ms * 1e-3) / 1e9
+    } else {
+        0.0
+    };
+    MsBfsRun {
+        levels,
+        total_ms,
+        traversed_edges,
+        gteps,
+    }
+}
+
+/// Expansion: each frontier vertex pushes `its bits & !seen` to neighbors
+/// with `atomicOr` into `fresh`.
+fn expand_kernel(
+    w: &mut WaveCtx,
+    g: &DeviceGraph,
+    seen: &BufU32,
+    fresh: &BufU32,
+    frontier: &BufU32,
+    qlen: usize,
+) {
+    let gids: Vec<usize> = w.lanes().filter(|&i| i < qlen).collect();
+    if gids.is_empty() {
+        return;
+    }
+    let mut us = Vec::with_capacity(gids.len());
+    w.vload32(frontier, &gids, &mut us);
+    let uidx: Vec<usize> = us.iter().map(|&u| u as usize).collect();
+    let mut ubits = Vec::with_capacity(uidx.len());
+    w.vload32(seen, &uidx, &mut ubits);
+    let mut offs = Vec::with_capacity(uidx.len());
+    w.vload64(&g.offsets, &uidx, &mut offs);
+    let mut degs = Vec::with_capacity(uidx.len());
+    w.vload32(&g.degrees, &uidx, &mut degs);
+    struct Lane {
+        bits: u32,
+        off: u64,
+        deg: u32,
+    }
+    let mut lanes: Vec<Lane> = ubits
+        .iter()
+        .zip(offs.iter().zip(&degs))
+        .map(|(&bits, (&off, &deg))| Lane { bits, off, deg })
+        .collect();
+    let mut k = 0u32;
+    loop {
+        lanes.retain(|l| k < l.deg);
+        if lanes.is_empty() {
+            break;
+        }
+        let aidx: Vec<usize> = lanes
+            .iter()
+            .map(|l| (l.off + u64::from(k)) as usize)
+            .collect();
+        let mut vs = Vec::with_capacity(aidx.len());
+        w.vload32(&g.adjacency, &aidx, &mut vs);
+        let sidx: Vec<usize> = vs.iter().map(|&v| v as usize).collect();
+        let mut svs = Vec::with_capacity(sidx.len());
+        w.vload32(seen, &sidx, &mut svs);
+        w.alu(1);
+        let ops: Vec<(usize, u32)> = sidx
+            .iter()
+            .zip(lanes.iter().zip(&svs))
+            .filter_map(|(&i, (l, &sb))| {
+                let new = l.bits & !sb;
+                (new != 0).then_some((i, new))
+            })
+            .collect();
+        w.vor32(fresh, &ops);
+        k += 1;
+    }
+}
+
+/// Fold: for every vertex with fresh bits, merge into `seen`, record the
+/// level for each new bit, enqueue into the next union frontier.
+fn fold_kernel(
+    w: &mut WaveCtx,
+    seen: &BufU32,
+    fresh: &BufU32,
+    next_frontier: &BufU32,
+    counters: &BufU32,
+    level_of: &[BufU32],
+    level: u32,
+) {
+    let gids: Vec<usize> = w.lanes().collect();
+    if gids.is_empty() {
+        return;
+    }
+    let mut fb = Vec::with_capacity(gids.len());
+    w.vload32(fresh, &gids, &mut fb);
+    w.alu(1);
+    // Bits might already be seen (a racing OR from a vertex claimed earlier
+    // this level cannot happen — expand reads `seen` of the *previous*
+    // level — but a source bit seeded at init can overlap).
+    let pending: Vec<(usize, u32)> = gids
+        .iter()
+        .zip(&fb)
+        .filter(|&(_, &b)| b != 0)
+        .map(|(&v, &b)| (v, b))
+        .collect();
+    if pending.is_empty() {
+        return;
+    }
+    let sidx: Vec<usize> = pending.iter().map(|&(v, _)| v).collect();
+    let mut sbits = Vec::with_capacity(sidx.len());
+    w.vload32(seen, &sidx, &mut sbits);
+    let mut members: Vec<u32> = Vec::new();
+    let mut seen_writes: Vec<(usize, u32)> = Vec::new();
+    let mut level_writes: Vec<Vec<(usize, u32)>> = vec![Vec::new(); level_of.len()];
+    for (&(v, b), &sb) in pending.iter().zip(&sbits) {
+        let new = b & !sb;
+        if new == 0 {
+            continue;
+        }
+        seen_writes.push((v, sb | new));
+        members.push(v as u32);
+        let mut bits = new;
+        while bits != 0 {
+            let s = bits.trailing_zeros() as usize;
+            level_writes[s].push((v, level));
+            bits &= bits - 1;
+        }
+        w.alu(1);
+    }
+    w.vstore32(seen, &seen_writes);
+    for (s, writes) in level_writes.iter().enumerate() {
+        if !writes.is_empty() {
+            w.vstore32(&level_of[s], writes);
+        }
+    }
+    if members.is_empty() {
+        return;
+    }
+    let base = w.wave_add32(counters, 0, members.len() as u32) as usize;
+    let writes: Vec<(usize, u32)> = members
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (base + i, v))
+        .collect();
+    w.vstore32(next_frontier, &writes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_graph::bfs_levels_serial;
+    use xbfs_graph::generators::{barabasi_albert, erdos_renyi, rmat_graph, RmatParams};
+    use xbfs_graph::stats::pick_sources;
+
+    #[test]
+    fn each_source_matches_reference() {
+        let g = erdos_renyi(400, 1600, 9);
+        let sources = pick_sources(&g, 8, 3);
+        let dev = Device::mi250x();
+        let run = ms_bfs(&dev, &g, &sources);
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(
+                run.levels[i],
+                bfs_levels_serial(&g, s),
+                "source {s} (slot {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_and_single_sources() {
+        let g = barabasi_albert(300, 3, 1);
+        let dev = Device::mi250x();
+        let run = ms_bfs(&dev, &g, &[7, 7, 12]);
+        assert_eq!(run.levels[0], run.levels[1]);
+        assert_eq!(run.levels[0], bfs_levels_serial(&g, 7));
+        assert_eq!(run.levels[2], bfs_levels_serial(&g, 12));
+
+        let run1 = ms_bfs(&dev, &g, &[5]);
+        assert_eq!(run1.levels[0], bfs_levels_serial(&g, 5));
+    }
+
+    #[test]
+    fn full_width_batch() {
+        let g = rmat_graph(RmatParams::graph500(9), 2);
+        let sources = pick_sources(&g, MAX_CONCURRENT, 5);
+        let dev = Device::mi250x();
+        let run = ms_bfs(&dev, &g, &sources);
+        assert_eq!(run.levels.len(), MAX_CONCURRENT);
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(run.levels[i], bfs_levels_serial(&g, s), "source {s}");
+        }
+        assert!(run.gteps > 0.0);
+    }
+
+    #[test]
+    fn sharing_beats_sequential_runs() {
+        // The iBFS claim: one shared traversal for k sources beats k
+        // independent traversals.
+        let g = rmat_graph(RmatParams::graph500(12), 4);
+        let sources = pick_sources(&g, 16, 11);
+        let dev = Device::mi250x();
+        let shared = ms_bfs(&dev, &g, &sources);
+        let xbfs = crate::Xbfs::new(&dev, &g, crate::XbfsConfig::default());
+        let sequential_ms: f64 = sources.iter().map(|&s| xbfs.run(s).total_ms).sum();
+        assert!(
+            shared.total_ms < 0.5 * sequential_ms,
+            "shared {} ms should be well under sequential {} ms",
+            shared.total_ms,
+            sequential_ms
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn rejects_oversized_batch() {
+        let g = erdos_renyi(50, 100, 1);
+        let dev = Device::mi250x();
+        let sources: Vec<u32> = (0..33).collect();
+        ms_bfs(&dev, &g, &sources);
+    }
+}

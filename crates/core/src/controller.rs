@@ -1,0 +1,92 @@
+//! Adaptive strategy selection — the core XBFS contribution.
+//!
+//! Per level, the controller compares the edge ratio
+//! `r = (edges incident to the current frontier) / |E|` with two
+//! thresholds derived from the paper's Table VI study:
+//!
+//! * `r > α` (paper: 0.1) → **bottom-up**: the frontier is so large that
+//!   pulling from unvisited vertices with early termination reads far less
+//!   memory than pushing the frontier;
+//! * `r < scan_free_max_ratio` (≈ 1e-3 from Table VI: scan-free wins at
+//!   levels 0–1 and 6–7 where r ≤ 2.4e-3, single-scan wins at level 2
+//!   where r = 5.4e-3) → **scan-free**: the frontier is tiny, so atomic
+//!   claims and atomic enqueues beat any status scan;
+//! * otherwise → **single-scan**: moderate frontiers amortize one `O(|V|)`
+//!   scan against synchronization-free status updates.
+
+use crate::strategy::Strategy;
+
+/// Strategy selector.
+#[derive(Debug, Clone, Copy)]
+pub struct Controller {
+    /// Bottom-up threshold (the paper's `α`).
+    pub alpha: f64,
+    /// Scan-free upper bound on the ratio.
+    pub scan_free_max_ratio: f64,
+}
+
+impl Controller {
+    /// Build from thresholds.
+    pub fn new(alpha: f64, scan_free_max_ratio: f64) -> Self {
+        assert!(alpha > 0.0 && scan_free_max_ratio > 0.0);
+        assert!(
+            scan_free_max_ratio <= alpha,
+            "scan-free threshold must not exceed alpha"
+        );
+        Self {
+            alpha,
+            scan_free_max_ratio,
+        }
+    }
+
+    /// Pick the strategy for a level whose frontier has edge ratio `ratio`.
+    pub fn choose(&self, ratio: f64) -> Strategy {
+        if ratio > self.alpha {
+            Strategy::BottomUp
+        } else if ratio < self.scan_free_max_ratio {
+            Strategy::ScanFree
+        } else {
+            Strategy::SingleScan
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table6_choices() {
+        // The per-level ratios of the paper's Rmat25 run (Tables III–VI)
+        // and the strategies §V-E says win at each level.
+        let c = Controller::new(0.1, 1e-3);
+        let ratios = [
+            (1.86e-9, Strategy::ScanFree),   // level 0
+            (1.02e-6, Strategy::ScanFree),   // level 1
+            (5.44e-3, Strategy::SingleScan), // level 2
+            (0.725, Strategy::BottomUp),     // level 3
+            (0.267, Strategy::BottomUp),     // level 4
+            (2.40e-3, Strategy::SingleScan), // level 5
+            (1.35e-5, Strategy::ScanFree),   // level 6
+            (8.38e-8, Strategy::ScanFree),   // level 7
+        ];
+        for (r, expect) in ratios {
+            assert_eq!(c.choose(r), expect, "ratio {r}");
+        }
+    }
+
+    #[test]
+    fn boundaries() {
+        let c = Controller::new(0.1, 1e-3);
+        assert_eq!(c.choose(0.1), Strategy::SingleScan); // not strictly greater
+        assert_eq!(c.choose(0.100001), Strategy::BottomUp);
+        assert_eq!(c.choose(1e-3), Strategy::SingleScan);
+        assert_eq!(c.choose(0.99e-3), Strategy::ScanFree);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed alpha")]
+    fn rejects_inverted_thresholds() {
+        Controller::new(0.01, 0.1);
+    }
+}

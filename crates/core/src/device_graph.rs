@@ -1,0 +1,68 @@
+//! Graph residing in (simulated) device memory.
+//!
+//! Mirrors the XBFS device layout: 8-byte row offsets (`beg_pos`), 4-byte
+//! adjacency (`csr`), plus a precomputed 4-byte degree array that XBFS keeps
+//! to avoid loading two offsets per vertex in expansion kernels.
+
+use gcd_sim::{BufU32, BufU64, Device};
+use xbfs_graph::Csr;
+
+/// A CSR graph uploaded to the device.
+pub struct DeviceGraph {
+    /// Row offsets, `|V| + 1` entries of 8 bytes.
+    pub offsets: BufU64,
+    /// Adjacency, `|M|` entries of 4 bytes.
+    pub adjacency: BufU32,
+    /// Out-degrees, `|V|` entries of 4 bytes.
+    pub degrees: BufU32,
+    num_vertices: usize,
+    num_edges: usize,
+}
+
+impl DeviceGraph {
+    /// Upload `g` (untimed — the paper's measured window starts after the
+    /// graph is resident, matching its n-to-n protocol).
+    pub fn upload(device: &Device, g: &Csr) -> Self {
+        let degrees: Vec<u32> = (0..g.num_vertices() as u32).map(|v| g.degree(v)).collect();
+        Self {
+            offsets: device.upload_u64(g.offsets()),
+            adjacency: device.upload_u32(g.adjacency()),
+            degrees: device.upload_u32(&degrees),
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_graph::generators::erdos_renyi;
+
+    #[test]
+    fn upload_preserves_structure() {
+        let g = erdos_renyi(128, 400, 3);
+        let dev = Device::mi250x();
+        let dg = DeviceGraph::upload(&dev, &g);
+        assert_eq!(dg.num_vertices(), 128);
+        assert_eq!(dg.num_edges(), g.num_edges());
+        assert_eq!(dg.offsets.to_host(), g.offsets());
+        assert_eq!(dg.adjacency.to_host(), g.adjacency());
+        let deg = dg.degrees.to_host();
+        for v in 0..128u32 {
+            assert_eq!(deg[v as usize], g.degree(v));
+        }
+    }
+}

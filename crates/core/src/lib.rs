@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! `xbfs-core` — the paper's primary contribution: XBFS, the adaptive
+//! frontier-queue BFS, ported to (simulated) AMD MI250X GCDs with the
+//! Frontier-specific optimizations of §IV.
+//!
+//! The crate implements, on top of the [`gcd_sim`] substrate:
+//!
+//! * the three frontier-queue-generation strategies — scan-free,
+//!   single-scan (with the No-Frontier-Generation shortcut) and bottom-up
+//!   double-scan with early termination and proactive claims
+//!   ([`strategy`]),
+//! * warp-centric dynamic workload balancing with degree-binned
+//!   thread/wave/group kernels ([`strategy::topdown`]),
+//! * the adaptive `α`-controller ([`controller`]),
+//! * the host-side runner with per-level sync, counter readback and the
+//!   single-stream consolidation of §IV-B ([`runner`]), and
+//! * the §V-F bandwidth-efficiency analysis ([`efficiency`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use gcd_sim::Device;
+//! use xbfs_core::{Xbfs, XbfsConfig};
+//! use xbfs_graph::generators::{rmat_graph, RmatParams};
+//!
+//! let graph = rmat_graph(RmatParams::graph500(10), 42);
+//! let device = Device::mi250x();
+//! let xbfs = Xbfs::new(&device, &graph, XbfsConfig::default());
+//! let run = xbfs.run(0);
+//! println!("depth {} in {:.3} ms → {:.2} GTEPS",
+//!          run.depth(), run.total_ms, run.gteps);
+//! assert_eq!(run.levels[0], 0);
+//! ```
+
+pub mod concurrent;
+pub mod config;
+pub mod controller;
+pub mod device_graph;
+pub mod efficiency;
+pub mod runner;
+pub mod state;
+pub mod stats;
+pub mod strategy;
+pub mod tuner;
+
+pub use concurrent::{ms_bfs, MsBfsRun, MAX_CONCURRENT};
+pub use config::XbfsConfig;
+pub use controller::Controller;
+pub use device_graph::DeviceGraph;
+pub use efficiency::{bandwidth_efficiency, Efficiency};
+pub use runner::Xbfs;
+pub use state::{BfsState, BinThresholds, QueueState, UNVISITED};
+pub use stats::{BfsRun, LevelStats};
+pub use strategy::Strategy;
+pub use tuner::{tune_alpha, TuneResult};

@@ -1,0 +1,355 @@
+//! The XBFS runner: the host-side loop that drives adaptive BFS on the
+//! simulated GCD, exactly mirroring the structure of the ported code —
+//! per-level counter memset, strategy dispatch, device sync, counter
+//! readback, controller decision.
+
+use crate::config::XbfsConfig;
+use crate::controller::Controller;
+use crate::device_graph::DeviceGraph;
+use crate::state::{ctr, ectr, BfsState, QueueState, UNVISITED};
+use crate::stats::{BfsRun, LevelStats};
+use crate::strategy::{
+    launch_bottom_up_level, launch_generation_scan, launch_reset_counters,
+    launch_top_down_expand, Strategy,
+};
+use gcd_sim::Device;
+use xbfs_graph::Csr;
+
+/// An XBFS instance bound to a device-resident graph.
+pub struct Xbfs<'a> {
+    device: &'a Device,
+    graph: DeviceGraph,
+    cfg: XbfsConfig,
+    host_degrees: Vec<u32>,
+}
+
+impl<'a> Xbfs<'a> {
+    /// Upload `g` and prepare a runner. The device must have at least
+    /// [`XbfsConfig::required_streams`] streams.
+    ///
+    /// Like the original XBFS (whose inputs are symmetrized Graph500/SNAP
+    /// graphs), the bottom-up strategy pulls through **out**-edges, so
+    /// results are exact on directed graphs only with a configuration that
+    /// never selects bottom-up — use [`XbfsConfig::directed`] for those.
+    pub fn new(device: &'a Device, g: &Csr, cfg: XbfsConfig) -> Self {
+        assert!(
+            device.num_streams() >= cfg.required_streams(),
+            "config requires {} streams, device has {}",
+            cfg.required_streams(),
+            device.num_streams()
+        );
+        assert!(g.num_vertices() > 0, "empty graph");
+        let host_degrees = (0..g.num_vertices() as u32).map(|v| g.degree(v)).collect();
+        Self {
+            device,
+            graph: DeviceGraph::upload(device, g),
+            cfg,
+            host_degrees,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &XbfsConfig {
+        &self.cfg
+    }
+
+    /// Run one BFS from `source`, returning levels plus full per-level
+    /// statistics. Models the paper's "n to n" measured window: status
+    /// initialization through final sync.
+    pub fn run(&self, source: u32) -> BfsRun {
+        let dev = self.device;
+        let g = &self.graph;
+        let n = g.num_vertices();
+        assert!((source as usize) < n, "source out of range");
+        let controller = Controller::new(self.cfg.alpha, self.cfg.scan_free_max_ratio);
+
+        let mut st = BfsState::new(dev, n, self.cfg.record_parents, self.cfg.seg_len);
+        dev.reset_timeline();
+        let _ = dev.take_reports();
+
+        // --- measured window starts ---
+        dev.set_phase("init");
+        dev.fill_u32(0, &st.status, UNVISITED);
+        if let Some(parents) = &st.parents {
+            dev.fill_u32(0, parents, UNVISITED);
+            parents.store(source as usize, source);
+        }
+        st.status.store(source as usize, 0);
+        st.queues[0].store(0, source);
+        dev.charge_transfer(0, 8); // seed the source + queue head
+
+        let m = g.num_edges().max(1) as f64;
+        let mut exact: Option<[usize; 3]> = Some([1, 0, 0]);
+        let mut superset: Option<usize> = None;
+        let mut frontier_count = 1u64;
+        let mut frontier_edges = u64::from(self.host_degrees[source as usize]);
+        // Proactive bottom-up claims targeting the level after next:
+        // (count, degree sum), plus whether the *current* frontier contains
+        // proactively claimed vertices (then stale exact queues are unusable).
+        let mut pending_pro = (0u64, 0u64);
+        let mut frontier_has_proactive = false;
+        let mut level = 0u32;
+        let mut level_stats: Vec<LevelStats> = Vec::new();
+
+        loop {
+            let ratio = frontier_edges as f64 / m;
+            let strategy = self.cfg.forced.unwrap_or_else(|| controller.choose(ratio));
+            dev.set_phase(format!("level {level}"));
+            let t0 = dev.elapsed_us();
+            let mut used_nfg = true;
+
+            match strategy {
+                Strategy::BottomUp => {
+                    launch_reset_counters(dev, 0, &st);
+                    launch_bottom_up_level(dev, g, &st, level, &self.cfg);
+                }
+                Strategy::ScanFree | Strategy::SingleScan => {
+                    let mut qstate = if !self.cfg.nfg {
+                        QueueState::None
+                    } else if frontier_has_proactive {
+                        // Stale exact queues miss proactive claims; the
+                        // superset (or a fresh scan) covers them.
+                        superset.map(QueueState::Superset).unwrap_or(QueueState::None)
+                    } else if let Some(lens) = exact {
+                        QueueState::Exact(lens)
+                    } else if let Some(len) = superset {
+                        QueueState::Superset(len)
+                    } else {
+                        QueueState::None
+                    };
+                    if qstate == QueueState::None {
+                        // Frontier-queue generation scan (single-scan
+                        // kernel 1; also the fallback scan-free pays when
+                        // no queue survived).
+                        used_nfg = false;
+                        launch_reset_counters(dev, 0, &st);
+                        launch_generation_scan(dev, 0, g, &st, level, &self.cfg);
+                        dev.sync();
+                        dev.charge_transfer(0, 12);
+                        let lens = st.next_queue_lens();
+                        st.swap_queues();
+                        qstate = QueueState::Exact(lens);
+                    }
+                    launch_reset_counters(dev, 0, &st);
+                    let atomic_claim = strategy == Strategy::ScanFree;
+                    launch_top_down_expand(dev, g, &st, level, qstate, atomic_claim, &self.cfg);
+                }
+            }
+
+            dev.sync();
+            dev.charge_transfer(0, 48); // counter readback
+            let claimed = u64::from(st.counters.load(ctr::CLAIMED));
+            let proactive = u64::from(st.counters.load(ctr::PROACTIVE));
+            let claimed_edges = st.edge_counters.load(ectr::CLAIMED_EDGES);
+            let proactive_edges = st.edge_counters.load(ectr::PROACTIVE_EDGES);
+
+            match strategy {
+                Strategy::ScanFree => {
+                    let lens = st.next_queue_lens();
+                    st.swap_queues();
+                    exact = Some(lens);
+                }
+                Strategy::SingleScan => {
+                    exact = None;
+                }
+                Strategy::BottomUp => {
+                    superset = Some(st.counters.load(ctr::BU_LEN) as usize);
+                    exact = None;
+                }
+            }
+
+            let t1 = dev.elapsed_us();
+            level_stats.push(LevelStats {
+                level,
+                strategy,
+                used_nfg,
+                ratio,
+                frontier_count,
+                frontier_edges,
+                time_ms: (t1 - t0) / 1000.0,
+                kernels: dev.take_reports(),
+            });
+
+            let next_count = claimed + pending_pro.0;
+            let next_edges = claimed_edges + pending_pro.1;
+            frontier_has_proactive = pending_pro.0 > 0;
+            pending_pro = (proactive, proactive_edges);
+            if next_count == 0 {
+                break;
+            }
+            frontier_count = next_count;
+            frontier_edges = next_edges;
+            level = level.checked_add(1).expect("level overflow");
+        }
+        let total_us = dev.elapsed_us();
+        // --- measured window ends ---
+
+        let levels = st.status.to_host();
+        let parents = st.parents.as_ref().map(|p| p.to_host());
+        let traversed_edges: u64 = levels
+            .iter()
+            .zip(&self.host_degrees)
+            .filter(|(&l, _)| l != UNVISITED)
+            .map(|(_, &d)| u64::from(d))
+            .sum();
+        let total_ms = total_us / 1000.0;
+        let gteps = if total_us > 0.0 {
+            traversed_edges as f64 / (total_us * 1e-6) / 1e9
+        } else {
+            0.0
+        };
+        BfsRun {
+            source,
+            levels,
+            parents,
+            level_stats,
+            total_ms,
+            traversed_edges,
+            gteps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcd_sim::{ArchProfile, ExecMode};
+    use xbfs_graph::generators::{barabasi_albert, erdos_renyi, rmat_graph, RmatParams};
+    use xbfs_graph::{bfs_levels_serial, validate_bfs_tree};
+
+    fn check_against_reference(g: &Csr, cfg: XbfsConfig, sources: &[u32]) {
+        let dev = Device::new(
+            ArchProfile::mi250x_gcd(),
+            ExecMode::Functional,
+            cfg.required_streams(),
+        );
+        let xbfs = Xbfs::new(&dev, g, cfg);
+        for &s in sources {
+            let run = xbfs.run(s);
+            assert_eq!(
+                run.levels,
+                bfs_levels_serial(g, s),
+                "levels mismatch from source {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_matches_reference_on_rmat() {
+        let g = rmat_graph(RmatParams::graph500(10), 3);
+        check_against_reference(&g, XbfsConfig::default(), &[0, 17, 513]);
+    }
+
+    #[test]
+    fn adaptive_matches_reference_on_er_and_ba() {
+        let er = erdos_renyi(2000, 8000, 5);
+        check_against_reference(&er, XbfsConfig::default(), &[0, 999]);
+        let ba = barabasi_albert(3000, 5, 1);
+        check_against_reference(&ba, XbfsConfig::default(), &[0, 2999]);
+    }
+
+    #[test]
+    fn every_forced_strategy_matches_reference() {
+        let g = rmat_graph(RmatParams::graph500(9), 8);
+        for strat in [Strategy::ScanFree, Strategy::SingleScan, Strategy::BottomUp] {
+            check_against_reference(&g, XbfsConfig::forced(strat), &[3, 250]);
+        }
+    }
+
+    #[test]
+    fn naive_port_config_matches_reference() {
+        let g = rmat_graph(RmatParams::graph500(9), 2);
+        check_against_reference(&g, XbfsConfig::naive_port(), &[0, 100]);
+    }
+
+    #[test]
+    fn ablations_match_reference() {
+        let g = barabasi_albert(1500, 6, 9);
+        for cfg in [
+            XbfsConfig {
+                nfg: false,
+                ..XbfsConfig::default()
+            },
+            XbfsConfig {
+                proactive: false,
+                ..XbfsConfig::default()
+            },
+            XbfsConfig {
+                balancing_top_down: false,
+                ..XbfsConfig::default()
+            },
+            XbfsConfig {
+                balancing_bottom_up: true,
+                ..XbfsConfig::default()
+            },
+            XbfsConfig {
+                record_parents: true,
+                ..XbfsConfig::default()
+            },
+        ] {
+            check_against_reference(&g, cfg, &[0, 700]);
+        }
+    }
+
+    #[test]
+    fn parent_array_validates() {
+        let g = rmat_graph(RmatParams::graph500(9), 4);
+        let dev = Device::mi250x();
+        let cfg = XbfsConfig {
+            record_parents: true,
+            ..XbfsConfig::default()
+        };
+        let xbfs = Xbfs::new(&dev, &g, cfg);
+        let run = xbfs.run(42);
+        let parents = run.parents.expect("parents requested");
+        let levels = validate_bfs_tree(&g, 42, &parents).expect("invalid BFS tree");
+        assert_eq!(levels, run.levels);
+    }
+
+    #[test]
+    fn adaptive_visits_all_three_strategies_on_rmat() {
+        // R-MAT has the hockey-stick ratio curve: tiny ratios early, a
+        // bottom-up hump, then a tail — the paper's Fig. 6/7 story.
+        let g = rmat_graph(RmatParams::graph500(12), 1);
+        let dev = Device::mi250x();
+        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default());
+        let run = xbfs.run(0);
+        let trace = run.strategy_trace();
+        assert!(trace.contains(&Strategy::ScanFree), "trace {trace:?}");
+        assert!(trace.contains(&Strategy::BottomUp), "trace {trace:?}");
+        assert!(run.gteps > 0.0);
+        assert!(run.total_ms > 0.0);
+        assert_eq!(run.depth(), run.level_stats.len());
+    }
+
+    #[test]
+    fn unreachable_component_stays_unvisited() {
+        // Two disjoint triangles.
+        let g = Csr::from_parts(
+            vec![0, 2, 4, 6, 8, 10, 12],
+            vec![1, 2, 0, 2, 0, 1, 4, 5, 3, 5, 3, 4],
+        )
+        .unwrap();
+        let dev = Device::mi250x();
+        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default());
+        let run = xbfs.run(0);
+        assert_eq!(run.levels[3..], [UNVISITED; 3]);
+        assert_eq!(run.traversed_edges, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn rejects_bad_source() {
+        let g = erdos_renyi(10, 20, 1);
+        let dev = Device::mi250x();
+        Xbfs::new(&dev, &g, XbfsConfig::default()).run(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "streams")]
+    fn rejects_insufficient_streams() {
+        let g = erdos_renyi(10, 20, 1);
+        let dev = Device::mi250x(); // 1 stream
+        Xbfs::new(&dev, &g, XbfsConfig::naive_port());
+    }
+}

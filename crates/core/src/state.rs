@@ -1,0 +1,206 @@
+//! Mutable BFS state on the device: status array, degree-binned frontier
+//! queues, the bottom-up queue, and the small counter block every kernel
+//! aggregates into.
+
+use gcd_sim::{BufU32, BufU64, Device};
+
+/// `status[v]` holds the BFS level of `v`, or this sentinel.
+pub const UNVISITED: u32 = u32::MAX;
+
+/// Counter-block indices (a single `BufU32` so one memset clears them all).
+pub mod ctr {
+    /// Lengths of the three degree-binned next-frontier queues.
+    pub const QUEUE_LEN: [usize; 3] = [0, 1, 2];
+    /// Vertices claimed for the next level during this level.
+    pub const CLAIMED: usize = 3;
+    /// Vertices proactively claimed two levels ahead (bottom-up, §III-C).
+    pub const PROACTIVE: usize = 4;
+    /// Length of the bottom-up (unvisited) queue.
+    pub const BU_LEN: usize = 5;
+    /// Total counter slots.
+    pub const N: usize = 8;
+}
+
+/// 64-bit counter indices.
+pub mod ectr {
+    /// Sum of degrees of vertices claimed for the next level.
+    pub const CLAIMED_EDGES: usize = 0;
+    /// Sum of degrees of proactively claimed vertices.
+    pub const PROACTIVE_EDGES: usize = 1;
+    /// Total 64-bit counter slots.
+    pub const N: usize = 2;
+}
+
+/// Degree-bin boundaries for warp-centric workload balancing: a claimed
+/// vertex goes to the small bin (thread-per-vertex) below the wavefront
+/// width, to the large bin (multi-wave) above `width²`, else medium
+/// (wave-per-vertex).
+#[derive(Debug, Clone, Copy)]
+pub struct BinThresholds {
+    /// Largest degree still handled thread-per-vertex.
+    pub small_max: u32,
+    /// Largest degree still handled wave-per-vertex.
+    pub medium_max: u32,
+}
+
+impl BinThresholds {
+    /// Thresholds derived from the wavefront width, as the port re-tuned
+    /// them for 64-wide waves (§IV-A parameter tuning).
+    pub fn for_width(width: usize) -> Self {
+        Self {
+            small_max: width as u32,
+            medium_max: (width * width) as u32,
+        }
+    }
+
+    /// Bin index (0 = small, 1 = medium, 2 = large) for a degree.
+    #[inline]
+    pub fn bin(&self, degree: u32) -> usize {
+        if degree < self.small_max {
+            0
+        } else if degree < self.medium_max {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// Device-resident BFS state.
+pub struct BfsState {
+    /// Per-vertex level (or [`UNVISITED`]).
+    pub status: BufU32,
+    /// Optional parent array (Graph500 output).
+    pub parents: Option<BufU32>,
+    /// Current frontier, split by degree bin (bin 0 holds everything when
+    /// balancing is off).
+    pub queues: [BufU32; 3],
+    /// Next frontier being built.
+    pub next_queues: [BufU32; 3],
+    /// Bottom-up (unvisited-vertex) queue.
+    pub bu_queue: BufU32,
+    /// Per-segment unvisited counts (bottom-up kernel 1).
+    pub seg_counts: BufU32,
+    /// Per-block partial sums (bottom-up kernel 2).
+    pub block_sums: BufU32,
+    /// Exclusive per-segment offsets (bottom-up kernel 3 output).
+    pub seg_offsets: BufU32,
+    /// 32-bit counter block (see [`ctr`]).
+    pub counters: BufU32,
+    /// 64-bit counter block (see [`ectr`]).
+    pub edge_counters: BufU64,
+    /// Segment length for the double-scan, in vertices.
+    pub seg_len: usize,
+}
+
+impl BfsState {
+    /// Allocate state for an `n`-vertex graph.
+    pub fn new(device: &Device, n: usize, record_parents: bool, seg_len: usize) -> Self {
+        assert!(seg_len >= 1);
+        let n_segs = n.div_ceil(seg_len);
+        let width = device.arch().wavefront_size;
+        let n_blocks = n_segs.div_ceil(width);
+        Self {
+            status: device.alloc_u32(n),
+            parents: record_parents.then(|| device.alloc_u32(n)),
+            queues: [
+                device.alloc_u32(n),
+                device.alloc_u32(n),
+                device.alloc_u32(n),
+            ],
+            next_queues: [
+                device.alloc_u32(n),
+                device.alloc_u32(n),
+                device.alloc_u32(n),
+            ],
+            bu_queue: device.alloc_u32(n),
+            seg_counts: device.alloc_u32(n_segs),
+            block_sums: device.alloc_u32(n_blocks),
+            seg_offsets: device.alloc_u32(n_segs),
+            counters: device.alloc_u32(ctr::N),
+            edge_counters: device.alloc_u64(ectr::N),
+            seg_len,
+        }
+    }
+
+    /// Swap current and next queues (level transition).
+    pub fn swap_queues(&mut self) {
+        std::mem::swap(&mut self.queues, &mut self.next_queues);
+    }
+
+    /// Read the three next-queue lengths (host side).
+    pub fn next_queue_lens(&self) -> [usize; 3] {
+        [
+            self.counters.load(ctr::QUEUE_LEN[0]) as usize,
+            self.counters.load(ctr::QUEUE_LEN[1]) as usize,
+            self.counters.load(ctr::QUEUE_LEN[2]) as usize,
+        ]
+    }
+}
+
+/// What the runner knows about the current frontier queue — the state
+/// machine behind the No-Frontier-Generation optimization (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueState {
+    /// `queues` hold exactly the current frontier (lengths given).
+    Exact([usize; 3]),
+    /// `bu_queue` (length given) holds a superset of the frontier: every
+    /// vertex that was unvisited when the last double-scan ran. Expansion
+    /// must filter by `status[v] == level`.
+    Superset(usize),
+    /// No usable queue; a generation scan is required.
+    None,
+}
+
+impl QueueState {
+    /// Total candidate count a kernel launched over this queue must cover.
+    pub fn total(&self) -> usize {
+        match *self {
+            QueueState::Exact(lens) => lens.iter().sum(),
+            QueueState::Superset(len) => len,
+            QueueState::None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_thresholds() {
+        let b = BinThresholds::for_width(64);
+        assert_eq!(b.bin(0), 0);
+        assert_eq!(b.bin(63), 0);
+        assert_eq!(b.bin(64), 1);
+        assert_eq!(b.bin(4095), 1);
+        assert_eq!(b.bin(4096), 2);
+    }
+
+    #[test]
+    fn state_allocation_sizes() {
+        let dev = Device::mi250x();
+        let st = BfsState::new(&dev, 1000, true, 64);
+        assert_eq!(st.status.len(), 1000);
+        assert_eq!(st.parents.as_ref().unwrap().len(), 1000);
+        assert_eq!(st.seg_counts.len(), 16); // ceil(1000/64)
+        assert_eq!(st.block_sums.len(), 1); // ceil(16/64)
+        assert_eq!(st.counters.len(), ctr::N);
+    }
+
+    #[test]
+    fn queue_state_totals() {
+        assert_eq!(QueueState::Exact([1, 2, 3]).total(), 6);
+        assert_eq!(QueueState::Superset(9).total(), 9);
+        assert_eq!(QueueState::None.total(), 0);
+    }
+
+    #[test]
+    fn swap_queues_exchanges() {
+        let dev = Device::mi250x();
+        let mut st = BfsState::new(&dev, 16, false, 64);
+        st.queues[0].store(0, 42);
+        st.swap_queues();
+        assert_eq!(st.next_queues[0].load(0), 42);
+    }
+}

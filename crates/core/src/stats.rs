@@ -1,0 +1,111 @@
+//! Per-run and per-level statistics — the raw material for every table and
+//! figure in the paper's evaluation.
+
+use crate::strategy::Strategy;
+use gcd_sim::KernelReport;
+use serde::{Deserialize, Serialize};
+
+/// What happened at one BFS level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// BFS level this row describes.
+    pub level: u32,
+    /// Strategy the controller (or forced mode) selected.
+    pub strategy: Strategy,
+    /// Whether the No-Frontier-Generation shortcut applied (no generation
+    /// scan ran before the expansion).
+    pub used_nfg: bool,
+    /// Edge ratio of the expanded frontier (`frontier_edges / |E|`).
+    pub ratio: f64,
+    /// Vertices in the expanded frontier.
+    pub frontier_count: u64,
+    /// Sum of their degrees.
+    pub frontier_edges: u64,
+    /// Modeled wall time of the level (kernels + syncs + readbacks), ms.
+    pub time_ms: f64,
+    /// rocprof-style rows for every kernel launched this level.
+    pub kernels: Vec<KernelReport>,
+}
+
+impl LevelStats {
+    /// Total HBM fetch across this level's kernels, KB.
+    pub fn fetch_kb(&self) -> f64 {
+        self.kernels.iter().map(|k| k.fetch_kb).sum()
+    }
+
+    /// Total kernel runtime (excludes syncs/readbacks), ms.
+    pub fn kernel_ms(&self) -> f64 {
+        self.kernels.iter().map(|k| k.runtime_ms).sum()
+    }
+}
+
+/// Result of one BFS run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BfsRun {
+    /// Source vertex of the run.
+    pub source: u32,
+    /// Per-vertex levels (`u32::MAX` = unreachable).
+    pub levels: Vec<u32>,
+    /// Optional Graph500 parent array.
+    pub parents: Option<Vec<u32>>,
+    /// Per-level statistics in level order.
+    pub level_stats: Vec<LevelStats>,
+    /// End-to-end modeled time (the paper's "n to n" window), ms.
+    pub total_ms: f64,
+    /// Edges traversed under the Graph500 TEPS convention.
+    pub traversed_edges: u64,
+    /// Giga-traversed-edges per second.
+    pub gteps: f64,
+}
+
+impl BfsRun {
+    /// BFS depth (number of levels with a non-empty frontier).
+    pub fn depth(&self) -> usize {
+        self.level_stats.len()
+    }
+
+    /// Total HBM fetch over the whole run, KB.
+    pub fn total_fetch_kb(&self) -> f64 {
+        self.level_stats.iter().map(|l| l.fetch_kb()).sum()
+    }
+
+    /// Strategy sequence over the levels.
+    pub fn strategy_trace(&self) -> Vec<Strategy> {
+        self.level_stats.iter().map(|l| l.strategy).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcd_sim::WaveStats;
+
+    fn kr(rt: f64, fetch: f64) -> KernelReport {
+        KernelReport {
+            name: "k".into(),
+            phase: String::new(),
+            runtime_ms: rt,
+            l2_hit_pct: 0.0,
+            mem_busy_pct: 0.0,
+            fetch_kb: fetch,
+            stats: WaveStats::default(),
+            occupancy: 1.0,
+        }
+    }
+
+    #[test]
+    fn level_aggregates() {
+        let l = LevelStats {
+            level: 0,
+            strategy: Strategy::ScanFree,
+            used_nfg: true,
+            ratio: 0.5,
+            frontier_count: 1,
+            frontier_edges: 2,
+            time_ms: 3.0,
+            kernels: vec![kr(1.0, 10.0), kr(0.5, 20.0)],
+        };
+        assert!((l.fetch_kb() - 30.0).abs() < 1e-12);
+        assert!((l.kernel_ms() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,561 @@
+//! Bottom-up ("double-scan") frontier generation and expansion (§III-C).
+//!
+//! Five kernels, matching the five rows per level in the paper's Table V:
+//!
+//! 1. `bu_count` — scan the status array, count unvisited vertices per
+//!    segment (`O(|V|)` reads),
+//! 2. `bu_reduce` — per-block partial sums of the segment counts,
+//! 3. `bu_scan` — exclusive scan of the block sums (single wave),
+//! 4. `bu_place` — rescan the status array and place unvisited vertices
+//!    into the bottom-up queue at their global offsets (`O(|V|)` reads),
+//! 5. `bu_expand` — each unvisited vertex probes its adjacency list until
+//!    it finds a parent at the current level (**early termination**), in
+//!    the worst case `O(|M|)`.
+//!
+//! Segments are striped across a wavefront so the status scans stay
+//! coalesced (a deliberate deviation from XBFS's contiguous segments —
+//! noted in DESIGN.md — that preserves the `O(|V|)` fetch volume the paper
+//! reports while keeping the queue dense and region-ordered).
+//!
+//! Kernel 5 also implements the paper's *proactive* update: a vertex that
+//! finds no level-`L` neighbor but observes a neighbor already claimed at
+//! `L+1` during this same pass claims itself at `L+2`.
+
+use crate::device_graph::DeviceGraph;
+use crate::state::{ctr, ectr, BfsState, UNVISITED};
+use gcd_sim::WaveCtx;
+
+/// Kernel 1: per-segment unvisited counts. Launch with
+/// `items = number of segments`; segment `t` of wave `w` is the stripe
+/// `{region(w) + j·width + lane(t)}`.
+pub fn bu_count(w: &mut WaveCtx, st: &BfsState, n: usize) {
+    let width = w.width();
+    let seg_len = st.seg_len;
+    let region = w.wave_id() * width * seg_len;
+    if region >= n {
+        return;
+    }
+    let lanes: Vec<usize> = w.lanes().collect();
+    // Stripe stride = actual lane count so partial trailing waves still
+    // cover their region contiguously (and coalesced).
+    let nl = lanes.len();
+    let mut counts = vec![0u32; nl];
+    for j in 0..seg_len {
+        let mut idxs = Vec::with_capacity(nl);
+        let mut lane_of = Vec::with_capacity(nl);
+        for l in 0..nl {
+            let i = region + j * nl + l;
+            if i < n {
+                idxs.push(i);
+                lane_of.push(l);
+            }
+        }
+        if idxs.is_empty() {
+            break;
+        }
+        let mut sts = Vec::with_capacity(idxs.len());
+        w.vload32(&st.status, &idxs, &mut sts);
+        w.alu(1);
+        for (&l, &s) in lane_of.iter().zip(&sts) {
+            if s == UNVISITED {
+                counts[l] += 1;
+            }
+        }
+    }
+    let writes: Vec<(usize, u32)> = lanes
+        .iter()
+        .zip(&counts)
+        .map(|(&gid, &c)| (gid, c))
+        .collect();
+    w.vstore32(&st.seg_counts, &writes);
+}
+
+/// Kernel 2: block partial sums. Launch with
+/// `items = number of blocks × width`; wave `b` reduces segment counts
+/// `[b·width, (b+1)·width)`.
+pub fn bu_reduce(w: &mut WaveCtx, st: &BfsState) {
+    let width = w.width();
+    let b = w.wave_id();
+    if b >= st.block_sums.len() {
+        return;
+    }
+    let start = b * width;
+    let end = ((b + 1) * width).min(st.seg_counts.len());
+    if start >= end {
+        w.sstore32(&st.block_sums, b, 0);
+        return;
+    }
+    let idxs: Vec<usize> = (start..end).collect();
+    let mut counts = Vec::with_capacity(idxs.len());
+    w.vload32(&st.seg_counts, &idxs, &mut counts);
+    let sum = w.wave_reduce_add(&counts);
+    w.sstore32(&st.block_sums, b, sum as u32);
+}
+
+/// Kernel 3: exclusive scan of the block sums, performed by a single wave
+/// that walks the array in width-sized chunks carrying the running total.
+/// Also publishes the grand total (the bottom-up queue length) to
+/// `counters[BU_LEN]`. Launch with `items = width`.
+pub fn bu_scan(w: &mut WaveCtx, st: &BfsState) {
+    if w.wave_id() != 0 {
+        return;
+    }
+    let width = w.width();
+    let nb = st.block_sums.len();
+    let mut carry = 0u32;
+    let mut chunk = 0;
+    while chunk < nb {
+        let end = (chunk + width).min(nb);
+        let idxs: Vec<usize> = (chunk..end).collect();
+        let mut vals = Vec::with_capacity(idxs.len());
+        w.vload32(&st.block_sums, &idxs, &mut vals);
+        let mut pref = Vec::with_capacity(vals.len());
+        let total = w.wave_prefix_sum(&vals, &mut pref);
+        let writes: Vec<(usize, u32)> = idxs
+            .iter()
+            .zip(&pref)
+            .map(|(&i, &p)| (i, carry + p))
+            .collect();
+        w.vstore32(&st.block_sums, &writes);
+        carry += total;
+        chunk = end;
+    }
+    w.sstore32(&st.counters, ctr::BU_LEN, carry);
+}
+
+/// Kernel 4: rescan the status array and place unvisited vertex ids into
+/// the bottom-up queue. Launch with `items = number of segments` (same
+/// striping as [`bu_count`]).
+pub fn bu_place(w: &mut WaveCtx, st: &BfsState, n: usize) {
+    let width = w.width();
+    let seg_len = st.seg_len;
+    let region = w.wave_id() * width * seg_len;
+    if region >= n {
+        return;
+    }
+    let lanes: Vec<usize> = w.lanes().collect();
+    // Per-lane start offset = block offset + exclusive prefix of this
+    // wave's segment counts.
+    let block = w.wave_id();
+    let base = w.sload32(&st.block_sums, block);
+    let cidx: Vec<usize> = lanes.clone();
+    let mut counts = Vec::with_capacity(cidx.len());
+    w.vload32(&st.seg_counts, &cidx, &mut counts);
+    let mut pref = Vec::with_capacity(counts.len());
+    w.wave_prefix_sum(&counts, &mut pref);
+    let mut cursors: Vec<usize> = pref.iter().map(|&p| (base + p) as usize).collect();
+
+    let nl = lanes.len();
+    for j in 0..seg_len {
+        let mut idxs = Vec::with_capacity(nl);
+        let mut lane_of = Vec::with_capacity(nl);
+        for l in 0..nl {
+            let i = region + j * nl + l;
+            if i < n {
+                idxs.push(i);
+                lane_of.push(l);
+            }
+        }
+        if idxs.is_empty() {
+            break;
+        }
+        let mut sts = Vec::with_capacity(idxs.len());
+        w.vload32(&st.status, &idxs, &mut sts);
+        w.alu(1);
+        let mut writes = Vec::new();
+        for ((&i, &l), &s) in idxs.iter().zip(&lane_of).zip(&sts) {
+            if s == UNVISITED {
+                writes.push((cursors[l], i as u32));
+                cursors[l] += 1;
+            }
+        }
+        w.vstore32(&st.bu_queue, &writes);
+    }
+}
+
+/// Options for the bottom-up expansion kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct BottomUpOpts {
+    /// Current level: vertices whose neighbor is at `level` claim `level+1`.
+    pub level: u32,
+    /// Enable the proactive `level+2` claim (§III-C).
+    pub proactive: bool,
+}
+
+/// Kernel 5 (AMD-tuned form): thread-per-vertex expansion with early
+/// termination. Launch with `items = bottom-up queue length`.
+pub fn bu_expand_thread(
+    w: &mut WaveCtx,
+    g: &DeviceGraph,
+    st: &BfsState,
+    bu_len: usize,
+    opts: &BottomUpOpts,
+) {
+    debug_assert!(bu_len <= st.bu_queue.len());
+    let gids: Vec<usize> = w.lanes().collect();
+    if gids.is_empty() {
+        return;
+    }
+    let mut vs = Vec::with_capacity(gids.len());
+    w.vload32(&st.bu_queue, &gids, &mut vs);
+    // A vertex may have been claimed by a previous level's pass while the
+    // queue is stale; skip those.
+    let sidx: Vec<usize> = vs.iter().map(|&v| v as usize).collect();
+    let mut cur = Vec::with_capacity(sidx.len());
+    w.vload32(&st.status, &sidx, &mut cur);
+    w.alu(1);
+    let vs: Vec<u32> = vs
+        .iter()
+        .zip(&cur)
+        .filter(|&(_, &s)| s == UNVISITED)
+        .map(|(&v, _)| v)
+        .collect();
+    if vs.is_empty() {
+        return;
+    }
+    let vidx: Vec<usize> = vs.iter().map(|&v| v as usize).collect();
+    let mut offs = Vec::with_capacity(vidx.len());
+    w.vload64(&g.offsets, &vidx, &mut offs);
+    let mut degs = Vec::with_capacity(vidx.len());
+    w.vload32(&g.degrees, &vidx, &mut degs);
+
+    struct Lane {
+        v: u32,
+        off: u64,
+        deg: u32,
+        k: u32,
+        /// First neighbor observed at `level + 1` (proactive candidate).
+        next_parent: Option<u32>,
+    }
+    let mut lanes: Vec<Lane> = vs
+        .iter()
+        .zip(offs.iter().zip(&degs))
+        .filter(|&(_, (_, &deg))| deg > 0) // isolated vertices are unreachable
+        .map(|(&v, (&off, &deg))| Lane {
+            v,
+            off,
+            deg,
+            k: 0,
+            next_parent: None,
+        })
+        .collect();
+
+    let next = opts.level + 1;
+    let mut claimed: Vec<(u32, u32, bool)> = Vec::new(); // (v, parent, proactive)
+    while !lanes.is_empty() {
+        let aidx: Vec<usize> = lanes
+            .iter()
+            .map(|l| (l.off + u64::from(l.k)) as usize)
+            .collect();
+        let mut nbrs = Vec::with_capacity(aidx.len());
+        w.vload32(&g.adjacency, &aidx, &mut nbrs);
+        let nsidx: Vec<usize> = nbrs.iter().map(|&v| v as usize).collect();
+        let mut nsts = Vec::with_capacity(nsidx.len());
+        w.vload32(&st.status, &nsidx, &mut nsts);
+        w.alu(2);
+        let mut writes: Vec<(usize, u32)> = Vec::new();
+        let mut i = 0;
+        lanes.retain_mut(|l| {
+            let nb = nbrs[i];
+            let s = nsts[i];
+            i += 1;
+            if s == opts.level {
+                // Early termination: parent found.
+                writes.push((l.v as usize, next));
+                claimed.push((l.v, nb, false));
+                return false;
+            }
+            if opts.proactive && s == next && l.next_parent.is_none() {
+                l.next_parent = Some(nb);
+            }
+            l.k += 1;
+            if l.k >= l.deg {
+                // Exhausted: maybe a proactive claim.
+                if let Some(p) = l.next_parent {
+                    writes.push((l.v as usize, next + 1));
+                    claimed.push((l.v, p, true));
+                }
+                return false;
+            }
+            true
+        });
+        if !writes.is_empty() {
+            w.vstore32(&st.status, &writes);
+        }
+    }
+
+    if claimed.is_empty() {
+        return;
+    }
+    if let Some(parents) = &st.parents {
+        let writes: Vec<(usize, u32)> = claimed
+            .iter()
+            .map(|&(v, p, _)| (v as usize, p))
+            .collect();
+        w.vstore32(parents, &writes);
+    }
+    let didx: Vec<usize> = claimed.iter().map(|&(v, _, _)| v as usize).collect();
+    let mut cdegs = Vec::with_capacity(didx.len());
+    w.vload32(&g.degrees, &didx, &mut cdegs);
+    let (mut n_now, mut n_pro) = (0u32, 0u32);
+    let (mut e_now, mut e_pro) = (0u64, 0u64);
+    for (&(_, _, pro), &d) in claimed.iter().zip(&cdegs) {
+        if pro {
+            n_pro += 1;
+            e_pro += u64::from(d);
+        } else {
+            n_now += 1;
+            e_now += u64::from(d);
+        }
+    }
+    w.alu(1);
+    if n_now > 0 {
+        w.wave_add32(&st.counters, ctr::CLAIMED, n_now);
+        w.wave_add64(&st.edge_counters, ectr::CLAIMED_EDGES, e_now);
+    }
+    if n_pro > 0 {
+        w.wave_add32(&st.counters, ctr::PROACTIVE, n_pro);
+        w.wave_add64(&st.edge_counters, ectr::PROACTIVE_EDGES, e_pro);
+    }
+}
+
+/// Kernel 5 (naive-port form, §IV-A): wavefront-per-vertex expansion. Early
+/// termination typically fires within the first probe, so 63 of 64 lanes
+/// idle — this is the configuration the paper found *degrades* performance
+/// on AMD's wider waves. Launch with `items = bu_len × width`.
+pub fn bu_expand_wave(
+    w: &mut WaveCtx,
+    g: &DeviceGraph,
+    st: &BfsState,
+    bu_len: usize,
+    opts: &BottomUpOpts,
+) {
+    let vid = w.wave_id();
+    if vid >= bu_len {
+        return;
+    }
+    let v = w.sload32(&st.bu_queue, vid);
+    if w.sload32(&st.status, v as usize) != UNVISITED {
+        return;
+    }
+    let off = w.sload64(&g.offsets, v as usize);
+    let deg = w.sload32(&g.degrees, v as usize) as usize;
+    let width = w.width();
+    let next = opts.level + 1;
+    let mut next_parent: Option<u32> = None;
+    let mut base = 0usize;
+    let mut claim: Option<(u32, u32)> = None; // (level, parent)
+    while base < deg {
+        let count = width.min(deg - base);
+        let aidx: Vec<usize> = (0..count).map(|l| off as usize + base + l).collect();
+        let mut nbrs = Vec::with_capacity(count);
+        w.vload32(&g.adjacency, &aidx, &mut nbrs);
+        let nsidx: Vec<usize> = nbrs.iter().map(|&v| v as usize).collect();
+        let mut nsts = Vec::with_capacity(count);
+        w.vload32(&st.status, &nsidx, &mut nsts);
+        let found = w.ballot(
+            &nsts.iter().map(|&s| s == opts.level).collect::<Vec<_>>(),
+        );
+        if found != 0 {
+            let lane = found.trailing_zeros() as usize;
+            claim = Some((next, nbrs[lane]));
+            break;
+        }
+        if opts.proactive && next_parent.is_none() {
+            if let Some(l) = nsts.iter().position(|&s| s == next) {
+                next_parent = Some(nbrs[l]);
+            }
+        }
+        base += width;
+    }
+    if claim.is_none() && opts.proactive {
+        if let Some(p) = next_parent {
+            claim = Some((next + 1, p));
+        }
+    }
+    let Some((lvl, parent)) = claim else { return };
+    w.sstore32(&st.status, v as usize, lvl);
+    if let Some(parents) = &st.parents {
+        w.sstore32(parents, v as usize, parent);
+    }
+    let d = w.sload32(&g.degrees, v as usize);
+    if lvl == next {
+        w.wave_add32(&st.counters, ctr::CLAIMED, 1);
+        w.wave_add64(&st.edge_counters, ectr::CLAIMED_EDGES, u64::from(d));
+    } else {
+        w.wave_add32(&st.counters, ctr::PROACTIVE, 1);
+        w.wave_add64(&st.edge_counters, ectr::PROACTIVE_EDGES, u64::from(d));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcd_sim::{Device, LaunchCfg};
+    use xbfs_graph::generators::erdos_renyi;
+    use xbfs_graph::Csr;
+
+    fn setup(n: usize) -> (Device, BfsState) {
+        let dev = Device::mi250x();
+        let st = BfsState::new(&dev, n, true, 64);
+        st.status.host_fill(UNVISITED);
+        (dev, st)
+    }
+
+    fn run_double_scan(dev: &Device, st: &BfsState, n: usize) -> Vec<u32> {
+        let width = dev.arch().wavefront_size;
+        let n_segs = st.seg_counts.len();
+        dev.launch(0, LaunchCfg::new("bu_count", n_segs), |w| {
+            bu_count(w, st, n);
+        });
+        dev.launch(
+            0,
+            LaunchCfg::new("bu_reduce", st.block_sums.len() * width),
+            |w| bu_reduce(w, st),
+        );
+        dev.launch(0, LaunchCfg::new("bu_scan", width), |w| bu_scan(w, st));
+        dev.launch(0, LaunchCfg::new("bu_place", n_segs), |w| {
+            bu_place(w, st, n);
+        });
+        let len = st.counters.load(ctr::BU_LEN) as usize;
+        let mut q = st.bu_queue.to_host();
+        q.truncate(len);
+        q
+    }
+
+    #[test]
+    fn double_scan_collects_all_unvisited() {
+        let n = 1000;
+        let (dev, st) = setup(n);
+        // Visit a scattered subset.
+        for v in [0usize, 5, 63, 64, 500, 999] {
+            st.status.store(v, 2);
+        }
+        let q = run_double_scan(&dev, &st, n);
+        assert_eq!(q.len(), n - 6);
+        let mut sorted = q.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), q.len(), "duplicates in bottom-up queue");
+        assert!(!sorted.contains(&0));
+        assert!(!sorted.contains(&64));
+        assert!(sorted.contains(&1));
+    }
+
+    #[test]
+    fn double_scan_empty_and_full() {
+        let n = 300;
+        let (dev, st) = setup(n);
+        // All unvisited.
+        let q = run_double_scan(&dev, &st, n);
+        assert_eq!(q.len(), n);
+        // All visited.
+        st.status.host_fill(1);
+        let q = run_double_scan(&dev, &st, n);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn expand_claims_from_frontier() {
+        let g = erdos_renyi(400, 2000, 7);
+        let n = g.num_vertices();
+        let dev = Device::mi250x();
+        let dg = DeviceGraph::upload(&dev, &g);
+        let st = BfsState::new(&dev, n, true, 64);
+        st.status.host_fill(UNVISITED);
+        st.status.store(0, 0);
+        let q = run_double_scan(&dev, &st, n);
+        let opts = BottomUpOpts {
+            level: 0,
+            proactive: false,
+        };
+        dev.launch(0, LaunchCfg::new("bu_expand", q.len()), |w| {
+            bu_expand_thread(w, &dg, &st, q.len(), &opts);
+        });
+        let status = st.status.to_host();
+        for v in 0..n as u32 {
+            let expect = if v == 0 {
+                0
+            } else if g.neighbors(v).contains(&0) {
+                1
+            } else {
+                UNVISITED
+            };
+            assert_eq!(status[v as usize], expect, "vertex {v}");
+        }
+        let claimed = st.counters.load(ctr::CLAIMED) as usize;
+        assert_eq!(claimed, g.neighbors(0).len());
+    }
+
+    #[test]
+    fn proactive_claims_two_levels() {
+        // Source 3; 4 is 3's neighbor (level 1); 0 is adjacent to {1, 2, 4}.
+        // Within one bottom-up pass at level 0: lane(4) claims level 1 on
+        // its second probe (k = 1); lane(0) probes 1, 2, then reads 4 at
+        // k = 2 — after 4's claim landed — and proactively claims level 2.
+        // Vertices 1, 2 stay unvisited this pass (true level 3).
+        let g = Csr::from_parts(
+            vec![0, 3, 4, 5, 6, 8],
+            vec![1, 2, 4, 0, 0, 4, 0, 3],
+        )
+        .unwrap();
+        let dev = Device::mi250x();
+        let dg = DeviceGraph::upload(&dev, &g);
+        let st = BfsState::new(&dev, 5, true, 64);
+        st.status.host_fill(UNVISITED);
+        st.status.store(3, 0);
+        let q = run_double_scan(&dev, &st, 5);
+        assert_eq!(q.len(), 4);
+        let opts = BottomUpOpts {
+            level: 0,
+            proactive: true,
+        };
+        dev.launch(0, LaunchCfg::new("bu_expand", q.len()), |w| {
+            bu_expand_thread(w, &dg, &st, q.len(), &opts);
+        });
+        let status = st.status.to_host();
+        assert_eq!(status, vec![2, UNVISITED, UNVISITED, 0, 1]);
+        assert_eq!(st.counters.load(ctr::CLAIMED), 1);
+        assert_eq!(st.counters.load(ctr::PROACTIVE), 1);
+        // Parent of the proactive claim is the level-1 neighbor.
+        assert_eq!(st.parents.as_ref().unwrap().load(0), 4);
+    }
+
+    #[test]
+    fn wave_variant_matches_thread_variant() {
+        let g = erdos_renyi(300, 1500, 9);
+        let n = g.num_vertices();
+        let run = |wave: bool| {
+            let dev = Device::mi250x();
+            let dg = DeviceGraph::upload(&dev, &g);
+            let st = BfsState::new(&dev, n, false, 64);
+            st.status.host_fill(UNVISITED);
+            st.status.store(7, 0);
+            let q = run_double_scan(&dev, &st, n);
+            let opts = BottomUpOpts {
+                level: 0,
+                proactive: false,
+            };
+            let width = dev.arch().wavefront_size;
+            let r = if wave {
+                dev.launch(0, LaunchCfg::new("bu_w", q.len() * width), |w| {
+                    bu_expand_wave(w, &dg, &st, q.len(), &opts);
+                })
+            } else {
+                dev.launch(0, LaunchCfg::new("bu_t", q.len()), |w| {
+                    bu_expand_thread(w, &dg, &st, q.len(), &opts);
+                })
+            };
+            (st.status.to_host(), r.stats.instructions)
+        };
+        let (s_thread, i_thread) = run(false);
+        let (s_wave, i_wave) = run(true);
+        assert_eq!(s_thread, s_wave);
+        // The wave-per-vertex variant wastes lanes: far more instructions
+        // for identical output (the §IV-A degradation).
+        assert!(
+            i_wave > 3 * i_thread,
+            "wave {i_wave} vs thread {i_thread}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! α auto-tuning — the paper's §V-D methodology ("Test of best α") as an
+//! API: sweep candidate thresholds on sample sources and keep the fastest.
+//!
+//! The paper derives α = 0.1 for Frontier from the per-level study and
+//! notes that "the actual processing time depends on system-specific
+//! features, such as the cost of atomic operations and irregular memory
+//! access patterns" — i.e. the best α is a property of the (graph,
+//! hardware) pair, which is exactly what this tuner measures.
+
+use crate::config::XbfsConfig;
+use crate::runner::Xbfs;
+use gcd_sim::Device;
+use xbfs_graph::Csr;
+
+/// Result of a tuning sweep.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The winning threshold.
+    pub best_alpha: f64,
+    /// `(alpha, total ms over the sample sources)` for every candidate.
+    pub sweep: Vec<(f64, f64)>,
+}
+
+/// The candidate grid the paper's study effectively explores.
+pub const DEFAULT_CANDIDATES: [f64; 7] = [0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.8];
+
+/// Sweep `candidates` (or the default grid) over `sources` and return the
+/// α minimizing total modeled time. The returned config is `base` with the
+/// winning α installed.
+pub fn tune_alpha(
+    device: &Device,
+    graph: &Csr,
+    sources: &[u32],
+    base: XbfsConfig,
+    candidates: Option<&[f64]>,
+) -> (XbfsConfig, TuneResult) {
+    assert!(!sources.is_empty(), "need at least one sample source");
+    let candidates = candidates.unwrap_or(&DEFAULT_CANDIDATES);
+    assert!(!candidates.is_empty(), "need at least one candidate alpha");
+    let mut sweep = Vec::with_capacity(candidates.len());
+    for &alpha in candidates {
+        assert!(alpha > 0.0, "alpha must be positive");
+        let cfg = XbfsConfig {
+            alpha,
+            scan_free_max_ratio: base.scan_free_max_ratio.min(alpha),
+            ..base
+        };
+        let xbfs = Xbfs::new(device, graph, cfg);
+        let total_ms: f64 = sources.iter().map(|&s| xbfs.run(s).total_ms).sum();
+        sweep.push((alpha, total_ms));
+    }
+    let (best_alpha, _) = sweep
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    let tuned = XbfsConfig {
+        alpha: best_alpha,
+        scan_free_max_ratio: base.scan_free_max_ratio.min(best_alpha),
+        ..base
+    };
+    (tuned, TuneResult { best_alpha, sweep })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_graph::generators::{rmat_graph, RmatParams};
+    use xbfs_graph::stats::pick_sources;
+
+    #[test]
+    fn picks_a_candidate_and_configures_it() {
+        let g = rmat_graph(RmatParams::graph500(12), 3);
+        let dev = Device::mi250x();
+        let sources = pick_sources(&g, 3, 1);
+        let (cfg, result) =
+            tune_alpha(&dev, &g, &sources, XbfsConfig::default(), None);
+        assert!(DEFAULT_CANDIDATES.contains(&result.best_alpha));
+        assert_eq!(cfg.alpha, result.best_alpha);
+        assert!(cfg.scan_free_max_ratio <= cfg.alpha);
+        assert_eq!(result.sweep.len(), DEFAULT_CANDIDATES.len());
+        // The winner's time is minimal over the sweep.
+        let best_time = result
+            .sweep
+            .iter()
+            .find(|&&(a, _)| a == result.best_alpha)
+            .unwrap()
+            .1;
+        assert!(result.sweep.iter().all(|&(_, t)| t >= best_time));
+    }
+
+    #[test]
+    fn tuned_alpha_engages_bottom_up_on_rmat() {
+        // On R-MAT the winning alpha must allow bottom-up at the hump.
+        let g = rmat_graph(RmatParams::graph500(12), 5);
+        let dev = Device::mi250x();
+        let sources = pick_sources(&g, 2, 2);
+        let (cfg, _) = tune_alpha(&dev, &g, &sources, XbfsConfig::default(), None);
+        let run = Xbfs::new(&dev, &g, cfg).run(sources[0]);
+        assert!(run
+            .strategy_trace()
+            .contains(&crate::Strategy::BottomUp));
+    }
+
+    #[test]
+    fn custom_candidates() {
+        let g = rmat_graph(RmatParams::graph500(9), 1);
+        let dev = Device::mi250x();
+        let sources = pick_sources(&g, 1, 1);
+        let (_, result) = tune_alpha(
+            &dev,
+            &g,
+            &sources,
+            XbfsConfig::default(),
+            Some(&[0.3, 0.6]),
+        );
+        assert!(result.best_alpha == 0.3 || result.best_alpha == 0.6);
+        assert_eq!(result.sweep.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_bad_candidate() {
+        let g = rmat_graph(RmatParams::graph500(8), 1);
+        let dev = Device::mi250x();
+        tune_alpha(&dev, &g, &[0], XbfsConfig::default(), Some(&[0.0]));
+    }
+}

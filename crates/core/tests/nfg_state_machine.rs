@@ -1,0 +1,136 @@
+//! Integration tests pinning the No-Frontier-Generation state machine
+//! (§III-B): when a generation scan runs, when it is skipped, and how the
+//! bottom-up superset queue and proactive claims interact with it.
+
+use gcd_sim::Device;
+use xbfs_core::{Strategy, Xbfs, XbfsConfig};
+use xbfs_graph::generators::{rmat_graph, RmatParams};
+use xbfs_graph::stats::pick_sources;
+
+fn rmat() -> xbfs_graph::Csr {
+    rmat_graph(RmatParams::graph500(13), 3)
+}
+
+fn kernel_names(run: &xbfs_core::BfsRun) -> Vec<(u32, Vec<String>)> {
+    run.level_stats
+        .iter()
+        .map(|l| {
+            (
+                l.level,
+                l.kernels.iter().map(|k| k.name.clone()).collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn scan_free_levels_chain_without_generation_scans() {
+    let g = rmat();
+    let src = pick_sources(&g, 1, 1)[0];
+    let dev = Device::mi250x();
+    let run = Xbfs::new(&dev, &g, XbfsConfig::forced(Strategy::ScanFree)).run(src);
+    // Level 0 starts from the seeded source queue; every level chains the
+    // atomically-built next queue, so `fq_generate` never appears.
+    for (level, names) in kernel_names(&run) {
+        assert!(
+            !names.iter().any(|n| n == "fq_generate"),
+            "level {level} ran a generation scan in forced scan-free: {names:?}"
+        );
+    }
+    assert!(run.level_stats.iter().all(|l| l.used_nfg));
+}
+
+#[test]
+fn forced_single_scan_pays_one_generation_scan_per_level_after_the_first() {
+    let g = rmat();
+    let src = pick_sources(&g, 1, 1)[0];
+    let dev = Device::mi250x();
+    let run = Xbfs::new(&dev, &g, XbfsConfig::forced(Strategy::SingleScan)).run(src);
+    for (level, names) in kernel_names(&run) {
+        let scans = names.iter().filter(|n| n.as_str() == "fq_generate").count();
+        if level == 0 {
+            // The seed queue exists, so NFG kicks in at level 0.
+            assert_eq!(scans, 0, "level 0 should reuse the seed queue");
+        } else {
+            assert_eq!(scans, 1, "level {level} must scan exactly once: {names:?}");
+        }
+    }
+}
+
+#[test]
+fn adaptive_run_uses_filtered_expansion_after_bottom_up() {
+    let g = rmat();
+    let src = pick_sources(&g, 1, 1)[0];
+    let dev = Device::mi250x();
+    let run = Xbfs::new(&dev, &g, XbfsConfig::default()).run(src);
+    let trace = run.strategy_trace();
+    let Some(last_bu) = trace.iter().rposition(|&s| s == Strategy::BottomUp) else {
+        panic!("R-MAT adaptive run should include bottom-up: {trace:?}");
+    };
+    // Every top-down level after the last bottom-up must expand from the
+    // stale bottom-up queue (filtered) or an exact queue — never rescan.
+    for ls in &run.level_stats[last_bu + 1..] {
+        assert!(ls.used_nfg, "level {} lost NFG: {:?}", ls.level, trace);
+        assert!(
+            !ls.kernels.iter().any(|k| k.name == "fq_generate"),
+            "level {} ran a scan after bottom-up",
+            ls.level
+        );
+    }
+    // And at least one of those levels used the superset filter path.
+    let filtered = run.level_stats[last_bu + 1..]
+        .iter()
+        .flat_map(|l| &l.kernels)
+        .any(|k| k.name == "fq_expand_filtered");
+    assert!(filtered, "no filtered expansion after bottom-up");
+}
+
+#[test]
+fn nfg_disabled_scans_every_top_down_level() {
+    let g = rmat();
+    let src = pick_sources(&g, 1, 1)[0];
+    let dev = Device::mi250x();
+    let cfg = XbfsConfig {
+        nfg: false,
+        ..XbfsConfig::default()
+    };
+    let run = Xbfs::new(&dev, &g, cfg).run(src);
+    for ls in &run.level_stats {
+        if ls.strategy == Strategy::BottomUp {
+            continue;
+        }
+        assert!(
+            ls.kernels.iter().any(|k| k.name == "fq_generate"),
+            "level {} skipped the scan with NFG off",
+            ls.level
+        );
+        assert!(!ls.used_nfg);
+    }
+}
+
+#[test]
+fn proactive_claims_shrink_following_level_work() {
+    // With proactive claims on, the pass after a bottom-up level has fewer
+    // vertices left to claim — compare instruction counts.
+    let g = rmat();
+    let src = pick_sources(&g, 1, 1)[0];
+    let total_instr = |proactive: bool| -> u64 {
+        let dev = Device::mi250x();
+        let cfg = XbfsConfig {
+            proactive,
+            ..XbfsConfig::forced(Strategy::BottomUp)
+        };
+        let run = Xbfs::new(&dev, &g, cfg).run(src);
+        run.level_stats
+            .iter()
+            .flat_map(|l| &l.kernels)
+            .map(|k| k.stats.instructions)
+            .sum()
+    };
+    let with = total_instr(true);
+    let without = total_instr(false);
+    assert!(
+        with <= without,
+        "proactive ({with}) should not exceed non-proactive ({without}) work"
+    );
+}

@@ -1,0 +1,142 @@
+//! Property-based correctness of XBFS: every strategy, every configuration,
+//! both architectures, arbitrary graphs — always the exact BFS levels.
+
+use gcd_sim::{ArchProfile, Device, ExecMode};
+use proptest::prelude::*;
+use xbfs_core::{Strategy as BfsStrategy, Xbfs, XbfsConfig};
+use xbfs_graph::builder::{BuildOptions, CsrBuilder};
+use xbfs_graph::reference::bfs_levels_serial;
+use xbfs_graph::validate_bfs_tree;
+use xbfs_graph::Csr;
+
+fn arb_graph_and_source() -> impl Strategy<Value = (Csr, u32)> {
+    (2usize..80).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n as u32, 0..n as u32), 1..250),
+            0..n as u32,
+        )
+            .prop_map(move |(edges, src)| {
+                let mut b = CsrBuilder::new(n);
+                b.extend_edges(edges);
+                (b.build(BuildOptions::default()), src)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adaptive_is_exact_bfs((g, src) in arb_graph_and_source()) {
+        let dev = Device::mi250x();
+        let run = Xbfs::new(&dev, &g, XbfsConfig::default()).run(src);
+        prop_assert_eq!(run.levels, bfs_levels_serial(&g, src));
+    }
+
+    #[test]
+    fn every_forced_strategy_is_exact_bfs((g, src) in arb_graph_and_source()) {
+        for strat in [BfsStrategy::ScanFree, BfsStrategy::SingleScan, BfsStrategy::BottomUp] {
+            let dev = Device::mi250x();
+            let run = Xbfs::new(&dev, &g, XbfsConfig::forced(strat)).run(src);
+            prop_assert_eq!(run.levels, bfs_levels_serial(&g, src), "strategy {}", strat);
+        }
+    }
+
+    #[test]
+    fn warp32_arch_is_exact_bfs((g, src) in arb_graph_and_source()) {
+        // The NVIDIA profile exercises 32-wide ballot/queue paths.
+        let cfg = XbfsConfig::cuda_original();
+        let dev = Device::new(ArchProfile::p6000(), ExecMode::Functional, cfg.required_streams());
+        let run = Xbfs::new(&dev, &g, cfg).run(src);
+        prop_assert_eq!(run.levels, bfs_levels_serial(&g, src));
+    }
+
+    #[test]
+    fn timing_mode_is_exact_bfs((g, src) in arb_graph_and_source()) {
+        let dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Timing, 1);
+        let run = Xbfs::new(&dev, &g, XbfsConfig::default()).run(src);
+        prop_assert_eq!(run.levels, bfs_levels_serial(&g, src));
+    }
+
+    #[test]
+    fn parents_validate_on_arbitrary_graphs((g, src) in arb_graph_and_source()) {
+        let cfg = XbfsConfig { record_parents: true, ..XbfsConfig::default() };
+        let dev = Device::mi250x();
+        let run = Xbfs::new(&dev, &g, cfg).run(src);
+        let parents = run.parents.unwrap();
+        let levels = validate_bfs_tree(&g, src, &parents).expect("invalid tree");
+        prop_assert_eq!(levels, run.levels);
+    }
+
+    #[test]
+    fn toggles_never_change_results((g, src) in arb_graph_and_source(), bits in 0u32..32) {
+        let cfg = XbfsConfig {
+            balancing_top_down: bits & 1 != 0,
+            balancing_bottom_up: bits & 2 != 0,
+            multi_stream: bits & 4 != 0,
+            nfg: bits & 8 != 0,
+            proactive: bits & 16 != 0,
+            ..XbfsConfig::default()
+        };
+        let dev = Device::new(
+            ArchProfile::mi250x_gcd(),
+            ExecMode::Functional,
+            cfg.required_streams(),
+        );
+        let run = Xbfs::new(&dev, &g, cfg).run(src);
+        prop_assert_eq!(run.levels, bfs_levels_serial(&g, src));
+    }
+
+    #[test]
+    fn directed_preset_is_exact_on_asymmetric_graphs(
+        n in 2usize..60,
+        raw_edges in proptest::collection::vec((0u32..60, 0u32..60), 1..200),
+        src_sel in 0usize..60,
+    ) {
+        // Directed build: no symmetrization. The `directed()` preset must
+        // still be exact BFS (it pins α = ∞, so pull never engages).
+        let edges: Vec<(u32, u32)> = raw_edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let mut b = CsrBuilder::new(n);
+        b.extend_edges(edges);
+        let g = b.build(BuildOptions {
+            symmetrize: false,
+            remove_self_loops: true,
+            dedup: true,
+        });
+        let src = (src_sel % n) as u32;
+        let dev = Device::mi250x();
+        let run = Xbfs::new(&dev, &g, XbfsConfig::directed()).run(src);
+        prop_assert!(!run.strategy_trace().contains(&BfsStrategy::BottomUp));
+        prop_assert_eq!(run.levels, bfs_levels_serial(&g, src));
+    }
+
+    #[test]
+    fn level_stats_are_consistent((g, src) in arb_graph_and_source()) {
+        let dev = Device::mi250x();
+        let run = Xbfs::new(&dev, &g, XbfsConfig::default()).run(src);
+        // Frontier counts across levels sum to the visited set — except
+        // that single-scan's CAS-free claims may double-count a vertex two
+        // racing waves both saw unvisited (benign, §III-B), so the sum can
+        // only overshoot, and only when single-scan levels exist.
+        let visited = run.levels.iter().filter(|&&l| l != u32::MAX).count() as u64;
+        let total: u64 = run.level_stats.iter().map(|l| l.frontier_count).sum();
+        if run.strategy_trace().contains(&BfsStrategy::SingleScan) {
+            prop_assert!(total >= visited, "total {} < visited {}", total, visited);
+        } else {
+            prop_assert_eq!(total, visited);
+        }
+        // Ratios are degree sums over |E|.
+        for ls in &run.level_stats {
+            let expect = ls.frontier_edges as f64 / g.num_edges().max(1) as f64;
+            prop_assert!((ls.ratio - expect).abs() < 1e-9);
+            prop_assert!(ls.time_ms >= 0.0);
+        }
+        // Levels in stats are consecutive from 0.
+        for (i, ls) in run.level_stats.iter().enumerate() {
+            prop_assert_eq!(ls.level as usize, i);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-wavefront access coalescer.
+//!
+//! GPU memory requests are issued per cache line, not per lane: 64 lanes
+//! loading 64 consecutive `u32`s produce 4 line requests, while 64 random
+//! gathers produce up to 64. We model that with a small per-wave
+//! recently-used line set (approximating the CU's L1 vector cache and the
+//! coalescing stage): an access whose line is resident is free; a miss is
+//! forwarded to the next level (functional-mode counters or the shared L2).
+
+/// Small set-associative line filter, LRU within each set.
+#[derive(Debug, Clone)]
+pub struct Coalescer {
+    /// log2(number of sets).
+    set_bits: u32,
+    ways: usize,
+    line_bits: u32,
+    /// `sets[set][way]` holds line tags (`u64::MAX` = invalid).
+    sets: Vec<u64>,
+    /// LRU stamps parallel to `sets`.
+    stamps: Vec<u64>,
+    tick: u64,
+    /// Accesses that found their line resident.
+    pub hits: u64,
+    /// Accesses forwarded to the next level.
+    pub misses: u64,
+}
+
+impl Coalescer {
+    /// A coalescer covering `lines` cache lines of `line_bytes` each,
+    /// organized as 4-way sets. `lines` is rounded up to a power of two and
+    /// at least 4.
+    pub fn new(lines: usize, line_bytes: usize) -> Self {
+        assert!(line_bytes.is_power_of_two());
+        let ways = 4usize;
+        let sets = (lines.max(ways) / ways).next_power_of_two();
+        Self {
+            set_bits: sets.trailing_zeros(),
+            ways,
+            line_bits: line_bytes.trailing_zeros(),
+            sets: vec![u64::MAX; sets * ways],
+            stamps: vec![0; sets * ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Line index of a byte address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_bits
+    }
+
+    /// Access `len` bytes at `addr`; returns the number of *new* line
+    /// fetches this access generates (0, 1, or 2 for a straddling access),
+    /// pushing each missed line id into `missed`.
+    pub fn access(&mut self, addr: u64, len: u32, missed: &mut Vec<u64>) -> u32 {
+        let first = self.line_of(addr);
+        let last = self.line_of(addr + u64::from(len) - 1);
+        let mut fetches = 0;
+        for line in first..=last {
+            if self.touch(line) {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+                missed.push(line);
+                fetches += 1;
+            }
+        }
+        fetches
+    }
+
+    /// Touch a line; true if it was resident.
+    fn touch(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let set = (line & ((1 << self.set_bits) - 1)) as usize;
+        let base = set * self.ways;
+        let slots = &mut self.sets[base..base + self.ways];
+        if let Some(w) = slots.iter().position(|&t| t == line) {
+            self.stamps[base + w] = self.tick;
+            return true;
+        }
+        // Evict LRU way.
+        let (victim, _) = self.stamps[base..base + self.ways]
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &s)| s)
+            .unwrap();
+        self.sets[base + victim] = line;
+        self.stamps[base + victim] = self.tick;
+        false
+    }
+
+    /// Reset residency and counters (new wave reuses the allocation).
+    pub fn reset(&mut self) {
+        self.sets.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_accesses_coalesce() {
+        let mut c = Coalescer::new(64, 64);
+        let mut missed = Vec::new();
+        // 64 consecutive u32 reads = 16 per line -> 4 lines.
+        for i in 0..64u64 {
+            c.access(i * 4, 4, &mut missed);
+        }
+        assert_eq!(missed.len(), 4);
+        assert_eq!(c.misses, 4);
+        assert_eq!(c.hits, 60);
+    }
+
+    #[test]
+    fn random_gathers_do_not_coalesce() {
+        let mut c = Coalescer::new(64, 64);
+        let mut missed = Vec::new();
+        for i in 0..32u64 {
+            c.access(i * 4096, 4, &mut missed); // distinct lines, distinct sets
+        }
+        assert_eq!(c.misses, 32);
+    }
+
+    #[test]
+    fn straddling_access_counts_two_lines() {
+        let mut c = Coalescer::new(16, 64);
+        let mut missed = Vec::new();
+        let fetched = c.access(62, 4, &mut missed); // crosses 64-byte boundary
+        assert_eq!(fetched, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = Coalescer::new(4, 64); // 1 set, 4 ways
+        let mut missed = Vec::new();
+        for line in 0..4u64 {
+            c.access(line * 64, 4, &mut missed);
+        }
+        c.access(0, 4, &mut missed); // refresh line 0
+        c.access(4 * 64, 4, &mut missed); // evicts line 1 (oldest)
+        missed.clear();
+        c.access(0, 4, &mut missed);
+        assert!(missed.is_empty(), "line 0 should still be resident");
+        c.access(64, 4, &mut missed);
+        assert_eq!(missed.len(), 1, "line 1 should have been evicted");
+    }
+
+    #[test]
+    fn reset_clears_residency() {
+        let mut c = Coalescer::new(16, 64);
+        let mut missed = Vec::new();
+        c.access(0, 4, &mut missed);
+        c.reset();
+        missed.clear();
+        c.access(0, 4, &mut missed);
+        assert_eq!(missed.len(), 1);
+        assert_eq!(c.hits, 0);
+    }
+}

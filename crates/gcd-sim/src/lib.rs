@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! `gcd-sim` — a software stand-in for an AMD MI250X Graphics Compute Die.
+//!
+//! The XBFS-on-Frontier paper is evaluated on hardware we cannot ship: one
+//! GCD of an MI250X under HIP, profiled with rocprofiler. This crate
+//! substitutes that substrate (DESIGN.md §2) with an execution model that
+//! is *functionally real* — kernels written against it compute actual BFS
+//! results — while charging costs from the same quantities the paper
+//! reasons about:
+//!
+//! * lockstep **wavefronts** (64 lanes AMD / 32 NVIDIA) with
+//!   `__ballot`/`__any`/`__shfl`/`__popcll` intrinsics ([`wave`]),
+//! * a **memory hierarchy** — per-wave coalescer ([`coalescer`]) in front
+//!   of a set-associative L2 ([`l2`]) and an HBM bandwidth model — that
+//!   yields rocprofiler's `FetchSize` / `L2CacheHit` / `MemUnitBusy`
+//!   counters ([`kernel::KernelReport`]),
+//! * **atomics** with per-line contention serialization,
+//! * **kernel-launch and device-sync costs** with per-stream timelines
+//!   (AMD sync ≫ NVIDIA sync, the effect behind §IV-B stream
+//!   consolidation), and
+//! * a **compiler/register model** (clang vs hipcc vs no `-O3`, §IV-A)
+//!   feeding an occupancy-based issue model.
+//!
+//! Two fidelity levels ([`device::ExecMode`]): `Functional` runs waves in
+//! parallel on host cores for end-to-end GTEPS experiments; `Timing`
+//! replays waves sequentially through the shared L2 to regenerate the
+//! paper's profiler tables.
+
+pub mod arch;
+pub mod buffer;
+pub mod coalescer;
+pub mod device;
+pub mod group;
+pub mod kernel;
+pub mod l2;
+pub mod profiler;
+pub mod wave;
+
+pub use arch::{ArchProfile, Compiler, CompilerModel};
+pub use buffer::{BufU32, BufU64};
+pub use device::{Device, ExecMode};
+pub use group::{GroupCfg, GroupCtx};
+pub use kernel::{KernelReport, LaunchCfg, WaveStats};
+pub use profiler::{group_by_phase, PhaseProfile};
+pub use wave::{popc64, WaveCtx};

@@ -1,0 +1,552 @@
+//! Wave-synchronous execution context.
+//!
+//! Kernels are written the way one reasons about lockstep SIMT code: the
+//! unit of execution is a wavefront (64 lanes on MI250X, 32 on P6000), and
+//! every *vector operation* — a gather, a scatter, a batch of atomics, an
+//! ALU step — costs one wave instruction regardless of how many lanes are
+//! active. Divergent loops therefore naturally pay for their longest lane,
+//! which is exactly the effect that makes degree-binned workload balancing
+//! counter-productive in the bottom-up phase on 64-wide wavefronts
+//! (paper §IV-A).
+//!
+//! Memory accesses are traced through the per-wave [`Coalescer`] and, in
+//! timing mode, the shared [`L2Model`], producing the rocprofiler-style
+//! counters of the paper's Tables III–V.
+
+use crate::buffer::{BufU32, BufU64};
+use crate::coalescer::Coalescer;
+use crate::kernel::WaveStats;
+use crate::l2::L2Model;
+
+/// Execution context of a single wavefront.
+pub struct WaveCtx<'a> {
+    wave_id: usize,
+    width: usize,
+    items: usize,
+    coalescer: &'a mut Coalescer,
+    l2: Option<&'a mut L2Model>,
+    missed: Vec<u64>,
+    /// Counters accumulated by this wave.
+    pub stats: WaveStats,
+}
+
+impl<'a> WaveCtx<'a> {
+    pub(crate) fn new(
+        wave_id: usize,
+        width: usize,
+        items: usize,
+        coalescer: &'a mut Coalescer,
+        l2: Option<&'a mut L2Model>,
+    ) -> Self {
+        coalescer.reset();
+        Self {
+            wave_id,
+            width,
+            items,
+            coalescer,
+            l2,
+            missed: Vec::with_capacity(8),
+            stats: WaveStats::default(),
+        }
+    }
+
+    /// Lanes per wavefront on this device.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Index of this wavefront within the launch.
+    #[inline]
+    pub fn wave_id(&self) -> usize {
+        self.wave_id
+    }
+
+    /// Total work-items in the launch.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.items
+    }
+
+    /// Global thread id of `lane`, or `None` if it falls past the launch
+    /// size (partial trailing wave).
+    #[inline]
+    pub fn global_id(&self, lane: usize) -> Option<usize> {
+        debug_assert!(lane < self.width);
+        let gid = self.wave_id * self.width + lane;
+        (gid < self.items).then_some(gid)
+    }
+
+    /// Iterate the global ids covered by this wave.
+    pub fn lanes(&self) -> impl Iterator<Item = usize> + '_ {
+        let start = self.wave_id * self.width;
+        let end = (start + self.width).min(self.items);
+        start..end
+    }
+
+    /// Charge `n` pure-ALU wave instructions.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.stats.instructions += n;
+    }
+
+    fn trace(&mut self, addr: u64, len: u32, is_read: bool) {
+        self.stats.accesses += 1;
+        self.missed.clear();
+        let fetched = self.coalescer.access(addr, len, &mut self.missed);
+        let first = self.coalescer.line_of(addr);
+        let last = self.coalescer.line_of(addr + u64::from(len) - 1);
+        let touched = last - first + 1;
+        self.stats.l1_hits += touched - u64::from(fetched);
+        for i in 0..self.missed.len() {
+            let line = self.missed[i];
+            self.stats.l2_accesses += 1;
+            match self.l2.as_deref_mut() {
+                Some(l2) => {
+                    if l2.access_line(line) {
+                        self.stats.l2_hits += 1;
+                    } else if is_read {
+                        self.stats.hbm_lines += 1;
+                    }
+                }
+                // Functional mode: no shared L2 model; every coalescer miss
+                // is charged as an HBM fetch (documented overestimate).
+                None => {
+                    if is_read {
+                        self.stats.hbm_lines += 1;
+                    }
+                }
+            }
+        }
+        if !is_read {
+            self.stats.bytes_written += u64::from(len);
+        }
+    }
+
+    // --- scalar (uniform) memory operations: 1 wave instruction each ---
+
+    /// Uniform 32-bit load (e.g. reading a queue length).
+    pub fn sload32(&mut self, buf: &BufU32, idx: usize) -> u32 {
+        self.stats.instructions += 1;
+        self.trace(buf.addr(idx), 4, true);
+        buf.load(idx)
+    }
+
+    /// Uniform 64-bit load.
+    pub fn sload64(&mut self, buf: &BufU64, idx: usize) -> u64 {
+        self.stats.instructions += 1;
+        self.trace(buf.addr(idx), 8, true);
+        buf.load(idx)
+    }
+
+    /// Uniform 32-bit store.
+    pub fn sstore32(&mut self, buf: &BufU32, idx: usize, val: u32) {
+        self.stats.instructions += 1;
+        self.trace(buf.addr(idx), 4, false);
+        buf.store(idx, val);
+    }
+
+    /// Uniform 64-bit store.
+    pub fn sstore64(&mut self, buf: &BufU64, idx: usize, val: u64) {
+        self.stats.instructions += 1;
+        self.trace(buf.addr(idx), 8, false);
+        buf.store(idx, val);
+    }
+
+    // --- vector operations: 1 wave instruction for up to `width` lanes ---
+
+    fn charge_vector(&mut self, lanes: usize) {
+        // Requests wider than the wave model a per-lane loop: one wave
+        // instruction per `width` lanes.
+        self.stats.instructions += lanes.div_ceil(self.width) as u64;
+    }
+
+    /// Gather 32-bit values at `idxs` (one per active lane); results are
+    /// appended to `out` in lane order.
+    pub fn vload32(&mut self, buf: &BufU32, idxs: &[usize], out: &mut Vec<u32>) {
+        if idxs.is_empty() {
+            return;
+        }
+        self.charge_vector(idxs.len());
+        for &i in idxs {
+            self.trace(buf.addr(i), 4, true);
+            out.push(buf.load(i));
+        }
+    }
+
+    /// Gather 64-bit values.
+    pub fn vload64(&mut self, buf: &BufU64, idxs: &[usize], out: &mut Vec<u64>) {
+        if idxs.is_empty() {
+            return;
+        }
+        self.charge_vector(idxs.len());
+        for &i in idxs {
+            self.trace(buf.addr(i), 8, true);
+            out.push(buf.load(i));
+        }
+    }
+
+    /// Scatter 32-bit values.
+    pub fn vstore32(&mut self, buf: &BufU32, writes: &[(usize, u32)]) {
+        if writes.is_empty() {
+            return;
+        }
+        self.charge_vector(writes.len());
+        for &(i, v) in writes {
+            self.trace(buf.addr(i), 4, false);
+            buf.store(i, v);
+        }
+    }
+
+    /// Scatter 64-bit values.
+    pub fn vstore64(&mut self, buf: &BufU64, writes: &[(usize, u64)]) {
+        if writes.is_empty() {
+            return;
+        }
+        self.charge_vector(writes.len());
+        for &(i, v) in writes {
+            self.trace(buf.addr(i), 8, false);
+            buf.store(i, v);
+        }
+    }
+
+    fn charge_atomics(&mut self, idxs: impl Iterator<Item = usize> + Clone, buf_base: u64, elem: u64) {
+        let n = idxs.clone().count() as u64;
+        self.stats.atomics += n;
+        // Ops hitting the same cache line within one wave op serialize at
+        // the L2 atomic unit.
+        let mut lines: Vec<u64> = idxs.map(|i| (buf_base + elem * i as u64) >> 6).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        self.stats.atomic_conflicts += n - lines.len() as u64;
+    }
+
+    /// Per-lane compare-exchange batch. Each entry is `(idx, expected, new)`;
+    /// results are appended to `out` (`Ok(prev)` on success).
+    pub fn vcas32(
+        &mut self,
+        buf: &BufU32,
+        ops: &[(usize, u32, u32)],
+        out: &mut Vec<Result<u32, u32>>,
+    ) {
+        if ops.is_empty() {
+            return;
+        }
+        self.charge_vector(ops.len());
+        self.charge_atomics(ops.iter().map(|o| o.0), buf.addr(0), 4);
+        for &(i, cur, new) in ops {
+            self.trace(buf.addr(i), 4, true);
+            out.push(buf.cas(i, cur, new));
+        }
+    }
+
+    /// Per-lane fetch-add batch; returns previous values in lane order.
+    pub fn vadd32(&mut self, buf: &BufU32, ops: &[(usize, u32)], out: &mut Vec<u32>) {
+        if ops.is_empty() {
+            return;
+        }
+        self.charge_vector(ops.len());
+        self.charge_atomics(ops.iter().map(|o| o.0), buf.addr(0), 4);
+        for &(i, v) in ops {
+            self.trace(buf.addr(i), 4, true);
+            out.push(buf.fetch_add(i, v));
+        }
+    }
+
+    /// Per-lane atomic-OR batch (`atomicOr`) — the frontier-bitmap update
+    /// primitive of distributed BFS.
+    pub fn vor32(&mut self, buf: &BufU32, ops: &[(usize, u32)]) {
+        if ops.is_empty() {
+            return;
+        }
+        self.charge_vector(ops.len());
+        self.charge_atomics(ops.iter().map(|o| o.0), buf.addr(0), 4);
+        for &(i, v) in ops {
+            self.trace(buf.addr(i), 4, true);
+            buf.fetch_or(i, v);
+        }
+    }
+
+    /// Per-lane atomic-minimum batch (`atomicMin`); returns previous values
+    /// in lane order. The relaxation primitive of SSSP-style BFS.
+    pub fn vmin32(&mut self, buf: &BufU32, ops: &[(usize, u32)], out: &mut Vec<u32>) {
+        if ops.is_empty() {
+            return;
+        }
+        self.charge_vector(ops.len());
+        self.charge_atomics(ops.iter().map(|o| o.0), buf.addr(0), 4);
+        for &(i, v) in ops {
+            self.trace(buf.addr(i), 4, true);
+            out.push(buf.fetch_min(i, v));
+        }
+    }
+
+    /// Uniform (wave-aggregated) fetch-add: one atomic performed by the
+    /// first active lane — the idiomatic way XBFS allocates queue slots for
+    /// a whole wave after a ballot.
+    pub fn wave_add32(&mut self, buf: &BufU32, idx: usize, val: u32) -> u32 {
+        self.stats.instructions += 1;
+        self.stats.atomics += 1;
+        self.trace(buf.addr(idx), 4, true);
+        buf.fetch_add(idx, val)
+    }
+
+    /// Uniform fetch-add on a 64-bit counter.
+    pub fn wave_add64(&mut self, buf: &BufU64, idx: usize, val: u64) -> u64 {
+        self.stats.instructions += 1;
+        self.stats.atomics += 1;
+        self.trace(buf.addr(idx), 8, true);
+        buf.fetch_add(idx, val)
+    }
+
+    // --- wave intrinsics (the __ballot/__any/__shfl/__popcll family) ---
+
+    /// `__ballot`: bitmask of lanes whose predicate is true. Predicates are
+    /// given for the lanes present (≤ width).
+    pub fn ballot(&mut self, preds: &[bool]) -> u64 {
+        debug_assert!(preds.len() <= self.width && self.width <= 64);
+        self.stats.instructions += 1;
+        preds
+            .iter()
+            .enumerate()
+            .fold(0u64, |m, (i, &p)| if p { m | (1 << i) } else { m })
+    }
+
+    /// `__any`: true if any lane's predicate holds.
+    pub fn any(&mut self, preds: &[bool]) -> bool {
+        self.stats.instructions += 1;
+        preds.iter().any(|&p| p)
+    }
+
+    /// `__shfl`: broadcast lane `src`'s value to the wave.
+    pub fn shfl(&mut self, vals: &[u32], src: usize) -> u32 {
+        self.stats.instructions += 1;
+        vals[src]
+    }
+
+    /// `__shfl_up`: each lane receives the value from `delta` lanes below;
+    /// lanes below `delta` keep their own value (HIP semantics).
+    pub fn shfl_up(&mut self, vals: &[u32], delta: usize, out: &mut Vec<u32>) {
+        self.stats.instructions += 1;
+        for (i, &v) in vals.iter().enumerate() {
+            out.push(if i >= delta { vals[i - delta] } else { v });
+        }
+    }
+
+    /// `__shfl_down`: each lane receives the value from `delta` lanes above;
+    /// lanes past the end keep their own value.
+    pub fn shfl_down(&mut self, vals: &[u32], delta: usize, out: &mut Vec<u32>) {
+        self.stats.instructions += 1;
+        for (i, &v) in vals.iter().enumerate() {
+            out.push(if i + delta < vals.len() { vals[i + delta] } else { v });
+        }
+    }
+
+    /// `__shfl_xor`: butterfly exchange — lane `i` receives lane `i ^ mask`
+    /// (own value if the partner is outside the active set).
+    pub fn shfl_xor(&mut self, vals: &[u32], mask: usize, out: &mut Vec<u32>) {
+        self.stats.instructions += 1;
+        for (i, &v) in vals.iter().enumerate() {
+            let p = i ^ mask;
+            out.push(if p < vals.len() { vals[p] } else { v });
+        }
+    }
+
+    /// Wave-level exclusive prefix sum (log-width butterfly; longer inputs
+    /// model a chunked scan).
+    pub fn wave_prefix_sum(&mut self, vals: &[u32], out: &mut Vec<u32>) -> u32 {
+        let log_w = (usize::BITS - self.width.leading_zeros()) as u64;
+        self.stats.instructions += log_w * vals.len().div_ceil(self.width).max(1) as u64;
+        let mut acc = 0u32;
+        for &v in vals {
+            out.push(acc);
+            acc += v;
+        }
+        acc
+    }
+
+    /// Wave-level sum reduction (chunked for inputs longer than the wave).
+    pub fn wave_reduce_add(&mut self, vals: &[u32]) -> u64 {
+        let log_w = (usize::BITS - self.width.leading_zeros()) as u64;
+        self.stats.instructions += log_w * vals.len().div_ceil(self.width).max(1) as u64;
+        vals.iter().map(|&v| u64::from(v)).sum()
+    }
+}
+
+/// `__popcll` — population count of a 64-bit ballot mask.
+#[inline]
+pub fn popc64(mask: u64) -> u32 {
+    mask.count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with<'a>(co: &'a mut Coalescer) -> WaveCtx<'a> {
+        WaveCtx::new(0, 64, 1024, co, None)
+    }
+
+    #[test]
+    fn lanes_respect_partial_waves() {
+        let mut co = Coalescer::new(64, 64);
+        let ctx = WaveCtx::new(2, 64, 140, &mut co, None);
+        let lanes: Vec<usize> = ctx.lanes().collect();
+        assert_eq!(lanes.first(), Some(&128));
+        assert_eq!(lanes.len(), 12); // 140 - 128
+        assert_eq!(ctx.global_id(11), Some(139));
+        assert_eq!(ctx.global_id(12), None);
+    }
+
+    #[test]
+    fn vector_load_charges_one_instruction() {
+        let buf = BufU32::from_slice(0, &[10, 20, 30, 40]);
+        let mut co = Coalescer::new(64, 64);
+        let mut ctx = ctx_with(&mut co);
+        let mut out = Vec::new();
+        ctx.vload32(&buf, &[0, 2], &mut out);
+        assert_eq!(out, vec![10, 30]);
+        assert_eq!(ctx.stats.instructions, 1);
+        assert_eq!(ctx.stats.accesses, 2);
+        // Both fit in one line: one fetch.
+        assert_eq!(ctx.stats.hbm_lines, 1);
+    }
+
+    #[test]
+    fn empty_vector_op_is_free() {
+        let buf = BufU32::new(0, 4);
+        let mut co = Coalescer::new(64, 64);
+        let mut ctx = ctx_with(&mut co);
+        let mut out = Vec::new();
+        ctx.vload32(&buf, &[], &mut out);
+        assert_eq!(ctx.stats.instructions, 0);
+    }
+
+    #[test]
+    fn cas_batch_counts_conflicts() {
+        let buf = BufU32::new(0, 64);
+        let mut co = Coalescer::new(64, 64);
+        let mut ctx = ctx_with(&mut co);
+        let mut out = Vec::new();
+        // Three CAS on the same line (idx 0, 1, 2), one far away.
+        ctx.vcas32(&buf, &[(0, 0, 1), (1, 0, 1), (2, 0, 1), (32, 0, 1)], &mut out);
+        assert_eq!(ctx.stats.atomics, 4);
+        assert_eq!(ctx.stats.atomic_conflicts, 2);
+        assert!(out.iter().all(|r| r.is_ok()));
+        // Losing CAS:
+        out.clear();
+        ctx.vcas32(&buf, &[(0, 0, 9)], &mut out);
+        assert_eq!(out[0], Err(1));
+    }
+
+    #[test]
+    fn writes_do_not_count_as_fetches() {
+        let buf = BufU32::new(4096, 64);
+        let mut co = Coalescer::new(64, 64);
+        let mut ctx = ctx_with(&mut co);
+        ctx.vstore32(&buf, &[(0, 1), (1, 2)]);
+        assert_eq!(ctx.stats.hbm_lines, 0);
+        assert_eq!(ctx.stats.bytes_written, 8);
+        // Second store on the same line already hit the coalescer.
+        assert_eq!(ctx.stats.l1_hits, 1);
+        // A read of the just-written line also hits the coalescer.
+        let mut out = Vec::new();
+        ctx.vload32(&buf, &[0], &mut out);
+        assert_eq!(ctx.stats.hbm_lines, 0);
+        assert_eq!(ctx.stats.l1_hits, 2);
+    }
+
+    #[test]
+    fn timing_mode_feeds_l2() {
+        let buf = BufU32::new(0, 1024);
+        let mut co = Coalescer::new(4, 64); // tiny coalescer: everything spills to L2
+        let mut l2 = L2Model::new(1 << 20, 16, 64);
+        let mut out = Vec::new();
+        {
+            let mut ctx = WaveCtx::new(0, 64, 1024, &mut co, Some(&mut l2));
+            let idxs: Vec<usize> = (0..64).map(|i| i * 16).collect(); // distinct lines
+            ctx.vload32(&buf, &idxs, &mut out);
+            assert_eq!(ctx.stats.l2_accesses, 64);
+            assert_eq!(ctx.stats.hbm_lines, 64);
+        }
+        // Second wave re-reads the same lines: coalescer is reset but L2 is
+        // warm, so fetches become L2 hits.
+        let mut ctx = WaveCtx::new(1, 64, 1024, &mut co, Some(&mut l2));
+        out.clear();
+        let idxs: Vec<usize> = (0..64).map(|i| i * 16).collect();
+        ctx.vload32(&buf, &idxs, &mut out);
+        assert_eq!(ctx.stats.l2_hits, 64);
+        assert_eq!(ctx.stats.hbm_lines, 0);
+    }
+
+    #[test]
+    fn ballot_any_shfl_popc() {
+        let mut co = Coalescer::new(16, 64);
+        let mut ctx = ctx_with(&mut co);
+        let mask = ctx.ballot(&[true, false, true]);
+        assert_eq!(mask, 0b101);
+        assert_eq!(popc64(mask), 2);
+        assert!(ctx.any(&[false, true]));
+        assert!(!ctx.any(&[false, false]));
+        assert_eq!(ctx.shfl(&[7, 8, 9], 2), 9);
+        assert_eq!(ctx.stats.instructions, 4);
+    }
+
+    #[test]
+    fn shfl_family_semantics() {
+        let mut co = Coalescer::new(16, 64);
+        let mut ctx = ctx_with(&mut co);
+        let vals = [10u32, 20, 30, 40];
+        let mut up = Vec::new();
+        ctx.shfl_up(&vals, 1, &mut up);
+        assert_eq!(up, vec![10, 10, 20, 30]);
+        let mut down = Vec::new();
+        ctx.shfl_down(&vals, 2, &mut down);
+        assert_eq!(down, vec![30, 40, 30, 40]);
+        let mut xor = Vec::new();
+        ctx.shfl_xor(&vals, 1, &mut xor);
+        assert_eq!(xor, vec![20, 10, 40, 30]);
+        assert_eq!(ctx.stats.instructions, 3);
+    }
+
+    #[test]
+    fn butterfly_reduction_via_shfl_xor() {
+        // The classic log-step wave reduction built from shfl_xor — the
+        // idiom XBFS's warp aggregates compile to.
+        let mut co = Coalescer::new(16, 64);
+        let mut ctx = ctx_with(&mut co);
+        let mut vals: Vec<u32> = (1..=8).collect(); // sum = 36
+        let mut mask = 4;
+        while mask >= 1 {
+            let mut partner = Vec::new();
+            ctx.shfl_xor(&vals, mask, &mut partner);
+            for (v, p) in vals.iter_mut().zip(&partner) {
+                *v += p;
+            }
+            mask /= 2;
+        }
+        assert!(vals.iter().all(|&v| v == 36), "{vals:?}");
+    }
+
+    #[test]
+    fn prefix_sum_and_reduce() {
+        let mut co = Coalescer::new(16, 64);
+        let mut ctx = ctx_with(&mut co);
+        let mut out = Vec::new();
+        let total = ctx.wave_prefix_sum(&[1, 2, 3, 4], &mut out);
+        assert_eq!(out, vec![0, 1, 3, 6]);
+        assert_eq!(total, 10);
+        assert_eq!(ctx.wave_reduce_add(&[5, 5, 5]), 15);
+    }
+
+    #[test]
+    fn wave_aggregated_atomic_is_single_op() {
+        let buf = BufU32::new(0, 4);
+        let mut co = Coalescer::new(16, 64);
+        let mut ctx = ctx_with(&mut co);
+        let prev = ctx.wave_add32(&buf, 0, 64);
+        assert_eq!(prev, 0);
+        assert_eq!(buf.load(0), 64);
+        assert_eq!(ctx.stats.atomics, 1);
+    }
+}

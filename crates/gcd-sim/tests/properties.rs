@@ -1,0 +1,153 @@
+//! Property-based tests for the GCD substrate: cache-model accounting,
+//! wave-op semantics, and functional/timing equivalence.
+
+use gcd_sim::coalescer::Coalescer;
+use gcd_sim::l2::L2Model;
+use gcd_sim::{ArchProfile, Device, ExecMode, LaunchCfg};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn coalescer_accounting_balances(addrs in proptest::collection::vec(0u64..1 << 20, 1..300)) {
+        let mut co = Coalescer::new(128, 64);
+        let mut missed = Vec::new();
+        let mut total_lines = 0u64;
+        for &a in &addrs {
+            let before = missed.len();
+            co.access(a, 4, &mut missed);
+            total_lines += 1 + u64::from((a % 64) > 60); // 4-byte access straddles iff offset > 60
+            let _ = before;
+        }
+        prop_assert_eq!(co.hits + co.misses, total_lines);
+        prop_assert_eq!(co.misses as usize, missed.len());
+    }
+
+    #[test]
+    fn l2_hits_plus_misses_equals_accesses(lines in proptest::collection::vec(0u64..4096, 1..500)) {
+        let mut l2 = L2Model::new(64 << 10, 8, 64);
+        for &l in &lines {
+            l2.access_line(l);
+        }
+        prop_assert_eq!(l2.hits + l2.misses, lines.len() as u64);
+        let hp = l2.hit_pct();
+        prop_assert!((0.0..=100.0).contains(&hp));
+        // Distinct lines lower-bound misses (cold misses are compulsory).
+        let mut uniq = lines.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert!(l2.misses >= uniq.len() as u64);
+    }
+
+    #[test]
+    fn l2_within_capacity_never_evicts(count in 1usize..512) {
+        // 64 KiB / 64 B = 1024 lines capacity; touching <= 512 distinct
+        // lines twice must hit on the second pass.
+        let mut l2 = L2Model::new(64 << 10, 16, 64);
+        for l in 0..count as u64 {
+            l2.access_line(l);
+        }
+        l2.reset_counters();
+        for l in 0..count as u64 {
+            prop_assert!(l2.access_line(l), "line {} evicted", l);
+        }
+    }
+
+    #[test]
+    fn fill_matches_in_both_modes(len in 1usize..5000, val in any::<u32>()) {
+        for mode in [ExecMode::Functional, ExecMode::Timing] {
+            let dev = Device::new(ArchProfile::mi250x_gcd(), mode, 1);
+            let buf = dev.alloc_u32(len);
+            let r = dev.fill_u32(0, &buf, val);
+            prop_assert!(buf.to_host().iter().all(|&v| v == val));
+            prop_assert_eq!(r.stats.bytes_written, 4 * len as u64);
+            prop_assert!(r.runtime_ms > 0.0);
+            prop_assert!((0.0..=100.0).contains(&r.mem_busy_pct));
+            prop_assert!((0.0..=100.0).contains(&r.l2_hit_pct));
+        }
+    }
+
+    #[test]
+    fn gather_fetch_bounded_by_unique_lines(idxs in proptest::collection::vec(0usize..4096, 1..256)) {
+        // A single-wave gather cannot fetch more lines than it touches and
+        // no fewer than the distinct lines it needs on a cold device.
+        let dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Timing, 1);
+        let buf = dev.alloc_u32(4096);
+        let idxs2 = idxs.clone();
+        let buf_ref = &buf;
+        let r = dev.launch(0, LaunchCfg::new("gather", 64), move |w| {
+            if w.wave_id() == 0 {
+                let mut out = Vec::new();
+                // Chunk to wave width like real code.
+                for chunk in idxs2.chunks(64) {
+                    w.vload32(buf_ref, chunk, &mut out);
+                }
+            }
+        });
+        let mut lines: Vec<u64> = idxs.iter().map(|&i| buf.addr(i) >> 6).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        prop_assert!(r.stats.hbm_lines >= lines.len() as u64);
+        prop_assert!(r.stats.hbm_lines <= idxs.len() as u64 + 1);
+    }
+
+    #[test]
+    fn wave_prefix_sum_is_exclusive_scan(vals in proptest::collection::vec(0u32..1000, 0..64)) {
+        let dev = Device::mi250x();
+        let buf = dev.alloc_u32(1);
+        let vals2 = vals.clone();
+        let expect_total: u32 = vals.iter().sum();
+        let buf_ref = &buf;
+        dev.launch(0, LaunchCfg::new("scan", 64), move |w| {
+            if w.wave_id() != 0 {
+                return;
+            }
+            let mut out = Vec::new();
+            let total = w.wave_prefix_sum(&vals2, &mut out);
+            let mut acc = 0u32;
+            for (i, &v) in vals2.iter().enumerate() {
+                assert_eq!(out[i], acc);
+                acc += v;
+            }
+            assert_eq!(total, acc);
+            w.sstore32(buf_ref, 0, total);
+        });
+        prop_assert_eq!(buf.load(0), expect_total);
+    }
+
+    #[test]
+    fn concurrent_wave_adds_are_exact(items in 1usize..10_000) {
+        // Functional mode runs waves in parallel; the aggregated counter
+        // must still be exact.
+        let dev = Device::mi250x();
+        let ctr = dev.alloc_u32(1);
+        dev.launch(0, LaunchCfg::new("count", items), |w| {
+            let n = w.lanes().count() as u32;
+            if n > 0 {
+                w.wave_add32(&ctr, 0, n);
+            }
+        });
+        prop_assert_eq!(ctr.load(0) as usize, items);
+    }
+}
+
+#[test]
+fn cas_races_have_exactly_one_winner() {
+    // All waves CAS the same slot; exactly one must win per round.
+    let dev = Device::mi250x();
+    let slot = dev.alloc_u32(1);
+    let wins = dev.alloc_u32(1);
+    slot.host_fill(u32::MAX);
+    dev.launch(0, LaunchCfg::new("cas_storm", 64 * 64), |w| {
+        let mut results = Vec::new();
+        w.vcas32(
+            &slot,
+            &[(0, u32::MAX, w.wave_id() as u32)],
+            &mut results,
+        );
+        if results[0].is_ok() {
+            w.wave_add32(&wins, 0, 1);
+        }
+    });
+    assert_eq!(wins.load(0), 1, "exactly one CAS winner expected");
+    assert!(slot.load(0) < 64);
+}

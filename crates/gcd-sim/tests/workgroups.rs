@@ -1,0 +1,136 @@
+//! Integration tests of the workgroup (block) execution model: a canonical
+//! LDS block scan, barrier-phased communication between waves, and the
+//! LDS occupancy limiter.
+
+use gcd_sim::{ArchProfile, Device, ExecMode, GroupCfg};
+
+/// Block-level exclusive prefix sum: each group scans a 256-element tile
+/// using per-wave scans + an LDS carry exchange — the standard two-phase
+/// block-scan idiom.
+#[test]
+fn block_scan_via_lds_carries() {
+    let dev = Device::mi250x();
+    let n = 4096usize;
+    let input = dev.upload_u32(&(0..n as u32).map(|i| i % 7).collect::<Vec<_>>());
+    let output = dev.alloc_u32(n);
+    let width = dev.arch().wavefront_size;
+    let wpg = 4usize;
+    let tile = width * wpg;
+    let groups = n / tile;
+
+    dev.launch_groups(0, GroupCfg::new("block_scan", groups).with_waves(wpg), |g| {
+        let base = g.group_id() * tile;
+        // Phase 1: each wave scans its slice, stores its total in LDS.
+        for wv in 0..wpg {
+            let mut total = 0u32;
+            g.wave(wv, |w| {
+                let idxs: Vec<usize> =
+                    (0..width).map(|l| base + wv * width + l).collect();
+                let mut vals = Vec::with_capacity(width);
+                w.vload32(&input, &idxs, &mut vals);
+                let mut pref = Vec::with_capacity(width);
+                total = w.wave_prefix_sum(&vals, &mut pref);
+                let writes: Vec<(usize, u32)> =
+                    idxs.iter().zip(&pref).map(|(&i, &p)| (i, p)).collect();
+                w.vstore32(&output, &writes);
+            });
+            g.lds_scatter(&[(wv, total)]);
+        }
+        g.barrier();
+        // Phase 2: add the exclusive carry of preceding waves.
+        let mut totals = Vec::new();
+        g.lds_gather(&(0..wpg).collect::<Vec<_>>(), &mut totals);
+        for wv in 1..wpg {
+            let carry: u32 = totals[..wv].iter().sum();
+            g.wave(wv, |w| {
+                let idxs: Vec<usize> =
+                    (0..width).map(|l| base + wv * width + l).collect();
+                let mut vals = Vec::with_capacity(width);
+                w.vload32(&output, &idxs, &mut vals);
+                w.alu(1);
+                let writes: Vec<(usize, u32)> = idxs
+                    .iter()
+                    .zip(&vals)
+                    .map(|(&i, &v)| (i, v + carry))
+                    .collect();
+                w.vstore32(&output, &writes);
+            });
+        }
+    });
+
+    // Verify against a host scan per tile.
+    let inp = input.to_host();
+    let got = output.to_host();
+    for g0 in 0..groups {
+        let mut acc = 0u32;
+        for i in g0 * tile..(g0 + 1) * tile {
+            assert_eq!(got[i], acc, "index {i}");
+            acc += inp[i];
+        }
+    }
+}
+
+#[test]
+fn block_scan_matches_in_timing_mode() {
+    let dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Timing, 1);
+    let input = dev.upload_u32(&[5u32; 512]);
+    let output = dev.alloc_u32(512);
+    let width = dev.arch().wavefront_size;
+    let r = dev.launch_groups(0, GroupCfg::new("ts", 2).with_waves(4), |g| {
+        let tile = g.group_size();
+        let base = g.group_id() * tile;
+        for wv in 0..g.waves_per_group() {
+            g.wave(wv, |w| {
+                let idxs: Vec<usize> = (0..width).map(|l| base + wv * width + l).collect();
+                let mut vals = Vec::new();
+                w.vload32(&input, &idxs, &mut vals);
+                let writes: Vec<(usize, u32)> =
+                    idxs.iter().zip(&vals).map(|(&i, &v)| (i, v * 2)).collect();
+                w.vstore32(&output, &writes);
+            });
+        }
+    });
+    assert!(output.to_host().iter().all(|&v| v == 10));
+    assert!(r.runtime_ms > 0.0);
+    assert!((0.0..=100.0).contains(&r.l2_hit_pct));
+}
+
+#[test]
+fn lds_usage_caps_occupancy() {
+    let dev = Device::mi250x();
+    let buf = dev.alloc_u32(1 << 14);
+    let run = |lds: usize| {
+        dev.launch_groups(
+            0,
+            GroupCfg::new("occ", 64).with_waves(4).with_lds(lds),
+            |g| {
+                for wv in 0..g.waves_per_group() {
+                    g.wave(wv, |w| {
+                        let idxs: Vec<usize> = w.lanes().take(64).collect();
+                        let mut out = Vec::new();
+                        w.vload32(&buf, &idxs, &mut out);
+                    });
+                }
+            },
+        )
+    };
+    let light = run(1 << 10); // 1 KiB: 64 groups/CU fit
+    let heavy = run(64 << 10); // 64 KiB: one group per CU
+    assert!(
+        heavy.occupancy < light.occupancy,
+        "LDS-hungry kernel should lose occupancy: {} vs {}",
+        heavy.occupancy,
+        light.occupancy
+    );
+}
+
+#[test]
+fn group_reports_land_in_the_profiler() {
+    let dev = Device::mi250x();
+    dev.set_phase("grp");
+    dev.launch_groups(0, GroupCfg::new("noop_groups", 4), |_g| {});
+    let reports = dev.take_reports();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].name, "noop_groups");
+    assert_eq!(reports[0].phase, "grp");
+}

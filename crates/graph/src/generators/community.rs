@@ -1,0 +1,97 @@
+//! Clique/community model — the analog for DBLP co-authorship.
+//!
+//! DBLP is small (≈ 426 K vertices, 2.1 M directed edges) and consists of
+//! many small near-cliques (papers' author sets) joined by repeat
+//! collaborations. BFS on it needs relatively many levels (Fig. 6), and its
+//! small size makes per-level launch/sync overhead dominate (Fig. 8's poor
+//! DB GTEPS). This generator produces overlapping small cliques plus sparse
+//! inter-community bridges.
+
+use crate::builder::{BuildOptions, CsrBuilder};
+use crate::csr::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a community graph of `num_vertices` vertices.
+///
+/// * `num_cliques` "papers", each an author clique of size 2..=`max_clique`,
+///   members drawn with locality (authors collaborate within a window).
+/// * `bridge_fraction` of cliques get one long-range member, keeping the
+///   graph mostly connected while preserving high diameter.
+pub fn community_graph(
+    num_vertices: usize,
+    num_cliques: usize,
+    max_clique: usize,
+    bridge_fraction: f64,
+    seed: u64,
+) -> Csr {
+    assert!(num_vertices >= 2);
+    assert!(max_clique >= 2);
+    assert!((0.0..=1.0).contains(&bridge_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let window = (num_vertices / 100).max(max_clique * 4);
+
+    let mut b = CsrBuilder::new(num_vertices);
+    let mut members: Vec<VertexId> = Vec::with_capacity(max_clique);
+    for _ in 0..num_cliques {
+        let size = rng.gen_range(2..=max_clique);
+        let anchor = rng.gen_range(0..num_vertices);
+        members.clear();
+        members.push(anchor as VertexId);
+        while members.len() < size {
+            let off = rng.gen_range(0..window);
+            let v = ((anchor + off) % num_vertices) as VertexId;
+            if !members.contains(&v) {
+                members.push(v);
+            }
+        }
+        if rng.gen_bool(bridge_fraction) {
+            let far = rng.gen_range(0..num_vertices) as VertexId;
+            if !members.contains(&far) {
+                members.push(far);
+            }
+        }
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                b.add_edge(members[i], members[j]);
+            }
+        }
+    }
+    b.build(BuildOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::bfs_levels_serial;
+    use crate::UNVISITED;
+
+    #[test]
+    fn deterministic() {
+        let a = community_graph(2000, 900, 5, 0.1, 4);
+        let b = community_graph(2000, 900, 5, 0.1, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_and_clustered() {
+        let g = community_graph(5000, 2500, 5, 0.1, 4);
+        assert!(g.average_degree() < 15.0);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn mostly_connected_with_bridges() {
+        let g = community_graph(3000, 3000, 5, 0.15, 9);
+        // Find the biggest component via BFS from a few sources.
+        let mut best = 0usize;
+        for s in [0u32, 1000, 2000] {
+            let levels = bfs_levels_serial(&g, s);
+            best = best.max(levels.iter().filter(|&&l| l != UNVISITED).count());
+        }
+        assert!(
+            best > g.num_vertices() / 2,
+            "giant component too small: {best}"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Layered citation model — the analog for USpatent.
+//!
+//! The patent citation network has a low average degree (≈ 5.5 directed)
+//! and a *large BFS diameter*: patents cite earlier patents, so BFS walks
+//! through time layers. The paper's Fig. 6 shows USpatent needing by far
+//! the most levels, which is what makes its GTEPS poor in Fig. 8. This
+//! generator reproduces that: vertices are assigned to consecutive layers
+//! and edges point a small random number of layers back.
+
+use crate::builder::{BuildOptions, CsrBuilder};
+use crate::csr::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a layered "citation" graph.
+///
+/// * `num_vertices` vertices split into `num_layers` equal layers.
+/// * Each vertex cites `cites_per_vertex` vertices from the previous
+///   `max_back` layers (weighted toward recent layers), giving low average
+///   degree and BFS depth proportional to `num_layers`.
+pub fn layered_citation_graph(
+    num_vertices: usize,
+    num_layers: usize,
+    cites_per_vertex: usize,
+    max_back: usize,
+    seed: u64,
+) -> Csr {
+    assert!(num_layers >= 2, "need at least two layers");
+    assert!(num_vertices >= num_layers, "need at least one vertex per layer");
+    assert!(max_back >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_layer = num_vertices / num_layers;
+    let layer_of = |v: usize| (v / per_layer).min(num_layers - 1);
+    let layer_start = |l: usize| l * per_layer;
+    let layer_len = |l: usize| {
+        if l == num_layers - 1 {
+            num_vertices - layer_start(l)
+        } else {
+            per_layer
+        }
+    };
+
+    let mut b = CsrBuilder::new(num_vertices);
+    b.reserve(num_vertices * cites_per_vertex);
+    for v in 0..num_vertices {
+        let l = layer_of(v);
+        if l == 0 {
+            continue;
+        }
+        for _ in 0..cites_per_vertex {
+            // Recent layers are more likely: geometric-ish choice of how far
+            // back to cite.
+            let mut back = 1;
+            while back < max_back && back < l && rng.gen_bool(0.35) {
+                back += 1;
+            }
+            let tl = l - back.min(l);
+            let t = layer_start(tl) + rng.gen_range(0..layer_len(tl));
+            b.add_edge(v as VertexId, t as VertexId);
+        }
+    }
+    b.build(BuildOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::bfs_levels_serial;
+    use crate::UNVISITED;
+
+    #[test]
+    fn deterministic() {
+        let a = layered_citation_graph(1000, 50, 3, 4, 2);
+        let b = layered_citation_graph(1000, 50, 3, 4, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn low_average_degree() {
+        let g = layered_citation_graph(5000, 100, 3, 4, 1);
+        assert!(g.average_degree() < 8.0);
+    }
+
+    #[test]
+    fn deep_bfs() {
+        let g = layered_citation_graph(5000, 100, 3, 4, 1);
+        let levels = bfs_levels_serial(&g, 0);
+        let depth = levels
+            .iter()
+            .filter(|&&l| l != UNVISITED)
+            .max()
+            .copied()
+            .unwrap();
+        // Depth should scale with layer count — the USpatent signature.
+        assert!(depth >= 20, "depth {depth} too shallow for a layered graph");
+    }
+}

@@ -1,0 +1,105 @@
+//! Barabási–Albert preferential attachment — the analog for the social
+//! graphs LiveJournal (avg degree ≈ 17) and Orkut (avg degree ≈ 76).
+//!
+//! The property that matters to XBFS strategy selection is the per-level
+//! frontier-ratio curve, which for social graphs is driven by the heavy
+//! tail (hubs make the frontier explode within 2–3 levels). Preferential
+//! attachment reproduces that power-law tail.
+
+use crate::builder::{BuildOptions, CsrBuilder};
+use crate::csr::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Undirected BA graph: each of the `n - m0` late vertices attaches to
+/// `attach` existing vertices chosen proportionally to degree,
+/// deterministic in `seed`.
+///
+/// The standard "repeated-endpoints" trick gives exact preferential
+/// attachment: sampling a uniform element of the endpoint list is
+/// proportional to degree.
+pub fn barabasi_albert(num_vertices: usize, attach: usize, seed: u64) -> Csr {
+    assert!(attach >= 1, "attach must be >= 1");
+    assert!(
+        num_vertices > attach,
+        "need more vertices ({num_vertices}) than attachments ({attach})"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m0 = attach + 1;
+
+    // Endpoint multiset: vertex v appears deg(v) times.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * num_vertices * attach);
+    let mut b = CsrBuilder::new(num_vertices);
+    b.reserve(num_vertices * attach);
+
+    // Seed clique over the first m0 vertices.
+    for u in 0..m0 {
+        for v in (u + 1)..m0 {
+            b.add_edge(u as VertexId, v as VertexId);
+            endpoints.push(u as VertexId);
+            endpoints.push(v as VertexId);
+        }
+    }
+
+    let mut targets: Vec<VertexId> = Vec::with_capacity(attach);
+    for v in m0..num_vertices {
+        targets.clear();
+        // Sample `attach` distinct targets by degree.
+        while targets.len() < attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v as VertexId, t);
+            endpoints.push(v as VertexId);
+            endpoints.push(t);
+        }
+    }
+    b.build(BuildOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            barabasi_albert(500, 4, 11),
+            barabasi_albert(500, 4, 11)
+        );
+    }
+
+    #[test]
+    fn average_degree_close_to_2m() {
+        let g = barabasi_albert(2000, 8, 3);
+        // Undirected: avg directed degree ≈ 2 * attach.
+        let avg = g.average_degree();
+        assert!(
+            (avg - 16.0).abs() < 2.0,
+            "avg degree {avg} not near 16"
+        );
+    }
+
+    #[test]
+    fn has_hubs() {
+        let g = barabasi_albert(4000, 4, 5);
+        assert!(g.max_degree() as f64 > 5.0 * g.average_degree());
+    }
+
+    #[test]
+    fn connected_from_vertex_zero() {
+        // BA graphs are connected by construction.
+        let g = barabasi_albert(300, 2, 7);
+        let levels = crate::reference::bfs_levels_serial(&g, 0);
+        assert!(levels.iter().all(|&l| l != crate::UNVISITED));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_attach_ge_n() {
+        barabasi_albert(3, 3, 1);
+    }
+}

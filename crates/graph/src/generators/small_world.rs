@@ -1,0 +1,91 @@
+//! Watts–Strogatz small-world graphs — a regular-degree, high-clustering
+//! counterpoint to the skewed generators: no hubs, so degree-binned
+//! balancing and degree-aware re-arrangement have nothing to exploit.
+//! Useful as an adversarial input in tests and ablations.
+
+use crate::builder::{BuildOptions, CsrBuilder};
+use crate::csr::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz: ring of `n` vertices, each connected to `k` nearest
+/// neighbors on each side, each edge rewired with probability `beta`.
+/// Deterministic in `seed`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Csr {
+    assert!(n > 2 * k, "need n > 2k (n = {n}, k = {k})");
+    assert!(k >= 1);
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CsrBuilder::new(n);
+    b.reserve(n * k);
+    for v in 0..n {
+        for j in 1..=k {
+            let mut w = (v + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire: any endpoint except v itself.
+                loop {
+                    w = rng.gen_range(0..n);
+                    if w != v {
+                        break;
+                    }
+                }
+            }
+            b.add_edge(v as VertexId, w as VertexId);
+        }
+    }
+    b.build(BuildOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::bfs_levels_serial;
+    use crate::UNVISITED;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            watts_strogatz(500, 3, 0.1, 7),
+            watts_strogatz(500, 3, 0.1, 7)
+        );
+    }
+
+    #[test]
+    fn ring_without_rewiring_has_linear_diameter() {
+        let g = watts_strogatz(400, 2, 0.0, 1);
+        // Pure ring-lattice: diameter = n / (2k) = 100.
+        let levels = bfs_levels_serial(&g, 0);
+        let depth = *levels.iter().max().unwrap();
+        assert_eq!(depth, 100);
+    }
+
+    #[test]
+    fn rewiring_shrinks_the_world() {
+        let lattice = watts_strogatz(2000, 3, 0.0, 2);
+        let small = watts_strogatz(2000, 3, 0.2, 2);
+        let depth = |g: &Csr| {
+            let l = bfs_levels_serial(g, 0);
+            l.iter().filter(|&&x| x != UNVISITED).max().copied().unwrap()
+        };
+        assert!(
+            depth(&small) < depth(&lattice) / 3,
+            "shortcuts should collapse the diameter: {} vs {}",
+            depth(&small),
+            depth(&lattice)
+        );
+    }
+
+    #[test]
+    fn degrees_stay_regular() {
+        let g = watts_strogatz(1000, 4, 0.1, 3);
+        // Degrees concentrate near 2k = 8 (no hubs).
+        assert!(g.max_degree() <= 16, "max degree {}", g.max_degree());
+        assert!((g.average_degree() - 8.0).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "need n > 2k")]
+    fn rejects_tiny_ring() {
+        watts_strogatz(4, 2, 0.0, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Degree-aware neighbor order re-arrangement (§IV-B of the paper).
+//!
+//! Bottom-up BFS early-terminates the moment a vertex finds *one* neighbor
+//! on the current level, so the position of the "lucky" neighbor in the
+//! adjacency list determines how many edges are inspected. The paper sorts
+//! every adjacency list by **descending neighbor degree**: high-degree
+//! vertices are visited earlier with high probability
+//! (`P(visited) = 1 − C(m−dᵢ, m_k)/C(m, m_k)`), so putting them first makes
+//! early termination fire sooner. Table I shows this cutting bottom-up
+//! FetchSize by ~23% and runtime by ~36% on Rmat25; Fig. 8 reports a 17.9%
+//! end-to-end speedup.
+
+use crate::csr::{Csr, VertexId};
+use rayon::prelude::*;
+
+/// Neighbor ordering applied inside each adjacency row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RearrangeOrder {
+    /// Paper's optimization: highest-degree neighbors first.
+    DegreeDescending,
+    /// Inverse ordering — used by ablation benches to show the optimization
+    /// direction matters (this *hurts* bottom-up).
+    DegreeAscending,
+    /// Sort by vertex id (the canonical order produced by
+    /// [`CsrBuilder`](crate::builder::CsrBuilder)).
+    VertexId,
+}
+
+/// Return a copy of `g` with every adjacency row reordered.
+///
+/// Only the order within each row changes; the offsets and the neighbor
+/// multiset of every vertex are preserved (property-tested).
+pub fn rearrange_by_degree(g: &Csr, order: RearrangeOrder) -> Csr {
+    let degrees: Vec<u32> = (0..g.num_vertices() as VertexId)
+        .map(|v| g.degree(v))
+        .collect();
+    let mut out = g.clone();
+    let offsets = g.offsets().to_vec();
+    let adj = out.adjacency_mut();
+    // Rows are disjoint slices of the adjacency array: safe to sort in
+    // parallel via par_chunks boundaries derived from offsets.
+    let rows: Vec<(usize, usize)> = offsets
+        .windows(2)
+        .map(|w| (w[0] as usize, w[1] as usize))
+        .collect();
+    // Split adjacency into per-row mutable slices.
+    let mut slices: Vec<&mut [VertexId]> = Vec::with_capacity(rows.len());
+    let mut rest = adj;
+    let mut consumed = 0usize;
+    for &(start, end) in &rows {
+        debug_assert_eq!(start, consumed);
+        let (row, tail) = rest.split_at_mut(end - start);
+        slices.push(row);
+        rest = tail;
+        consumed = end;
+    }
+    slices.par_iter_mut().for_each(|row| match order {
+        RearrangeOrder::DegreeDescending => {
+            // Ties broken by vertex id for determinism.
+            row.sort_unstable_by(|&a, &b| {
+                degrees[b as usize]
+                    .cmp(&degrees[a as usize])
+                    .then(a.cmp(&b))
+            });
+        }
+        RearrangeOrder::DegreeAscending => {
+            row.sort_unstable_by(|&a, &b| {
+                degrees[a as usize]
+                    .cmp(&degrees[b as usize])
+                    .then(a.cmp(&b))
+            });
+        }
+        RearrangeOrder::VertexId => row.sort_unstable(),
+    });
+    out
+}
+
+/// The paper's probability model (§IV-B): probability that a vertex of
+/// degree `d` has been visited once `m_k` of `m` edges have been traversed,
+/// `1 − C(m−d, m_k)/C(m, m_k)`. Computed in log space for stability.
+pub fn visit_probability(m: u64, m_k: u64, d: u64) -> f64 {
+    if d == 0 || m_k == 0 {
+        return 0.0;
+    }
+    if m_k + d > m {
+        return 1.0;
+    }
+    // C(m-d, m_k)/C(m, m_k) = prod_{i=0..d-1} (m - m_k - i) / (m - i)
+    let mut log_ratio = 0.0f64;
+    for i in 0..d {
+        log_ratio += ((m - m_k - i) as f64).ln() - ((m - i) as f64).ln();
+    }
+    1.0 - log_ratio.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::rmat::{rmat_graph, RmatParams};
+
+    #[test]
+    fn preserves_multiset_and_offsets() {
+        let g = rmat_graph(RmatParams::graph500(9), 5);
+        let r = rearrange_by_degree(&g, RearrangeOrder::DegreeDescending);
+        assert_eq!(g.offsets(), r.offsets());
+        for v in 0..g.num_vertices() as VertexId {
+            let mut a = g.neighbors(v).to_vec();
+            let mut b = r.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "row {v} changed multiset");
+        }
+    }
+
+    #[test]
+    fn rows_sorted_by_descending_degree() {
+        let g = rmat_graph(RmatParams::graph500(8), 2);
+        let r = rearrange_by_degree(&g, RearrangeOrder::DegreeDescending);
+        for v in 0..r.num_vertices() as VertexId {
+            let row = r.neighbors(v);
+            for w in row.windows(2) {
+                assert!(r.degree(w[0]) >= r.degree(w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn ascending_is_reverse_of_descending_up_to_ties() {
+        let g = rmat_graph(RmatParams::graph500(7), 3);
+        let d = rearrange_by_degree(&g, RearrangeOrder::DegreeDescending);
+        let a = rearrange_by_degree(&g, RearrangeOrder::DegreeAscending);
+        for v in 0..g.num_vertices() as VertexId {
+            let dd: Vec<u32> = d.neighbors(v).iter().map(|&x| d.degree(x)).collect();
+            let mut aa: Vec<u32> = a.neighbors(v).iter().map(|&x| a.degree(x)).collect();
+            aa.reverse();
+            assert_eq!(dd, aa);
+        }
+    }
+
+    #[test]
+    fn visit_probability_monotone_in_degree() {
+        let m = 1_000_000u64;
+        let mk = 10_000u64;
+        let p1 = visit_probability(m, mk, 1);
+        let p10 = visit_probability(m, mk, 10);
+        let p100 = visit_probability(m, mk, 100);
+        assert!(p1 < p10 && p10 < p100);
+        assert!(p1 > 0.0 && p100 < 1.0);
+    }
+
+    #[test]
+    fn visit_probability_edges() {
+        assert_eq!(visit_probability(100, 0, 10), 0.0);
+        assert_eq!(visit_probability(100, 10, 0), 0.0);
+        assert_eq!(visit_probability(100, 95, 10), 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Determinism guarantees: generator output must be identical regardless
+//! of the rayon thread count (the parallel R-MAT generator uses per-chunk
+//! RNG streams precisely so this holds).
+
+use xbfs_graph::generators::{rmat_graph, RmatParams};
+use xbfs_graph::rearrange_by_degree;
+use xbfs_graph::RearrangeOrder;
+
+fn in_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(f)
+}
+
+#[test]
+fn rmat_is_thread_count_independent() {
+    let p = RmatParams::graph500(12);
+    let single = in_pool(1, || rmat_graph(p, 99));
+    let many = in_pool(8, || rmat_graph(p, 99));
+    assert_eq!(single, many);
+}
+
+#[test]
+fn rearrangement_is_thread_count_independent() {
+    let g = rmat_graph(RmatParams::graph500(11), 5);
+    let single = in_pool(1, || rearrange_by_degree(&g, RearrangeOrder::DegreeDescending));
+    let many = in_pool(8, || rearrange_by_degree(&g, RearrangeOrder::DegreeDescending));
+    assert_eq!(single, many);
+}
+
+#[test]
+fn builder_is_thread_count_independent() {
+    use xbfs_graph::builder::{BuildOptions, CsrBuilder};
+    let edges: Vec<(u32, u32)> = (0..5000u32).map(|i| (i % 97, (i * 31) % 97)).collect();
+    let build = || {
+        let mut b = CsrBuilder::new(97);
+        b.extend_edges(edges.iter().copied());
+        b.build(BuildOptions::default())
+    };
+    assert_eq!(in_pool(1, build), in_pool(8, build));
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use xbfs_graph::builder::{BuildOptions, CsrBuilder};
+use xbfs_graph::generators::erdos_renyi;
+use xbfs_graph::io::{read_binary, read_edge_list, write_binary, write_edge_list};
+use xbfs_graph::rearrange::{rearrange_by_degree, visit_probability, RearrangeOrder};
+use xbfs_graph::reference::{bfs_levels_parallel, bfs_levels_serial, bfs_parents_serial};
+use xbfs_graph::validate::{validate_bfs_tree, ValidationError};
+use xbfs_graph::{Csr, UNVISITED};
+
+/// Arbitrary small undirected graph as (n, edges).
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (2usize..60).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..200),
+        )
+            .prop_map(|(n, edges)| {
+                let mut b = CsrBuilder::new(n);
+                b.extend_edges(edges);
+                b.build(BuildOptions::default())
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_invariants(g in arb_graph()) {
+        prop_assert_eq!(*g.offsets().last().unwrap(), g.num_edges() as u64);
+        prop_assert!(g.is_symmetric());
+        // Rebuilding from parts round-trips.
+        let rebuilt = Csr::from_parts(g.offsets().to_vec(), g.adjacency().to_vec()).unwrap();
+        prop_assert_eq!(&rebuilt, &g);
+        // No self loops, rows sorted and deduped.
+        for (u, nbrs) in g.iter_rows() {
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1], "row {} not strictly sorted", u);
+            }
+            prop_assert!(!nbrs.contains(&u), "self loop at {}", u);
+        }
+    }
+
+    #[test]
+    fn parallel_bfs_matches_serial(g in arb_graph(), src_sel in 0usize..60) {
+        let src = (src_sel % g.num_vertices()) as u32;
+        prop_assert_eq!(bfs_levels_serial(&g, src), bfs_levels_parallel(&g, src));
+    }
+
+    #[test]
+    fn reference_parents_always_validate(g in arb_graph(), src_sel in 0usize..60) {
+        let src = (src_sel % g.num_vertices()) as u32;
+        let parents = bfs_parents_serial(&g, src);
+        let levels = validate_bfs_tree(&g, src, &parents).expect("reference tree rejected");
+        prop_assert_eq!(levels, bfs_levels_serial(&g, src));
+    }
+
+    #[test]
+    fn corrupted_parents_are_rejected(g in arb_graph(), src_sel in 0usize..60, victim in 0usize..60) {
+        let src = (src_sel % g.num_vertices()) as u32;
+        let mut parents = bfs_parents_serial(&g, src);
+        let v = victim % g.num_vertices();
+        // Corrupt one entry to a non-neighbor, non-self value.
+        let bogus = (0..g.num_vertices() as u32)
+            .find(|&c| c != parents[v] && c != v as u32 && !g.neighbors(v as u32).contains(&c));
+        prop_assume!(parents[v] != UNVISITED);
+        prop_assume!(bogus.is_some());
+        parents[v] = bogus.unwrap();
+        prop_assert!(validate_bfs_tree(&g, src, &parents).is_err());
+    }
+
+    #[test]
+    fn rearrangement_preserves_structure(g in arb_graph()) {
+        for order in [
+            RearrangeOrder::DegreeDescending,
+            RearrangeOrder::DegreeAscending,
+            RearrangeOrder::VertexId,
+        ] {
+            let r = rearrange_by_degree(&g, order);
+            prop_assert_eq!(g.offsets(), r.offsets());
+            for v in 0..g.num_vertices() as u32 {
+                let mut a = g.neighbors(v).to_vec();
+                let mut b = r.neighbors(v).to_vec();
+                a.sort_unstable();
+                b.sort_unstable();
+                prop_assert_eq!(a, b);
+            }
+            // BFS levels are order-independent.
+            prop_assert_eq!(bfs_levels_serial(&g, 0), bfs_levels_serial(&r, 0));
+        }
+    }
+
+    #[test]
+    fn binary_io_round_trips(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        prop_assert_eq!(read_binary(Cursor::new(buf)).unwrap(), g);
+    }
+
+    #[test]
+    fn edge_list_io_round_trips(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(&buf), BuildOptions::raw()).unwrap();
+        // Raw rebuild of an already-canonical graph is identical — except
+        // trailing isolated vertices, which an edge list cannot encode.
+        prop_assume!(g.num_vertices() == 0 || g.degree(g.num_vertices() as u32 - 1) > 0);
+        prop_assume!(g.num_edges() > 0);
+        prop_assert_eq!(g2, g);
+    }
+
+    #[test]
+    fn visit_probability_is_a_probability(m in 1u64..10_000, mk in 0u64..10_000, d in 0u64..100) {
+        let mk = mk.min(m);
+        let p = visit_probability(m, mk, d);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
+    }
+}
+
+#[test]
+fn validator_rejects_length_mismatch() {
+    let g = erdos_renyi(10, 20, 1);
+    assert_eq!(
+        validate_bfs_tree(&g, 0, &[0; 5]),
+        Err(ValidationError::LengthMismatch)
+    );
+}

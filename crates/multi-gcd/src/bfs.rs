@@ -1,0 +1,766 @@
+//! Direction-optimizing distributed BFS over a cluster of simulated GCDs.
+//!
+//! This is the system the paper positions itself as the basis for: XBFS-
+//! style per-GCD kernels inside a Graph500-style 1D-partitioned BFS.
+//!
+//! Per level, each rank either
+//!
+//! * **pushes** (top-down): expands its local frontier, claims locally
+//!   owned neighbors directly, and buckets remote neighbors by owner for a
+//!   personalized all-to-all, after which destination ranks CAS-claim the
+//!   received candidates; or
+//! * **pulls** (bottom-up): the ranks allgather their slice of a global
+//!   frontier *bitmap*, then every locally unvisited vertex probes its
+//!   (global) neighbors against the bitmap with early termination — the
+//!   XBFS bottom-up idea in distributed form, trading candidate traffic
+//!   for one `|V|/8`-byte bitmap exchange.
+//!
+//! The global controller switches on the same edge-ratio-vs-α rule as
+//! single-GCD XBFS, with thresholds allreduced every level.
+
+use crate::interconnect::LinkModel;
+use crate::partition::Partition;
+use gcd_sim::{ArchProfile, BufU32, BufU64, Device, ExecMode, LaunchCfg, WaveCtx};
+use serde::{Deserialize, Serialize};
+use xbfs_graph::{Csr, VertexId};
+
+/// Not-yet-visited marker (matches single-GCD XBFS).
+pub const UNVISITED: u32 = u32::MAX;
+
+/// Per-destination out-bucket slack factor over the uniform share.
+const BUCKET_SLACK: usize = 4;
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of GCDs.
+    pub num_gcds: usize,
+    /// Bottom-up threshold on the global edge ratio (paper: 0.1).
+    pub alpha: f64,
+    /// Force push-only operation (the non-direction-optimizing baseline).
+    pub push_only: bool,
+}
+
+impl ClusterConfig {
+    /// Defaults: 8 GCDs (one Frontier node), α = 0.1, direction-optimizing.
+    pub fn node_of_8() -> Self {
+        Self {
+            num_gcds: 8,
+            alpha: 0.1,
+            push_only: false,
+        }
+    }
+}
+
+/// What one level did.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterLevelStats {
+    /// Level this row describes.
+    pub level: u32,
+    /// True if this level ran bottom-up (pull).
+    pub bottom_up: bool,
+    /// Vertices in the global frontier at this level.
+    pub frontier_count: u64,
+    /// Sum of their degrees.
+    pub frontier_edges: u64,
+    /// Candidate bytes moved through the all-to-all (push levels).
+    pub exchanged_bytes: u64,
+    /// Modeled wall time of the level (compute + comm), ms.
+    pub time_ms: f64,
+}
+
+/// Result of a distributed BFS.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// Source vertex of the run.
+    pub source: VertexId,
+    /// Global per-vertex levels.
+    pub levels: Vec<u32>,
+    /// Per-level statistics in level order.
+    pub level_stats: Vec<ClusterLevelStats>,
+    /// Modeled end-to-end time, ms (max over GCD timelines).
+    pub total_ms: f64,
+    /// Edges traversed, Graph500 convention.
+    pub traversed_edges: u64,
+    /// Aggregate cluster GTEPS.
+    pub gteps: f64,
+    /// Per-GCD GTEPS (aggregate / num_gcds) — the paper's headline metric.
+    pub gteps_per_gcd: f64,
+}
+
+/// Per-rank device state.
+struct RankState {
+    device: Device,
+    /// Local CSR on device (targets are global ids).
+    offsets: BufU64,
+    adjacency: BufU32,
+    degrees: BufU32,
+    /// Local status array.
+    status: BufU32,
+    /// Local frontier queues (global ids of owned vertices).
+    frontier: BufU32,
+    next_frontier: BufU32,
+    /// Per-destination candidate buckets.
+    buckets: Vec<BufU32>,
+    /// Inbox for received candidates.
+    inbox: BufU32,
+    /// Counters: [0..P) bucket lengths, [P] next-frontier len,
+    /// [P+1] claimed, [P+2] inbox len (host-managed).
+    counters: BufU32,
+    /// 64-bit counter: claimed degree sum.
+    edge_counters: BufU64,
+    /// Global frontier bitmap (1 bit per global vertex).
+    bitmap: BufU32,
+}
+
+/// A cluster of simulated GCDs ready to run BFS on a partitioned graph.
+pub struct GcdCluster<'g> {
+    graph: &'g Csr,
+    partition: Partition,
+    link: LinkModel,
+    cfg: ClusterConfig,
+    ranks: Vec<RankState>,
+}
+
+impl<'g> GcdCluster<'g> {
+    /// Partition `graph` across `cfg.num_gcds` simulated MI250X GCDs.
+    pub fn new(graph: &'g Csr, cfg: ClusterConfig, link: LinkModel) -> Self {
+        assert!(cfg.num_gcds >= 1);
+        assert!(graph.num_vertices() > 0, "empty graph");
+        let arch = ArchProfile::mi250x_gcd();
+        let partition = Partition::new(graph, cfg.num_gcds, arch.wavefront_size);
+        let p = cfg.num_gcds;
+        let ranks = partition
+            .parts
+            .iter()
+            .map(|part| {
+                let device = Device::new(arch.clone(), ExecMode::Functional, 1);
+                let local = &part.local;
+                let n_local = part.len().max(1);
+                let bucket_cap =
+                    (local.num_edges() * BUCKET_SLACK / p.max(1)).max(1024);
+                let degrees: Vec<u32> = (0..part.len() as u32)
+                    .map(|v| local.degree(v))
+                    .collect();
+                RankState {
+                    offsets: device.upload_u64(local.offsets()),
+                    adjacency: device.upload_u32(local.adjacency()),
+                    degrees: device.upload_u32(&degrees),
+                    status: device.alloc_u32(n_local),
+                    frontier: device.alloc_u32(n_local),
+                    next_frontier: device.alloc_u32(n_local),
+                    buckets: (0..p).map(|_| device.alloc_u32(bucket_cap)).collect(),
+                    inbox: device.alloc_u32(local.num_edges().max(1024)),
+                    counters: device.alloc_u32(p + 3),
+                    edge_counters: device.alloc_u64(1),
+                    bitmap: device.alloc_u32(graph.num_vertices().div_ceil(32).max(1)),
+                    device,
+                }
+            })
+            .collect();
+        Self {
+            graph,
+            partition,
+            link,
+            cfg,
+            ranks,
+        }
+    }
+
+    /// Number of GCDs in the cluster.
+    pub fn num_gcds(&self) -> usize {
+        self.cfg.num_gcds
+    }
+
+    /// Run one distributed BFS from `source`.
+    pub fn run(&mut self, source: VertexId) -> ClusterRun {
+        let n = self.graph.num_vertices();
+        assert!((source as usize) < n, "source out of range");
+        let p = self.cfg.num_gcds;
+        let m_global = self.graph.num_edges().max(1) as f64;
+
+        // --- init (measured) ---
+        for r in &self.ranks {
+            r.device.reset_timeline();
+            r.device.fill_u32(0, &r.status, UNVISITED);
+        }
+        let owner = self.partition.owner(source);
+        {
+            let part = &self.partition.parts[owner];
+            let r = &self.ranks[owner];
+            r.status.store(part.to_local(source) as usize, 0);
+            r.frontier.store(0, source);
+            r.device.charge_transfer(0, 8);
+        }
+        let mut frontier_lens = vec![0usize; p];
+        frontier_lens[owner] = 1;
+        let mut frontier_count = 1u64;
+        let mut frontier_edges = u64::from(self.graph.degree(source));
+        let mut level = 0u32;
+        let mut clock_us = self.max_elapsed();
+        let mut stats = Vec::new();
+
+        loop {
+            let ratio = frontier_edges as f64 / m_global;
+            let bottom_up = !self.cfg.push_only && ratio > self.cfg.alpha;
+            let exchanged = if bottom_up {
+                self.run_pull_level(level, &frontier_lens)
+            } else {
+                self.run_push_level(level, &frontier_lens)
+            };
+
+            // Barrier + counter allreduce.
+            let mut t = self.max_elapsed();
+            t += self
+                .link
+                .allreduce_us(p, 16)
+                .max(self.ranks[0].device.arch().sync_us);
+            for r in &self.ranks {
+                r.device.advance_to(t);
+            }
+
+            let mut claimed = 0u64;
+            let mut claimed_edges = 0u64;
+            for (i, r) in self.ranks.iter().enumerate() {
+                let nf = r.counters.load(p + 1) as usize;
+                frontier_lens[i] = nf;
+                claimed += nf as u64;
+                claimed_edges += r.edge_counters.load(0);
+            }
+
+            stats.push(ClusterLevelStats {
+                level,
+                bottom_up,
+                frontier_count,
+                frontier_edges,
+                exchanged_bytes: exchanged,
+                time_ms: (self.max_elapsed() - clock_us) / 1000.0,
+            });
+            clock_us = self.max_elapsed();
+
+            if claimed == 0 {
+                break;
+            }
+            self.swap_frontiers();
+            frontier_count = claimed;
+            frontier_edges = claimed_edges;
+            level += 1;
+        }
+
+        // --- collect ---
+        let total_ms = self.max_elapsed() / 1000.0;
+        let mut levels = vec![UNVISITED; n];
+        for (part, r) in self.partition.parts.iter().zip(&self.ranks) {
+            let local = r.status.to_host();
+            levels[part.start as usize..part.end as usize].copy_from_slice(&local[..part.len()]);
+        }
+        let traversed_edges: u64 = levels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l != UNVISITED)
+            .map(|(v, _)| self.graph.degree(v as u32) as u64)
+            .sum();
+        let gteps = if total_ms > 0.0 {
+            traversed_edges as f64 / (total_ms * 1e-3) / 1e9
+        } else {
+            0.0
+        };
+        ClusterRun {
+            source,
+            levels,
+            level_stats: stats,
+            total_ms,
+            traversed_edges,
+            gteps,
+            gteps_per_gcd: gteps / p as f64,
+        }
+    }
+
+    fn max_elapsed(&self) -> f64 {
+        self.ranks
+            .iter()
+            .map(|r| r.device.elapsed_us())
+            .fold(0.0, f64::max)
+    }
+
+    /// Top-down push level. Returns bytes moved through the all-to-all.
+    fn run_push_level(&self, level: u32, frontier_lens: &[usize]) -> u64 {
+        let p = self.cfg.num_gcds;
+        // Phase 1: local expansion into local claims + remote buckets.
+        for (rank, r) in self.ranks.iter().enumerate() {
+            r.device.set_phase(format!("L{level} push"));
+            r.device.fill_u32(0, &r.counters, 0);
+            r.device.launch(
+                0,
+                LaunchCfg::new("dist_reset64", 1).with_registers(8),
+                |w| {
+                    if w.wave_id() == 0 {
+                        w.vstore64(&r.edge_counters, &[(0, 0)]);
+                    }
+                },
+            );
+            let qlen = frontier_lens[rank];
+            if qlen == 0 {
+                continue;
+            }
+            let part = &self.partition.parts[rank];
+            let partition = &self.partition;
+            r.device.launch(
+                0,
+                LaunchCfg::new("dist_expand", qlen).with_registers(48),
+                |w| push_expand_kernel(w, r, part, partition, level, p),
+            );
+        }
+
+        // Phase 2: exchange. Gather bucket sizes, charge the all-to-all.
+        let mut send = vec![vec![0u64; p]; p]; // send[src][dst] bytes
+        for (rank, r) in self.ranks.iter().enumerate() {
+            for (d, cell) in send[rank].iter_mut().enumerate() {
+                *cell = 4 * u64::from(r.counters.load(d));
+            }
+        }
+        let mut exchanged = 0u64;
+        let t0 = self.max_elapsed();
+        let mut t_end = t0;
+        for (rank, sent) in send.iter().enumerate() {
+            let recv: Vec<u64> = send.iter().map(|row| row[rank]).collect();
+            let t = t0 + self.link.alltoall_us(rank, sent, &recv);
+            t_end = t_end.max(t);
+            exchanged += sent.iter().sum::<u64>();
+        }
+        for r in &self.ranks {
+            r.device.advance_to(t_end);
+        }
+        // Deliver candidates into inboxes (data motion already charged).
+        let mut inbox_lens = vec![0usize; p];
+        for (src, r) in self.ranks.iter().enumerate() {
+            for (dst, inbox_len) in inbox_lens.iter_mut().enumerate() {
+                let cnt = r.counters.load(dst) as usize;
+                if dst == src || cnt == 0 {
+                    continue;
+                }
+                let dstate = &self.ranks[dst];
+                let cap = dstate.inbox.len();
+                for i in 0..cnt {
+                    let slot = *inbox_len + i;
+                    assert!(slot < cap, "inbox overflow on rank {dst}");
+                    dstate.inbox.store(slot, r.buckets[dst].load(i));
+                }
+                *inbox_len += cnt;
+            }
+        }
+
+        // Phase 3: claim received candidates.
+        for (rank, r) in self.ranks.iter().enumerate() {
+            let in_len = inbox_lens[rank];
+            if in_len == 0 {
+                continue;
+            }
+            let part = &self.partition.parts[rank];
+            r.device.launch(
+                0,
+                LaunchCfg::new("dist_claim", in_len).with_registers(24),
+                |w| claim_kernel(w, r, part, level, p),
+            );
+        }
+        exchanged
+    }
+
+    /// Bottom-up pull level. Returns bytes moved through the allgather.
+    fn run_pull_level(&self, level: u32, frontier_lens: &[usize]) -> u64 {
+        let p = self.cfg.num_gcds;
+        // Phase 1: each rank sets bits for its frontier slice.
+        for (rank, r) in self.ranks.iter().enumerate() {
+            r.device.set_phase(format!("L{level} pull"));
+            r.device.fill_u32(0, &r.counters, 0);
+            r.device.fill_u32(0, &r.bitmap, 0);
+            r.device.launch(
+                0,
+                LaunchCfg::new("dist_reset64", 1).with_registers(8),
+                |w| {
+                    if w.wave_id() == 0 {
+                        w.vstore64(&r.edge_counters, &[(0, 0)]);
+                    }
+                },
+            );
+            let qlen = frontier_lens[rank];
+            if qlen == 0 {
+                continue;
+            }
+            r.device.launch(
+                0,
+                LaunchCfg::new("dist_bitmap_set", qlen).with_registers(12),
+                |w| {
+                    let gids: Vec<usize> = w.lanes().collect();
+                    let mut vs = Vec::with_capacity(gids.len());
+                    w.vload32(&r.frontier, &gids, &mut vs);
+                    let ops: Vec<(usize, u32)> = vs
+                        .iter()
+                        .map(|&v| ((v / 32) as usize, 1u32 << (v % 32)))
+                        .collect();
+                    w.vor32(&r.bitmap, &ops);
+                },
+            );
+        }
+
+        // Phase 2: allgather the bitmap slices (every rank ends with the
+        // full global bitmap). Bytes per rank: its slice of |V|/8.
+        let slice_bytes = (self.graph.num_vertices().div_ceil(8) / p.max(1)).max(4) as u64;
+        let t = self.max_elapsed() + self.link.allgather_us(p, slice_bytes);
+        for r in &self.ranks {
+            r.device.advance_to(t);
+        }
+        // Merge host-side (motion already charged): OR all slices together.
+        let words = self.ranks[0].bitmap.len();
+        let mut merged = vec![0u32; words];
+        for r in &self.ranks {
+            let local = r.bitmap.to_host();
+            for (m, w) in merged.iter_mut().zip(&local) {
+                *m |= w;
+            }
+        }
+        for r in &self.ranks {
+            r.bitmap.host_write(&merged);
+        }
+
+        // Phase 3: pull — every locally unvisited vertex probes neighbors
+        // against the bitmap with early termination (XBFS bottom-up).
+        for (rank, r) in self.ranks.iter().enumerate() {
+            let part = &self.partition.parts[rank];
+            if part.is_empty() {
+                continue;
+            }
+            r.device.launch(
+                0,
+                LaunchCfg::new("dist_pull", part.len()).with_registers(110),
+                |w| pull_kernel(w, r, part, level, p),
+            );
+        }
+        slice_bytes * p as u64
+    }
+}
+
+/// Push expansion: thread-per-frontier-vertex; local neighbors claimed in
+/// place, remote neighbors bucketed by owner.
+fn push_expand_kernel(
+    w: &mut WaveCtx,
+    r: &RankState,
+    part: &crate::partition::Part,
+    partition: &Partition,
+    level: u32,
+    p: usize,
+) {
+    let gids: Vec<usize> = w.lanes().collect();
+    if gids.is_empty() {
+        return;
+    }
+    let mut us = Vec::with_capacity(gids.len());
+    w.vload32(&r.frontier, &gids, &mut us);
+    let lidx: Vec<usize> = us.iter().map(|&u| part.to_local(u) as usize).collect();
+    let mut offs = Vec::with_capacity(lidx.len());
+    w.vload64(&r.offsets, &lidx, &mut offs);
+    let mut degs = Vec::with_capacity(lidx.len());
+    w.vload32(&r.degrees, &lidx, &mut degs);
+
+    let mut lanes: Vec<(u64, u32)> = offs.iter().zip(&degs).map(|(&o, &d)| (o, d)).collect();
+    let mut local_claims: Vec<u32> = Vec::new();
+    let mut remote: Vec<Vec<u32>> = vec![Vec::new(); p];
+    #[allow(clippy::needless_range_loop)]
+    let mut k = 0u32;
+    loop {
+        lanes.retain(|&(_, d)| k < d);
+        if lanes.is_empty() {
+            break;
+        }
+        let aidx: Vec<usize> = lanes
+            .iter()
+            .map(|&(o, _)| (o + u64::from(k)) as usize)
+            .collect();
+        let mut vs = Vec::with_capacity(aidx.len());
+        w.vload32(&r.adjacency, &aidx, &mut vs);
+        w.alu(1);
+        // Local neighbors: check + CAS claim now.
+        let local_cands: Vec<u32> = vs.iter().copied().filter(|&v| part.owns(v)).collect();
+        if !local_cands.is_empty() {
+            let sidx: Vec<usize> = local_cands
+                .iter()
+                .map(|&v| part.to_local(v) as usize)
+                .collect();
+            let mut sts = Vec::with_capacity(sidx.len());
+            w.vload32(&r.status, &sidx, &mut sts);
+            let ops: Vec<(usize, u32, u32)> = sidx
+                .iter()
+                .zip(&sts)
+                .filter(|&(_, &s)| s == UNVISITED)
+                .map(|(&i, _)| (i, UNVISITED, level + 1))
+                .collect();
+            if !ops.is_empty() {
+                let mut results = Vec::with_capacity(ops.len());
+                w.vcas32(&r.status, &ops, &mut results);
+                for (&(i, _, _), res) in ops.iter().zip(&results) {
+                    if res.is_ok() {
+                        local_claims.push(part.to_global(i as u32));
+                    }
+                }
+            }
+        }
+        for &v in vs.iter().filter(|&&v| !part.owns(v)) {
+            remote[partition.owner(v)].push(v);
+        }
+        k += 1;
+    }
+
+    commit_local_claims(w, r, part, &local_claims, p);
+    // Wave-aggregated bucket appends.
+    for (d, cands) in remote.iter().enumerate() {
+        if cands.is_empty() {
+            continue;
+        }
+        let base = w.wave_add32(&r.counters, d, cands.len() as u32) as usize;
+        let cap = r.buckets[d].len();
+        let writes: Vec<(usize, u32)> = cands
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (base + i, v))
+            .inspect(|&(i, _)| assert!(i < cap, "bucket overflow toward rank {d}"))
+            .collect();
+        w.vstore32(&r.buckets[d], &writes);
+    }
+}
+
+/// Claim inbox candidates (owned vertices, possibly duplicated).
+fn claim_kernel(
+    w: &mut WaveCtx,
+    r: &RankState,
+    part: &crate::partition::Part,
+    level: u32,
+    p: usize,
+) {
+    let gids: Vec<usize> = w.lanes().collect();
+    if gids.is_empty() {
+        return;
+    }
+    let mut vs = Vec::with_capacity(gids.len());
+    w.vload32(&r.inbox, &gids, &mut vs);
+    let sidx: Vec<usize> = vs.iter().map(|&v| part.to_local(v) as usize).collect();
+    let ops: Vec<(usize, u32, u32)> = sidx
+        .iter()
+        .map(|&i| (i, UNVISITED, level + 1))
+        .collect();
+    let mut results = Vec::with_capacity(ops.len());
+    w.vcas32(&r.status, &ops, &mut results);
+    let winners: Vec<u32> = sidx
+        .iter()
+        .zip(&results)
+        .filter(|&(_, res)| res.is_ok())
+        .map(|(&i, _)| part.to_global(i as u32))
+        .collect();
+    commit_local_claims(w, r, part, &winners, p);
+}
+
+/// Bottom-up pull: thread-per-owned-vertex with early termination against
+/// the global frontier bitmap.
+fn pull_kernel(
+    w: &mut WaveCtx,
+    r: &RankState,
+    part: &crate::partition::Part,
+    level: u32,
+    p: usize,
+) {
+    let gids: Vec<usize> = w.lanes().collect();
+    if gids.is_empty() {
+        return;
+    }
+    let mut sts = Vec::with_capacity(gids.len());
+    w.vload32(&r.status, &gids, &mut sts);
+    w.alu(1);
+    let unvisited: Vec<usize> = gids
+        .iter()
+        .zip(&sts)
+        .filter(|&(_, &s)| s == UNVISITED)
+        .map(|(&l, _)| l)
+        .collect();
+    if unvisited.is_empty() {
+        return;
+    }
+    let mut offs = Vec::with_capacity(unvisited.len());
+    w.vload64(&r.offsets, &unvisited, &mut offs);
+    let mut degs = Vec::with_capacity(unvisited.len());
+    w.vload32(&r.degrees, &unvisited, &mut degs);
+    struct Lane {
+        local: usize,
+        off: u64,
+        deg: u32,
+        k: u32,
+    }
+    let mut lanes: Vec<Lane> = unvisited
+        .iter()
+        .zip(offs.iter().zip(&degs))
+        .filter(|&(_, (_, &d))| d > 0)
+        .map(|(&local, (&off, &deg))| Lane {
+            local,
+            off,
+            deg,
+            k: 0,
+        })
+        .collect();
+    let mut claims: Vec<u32> = Vec::new();
+    while !lanes.is_empty() {
+        let aidx: Vec<usize> = lanes
+            .iter()
+            .map(|l| (l.off + u64::from(l.k)) as usize)
+            .collect();
+        let mut nbrs = Vec::with_capacity(aidx.len());
+        w.vload32(&r.adjacency, &aidx, &mut nbrs);
+        let widx: Vec<usize> = nbrs.iter().map(|&v| (v / 32) as usize).collect();
+        let mut words = Vec::with_capacity(widx.len());
+        w.vload32(&r.bitmap, &widx, &mut words);
+        w.alu(2);
+        let mut writes: Vec<(usize, u32)> = Vec::new();
+        let mut i = 0;
+        lanes.retain_mut(|l| {
+            let nb = nbrs[i];
+            let word = words[i];
+            i += 1;
+            if word & (1 << (nb % 32)) != 0 {
+                writes.push((l.local, level + 1));
+                claims.push(part.to_global(l.local as u32));
+                return false;
+            }
+            l.k += 1;
+            l.k < l.deg
+        });
+        if !writes.is_empty() {
+            w.vstore32(&r.status, &writes);
+        }
+    }
+    commit_local_claims(w, r, part, &claims, p);
+}
+
+/// Shared tail: enqueue claimed global ids into the next frontier, bump the
+/// claimed count and the degree sum.
+fn commit_local_claims(
+    w: &mut WaveCtx,
+    r: &RankState,
+    part: &crate::partition::Part,
+    claims: &[u32],
+    p: usize,
+) {
+    if claims.is_empty() {
+        return;
+    }
+    let didx: Vec<usize> = claims.iter().map(|&v| part.to_local(v) as usize).collect();
+    let mut cdegs = Vec::with_capacity(didx.len());
+    w.vload32(&r.degrees, &didx, &mut cdegs);
+    let sum = w.wave_reduce_add(&cdegs);
+    let base = w.wave_add32(&r.counters, p + 1, claims.len() as u32) as usize;
+    w.wave_add64(&r.edge_counters, 0, sum);
+    let writes: Vec<(usize, u32)> = claims
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (base + i, v))
+        .collect();
+    w.vstore32(&r.next_frontier, &writes);
+}
+
+impl GcdCluster<'_> {
+    /// The next-frontier queues become the frontier of the following level
+    /// (a device-pointer swap on real hardware).
+    fn swap_frontiers(&mut self) {
+        for r in &mut self.ranks {
+            std::mem::swap(&mut r.frontier, &mut r.next_frontier);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_graph::bfs_levels_serial;
+    use xbfs_graph::generators::{erdos_renyi, rmat_graph, RmatParams};
+
+    fn check(g: &Csr, cfg: ClusterConfig, src: u32) -> ClusterRun {
+        let mut cluster = GcdCluster::new(g, cfg, LinkModel::frontier());
+        let run = cluster.run(src);
+        assert_eq!(run.levels, bfs_levels_serial(g, src), "cfg {cfg:?}");
+        run
+    }
+
+    #[test]
+    fn distributed_matches_reference_various_gcd_counts() {
+        let g = erdos_renyi(800, 4000, 1);
+        for p in [1, 2, 4, 8] {
+            let cfg = ClusterConfig {
+                num_gcds: p,
+                ..ClusterConfig::node_of_8()
+            };
+            check(&g, cfg, 5);
+        }
+    }
+
+    #[test]
+    fn push_only_matches_reference() {
+        let g = rmat_graph(RmatParams::graph500(10), 2);
+        let cfg = ClusterConfig {
+            num_gcds: 4,
+            push_only: true,
+            ..ClusterConfig::node_of_8()
+        };
+        check(&g, cfg, 0);
+    }
+
+    #[test]
+    fn direction_optimizing_uses_both_modes_on_rmat() {
+        let g = rmat_graph(RmatParams::graph500(12), 3);
+        let cfg = ClusterConfig {
+            num_gcds: 4,
+            ..ClusterConfig::node_of_8()
+        };
+        let run = check(&g, cfg, 1);
+        assert!(run.level_stats.iter().any(|l| l.bottom_up), "no pull level");
+        assert!(run.level_stats.iter().any(|l| !l.bottom_up), "no push level");
+        assert!(run.gteps > 0.0);
+        assert!((run.gteps_per_gcd - run.gteps / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pull_avoids_candidate_traffic() {
+        let g = rmat_graph(RmatParams::graph500(12), 3);
+        let mk = |push_only| ClusterConfig {
+            num_gcds: 4,
+            push_only,
+            ..ClusterConfig::node_of_8()
+        };
+        let mut c_push = GcdCluster::new(&g, mk(true), LinkModel::frontier());
+        let push = c_push.run(1);
+        let mut c_opt = GcdCluster::new(&g, mk(false), LinkModel::frontier());
+        let opt = c_opt.run(1);
+        let bytes = |r: &ClusterRun| r.level_stats.iter().map(|l| l.exchanged_bytes).sum::<u64>();
+        assert!(
+            bytes(&opt) < bytes(&push) / 2,
+            "direction optimization should slash exchange volume: {} vs {}",
+            bytes(&opt),
+            bytes(&push)
+        );
+        assert!(opt.total_ms < push.total_ms);
+    }
+
+    #[test]
+    fn disconnected_and_bad_inputs() {
+        let g = Csr::from_parts(vec![0, 1, 2, 2], vec![1, 0]).unwrap();
+        let cfg = ClusterConfig {
+            num_gcds: 2,
+            ..ClusterConfig::node_of_8()
+        };
+        let run = check(&g, cfg, 0);
+        assert_eq!(run.levels[2], UNVISITED);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn rejects_bad_source() {
+        let g = erdos_renyi(10, 30, 1);
+        let mut c = GcdCluster::new(&g, ClusterConfig::node_of_8(), LinkModel::frontier());
+        c.run(10);
+    }
+}

@@ -1,0 +1,163 @@
+//! 1D vertex partitioning of a CSR graph across GCDs.
+//!
+//! Graph500-style distributed BFS assigns each rank a contiguous block of
+//! vertices together with all their outgoing edges. Block boundaries are
+//! rounded to the wavefront width so every local status scan stays aligned.
+
+use xbfs_graph::{Csr, VertexId};
+
+/// The vertex range and local subgraph owned by one GCD.
+pub struct Part {
+    /// First global vertex id owned by this part.
+    pub start: VertexId,
+    /// One past the last global vertex id owned.
+    pub end: VertexId,
+    /// Local CSR: vertex `v` (local id `v - start`) keeps its full global
+    /// adjacency (edges may point anywhere).
+    pub local: Csr,
+}
+
+impl Part {
+    /// Number of owned vertices.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True if this part owns no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether this part owns global vertex `v`.
+    #[inline]
+    pub fn owns(&self, v: VertexId) -> bool {
+        (self.start..self.end).contains(&v)
+    }
+
+    /// Local id of a global vertex this part owns.
+    #[inline]
+    pub fn to_local(&self, v: VertexId) -> VertexId {
+        debug_assert!(self.owns(v));
+        v - self.start
+    }
+
+    /// Global id of a local vertex.
+    #[inline]
+    pub fn to_global(&self, l: VertexId) -> VertexId {
+        self.start + l
+    }
+}
+
+/// A 1D block partition of a graph over `num_parts` GCDs.
+pub struct Partition {
+    /// The per-rank parts, in rank order.
+    pub parts: Vec<Part>,
+    num_vertices: usize,
+    block: usize,
+}
+
+impl Partition {
+    /// Split `g` into `num_parts` contiguous blocks, each a multiple of
+    /// `align` vertices (except the last).
+    pub fn new(g: &Csr, num_parts: usize, align: usize) -> Self {
+        assert!(num_parts >= 1);
+        assert!(align >= 1);
+        let n = g.num_vertices();
+        let raw = n.div_ceil(num_parts);
+        let block = raw.div_ceil(align) * align;
+        let mut parts = Vec::with_capacity(num_parts);
+        for p in 0..num_parts {
+            let start = (p * block).min(n);
+            let end = ((p + 1) * block).min(n);
+            let mut offsets = Vec::with_capacity(end - start + 1);
+            let base = g.offsets()[start];
+            for v in start..=end {
+                offsets.push(g.offsets()[v] - base);
+            }
+            let adjacency =
+                g.adjacency()[g.offsets()[start] as usize..g.offsets()[end] as usize].to_vec();
+            // Local CSR keeps *global* neighbor ids; Csr::from_parts would
+            // reject them as out of range, so validate manually.
+            let local = Csr::from_parts_with_external_targets(offsets, adjacency, n);
+            parts.push(Part {
+                start: start as VertexId,
+                end: end as VertexId,
+                local,
+            });
+        }
+        Self {
+            parts,
+            num_vertices: n,
+            block,
+        }
+    }
+
+    /// Total vertices in the global graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of parts.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Owner rank of a global vertex.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        ((v as usize) / self.block).min(self.parts.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_graph::generators::erdos_renyi;
+
+    #[test]
+    fn blocks_cover_all_vertices_once() {
+        let g = erdos_renyi(1000, 4000, 1);
+        for np in [1, 2, 3, 7, 8] {
+            let p = Partition::new(&g, np, 64);
+            let total: usize = p.parts.iter().map(Part::len).sum();
+            assert_eq!(total, 1000, "{np} parts");
+            for v in 0..1000u32 {
+                let o = p.owner(v);
+                assert!(p.parts[o].owns(v), "vertex {v} not owned by its owner {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_subgraphs_preserve_adjacency() {
+        let g = erdos_renyi(500, 2000, 2);
+        let p = Partition::new(&g, 4, 64);
+        for part in &p.parts {
+            for l in 0..part.len() as u32 {
+                let global = part.to_global(l);
+                assert_eq!(
+                    part.local.neighbors(l),
+                    g.neighbors(global),
+                    "row {global} differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let g = erdos_renyi(1000, 100, 3);
+        let p = Partition::new(&g, 3, 64);
+        for part in &p.parts[..p.num_parts() - 1] {
+            assert_eq!(part.len() % 64, 0);
+        }
+    }
+
+    #[test]
+    fn single_part_is_whole_graph() {
+        let g = erdos_renyi(300, 900, 4);
+        let p = Partition::new(&g, 1, 64);
+        assert_eq!(p.parts[0].len(), 300);
+        assert_eq!(p.owner(299), 0);
+    }
+}

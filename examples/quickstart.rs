@@ -1,0 +1,57 @@
+//! Quickstart: generate a Graph500 R-MAT graph, run adaptive XBFS on a
+//! simulated MI250X GCD, and print what the controller did.
+//!
+//! ```text
+//! cargo run --release --example quickstart [scale]
+//! ```
+
+use gcd_sim::Device;
+use xbfs_core::{Xbfs, XbfsConfig};
+use xbfs_graph::generators::{rmat_graph, RmatParams};
+use xbfs_graph::stats::pick_sources;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    println!("generating Graph500 R-MAT, scale {scale} (edge factor 16)...");
+    let graph = rmat_graph(RmatParams::graph500(scale), 42);
+    println!(
+        "  |V| = {}, |E| = {}, avg degree {:.1}, max degree {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.average_degree(),
+        graph.max_degree()
+    );
+
+    let device = Device::mi250x();
+    let xbfs = Xbfs::new(&device, &graph, XbfsConfig::default());
+    let source = pick_sources(&graph, 1, 7)[0];
+    println!("running XBFS from source {source} on a simulated {}...", device.arch().name);
+    let run = xbfs.run(source);
+
+    println!("\nper-level controller decisions:");
+    println!("{:>5} {:>12} {:>12} {:>12} {:>10} {:>6}", "level", "strategy", "frontier", "edge ratio", "time (ms)", "NFG");
+    for l in &run.level_stats {
+        println!(
+            "{:>5} {:>12} {:>12} {:>12.3e} {:>10.4} {:>6}",
+            l.level,
+            l.strategy.to_string(),
+            l.frontier_count,
+            l.ratio,
+            l.time_ms,
+            if l.used_nfg { "yes" } else { "no" }
+        );
+    }
+    let visited = run.levels.iter().filter(|&&l| l != u32::MAX).count();
+    println!(
+        "\nvisited {visited}/{} vertices in {} levels",
+        graph.num_vertices(),
+        run.depth()
+    );
+    println!(
+        "end-to-end {:.3} ms (modeled device time) -> {:.2} GTEPS",
+        run.total_ms, run.gteps
+    );
+}

@@ -1,0 +1,95 @@
+//! Social-network analysis on the LiveJournal/Orkut analogs: BFS as the
+//! building block the paper's introduction motivates — reachability,
+//! hop-distance distributions, and a BFS-based closeness estimate for the
+//! network's hubs.
+//!
+//! ```text
+//! cargo run --release --example social_network_analysis [lj|orkut] [shift]
+//! ```
+
+use gcd_sim::Device;
+use xbfs_core::{Xbfs, XbfsConfig};
+use xbfs_graph::stats::pick_sources;
+use xbfs_graph::{rearrange_by_degree, Dataset, RearrangeOrder, UNVISITED};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let which = args.next().unwrap_or_else(|| "lj".into());
+    let shift: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let dataset = match which.as_str() {
+        "orkut" => Dataset::Orkut,
+        _ => Dataset::LiveJournal,
+    };
+    let spec = dataset.spec();
+    println!("building the {} analog ({}), 1/2^{shift} paper scale...", spec.name, spec.analog);
+    let graph = rearrange_by_degree(&dataset.generate(shift, 99), RearrangeOrder::DegreeDescending);
+    println!(
+        "  |V| = {}, |E| = {}, avg degree {:.1}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.average_degree()
+    );
+
+    let device = Device::mi250x();
+    let xbfs = Xbfs::new(&device, &graph, XbfsConfig::default());
+
+    // 1. Reachability + hop-distance distribution from a random member.
+    let source = pick_sources(&graph, 1, 5)[0];
+    let run = xbfs.run(source);
+    let reached = run.levels.iter().filter(|&&l| l != UNVISITED).count();
+    println!(
+        "\nfrom user {source}: {reached}/{} reachable ({:.1}%), BFS depth {}",
+        graph.num_vertices(),
+        100.0 * reached as f64 / graph.num_vertices() as f64,
+        run.depth()
+    );
+    let mut hist = vec![0usize; run.depth().max(1)];
+    for &l in &run.levels {
+        if l != UNVISITED {
+            hist[l as usize] += 1;
+        }
+    }
+    println!("hop-distance distribution (the small-world profile):");
+    let max = *hist.iter().max().unwrap_or(&1);
+    for (hop, &count) in hist.iter().enumerate() {
+        let bar = "#".repeat((count * 50 / max).max(usize::from(count > 0)));
+        println!("  {hop:>2} hops: {count:>9} {bar}");
+    }
+
+    // 2. BFS-based closeness of the top hubs: average hop distance to all
+    //    reachable users (smaller = more central).
+    let mut by_degree: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+    println!("\ncloseness of the 5 highest-degree hubs (one BFS each):");
+    for &hub in by_degree.iter().take(5) {
+        let r = xbfs.run(hub);
+        let (mut sum, mut cnt) = (0u64, 0u64);
+        for &l in &r.levels {
+            if l != UNVISITED && l > 0 {
+                sum += u64::from(l);
+                cnt += 1;
+            }
+        }
+        println!(
+            "  hub {hub:>9} (degree {:>6}): avg distance {:.3}, {:.3} ms/BFS, {:.2} GTEPS",
+            graph.degree(hub),
+            sum as f64 / cnt.max(1) as f64,
+            r.total_ms,
+            r.gteps
+        );
+    }
+
+    // 3. Aggregate n-to-n throughput, the paper's Fig. 8 metric.
+    let sources = pick_sources(&graph, 8, 17);
+    let (mut edges, mut ms) = (0u64, 0.0);
+    for &s in &sources {
+        let r = xbfs.run(s);
+        edges += r.traversed_edges;
+        ms += r.total_ms;
+    }
+    println!(
+        "\nn-to-n over {} sources: {:.2} GTEPS on one simulated GCD",
+        sources.len(),
+        edges as f64 / (ms * 1e-3) / 1e9
+    );
+}

@@ -1,0 +1,74 @@
+//! Strategy explorer: see how the adaptive controller's choices — and the
+//! end-to-end time — change as you sweep the bottom-up threshold `α`
+//! (the paper settles on α = 0.1 in §V-D/F).
+//!
+//! ```text
+//! cargo run --release --example strategy_explorer [dataset] [shift]
+//! dataset: lj | up | or | db | r23 | r25 (default r25)
+//! ```
+
+use gcd_sim::Device;
+use xbfs_core::{Strategy, Xbfs, XbfsConfig};
+use xbfs_graph::stats::pick_sources;
+use xbfs_graph::Dataset;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let which = args.next().unwrap_or_else(|| "r25".into());
+    let shift: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let dataset = match which.as_str() {
+        "lj" => Dataset::LiveJournal,
+        "up" => Dataset::USpatent,
+        "or" => Dataset::Orkut,
+        "db" => Dataset::Dblp,
+        "r23" => Dataset::Rmat23,
+        _ => Dataset::Rmat25,
+    };
+    println!("dataset {} at 1/2^{shift} paper scale", dataset.spec().name);
+    let graph = dataset.generate(shift, 3);
+    let source = pick_sources(&graph, 1, 11)[0];
+
+    println!("\n-- forced strategies (paper Tables III-V setup) --");
+    for strat in [Strategy::ScanFree, Strategy::SingleScan, Strategy::BottomUp] {
+        let cfg = XbfsConfig::forced(strat);
+        let device = Device::mi250x();
+        let run = Xbfs::new(&device, &graph, cfg).run(source);
+        println!(
+            "  forced {:>11}: {:>8.3} ms, {:>6.2} GTEPS, {} levels",
+            strat.to_string(),
+            run.total_ms,
+            run.gteps,
+            run.depth()
+        );
+    }
+
+    println!("\n-- alpha sweep (paper picks 0.1) --");
+    println!(
+        "{:>8} {:>10} {:>8}  strategy trace",
+        "alpha", "time (ms)", "GTEPS"
+    );
+    for alpha in [0.01, 0.05, 0.1, 0.2, 0.4, 0.8] {
+        let cfg = XbfsConfig {
+            alpha,
+            scan_free_max_ratio: (1e-3f64).min(alpha),
+            ..XbfsConfig::default()
+        };
+        let device = Device::mi250x();
+        let run = Xbfs::new(&device, &graph, cfg).run(source);
+        let trace: String = run
+            .strategy_trace()
+            .iter()
+            .map(|s| match s {
+                Strategy::ScanFree => 'F',
+                Strategy::SingleScan => 'S',
+                Strategy::BottomUp => 'B',
+            })
+            .collect();
+        println!(
+            "{alpha:>8} {:>10.3} {:>8.2}  {trace}",
+            run.total_ms, run.gteps
+        );
+    }
+    println!("\ntrace legend: F = scan-free, S = single-scan, B = bottom-up");
+    println!("(the paper's Rmat25 adaptive trace is F F S B B S F F)");
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! `xbfs-repro` — workspace facade used by the runnable examples and the
+//! cross-crate integration tests.
+//!
+//! The actual systems live in the member crates:
+//! [`xbfs_graph`] (graphs), [`gcd_sim`] (the simulated MI250X GCD),
+//! [`xbfs_core`] (XBFS itself) and [`xbfs_baselines`] (competing engines).
+
+pub use gcd_sim;
+pub use xbfs_baselines;
+pub use xbfs_core;
+pub use xbfs_graph;
+
+use gcd_sim::{ArchProfile, Device, ExecMode};
+use xbfs_core::{BfsRun, Xbfs, XbfsConfig};
+use xbfs_graph::Csr;
+
+/// Run XBFS once on a fresh MI250X-GCD device with the given config —
+/// the one-liner most examples start from.
+pub fn run_xbfs(graph: &Csr, source: u32, cfg: XbfsConfig) -> BfsRun {
+    let device = Device::new(
+        ArchProfile::mi250x_gcd(),
+        ExecMode::Functional,
+        cfg.required_streams(),
+    );
+    Xbfs::new(&device, graph, cfg).run(source)
+}
+
+/// Harmonic-mean GTEPS over several sources (the paper's "n-to-n" summary
+/// statistic: total edges over total time).
+pub fn n_to_n_gteps(graph: &Csr, sources: &[u32], cfg: XbfsConfig) -> f64 {
+    let device = Device::new(
+        ArchProfile::mi250x_gcd(),
+        ExecMode::Functional,
+        cfg.required_streams(),
+    );
+    let xbfs = Xbfs::new(&device, graph, cfg);
+    let mut edges = 0u64;
+    let mut ms = 0.0f64;
+    for &s in sources {
+        let run = xbfs.run(s);
+        edges += run.traversed_edges;
+        ms += run.total_ms;
+    }
+    if ms > 0.0 {
+        edges as f64 / (ms * 1e-3) / 1e9
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_graph::generators::{rmat_graph, RmatParams};
+
+    #[test]
+    fn facade_runs() {
+        let g = rmat_graph(RmatParams::graph500(9), 1);
+        let run = run_xbfs(&g, 0, XbfsConfig::default());
+        assert_eq!(run.levels[0], 0);
+        let gteps = n_to_n_gteps(&g, &[0, 5, 9], XbfsConfig::default());
+        assert!(gteps > 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-crate correctness: XBFS and every baseline engine produce exact
+//! BFS levels on every dataset analog, from many sources, on both
+//! architecture profiles.
+
+use gcd_sim::{ArchProfile, Device, ExecMode};
+use xbfs_baselines::{
+    BeamerLike, EnterpriseLike, GpuBfs, GunrockLike, HierarchicalQueue, SimpleTopDown,
+    SsspAsync,
+};
+use xbfs_core::{Strategy, Xbfs, XbfsConfig};
+use xbfs_graph::reference::bfs_levels_parallel;
+use xbfs_graph::stats::pick_sources;
+use xbfs_graph::{rearrange_by_degree, Dataset, RearrangeOrder};
+
+const SHIFT: u32 = 11; // tiny analogs: keep the full matrix fast
+
+#[test]
+fn xbfs_matches_reference_on_all_datasets() {
+    for d in Dataset::ALL {
+        let g = d.generate(SHIFT, 42);
+        let dev = Device::mi250x();
+        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default());
+        for s in pick_sources(&g, 3, 7) {
+            let run = xbfs.run(s);
+            assert_eq!(
+                run.levels,
+                bfs_levels_parallel(&g, s),
+                "dataset {d}, source {s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_baselines_match_reference_on_all_datasets() {
+    let engines: Vec<Box<dyn GpuBfs>> = vec![
+        Box::new(SimpleTopDown),
+        Box::new(GunrockLike),
+        Box::new(EnterpriseLike),
+        Box::new(HierarchicalQueue),
+        Box::new(SsspAsync),
+        Box::new(BeamerLike::default()),
+    ];
+    for d in Dataset::ALL {
+        let g = d.generate(SHIFT, 42);
+        let s = pick_sources(&g, 1, 7)[0];
+        let expect = bfs_levels_parallel(&g, s);
+        for e in &engines {
+            let dev = Device::mi250x();
+            let run = e.run(&dev, &g, s);
+            assert_eq!(run.levels, expect, "dataset {d}, engine {}", e.name());
+        }
+    }
+}
+
+#[test]
+fn rearranged_graphs_give_identical_levels() {
+    for d in [Dataset::Rmat25, Dataset::Orkut] {
+        let g = d.generate(SHIFT, 5);
+        let s = pick_sources(&g, 1, 3)[0];
+        let expect = bfs_levels_parallel(&g, s);
+        for order in [
+            RearrangeOrder::DegreeDescending,
+            RearrangeOrder::DegreeAscending,
+            RearrangeOrder::VertexId,
+        ] {
+            let rg = rearrange_by_degree(&g, order);
+            let dev = Device::mi250x();
+            let run = Xbfs::new(&dev, &rg, XbfsConfig::default()).run(s);
+            assert_eq!(run.levels, expect, "dataset {d}, order {order:?}");
+        }
+    }
+}
+
+#[test]
+fn forced_strategies_agree_across_architectures() {
+    let g = Dataset::Rmat23.generate(SHIFT, 9);
+    let s = pick_sources(&g, 1, 1)[0];
+    let expect = bfs_levels_parallel(&g, s);
+    for arch in [ArchProfile::mi250x_gcd(), ArchProfile::p6000()] {
+        for strat in [Strategy::ScanFree, Strategy::SingleScan, Strategy::BottomUp] {
+            let cfg = XbfsConfig::forced(strat);
+            let dev = Device::new(arch.clone(), ExecMode::Functional, cfg.required_streams());
+            let run = Xbfs::new(&dev, &g, cfg).run(s);
+            assert_eq!(run.levels, expect, "{} forced {strat}", arch.name);
+        }
+    }
+}
+
+#[test]
+fn timing_and_functional_modes_agree() {
+    let g = Dataset::LiveJournal.generate(SHIFT, 4);
+    let s = pick_sources(&g, 1, 2)[0];
+    let run_f = {
+        let dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Functional, 1);
+        Xbfs::new(&dev, &g, XbfsConfig::default()).run(s)
+    };
+    let run_t = {
+        let dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Timing, 1);
+        Xbfs::new(&dev, &g, XbfsConfig::default()).run(s)
+    };
+    assert_eq!(run_f.levels, run_t.levels);
+    assert_eq!(run_f.strategy_trace(), run_t.strategy_trace());
+    // Timing mode filters fetches through the L2, so it can only observe
+    // less HBM traffic than the coalescer-only functional estimate.
+    assert!(run_t.total_fetch_kb() <= run_f.total_fetch_kb() + 1.0);
+}
