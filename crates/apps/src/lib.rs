@@ -55,7 +55,10 @@ impl<'g> BfsEngine<'g> {
     /// One BFS from `source`. Each call uploads state to the (simulated)
     /// device and runs the full adaptive pipeline.
     pub fn bfs(&self, source: u32) -> BfsRun {
-        Xbfs::new(&self.device, self.graph, self.cfg).run(source)
+        Xbfs::new(&self.device, self.graph, self.cfg)
+            .expect("engine constructed with compatible device")
+            .run(source)
+            .expect("caller-validated source")
     }
 
     /// BFS restricted to a vertex mask: vertices where `alive[v]` is false
@@ -65,7 +68,10 @@ impl<'g> BfsEngine<'g> {
         assert_eq!(alive.len(), self.graph.num_vertices());
         assert!(alive[source as usize], "source must be alive");
         let sub = masked_subgraph(self.graph, alive);
-        let run = Xbfs::new(&self.device, &sub, self.cfg).run(source);
+        let run = Xbfs::new(&self.device, &sub, self.cfg)
+            .expect("engine constructed with compatible device")
+            .run(source)
+            .expect("caller-validated source");
         run.levels
     }
 }

@@ -50,9 +50,9 @@ fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     for (label, cfg) in variants {
         let dev = mi250x_functional(&cfg);
-        let xbfs = Xbfs::new(&dev, &g, cfg);
+        let xbfs = Xbfs::new(&dev, &g, cfg).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(label), &xbfs, |b, x| {
-            b.iter(|| std::hint::black_box(x.run(src)))
+            b.iter(|| std::hint::black_box(x.run(src).unwrap()))
         });
     }
     group.finish();

@@ -20,8 +20,9 @@ fn bench_distributed(c: &mut Criterion) {
                         num_gcds: p,
                         ..ClusterConfig::node_of_8()
                     };
-                    let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier());
-                    std::hint::black_box(cluster.run(src))
+                    let mut cluster =
+                        GcdCluster::new(&g, cfg, LinkModel::frontier()).expect("valid config");
+                    std::hint::black_box(cluster.run(src).expect("fault-free run"))
                 })
             },
         );
@@ -35,8 +36,9 @@ fn bench_distributed(c: &mut Criterion) {
                         push_only: true,
                         ..ClusterConfig::node_of_8()
                     };
-                    let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier());
-                    std::hint::black_box(cluster.run(src))
+                    let mut cluster =
+                        GcdCluster::new(&g, cfg, LinkModel::frontier()).expect("valid config");
+                    std::hint::black_box(cluster.run(src).expect("fault-free run"))
                 })
             },
         );

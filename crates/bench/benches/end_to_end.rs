@@ -18,9 +18,9 @@ fn bench_fig8(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("fig8_{d}"));
         let cfg = XbfsConfig::default();
         let dev = Device::mi250x();
-        let xbfs = Xbfs::new(&dev, &g, cfg);
+        let xbfs = Xbfs::new(&dev, &g, cfg).unwrap();
         group.bench_function("xbfs", |b| {
-            b.iter(|| std::hint::black_box(xbfs.run(src)))
+            b.iter(|| std::hint::black_box(xbfs.run(src).unwrap()))
         });
         let engines: Vec<Box<dyn GpuBfs>> = vec![
             Box::new(GunrockLike),

@@ -33,9 +33,9 @@ fn bench_porting(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_porting_stages");
     for (label, arch, cfg, compiler) in configs {
         let dev = mk_device(arch, ExecMode::Functional, &cfg, compiler);
-        let xbfs = Xbfs::new(&dev, &g, cfg);
+        let xbfs = Xbfs::new(&dev, &g, cfg).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(label), &xbfs, |b, x| {
-            b.iter(|| std::hint::black_box(x.run(src)))
+            b.iter(|| std::hint::black_box(x.run(src).unwrap()))
         });
     }
     group.finish();

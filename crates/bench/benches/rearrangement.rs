@@ -20,9 +20,9 @@ fn bench_rearrangement(c: &mut Criterion) {
         let g = rearrange_by_degree(&base, order);
         let cfg = XbfsConfig::default();
         let dev = mi250x_functional(&cfg);
-        let xbfs = Xbfs::new(&dev, &g, cfg);
+        let xbfs = Xbfs::new(&dev, &g, cfg).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(label), &xbfs, |b, x| {
-            b.iter(|| std::hint::black_box(x.run(src)))
+            b.iter(|| std::hint::black_box(x.run(src).unwrap()))
         });
     }
     group.finish();

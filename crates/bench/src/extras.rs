@@ -13,7 +13,7 @@ pub fn efficiency(scale: &Scale) -> String {
     let g = rearrange_by_degree(&scale.table_rmat(TABLE_SEED), RearrangeOrder::DegreeDescending);
     let cfg = XbfsConfig::default();
     let dev = mi250x_timing(&cfg, scale.table_shift);
-    let run = Xbfs::new(&dev, &g, cfg).run(default_source(&g));
+    let run = Xbfs::new(&dev, &g, cfg).expect("bench inputs are valid").run(default_source(&g)).expect("bench inputs are valid");
     let eff = bandwidth_efficiency(&run, g.num_vertices(), g.num_edges(), dev.arch());
     format!(
         "§V-F bandwidth efficiency (R-MAT scale {}, {} ms end-to-end):\n\
@@ -41,7 +41,7 @@ pub fn compilers(scale: &Scale) -> String {
             &cfg,
             compiler,
         );
-        let run = Xbfs::new(&dev, &g, cfg).run(default_source(&g));
+        let run = Xbfs::new(&dev, &g, cfg).expect("bench inputs are valid").run(default_source(&g)).expect("bench inputs are valid");
         let bu_ms: f64 = run
             .level_stats
             .iter()
@@ -131,10 +131,10 @@ pub fn ablations(scale: &Scale) -> String {
             &cfg,
             Compiler::ClangO3,
         );
-        let xbfs = Xbfs::new(&dev, &g, cfg);
+        let xbfs = Xbfs::new(&dev, &g, cfg).expect("bench inputs are valid");
         let (mut edges, mut ms) = (0u64, 0.0f64);
         for &s in &sources {
-            let run = xbfs.run(s);
+            let run = xbfs.run(s).expect("bench inputs are valid");
             edges += run.traversed_edges;
             ms += run.total_ms;
         }
@@ -178,10 +178,10 @@ pub fn alpha(scale: &Scale) -> String {
             &cfg,
             Compiler::ClangO3,
         );
-        let xbfs = Xbfs::new(&dev, &g, cfg);
+        let xbfs = Xbfs::new(&dev, &g, cfg).expect("bench inputs are valid");
         let (mut edges, mut ms, mut bu_levels) = (0u64, 0.0f64, 0usize);
         for &s in &sources {
-            let run = xbfs.run(s);
+            let run = xbfs.run(s).expect("bench inputs are valid");
             edges += run.traversed_edges;
             ms += run.total_ms;
             bu_levels += run
@@ -228,8 +228,9 @@ pub fn scaling(scale: &Scale) -> String {
                 alpha: 0.1,
                 push_only,
             };
-            let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier());
-            let run = cluster.run(src);
+            let mut cluster =
+                GcdCluster::new(&g, cfg, LinkModel::frontier()).expect("valid table config");
+            let run = cluster.run(src).expect("fault-free run");
             per_mode.push(run);
         }
         let opt = &per_mode[0];

@@ -40,9 +40,9 @@ pub fn fig5(scale: &Scale) -> String {
         let src = crate::common::default_source(&g);
         let run = if label.starts_with("(c)") {
             let rg = rearrange_by_degree(&g, RearrangeOrder::DegreeDescending);
-            Xbfs::new(&dev, &rg, cfg).run(src)
+            Xbfs::new(&dev, &rg, cfg).expect("bench inputs are valid").run(src).expect("bench inputs are valid")
         } else {
-            Xbfs::new(&dev, &g, cfg).run(src)
+            Xbfs::new(&dev, &g, cfg).expect("bench inputs are valid").run(src).expect("bench inputs are valid")
         };
         let mut per_kernel: BTreeMap<String, f64> = BTreeMap::new();
         for ls in &run.level_stats {
@@ -164,10 +164,10 @@ pub fn fig8_rows(scale: &Scale) -> Vec<Fig8Row> {
 
             let gteps_of = |graph: &xbfs_graph::Csr| {
                 let dev = mi250x_functional(&cfg);
-                let xbfs = Xbfs::new(&dev, graph, cfg);
+                let xbfs = Xbfs::new(&dev, graph, cfg).expect("bench inputs are valid");
                 let (mut edges, mut ms) = (0u64, 0.0f64);
                 for &s in &sources {
-                    let run = xbfs.run(s);
+                    let run = xbfs.run(s).expect("bench inputs are valid");
                     edges += run.traversed_edges;
                     ms += run.total_ms;
                 }
@@ -257,10 +257,10 @@ pub fn baselines_sweep(scale: &Scale) -> String {
 
         let cfg = XbfsConfig::default();
         let dev = mi250x_functional(&cfg);
-        let xbfs = Xbfs::new(&dev, &g, cfg);
+        let xbfs = Xbfs::new(&dev, &g, cfg).expect("bench inputs are valid");
         let (mut edges, mut ms) = (0u64, 0.0f64);
         for &s in &sources {
-            let run = xbfs.run(s);
+            let run = xbfs.run(s).expect("bench inputs are valid");
             edges += run.traversed_edges;
             ms += run.total_ms;
         }

@@ -11,7 +11,7 @@ pub const TABLE_SEED: u64 = 20240625;
 /// pairs plus the run itself.
 fn timing_run(graph: &Csr, cfg: XbfsConfig, source: u32, shift: u32) -> xbfs_core::BfsRun {
     let dev = mi250x_timing(&cfg, shift);
-    Xbfs::new(&dev, graph, cfg).run(source)
+    Xbfs::new(&dev, graph, cfg).expect("bench inputs are valid").run(source).expect("bench inputs are valid")
 }
 
 /// The shared single-source for the profiler tables.

@@ -4,24 +4,164 @@
 use crate::args::Args;
 use gcd_sim::{ArchProfile, Compiler, Device, ExecMode};
 use std::path::Path;
-use xbfs_core::{ms_bfs, Strategy, Xbfs, XbfsConfig};
+use xbfs_core::{ms_bfs, Strategy, Xbfs, XbfsConfig, XbfsError};
 use xbfs_graph::builder::BuildOptions;
 use xbfs_graph::generators::{rmat_graph, RmatParams};
 use xbfs_graph::stats::{level_profile, pick_sources, summarize};
 use xbfs_graph::{io, rearrange_by_degree, Csr, Dataset, RearrangeOrder};
+use xbfs_multi_gcd::{
+    ClusterConfig, ClusterError, FaultConfig, FaultPlan, GcdCluster, LinkModel, RecoveryPolicy,
+};
+
+/// Exit codes the `xbfs` binary maps failures to.
+pub mod exit_code {
+    /// Catch-all failure (reserved; every current error maps to a
+    /// specific code below).
+    #[allow(dead_code)]
+    pub const GENERIC: i32 = 1;
+    /// Bad command line (unknown command/option, unparsable value).
+    pub const USAGE: i32 = 2;
+    /// Filesystem problem (unreadable input, unwritable output).
+    pub const IO: i32 = 3;
+    /// Input rejected by the engine (bad source, bad config, bad spec).
+    pub const INVALID_INPUT: i32 = 4;
+    /// An injected fault the cluster could not recover from.
+    pub const UNRECOVERED_FAULT: i32 = 5;
+    /// BFS output failed Graph500 validation.
+    pub const VALIDATION: i32 = 6;
+}
+
+/// A CLI failure: a user-facing message plus the process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// What went wrong, printed to stderr.
+    pub message: String,
+    /// Process exit code (see [`exit_code`]).
+    pub code: i32,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>, code: i32) -> Self {
+        Self {
+            message: message.into(),
+            code,
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> Self {
+        Self::new(message, exit_code::USAGE)
+    }
+
+    fn io(message: impl Into<String>) -> Self {
+        Self::new(message, exit_code::IO)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl From<String> for CliError {
+    // Bare-string errors in this module are option/usage complaints.
+    fn from(message: String) -> Self {
+        Self::usage(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        Self::usage(message.to_string())
+    }
+}
+
+impl From<XbfsError> for CliError {
+    fn from(e: XbfsError) -> Self {
+        Self::new(e.to_string(), exit_code::INVALID_INPUT)
+    }
+}
+
+impl From<ClusterError> for CliError {
+    fn from(e: ClusterError) -> Self {
+        let code = match &e {
+            ClusterError::LinkFailed { .. } | ClusterError::Unrecoverable { .. } => {
+                exit_code::UNRECOVERED_FAULT
+            }
+            _ => exit_code::INVALID_INPUT,
+        };
+        Self::new(e.to_string(), code)
+    }
+}
 
 /// Run one subcommand; returns the text to print.
-pub fn dispatch(args: &Args) -> Result<String, String> {
+/// Options each subcommand accepts; anything else is a usage error
+/// rather than being silently ignored.
+const DEVICE_OPTS: [&str; 3] = ["arch", "compiler", "timing"];
+
+fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
+    let mut opts: Vec<&str> = match command {
+        "generate" => vec!["out", "kind", "seed", "scale", "shift"],
+        "convert" | "info" | "analyze" | "help" | "" => vec![],
+        "bfs" => vec![
+            "source",
+            "alpha",
+            "auto-alpha",
+            "forced",
+            "rearrange",
+            "validate",
+            "csv",
+        ],
+        "cluster" => vec![
+            "gcds",
+            "source",
+            "alpha",
+            "push-only",
+            "inject-faults",
+            "checkpoint-every",
+            "recovery",
+            "validate",
+            "json",
+            "csv",
+        ],
+        "msbfs" => vec!["sources"],
+        "compare" => vec!["source"],
+        _ => return None,
+    };
+    if matches!(command, "bfs" | "msbfs" | "compare") {
+        opts.extend(DEVICE_OPTS);
+    }
+    Some(opts)
+}
+
+fn reject_unknown_options(args: &Args) -> Result<(), CliError> {
+    let Some(allowed) = allowed_options(&args.command) else {
+        return Ok(()); // unknown command: reported by dispatch itself
+    };
+    for key in args.options.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(CliError::usage(format!(
+                "unknown option --{key} for `{}` (see `xbfs help`)",
+                args.command
+            )));
+        }
+    }
+    Ok(())
+}
+
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    reject_unknown_options(args)?;
     match args.command.as_str() {
         "generate" => generate(args),
         "convert" => convert(args),
         "info" => info(args),
         "bfs" => bfs(args),
+        "cluster" => cluster(args),
         "msbfs" => msbfs(args),
         "compare" => compare(args),
         "analyze" => analyze(args),
         "help" | "" => Ok(HELP.to_string()),
-        other => Err(format!("unknown command {other:?}\n{HELP}")),
+        other => Err(CliError::usage(format!("unknown command {other:?}\n{HELP}"))),
     }
 }
 
@@ -38,15 +178,25 @@ COMMANDS
   bfs       FILE [--source N] [--alpha F | --auto-alpha] [--forced scan-free|single-scan|bottom-up]
             [--rearrange] [--validate] [--arch mi250x|mi100|p6000] [--compiler clang|hipcc|clang-O0]
             [--timing] [--csv FILE]  run one BFS and report per-level stats
+  cluster   FILE [--gcds N] [--source N] [--alpha F] [--push-only]
+            [--inject-faults SPEC|random[:SEED]] [--checkpoint-every N]
+            [--recovery spare|degrade] [--validate] [--json FILE] [--csv FILE]
+            distributed BFS across simulated GCDs, optionally under faults;
+            SPEC is comma-separated: crash@LVL:rankR, drop@LVL:SRC-DSTxN,
+            degrade@FROM-TO:FACTOR, seed=N
   msbfs     FILE [--sources N]      concurrent multi-source BFS (iBFS-style)
   compare   FILE [--source N]       XBFS vs every baseline engine
   analyze   FILE                    connected components, diameter estimate
+
+EXIT CODES
+  0 ok, 1 generic, 2 usage, 3 I/O, 4 invalid input, 5 unrecovered fault,
+  6 validation failure
 ";
 
 /// Load a graph by extension (.bin, .mtx, anything else = edge list).
-pub fn load_graph(path: &str) -> Result<Csr, String> {
+pub fn load_graph(path: &str) -> Result<Csr, CliError> {
     let p = Path::new(path);
-    let err = |e: std::io::Error| format!("cannot read {path}: {e}");
+    let err = |e: std::io::Error| CliError::io(format!("cannot read {path}: {e}"));
     match p.extension().and_then(|e| e.to_str()) {
         Some("bin") => io::read_binary_file(p).map_err(err),
         Some("mtx") => {
@@ -58,9 +208,9 @@ pub fn load_graph(path: &str) -> Result<Csr, String> {
     }
 }
 
-fn save_graph(g: &Csr, path: &str) -> Result<(), String> {
+fn save_graph(g: &Csr, path: &str) -> Result<(), CliError> {
     let p = Path::new(path);
-    let err = |e: std::io::Error| format!("cannot write {path}: {e}");
+    let err = |e: std::io::Error| CliError::io(format!("cannot write {path}: {e}"));
     match p.extension().and_then(|e| e.to_str()) {
         Some("bin") => io::write_binary_file(g, p).map_err(err),
         _ => {
@@ -70,7 +220,7 @@ fn save_graph(g: &Csr, path: &str) -> Result<(), String> {
     }
 }
 
-fn generate(args: &Args) -> Result<String, String> {
+fn generate(args: &Args) -> Result<String, CliError> {
     let out = args.require("out")?.to_string();
     let kind = args.get::<String>("kind", "rmat".into())?;
     let seed = args.get::<u64>("seed", 42)?;
@@ -94,7 +244,7 @@ fn generate(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn dataset_by_name(name: &str) -> Result<Dataset, String> {
+fn dataset_by_name(name: &str) -> Result<Dataset, CliError> {
     Ok(match name {
         "lj" => Dataset::LiveJournal,
         "up" => Dataset::USpatent,
@@ -102,11 +252,11 @@ fn dataset_by_name(name: &str) -> Result<Dataset, String> {
         "db" => Dataset::Dblp,
         "r23" => Dataset::Rmat23,
         "r25" => Dataset::Rmat25,
-        _ => return Err(format!("unknown dataset kind {name:?}")),
+        _ => return Err(CliError::usage(format!("unknown dataset kind {name:?}"))),
     })
 }
 
-fn convert(args: &Args) -> Result<String, String> {
+fn convert(args: &Args) -> Result<String, CliError> {
     let [input, output] = args.positional.as_slice() else {
         return Err("usage: xbfs convert IN OUT".into());
     };
@@ -119,7 +269,7 @@ fn convert(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn info(args: &Args) -> Result<String, String> {
+fn info(args: &Args) -> Result<String, CliError> {
     let path = args.positional.first().ok_or("usage: xbfs info FILE")?;
     let g = load_graph(path)?;
     let s = summarize(&g);
@@ -149,12 +299,12 @@ fn info(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn mk_device(args: &Args, streams: usize) -> Result<Device, String> {
+fn mk_device(args: &Args, streams: usize) -> Result<Device, CliError> {
     let arch = match args.get::<String>("arch", "mi250x".into())?.as_str() {
         "mi250x" => ArchProfile::mi250x_gcd(),
         "mi100" => ArchProfile::mi100(),
         "p6000" => ArchProfile::p6000(),
-        other => return Err(format!("unknown arch {other:?}")),
+        other => return Err(CliError::usage(format!("unknown arch {other:?}"))),
     };
     let mode = if args.flag("timing") {
         ExecMode::Timing
@@ -166,12 +316,12 @@ fn mk_device(args: &Args, streams: usize) -> Result<Device, String> {
         "clang" => Compiler::ClangO3,
         "hipcc" => Compiler::HipccO3,
         "clang-O0" => Compiler::ClangO0,
-        other => return Err(format!("unknown compiler {other:?}")),
+        other => return Err(CliError::usage(format!("unknown compiler {other:?}"))),
     });
     Ok(dev)
 }
 
-fn bfs(args: &Args) -> Result<String, String> {
+fn bfs(args: &Args) -> Result<String, CliError> {
     let path = args.positional.first().ok_or("usage: xbfs bfs FILE")?;
     let mut g = load_graph(path)?;
     if args.flag("rearrange") {
@@ -187,7 +337,7 @@ fn bfs(args: &Args) -> Result<String, String> {
             "scan-free" => Strategy::ScanFree,
             "single-scan" => Strategy::SingleScan,
             "bottom-up" => Strategy::BottomUp,
-            other => return Err(format!("unknown strategy {other:?}")),
+            other => return Err(CliError::usage(format!("unknown strategy {other:?}"))),
         });
     }
     let dev = mk_device(args, cfg.required_streams())?;
@@ -199,8 +349,8 @@ fn bfs(args: &Args) -> Result<String, String> {
         cfg = tuned;
         tuned_note = format!("auto-tuned alpha = {} (paper's method, §V-D)\n", result.best_alpha);
     }
-    let xbfs = Xbfs::new(&dev, &g, cfg);
-    let run = xbfs.run(source);
+    let xbfs = Xbfs::new(&dev, &g, cfg)?;
+    let run = xbfs.run(source)?;
 
     let mut out = tuned_note;
     out.push_str(&format!(
@@ -225,7 +375,12 @@ fn bfs(args: &Args) -> Result<String, String> {
         let parents = run.parents.as_ref().expect("parents recorded");
         match xbfs_graph::validate_bfs_tree(&g, source, parents) {
             Ok(_) => out.push_str("BFS tree: VALID (Graph500-style checks passed)\n"),
-            Err(e) => return Err(format!("BFS tree INVALID: {e:?}")),
+            Err(e) => {
+                return Err(CliError::new(
+                    format!("BFS tree INVALID: {e:?}"),
+                    exit_code::VALIDATION,
+                ))
+            }
         }
     }
     if let Some(csv_path) = args.options.get("csv") {
@@ -235,13 +390,122 @@ fn bfs(args: &Args) -> Result<String, String> {
             .flat_map(|l| l.kernels.iter().cloned())
             .collect();
         std::fs::write(csv_path, gcd_sim::profiler::to_csv(&reports))
-            .map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+            .map_err(|e| CliError::io(format!("cannot write {csv_path}: {e}")))?;
         out.push_str(&format!("kernel counters written to {csv_path}\n"));
     }
     Ok(out)
 }
 
-fn msbfs(args: &Args) -> Result<String, String> {
+/// Parse `--inject-faults`: either an explicit spec, or `random[:SEED]`
+/// for a generated plan.
+fn parse_fault_plan(spec: &str, num_gcds: usize) -> Result<FaultPlan, ClusterError> {
+    if let Some(rest) = spec.strip_prefix("random") {
+        let seed = match rest.strip_prefix(':') {
+            Some(s) => s
+                .parse::<u64>()
+                .map_err(|_| ClusterError::FaultSpec(format!("bad random seed {s:?}")))?,
+            None if rest.is_empty() => 42,
+            _ => return Err(ClusterError::FaultSpec(format!("bad fault spec {spec:?}"))),
+        };
+        // A mid-run horizon of ~8 levels places crashes where checkpoints
+        // matter on typical scale-free diameters.
+        Ok(FaultPlan::random(seed, num_gcds, 8))
+    } else {
+        FaultPlan::parse(spec)
+    }
+}
+
+fn cluster(args: &Args) -> Result<String, CliError> {
+    let path = args.positional.first().ok_or("usage: xbfs cluster FILE")?;
+    let g = load_graph(path)?;
+    let cfg = ClusterConfig {
+        num_gcds: args.get::<usize>("gcds", 8)?,
+        alpha: args.get("alpha", 0.1)?,
+        push_only: args.flag("push-only"),
+    };
+    let source = args.get::<u32>("source", pick_sources(&g, 1, 1)[0])?;
+    let recovery = match args.get::<String>("recovery", "spare".into())?.as_str() {
+        "spare" => RecoveryPolicy::PromoteSpare,
+        "degrade" => RecoveryPolicy::Degrade,
+        other => return Err(CliError::usage(format!("unknown recovery policy {other:?}"))),
+    };
+    let plan = match args.options.get("inject-faults") {
+        Some(spec) => parse_fault_plan(spec, cfg.num_gcds)?,
+        None => FaultPlan::none(),
+    };
+    // Checkpointing defaults on (every level) when faults are injected.
+    let checkpoint_every =
+        args.get::<u32>("checkpoint-every", u32::from(!plan.is_empty()))?;
+    let faults = FaultConfig {
+        plan,
+        recovery,
+        checkpoint_every,
+        ..FaultConfig::default()
+    };
+
+    let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier())?;
+    let run = cluster.run_with_faults(source, &faults)?;
+
+    let mut out = format!(
+        "{} GCDs, source {source}, faults: {}\n",
+        cfg.num_gcds, run.fault_plan
+    );
+    out.push_str(&format!(
+        "{:>5} {:>3} {:>6} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}\n",
+        "level", "try", "mode", "frontier", "exchanged", "retrans", "retry ms", "recov ms", "time ms"
+    ));
+    for l in &run.level_stats {
+        out.push_str(&format!(
+            "{:>5} {:>3} {:>6} {:>12} {:>11.1}K {:>9.1}K {:>10.4} {:>10.4} {:>10.4}{}\n",
+            l.level,
+            l.attempt,
+            if l.bottom_up { "pull" } else { "push" },
+            l.frontier_count,
+            l.exchanged_bytes as f64 / 1024.0,
+            l.retransmitted_bytes as f64 / 1024.0,
+            l.retry_ms,
+            l.recovery_ms,
+            l.time_ms,
+            if l.checkpointed { "  [ckpt]" } else { "" },
+        ));
+    }
+    for r in &run.recoveries {
+        out.push_str(&format!(
+            "recovery: rank {} died at level {}, policy {}, resumed from level {} \
+             with {} GCDs ({:.4} ms overhead)\n",
+            r.dead_rank, r.detected_level, r.policy, r.restored_level, r.gcds_after,
+            r.overhead_ms
+        ));
+    }
+    out.push_str(&format!(
+        "total {:.4} ms -> {:.2} GTEPS aggregate, {:.2} GTEPS per GCD\n",
+        run.total_ms, run.gteps, run.gteps_per_gcd
+    ));
+    if args.flag("validate") {
+        match xbfs_graph::validate_bfs_levels(&g, source, &run.levels) {
+            Ok(()) => out.push_str("BFS levels: VALID (Graph500-style checks passed)\n"),
+            Err(e) => {
+                return Err(CliError::new(
+                    format!("BFS levels INVALID: {e:?}"),
+                    exit_code::VALIDATION,
+                ))
+            }
+        }
+    }
+    if let Some(json_path) = args.options.get("json") {
+        std::fs::write(json_path, run.to_json())
+            .map_err(|e| CliError::io(format!("cannot write {json_path}: {e}")))?;
+        out.push_str(&format!("run record written to {json_path}\n"));
+    }
+    if let Some(csv_path) = args.options.get("csv") {
+        std::fs::write(csv_path, run.to_csv())
+            .map_err(|e| CliError::io(format!("cannot write {csv_path}: {e}")))?;
+        out.push_str(&format!("per-level stats written to {csv_path}\n"));
+    }
+    Ok(out)
+}
+
+fn msbfs(args: &Args) -> Result<String, CliError> {
     let path = args.positional.first().ok_or("usage: xbfs msbfs FILE")?;
     let g = load_graph(path)?;
     let k = args.get::<usize>("sources", 8)?.clamp(1, xbfs_core::MAX_CONCURRENT);
@@ -249,8 +513,11 @@ fn msbfs(args: &Args) -> Result<String, String> {
     let dev = mk_device(args, 1)?;
     let run = ms_bfs(&dev, &g, &sources);
     // Compare with sequential runs for the sharing factor.
-    let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default());
-    let seq_ms: f64 = sources.iter().map(|&s| xbfs.run(s).total_ms).sum();
+    let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default())?;
+    let mut seq_ms = 0.0f64;
+    for &s in &sources {
+        seq_ms += xbfs.run(s)?.total_ms;
+    }
     Ok(format!(
         "{} concurrent sources: {:.4} ms shared ({:.4} ms sequential, {:.1}x sharing gain), {:.2} GTEPS aggregate\n",
         sources.len(),
@@ -261,7 +528,7 @@ fn msbfs(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn compare(args: &Args) -> Result<String, String> {
+fn compare(args: &Args) -> Result<String, CliError> {
     use xbfs_baselines::{
         BeamerLike, EnterpriseLike, GpuBfs, GunrockLike, HierarchicalQueue, SimpleTopDown,
         SsspAsync,
@@ -270,7 +537,7 @@ fn compare(args: &Args) -> Result<String, String> {
     let g = load_graph(path)?;
     let source = args.get::<u32>("source", pick_sources(&g, 1, 1)[0])?;
     let dev = mk_device(args, 1)?;
-    let xbfs_run = Xbfs::new(&dev, &g, XbfsConfig::default()).run(source);
+    let xbfs_run = Xbfs::new(&dev, &g, XbfsConfig::default())?.run(source)?;
     let mut out = format!(
         "{:<20} {:>10} {:>8}\n{:<20} {:>10.4} {:>8.2}\n",
         "engine", "ms", "GTEPS", "xbfs (adaptive)", xbfs_run.total_ms, xbfs_run.gteps
@@ -287,7 +554,10 @@ fn compare(args: &Args) -> Result<String, String> {
         let dev = Device::mi250x();
         let run = e.run(&dev, &g, source);
         if run.levels != xbfs_run.levels {
-            return Err(format!("engine {} disagrees with XBFS levels!", e.name()));
+            return Err(CliError::new(
+                format!("engine {} disagrees with XBFS levels!", e.name()),
+                exit_code::VALIDATION,
+            ));
         }
         out.push_str(&format!(
             "{:<20} {:>10.4} {:>8.2}\n",
@@ -299,7 +569,7 @@ fn compare(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn analyze(args: &Args) -> Result<String, String> {
+fn analyze(args: &Args) -> Result<String, CliError> {
     let path = args.positional.first().ok_or("usage: xbfs analyze FILE")?;
     let g = load_graph(path)?;
     let labels = xbfs_apps::connected_components(&g);
@@ -319,7 +589,7 @@ fn analyze(args: &Args) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    fn run(parts: &[&str]) -> Result<String, String> {
+    fn run(parts: &[&str]) -> Result<String, CliError> {
         dispatch(&Args::parse(parts.iter().map(|s| s.to_string())).unwrap())
     }
 
@@ -380,12 +650,70 @@ mod tests {
     }
 
     #[test]
-    fn errors_are_reported() {
-        assert!(run(&["nope"]).is_err());
-        assert!(run(&["bfs"]).is_err());
-        assert!(run(&["bfs", "/does/not/exist.bin"]).is_err());
-        assert!(run(&["generate"]).is_err()); // missing --out
+    fn errors_are_reported_with_distinct_exit_codes() {
+        assert_eq!(run(&["nope"]).unwrap_err().code, exit_code::USAGE);
+        assert_eq!(run(&["bfs"]).unwrap_err().code, exit_code::USAGE);
+        assert_eq!(
+            run(&["bfs", "/does/not/exist.bin"]).unwrap_err().code,
+            exit_code::IO
+        );
+        assert_eq!(run(&["generate"]).unwrap_err().code, exit_code::USAGE);
+        let typo = run(&["cluster", "g.bin", "--frobnicate"]).unwrap_err();
+        assert_eq!(typo.code, exit_code::USAGE);
+        assert!(typo.message.contains("--frobnicate"), "{}", typo.message);
         let help = run(&["help"]).unwrap();
         assert!(help.contains("USAGE"));
+        assert!(help.contains("cluster"));
+    }
+
+    #[test]
+    fn cluster_runs_fault_free_and_validates() {
+        let path = tmp("g5.bin");
+        run(&["generate", "--out", &path, "--scale", "10"]).unwrap();
+        let out = run(&["cluster", &path, "--gcds", "4", "--validate"]).unwrap();
+        assert!(out.contains("VALID"), "{out}");
+        assert!(out.contains("GTEPS per GCD"), "{out}");
+        assert!(out.contains("(no faults)"), "{out}");
+    }
+
+    #[test]
+    fn cluster_crash_demo_recovers_and_exports() {
+        let path = tmp("g6.bin");
+        run(&["generate", "--out", &path, "--scale", "11"]).unwrap();
+        let json = tmp("g6.json");
+        let csv = tmp("g6.csv");
+        let out = run(&[
+            "cluster", &path, "--gcds", "4", "--source", "1",
+            "--inject-faults", "crash@2:rank1", "--checkpoint-every", "1",
+            "--recovery", "spare", "--validate", "--json", &json, "--csv", &csv,
+        ])
+        .unwrap();
+        assert!(out.contains("recovery: rank 1 died at level 2"), "{out}");
+        assert!(out.contains("VALID"), "{out}");
+        let record = std::fs::read_to_string(&json).unwrap();
+        assert!(record.contains("crash@2:rank1"), "{record}");
+        let stats = std::fs::read_to_string(&csv).unwrap();
+        assert!(stats.starts_with("level,attempt,"), "{stats}");
+    }
+
+    #[test]
+    fn cluster_fault_errors_map_to_exit_codes() {
+        let path = tmp("g7.bin");
+        run(&["generate", "--out", &path, "--scale", "9"]).unwrap();
+        // Malformed spec -> invalid input.
+        let e = run(&["cluster", &path, "--inject-faults", "crash@x"]).unwrap_err();
+        assert_eq!(e.code, exit_code::INVALID_INPUT);
+        // More drops than the retry budget -> unrecovered fault.
+        let e = run(&[
+            "cluster", &path, "--gcds", "2", "--inject-faults", "drop@0:0-1x9",
+        ])
+        .unwrap_err();
+        assert_eq!(e.code, exit_code::UNRECOVERED_FAULT, "{}", e.message);
+        // Random plans parse and run (crash recovery on by default).
+        let out = run(&[
+            "cluster", &path, "--gcds", "2", "--inject-faults", "random:7", "--validate",
+        ])
+        .unwrap();
+        assert!(out.contains("VALID"), "{out}");
     }
 }

@@ -8,14 +8,14 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(commands::exit_code::USAGE);
         }
     };
     match commands::dispatch(&parsed) {
         Ok(out) => print!("{out}"),
         Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+            eprintln!("error: {}", e.message);
+            std::process::exit(e.code);
         }
     }
 }

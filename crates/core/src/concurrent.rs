@@ -313,8 +313,11 @@ mod tests {
         let sources = pick_sources(&g, 16, 11);
         let dev = Device::mi250x();
         let shared = ms_bfs(&dev, &g, &sources);
-        let xbfs = crate::Xbfs::new(&dev, &g, crate::XbfsConfig::default());
-        let sequential_ms: f64 = sources.iter().map(|&s| xbfs.run(s).total_ms).sum();
+        let xbfs = crate::Xbfs::new(&dev, &g, crate::XbfsConfig::default()).unwrap();
+        let sequential_ms: f64 = sources
+            .iter()
+            .map(|&s| xbfs.run(s).unwrap().total_ms)
+            .sum();
         assert!(
             shared.total_ms < 0.5 * sequential_ms,
             "shared {} ms should be well under sequential {} ms",

@@ -1,0 +1,46 @@
+//! Typed errors for the single-GCD runner.
+//!
+//! Construction and run failures surface as [`XbfsError`] values instead of
+//! panics, so library users and the CLI can map them to messages and exit
+//! codes.
+
+use std::fmt;
+
+/// Why an XBFS operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XbfsError {
+    /// The device exposes fewer streams than the configuration needs.
+    InsufficientStreams {
+        /// Streams the configuration requires.
+        required: usize,
+        /// Streams the device has.
+        available: usize,
+    },
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// The BFS source does not exist in the graph.
+    SourceOutOfRange {
+        /// Requested source vertex.
+        source: u32,
+        /// Vertices in the graph.
+        num_vertices: usize,
+    },
+}
+
+impl fmt::Display for XbfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InsufficientStreams { required, available } => write!(
+                f,
+                "config requires {required} streams, device has {available}"
+            ),
+            Self::EmptyGraph => write!(f, "graph has no vertices"),
+            Self::SourceOutOfRange { source, num_vertices } => write!(
+                f,
+                "source vertex {source} out of range (graph has {num_vertices} vertices)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for XbfsError {}

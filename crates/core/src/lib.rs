@@ -26,8 +26,8 @@
 //!
 //! let graph = rmat_graph(RmatParams::graph500(10), 42);
 //! let device = Device::mi250x();
-//! let xbfs = Xbfs::new(&device, &graph, XbfsConfig::default());
-//! let run = xbfs.run(0);
+//! let xbfs = Xbfs::new(&device, &graph, XbfsConfig::default()).unwrap();
+//! let run = xbfs.run(0).unwrap();
 //! println!("depth {} in {:.3} ms → {:.2} GTEPS",
 //!          run.depth(), run.total_ms, run.gteps);
 //! assert_eq!(run.levels[0], 0);
@@ -38,6 +38,7 @@ pub mod config;
 pub mod controller;
 pub mod device_graph;
 pub mod efficiency;
+pub mod error;
 pub mod runner;
 pub mod state;
 pub mod stats;
@@ -49,6 +50,7 @@ pub use config::XbfsConfig;
 pub use controller::Controller;
 pub use device_graph::DeviceGraph;
 pub use efficiency::{bandwidth_efficiency, Efficiency};
+pub use error::XbfsError;
 pub use runner::Xbfs;
 pub use state::{BfsState, BinThresholds, QueueState, UNVISITED};
 pub use stats::{BfsRun, LevelStats};

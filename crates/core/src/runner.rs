@@ -5,6 +5,7 @@
 
 use crate::config::XbfsConfig;
 use crate::controller::Controller;
+use crate::error::XbfsError;
 use crate::device_graph::DeviceGraph;
 use crate::state::{ctr, ectr, BfsState, QueueState, UNVISITED};
 use crate::stats::{BfsRun, LevelStats};
@@ -31,21 +32,23 @@ impl<'a> Xbfs<'a> {
     /// graphs), the bottom-up strategy pulls through **out**-edges, so
     /// results are exact on directed graphs only with a configuration that
     /// never selects bottom-up — use [`XbfsConfig::directed`] for those.
-    pub fn new(device: &'a Device, g: &Csr, cfg: XbfsConfig) -> Self {
-        assert!(
-            device.num_streams() >= cfg.required_streams(),
-            "config requires {} streams, device has {}",
-            cfg.required_streams(),
-            device.num_streams()
-        );
-        assert!(g.num_vertices() > 0, "empty graph");
+    pub fn new(device: &'a Device, g: &Csr, cfg: XbfsConfig) -> Result<Self, XbfsError> {
+        if device.num_streams() < cfg.required_streams() {
+            return Err(XbfsError::InsufficientStreams {
+                required: cfg.required_streams(),
+                available: device.num_streams(),
+            });
+        }
+        if g.num_vertices() == 0 {
+            return Err(XbfsError::EmptyGraph);
+        }
         let host_degrees = (0..g.num_vertices() as u32).map(|v| g.degree(v)).collect();
-        Self {
+        Ok(Self {
             device,
             graph: DeviceGraph::upload(device, g),
             cfg,
             host_degrees,
-        }
+        })
     }
 
     /// The configuration in use.
@@ -56,11 +59,16 @@ impl<'a> Xbfs<'a> {
     /// Run one BFS from `source`, returning levels plus full per-level
     /// statistics. Models the paper's "n to n" measured window: status
     /// initialization through final sync.
-    pub fn run(&self, source: u32) -> BfsRun {
+    pub fn run(&self, source: u32) -> Result<BfsRun, XbfsError> {
         let dev = self.device;
         let g = &self.graph;
         let n = g.num_vertices();
-        assert!((source as usize) < n, "source out of range");
+        if (source as usize) >= n {
+            return Err(XbfsError::SourceOutOfRange {
+                source,
+                num_vertices: n,
+            });
+        }
         let controller = Controller::new(self.cfg.alpha, self.cfg.scan_free_max_ratio);
 
         let mut st = BfsState::new(dev, n, self.cfg.record_parents, self.cfg.seg_len);
@@ -198,7 +206,7 @@ impl<'a> Xbfs<'a> {
         } else {
             0.0
         };
-        BfsRun {
+        Ok(BfsRun {
             source,
             levels,
             parents,
@@ -206,7 +214,7 @@ impl<'a> Xbfs<'a> {
             total_ms,
             traversed_edges,
             gteps,
-        }
+        })
     }
 }
 
@@ -223,9 +231,9 @@ mod tests {
             ExecMode::Functional,
             cfg.required_streams(),
         );
-        let xbfs = Xbfs::new(&dev, g, cfg);
+        let xbfs = Xbfs::new(&dev, g, cfg).unwrap();
         for &s in sources {
-            let run = xbfs.run(s);
+            let run = xbfs.run(s).unwrap();
             assert_eq!(
                 run.levels,
                 bfs_levels_serial(g, s),
@@ -299,8 +307,8 @@ mod tests {
             record_parents: true,
             ..XbfsConfig::default()
         };
-        let xbfs = Xbfs::new(&dev, &g, cfg);
-        let run = xbfs.run(42);
+        let xbfs = Xbfs::new(&dev, &g, cfg).unwrap();
+        let run = xbfs.run(42).unwrap();
         let parents = run.parents.expect("parents requested");
         let levels = validate_bfs_tree(&g, 42, &parents).expect("invalid BFS tree");
         assert_eq!(levels, run.levels);
@@ -312,8 +320,8 @@ mod tests {
         // bottom-up hump, then a tail — the paper's Fig. 6/7 story.
         let g = rmat_graph(RmatParams::graph500(12), 1);
         let dev = Device::mi250x();
-        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default());
-        let run = xbfs.run(0);
+        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap();
+        let run = xbfs.run(0).unwrap();
         let trace = run.strategy_trace();
         assert!(trace.contains(&Strategy::ScanFree), "trace {trace:?}");
         assert!(trace.contains(&Strategy::BottomUp), "trace {trace:?}");
@@ -331,25 +339,43 @@ mod tests {
         )
         .unwrap();
         let dev = Device::mi250x();
-        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default());
-        let run = xbfs.run(0);
+        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap();
+        let run = xbfs.run(0).unwrap();
         assert_eq!(run.levels[3..], [UNVISITED; 3]);
         assert_eq!(run.traversed_edges, 6);
     }
 
     #[test]
-    #[should_panic(expected = "source out of range")]
-    fn rejects_bad_source() {
+    fn rejects_bad_source_with_typed_error() {
         let g = erdos_renyi(10, 20, 1);
         let dev = Device::mi250x();
-        Xbfs::new(&dev, &g, XbfsConfig::default()).run(10);
+        assert_eq!(
+            Xbfs::new(&dev, &g, XbfsConfig::default())
+                .unwrap()
+                .run(10)
+                .unwrap_err(),
+            XbfsError::SourceOutOfRange {
+                source: 10,
+                num_vertices: 10
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "streams")]
-    fn rejects_insufficient_streams() {
+    fn rejects_insufficient_streams_with_typed_error() {
         let g = erdos_renyi(10, 20, 1);
         let dev = Device::mi250x(); // 1 stream
-        Xbfs::new(&dev, &g, XbfsConfig::naive_port());
+        let err = Xbfs::new(&dev, &g, XbfsConfig::naive_port()).err().unwrap();
+        assert!(matches!(err, XbfsError::InsufficientStreams { available: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_graph_with_typed_error() {
+        let g = Csr::from_parts(vec![0], vec![]).unwrap();
+        let dev = Device::mi250x();
+        assert_eq!(
+            Xbfs::new(&dev, &g, XbfsConfig::default()).err(),
+            Some(XbfsError::EmptyGraph)
+        );
     }
 }

@@ -45,8 +45,11 @@ pub fn tune_alpha(
             scan_free_max_ratio: base.scan_free_max_ratio.min(alpha),
             ..base
         };
-        let xbfs = Xbfs::new(device, graph, cfg);
-        let total_ms: f64 = sources.iter().map(|&s| xbfs.run(s).total_ms).sum();
+        let xbfs = Xbfs::new(device, graph, cfg).expect("tuner inputs validated by caller");
+        let total_ms: f64 = sources
+            .iter()
+            .map(|&s| xbfs.run(s).expect("tuner sources validated by caller").total_ms)
+            .sum();
         sweep.push((alpha, total_ms));
     }
     let (best_alpha, _) = sweep
@@ -96,7 +99,7 @@ mod tests {
         let dev = Device::mi250x();
         let sources = pick_sources(&g, 2, 2);
         let (cfg, _) = tune_alpha(&dev, &g, &sources, XbfsConfig::default(), None);
-        let run = Xbfs::new(&dev, &g, cfg).run(sources[0]);
+        let run = Xbfs::new(&dev, &g, cfg).unwrap().run(sources[0]).unwrap();
         assert!(run
             .strategy_trace()
             .contains(&crate::Strategy::BottomUp));

@@ -40,11 +40,11 @@ fn mega_hub_routes_through_the_block_kernel() {
         alpha: 10.0,
         ..XbfsConfig::default()
     };
-    let xbfs = Xbfs::new(&dev, &g, cfg);
+    let xbfs = Xbfs::new(&dev, &g, cfg).unwrap();
     // Start at a leaf so the hub is *claimed* (and binned) during level 0,
     // then *expanded* by the block kernel at level 1.
     let src = 6000u32;
-    let run = xbfs.run(src);
+    let run = xbfs.run(src).unwrap();
     assert_eq!(run.levels, bfs_levels_serial(&g, src));
     let kernels: Vec<&str> = run
         .level_stats
@@ -64,7 +64,7 @@ fn mega_hub_routes_through_the_block_kernel() {
 fn mega_hub_exact_in_timing_mode() {
     let g = three_bin_graph(5000);
     let dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Timing, 1);
-    let run = Xbfs::new(&dev, &g, XbfsConfig::default()).run(5000);
+    let run = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(5000).unwrap();
     assert_eq!(run.levels, bfs_levels_serial(&g, 5000));
 }
 
@@ -76,7 +76,7 @@ fn mega_hub_exact_on_warp32_and_with_parents() {
         ..XbfsConfig::cuda_original()
     };
     let dev = Device::new(ArchProfile::p6000(), ExecMode::Functional, cfg.required_streams());
-    let run = Xbfs::new(&dev, &g, cfg).run(17);
+    let run = Xbfs::new(&dev, &g, cfg).unwrap().run(17).unwrap();
     assert_eq!(run.levels, bfs_levels_serial(&g, 17));
     let parents = run.parents.unwrap();
     xbfs_graph::validate_bfs_tree(&g, 17, &parents).expect("invalid tree");
@@ -89,6 +89,6 @@ fn source_in_the_large_bin() {
     // binning the source.
     let g = three_bin_graph(6000);
     let dev = Device::mi250x();
-    let run = Xbfs::new(&dev, &g, XbfsConfig::default()).run(0);
+    let run = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(0).unwrap();
     assert_eq!(run.levels, bfs_levels_serial(&g, 0));
 }

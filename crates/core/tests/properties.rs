@@ -29,7 +29,7 @@ proptest! {
     #[test]
     fn adaptive_is_exact_bfs((g, src) in arb_graph_and_source()) {
         let dev = Device::mi250x();
-        let run = Xbfs::new(&dev, &g, XbfsConfig::default()).run(src);
+        let run = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(src).unwrap();
         prop_assert_eq!(run.levels, bfs_levels_serial(&g, src));
     }
 
@@ -37,7 +37,7 @@ proptest! {
     fn every_forced_strategy_is_exact_bfs((g, src) in arb_graph_and_source()) {
         for strat in [BfsStrategy::ScanFree, BfsStrategy::SingleScan, BfsStrategy::BottomUp] {
             let dev = Device::mi250x();
-            let run = Xbfs::new(&dev, &g, XbfsConfig::forced(strat)).run(src);
+            let run = Xbfs::new(&dev, &g, XbfsConfig::forced(strat)).unwrap().run(src).unwrap();
             prop_assert_eq!(run.levels, bfs_levels_serial(&g, src), "strategy {}", strat);
         }
     }
@@ -47,14 +47,14 @@ proptest! {
         // The NVIDIA profile exercises 32-wide ballot/queue paths.
         let cfg = XbfsConfig::cuda_original();
         let dev = Device::new(ArchProfile::p6000(), ExecMode::Functional, cfg.required_streams());
-        let run = Xbfs::new(&dev, &g, cfg).run(src);
+        let run = Xbfs::new(&dev, &g, cfg).unwrap().run(src).unwrap();
         prop_assert_eq!(run.levels, bfs_levels_serial(&g, src));
     }
 
     #[test]
     fn timing_mode_is_exact_bfs((g, src) in arb_graph_and_source()) {
         let dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Timing, 1);
-        let run = Xbfs::new(&dev, &g, XbfsConfig::default()).run(src);
+        let run = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(src).unwrap();
         prop_assert_eq!(run.levels, bfs_levels_serial(&g, src));
     }
 
@@ -62,7 +62,7 @@ proptest! {
     fn parents_validate_on_arbitrary_graphs((g, src) in arb_graph_and_source()) {
         let cfg = XbfsConfig { record_parents: true, ..XbfsConfig::default() };
         let dev = Device::mi250x();
-        let run = Xbfs::new(&dev, &g, cfg).run(src);
+        let run = Xbfs::new(&dev, &g, cfg).unwrap().run(src).unwrap();
         let parents = run.parents.unwrap();
         let levels = validate_bfs_tree(&g, src, &parents).expect("invalid tree");
         prop_assert_eq!(levels, run.levels);
@@ -83,7 +83,7 @@ proptest! {
             ExecMode::Functional,
             cfg.required_streams(),
         );
-        let run = Xbfs::new(&dev, &g, cfg).run(src);
+        let run = Xbfs::new(&dev, &g, cfg).unwrap().run(src).unwrap();
         prop_assert_eq!(run.levels, bfs_levels_serial(&g, src));
     }
 
@@ -108,7 +108,7 @@ proptest! {
         });
         let src = (src_sel % n) as u32;
         let dev = Device::mi250x();
-        let run = Xbfs::new(&dev, &g, XbfsConfig::directed()).run(src);
+        let run = Xbfs::new(&dev, &g, XbfsConfig::directed()).unwrap().run(src).unwrap();
         prop_assert!(!run.strategy_trace().contains(&BfsStrategy::BottomUp));
         prop_assert_eq!(run.levels, bfs_levels_serial(&g, src));
     }
@@ -116,7 +116,7 @@ proptest! {
     #[test]
     fn level_stats_are_consistent((g, src) in arb_graph_and_source()) {
         let dev = Device::mi250x();
-        let run = Xbfs::new(&dev, &g, XbfsConfig::default()).run(src);
+        let run = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(src).unwrap();
         // Frontier counts across levels sum to the visited set — except
         // that single-scan's CAS-free claims may double-count a vertex two
         // racing waves both saw unvisited (benign, §III-B), so the sum can

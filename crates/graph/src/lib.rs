@@ -32,7 +32,7 @@ pub use csr::{Csr, VertexId};
 pub use datasets::{Dataset, DatasetSpec};
 pub use rearrange::{rearrange_by_degree, RearrangeOrder};
 pub use reference::{bfs_levels_parallel, bfs_levels_serial, bfs_parents_serial};
-pub use validate::{validate_bfs_tree, ValidationError};
+pub use validate::{validate_bfs_levels, validate_bfs_tree, ValidationError};
 
 /// Sentinel level / parent meaning "not visited".
 pub const UNVISITED: u32 = u32::MAX;

@@ -120,6 +120,62 @@ pub fn validate_bfs_tree(
     Ok(levels)
 }
 
+/// Validate a per-vertex *level* array against the graph (the distributed
+/// engine reports levels, not parents).
+///
+/// Graph500's checks restated for levels: the source is at level 0 and is
+/// the only level-0 vertex, every graph edge spans at most one level, every
+/// visited non-source vertex has a neighbor exactly one level closer to the
+/// source (so a shortest path exists), and no vertex adjacent to a visited
+/// vertex is left unvisited.
+pub fn validate_bfs_levels(
+    g: &Csr,
+    source: VertexId,
+    levels: &[u32],
+) -> Result<(), ValidationError> {
+    let n = g.num_vertices();
+    if (source as usize) >= n {
+        return Err(ValidationError::SourceOutOfRange);
+    }
+    if levels.len() != n {
+        return Err(ValidationError::LengthMismatch);
+    }
+    if levels[source as usize] != 0 {
+        return Err(ValidationError::SourceNotRoot);
+    }
+    for v in 0..n as VertexId {
+        let lv = levels[v as usize];
+        if lv == 0 && v != source {
+            return Err(ValidationError::SourceNotRoot);
+        }
+        if lv == UNVISITED || v == source {
+            continue;
+        }
+        // A visited vertex needs a neighbor one level up: the witness that a
+        // BFS tree (and thus a shortest path to the source) exists.
+        if !g.neighbors(v).iter().any(|&u| levels[u as usize] == lv - 1) {
+            return Err(ValidationError::BrokenPath(v));
+        }
+    }
+    for (u, nbrs) in g.iter_rows() {
+        let lu = levels[u as usize];
+        for &v in nbrs {
+            let lv = levels[v as usize];
+            match (lu, lv) {
+                (UNVISITED, UNVISITED) => {}
+                (UNVISITED, _) => return Err(ValidationError::MissedVertex(u)),
+                (_, UNVISITED) => return Err(ValidationError::MissedVertex(v)),
+                (lu, lv) => {
+                    if lu.abs_diff(lv) > 1 {
+                        return Err(ValidationError::LevelSkip { u, v, lu, lv });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +234,42 @@ mod tests {
             validate_bfs_tree(&g, 0, &p),
             Err(ValidationError::BrokenPath(_))
         ));
+    }
+
+    #[test]
+    fn level_validator_accepts_reference_and_rejects_corruption() {
+        for seed in 0..4 {
+            let g = erdos_renyi(200, 600, seed);
+            let mut levels = bfs_levels_serial(&g, 3);
+            validate_bfs_levels(&g, 3, &levels).expect("valid levels rejected");
+            // Corrupt one visited vertex: either a skip, a broken path, a
+            // missed vertex, or a phantom root must be detected.
+            if let Some(v) = (0..levels.len()).find(|&v| levels[v] != UNVISITED && v != 3) {
+                let orig = levels[v];
+                levels[v] = orig.saturating_add(5);
+                assert!(validate_bfs_levels(&g, 3, &levels).is_err());
+                levels[v] = orig;
+            }
+            levels[3] = 1;
+            assert_eq!(
+                validate_bfs_levels(&g, 3, &levels),
+                Err(ValidationError::SourceNotRoot)
+            );
+        }
+    }
+
+    #[test]
+    fn level_validator_rejects_missed_vertex_and_second_root() {
+        // Path 0-1-2.
+        let g = Csr::from_parts(vec![0, 1, 3, 4], vec![1, 0, 2, 1]).unwrap();
+        assert_eq!(
+            validate_bfs_levels(&g, 0, &[0, 1, UNVISITED]),
+            Err(ValidationError::MissedVertex(2))
+        );
+        assert_eq!(
+            validate_bfs_levels(&g, 0, &[0, 0, 1]),
+            Err(ValidationError::SourceNotRoot)
+        );
     }
 
     #[test]

@@ -17,11 +17,29 @@
 //!
 //! The global controller switches on the same edge-ratio-vs-α rule as
 //! single-GCD XBFS, with thresholds allreduced every level.
+//!
+//! # Fault tolerance
+//!
+//! [`GcdCluster::run_with_faults`] executes under a [`FaultConfig`]: the
+//! collectives retry dropped messages with exponential backoff (charging
+//! retransmitted bytes and backoff waits to the cost model), bandwidth-
+//! degradation windows slow every link, and GCD crashes are recovered by
+//! level-synchronous checkpoint/restart — the status-array partitions are
+//! snapshotted every `checkpoint_every` levels, and on a crash the cluster
+//! either promotes a spare GCD or repartitions the dead rank's block across
+//! the survivors, then re-executes from the last checkpointed level.
+//! Because levels are deterministic, a recovered run produces bit-identical
+//! BFS levels to a fault-free run.
 
+use crate::error::ClusterError;
+use crate::faults::{
+    faulty_allgather, faulty_alltoall, faulty_allreduce, FaultConfig, FaultPlan, RecoveryPolicy,
+};
 use crate::interconnect::LinkModel;
 use crate::partition::Partition;
 use gcd_sim::{ArchProfile, BufU32, BufU64, Device, ExecMode, LaunchCfg, WaveCtx};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use xbfs_graph::{Csr, VertexId};
 
 /// Not-yet-visited marker (matches single-GCD XBFS).
@@ -57,6 +75,9 @@ impl ClusterConfig {
 pub struct ClusterLevelStats {
     /// Level this row describes.
     pub level: u32,
+    /// Execution attempt of this level (0 = first; >0 means the level was
+    /// re-executed after a crash recovery).
+    pub attempt: u32,
     /// True if this level ran bottom-up (pull).
     pub bottom_up: bool,
     /// Vertices in the global frontier at this level.
@@ -65,8 +86,34 @@ pub struct ClusterLevelStats {
     pub frontier_edges: u64,
     /// Candidate bytes moved through the all-to-all (push levels).
     pub exchanged_bytes: u64,
-    /// Modeled wall time of the level (compute + comm), ms.
+    /// Bytes retransmitted by the retry layer (link drops).
+    pub retransmitted_bytes: u64,
+    /// Time spent in retry timeouts/backoff, ms.
+    pub retry_ms: f64,
+    /// Crash detection + checkpoint-restore time charged before this level
+    /// ran, ms (non-zero only on the first level after a recovery).
+    pub recovery_ms: f64,
+    /// True if a checkpoint was taken right after this level.
+    pub checkpointed: bool,
+    /// Modeled wall time of the level (compute + comm + faults), ms.
     pub time_ms: f64,
+}
+
+/// One crash recovery performed during a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Level at which the crash was detected.
+    pub detected_level: u32,
+    /// Rank that died.
+    pub dead_rank: usize,
+    /// Recovery strategy applied.
+    pub policy: RecoveryPolicy,
+    /// Level execution resumed from (the last checkpoint).
+    pub restored_level: u32,
+    /// GCDs in the cluster after recovery.
+    pub gcds_after: usize,
+    /// Detection + rebuild + restore time, ms.
+    pub overhead_ms: f64,
 }
 
 /// Result of a distributed BFS.
@@ -74,18 +121,113 @@ pub struct ClusterLevelStats {
 pub struct ClusterRun {
     /// Source vertex of the run.
     pub source: VertexId,
+    /// Configuration the run started with.
+    pub config: ClusterConfig,
+    /// RNG seed recorded in the fault plan (0 when unseeded).
+    pub seed: u64,
+    /// The full fault schedule the run executed under (empty = fault-free).
+    pub fault_plan: FaultPlan,
     /// Global per-vertex levels.
     pub levels: Vec<u32>,
-    /// Per-level statistics in level order.
+    /// Per-level statistics in execution order (levels re-executed after a
+    /// recovery appear once per attempt).
     pub level_stats: Vec<ClusterLevelStats>,
+    /// Crash recoveries performed, in order.
+    pub recoveries: Vec<RecoveryReport>,
     /// Modeled end-to-end time, ms (max over GCD timelines).
     pub total_ms: f64,
     /// Edges traversed, Graph500 convention.
     pub traversed_edges: u64,
     /// Aggregate cluster GTEPS.
     pub gteps: f64,
-    /// Per-GCD GTEPS (aggregate / num_gcds) — the paper's headline metric.
+    /// Per-GCD GTEPS (aggregate / the *initial* GCD count) — the paper's
+    /// headline metric, kept comparable across degraded runs.
     pub gteps_per_gcd: f64,
+}
+
+impl ClusterRun {
+    /// Serialize the run (config, seed, fault plan, recoveries, per-level
+    /// stats) as a JSON object. Together with the graph, the `config`,
+    /// `seed` and `fault_plan` fields reproduce the run exactly.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str(&format!(
+            "{{\"source\":{},\"config\":{{\"num_gcds\":{},\"alpha\":{},\"push_only\":{}}},\
+             \"seed\":{},\"fault_plan\":\"{}\",\"total_ms\":{:.6},\"traversed_edges\":{},\
+             \"gteps\":{:.6},\"gteps_per_gcd\":{:.6},\"depth\":{},\"recoveries\":[",
+            self.source,
+            self.config.num_gcds,
+            self.config.alpha,
+            self.config.push_only,
+            self.seed,
+            self.fault_plan.to_spec(),
+            self.total_ms,
+            self.traversed_edges,
+            self.gteps,
+            self.gteps_per_gcd,
+            self.level_stats.iter().map(|l| l.level).max().map_or(0, |l| l + 1),
+        ));
+        for (i, r) in self.recoveries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"detected_level\":{},\"dead_rank\":{},\"policy\":\"{}\",\
+                 \"restored_level\":{},\"gcds_after\":{},\"overhead_ms\":{:.6}}}",
+                r.detected_level, r.dead_rank, r.policy, r.restored_level, r.gcds_after,
+                r.overhead_ms,
+            ));
+        }
+        s.push_str("],\"level_stats\":[");
+        for (i, l) in self.level_stats.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"level\":{},\"attempt\":{},\"bottom_up\":{},\"frontier_count\":{},\
+                 \"frontier_edges\":{},\"exchanged_bytes\":{},\"retransmitted_bytes\":{},\
+                 \"retry_ms\":{:.6},\"recovery_ms\":{:.6},\"checkpointed\":{},\"time_ms\":{:.6}}}",
+                l.level,
+                l.attempt,
+                l.bottom_up,
+                l.frontier_count,
+                l.frontier_edges,
+                l.exchanged_bytes,
+                l.retransmitted_bytes,
+                l.retry_ms,
+                l.recovery_ms,
+                l.checkpointed,
+                l.time_ms,
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Per-level stats as CSV (header + one row per executed level).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "level,attempt,bottom_up,frontier_count,frontier_edges,exchanged_bytes,\
+             retransmitted_bytes,retry_ms,recovery_ms,checkpointed,time_ms\n",
+        );
+        for l in &self.level_stats {
+            s.push_str(&format!(
+                "{},{},{},{},{},{},{},{:.6},{:.6},{},{:.6}\n",
+                l.level,
+                l.attempt,
+                l.bottom_up,
+                l.frontier_count,
+                l.frontier_edges,
+                l.exchanged_bytes,
+                l.retransmitted_bytes,
+                l.retry_ms,
+                l.recovery_ms,
+                l.checkpointed,
+                l.time_ms,
+            ));
+        }
+        s
+    }
 }
 
 /// Per-rank device state.
@@ -113,6 +255,29 @@ struct RankState {
     bitmap: BufU32,
 }
 
+/// Host-side snapshot taken at a level boundary: everything needed to
+/// resume execution from the start of `next_level`.
+struct Checkpoint {
+    /// Level execution resumes at.
+    next_level: u32,
+    /// Global status array at the boundary.
+    status: Vec<u32>,
+    /// Global ids of the frontier for `next_level`.
+    frontier: Vec<u32>,
+    /// Frontier size (== frontier.len(), cached as u64).
+    frontier_count: u64,
+    /// Sum of frontier degrees.
+    frontier_edges: u64,
+}
+
+/// Per-level communication tally returned by the level drivers.
+#[derive(Default)]
+struct LevelComm {
+    exchanged: u64,
+    retransmitted: u64,
+    retry_us: f64,
+}
+
 /// A cluster of simulated GCDs ready to run BFS on a partitioned graph.
 pub struct GcdCluster<'g> {
     graph: &'g Csr,
@@ -124,59 +289,99 @@ pub struct GcdCluster<'g> {
 
 impl<'g> GcdCluster<'g> {
     /// Partition `graph` across `cfg.num_gcds` simulated MI250X GCDs.
-    pub fn new(graph: &'g Csr, cfg: ClusterConfig, link: LinkModel) -> Self {
-        assert!(cfg.num_gcds >= 1);
-        assert!(graph.num_vertices() > 0, "empty graph");
+    pub fn new(graph: &'g Csr, cfg: ClusterConfig, link: LinkModel) -> Result<Self, ClusterError> {
+        if cfg.num_gcds < 1 {
+            return Err(ClusterError::InvalidConfig(
+                "num_gcds must be at least 1".into(),
+            ));
+        }
+        if graph.num_vertices() == 0 {
+            return Err(ClusterError::EmptyGraph);
+        }
         let arch = ArchProfile::mi250x_gcd();
         let partition = Partition::new(graph, cfg.num_gcds, arch.wavefront_size);
-        let p = cfg.num_gcds;
-        let ranks = partition
-            .parts
-            .iter()
-            .map(|part| {
-                let device = Device::new(arch.clone(), ExecMode::Functional, 1);
-                let local = &part.local;
-                let n_local = part.len().max(1);
-                let bucket_cap =
-                    (local.num_edges() * BUCKET_SLACK / p.max(1)).max(1024);
-                let degrees: Vec<u32> = (0..part.len() as u32)
-                    .map(|v| local.degree(v))
-                    .collect();
-                RankState {
-                    offsets: device.upload_u64(local.offsets()),
-                    adjacency: device.upload_u32(local.adjacency()),
-                    degrees: device.upload_u32(&degrees),
-                    status: device.alloc_u32(n_local),
-                    frontier: device.alloc_u32(n_local),
-                    next_frontier: device.alloc_u32(n_local),
-                    buckets: (0..p).map(|_| device.alloc_u32(bucket_cap)).collect(),
-                    inbox: device.alloc_u32(local.num_edges().max(1024)),
-                    counters: device.alloc_u32(p + 3),
-                    edge_counters: device.alloc_u64(1),
-                    bitmap: device.alloc_u32(graph.num_vertices().div_ceil(32).max(1)),
-                    device,
-                }
-            })
-            .collect();
-        Self {
+        let ranks = Self::build_ranks(graph, &partition, cfg.num_gcds, &arch);
+        Ok(Self {
             graph,
             partition,
             link,
             cfg,
             ranks,
+        })
+    }
+
+    fn build_ranks(
+        graph: &Csr,
+        partition: &Partition,
+        p: usize,
+        arch: &ArchProfile,
+    ) -> Vec<RankState> {
+        partition
+            .parts
+            .iter()
+            .map(|part| Self::build_rank(graph, part, p, arch))
+            .collect()
+    }
+
+    fn build_rank(
+        graph: &Csr,
+        part: &crate::partition::Part,
+        p: usize,
+        arch: &ArchProfile,
+    ) -> RankState {
+        let device = Device::new(arch.clone(), ExecMode::Functional, 1);
+        let local = &part.local;
+        let n_local = part.len().max(1);
+        let bucket_cap = (local.num_edges() * BUCKET_SLACK / p.max(1)).max(1024);
+        let degrees: Vec<u32> = (0..part.len() as u32).map(|v| local.degree(v)).collect();
+        RankState {
+            offsets: device.upload_u64(local.offsets()),
+            adjacency: device.upload_u32(local.adjacency()),
+            degrees: device.upload_u32(&degrees),
+            status: device.alloc_u32(n_local),
+            frontier: device.alloc_u32(n_local),
+            next_frontier: device.alloc_u32(n_local),
+            buckets: (0..p).map(|_| device.alloc_u32(bucket_cap)).collect(),
+            inbox: device.alloc_u32(local.num_edges().max(1024)),
+            counters: device.alloc_u32(p + 3),
+            edge_counters: device.alloc_u64(1),
+            bitmap: device.alloc_u32(graph.num_vertices().div_ceil(32).max(1)),
+            device,
         }
     }
 
-    /// Number of GCDs in the cluster.
+    /// Number of GCDs currently in the cluster (shrinks after a
+    /// graceful-degradation recovery).
     pub fn num_gcds(&self) -> usize {
         self.cfg.num_gcds
     }
 
-    /// Run one distributed BFS from `source`.
-    pub fn run(&mut self, source: VertexId) -> ClusterRun {
+    /// Run one fault-free distributed BFS from `source`.
+    pub fn run(&mut self, source: VertexId) -> Result<ClusterRun, ClusterError> {
+        self.run_with_faults(source, &FaultConfig::none())
+    }
+
+    /// Run one distributed BFS from `source` under a fault schedule.
+    ///
+    /// Collectives retry dropped messages per `faults.retry`; GCD crashes
+    /// are recovered per `faults.recovery` from the last checkpoint (the
+    /// initial state always counts as one). After a
+    /// [`RecoveryPolicy::Degrade`] recovery, the cluster permanently runs
+    /// with one GCD fewer.
+    pub fn run_with_faults(
+        &mut self,
+        source: VertexId,
+        faults: &FaultConfig,
+    ) -> Result<ClusterRun, ClusterError> {
         let n = self.graph.num_vertices();
-        assert!((source as usize) < n, "source out of range");
-        let p = self.cfg.num_gcds;
+        if (source as usize) >= n {
+            return Err(ClusterError::SourceOutOfRange {
+                source,
+                num_vertices: n,
+            });
+        }
+        faults.plan.validate(self.cfg.num_gcds)?;
+        let initial_p = self.cfg.num_gcds;
         let m_global = self.graph.num_edges().max(1) as f64;
 
         // --- init (measured) ---
@@ -192,29 +397,66 @@ impl<'g> GcdCluster<'g> {
             r.frontier.store(0, source);
             r.device.charge_transfer(0, 8);
         }
-        let mut frontier_lens = vec![0usize; p];
+        let mut frontier_lens = vec![0usize; self.cfg.num_gcds];
         frontier_lens[owner] = 1;
         let mut frontier_count = 1u64;
         let mut frontier_edges = u64::from(self.graph.degree(source));
         let mut level = 0u32;
         let mut clock_us = self.max_elapsed();
-        let mut stats = Vec::new();
+        let mut stats: Vec<ClusterLevelStats> = Vec::new();
+        let mut recoveries: Vec<RecoveryReport> = Vec::new();
+
+        // The initial state is the implicit first checkpoint: resuming from
+        // it replays the whole run. Host-side, so nothing is charged.
+        let mut ckpt = if faults.plan.is_empty() {
+            None
+        } else {
+            let mut status = vec![UNVISITED; n];
+            status[source as usize] = 0;
+            Some(Checkpoint {
+                next_level: 0,
+                status,
+                frontier: vec![source],
+                frontier_count: 1,
+                frontier_edges,
+            })
+        };
+        let mut fired_crashes: Vec<(usize, u32)> = Vec::new();
+        let mut attempts: HashMap<u32, u32> = HashMap::new();
+        let mut pending_recovery_us = 0.0f64;
 
         loop {
+            // Crash scheduled at this level and not yet handled?
+            if let Some(rank) = faults.plan.crash_at(level) {
+                if rank < self.cfg.num_gcds && !fired_crashes.contains(&(rank, level)) {
+                    fired_crashes.push((rank, level));
+                    let report = self.recover(rank, level, faults, &mut ckpt)?;
+                    let restored = ckpt.as_ref().expect("recover leaves a checkpoint");
+                    level = restored.next_level;
+                    frontier_count = restored.frontier_count;
+                    frontier_edges = restored.frontier_edges;
+                    frontier_lens = self.restore_frontiers(restored);
+                    pending_recovery_us += report.overhead_ms * 1000.0;
+                    recoveries.push(report);
+                    clock_us = self.max_elapsed();
+                    continue;
+                }
+            }
+
+            let p = self.cfg.num_gcds;
             let ratio = frontier_edges as f64 / m_global;
             let bottom_up = !self.cfg.push_only && ratio > self.cfg.alpha;
-            let exchanged = if bottom_up {
-                self.run_pull_level(level, &frontier_lens)
+            let comm = if bottom_up {
+                self.run_pull_level(level, &frontier_lens, faults)?
             } else {
-                self.run_push_level(level, &frontier_lens)
+                self.run_push_level(level, &frontier_lens, faults)?
             };
 
-            // Barrier + counter allreduce.
+            // Barrier + counter allreduce (retries charged like any other
+            // collective).
+            let ar = faulty_allreduce(&self.link, &faults.plan, &faults.retry, level, p, 16)?;
             let mut t = self.max_elapsed();
-            t += self
-                .link
-                .allreduce_us(p, 16)
-                .max(self.ranks[0].device.arch().sync_us);
+            t += ar.time_us.max(self.ranks[0].device.arch().sync_us);
             for r in &self.ranks {
                 r.device.advance_to(t);
             }
@@ -228,14 +470,22 @@ impl<'g> GcdCluster<'g> {
                 claimed_edges += r.edge_counters.load(0);
             }
 
+            let attempt = attempts.get(&level).copied().unwrap_or(0);
+            *attempts.entry(level).or_default() += 1;
             stats.push(ClusterLevelStats {
                 level,
+                attempt,
                 bottom_up,
                 frontier_count,
                 frontier_edges,
-                exchanged_bytes: exchanged,
+                exchanged_bytes: comm.exchanged,
+                retransmitted_bytes: comm.retransmitted + ar.retransmitted_bytes,
+                retry_ms: (comm.retry_us + ar.retry_us) / 1000.0,
+                recovery_ms: pending_recovery_us / 1000.0,
+                checkpointed: false,
                 time_ms: (self.max_elapsed() - clock_us) / 1000.0,
             });
+            pending_recovery_us = 0.0;
             clock_us = self.max_elapsed();
 
             if claimed == 0 {
@@ -245,6 +495,21 @@ impl<'g> GcdCluster<'g> {
             frontier_count = claimed;
             frontier_edges = claimed_edges;
             level += 1;
+
+            // Level-synchronous checkpoint: the boundary between levels is
+            // the natural consistency point.
+            if faults.checkpoint_every > 0 && level.is_multiple_of(faults.checkpoint_every) {
+                ckpt = Some(self.take_checkpoint(
+                    level,
+                    &frontier_lens,
+                    frontier_count,
+                    frontier_edges,
+                ));
+                if let Some(row) = stats.last_mut() {
+                    row.checkpointed = true;
+                }
+                clock_us = self.max_elapsed();
+            }
         }
 
         // --- collect ---
@@ -265,15 +530,166 @@ impl<'g> GcdCluster<'g> {
         } else {
             0.0
         };
-        ClusterRun {
+        Ok(ClusterRun {
             source,
+            config: ClusterConfig {
+                num_gcds: initial_p,
+                ..self.cfg
+            },
+            seed: faults.plan.seed,
+            fault_plan: faults.plan.clone(),
             levels,
             level_stats: stats,
+            recoveries,
             total_ms,
             traversed_edges,
             gteps,
-            gteps_per_gcd: gteps / p as f64,
+            gteps_per_gcd: gteps / initial_p as f64,
+        })
+    }
+
+    /// Snapshot the global status array and frontier at the start of
+    /// `next_level`, charging the device→host copies.
+    fn take_checkpoint(
+        &self,
+        next_level: u32,
+        frontier_lens: &[usize],
+        frontier_count: u64,
+        frontier_edges: u64,
+    ) -> Checkpoint {
+        let n = self.graph.num_vertices();
+        let mut status = vec![UNVISITED; n];
+        let mut frontier = Vec::with_capacity(frontier_count as usize);
+        for ((part, r), &flen) in self.partition.parts.iter().zip(&self.ranks).zip(frontier_lens) {
+            let local = r.status.to_host();
+            status[part.start as usize..part.end as usize].copy_from_slice(&local[..part.len()]);
+            for i in 0..flen {
+                frontier.push(r.frontier.load(i));
+            }
+            r.device
+                .charge_transfer(0, 4 * (part.len() as u64 + flen as u64));
         }
+        let t = self.max_elapsed();
+        for r in &self.ranks {
+            r.device.advance_to(t);
+        }
+        Checkpoint {
+            next_level,
+            status,
+            frontier,
+            frontier_count,
+            frontier_edges,
+        }
+    }
+
+    /// Handle the death of `rank` detected at `level`: rebuild capacity per
+    /// the recovery policy, then restore device state from the last
+    /// checkpoint (creating the implicit initial one if none was taken).
+    fn recover(
+        &mut self,
+        rank: usize,
+        level: u32,
+        faults: &FaultConfig,
+        ckpt: &mut Option<Checkpoint>,
+    ) -> Result<RecoveryReport, ClusterError> {
+        let arch = ArchProfile::mi250x_gcd();
+        let t_detect = self.max_elapsed() + faults.retry.detection_us();
+
+        let gcds_after = match faults.recovery {
+            RecoveryPolicy::PromoteSpare => {
+                // Fresh GCD takes over the dead rank's slot: same partition,
+                // graph block re-uploaded over the fabric.
+                let part = &self.partition.parts[rank];
+                let fresh = Self::build_rank(self.graph, part, self.cfg.num_gcds, &arch);
+                let upload_bytes = 8 * (part.len() as u64 + 1)
+                    + 4 * part.local.num_edges() as u64
+                    + 4 * part.len() as u64;
+                fresh.device.advance_to(t_detect);
+                fresh.device.charge_transfer(0, upload_bytes);
+                self.ranks[rank] = fresh;
+                self.cfg.num_gcds
+            }
+            RecoveryPolicy::Degrade => {
+                let survivors = self.cfg.num_gcds - 1;
+                if survivors == 0 {
+                    return Err(ClusterError::Unrecoverable {
+                        rank,
+                        level,
+                        reason: "no surviving GCDs to repartition onto".into(),
+                    });
+                }
+                // Repartition the whole graph across the survivors; every
+                // rank re-uploads its (larger) block.
+                self.partition = Partition::new(self.graph, survivors, arch.wavefront_size);
+                self.ranks = Self::build_ranks(self.graph, &self.partition, survivors, &arch);
+                for (part, r) in self.partition.parts.iter().zip(&self.ranks) {
+                    let upload_bytes = 8 * (part.len() as u64 + 1)
+                        + 4 * part.local.num_edges() as u64
+                        + 4 * part.len() as u64;
+                    r.device.advance_to(t_detect);
+                    r.device.charge_transfer(0, upload_bytes);
+                }
+                self.cfg.num_gcds = survivors;
+                survivors
+            }
+        };
+
+        // Crashing before the first checkpoint means restarting from the
+        // source — the initial state is always recoverable.
+        let restored = ckpt.get_or_insert_with(|| {
+            let n = self.graph.num_vertices();
+            let source = 0; // overwritten below: init ckpt is created in run()
+            let mut status = vec![UNVISITED; n];
+            status[source] = 0;
+            Checkpoint {
+                next_level: 0,
+                status,
+                frontier: vec![source as u32],
+                frontier_count: 1,
+                frontier_edges: 0,
+            }
+        });
+
+        // Restore status partitions (host→device, charged) and advance all
+        // surviving timelines past detection.
+        for (part, r) in self.partition.parts.iter().zip(&self.ranks) {
+            r.device.advance_to(t_detect);
+            if !part.is_empty() {
+                let mut local = restored.status
+                    [part.start as usize..part.end as usize]
+                    .to_vec();
+                local.resize(part.len().max(1), UNVISITED);
+                r.status.host_write(&local);
+            } else {
+                r.status.host_fill(UNVISITED);
+            }
+            r.device.charge_transfer(0, 4 * part.len() as u64);
+        }
+        let t_done = self.max_elapsed();
+        for r in &self.ranks {
+            r.device.advance_to(t_done);
+        }
+
+        Ok(RecoveryReport {
+            detected_level: level,
+            dead_rank: rank,
+            policy: faults.recovery,
+            restored_level: restored.next_level,
+            gcds_after,
+            overhead_ms: (t_done - (t_detect - faults.retry.detection_us())) / 1000.0,
+        })
+    }
+
+    /// Refill per-rank frontier queues from a checkpoint's global frontier.
+    fn restore_frontiers(&self, ckpt: &Checkpoint) -> Vec<usize> {
+        let mut lens = vec![0usize; self.cfg.num_gcds];
+        for &v in &ckpt.frontier {
+            let o = self.partition.owner(v);
+            let r = &self.ranks[o];
+            r.frontier.store(lens[o], v);
+            lens[o] += 1;
+        }
+        lens
     }
 
     fn max_elapsed(&self) -> f64 {
@@ -283,8 +699,13 @@ impl<'g> GcdCluster<'g> {
             .fold(0.0, f64::max)
     }
 
-    /// Top-down push level. Returns bytes moved through the all-to-all.
-    fn run_push_level(&self, level: u32, frontier_lens: &[usize]) -> u64 {
+    /// Top-down push level.
+    fn run_push_level(
+        &self,
+        level: u32,
+        frontier_lens: &[usize],
+        faults: &FaultConfig,
+    ) -> Result<LevelComm, ClusterError> {
         let p = self.cfg.num_gcds;
         // Phase 1: local expansion into local claims + remote buckets.
         for (rank, r) in self.ranks.iter().enumerate() {
@@ -312,21 +733,32 @@ impl<'g> GcdCluster<'g> {
             );
         }
 
-        // Phase 2: exchange. Gather bucket sizes, charge the all-to-all.
+        // Phase 2: exchange. Gather bucket sizes, charge the all-to-all
+        // (with retries and degradation under the fault plan).
         let mut send = vec![vec![0u64; p]; p]; // send[src][dst] bytes
         for (rank, r) in self.ranks.iter().enumerate() {
             for (d, cell) in send[rank].iter_mut().enumerate() {
                 *cell = 4 * u64::from(r.counters.load(d));
             }
         }
-        let mut exchanged = 0u64;
+        let mut comm = LevelComm::default();
         let t0 = self.max_elapsed();
         let mut t_end = t0;
         for (rank, sent) in send.iter().enumerate() {
             let recv: Vec<u64> = send.iter().map(|row| row[rank]).collect();
-            let t = t0 + self.link.alltoall_us(rank, sent, &recv);
-            t_end = t_end.max(t);
-            exchanged += sent.iter().sum::<u64>();
+            let cost = faulty_alltoall(
+                &self.link,
+                &faults.plan,
+                &faults.retry,
+                level,
+                rank,
+                sent,
+                &recv,
+            )?;
+            t_end = t_end.max(t0 + cost.time_us);
+            comm.exchanged += sent.iter().sum::<u64>();
+            comm.retransmitted += cost.retransmitted_bytes;
+            comm.retry_us = comm.retry_us.max(cost.retry_us);
         }
         for r in &self.ranks {
             r.device.advance_to(t_end);
@@ -363,11 +795,16 @@ impl<'g> GcdCluster<'g> {
                 |w| claim_kernel(w, r, part, level, p),
             );
         }
-        exchanged
+        Ok(comm)
     }
 
-    /// Bottom-up pull level. Returns bytes moved through the allgather.
-    fn run_pull_level(&self, level: u32, frontier_lens: &[usize]) -> u64 {
+    /// Bottom-up pull level.
+    fn run_pull_level(
+        &self,
+        level: u32,
+        frontier_lens: &[usize],
+        faults: &FaultConfig,
+    ) -> Result<LevelComm, ClusterError> {
         let p = self.cfg.num_gcds;
         // Phase 1: each rank sets bits for its frontier slice.
         for (rank, r) in self.ranks.iter().enumerate() {
@@ -406,7 +843,15 @@ impl<'g> GcdCluster<'g> {
         // Phase 2: allgather the bitmap slices (every rank ends with the
         // full global bitmap). Bytes per rank: its slice of |V|/8.
         let slice_bytes = (self.graph.num_vertices().div_ceil(8) / p.max(1)).max(4) as u64;
-        let t = self.max_elapsed() + self.link.allgather_us(p, slice_bytes);
+        let cost = faulty_allgather(
+            &self.link,
+            &faults.plan,
+            &faults.retry,
+            level,
+            p,
+            slice_bytes,
+        )?;
+        let t = self.max_elapsed() + cost.time_us;
         for r in &self.ranks {
             r.device.advance_to(t);
         }
@@ -436,7 +881,11 @@ impl<'g> GcdCluster<'g> {
                 |w| pull_kernel(w, r, part, level, p),
             );
         }
-        slice_bytes * p as u64
+        Ok(LevelComm {
+            exchanged: slice_bytes * p as u64,
+            retransmitted: cost.retransmitted_bytes,
+            retry_us: cost.retry_us,
+        })
     }
 }
 
@@ -676,14 +1125,24 @@ impl GcdCluster<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xbfs_graph::bfs_levels_serial;
+    use crate::faults::RetryPolicy;
     use xbfs_graph::generators::{erdos_renyi, rmat_graph, RmatParams};
+    use xbfs_graph::{bfs_levels_serial, validate_bfs_levels};
 
     fn check(g: &Csr, cfg: ClusterConfig, src: u32) -> ClusterRun {
-        let mut cluster = GcdCluster::new(g, cfg, LinkModel::frontier());
-        let run = cluster.run(src);
+        let mut cluster = GcdCluster::new(g, cfg, LinkModel::frontier()).unwrap();
+        let run = cluster.run(src).unwrap();
         assert_eq!(run.levels, bfs_levels_serial(g, src), "cfg {cfg:?}");
         run
+    }
+
+    fn fault_cfg(spec: &str, recovery: RecoveryPolicy, checkpoint_every: u32) -> FaultConfig {
+        FaultConfig {
+            plan: FaultPlan::parse(spec).unwrap(),
+            retry: RetryPolicy::default(),
+            recovery,
+            checkpoint_every,
+        }
     }
 
     #[test]
@@ -731,10 +1190,10 @@ mod tests {
             push_only,
             ..ClusterConfig::node_of_8()
         };
-        let mut c_push = GcdCluster::new(&g, mk(true), LinkModel::frontier());
-        let push = c_push.run(1);
-        let mut c_opt = GcdCluster::new(&g, mk(false), LinkModel::frontier());
-        let opt = c_opt.run(1);
+        let mut c_push = GcdCluster::new(&g, mk(true), LinkModel::frontier()).unwrap();
+        let push = c_push.run(1).unwrap();
+        let mut c_opt = GcdCluster::new(&g, mk(false), LinkModel::frontier()).unwrap();
+        let opt = c_opt.run(1).unwrap();
         let bytes = |r: &ClusterRun| r.level_stats.iter().map(|l| l.exchanged_bytes).sum::<u64>();
         assert!(
             bytes(&opt) < bytes(&push) / 2,
@@ -757,10 +1216,192 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "source out of range")]
-    fn rejects_bad_source() {
+    fn rejects_bad_source_with_typed_error() {
         let g = erdos_renyi(10, 30, 1);
-        let mut c = GcdCluster::new(&g, ClusterConfig::node_of_8(), LinkModel::frontier());
-        c.run(10);
+        let mut c = GcdCluster::new(&g, ClusterConfig::node_of_8(), LinkModel::frontier()).unwrap();
+        assert_eq!(
+            c.run(10).unwrap_err(),
+            ClusterError::SourceOutOfRange {
+                source: 10,
+                num_vertices: 10
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_gcds_and_empty_graph() {
+        let g = erdos_renyi(10, 30, 1);
+        let cfg = ClusterConfig {
+            num_gcds: 0,
+            ..ClusterConfig::node_of_8()
+        };
+        assert!(matches!(
+            GcdCluster::new(&g, cfg, LinkModel::frontier()),
+            Err(ClusterError::InvalidConfig(_))
+        ));
+        let empty = Csr::from_parts(vec![0], vec![]).unwrap();
+        assert_eq!(
+            GcdCluster::new(&empty, ClusterConfig::node_of_8(), LinkModel::frontier())
+                .err()
+                .unwrap(),
+            ClusterError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn crash_recovers_via_spare_with_identical_levels() {
+        let g = rmat_graph(RmatParams::graph500(11), 3);
+        let cfg = ClusterConfig {
+            num_gcds: 4,
+            ..ClusterConfig::node_of_8()
+        };
+        let clean = check(&g, cfg, 1);
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        let faults = fault_cfg("crash@2:rank1", RecoveryPolicy::PromoteSpare, 1);
+        let run = cluster.run_with_faults(1, &faults).unwrap();
+        assert_eq!(run.levels, clean.levels, "recovered levels must match");
+        validate_bfs_levels(&g, 1, &run.levels).expect("Graph500 level validation");
+        assert_eq!(run.recoveries.len(), 1);
+        let rec = &run.recoveries[0];
+        assert_eq!(rec.detected_level, 2);
+        assert_eq!(rec.dead_rank, 1);
+        assert_eq!(rec.restored_level, 2, "checkpoint_every=1 loses nothing");
+        assert_eq!(rec.gcds_after, 4);
+        assert!(rec.overhead_ms > 0.0);
+        assert!(run.level_stats.iter().any(|l| l.recovery_ms > 0.0));
+        assert!(run.total_ms > clean.total_ms, "recovery must cost time");
+    }
+
+    #[test]
+    fn crash_recovers_via_degradation_and_reexecutes_lost_levels() {
+        let g = rmat_graph(RmatParams::graph500(11), 5);
+        let cfg = ClusterConfig {
+            num_gcds: 4,
+            ..ClusterConfig::node_of_8()
+        };
+        let src = xbfs_graph::stats::pick_sources(&g, 1, 1)[0];
+        let clean = check(&g, cfg, src);
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        // Checkpoint every 3 levels: a crash at level 2 rewinds to level 0.
+        let faults = fault_cfg("crash@2:rank0", RecoveryPolicy::Degrade, 3);
+        let run = cluster.run_with_faults(src, &faults).unwrap();
+        assert_eq!(run.levels, clean.levels);
+        validate_bfs_levels(&g, src, &run.levels).expect("Graph500 level validation");
+        assert_eq!(run.recoveries[0].gcds_after, 3);
+        assert_eq!(run.recoveries[0].restored_level, 0);
+        assert_eq!(cluster.num_gcds(), 3, "cluster stays degraded");
+        // Levels 0 and 1 ran twice.
+        assert!(run.level_stats.iter().any(|l| l.level == 0 && l.attempt == 1));
+        assert!(run.level_stats.iter().any(|l| l.level == 1 && l.attempt == 1));
+        // Per-GCD GTEPS stays normalized to the initial cluster size.
+        assert!((run.gteps_per_gcd - run.gteps / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_of_last_survivor_is_unrecoverable() {
+        let g = erdos_renyi(200, 800, 2);
+        let cfg = ClusterConfig {
+            num_gcds: 1,
+            ..ClusterConfig::node_of_8()
+        };
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        let faults = fault_cfg("crash@1:rank0", RecoveryPolicy::Degrade, 1);
+        assert!(matches!(
+            cluster.run_with_faults(0, &faults),
+            Err(ClusterError::Unrecoverable { rank: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn link_drops_charge_retries_but_keep_results_exact() {
+        let g = rmat_graph(RmatParams::graph500(10), 4);
+        let cfg = ClusterConfig {
+            num_gcds: 4,
+            ..ClusterConfig::node_of_8()
+        };
+        let clean = check(&g, cfg, 0);
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        let faults = fault_cfg("drop@0:0-1x2,degrade@1-2:0.5", RecoveryPolicy::PromoteSpare, 0);
+        let run = cluster.run_with_faults(0, &faults).unwrap();
+        assert_eq!(run.levels, clean.levels);
+        let l0 = &run.level_stats[0];
+        assert!(l0.retransmitted_bytes > 0, "drops must retransmit");
+        assert!(l0.retry_ms > 0.0, "backoff must be charged");
+        assert!(run.total_ms > clean.total_ms);
+    }
+
+    #[test]
+    fn excessive_drops_fail_with_typed_error() {
+        let g = erdos_renyi(400, 2000, 3);
+        let cfg = ClusterConfig {
+            num_gcds: 2,
+            ..ClusterConfig::node_of_8()
+        };
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        let faults = fault_cfg("drop@0:0-1x9", RecoveryPolicy::PromoteSpare, 0);
+        assert!(matches!(
+            cluster.run_with_faults(5, &faults),
+            Err(ClusterError::LinkFailed { src: 0, dst: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoints_cost_time_and_are_flagged() {
+        let g = rmat_graph(RmatParams::graph500(11), 1);
+        let cfg = ClusterConfig {
+            num_gcds: 4,
+            ..ClusterConfig::node_of_8()
+        };
+        let src = xbfs_graph::stats::pick_sources(&g, 1, 1)[0];
+        let clean = check(&g, cfg, src);
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        // A plan with a (never-firing) late crash keeps fault mode on.
+        let faults = fault_cfg("crash@99:rank0", RecoveryPolicy::PromoteSpare, 2);
+        let run = cluster.run_with_faults(src, &faults).unwrap();
+        assert_eq!(run.levels, clean.levels);
+        assert!(run.recoveries.is_empty());
+        let flagged: Vec<u32> = run
+            .level_stats
+            .iter()
+            .filter(|l| l.checkpointed)
+            .map(|l| l.level)
+            .collect();
+        assert!(!flagged.is_empty(), "expected checkpoints every 2 levels");
+        assert!(flagged.iter().all(|l| l % 2 == 1), "boundary levels: {flagged:?}");
+        assert!(run.total_ms > clean.total_ms, "checkpoints must cost time");
+    }
+
+    #[test]
+    fn run_exports_reproducibility_record() {
+        let g = erdos_renyi(300, 1500, 7);
+        let cfg = ClusterConfig {
+            num_gcds: 2,
+            ..ClusterConfig::node_of_8()
+        };
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        let faults = FaultConfig {
+            plan: FaultPlan::parse("seed=9,drop@0:0-1x1").unwrap(),
+            ..FaultConfig::default()
+        };
+        let run = cluster.run_with_faults(3, &faults).unwrap();
+        assert_eq!(run.seed, 9);
+        assert_eq!(run.fault_plan, faults.plan);
+        let json = run.to_json();
+        assert!(json.contains("\"seed\":9"));
+        assert!(json.contains("drop@0:0-1x1"));
+        assert!(json.contains("\"level_stats\":["));
+        let csv = run.to_csv();
+        assert_eq!(csv.lines().count(), run.level_stats.len() + 1);
+        assert!(csv.starts_with("level,attempt,"));
+        // The recorded plan reproduces the run exactly.
+        let mut again = GcdCluster::new(&g, run.config, LinkModel::frontier()).unwrap();
+        let rerun = again
+            .run_with_faults(run.source, &FaultConfig {
+                plan: FaultPlan::parse(&run.fault_plan.to_spec()).unwrap(),
+                ..FaultConfig::default()
+            })
+            .unwrap();
+        assert_eq!(rerun.levels, run.levels);
+        assert_eq!(rerun.total_ms, run.total_ms);
     }
 }

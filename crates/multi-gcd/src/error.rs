@@ -1,0 +1,72 @@
+//! Typed errors for cluster construction and distributed runs.
+//!
+//! Everything a caller can get wrong (and every fault the cluster cannot
+//! recover from) surfaces as a [`ClusterError`] instead of a panic, so the
+//! CLI and library users can map failures to exit codes and messages.
+
+use std::fmt;
+
+/// Why a cluster operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// The configuration is unusable (e.g. zero GCDs).
+    InvalidConfig(String),
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// The BFS source does not exist in the graph.
+    SourceOutOfRange {
+        /// Requested source vertex.
+        source: u32,
+        /// Vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A fault-injection spec failed to parse.
+    FaultSpec(String),
+    /// A fault plan references ranks/levels the cluster cannot host.
+    InvalidFaultPlan(String),
+    /// A link dropped a message more times than the retry policy allows.
+    LinkFailed {
+        /// Level at which the collective ran.
+        level: u32,
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Transmission attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// A GCD crash could not be recovered from.
+    Unrecoverable {
+        /// Rank that died.
+        rank: usize,
+        /// Level at which the crash was detected.
+        level: u32,
+        /// Human-readable reason recovery was impossible.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(why) => write!(f, "invalid cluster config: {why}"),
+            Self::EmptyGraph => write!(f, "graph has no vertices"),
+            Self::SourceOutOfRange { source, num_vertices } => write!(
+                f,
+                "source vertex {source} out of range (graph has {num_vertices} vertices)"
+            ),
+            Self::FaultSpec(why) => write!(f, "bad fault spec: {why}"),
+            Self::InvalidFaultPlan(why) => write!(f, "fault plan not applicable: {why}"),
+            Self::LinkFailed { level, src, dst, attempts } => write!(
+                f,
+                "link {src}->{dst} failed at level {level} after {attempts} attempts"
+            ),
+            Self::Unrecoverable { rank, level, reason } => write!(
+                f,
+                "GCD {rank} crash at level {level} is unrecoverable: {reason}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

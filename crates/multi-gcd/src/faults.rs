@@ -1,0 +1,709 @@
+//! Deterministic fault injection for the multi-GCD engine.
+//!
+//! Frontier-scale systems treat faults as routine: the Graph500 runs the
+//! paper positions itself against checkpoint around node failures, and the
+//! fabric retransmits around transient link errors. This module models the
+//! three fault classes that dominate at that scale, each scheduled ahead of
+//! time by a seedable [`FaultPlan`] so every faulty run is reproducible:
+//!
+//! * **GCD crashes** — a rank dies at the start of a level and the cluster
+//!   recovers via checkpoint/restart ([`RecoveryPolicy`]),
+//! * **transient link drops** — a message between two ranks fails `k`
+//!   times before getting through; the collectives retry with exponential
+//!   backoff ([`RetryPolicy`]) and the retransmitted bytes plus the backoff
+//!   waits are charged to the cost model, and
+//! * **bandwidth degradation windows** — levels during which every link
+//!   runs at a fraction of nominal bandwidth (a congested or faulty fabric).
+
+use crate::error::ClusterError;
+use crate::interconnect::LinkModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Rank `rank` dies at the start of level `level`.
+    GcdCrash {
+        /// Rank that crashes.
+        rank: usize,
+        /// Level at which the crash is detected.
+        level: u32,
+    },
+    /// Messages from `src` to `dst` at `level` fail `drops` times before
+    /// succeeding.
+    LinkDrop {
+        /// Level the drops apply to.
+        level: u32,
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Consecutive failed transmissions before success.
+        drops: u32,
+    },
+    /// All links run at `factor` of nominal bandwidth for levels in
+    /// `[from_level, to_level]` (inclusive).
+    Degrade {
+        /// First degraded level.
+        from_level: u32,
+        /// Last degraded level.
+        to_level: u32,
+        /// Bandwidth multiplier in (0, 1].
+        factor: f64,
+    },
+}
+
+/// A deterministic, seedable schedule of faults.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed recorded with the plan (drives [`FaultPlan::random`] and is
+    /// exported with every run for reproducibility).
+    pub seed: u64,
+    /// The scheduled faults.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Parse a comma-separated spec, e.g.
+    /// `crash@2:rank1,drop@1:0-2x3,degrade@1-3:0.5,seed=42`.
+    ///
+    /// Tokens:
+    /// * `crash@<level>:rank<r>` — GCD `r` dies at level `<level>`,
+    /// * `drop@<level>:<src>-<dst>x<n>` — the `src`→`dst` message at that
+    ///   level fails `n` times before succeeding,
+    /// * `degrade@<from>-<to>:<factor>` — bandwidth × `factor` over the
+    ///   inclusive level window,
+    /// * `seed=<n>` — recorded seed.
+    pub fn parse(spec: &str) -> Result<Self, ClusterError> {
+        let bad = |tok: &str, why: &str| {
+            Err(ClusterError::FaultSpec(format!("token `{tok}`: {why}")))
+        };
+        let mut plan = Self::none();
+        for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(rest) = tok.strip_prefix("seed=") {
+                match rest.parse() {
+                    Ok(s) => plan.seed = s,
+                    Err(_) => return bad(tok, "seed must be an integer"),
+                }
+            } else if let Some(rest) = tok.strip_prefix("crash@") {
+                let Some((level, rank)) = rest.split_once(":rank") else {
+                    return bad(tok, "expected crash@<level>:rank<r>");
+                };
+                match (level.parse(), rank.parse()) {
+                    (Ok(level), Ok(rank)) => plan.events.push(FaultEvent::GcdCrash { rank, level }),
+                    _ => return bad(tok, "level and rank must be integers"),
+                }
+            } else if let Some(rest) = tok.strip_prefix("drop@") {
+                let Some((level, route)) = rest.split_once(':') else {
+                    return bad(tok, "expected drop@<level>:<src>-<dst>x<n>");
+                };
+                let Some((pair, drops)) = route.split_once('x') else {
+                    return bad(tok, "expected drop@<level>:<src>-<dst>x<n>");
+                };
+                let Some((src, dst)) = pair.split_once('-') else {
+                    return bad(tok, "expected drop@<level>:<src>-<dst>x<n>");
+                };
+                match (level.parse(), src.parse(), dst.parse(), drops.parse()) {
+                    (Ok(level), Ok(src), Ok(dst), Ok(drops)) => {
+                        plan.events.push(FaultEvent::LinkDrop { level, src, dst, drops })
+                    }
+                    _ => return bad(tok, "level, ranks and count must be integers"),
+                }
+            } else if let Some(rest) = tok.strip_prefix("degrade@") {
+                let Some((window, factor)) = rest.split_once(':') else {
+                    return bad(tok, "expected degrade@<from>-<to>:<factor>");
+                };
+                let Some((from, to)) = window.split_once('-') else {
+                    return bad(tok, "expected degrade@<from>-<to>:<factor>");
+                };
+                match (from.parse(), to.parse(), factor.parse::<f64>()) {
+                    (Ok(from_level), Ok(to_level), Ok(factor)) => {
+                        if !(factor > 0.0 && factor <= 1.0) {
+                            return bad(tok, "factor must be in (0, 1]");
+                        }
+                        if from_level > to_level {
+                            return bad(tok, "window start exceeds end");
+                        }
+                        plan.events.push(FaultEvent::Degrade { from_level, to_level, factor })
+                    }
+                    _ => return bad(tok, "levels must be integers, factor a float"),
+                }
+            } else {
+                return bad(tok, "unknown fault kind (crash@/drop@/degrade@/seed=)");
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Render the plan back to the spec syntax [`FaultPlan::parse`] accepts
+    /// (round-trips, used by the JSON export).
+    pub fn to_spec(&self) -> String {
+        let mut parts: Vec<String> = Vec::with_capacity(self.events.len() + 1);
+        if self.seed != 0 {
+            parts.push(format!("seed={}", self.seed));
+        }
+        for ev in &self.events {
+            parts.push(match *ev {
+                FaultEvent::GcdCrash { rank, level } => format!("crash@{level}:rank{rank}"),
+                FaultEvent::LinkDrop { level, src, dst, drops } => {
+                    format!("drop@{level}:{src}-{dst}x{drops}")
+                }
+                FaultEvent::Degrade { from_level, to_level, factor } => {
+                    format!("degrade@{from_level}-{to_level}:{factor}")
+                }
+            });
+        }
+        parts.join(",")
+    }
+
+    /// A randomized-but-deterministic plan: one crash, a couple of link
+    /// drops and one degradation window, all drawn from `seed`.
+    pub fn random(seed: u64, num_gcds: usize, expected_levels: u32) -> Self {
+        let mut state = seed;
+        let mut next = move || -> u64 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let levels = expected_levels.max(2) as u64;
+        let p = num_gcds.max(1) as u64;
+        let mut events = Vec::new();
+        // Crash somewhere in the middle of the run, never the only rank.
+        if num_gcds > 1 {
+            events.push(FaultEvent::GcdCrash {
+                rank: (next() % p) as usize,
+                level: 1 + (next() % (levels - 1)) as u32,
+            });
+        }
+        for _ in 0..2 {
+            let src = (next() % p) as usize;
+            let mut dst = (next() % p) as usize;
+            if dst == src {
+                dst = (dst + 1) % p as usize;
+            }
+            if src != dst {
+                events.push(FaultEvent::LinkDrop {
+                    level: (next() % levels) as u32,
+                    src,
+                    dst,
+                    drops: 1 + (next() % 2) as u32,
+                });
+            }
+        }
+        let from = (next() % levels) as u32;
+        events.push(FaultEvent::Degrade {
+            from_level: from,
+            to_level: from + (next() % 2) as u32,
+            factor: 0.25 + (next() % 50) as f64 / 100.0,
+        });
+        Self { seed, events }
+    }
+
+    /// Check the plan fits a cluster of `num_gcds` ranks.
+    pub fn validate(&self, num_gcds: usize) -> Result<(), ClusterError> {
+        for ev in &self.events {
+            match *ev {
+                FaultEvent::GcdCrash { rank, .. } if rank >= num_gcds => {
+                    return Err(ClusterError::InvalidFaultPlan(format!(
+                        "crash rank {rank} >= {num_gcds} GCDs"
+                    )));
+                }
+                FaultEvent::LinkDrop { src, dst, .. } if src >= num_gcds || dst >= num_gcds => {
+                    return Err(ClusterError::InvalidFaultPlan(format!(
+                        "drop route {src}-{dst} outside {num_gcds} GCDs"
+                    )));
+                }
+                FaultEvent::LinkDrop { src, dst, .. } if src == dst => {
+                    return Err(ClusterError::InvalidFaultPlan(format!(
+                        "drop route {src}-{dst} is a self-loop"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The crash scheduled at `level`, if any (first match wins).
+    pub fn crash_at(&self, level: u32) -> Option<usize> {
+        self.events.iter().find_map(|ev| match *ev {
+            FaultEvent::GcdCrash { rank, level: l } if l == level => Some(rank),
+            _ => None,
+        })
+    }
+
+    /// Failed-transmission count scheduled for `src`→`dst` at `level`.
+    pub fn drops_for(&self, level: u32, src: usize, dst: usize) -> u32 {
+        self.events
+            .iter()
+            .map(|ev| match *ev {
+                FaultEvent::LinkDrop { level: l, src: s, dst: d, drops }
+                    if l == level && s == src && d == dst =>
+                {
+                    drops
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Combined bandwidth factor active at `level` (product of windows).
+    pub fn bandwidth_factor(&self, level: u32) -> f64 {
+        self.events
+            .iter()
+            .map(|ev| match *ev {
+                FaultEvent::Degrade { from_level, to_level, factor }
+                    if (from_level..=to_level).contains(&level) =>
+                {
+                    factor
+                }
+                _ => 1.0,
+            })
+            .product::<f64>()
+            .max(0.01)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "(no faults)")
+        } else {
+            write!(f, "{}", self.to_spec())
+        }
+    }
+}
+
+/// Timeout-and-retry behavior of the simulated collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retransmissions attempted after the first failure.
+    pub max_retries: u32,
+    /// Timeout before the first retransmission, microseconds.
+    pub base_timeout_us: f64,
+    /// Multiplier applied to the timeout per further attempt.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    /// 3 retries, 50 µs base timeout, doubling per attempt.
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_timeout_us: 50.0,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff wait before retry `attempt` (0-based), microseconds.
+    pub fn backoff_us(&self, attempt: u32) -> f64 {
+        self.base_timeout_us * self.backoff_multiplier.powi(attempt as i32)
+    }
+
+    /// Total wait charged when `failures` transmissions time out in a row.
+    pub fn penalty_us(&self, failures: u32) -> f64 {
+        (0..failures).map(|a| self.backoff_us(a)).sum()
+    }
+
+    /// Wait before a silent rank is declared dead: the full backoff ladder.
+    pub fn detection_us(&self) -> f64 {
+        self.penalty_us(self.max_retries + 1)
+    }
+}
+
+/// How the cluster recovers from a GCD crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Repartition the dead rank's block across the survivors and continue
+    /// with one GCD fewer (graceful degradation).
+    Degrade,
+    /// Promote a spare GCD into the dead rank's slot (same partition).
+    PromoteSpare,
+}
+
+impl fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Degrade => write!(f, "degrade"),
+            Self::PromoteSpare => write!(f, "spare"),
+        }
+    }
+}
+
+/// Everything the engine needs to run under faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// The fault schedule.
+    pub plan: FaultPlan,
+    /// Collective retry behavior.
+    pub retry: RetryPolicy,
+    /// Crash recovery strategy.
+    pub recovery: RecoveryPolicy,
+    /// Take a checkpoint every this many levels; 0 disables periodic
+    /// checkpoints (the initial state still always counts as one, so a
+    /// crash then restarts the run from the source).
+    pub checkpoint_every: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            recovery: RecoveryPolicy::PromoteSpare,
+            checkpoint_every: 1,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A fault-free config with checkpointing off (what
+    /// [`crate::GcdCluster::run`] uses): zero overhead over the plain
+    /// engine.
+    pub fn none() -> Self {
+        Self {
+            checkpoint_every: 0,
+            ..Self::default()
+        }
+    }
+}
+
+/// What one faulty collective cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CollectiveCost {
+    /// Wall time of the collective including retries, microseconds.
+    pub time_us: f64,
+    /// Bytes sent more than once.
+    pub retransmitted_bytes: u64,
+    /// Time spent waiting on timeouts/backoff, microseconds.
+    pub retry_us: f64,
+}
+
+/// Transfer time with the level's bandwidth-degradation factor applied.
+fn transfer_scaled(link: &LinkModel, from: usize, to: usize, bytes: u64, bw_factor: f64) -> f64 {
+    if from == to {
+        return 0.0;
+    }
+    let base = link.transfer_us(from, to, bytes);
+    let lat = if link.same_node(from, to) {
+        link.intra_latency_us
+    } else {
+        link.inter_latency_us
+    };
+    lat + (base - lat) / bw_factor
+}
+
+/// Retry one `src`→`dst` message of `bytes` under the plan. Returns the
+/// accumulated cost, or an error if drops exceed the retry budget.
+#[allow(clippy::too_many_arguments)]
+fn retried_message(
+    link: &LinkModel,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    level: u32,
+    src: usize,
+    dst: usize,
+    bytes: u64,
+    bw_factor: f64,
+) -> Result<CollectiveCost, ClusterError> {
+    let one = transfer_scaled(link, src, dst, bytes, bw_factor);
+    let drops = plan.drops_for(level, src, dst);
+    if drops > retry.max_retries {
+        return Err(ClusterError::LinkFailed {
+            level,
+            src,
+            dst,
+            attempts: drops.min(retry.max_retries + 1),
+        });
+    }
+    let retry_us = retry.penalty_us(drops);
+    Ok(CollectiveCost {
+        // Every failed attempt still occupies the link for the message
+        // transfer before its timeout fires.
+        time_us: one * f64::from(drops + 1) + retry_us,
+        retransmitted_bytes: bytes * u64::from(drops),
+        retry_us,
+    })
+}
+
+/// Fault-aware personalized all-to-all for one rank: per-destination sends
+/// serialize on the injection port, receives overlap (duplex max), and each
+/// message retries independently under the plan.
+#[allow(clippy::too_many_arguments)]
+pub fn faulty_alltoall(
+    link: &LinkModel,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    level: u32,
+    rank: usize,
+    send: &[u64],
+    recv: &[u64],
+) -> Result<CollectiveCost, ClusterError> {
+    let bw = plan.bandwidth_factor(level);
+    let mut tx = CollectiveCost::default();
+    let mut rx = CollectiveCost::default();
+    for (d, &bytes) in send.iter().enumerate() {
+        if bytes == 0 || d == rank {
+            continue;
+        }
+        let c = retried_message(link, plan, retry, level, rank, d, bytes, bw)?;
+        tx.time_us += c.time_us;
+        tx.retransmitted_bytes += c.retransmitted_bytes;
+        tx.retry_us += c.retry_us;
+    }
+    for (s, &bytes) in recv.iter().enumerate() {
+        if bytes == 0 || s == rank {
+            continue;
+        }
+        let c = retried_message(link, plan, retry, level, s, rank, bytes, bw)?;
+        rx.time_us += c.time_us;
+        rx.retransmitted_bytes += c.retransmitted_bytes;
+        rx.retry_us += c.retry_us;
+    }
+    // Duplex: the slower direction bounds wall time; retransmitted bytes on
+    // the receive side are counted by the sender's call, not here.
+    Ok(CollectiveCost {
+        time_us: tx.time_us.max(rx.time_us),
+        retransmitted_bytes: tx.retransmitted_bytes,
+        retry_us: tx.retry_us.max(rx.retry_us),
+    })
+}
+
+/// Fault-aware ring allgather: P−1 steps, each moving one `bytes` block
+/// along every ring edge; a dropped edge stalls the whole step.
+pub fn faulty_allgather(
+    link: &LinkModel,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    level: u32,
+    num_ranks: usize,
+    bytes: u64,
+) -> Result<CollectiveCost, ClusterError> {
+    if num_ranks <= 1 {
+        return Ok(CollectiveCost::default());
+    }
+    let bw = plan.bandwidth_factor(level);
+    // Worst ring edge per step (the fault-free model's assumption).
+    let worst_step = (0..num_ranks)
+        .map(|i| transfer_scaled(link, i, (i + 1) % num_ranks, bytes, bw))
+        .fold(0.0f64, f64::max);
+    let mut cost = CollectiveCost {
+        time_us: (num_ranks - 1) as f64 * worst_step,
+        ..CollectiveCost::default()
+    };
+    // Drops on any ring edge: each failed pass of a block over that edge
+    // stalls the ring for a retransmission + its backoff.
+    for i in 0..num_ranks {
+        let j = (i + 1) % num_ranks;
+        let drops = plan.drops_for(level, i, j);
+        if drops == 0 {
+            continue;
+        }
+        if drops > retry.max_retries {
+            return Err(ClusterError::LinkFailed {
+                level,
+                src: i,
+                dst: j,
+                attempts: drops.min(retry.max_retries + 1),
+            });
+        }
+        let retry_us = retry.penalty_us(drops);
+        cost.time_us += transfer_scaled(link, i, j, bytes, bw) * f64::from(drops) + retry_us;
+        cost.retransmitted_bytes += bytes * u64::from(drops);
+        cost.retry_us += retry_us;
+    }
+    Ok(cost)
+}
+
+/// Fault-aware recursive-doubling allreduce: log₂(P) rounds over the worst
+/// link; drops on any route at this level stall a round each.
+pub fn faulty_allreduce(
+    link: &LinkModel,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+    level: u32,
+    num_ranks: usize,
+    bytes: u64,
+) -> Result<CollectiveCost, ClusterError> {
+    if num_ranks <= 1 {
+        return Ok(CollectiveCost::default());
+    }
+    let bw = plan.bandwidth_factor(level);
+    let base = link.allreduce_us(num_ranks, bytes);
+    let mut cost = CollectiveCost {
+        // Degradation scales the whole collective (latency-dominated at
+        // 16-byte payloads, so the factor barely moves it — as it should).
+        time_us: base / bw.min(1.0),
+        ..CollectiveCost::default()
+    };
+    for src in 0..num_ranks {
+        for dst in 0..num_ranks {
+            let drops = plan.drops_for(level, src, dst);
+            if drops == 0 || src == dst {
+                continue;
+            }
+            if drops > retry.max_retries {
+                return Err(ClusterError::LinkFailed {
+                    level,
+                    src,
+                    dst,
+                    attempts: drops.min(retry.max_retries + 1),
+                });
+            }
+            let retry_us = retry.penalty_us(drops);
+            cost.time_us += transfer_scaled(link, src, dst, bytes, bw) * f64::from(drops) + retry_us;
+            cost.retransmitted_bytes += bytes * u64::from(drops);
+            cost.retry_us += retry_us;
+        }
+    }
+    Ok(cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        let spec = "seed=42,crash@2:rank1,drop@1:0-2x3,degrade@1-3:0.5";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(plan.to_spec(), spec);
+        assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+    }
+
+    #[test]
+    fn bad_specs_are_errors_not_panics() {
+        for spec in [
+            "crash@2",
+            "crash@x:rank1",
+            "drop@1:0-2",
+            "drop@1:0x2",
+            "degrade@3-1:0.5",
+            "degrade@1-2:1.5",
+            "degrade@1-2:0",
+            "meteor@3",
+            "seed=abc",
+        ] {
+            assert!(
+                matches!(FaultPlan::parse(spec), Err(ClusterError::FaultSpec(_))),
+                "spec `{spec}` should fail to parse"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_ranks() {
+        let plan = FaultPlan::parse("crash@1:rank7").unwrap();
+        assert!(plan.validate(8).is_ok());
+        assert!(matches!(
+            plan.validate(4),
+            Err(ClusterError::InvalidFaultPlan(_))
+        ));
+        let drop = FaultPlan::parse("drop@0:1-1x1").unwrap();
+        assert!(matches!(
+            drop.validate(4),
+            Err(ClusterError::InvalidFaultPlan(_))
+        ));
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_summable() {
+        let r = RetryPolicy {
+            max_retries: 3,
+            base_timeout_us: 10.0,
+            backoff_multiplier: 2.0,
+        };
+        assert_eq!(r.backoff_us(0), 10.0);
+        assert_eq!(r.backoff_us(1), 20.0);
+        assert_eq!(r.backoff_us(2), 40.0);
+        assert_eq!(r.penalty_us(0), 0.0);
+        assert_eq!(r.penalty_us(3), 70.0);
+        assert_eq!(r.detection_us(), 150.0);
+    }
+
+    #[test]
+    fn queries_are_level_scoped() {
+        let plan = FaultPlan::parse("crash@2:rank1,drop@1:0-2x3,degrade@1-3:0.5").unwrap();
+        assert_eq!(plan.crash_at(2), Some(1));
+        assert_eq!(plan.crash_at(1), None);
+        assert_eq!(plan.drops_for(1, 0, 2), 3);
+        assert_eq!(plan.drops_for(2, 0, 2), 0);
+        assert_eq!(plan.drops_for(1, 2, 0), 0);
+        assert_eq!(plan.bandwidth_factor(0), 1.0);
+        assert_eq!(plan.bandwidth_factor(2), 0.5);
+        assert_eq!(plan.bandwidth_factor(4), 1.0);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_valid() {
+        let a = FaultPlan::random(7, 8, 6);
+        let b = FaultPlan::random(7, 8, 6);
+        assert_eq!(a, b);
+        a.validate(8).unwrap();
+        assert!(!a.is_empty());
+        let c = FaultPlan::random(8, 8, 6);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn retries_are_charged_and_bounded() {
+        let link = LinkModel::frontier();
+        let retry = RetryPolicy::default();
+        let plan = FaultPlan::parse("drop@0:0-1x2").unwrap();
+        let clean = faulty_alltoall(&link, &FaultPlan::none(), &retry, 0, 0, &[0, 1 << 20], &[0, 0])
+            .unwrap();
+        let faulty =
+            faulty_alltoall(&link, &plan, &retry, 0, 0, &[0, 1 << 20], &[0, 0]).unwrap();
+        assert_eq!(clean.retransmitted_bytes, 0);
+        assert_eq!(faulty.retransmitted_bytes, 2 << 20);
+        assert!(faulty.retry_us >= retry.penalty_us(2));
+        assert!(faulty.time_us > clean.time_us);
+        // Exceeding the retry budget is an error.
+        let dead = FaultPlan::parse("drop@0:0-1x9").unwrap();
+        assert!(matches!(
+            faulty_alltoall(&link, &dead, &retry, 0, 0, &[0, 1], &[0, 0]),
+            Err(ClusterError::LinkFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn degradation_slows_transfers_but_not_latency() {
+        let link = LinkModel::frontier();
+        let retry = RetryPolicy::default();
+        let plan = FaultPlan::parse("degrade@0-0:0.5").unwrap();
+        let big = 64u64 << 20;
+        let clean = faulty_allgather(&link, &FaultPlan::none(), &retry, 0, 4, big).unwrap();
+        let slow = faulty_allgather(&link, &plan, &retry, 0, 4, big).unwrap();
+        // Bandwidth halves → the bandwidth term doubles.
+        assert!(slow.time_us > 1.8 * clean.time_us, "{} vs {}", slow.time_us, clean.time_us);
+        // Off-window levels are unaffected.
+        let off = faulty_allgather(&link, &plan, &retry, 5, 4, big).unwrap();
+        assert_eq!(off.time_us, clean.time_us);
+    }
+
+    #[test]
+    fn allreduce_matches_fault_free_model_without_faults() {
+        let link = LinkModel::frontier();
+        let retry = RetryPolicy::default();
+        let c = faulty_allreduce(&link, &FaultPlan::none(), &retry, 3, 8, 16).unwrap();
+        assert_eq!(c.time_us, link.allreduce_us(8, 16));
+        assert_eq!(c.retransmitted_bytes, 0);
+    }
+}

@@ -15,12 +15,21 @@
 //! * [`bfs`] — the level-synchronous engine: top-down *push* with
 //!   per-owner candidate buckets, or XBFS-style bottom-up *pull* against an
 //!   allgathered frontier bitmap, switched per level by the same
-//!   edge-ratio-vs-α rule as single-GCD XBFS.
+//!   edge-ratio-vs-α rule as single-GCD XBFS,
+//! * [`faults`] — deterministic fault injection (GCD crashes, link drops,
+//!   bandwidth degradation), retry/backoff collectives, and the recovery
+//!   policies backing checkpoint/restart, and
+//! * [`error`] — the typed [`ClusterError`] every fallible operation
+//!   returns instead of panicking.
 
 pub mod bfs;
+pub mod error;
+pub mod faults;
 pub mod interconnect;
 pub mod partition;
 
-pub use bfs::{ClusterConfig, ClusterLevelStats, ClusterRun, GcdCluster};
+pub use bfs::{ClusterConfig, ClusterLevelStats, ClusterRun, GcdCluster, RecoveryReport};
+pub use error::ClusterError;
+pub use faults::{FaultConfig, FaultEvent, FaultPlan, RecoveryPolicy, RetryPolicy};
 pub use interconnect::LinkModel;
 pub use partition::{Part, Partition};

@@ -28,8 +28,9 @@ fn main() {
     );
 
     println!("== one node of 8 GCDs, direction-optimizing ==");
-    let mut cluster = GcdCluster::new(&graph, ClusterConfig::node_of_8(), LinkModel::frontier());
-    let run = cluster.run(source);
+    let mut cluster = GcdCluster::new(&graph, ClusterConfig::node_of_8(), LinkModel::frontier())
+        .expect("valid cluster config");
+    let run = cluster.run(source).expect("fault-free run");
     println!(
         "{:>5} {:>6} {:>12} {:>12} {:>12} {:>10}",
         "level", "mode", "frontier", "edge ratio", "exchanged", "time (ms)"
@@ -64,8 +65,9 @@ fn main() {
                 ..ClusterConfig::node_of_8()
             },
             LinkModel::frontier(),
-        );
-        let r = opt.run(source);
+        )
+        .expect("valid cluster config");
+        let r = opt.run(source).expect("fault-free run");
         let mut push = GcdCluster::new(
             &graph,
             ClusterConfig {
@@ -74,8 +76,9 @@ fn main() {
                 ..ClusterConfig::node_of_8()
             },
             LinkModel::frontier(),
-        );
-        let rp = push.run(source);
+        )
+        .expect("valid cluster config");
+        let rp = push.run(source).expect("fault-free run");
         if p == 1 {
             base = r.total_ms;
         }

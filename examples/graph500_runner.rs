@@ -37,11 +37,11 @@ fn main() {
         ..XbfsConfig::default()
     };
     let device = Device::mi250x();
-    let xbfs = Xbfs::new(&device, &graph, cfg);
+    let xbfs = Xbfs::new(&device, &graph, cfg).unwrap();
     let keys = pick_sources(&graph, num_keys, 0xBF5);
     let mut teps: Vec<f64> = Vec::new();
     for (i, &key) in keys.iter().enumerate() {
-        let run = xbfs.run(key);
+        let run = xbfs.run(key).unwrap();
         let parents = run.parents.as_ref().expect("parents recorded");
         match validate_bfs_tree(&graph, key, parents) {
             Ok(levels) => assert_eq!(levels, run.levels, "level mismatch for key {key}"),

@@ -26,10 +26,10 @@ fn main() {
     );
 
     let device = Device::mi250x();
-    let xbfs = Xbfs::new(&device, &graph, XbfsConfig::default());
+    let xbfs = Xbfs::new(&device, &graph, XbfsConfig::default()).unwrap();
     let source = pick_sources(&graph, 1, 7)[0];
     println!("running XBFS from source {source} on a simulated {}...", device.arch().name);
-    let run = xbfs.run(source);
+    let run = xbfs.run(source).unwrap();
 
     println!("\nper-level controller decisions:");
     println!("{:>5} {:>12} {:>12} {:>12} {:>10} {:>6}", "level", "strategy", "frontier", "edge ratio", "time (ms)", "NFG");

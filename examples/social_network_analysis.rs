@@ -31,11 +31,11 @@ fn main() {
     );
 
     let device = Device::mi250x();
-    let xbfs = Xbfs::new(&device, &graph, XbfsConfig::default());
+    let xbfs = Xbfs::new(&device, &graph, XbfsConfig::default()).unwrap();
 
     // 1. Reachability + hop-distance distribution from a random member.
     let source = pick_sources(&graph, 1, 5)[0];
-    let run = xbfs.run(source);
+    let run = xbfs.run(source).unwrap();
     let reached = run.levels.iter().filter(|&&l| l != UNVISITED).count();
     println!(
         "\nfrom user {source}: {reached}/{} reachable ({:.1}%), BFS depth {}",
@@ -62,7 +62,7 @@ fn main() {
     by_degree.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
     println!("\ncloseness of the 5 highest-degree hubs (one BFS each):");
     for &hub in by_degree.iter().take(5) {
-        let r = xbfs.run(hub);
+        let r = xbfs.run(hub).unwrap();
         let (mut sum, mut cnt) = (0u64, 0u64);
         for &l in &r.levels {
             if l != UNVISITED && l > 0 {
@@ -83,7 +83,7 @@ fn main() {
     let sources = pick_sources(&graph, 8, 17);
     let (mut edges, mut ms) = (0u64, 0.0);
     for &s in &sources {
-        let r = xbfs.run(s);
+        let r = xbfs.run(s).unwrap();
         edges += r.traversed_edges;
         ms += r.total_ms;
     }

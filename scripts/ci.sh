@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate — identical to .github/workflows/ci.yml.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace --benches --examples
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace --no-fail-fast
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check || echo "(fmt differences are advisory, not a gate)"
+
+echo "CI gate passed."

@@ -18,13 +18,20 @@ use xbfs_graph::Csr;
 
 /// Run XBFS once on a fresh MI250X-GCD device with the given config —
 /// the one-liner most examples start from.
+///
+/// # Panics
+/// On an empty graph or out-of-range source; use [`xbfs_core::Xbfs`]
+/// directly for typed errors.
 pub fn run_xbfs(graph: &Csr, source: u32, cfg: XbfsConfig) -> BfsRun {
     let device = Device::new(
         ArchProfile::mi250x_gcd(),
         ExecMode::Functional,
         cfg.required_streams(),
     );
-    Xbfs::new(&device, graph, cfg).run(source)
+    Xbfs::new(&device, graph, cfg)
+        .expect("device built to match config")
+        .run(source)
+        .expect("source must be in range")
 }
 
 /// Harmonic-mean GTEPS over several sources (the paper's "n-to-n" summary
@@ -35,11 +42,11 @@ pub fn n_to_n_gteps(graph: &Csr, sources: &[u32], cfg: XbfsConfig) -> f64 {
         ExecMode::Functional,
         cfg.required_streams(),
     );
-    let xbfs = Xbfs::new(&device, graph, cfg);
+    let xbfs = Xbfs::new(&device, graph, cfg).expect("device built to match config");
     let mut edges = 0u64;
     let mut ms = 0.0f64;
     for &s in sources {
-        let run = xbfs.run(s);
+        let run = xbfs.run(s).expect("source must be in range");
         edges += run.traversed_edges;
         ms += run.total_ms;
     }

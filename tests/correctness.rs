@@ -19,9 +19,9 @@ fn xbfs_matches_reference_on_all_datasets() {
     for d in Dataset::ALL {
         let g = d.generate(SHIFT, 42);
         let dev = Device::mi250x();
-        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default());
+        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap();
         for s in pick_sources(&g, 3, 7) {
-            let run = xbfs.run(s);
+            let run = xbfs.run(s).unwrap();
             assert_eq!(
                 run.levels,
                 bfs_levels_parallel(&g, s),
@@ -66,7 +66,7 @@ fn rearranged_graphs_give_identical_levels() {
         ] {
             let rg = rearrange_by_degree(&g, order);
             let dev = Device::mi250x();
-            let run = Xbfs::new(&dev, &rg, XbfsConfig::default()).run(s);
+            let run = Xbfs::new(&dev, &rg, XbfsConfig::default()).unwrap().run(s).unwrap();
             assert_eq!(run.levels, expect, "dataset {d}, order {order:?}");
         }
     }
@@ -81,7 +81,7 @@ fn forced_strategies_agree_across_architectures() {
         for strat in [Strategy::ScanFree, Strategy::SingleScan, Strategy::BottomUp] {
             let cfg = XbfsConfig::forced(strat);
             let dev = Device::new(arch.clone(), ExecMode::Functional, cfg.required_streams());
-            let run = Xbfs::new(&dev, &g, cfg).run(s);
+            let run = Xbfs::new(&dev, &g, cfg).unwrap().run(s).unwrap();
             assert_eq!(run.levels, expect, "{} forced {strat}", arch.name);
         }
     }
@@ -93,11 +93,11 @@ fn timing_and_functional_modes_agree() {
     let s = pick_sources(&g, 1, 2)[0];
     let run_f = {
         let dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Functional, 1);
-        Xbfs::new(&dev, &g, XbfsConfig::default()).run(s)
+        Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(s).unwrap()
     };
     let run_t = {
         let dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Timing, 1);
-        Xbfs::new(&dev, &g, XbfsConfig::default()).run(s)
+        Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(s).unwrap()
     };
     assert_eq!(run_f.levels, run_t.levels);
     assert_eq!(run_f.strategy_trace(), run_t.strategy_trace());

@@ -19,7 +19,7 @@ fn run_cfg(g: &xbfs_graph::Csr, cfg: XbfsConfig, src: u32) -> xbfs_core::BfsRun 
         ExecMode::Functional,
         cfg.required_streams(),
     );
-    Xbfs::new(&dev, g, cfg).run(src)
+    Xbfs::new(&dev, g, cfg).unwrap().run(src).unwrap()
 }
 
 /// §III / Fig. 7: at the peak-ratio level bottom-up is fastest; at the
@@ -150,7 +150,7 @@ fn stream_consolidation_helps_more_on_amd() {
             ..XbfsConfig::optimized_amd()
         };
         let dev = Device::new(arch, ExecMode::Functional, cfg.required_streams());
-        Xbfs::new(&dev, &g, cfg).run(src).total_ms
+        Xbfs::new(&dev, &g, cfg).unwrap().run(src).unwrap().total_ms
     };
     let amd_multi = run_streams(ArchProfile::mi250x_gcd(), true);
     let amd_single = run_streams(ArchProfile::mi250x_gcd(), false);
@@ -178,7 +178,9 @@ fn compiler_model_matches_claims() {
         let mut dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Functional, 1);
         dev.set_compiler(c);
         Xbfs::new(&dev, &g, cfg)
+            .unwrap()
             .run(src)
+            .unwrap()
             .level_stats
             .iter()
             .flat_map(|l| &l.kernels)
@@ -231,7 +233,7 @@ fn optimized_port_beats_naive_port() {
             cfg.required_streams(),
         );
         dev.set_compiler(Compiler::HipccO3);
-        Xbfs::new(&dev, &g, cfg).run(src).total_ms
+        Xbfs::new(&dev, &g, cfg).unwrap().run(src).unwrap().total_ms
     };
     let optimized = run_cfg(&g, XbfsConfig::optimized_amd(), src).total_ms;
     assert!(

@@ -35,7 +35,7 @@ proptest! {
         let expect = bfs_levels_serial(&g, src);
 
         let dev = Device::mi250x();
-        let x = Xbfs::new(&dev, &g, XbfsConfig::default()).run(src);
+        let x = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(src).unwrap();
         prop_assert_eq!(&x.levels, &expect, "xbfs adaptive");
         prop_assert_eq!(x.traversed_edges, traversed_edges(&g, &expect));
 
@@ -60,7 +60,7 @@ proptest! {
         for order in [RearrangeOrder::DegreeDescending, RearrangeOrder::DegreeAscending] {
             let rg = rearrange_by_degree(&g, order);
             let dev = Device::mi250x();
-            let run = Xbfs::new(&dev, &rg, XbfsConfig::default()).run(src);
+            let run = Xbfs::new(&dev, &rg, XbfsConfig::default()).unwrap().run(src).unwrap();
             prop_assert_eq!(&run.levels, &expect, "order {:?}", order);
         }
     }
@@ -74,7 +74,7 @@ proptest! {
             ..XbfsConfig::default()
         };
         let dev = Device::mi250x();
-        let run = Xbfs::new(&dev, &g, cfg).run(src);
+        let run = Xbfs::new(&dev, &g, cfg).unwrap().run(src).unwrap();
         prop_assert_eq!(run.levels, bfs_levels_serial(&g, src));
     }
 }

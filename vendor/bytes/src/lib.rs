@@ -1,0 +1,58 @@
+//! Offline stand-in for `bytes`: just the `Buf`/`BufMut` little-endian
+//! accessors the graph IO layer uses, over `&[u8]` and `Vec<u8>`.
+
+/// Reading side: consuming little-endian integers from a byte cursor.
+pub trait Buf {
+    /// Read and consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read and consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+}
+
+/// Writing side: appending little-endian integers.
+pub trait BufMut {
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        let mut cur = &buf[..];
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert!(cur.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the bench harness uses. Instead of the real
+//! statistical sampling machinery, every benchmark body runs once per
+//! sample (default 1 when driven by this stub's `Bencher::iter`) and the
+//! elapsed wall time is printed — enough to keep the `--benches` targets
+//! compiling and smoke-runnable without crates.io access.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level driver matching `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 1 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for parity; the stub runs one iteration regardless.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.into(), &mut f);
+        self
+    }
+}
+
+/// Group of related benchmarks, matching `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the group's throughput (accepted, unused).
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    /// Run a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one(&format!("{}/{}", self.name, id.into()), &mut f);
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id.0), &mut |b| f(b, input));
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher { elapsed_ns: 0 };
+    let t0 = Instant::now();
+    f(&mut b);
+    let wall = t0.elapsed();
+    println!("bench {label}: {:.3} ms (single pass)", wall.as_secs_f64() * 1e3);
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Run the routine once (the stub's "sample") and record its time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        self.elapsed_ns += t0.elapsed().as_nanos();
+    }
+}
+
+/// Benchmark identifier matching `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` compound id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Throughput declaration matching `criterion::Throughput`.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// `criterion_group!` lookalike (named-field form used by the workspace,
+/// plus the simple positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// `criterion_main!` lookalike.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so this crate offers the
+//! subset of rayon's API the workspace uses, executed **sequentially**.
+//! Results are bit-identical to a one-thread rayon pool (the workspace's
+//! determinism tests already require thread-count independence), only
+//! wall-clock parallel speedup is lost.
+
+/// Builder matching `rayon::ThreadPoolBuilder` for the methods the
+/// workspace uses. Thread counts are accepted and ignored.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    _num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Create a new builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepted for API parity; the stub always runs sequentially.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._num_threads = n;
+        self
+    }
+
+    /// Build the (trivial) pool. Never fails.
+    pub fn build(self) -> Result<ThreadPool, BuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never constructed.
+#[derive(Debug)]
+pub struct BuildError;
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (unreachable in stub)")
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Trivial pool: `install` just runs the closure on the current thread.
+pub struct ThreadPool;
+
+impl ThreadPool {
+    /// Run `f` "inside" the pool.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+pub mod iter {
+    //! Sequential "parallel" iterator.
+
+    /// Wrapper around a std iterator exposing the rayon adapter names the
+    //  workspace uses. Not an `Iterator` itself so that rayon-signature
+    /// methods (`reduce` with an identity function) don't collide with the
+    /// std ones.
+    pub struct ParIter<I>(pub(crate) I);
+
+    impl<I: Iterator> ParIter<I> {
+        /// `rayon::iter::ParallelIterator::map`.
+        pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+            ParIter(self.0.map(f))
+        }
+
+        /// `rayon::iter::ParallelIterator::flat_map_iter`.
+        pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+        where
+            U: IntoIterator,
+            F: FnMut(I::Item) -> U,
+        {
+            ParIter(self.0.flat_map(f))
+        }
+
+        /// `rayon::iter::ParallelIterator::map_init`: `init` runs once per
+        /// rayon "job"; sequentially that is once for the whole iterator.
+        pub fn map_init<T, U, INIT, F>(
+            self,
+            mut init: INIT,
+            mut f: F,
+        ) -> ParIter<impl Iterator<Item = U>>
+        where
+            INIT: FnMut() -> T,
+            F: FnMut(&mut T, I::Item) -> U,
+        {
+            let mut state = init();
+            ParIter(self.0.map(move |item| f(&mut state, item)))
+        }
+
+        /// `rayon::iter::ParallelIterator::filter`.
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+            ParIter(self.0.filter(f))
+        }
+
+        /// `rayon::iter::ParallelIterator::for_each`.
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        /// `rayon::iter::ParallelIterator::reduce` (rayon signature: an
+        /// identity factory plus a combining operator).
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+
+        /// `rayon::iter::ParallelIterator::collect`.
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        /// `rayon::iter::ParallelIterator::sum`.
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        /// `rayon::iter::ParallelIterator::count`.
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The traits that put `par_iter`/`into_par_iter`/`par_sort_unstable`
+    //! in scope, mirroring `rayon::prelude`.
+
+    pub use crate::iter::ParIter;
+
+    /// `rayon::prelude::IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Convert into a (sequential) "parallel" iterator.
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `rayon::prelude::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Underlying std iterator type.
+        type Iter: Iterator;
+        /// Iterate by shared reference.
+        fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// `rayon::prelude::IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Underlying std iterator type.
+        type Iter: Iterator;
+        /// Iterate by mutable reference.
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// `rayon::prelude::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// Sort (sequentially) like `par_sort_unstable`.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std() {
+        let v = vec![3u32, 1, 2];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let total = (0..5usize).into_par_iter().map(|x| x as u64).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10);
+        let mut s = vec![5, 4, 1];
+        s.par_sort_unstable();
+        assert_eq!(s, vec![1, 4, 5]);
+        let mut acc = 0u32;
+        v.par_iter().for_each(|&x| acc += x);
+        assert_eq!(acc, 6);
+        let flat: Vec<u32> = (0..3u32).into_par_iter().flat_map_iter(|x| vec![x; 2]).collect();
+        assert_eq!(flat, vec![0, 0, 1, 1, 2, 2]);
+        let mapped: Vec<u32> = (0..3u32)
+            .into_par_iter()
+            .map_init(|| 10u32, |base, x| *base + x)
+            .collect();
+        assert_eq!(mapped, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let out = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap()
+            .install(|| 7);
+        assert_eq!(out, 7);
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` marker traits and the derive
+//! macros under the usual names, so `#[derive(Serialize, Deserialize)]`
+//! and `T: Serialize` bounds compile without network access to crates.io.
+//! No actual serialization machinery is provided — workspace code that
+//! needs a wire format implements it by hand (e.g. the JSON export in
+//! `xbfs-multi-gcd::bfs`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Namespace parity with the real crate.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Namespace parity with the real crate.
+pub mod de {
+    pub use crate::Deserialize;
+}

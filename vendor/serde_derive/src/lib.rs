@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real serde
+//! derive macros (and their syn/quote dependency tree) cannot be fetched.
+//! This stub accepts the same `#[derive(Serialize, Deserialize)]`
+//! annotations and emits impls of the marker traits defined by the sibling
+//! `serde` stub, so trait bounds keep working. Actual wire formats in this
+//! workspace are hand-rolled (see e.g. `xbfs-multi-gcd`'s JSON export).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the type being derived and whether it has generic
+/// parameters (generic types are skipped — nothing in the workspace derives
+/// serde traits on generics).
+fn derived_type_name(input: &TokenStream) -> Option<(String, bool)> {
+    let mut iter = input.clone().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let generic = matches!(
+                        iter.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match derived_type_name(&input) {
+        Some((name, false)) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        _ => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match derived_type_name(&input) {
+        Some((name, false)) => {
+            format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+                .parse()
+                .unwrap()
+        }
+        _ => TokenStream::new(),
+    }
+}
