@@ -10,8 +10,10 @@ use xbfs_graph::generators::{rmat_graph, RmatParams};
 use xbfs_graph::stats::{level_profile, pick_sources, summarize};
 use xbfs_graph::{io, rearrange_by_degree, Csr, Dataset, RearrangeOrder};
 use xbfs_multi_gcd::{
-    ClusterConfig, ClusterError, FaultConfig, FaultPlan, GcdCluster, LinkModel, RecoveryPolicy,
+    ClusterConfig, ClusterError, FaultConfig, FaultEvent, FaultPlan, GcdCluster, LinkModel,
+    RecoveryPolicy,
 };
+use xbfs_telemetry::{names, JsonValue, Recorder, TraceFormat};
 
 /// Exit codes the `xbfs` binary maps failures to.
 pub mod exit_code {
@@ -102,8 +104,8 @@ const DEVICE_OPTS: [&str; 3] = ["arch", "compiler", "timing"];
 fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
     let mut opts: Vec<&str> = match command {
         "generate" => vec!["out", "kind", "seed", "scale", "shift"],
-        "convert" | "info" | "analyze" | "help" | "" => vec![],
-        "bfs" => vec![
+        "convert" | "info" | "analyze" | "trace" | "help" | "" => vec![],
+        "bfs" | "run" => vec![
             "source",
             "alpha",
             "auto-alpha",
@@ -111,6 +113,7 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "rearrange",
             "validate",
             "csv",
+            "trace",
         ],
         "cluster" => vec![
             "gcds",
@@ -123,12 +126,13 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "validate",
             "json",
             "csv",
+            "trace",
         ],
         "msbfs" => vec!["sources"],
         "compare" => vec!["source"],
         _ => return None,
     };
-    if matches!(command, "bfs" | "msbfs" | "compare") {
+    if matches!(command, "bfs" | "run" | "msbfs" | "compare") {
         opts.extend(DEVICE_OPTS);
     }
     Some(opts)
@@ -155,11 +159,12 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "generate" => generate(args),
         "convert" => convert(args),
         "info" => info(args),
-        "bfs" => bfs(args),
+        "bfs" | "run" => bfs(args),
         "cluster" => cluster(args),
         "msbfs" => msbfs(args),
         "compare" => compare(args),
         "analyze" => analyze(args),
+        "trace" => trace_cmd(args),
         "help" | "" => Ok(HELP.to_string()),
         other => Err(CliError::usage(format!("unknown command {other:?}\n{HELP}"))),
     }
@@ -177,16 +182,27 @@ COMMANDS
   info      FILE          print graph statistics and a level profile
   bfs       FILE [--source N] [--alpha F | --auto-alpha] [--forced scan-free|single-scan|bottom-up]
             [--rearrange] [--validate] [--arch mi250x|mi100|p6000] [--compiler clang|hipcc|clang-O0]
-            [--timing] [--csv FILE]  run one BFS and report per-level stats
+            [--timing] [--csv FILE] [--trace FMT:PATH]
+            run one BFS and report per-level stats (`run` is an alias)
   cluster   FILE [--gcds N] [--source N] [--alpha F] [--push-only]
             [--inject-faults SPEC|random[:SEED]] [--checkpoint-every N]
             [--recovery spare|degrade] [--validate] [--json FILE] [--csv FILE]
+            [--trace FMT:PATH]
             distributed BFS across simulated GCDs, optionally under faults;
             SPEC is comma-separated: crash@LVL:rankR, drop@LVL:SRC-DSTxN,
             degrade@FROM-TO:FACTOR, seed=N
   msbfs     FILE [--sources N]      concurrent multi-source BFS (iBFS-style)
   compare   FILE [--source N]       XBFS vs every baseline engine
   analyze   FILE                    connected components, diameter estimate
+  trace     summarize FILE          summarize a recorded trace (xbfs-trace-v1
+                                    JSON or chrome trace.json)
+
+TRACING
+  --trace FMT:PATH records structured telemetry (spans, per-level metrics)
+  during bfs/run and cluster. FMT is table, json, chrome (load the file in
+  chrome://tracing or https://ui.perfetto.dev) or csv (rocprofiler-style
+  kernel rows). PATH `-` writes the trace to stdout instead of the normal
+  report, so `xbfs run g.bin --trace json:- > out.json` emits pure JSON.
 
 EXIT CODES
   0 ok, 1 generic, 2 usage, 3 I/O, 4 invalid input, 5 unrecovered fault,
@@ -321,6 +337,39 @@ fn mk_device(args: &Args, streams: usize) -> Result<Device, CliError> {
     Ok(dev)
 }
 
+/// Parse `--trace` and build the recorder: enabled only when tracing was
+/// requested, so untraced runs pay a single relaxed atomic load per
+/// telemetry call.
+fn trace_setup(args: &Args) -> Result<(Option<(TraceFormat, String)>, Recorder), CliError> {
+    match args.options.get("trace") {
+        Some(spec) => {
+            let parsed = TraceFormat::parse(spec).map_err(CliError::usage)?;
+            Ok((Some(parsed), Recorder::new()))
+        }
+        None => Ok((None, Recorder::disabled())),
+    }
+}
+
+/// Deliver a recorded trace. Path `-` replaces the whole command output
+/// with the rendered trace (pure JSON/CSV on stdout, pipeable); any other
+/// path writes the file and appends a note to `out`.
+fn emit_trace(
+    out: &mut String,
+    fmt: TraceFormat,
+    path: &str,
+    rec: &Recorder,
+) -> Result<Option<String>, CliError> {
+    let sink = fmt.sink();
+    let rendered = sink.export(&rec.finish());
+    if path == "-" {
+        return Ok(Some(rendered));
+    }
+    std::fs::write(path, &rendered)
+        .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
+    out.push_str(&format!("{} trace written to {path}\n", sink.name()));
+    Ok(None)
+}
+
 fn bfs(args: &Args) -> Result<String, CliError> {
     let path = args.positional.first().ok_or("usage: xbfs bfs FILE")?;
     let mut g = load_graph(path)?;
@@ -349,8 +398,9 @@ fn bfs(args: &Args) -> Result<String, CliError> {
         cfg = tuned;
         tuned_note = format!("auto-tuned alpha = {} (paper's method, §V-D)\n", result.best_alpha);
     }
+    let (trace_opt, recorder) = trace_setup(args)?;
     let xbfs = Xbfs::new(&dev, &g, cfg)?;
-    let run = xbfs.run(source)?;
+    let run = xbfs.run_traced(source, &recorder)?;
 
     let mut out = tuned_note;
     out.push_str(&format!(
@@ -392,6 +442,11 @@ fn bfs(args: &Args) -> Result<String, CliError> {
         std::fs::write(csv_path, gcd_sim::profiler::to_csv(&reports))
             .map_err(|e| CliError::io(format!("cannot write {csv_path}: {e}")))?;
         out.push_str(&format!("kernel counters written to {csv_path}\n"));
+    }
+    if let Some((fmt, trace_path)) = trace_opt {
+        if let Some(direct) = emit_trace(&mut out, fmt, &trace_path, &recorder)? {
+            return Ok(direct);
+        }
     }
     Ok(out)
 }
@@ -443,13 +498,33 @@ fn cluster(args: &Args) -> Result<String, CliError> {
         ..FaultConfig::default()
     };
 
+    let (trace_opt, recorder) = trace_setup(args)?;
+    let crash_planned = faults
+        .plan
+        .events
+        .iter()
+        .any(|e| matches!(e, FaultEvent::GcdCrash { .. }));
+    let mut trace_warning = String::new();
+    if trace_opt.is_some() && crash_planned {
+        // Crash recovery rewinds the cluster clock to the last checkpoint,
+        // so the trace contains overlapping re-executed level spans. Say so
+        // rather than silently emitting a confusing timeline.
+        trace_warning = format!(
+            "warning: tracing a run with planned GCD crashes ({}) — recovery \
+             rewinds execution to the last checkpoint, so the trace contains \
+             re-executed level spans (attempt > 0) alongside recovery spans\n",
+            faults.plan.to_spec()
+        );
+        eprint!("{trace_warning}");
+    }
     let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier())?;
-    let run = cluster.run_with_faults(source, &faults)?;
+    let run = cluster.run_with_faults_traced(source, &faults, &recorder)?;
 
-    let mut out = format!(
+    let mut out = trace_warning;
+    out.push_str(&format!(
         "{} GCDs, source {source}, faults: {}\n",
         cfg.num_gcds, run.fault_plan
-    );
+    ));
     out.push_str(&format!(
         "{:>5} {:>3} {:>6} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}\n",
         "level", "try", "mode", "frontier", "exchanged", "retrans", "retry ms", "recov ms", "time ms"
@@ -501,6 +576,11 @@ fn cluster(args: &Args) -> Result<String, CliError> {
         std::fs::write(csv_path, run.to_csv())
             .map_err(|e| CliError::io(format!("cannot write {csv_path}: {e}")))?;
         out.push_str(&format!("per-level stats written to {csv_path}\n"));
+    }
+    if let Some((fmt, trace_path)) = trace_opt {
+        if let Some(direct) = emit_trace(&mut out, fmt, &trace_path, &recorder)? {
+            return Ok(direct);
+        }
     }
     Ok(out)
 }
@@ -583,6 +663,173 @@ fn analyze(args: &Args) -> Result<String, CliError> {
         g.num_vertices(),
         100.0 * giant as f64 / g.num_vertices().max(1) as f64
     ))
+}
+
+fn trace_cmd(args: &Args) -> Result<String, CliError> {
+    match args.positional.first().map(String::as_str) {
+        Some("summarize") => {
+            let path = args
+                .positional
+                .get(1)
+                .ok_or("usage: xbfs trace summarize FILE")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+            summarize_trace(&text)
+                .map_err(|e| CliError::new(format!("{path}: {e}"), exit_code::INVALID_INPUT))
+        }
+        Some(other) => Err(CliError::usage(format!(
+            "unknown trace subcommand {other:?} (expected `summarize`)"
+        ))),
+        None => Err("usage: xbfs trace summarize FILE".into()),
+    }
+}
+
+/// Summarize a recorded trace document (either `xbfs-trace-v1` JSON from
+/// `--trace json:` or a chrome trace.json from `--trace chrome:`).
+fn summarize_trace(text: &str) -> Result<String, String> {
+    let doc = JsonValue::parse(text).map_err(|e| format!("not valid JSON ({e})"))?;
+    if doc.get("schema").and_then(JsonValue::as_str) == Some("xbfs-trace-v1") {
+        summarize_xbfs_trace(&doc)
+    } else if doc.get("traceEvents").is_some() {
+        summarize_chrome_trace(&doc)
+    } else {
+        Err("unrecognized document (expected xbfs-trace-v1 or Trace Event Format)".into())
+    }
+}
+
+fn json_attr(v: &JsonValue, key: &str) -> String {
+    match v.get(key) {
+        Some(JsonValue::Str(s)) => s.clone(),
+        Some(JsonValue::Num(n)) => format!("{n}"),
+        Some(JsonValue::Bool(b)) => b.to_string(),
+        _ => String::new(),
+    }
+}
+
+fn summarize_xbfs_trace(doc: &JsonValue) -> Result<String, String> {
+    let mut out = String::from("xbfs-trace-v1\n");
+    if let Some(summary) = doc.get("summary") {
+        let engine = json_attr(summary, "engine");
+        if !engine.is_empty() {
+            out.push_str(&format!("engine: {engine}"));
+            for key in ["num_gcds", "vertices", "edges", "gteps"] {
+                let v = json_attr(summary, key);
+                if !v.is_empty() {
+                    out.push_str(&format!("  {key} {v}"));
+                }
+            }
+            out.push('\n');
+        }
+    }
+    let levels = doc
+        .get("levels")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing levels array")?;
+    out.push_str(&format!(
+        "{:>5} {:>3} {:>12} {:>12} {:>10}\n",
+        "level", "try", "mode", "frontier", "time ms"
+    ));
+    for l in levels {
+        let mode = {
+            let s = json_attr(l, "strategy");
+            if s.is_empty() { json_attr(l, "mode") } else { s }
+        };
+        out.push_str(&format!(
+            "{:>5} {:>3} {:>12} {:>12} {:>10.4}\n",
+            json_attr(l, "level"),
+            {
+                let a = json_attr(l, "attempt");
+                if a.is_empty() { "0".into() } else { a }
+            },
+            mode,
+            json_attr(l, "frontier_count"),
+            l.get("time_ms").and_then(JsonValue::as_f64).unwrap_or(0.0),
+        ));
+    }
+    let spans = doc.get("spans").and_then(JsonValue::as_arr).unwrap_or(&[]);
+    let count_named = |name: &str| {
+        spans
+            .iter()
+            .filter(|s| s.get("name").and_then(JsonValue::as_str) == Some(name))
+            .count()
+    };
+    let events = doc.get("events").and_then(JsonValue::as_arr).unwrap_or(&[]);
+    out.push_str(&format!(
+        "{} spans ({} levels, {} kernels, {} collectives, {} checkpoints, \
+         {} recoveries), {} events, {} counter samples\n",
+        spans.len(),
+        count_named(names::span::LEVEL),
+        count_named(names::span::KERNEL),
+        count_named(names::span::COLLECTIVE),
+        count_named(names::span::CHECKPOINT),
+        count_named(names::span::RECOVERY),
+        events.len(),
+        doc.get("counters")
+            .and_then(JsonValue::as_arr)
+            .map_or(0, |c| c.len()),
+    ));
+    out.push_str(&format!(
+        "total {:.4} ms\n",
+        doc.get("total_ms").and_then(JsonValue::as_f64).unwrap_or(0.0)
+    ));
+    Ok(out)
+}
+
+fn summarize_chrome_trace(doc: &JsonValue) -> Result<String, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .ok_or("traceEvents is not an array")?;
+    let mut out = String::from("chrome trace.json (Trace Event Format)\n");
+    let with_ph = |ph: &'static str| {
+        events
+            .iter()
+            .filter(move |e| e.get("ph").and_then(JsonValue::as_str) == Some(ph))
+    };
+    let named = |name: &'static str| {
+        with_ph("X").filter(move |e| e.get("name").and_then(JsonValue::as_str) == Some(name))
+    };
+    let mut end_us = 0.0f64;
+    for e in with_ph("X") {
+        let ts = e.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let dur = e.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        end_us = end_us.max(ts + dur);
+    }
+    out.push_str(&format!(
+        "{} span events ({} levels, {} kernels, {} collectives, {} recoveries), \
+         {} instants, {} counter samples\n",
+        with_ph("X").count(),
+        named(names::span::LEVEL).count(),
+        named(names::span::KERNEL).count(),
+        named(names::span::COLLECTIVE).count(),
+        named(names::span::RECOVERY).count(),
+        with_ph("i").count(),
+        with_ph("C").count(),
+    ));
+    out.push_str(&format!(
+        "{:>5} {:>3} {:>12} {:>12} {:>10}\n",
+        "level", "try", "mode", "frontier", "time ms"
+    ));
+    for l in named(names::span::LEVEL) {
+        let args = l.get("args").cloned().unwrap_or(JsonValue::Obj(Vec::new()));
+        let mode = {
+            let s = json_attr(&args, "strategy");
+            if s.is_empty() { json_attr(&args, "mode") } else { s }
+        };
+        out.push_str(&format!(
+            "{:>5} {:>3} {:>12} {:>12} {:>10.4}\n",
+            json_attr(&args, "level"),
+            {
+                let a = json_attr(&args, "attempt");
+                if a.is_empty() { "0".into() } else { a }
+            },
+            mode,
+            json_attr(&args, "frontier_count"),
+            l.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0) / 1000.0,
+        ));
+    }
+    out.push_str(&format!("total {:.4} ms\n", end_us / 1000.0));
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -694,6 +941,135 @@ mod tests {
         assert!(record.contains("crash@2:rank1"), "{record}");
         let stats = std::fs::read_to_string(&csv).unwrap();
         assert!(stats.starts_with("level,attempt,"), "{stats}");
+    }
+
+    #[test]
+    fn run_alias_and_trace_exports_every_format() {
+        let path = tmp("g8.bin");
+        run(&["generate", "--out", &path, "--scale", "10"]).unwrap();
+
+        // `run` is an alias of `bfs`.
+        let plain = run(&["run", &path, "--source", "0"]).unwrap();
+        assert!(plain.contains("GTEPS"), "{plain}");
+
+        // chrome trace to a file, then summarize it.
+        let chrome = tmp("g8_trace.json");
+        let out = run(&["run", &path, "--source", "0", "--trace", &format!("chrome:{chrome}")])
+            .unwrap();
+        assert!(out.contains("chrome trace written"), "{out}");
+        let body = std::fs::read_to_string(&chrome).unwrap();
+        let doc = JsonValue::parse(&body).expect("chrome trace must be valid JSON");
+        let events = doc.get("traceEvents").and_then(JsonValue::as_arr).unwrap();
+        let n_levels = events
+            .iter()
+            .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("level"))
+            .count();
+        // Every BFS level appears as a span: compare against the run report.
+        let depth = plain
+            .lines()
+            .filter(|l| l.trim_start().starts_with('L'))
+            .count();
+        assert_eq!(n_levels, depth, "one level span per BFS level");
+        let summary = run(&["trace", "summarize", &chrome]).unwrap();
+        assert!(summary.contains("Trace Event Format"), "{summary}");
+        assert!(summary.contains("level"), "{summary}");
+
+        // json:- replaces the report with pure machine-readable JSON.
+        let json = run(&["run", &path, "--source", "0", "--trace", "json:-"]).unwrap();
+        let doc = JsonValue::parse(&json).expect("stdout must be pure JSON");
+        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some("xbfs-trace-v1"));
+        assert_eq!(
+            doc.get("levels").and_then(JsonValue::as_arr).unwrap().len(),
+            depth
+        );
+        // Summarize the v1 schema from a file, too.
+        let v1 = tmp("g8_v1.json");
+        std::fs::write(&v1, &json).unwrap();
+        let summary = run(&["trace", "summarize", &v1]).unwrap();
+        assert!(summary.contains("xbfs-trace-v1"), "{summary}");
+        assert!(summary.contains("engine: xbfs"), "{summary}");
+
+        // table and rocprof CSV render too.
+        let table = run(&["run", &path, "--source", "0", "--trace", "table:-"]).unwrap();
+        assert!(table.contains("level") && table.contains("total"), "{table}");
+        let csv = run(&["run", &path, "--source", "0", "--trace", "csv:-"]).unwrap();
+        assert!(csv.starts_with("phase,kernel,runtime_ms"), "{csv}");
+
+        // Bad specs are usage errors.
+        assert_eq!(
+            run(&["run", &path, "--trace", "bogus:x"]).unwrap_err().code,
+            exit_code::USAGE
+        );
+        assert_eq!(
+            run(&["run", &path, "--trace", "json"]).unwrap_err().code,
+            exit_code::USAGE
+        );
+    }
+
+    #[test]
+    fn cluster_trace_covers_levels_and_recovery_with_warning() {
+        let path = tmp("g9.bin");
+        run(&["generate", "--out", &path, "--scale", "10"]).unwrap();
+        let out = run(&[
+            "cluster", &path, "--gcds", "4", "--source", "1",
+            "--inject-faults", "crash@1:rank1", "--trace", "json:-",
+        ])
+        .unwrap();
+        // `json:-` output is the pure trace; the crash warning goes to stderr only.
+        let doc = JsonValue::parse(&out).expect("stdout must be pure JSON");
+        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some("xbfs-trace-v1"));
+        let spans = doc.get("spans").and_then(JsonValue::as_arr).unwrap();
+        let named = |n: &str| {
+            spans
+                .iter()
+                .filter(|s| s.get("name").and_then(JsonValue::as_str) == Some(n))
+                .count()
+        };
+        assert!(named("level") > 0);
+        assert!(named("collective") > 0);
+        assert_eq!(named("recovery"), 1, "crash must produce a recovery span");
+        assert!(named("checkpoint") > 0, "fault mode defaults to checkpointing");
+        let events = doc.get("events").and_then(JsonValue::as_arr).unwrap();
+        let evt = |n: &str| {
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(JsonValue::as_str) == Some(n))
+        };
+        assert!(evt("fault.crash") && evt("recovery.restore"), "{out}");
+
+        // With a file path, the warning lands in the report.
+        let trace_path = tmp("g9_trace.json");
+        let report = run(&[
+            "cluster", &path, "--gcds", "4", "--source", "1",
+            "--inject-faults", "crash@1:rank1", "--trace",
+            &format!("json:{trace_path}"),
+        ])
+        .unwrap();
+        assert!(report.contains("warning: tracing a run with planned GCD crashes"), "{report}");
+        assert!(report.contains("json trace written"), "{report}");
+        let summary = run(&["trace", "summarize", &trace_path]).unwrap();
+        assert!(summary.contains("1 recoveries"), "{summary}");
+    }
+
+    #[test]
+    fn trace_summarize_rejects_garbage() {
+        assert_eq!(
+            run(&["trace", "summarize", "/does/not/exist.json"]).unwrap_err().code,
+            exit_code::IO
+        );
+        let bad = tmp("bad_trace.json");
+        std::fs::write(&bad, "not json").unwrap();
+        assert_eq!(
+            run(&["trace", "summarize", &bad]).unwrap_err().code,
+            exit_code::INVALID_INPUT
+        );
+        std::fs::write(&bad, "{\"someting\":\"else\"}").unwrap();
+        assert_eq!(
+            run(&["trace", "summarize", &bad]).unwrap_err().code,
+            exit_code::INVALID_INPUT
+        );
+        assert_eq!(run(&["trace"]).unwrap_err().code, exit_code::USAGE);
+        assert_eq!(run(&["trace", "frobnicate"]).unwrap_err().code, exit_code::USAGE);
     }
 
     #[test]

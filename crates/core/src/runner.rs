@@ -15,6 +15,7 @@ use crate::strategy::{
 };
 use gcd_sim::Device;
 use xbfs_graph::Csr;
+use xbfs_telemetry::{names, AttrValue, Recorder};
 
 /// An XBFS instance bound to a device-resident graph.
 pub struct Xbfs<'a> {
@@ -60,6 +61,16 @@ impl<'a> Xbfs<'a> {
     /// statistics. Models the paper's "n to n" measured window: status
     /// initialization through final sync.
     pub fn run(&self, source: u32) -> Result<BfsRun, XbfsError> {
+        self.run_traced(source, &Recorder::disabled())
+    }
+
+    /// Like [`Xbfs::run`], but records structured telemetry into `rec`:
+    /// a `run > level > {queue_gen, expand} > kernel` span tree on the
+    /// modeled device timeline, per-level strategy-choice events, and
+    /// frontier/fetch counter series. With a disabled recorder every
+    /// telemetry call is a single relaxed atomic load, so this is the
+    /// same hot path `run` uses.
+    pub fn run_traced(&self, source: u32, rec: &Recorder) -> Result<BfsRun, XbfsError> {
         let dev = self.device;
         let g = &self.graph;
         let n = g.num_vertices();
@@ -75,7 +86,15 @@ impl<'a> Xbfs<'a> {
         dev.reset_timeline();
         let _ = dev.take_reports();
 
+        let run_span = rec.begin_span(None, names::span::RUN, 0, 0.0);
+        rec.span_attr(run_span, "engine", AttrValue::Str("xbfs".into()));
+        rec.span_attr(run_span, "source", AttrValue::U64(u64::from(source)));
+        rec.span_attr(run_span, "vertices", AttrValue::U64(n as u64));
+        rec.span_attr(run_span, "edges", AttrValue::U64(self.graph.num_edges() as u64));
+        rec.span_attr(run_span, "alpha", AttrValue::F64(self.cfg.alpha));
+
         // --- measured window starts ---
+        let init_span = rec.begin_span(Some(run_span), names::span::INIT, 0, 0.0);
         dev.set_phase("init");
         dev.fill_u32(0, &st.status, UNVISITED);
         if let Some(parents) = &st.parents {
@@ -85,6 +104,7 @@ impl<'a> Xbfs<'a> {
         st.status.store(source as usize, 0);
         st.queues[0].store(0, source);
         dev.charge_transfer(0, 8); // seed the source + queue head
+        rec.end_span(init_span, dev.elapsed_us());
 
         let m = g.num_edges().max(1) as f64;
         let mut exact: Option<[usize; 3]> = Some([1, 0, 0]);
@@ -105,6 +125,24 @@ impl<'a> Xbfs<'a> {
             dev.set_phase(format!("level {level}"));
             let t0 = dev.elapsed_us();
             let mut used_nfg = true;
+
+            let lvl_span = rec.begin_span(Some(run_span), names::span::LEVEL, 0, t0);
+            rec.event(
+                Some(lvl_span),
+                names::event::STRATEGY_CHOICE,
+                0,
+                t0,
+                vec![
+                    ("strategy".into(), AttrValue::Str(strategy.to_string())),
+                    ("ratio".into(), AttrValue::F64(ratio)),
+                    ("alpha".into(), AttrValue::F64(self.cfg.alpha)),
+                    ("forced".into(), AttrValue::Bool(self.cfg.forced.is_some())),
+                ],
+            );
+            rec.counter(names::metric::FRONTIER_SIZE, 0, t0, frontier_count as f64);
+            rec.counter(names::metric::FRONTIER_EDGES, 0, t0, frontier_edges as f64);
+            rec.counter(names::metric::FRONTIER_RATIO, 0, t0, ratio);
+            let mut expand_start = t0;
 
             match strategy {
                 Strategy::BottomUp => {
@@ -137,6 +175,10 @@ impl<'a> Xbfs<'a> {
                         let lens = st.next_queue_lens();
                         st.swap_queues();
                         qstate = QueueState::Exact(lens);
+                        let q1 = dev.elapsed_us();
+                        let qg = rec.begin_span(Some(lvl_span), names::span::QUEUE_GEN, 0, t0);
+                        rec.end_span(qg, q1);
+                        expand_start = q1;
                     }
                     launch_reset_counters(dev, 0, &st);
                     let atomic_claim = strategy == Strategy::ScanFree;
@@ -145,6 +187,8 @@ impl<'a> Xbfs<'a> {
             }
 
             dev.sync();
+            let expand_span = rec.begin_span(Some(lvl_span), names::span::EXPAND, 0, expand_start);
+            rec.end_span(expand_span, dev.elapsed_us());
             dev.charge_transfer(0, 48); // counter readback
             let claimed = u64::from(st.counters.load(ctr::CLAIMED));
             let proactive = u64::from(st.counters.load(ctr::PROACTIVE));
@@ -177,6 +221,40 @@ impl<'a> Xbfs<'a> {
                 time_ms: (t1 - t0) / 1000.0,
                 kernels: dev.take_reports(),
             });
+            if rec.is_enabled() {
+                let ls = level_stats.last().expect("just pushed");
+                // Lay the level's kernel reports out as sequential child
+                // spans so chrome://tracing shows the dispatch stream.
+                let mut cursor = t0;
+                for k in &ls.kernels {
+                    let ks = rec.begin_span(Some(lvl_span), names::span::KERNEL, 0, cursor);
+                    rec.span_attr(ks, "phase", AttrValue::Str(k.phase.clone()));
+                    rec.span_attr(ks, "kernel", AttrValue::Str(k.name.clone()));
+                    rec.span_attr(ks, "l2_hit_pct", AttrValue::F64(k.l2_hit_pct));
+                    rec.span_attr(ks, "mem_busy_pct", AttrValue::F64(k.mem_busy_pct));
+                    rec.span_attr(ks, "fetch_kb", AttrValue::F64(k.fetch_kb));
+                    rec.span_attr(ks, "instructions", AttrValue::U64(k.stats.instructions));
+                    rec.span_attr(ks, "atomics", AttrValue::U64(k.stats.atomics));
+                    rec.span_attr(ks, "hbm_lines", AttrValue::U64(k.stats.hbm_lines));
+                    rec.span_attr(ks, "occupancy", AttrValue::F64(k.occupancy));
+                    cursor = (cursor + (k.runtime_ms * 1000.0).max(0.0)).min(t1);
+                    rec.end_span(ks, cursor);
+                }
+                rec.counter(names::metric::FETCH_KB, 0, t1, ls.fetch_kb());
+                rec.counter(
+                    names::metric::ATOMICS,
+                    0,
+                    t1,
+                    ls.kernels.iter().map(|k| k.stats.atomics).sum::<u64>() as f64,
+                );
+                rec.span_attr(lvl_span, "level", AttrValue::U64(u64::from(level)));
+                rec.span_attr(lvl_span, "strategy", AttrValue::Str(strategy.to_string()));
+                rec.span_attr(lvl_span, "used_nfg", AttrValue::Bool(used_nfg));
+                rec.span_attr(lvl_span, "ratio", AttrValue::F64(ratio));
+                rec.span_attr(lvl_span, "frontier_count", AttrValue::U64(frontier_count));
+                rec.span_attr(lvl_span, "frontier_edges", AttrValue::U64(frontier_edges));
+            }
+            rec.end_span(lvl_span, t1);
 
             let next_count = claimed + pending_pro.0;
             let next_edges = claimed_edges + pending_pro.1;
@@ -206,6 +284,11 @@ impl<'a> Xbfs<'a> {
         } else {
             0.0
         };
+        rec.span_attr(run_span, "depth", AttrValue::U64(level_stats.len() as u64));
+        rec.span_attr(run_span, "total_ms", AttrValue::F64(total_ms));
+        rec.span_attr(run_span, "traversed_edges", AttrValue::U64(traversed_edges));
+        rec.span_attr(run_span, "gteps", AttrValue::F64(gteps));
+        rec.end_span(run_span, total_us);
         Ok(BfsRun {
             source,
             levels,

@@ -41,6 +41,7 @@ use gcd_sim::{ArchProfile, BufU32, BufU64, Device, ExecMode, LaunchCfg, WaveCtx}
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use xbfs_graph::{Csr, VertexId};
+use xbfs_telemetry::{names, AttrValue, Recorder, SpanId};
 
 /// Not-yet-visited marker (matches single-GCD XBFS).
 pub const UNVISITED: u32 = u32::MAX;
@@ -373,6 +374,20 @@ impl<'g> GcdCluster<'g> {
         source: VertexId,
         faults: &FaultConfig,
     ) -> Result<ClusterRun, ClusterError> {
+        self.run_with_faults_traced(source, faults, &Recorder::disabled())
+    }
+
+    /// Like [`GcdCluster::run_with_faults`], but records structured
+    /// telemetry into `rec`: a `run > level > collective` span tree on the
+    /// modeled cluster timeline (max over GCD clocks), plus checkpoint and
+    /// recovery spans, fault events, and byte/retry counter series. With a
+    /// disabled recorder every telemetry call is one relaxed atomic load.
+    pub fn run_with_faults_traced(
+        &mut self,
+        source: VertexId,
+        faults: &FaultConfig,
+        rec: &Recorder,
+    ) -> Result<ClusterRun, ClusterError> {
         let n = self.graph.num_vertices();
         if (source as usize) >= n {
             return Err(ClusterError::SourceOutOfRange {
@@ -384,7 +399,20 @@ impl<'g> GcdCluster<'g> {
         let initial_p = self.cfg.num_gcds;
         let m_global = self.graph.num_edges().max(1) as f64;
 
+        let run_span = rec.begin_span(None, names::span::RUN, 0, 0.0);
+        rec.span_attr(run_span, "engine", AttrValue::Str("xbfs-cluster".into()));
+        rec.span_attr(run_span, "num_gcds", AttrValue::U64(initial_p as u64));
+        rec.span_attr(run_span, "source", AttrValue::U64(u64::from(source)));
+        rec.span_attr(run_span, "vertices", AttrValue::U64(n as u64));
+        rec.span_attr(run_span, "edges", AttrValue::U64(self.graph.num_edges() as u64));
+        rec.span_attr(run_span, "alpha", AttrValue::F64(self.cfg.alpha));
+        rec.span_attr(run_span, "push_only", AttrValue::Bool(self.cfg.push_only));
+        if !faults.plan.is_empty() {
+            rec.span_attr(run_span, "fault_plan", AttrValue::Str(faults.plan.to_spec()));
+        }
+
         // --- init (measured) ---
+        let init_span = rec.begin_span(Some(run_span), names::span::INIT, 0, 0.0);
         for r in &self.ranks {
             r.device.reset_timeline();
             r.device.fill_u32(0, &r.status, UNVISITED);
@@ -403,6 +431,7 @@ impl<'g> GcdCluster<'g> {
         let mut frontier_edges = u64::from(self.graph.degree(source));
         let mut level = 0u32;
         let mut clock_us = self.max_elapsed();
+        rec.end_span(init_span, clock_us);
         let mut stats: Vec<ClusterLevelStats> = Vec::new();
         let mut recoveries: Vec<RecoveryReport> = Vec::new();
 
@@ -430,6 +459,17 @@ impl<'g> GcdCluster<'g> {
             if let Some(rank) = faults.plan.crash_at(level) {
                 if rank < self.cfg.num_gcds && !fired_crashes.contains(&(rank, level)) {
                     fired_crashes.push((rank, level));
+                    let t_crash = self.max_elapsed();
+                    rec.event(
+                        Some(run_span),
+                        names::event::FAULT_CRASH,
+                        rank,
+                        t_crash,
+                        vec![
+                            ("rank".into(), AttrValue::U64(rank as u64)),
+                            ("level".into(), AttrValue::U64(u64::from(level))),
+                        ],
+                    );
                     let report = self.recover(rank, level, faults, &mut ckpt)?;
                     let restored = ckpt.as_ref().expect("recover leaves a checkpoint");
                     level = restored.next_level;
@@ -437,8 +477,30 @@ impl<'g> GcdCluster<'g> {
                     frontier_edges = restored.frontier_edges;
                     frontier_lens = self.restore_frontiers(restored);
                     pending_recovery_us += report.overhead_ms * 1000.0;
-                    recoveries.push(report);
                     clock_us = self.max_elapsed();
+                    let rspan = rec.begin_span(Some(run_span), names::span::RECOVERY, 0, t_crash);
+                    rec.span_attr(rspan, "dead_rank", AttrValue::U64(report.dead_rank as u64));
+                    rec.span_attr(rspan, "policy", AttrValue::Str(report.policy.to_string()));
+                    rec.span_attr(
+                        rspan,
+                        "restored_level",
+                        AttrValue::U64(u64::from(report.restored_level)),
+                    );
+                    rec.span_attr(rspan, "gcds_after", AttrValue::U64(report.gcds_after as u64));
+                    rec.span_attr(rspan, "overhead_ms", AttrValue::F64(report.overhead_ms));
+                    rec.event(
+                        Some(rspan),
+                        names::event::RECOVERY_RESTORE,
+                        0,
+                        clock_us,
+                        vec![(
+                            "restored_level".into(),
+                            AttrValue::U64(u64::from(report.restored_level)),
+                        )],
+                    );
+                    rec.end_span(rspan, clock_us);
+                    rec.counter(names::metric::RECOVERY_MS, 0, clock_us, report.overhead_ms);
+                    recoveries.push(report);
                     continue;
                 }
             }
@@ -446,19 +508,61 @@ impl<'g> GcdCluster<'g> {
             let p = self.cfg.num_gcds;
             let ratio = frontier_edges as f64 / m_global;
             let bottom_up = !self.cfg.push_only && ratio > self.cfg.alpha;
+            let lvl_span = rec.begin_span(Some(run_span), names::span::LEVEL, 0, clock_us);
+            rec.event(
+                Some(lvl_span),
+                names::event::STRATEGY_CHOICE,
+                0,
+                clock_us,
+                vec![
+                    (
+                        "mode".into(),
+                        AttrValue::Str(if bottom_up { "pull" } else { "push" }.into()),
+                    ),
+                    ("ratio".into(), AttrValue::F64(ratio)),
+                    ("alpha".into(), AttrValue::F64(self.cfg.alpha)),
+                ],
+            );
+            rec.counter(names::metric::FRONTIER_SIZE, 0, clock_us, frontier_count as f64);
+            rec.counter(names::metric::FRONTIER_EDGES, 0, clock_us, frontier_edges as f64);
+            rec.counter(names::metric::FRONTIER_RATIO, 0, clock_us, ratio);
             let comm = if bottom_up {
-                self.run_pull_level(level, &frontier_lens, faults)?
+                self.run_pull_level(level, &frontier_lens, faults, rec, lvl_span)?
             } else {
-                self.run_push_level(level, &frontier_lens, faults)?
+                self.run_push_level(level, &frontier_lens, faults, rec, lvl_span)?
             };
 
             // Barrier + counter allreduce (retries charged like any other
             // collective).
+            let ar_t0 = self.max_elapsed();
             let ar = faulty_allreduce(&self.link, &faults.plan, &faults.retry, level, p, 16)?;
             let mut t = self.max_elapsed();
             t += ar.time_us.max(self.ranks[0].device.arch().sync_us);
             for r in &self.ranks {
                 r.device.advance_to(t);
+            }
+            if rec.is_enabled() {
+                let ac = rec.begin_span(Some(lvl_span), names::span::COLLECTIVE, 0, ar_t0);
+                rec.span_attr(ac, "kind", AttrValue::Str("allreduce".into()));
+                rec.span_attr(
+                    ac,
+                    "retransmitted_bytes",
+                    AttrValue::U64(ar.retransmitted_bytes),
+                );
+                rec.span_attr(ac, "retry_ms", AttrValue::F64(ar.retry_us / 1000.0));
+                rec.end_span(ac, t);
+                if ar.retransmitted_bytes > 0 {
+                    rec.event(
+                        Some(ac),
+                        names::event::FAULT_RETRY,
+                        0,
+                        t,
+                        vec![
+                            ("kind".into(), AttrValue::Str("allreduce".into())),
+                            ("bytes".into(), AttrValue::U64(ar.retransmitted_bytes)),
+                        ],
+                    );
+                }
             }
 
             let mut claimed = 0u64;
@@ -487,6 +591,35 @@ impl<'g> GcdCluster<'g> {
             });
             pending_recovery_us = 0.0;
             clock_us = self.max_elapsed();
+            if rec.is_enabled() {
+                let row = stats.last().expect("just pushed");
+                rec.span_attr(lvl_span, "level", AttrValue::U64(u64::from(level)));
+                rec.span_attr(lvl_span, "attempt", AttrValue::U64(u64::from(attempt)));
+                rec.span_attr(
+                    lvl_span,
+                    "mode",
+                    AttrValue::Str(if bottom_up { "pull" } else { "push" }.into()),
+                );
+                rec.span_attr(lvl_span, "frontier_count", AttrValue::U64(frontier_count));
+                rec.span_attr(lvl_span, "frontier_edges", AttrValue::U64(frontier_edges));
+                rec.span_attr(lvl_span, "exchanged_bytes", AttrValue::U64(row.exchanged_bytes));
+                rec.span_attr(
+                    lvl_span,
+                    "retransmitted_bytes",
+                    AttrValue::U64(row.retransmitted_bytes),
+                );
+                rec.span_attr(lvl_span, "retry_ms", AttrValue::F64(row.retry_ms));
+                rec.span_attr(lvl_span, "recovery_ms", AttrValue::F64(row.recovery_ms));
+                rec.counter(names::metric::EXCHANGED_BYTES, 0, clock_us, row.exchanged_bytes as f64);
+                rec.counter(
+                    names::metric::RETRANSMITTED_BYTES,
+                    0,
+                    clock_us,
+                    row.retransmitted_bytes as f64,
+                );
+                rec.counter(names::metric::RETRY_MS, 0, clock_us, row.retry_ms);
+            }
+            rec.end_span(lvl_span, clock_us);
 
             if claimed == 0 {
                 break;
@@ -499,6 +632,7 @@ impl<'g> GcdCluster<'g> {
             // Level-synchronous checkpoint: the boundary between levels is
             // the natural consistency point.
             if faults.checkpoint_every > 0 && level.is_multiple_of(faults.checkpoint_every) {
+                let ck_t0 = self.max_elapsed();
                 ckpt = Some(self.take_checkpoint(
                     level,
                     &frontier_lens,
@@ -509,11 +643,29 @@ impl<'g> GcdCluster<'g> {
                     row.checkpointed = true;
                 }
                 clock_us = self.max_elapsed();
+                rec.span_attr(lvl_span, "checkpointed", AttrValue::Bool(true));
+                let ckpt_bytes = 4 * (n as u64 + frontier_count);
+                let ck = rec.begin_span(Some(run_span), names::span::CHECKPOINT, 0, ck_t0);
+                rec.span_attr(ck, "level", AttrValue::U64(u64::from(level)));
+                rec.span_attr(ck, "bytes", AttrValue::U64(ckpt_bytes));
+                rec.event(
+                    Some(ck),
+                    names::event::CHECKPOINT_TAKEN,
+                    0,
+                    clock_us,
+                    vec![
+                        ("level".into(), AttrValue::U64(u64::from(level))),
+                        ("bytes".into(), AttrValue::U64(ckpt_bytes)),
+                    ],
+                );
+                rec.end_span(ck, clock_us);
+                rec.counter(names::metric::CHECKPOINT_BYTES, 0, clock_us, ckpt_bytes as f64);
             }
         }
 
         // --- collect ---
-        let total_ms = self.max_elapsed() / 1000.0;
+        let total_us = self.max_elapsed();
+        let total_ms = total_us / 1000.0;
         let mut levels = vec![UNVISITED; n];
         for (part, r) in self.partition.parts.iter().zip(&self.ranks) {
             let local = r.status.to_host();
@@ -530,6 +682,16 @@ impl<'g> GcdCluster<'g> {
         } else {
             0.0
         };
+        rec.span_attr(
+            run_span,
+            "depth",
+            AttrValue::U64(stats.iter().map(|l| u64::from(l.level) + 1).max().unwrap_or(0)),
+        );
+        rec.span_attr(run_span, "total_ms", AttrValue::F64(total_ms));
+        rec.span_attr(run_span, "traversed_edges", AttrValue::U64(traversed_edges));
+        rec.span_attr(run_span, "gteps", AttrValue::F64(gteps));
+        rec.span_attr(run_span, "recoveries", AttrValue::U64(recoveries.len() as u64));
+        rec.end_span(run_span, total_us);
         Ok(ClusterRun {
             source,
             config: ClusterConfig {
@@ -705,6 +867,8 @@ impl<'g> GcdCluster<'g> {
         level: u32,
         frontier_lens: &[usize],
         faults: &FaultConfig,
+        rec: &Recorder,
+        lvl_span: SpanId,
     ) -> Result<LevelComm, ClusterError> {
         let p = self.cfg.num_gcds;
         // Phase 1: local expansion into local claims + remote buckets.
@@ -763,6 +927,26 @@ impl<'g> GcdCluster<'g> {
         for r in &self.ranks {
             r.device.advance_to(t_end);
         }
+        if rec.is_enabled() {
+            let coll = rec.begin_span(Some(lvl_span), names::span::COLLECTIVE, 0, t0);
+            rec.span_attr(coll, "kind", AttrValue::Str("alltoall".into()));
+            rec.span_attr(coll, "bytes", AttrValue::U64(comm.exchanged));
+            rec.span_attr(coll, "retransmitted_bytes", AttrValue::U64(comm.retransmitted));
+            rec.span_attr(coll, "retry_ms", AttrValue::F64(comm.retry_us / 1000.0));
+            rec.end_span(coll, t_end);
+            if comm.retransmitted > 0 {
+                rec.event(
+                    Some(coll),
+                    names::event::FAULT_RETRY,
+                    0,
+                    t_end,
+                    vec![
+                        ("kind".into(), AttrValue::Str("alltoall".into())),
+                        ("bytes".into(), AttrValue::U64(comm.retransmitted)),
+                    ],
+                );
+            }
+        }
         // Deliver candidates into inboxes (data motion already charged).
         let mut inbox_lens = vec![0usize; p];
         for (src, r) in self.ranks.iter().enumerate() {
@@ -804,6 +988,8 @@ impl<'g> GcdCluster<'g> {
         level: u32,
         frontier_lens: &[usize],
         faults: &FaultConfig,
+        rec: &Recorder,
+        lvl_span: SpanId,
     ) -> Result<LevelComm, ClusterError> {
         let p = self.cfg.num_gcds;
         // Phase 1: each rank sets bits for its frontier slice.
@@ -843,6 +1029,7 @@ impl<'g> GcdCluster<'g> {
         // Phase 2: allgather the bitmap slices (every rank ends with the
         // full global bitmap). Bytes per rank: its slice of |V|/8.
         let slice_bytes = (self.graph.num_vertices().div_ceil(8) / p.max(1)).max(4) as u64;
+        let ag_t0 = self.max_elapsed();
         let cost = faulty_allgather(
             &self.link,
             &faults.plan,
@@ -854,6 +1041,30 @@ impl<'g> GcdCluster<'g> {
         let t = self.max_elapsed() + cost.time_us;
         for r in &self.ranks {
             r.device.advance_to(t);
+        }
+        if rec.is_enabled() {
+            let coll = rec.begin_span(Some(lvl_span), names::span::COLLECTIVE, 0, ag_t0);
+            rec.span_attr(coll, "kind", AttrValue::Str("allgather".into()));
+            rec.span_attr(coll, "bytes", AttrValue::U64(slice_bytes * p as u64));
+            rec.span_attr(
+                coll,
+                "retransmitted_bytes",
+                AttrValue::U64(cost.retransmitted_bytes),
+            );
+            rec.span_attr(coll, "retry_ms", AttrValue::F64(cost.retry_us / 1000.0));
+            rec.end_span(coll, t);
+            if cost.retransmitted_bytes > 0 {
+                rec.event(
+                    Some(coll),
+                    names::event::FAULT_RETRY,
+                    0,
+                    t,
+                    vec![
+                        ("kind".into(), AttrValue::Str("allgather".into())),
+                        ("bytes".into(), AttrValue::U64(cost.retransmitted_bytes)),
+                    ],
+                );
+            }
         }
         // Merge host-side (motion already charged): OR all slices together.
         let words = self.ranks[0].bitmap.len();

@@ -1,0 +1,124 @@
+#![warn(missing_docs)]
+
+//! `xbfs-telemetry` — the observability substrate of the XBFS reproduction.
+//!
+//! The paper's evaluation is built on *explaining* where BFS time goes:
+//! per-level strategy choices driven by the frontier edge ratio `r`,
+//! queue-generation cost, and rocprofiler counter rows per kernel. This
+//! crate provides the structured-telemetry layer that every engine in the
+//! workspace reports through:
+//!
+//! * **Spans** ([`Recorder`], [`SpanRecord`]) — hierarchical timed regions
+//!   (`run > level > {expand, queue_gen, scan, collective, checkpoint,
+//!   recovery}`) with typed attributes, stamped on the *modeled* device
+//!   timeline (microseconds) so traces are bit-deterministic.
+//! * **Metrics** ([`metrics`]) — typed counters/gauges/histograms plus the
+//!   canonical metric- and span-name registry ([`names`]).
+//! * **Exporters** ([`export`]) — one [`TraceSink`] trait with four
+//!   implementations: human-readable per-level table, machine-readable
+//!   JSON (`xbfs-trace-v1`, the `BENCH_*.json` feed), chrome://tracing /
+//!   Perfetto `trace.json`, and a rocprofiler-style kernel CSV.
+//! * **JSON** ([`json`]) — a minimal std-only JSON parser used to validate
+//!   and summarize traces (the vendored `serde` is a marker stand-in, so
+//!   parsing is done here).
+//!
+//! The disabled recorder ([`Recorder::disabled`]) is a no-op sink: every
+//! recording call is a single relaxed atomic load, which keeps untraced
+//! runs effectively free.
+//!
+//! # Quick start
+//!
+//! ```
+//! use xbfs_telemetry::{AttrValue, Recorder, names};
+//! use xbfs_telemetry::export::{TraceFormat, TraceSink};
+//!
+//! let rec = Recorder::new();
+//! let run = rec.begin_span(None, names::span::RUN, 0, 0.0);
+//! let lvl = rec.begin_span(Some(run), names::span::LEVEL, 0, 0.0);
+//! rec.span_attr(lvl, "level", AttrValue::U64(0));
+//! rec.counter(names::metric::FRONTIER_SIZE, 0, 0.0, 1.0);
+//! rec.end_span(lvl, 10.0);
+//! rec.end_span(run, 12.0);
+//! let trace = rec.finish();
+//! assert!(trace.well_formed().is_ok());
+//! let json = TraceFormat::Chrome.sink().export(&trace);
+//! assert!(json.contains("traceEvents"));
+//! ```
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use export::{TraceFormat, TraceSink};
+pub use json::JsonValue;
+pub use metrics::{Counter, Gauge, Histogram};
+pub use span::{AttrValue, CounterRecord, EventRecord, Recorder, SpanId, SpanRecord, Trace};
+
+/// Canonical span, event and metric names — the trace vocabulary shared by
+/// the single-GCD runner, the multi-GCD engine and the exporters. Using
+/// these constants (rather than ad-hoc strings) is what lets
+/// `xbfs trace summarize` understand any trace the workspace produces.
+pub mod names {
+    /// Span names, ordered by nesting depth.
+    pub mod span {
+        /// Root span of one BFS execution.
+        pub const RUN: &str = "run";
+        /// Status/parent-array initialization inside the measured window.
+        pub const INIT: &str = "init";
+        /// One BFS level (child of `run`).
+        pub const LEVEL: &str = "level";
+        /// Frontier expansion of one level (any strategy).
+        pub const EXPAND: &str = "expand";
+        /// Frontier-queue generation scan (single-scan kernel 1).
+        pub const QUEUE_GEN: &str = "queue_gen";
+        /// Status scan phases of the bottom-up double scan.
+        pub const SCAN: &str = "scan";
+        /// A collective (all-to-all / allgather / allreduce) on the fabric.
+        pub const COLLECTIVE: &str = "collective";
+        /// Level-synchronous checkpoint snapshot.
+        pub const CHECKPOINT: &str = "checkpoint";
+        /// Crash detection + rebuild + checkpoint restore.
+        pub const RECOVERY: &str = "recovery";
+        /// One kernel dispatch (leaf; carries rocprof counters as attrs).
+        pub const KERNEL: &str = "kernel";
+    }
+
+    /// Instant-event names.
+    pub mod event {
+        /// The controller's per-level strategy decision.
+        pub const STRATEGY_CHOICE: &str = "strategy.choice";
+        /// An injected GCD crash was detected.
+        pub const FAULT_CRASH: &str = "fault.crash";
+        /// A collective retried dropped messages.
+        pub const FAULT_RETRY: &str = "fault.retry";
+        /// Device state was restored from a checkpoint.
+        pub const RECOVERY_RESTORE: &str = "recovery.restore";
+        /// A checkpoint was taken at a level boundary.
+        pub const CHECKPOINT_TAKEN: &str = "checkpoint.taken";
+    }
+
+    /// Counter/gauge metric names.
+    pub mod metric {
+        /// Vertices in the expanded frontier.
+        pub const FRONTIER_SIZE: &str = "frontier.size";
+        /// Sum of frontier vertex degrees.
+        pub const FRONTIER_EDGES: &str = "frontier.edges";
+        /// The controller's edge ratio `r = frontier_edges / |E|`.
+        pub const FRONTIER_RATIO: &str = "frontier.ratio";
+        /// HBM fetch of a level's kernels, KB.
+        pub const FETCH_KB: &str = "hbm.fetch_kb";
+        /// Atomic operations issued by a level's kernels.
+        pub const ATOMICS: &str = "wave.atomics";
+        /// Candidate bytes moved through collectives.
+        pub const EXCHANGED_BYTES: &str = "comm.exchanged_bytes";
+        /// Bytes retransmitted by the retry layer.
+        pub const RETRANSMITTED_BYTES: &str = "comm.retransmitted_bytes";
+        /// Time spent in retry timeouts/backoff, ms.
+        pub const RETRY_MS: &str = "comm.retry_ms";
+        /// Bytes snapshotted by a checkpoint.
+        pub const CHECKPOINT_BYTES: &str = "ckpt.bytes";
+        /// Crash-recovery overhead, ms.
+        pub const RECOVERY_MS: &str = "recovery.ms";
+    }
+}

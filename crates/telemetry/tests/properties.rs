@@ -1,0 +1,107 @@
+//! Property tests for span nesting/ordering and histogram percentiles.
+
+use proptest::prelude::*;
+use xbfs_telemetry::{AttrValue, Histogram, Recorder};
+
+/// A random well-nested span program: at each step either open a child of
+/// the current span, close the current span, or emit an event/counter.
+/// Timestamps are strictly increasing, so the recorded trace must always
+/// validate.
+fn arb_program() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_well_nested_programs_validate(ops in arb_program(), tracks in 1usize..4) {
+        let rec = Recorder::new();
+        let mut clock = 0.0f64;
+        let mut stack = vec![rec.begin_span(None, "run", 0, clock)];
+        for (i, op) in ops.iter().enumerate() {
+            clock += 1.0 + (i % 3) as f64;
+            let track = i % tracks;
+            match op {
+                0 => {
+                    let parent = stack.last().copied();
+                    let id = rec.begin_span(parent, "span", track, clock);
+                    rec.span_attr(id, "i", AttrValue::U64(i as u64));
+                    stack.push(id);
+                }
+                1 => {
+                    // Close the innermost span, but never the root.
+                    if stack.len() > 1 {
+                        rec.end_span(stack.pop().unwrap(), clock);
+                    }
+                }
+                2 => rec.event(stack.last().copied(), "event", track, clock, Vec::new()),
+                _ => rec.counter("metric", track, clock, i as f64),
+            }
+        }
+        // Unwind whatever is still open, innermost first.
+        while let Some(id) = stack.pop() {
+            clock += 1.0;
+            rec.end_span(id, clock);
+        }
+        let trace = rec.finish();
+        trace.well_formed().expect("well-nested program must validate");
+
+        // Ordering: ids are assigned in open order, so start times are
+        // non-decreasing in id order.
+        for w in trace.spans.windows(2) {
+            prop_assert!(w[0].start_us <= w[1].start_us);
+        }
+        // Every child is temporally enclosed by its parent.
+        for s in &trace.spans {
+            if s.parent != 0 {
+                let p = &trace.spans[s.parent as usize - 1];
+                prop_assert!(s.start_us >= p.start_us);
+                prop_assert!(s.end_us.unwrap() <= p.end_us.unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_match_sorted_samples(
+        raw in proptest::collection::vec(0u64..2_000_000, 1..200),
+        pq in 0u32..10_000,
+    ) {
+        let mut samples: Vec<f64> = raw.iter().map(|&v| v as f64 / 1e3 - 1e3).collect();
+        let p = pq as f64 / 100.0; // 0.00..=99.99
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = samples.len();
+
+        // Exact endpoints.
+        prop_assert_eq!(h.percentile(0.0).unwrap(), samples[0]);
+        prop_assert_eq!(h.percentile(100.0).unwrap(), samples[n - 1]);
+
+        // Interior percentiles are bounded by the closest ranks and match
+        // the linear-interpolation definition.
+        let rank = p / 100.0 * (n - 1) as f64;
+        let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+        let expected = samples[lo] + (samples[hi] - samples[lo]) * (rank - lo as f64);
+        let got = h.percentile(p).unwrap();
+        prop_assert!((got - expected).abs() <= 1e-9 * expected.abs().max(1.0),
+                     "p{}: got {}, expected {}", p, got, expected);
+        prop_assert!(got >= samples[lo] && got <= samples[hi]);
+
+        // Monotonicity in p.
+        let q = (p / 2.0).min(p);
+        prop_assert!(h.percentile(q).unwrap() <= got + 1e-12);
+    }
+
+    #[test]
+    fn percentile_of_identical_samples_is_that_sample(raw in 0u64..2_000_000_000, n in 1usize..50, pq in 0u32..10_001) {
+        let v = raw as f64 / 1e3 - 1e6;
+        let h = Histogram::new();
+        for _ in 0..n {
+            h.record(v);
+        }
+        prop_assert_eq!(h.percentile(pq as f64 / 100.0).unwrap(), v);
+    }
+}

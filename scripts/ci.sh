@@ -16,4 +16,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all --check || echo "(fmt differences are advisory, not a gate)"
 
+echo "==> telemetry smoke (trace export + summarize round-trip)"
+XBFS=target/release/xbfs
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+"$XBFS" generate --out "$SMOKE/g.bin" --scale 12 --seed 7
+"$XBFS" run "$SMOKE/g.bin" --trace json:- > "$SMOKE/BENCH_pr2.json"
+"$XBFS" trace summarize "$SMOKE/BENCH_pr2.json" > /dev/null
+grep -q '"schema":"xbfs-trace-v1"' "$SMOKE/BENCH_pr2.json"
+grep -q '"gteps"' "$SMOKE/BENCH_pr2.json"
+"$XBFS" run "$SMOKE/g.bin" --trace "chrome:$SMOKE/trace.json" > /dev/null
+"$XBFS" trace summarize "$SMOKE/trace.json" > /dev/null
+"$XBFS" cluster "$SMOKE/g.bin" --gcds 4 --inject-faults crash@1:rank1 \
+  --checkpoint-every 1 --trace json:- > "$SMOKE/cluster_trace.json"
+"$XBFS" trace summarize "$SMOKE/cluster_trace.json" | grep -q '1 recoveries'
+cp "$SMOKE/BENCH_pr2.json" BENCH_pr2.json
+echo "    wrote BENCH_pr2.json"
+
 echo "CI gate passed."
