@@ -127,11 +127,7 @@ mod tests {
     fn cycle_is_uniform() {
         // 4-cycle: every vertex lies on exactly the two paths between its
         // opposite pair's endpoints... by symmetry all scores equal.
-        let g = Csr::from_parts(
-            vec![0, 2, 4, 6, 8],
-            vec![1, 3, 0, 2, 1, 3, 0, 2],
-        )
-        .unwrap();
+        let g = Csr::from_parts(vec![0, 2, 4, 6, 8], vec![1, 3, 0, 2, 1, 3, 0, 2]).unwrap();
         let all: Vec<u32> = (0..4).collect();
         let bc = betweenness_centrality(&g, &all);
         for v in 1..4 {

@@ -26,25 +26,35 @@ use xbfs_graph::Csr;
 
 /// A reusable XBFS engine bound to one graph — the shared traversal
 /// substrate for every algorithm in this crate.
+///
+/// The engine owns its device (`Xbfs<Device>`), so graph upload and BFS
+/// state construction happen **once** here; the multi-source loops in
+/// every algorithm (BC, components, eccentricity, SCC) then pay only the
+/// traversal itself per source.
 pub struct BfsEngine<'g> {
-    device: Device,
+    xbfs: Xbfs<Device>,
     graph: &'g Csr,
     cfg: XbfsConfig,
 }
 
 impl<'g> BfsEngine<'g> {
     /// Engine on a fresh simulated MI250X GCD.
+    ///
+    /// # Panics
+    /// On an empty graph.
     pub fn new(graph: &'g Csr) -> Self {
         Self::with_config(graph, XbfsConfig::default())
     }
 
     /// Engine with a custom XBFS configuration.
+    ///
+    /// # Panics
+    /// On an empty graph or a config demanding more streams than the
+    /// stock MI250X device provides.
     pub fn with_config(graph: &'g Csr, cfg: XbfsConfig) -> Self {
-        Self {
-            device: Device::mi250x(),
-            graph,
-            cfg,
-        }
+        let xbfs = Xbfs::new(Device::mi250x(), graph, cfg)
+            .expect("engine constructed with compatible device");
+        Self { xbfs, graph, cfg }
     }
 
     /// The underlying graph.
@@ -52,26 +62,23 @@ impl<'g> BfsEngine<'g> {
         self.graph
     }
 
-    /// One BFS from `source`. Each call uploads state to the (simulated)
-    /// device and runs the full adaptive pipeline.
+    /// One BFS from `source`, reusing the engine's pooled run state.
     pub fn bfs(&self, source: u32) -> BfsRun {
-        Xbfs::new(&self.device, self.graph, self.cfg)
-            .expect("engine constructed with compatible device")
-            .run(source)
-            .expect("caller-validated source")
+        self.xbfs.run(source).expect("caller-validated source")
     }
 
     /// BFS restricted to a vertex mask: vertices where `alive[v]` is false
     /// are treated as deleted (used by FW-BW SCC). Implemented by running
-    /// on a filtered copy of the graph — the masked subgraph.
+    /// on a filtered copy of the graph — the masked subgraph. The subgraph
+    /// runner draws its state from the device buffer pool, so repeated
+    /// masked runs recycle the same buffers.
     pub fn bfs_masked(&self, source: u32, alive: &[bool]) -> Vec<u32> {
         assert_eq!(alive.len(), self.graph.num_vertices());
         assert!(alive[source as usize], "source must be alive");
         let sub = masked_subgraph(self.graph, alive);
-        let run = Xbfs::new(&self.device, &sub, self.cfg)
-            .expect("engine constructed with compatible device")
-            .run(source)
-            .expect("caller-validated source");
+        let masked = Xbfs::new(self.xbfs.device(), &sub, self.cfg)
+            .expect("engine constructed with compatible device");
+        let run = masked.run(source).expect("caller-validated source");
         run.levels
     }
 }

@@ -55,11 +55,7 @@ mod tests {
     use xbfs_graph::generators::layered_citation_graph;
 
     fn path5() -> Csr {
-        Csr::from_parts(
-            vec![0, 1, 3, 5, 7, 8],
-            vec![1, 0, 2, 1, 3, 2, 4, 3],
-        )
-        .unwrap()
+        Csr::from_parts(vec![0, 1, 3, 5, 7, 8], vec![1, 0, 2, 1, 3, 2, 4, 3]).unwrap()
     }
 
     #[test]

@@ -50,9 +50,7 @@ pub fn strongly_connected_components(g: &Csr) -> Vec<u32> {
     }
 
     // FW-BW on the remaining vertices, worklist of sub-regions.
-    let mut regions: Vec<Vec<u32>> = vec![(0..n as u32)
-        .filter(|&v| alive[v as usize])
-        .collect()];
+    let mut regions: Vec<Vec<u32>> = vec![(0..n as u32).filter(|&v| alive[v as usize]).collect()];
     while let Some(region) = regions.pop() {
         if region.is_empty() {
             continue;
@@ -195,10 +193,7 @@ mod tests {
     #[test]
     fn two_cycles_and_a_bridge() {
         // Cycle {0,1,2}, cycle {3,4}, bridge 2->3.
-        let g = directed(
-            5,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)],
-        );
+        let g = directed(5, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)]);
         let labels = strongly_connected_components(&g);
         same_partition(&labels, &tarjan(&g));
     }

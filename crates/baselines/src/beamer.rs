@@ -7,10 +7,10 @@
 //! edges, plus Beamer's β rule for switching back.
 
 use crate::{finish_run, BaselineRun, GpuBfs};
-use gcd_sim::{Device, LaunchCfg, WaveCtx};
+use gcd_sim::{LaunchCfg, WaveCtx};
 use xbfs_core::device_graph::DeviceGraph;
 use xbfs_core::state::UNVISITED;
-use xbfs_graph::Csr;
+use xbfs_core::RunCtx;
 
 /// Direction-optimizing BFS with Beamer's two-threshold heuristic.
 #[derive(Debug, Clone, Copy)]
@@ -42,8 +42,9 @@ impl GpuBfs for BeamerLike {
         "beamer-like"
     }
 
-    fn run(&self, device: &Device, graph: &Csr, source: u32) -> BaselineRun {
-        let g = DeviceGraph::upload(device, graph);
+    fn run_in(&self, ctx: &RunCtx<'_>, source: u32) -> BaselineRun {
+        let device = ctx.device();
+        let g = ctx.graph();
         let n = g.num_vertices();
         let m = g.num_edges().max(1) as f64;
         device.reset_timeline();
@@ -58,7 +59,7 @@ impl GpuBfs for BeamerLike {
         let edge_ctr = device.alloc_u64(1);
 
         let mut qlen = 1usize;
-        let mut frontier_edges = u64::from(graph.degree(source)) as f64;
+        let mut frontier_edges = f64::from(ctx.degree(source));
         let mut frontier_count = 1u64;
         let mut pulling = false;
         let mut level = 0u32;
@@ -80,20 +81,23 @@ impl GpuBfs for BeamerLike {
                 qlen = counters.load(c::QUEUE_LEN) as usize;
             }
 
-            device.set_phase(format!("level {level} {}", if pulling { "pull" } else { "push" }));
+            device.set_phase(format!(
+                "level {level} {}",
+                if pulling { "pull" } else { "push" }
+            ));
             device.fill_u32(0, &counters, 0);
             edge_ctr.host_fill(0);
             if pulling {
                 device.launch(
                     0,
                     LaunchCfg::new("beamer_pull", n).with_registers(64),
-                    |w| pull_kernel(w, &g, &status, &counters, &edge_ctr, level),
+                    |w| pull_kernel(w, g, &status, &counters, &edge_ctr, level),
                 );
             } else {
                 device.launch(
                     0,
                     LaunchCfg::new("beamer_push", qlen).with_registers(48),
-                    |w| push_kernel(w, &g, &status, &in_q, &out_q, &counters, &edge_ctr, level),
+                    |w| push_kernel(w, g, &status, &in_q, &out_q, &counters, &edge_ctr, level),
                 );
             }
             device.sync();
@@ -110,7 +114,7 @@ impl GpuBfs for BeamerLike {
             }
             level += 1;
         }
-        finish_run(device, graph, status.to_host())
+        finish_run(ctx, status.to_host())
     }
 }
 
@@ -144,7 +148,10 @@ fn push_kernel(
         if lanes.is_empty() {
             break;
         }
-        let aidx: Vec<usize> = lanes.iter().map(|&(o, _)| (o + u64::from(k)) as usize).collect();
+        let aidx: Vec<usize> = lanes
+            .iter()
+            .map(|&(o, _)| (o + u64::from(k)) as usize)
+            .collect();
         let mut vs = Vec::with_capacity(aidx.len());
         w.vload32(&g.adjacency, &aidx, &mut vs);
         let sidx: Vec<usize> = vs.iter().map(|&v| v as usize).collect();
@@ -308,8 +315,10 @@ fn commit(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gcd_sim::Device;
     use xbfs_graph::bfs_levels_serial;
     use xbfs_graph::generators::{erdos_renyi, rmat_graph, RmatParams};
+    use xbfs_graph::Csr;
 
     #[test]
     fn matches_reference_on_er_and_rmat() {

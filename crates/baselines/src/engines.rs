@@ -5,7 +5,7 @@ use gcd_sim::{Device, LaunchCfg, WaveCtx};
 use xbfs_core::device_graph::DeviceGraph;
 use xbfs_core::state::{BfsState, BinThresholds, UNVISITED};
 use xbfs_core::strategy::topdown::{self, TopDownOpts};
-use xbfs_graph::Csr;
+use xbfs_core::RunCtx;
 
 /// Conventional status-array BFS: one kernel per level that rescans the
 /// whole status array and expands matching vertices thread-per-vertex.
@@ -51,8 +51,9 @@ impl GpuBfs for SimpleTopDown {
         "status-array"
     }
 
-    fn run(&self, device: &Device, graph: &Csr, source: u32) -> BaselineRun {
-        let g = DeviceGraph::upload(device, graph);
+    fn run_in(&self, ctx: &RunCtx<'_>, source: u32) -> BaselineRun {
+        let device = ctx.device();
+        let g = ctx.graph();
         let n = g.num_vertices();
         device.reset_timeline();
         let status = init_status(device, n, source);
@@ -64,7 +65,7 @@ impl GpuBfs for SimpleTopDown {
             device.launch(
                 0,
                 LaunchCfg::new("scan_expand", n).with_registers(48),
-                |w| scan_expand_kernel(w, &g, &status, &counters, level),
+                |w| scan_expand_kernel(w, g, &status, &counters, level),
             );
             device.sync();
             device.charge_transfer(0, 4);
@@ -73,7 +74,7 @@ impl GpuBfs for SimpleTopDown {
             }
             level += 1;
         }
-        finish_run(device, graph, status.to_host())
+        finish_run(ctx, status.to_host())
     }
 }
 
@@ -114,7 +115,10 @@ fn scan_expand_kernel(
         if lanes.is_empty() {
             break;
         }
-        let aidx: Vec<usize> = lanes.iter().map(|&(o, _)| (o + u64::from(k)) as usize).collect();
+        let aidx: Vec<usize> = lanes
+            .iter()
+            .map(|&(o, _)| (o + u64::from(k)) as usize)
+            .collect();
         let mut vs = Vec::with_capacity(aidx.len());
         w.vload32(&g.adjacency, &aidx, &mut vs);
         let vsidx: Vec<usize> = vs.iter().map(|&v| v as usize).collect();
@@ -144,8 +148,9 @@ impl GpuBfs for GunrockLike {
         "gunrock-like"
     }
 
-    fn run(&self, device: &Device, graph: &Csr, source: u32) -> BaselineRun {
-        let g = DeviceGraph::upload(device, graph);
+    fn run_in(&self, ctx: &RunCtx<'_>, source: u32) -> BaselineRun {
+        let device = ctx.device();
+        let g = ctx.graph();
         let n = g.num_vertices();
         let m = g.num_edges().max(1);
         device.reset_timeline();
@@ -163,11 +168,9 @@ impl GpuBfs for GunrockLike {
             device.set_phase(format!("level {level}"));
             device.fill_u32(0, &counters, 0);
             // Advance: enqueue every unvisited neighbor, unclaimed — dups.
-            device.launch(
-                0,
-                LaunchCfg::new("advance", qlen).with_registers(40),
-                |w| gunrock_advance(w, &g, &status, &in_q, &raw_q, &counters),
-            );
+            device.launch(0, LaunchCfg::new("advance", qlen).with_registers(40), |w| {
+                gunrock_advance(w, g, &status, &in_q, &raw_q, &counters)
+            });
             device.sync();
             device.charge_transfer(0, 4);
             let raw_len = (counters.load(c::OUT_LEN) as usize).min(m);
@@ -183,7 +186,7 @@ impl GpuBfs for GunrockLike {
             qlen = counters.load(c::OUT_LEN) as usize;
             level += 1;
         }
-        finish_run(device, graph, status.to_host())
+        finish_run(ctx, status.to_host())
     }
 }
 
@@ -214,7 +217,10 @@ fn gunrock_advance(
         if lanes.is_empty() {
             break;
         }
-        let aidx: Vec<usize> = lanes.iter().map(|&(o, _)| (o + u64::from(k)) as usize).collect();
+        let aidx: Vec<usize> = lanes
+            .iter()
+            .map(|&(o, _)| (o + u64::from(k)) as usize)
+            .collect();
         let mut vs = Vec::with_capacity(aidx.len());
         w.vload32(&g.adjacency, &aidx, &mut vs);
         let vsidx: Vec<usize> = vs.iter().map(|&v| v as usize).collect();
@@ -287,8 +293,9 @@ impl GpuBfs for EnterpriseLike {
         "enterprise-like"
     }
 
-    fn run(&self, device: &Device, graph: &Csr, source: u32) -> BaselineRun {
-        let g = DeviceGraph::upload(device, graph);
+    fn run_in(&self, ctx: &RunCtx<'_>, source: u32) -> BaselineRun {
+        let device = ctx.device();
+        let g = ctx.graph();
         let n = g.num_vertices();
         device.reset_timeline();
         let mut st = BfsState::new(device, n, false, 64);
@@ -305,7 +312,7 @@ impl GpuBfs for EnterpriseLike {
             device.launch(
                 0,
                 LaunchCfg::new("enterprise_scan", n).with_registers(16),
-                |w| topdown::generation_scan(w, &g, &st, level, true, thresholds),
+                |w| topdown::generation_scan(w, g, &st, level, true, thresholds),
             );
             device.sync();
             device.charge_transfer(0, 12);
@@ -333,15 +340,14 @@ impl GpuBfs for EnterpriseLike {
                         device.launch(
                             0,
                             LaunchCfg::new("enterprise_expand_t", len).with_registers(48),
-                            |w| topdown::expand_thread(w, &g, &st, q, &opts),
+                            |w| topdown::expand_thread(w, g, &st, q, &opts),
                         );
                     }
                     1 => {
                         device.launch(
                             0,
-                            LaunchCfg::new("enterprise_expand_w", len * width)
-                                .with_registers(48),
-                            |w| topdown::expand_wave(w, &g, &st, q, len, &opts),
+                            LaunchCfg::new("enterprise_expand_w", len * width).with_registers(48),
+                            |w| topdown::expand_wave(w, g, &st, q, len, &opts),
                         );
                     }
                     _ => {
@@ -349,7 +355,7 @@ impl GpuBfs for EnterpriseLike {
                             0,
                             LaunchCfg::new("enterprise_expand_g", len * width * 4)
                                 .with_registers(48),
-                            |w| topdown::expand_group(w, &g, &st, q, len, &opts),
+                            |w| topdown::expand_group(w, g, &st, q, len, &opts),
                         );
                     }
                 }
@@ -358,7 +364,7 @@ impl GpuBfs for EnterpriseLike {
             device.charge_transfer(0, 4);
             level += 1;
         }
-        finish_run(device, graph, st.status.to_host())
+        finish_run(ctx, st.status.to_host())
     }
 }
 
@@ -370,8 +376,9 @@ impl GpuBfs for HierarchicalQueue {
         "hierarchical-queue"
     }
 
-    fn run(&self, device: &Device, graph: &Csr, source: u32) -> BaselineRun {
-        let g = DeviceGraph::upload(device, graph);
+    fn run_in(&self, ctx: &RunCtx<'_>, source: u32) -> BaselineRun {
+        let device = ctx.device();
+        let g = ctx.graph();
         let n = g.num_vertices();
         let width = device.arch().wavefront_size;
         device.reset_timeline();
@@ -396,7 +403,14 @@ impl GpuBfs for HierarchicalQueue {
                 LaunchCfg::new("hq_expand", qlen).with_registers(48),
                 |w| {
                     hq_expand(
-                        w, &g, &status, &in_q, &regions, &region_counts, &out_q, &counters,
+                        w,
+                        g,
+                        &status,
+                        &in_q,
+                        &regions,
+                        &region_counts,
+                        &out_q,
+                        &counters,
                         level,
                     )
                 },
@@ -414,7 +428,7 @@ impl GpuBfs for HierarchicalQueue {
             std::mem::swap(&mut in_q, &mut out_q);
             level += 1;
         }
-        finish_run(device, graph, status.to_host())
+        finish_run(ctx, status.to_host())
     }
 }
 
@@ -449,7 +463,10 @@ fn hq_expand(
         if lanes.is_empty() {
             break;
         }
-        let aidx: Vec<usize> = lanes.iter().map(|&(o, _)| (o + u64::from(k)) as usize).collect();
+        let aidx: Vec<usize> = lanes
+            .iter()
+            .map(|&(o, _)| (o + u64::from(k)) as usize)
+            .collect();
         let mut vs = Vec::with_capacity(aidx.len());
         w.vload32(&g.adjacency, &aidx, &mut vs);
         let vsidx: Vec<usize> = vs.iter().map(|&v| v as usize).collect();
@@ -531,8 +548,9 @@ impl GpuBfs for SsspAsync {
         "sssp-async"
     }
 
-    fn run(&self, device: &Device, graph: &Csr, source: u32) -> BaselineRun {
-        let g = DeviceGraph::upload(device, graph);
+    fn run_in(&self, ctx: &RunCtx<'_>, source: u32) -> BaselineRun {
+        let device = ctx.device();
+        let g = ctx.graph();
         let n = g.num_vertices();
         let m = g.num_edges().max(1);
         device.reset_timeline();
@@ -547,11 +565,9 @@ impl GpuBfs for SsspAsync {
         while qlen > 0 {
             device.set_phase(format!("iter {iter}"));
             device.fill_u32(0, &counters, 0);
-            device.launch(
-                0,
-                LaunchCfg::new("relax", qlen).with_registers(40),
-                |w| sssp_relax(w, &g, &dist, &in_q, &out_q, &counters),
-            );
+            device.launch(0, LaunchCfg::new("relax", qlen).with_registers(40), |w| {
+                sssp_relax(w, g, &dist, &in_q, &out_q, &counters)
+            });
             device.sync();
             device.charge_transfer(0, 4);
             qlen = (counters.load(c::OUT_LEN) as usize).min(m);
@@ -559,7 +575,7 @@ impl GpuBfs for SsspAsync {
             std::mem::swap(&mut in_q, &mut out_q);
             iter += 1;
         }
-        finish_run(device, graph, dist.to_host())
+        finish_run(ctx, dist.to_host())
     }
 }
 
@@ -601,7 +617,10 @@ fn sssp_relax(
         if lanes.is_empty() {
             break;
         }
-        let aidx: Vec<usize> = lanes.iter().map(|l| (l.off + u64::from(k)) as usize).collect();
+        let aidx: Vec<usize> = lanes
+            .iter()
+            .map(|l| (l.off + u64::from(k)) as usize)
+            .collect();
         let mut vs = Vec::with_capacity(aidx.len());
         w.vload32(&g.adjacency, &aidx, &mut vs);
         // Atomic-min relaxation per neighbor.
@@ -638,7 +657,7 @@ fn sssp_relax(
 mod tests {
     use super::*;
     use xbfs_graph::generators::{barabasi_albert, erdos_renyi, rmat_graph, RmatParams};
-    use xbfs_graph::{bfs_levels_serial, UNVISITED as REF_UNVISITED};
+    use xbfs_graph::{bfs_levels_serial, Csr, UNVISITED as REF_UNVISITED};
 
     fn engines() -> Vec<Box<dyn GpuBfs>> {
         vec![

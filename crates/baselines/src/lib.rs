@@ -32,6 +32,7 @@ pub mod beamer;
 pub mod engines;
 
 use gcd_sim::Device;
+use xbfs_core::RunCtx;
 use xbfs_graph::Csr;
 
 /// Result of one baseline BFS run.
@@ -51,24 +52,23 @@ pub struct BaselineRun {
 pub trait GpuBfs {
     /// Engine name as it appears in benchmark output.
     fn name(&self) -> &'static str;
-    /// Run one BFS from `source` on `device`.
-    fn run(&self, device: &Device, graph: &Csr, source: u32) -> BaselineRun;
+    /// Run one BFS from `source` against a prebuilt [`RunCtx`]: the graph
+    /// upload and host degree table are shared, so multi-source drivers
+    /// pay them once instead of once per source.
+    fn run_in(&self, ctx: &RunCtx<'_>, source: u32) -> BaselineRun;
+    /// One-shot convenience: upload `graph` to `device` and run once.
+    fn run(&self, device: &Device, graph: &Csr, source: u32) -> BaselineRun {
+        self.run_in(&RunCtx::new(device, graph), source)
+    }
 }
 
 pub use beamer::BeamerLike;
-pub use engines::{
-    EnterpriseLike, GunrockLike, HierarchicalQueue, SimpleTopDown, SsspAsync,
-};
+pub use engines::{EnterpriseLike, GunrockLike, HierarchicalQueue, SimpleTopDown, SsspAsync};
 
 /// Compute traversal stats shared by every engine.
-pub(crate) fn finish_run(device: &Device, graph: &Csr, levels: Vec<u32>) -> BaselineRun {
-    let total_us = device.elapsed_us();
-    let traversed_edges: u64 = levels
-        .iter()
-        .enumerate()
-        .filter(|(_, &l)| l != u32::MAX)
-        .map(|(v, _)| graph.degree(v as u32) as u64)
-        .sum();
+pub(crate) fn finish_run(ctx: &RunCtx<'_>, levels: Vec<u32>) -> BaselineRun {
+    let total_us = ctx.device().elapsed_us();
+    let traversed_edges = ctx.traversed_edges(&levels, u32::MAX);
     let gteps = if total_us > 0.0 {
         traversed_edges as f64 / (total_us * 1e-6) / 1e9
     } else {

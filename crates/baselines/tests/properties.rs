@@ -3,8 +3,7 @@
 use gcd_sim::Device;
 use proptest::prelude::*;
 use xbfs_baselines::{
-    BeamerLike, EnterpriseLike, GpuBfs, GunrockLike, HierarchicalQueue, SimpleTopDown,
-    SsspAsync,
+    BeamerLike, EnterpriseLike, GpuBfs, GunrockLike, HierarchicalQueue, SimpleTopDown, SsspAsync,
 };
 use xbfs_graph::builder::{BuildOptions, CsrBuilder};
 use xbfs_graph::reference::bfs_levels_serial;

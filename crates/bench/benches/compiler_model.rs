@@ -17,7 +17,12 @@ fn bench_compilers(c: &mut Criterion) {
         ("hipcc-O3", Compiler::HipccO3),
         ("clang-O0", Compiler::ClangO0),
     ] {
-        let dev = mk_device(ArchProfile::mi250x_gcd(), ExecMode::Functional, &cfg, compiler);
+        let dev = mk_device(
+            ArchProfile::mi250x_gcd(),
+            ExecMode::Functional,
+            &cfg,
+            compiler,
+        );
         let xbfs = Xbfs::new(&dev, &g, cfg).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(label), &xbfs, |b, x| {
             b.iter(|| std::hint::black_box(x.run(src).unwrap()))

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gcd_sim::Device;
-use xbfs_baselines::{EnterpriseLike, GpuBfs, GunrockLike, HierarchicalQueue, SimpleTopDown, SsspAsync};
+use xbfs_baselines::{
+    EnterpriseLike, GpuBfs, GunrockLike, HierarchicalQueue, SimpleTopDown, SsspAsync,
+};
 use xbfs_bench::common::default_source;
 use xbfs_bench::Scale;
 use xbfs_core::{Xbfs, XbfsConfig};
@@ -31,11 +33,9 @@ fn bench_fig8(c: &mut Criterion) {
         ];
         for e in engines {
             let dev = Device::mi250x();
-            group.bench_with_input(
-                BenchmarkId::from_parameter(e.name()),
-                &e,
-                |b, e| b.iter(|| std::hint::black_box(e.run(&dev, &g, src))),
-            );
+            group.bench_with_input(BenchmarkId::from_parameter(e.name()), &e, |b, e| {
+                b.iter(|| std::hint::black_box(e.run(&dev, &g, src)))
+            });
         }
         group.finish();
     }

@@ -15,11 +15,9 @@ fn bench_strategies(c: &mut Criterion) {
         let cfg = XbfsConfig::forced(strat);
         let dev = mi250x_functional(&cfg);
         let xbfs = Xbfs::new(&dev, &g, cfg).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strat),
-            &xbfs,
-            |b, xbfs| b.iter(|| std::hint::black_box(xbfs.run(src).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(strat), &xbfs, |b, xbfs| {
+            b.iter(|| std::hint::black_box(xbfs.run(src).unwrap()))
+        });
     }
     let cfg = XbfsConfig::default();
     let dev = mi250x_functional(&cfg);

@@ -53,7 +53,10 @@ fn main() {
                 println!("{report}");
             }
             None => {
-                eprintln!("unknown experiment {name:?}; known: {}", EXPERIMENTS.join(" "));
+                eprintln!(
+                    "unknown experiment {name:?}; known: {}",
+                    EXPERIMENTS.join(" ")
+                );
                 std::process::exit(2);
             }
         }

@@ -60,7 +60,12 @@ impl Scale {
 }
 
 /// Build a device for an experiment.
-pub fn mk_device(arch: ArchProfile, mode: ExecMode, cfg: &XbfsConfig, compiler: Compiler) -> Device {
+pub fn mk_device(
+    arch: ArchProfile,
+    mode: ExecMode,
+    cfg: &XbfsConfig,
+    compiler: Compiler,
+) -> Device {
     let mut dev = Device::new(arch, mode, cfg.required_streams());
     dev.set_compiler(compiler);
     dev
@@ -98,7 +103,12 @@ pub fn mi250x_functional(cfg: &XbfsConfig) -> Device {
 /// MI250X timing-mode device for a config, with the L2 scaled to the
 /// experiment's graph shrink (see [`scaled_mi250x`]).
 pub fn mi250x_timing(cfg: &XbfsConfig, shift: u32) -> Device {
-    mk_device(scaled_mi250x(shift), ExecMode::Timing, cfg, Compiler::ClangO3)
+    mk_device(
+        scaled_mi250x(shift),
+        ExecMode::Timing,
+        cfg,
+        Compiler::ClangO3,
+    )
 }
 
 /// Render a table: header + rows of equal arity, columns padded.
@@ -163,7 +173,10 @@ mod tests {
         let t = render_table(
             "T",
             &["a", "bb"],
-            &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["10".into(), "200".into()],
+            ],
         );
         assert!(t.contains("a"));
         let lines: Vec<&str> = t.lines().collect();

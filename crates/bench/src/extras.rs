@@ -1,8 +1,8 @@
 //! The remaining quantitative claims: §V-F bandwidth efficiency, the §IV-A
 //! compiler study, and the §IV ablation set.
 
-use crate::common::{f2, f3, mi250x_timing, mk_device, render_table, Scale};
 use crate::common::default_source;
+use crate::common::{f2, f3, mi250x_timing, mk_device, render_table, Scale};
 use crate::tables::TABLE_SEED;
 use gcd_sim::{ArchProfile, Compiler, ExecMode};
 use xbfs_core::{bandwidth_efficiency, Strategy, Xbfs, XbfsConfig};
@@ -10,10 +10,16 @@ use xbfs_graph::{rearrange_by_degree, Dataset, RearrangeOrder};
 
 /// §V-F: predicted vs measured bandwidth efficiency on the R-MAT dataset.
 pub fn efficiency(scale: &Scale) -> String {
-    let g = rearrange_by_degree(&scale.table_rmat(TABLE_SEED), RearrangeOrder::DegreeDescending);
+    let g = rearrange_by_degree(
+        &scale.table_rmat(TABLE_SEED),
+        RearrangeOrder::DegreeDescending,
+    );
     let cfg = XbfsConfig::default();
     let dev = mi250x_timing(&cfg, scale.table_shift);
-    let run = Xbfs::new(&dev, &g, cfg).expect("bench inputs are valid").run(default_source(&g)).expect("bench inputs are valid");
+    let run = Xbfs::new(&dev, &g, cfg)
+        .expect("bench inputs are valid")
+        .run(default_source(&g))
+        .expect("bench inputs are valid");
     let eff = bandwidth_efficiency(&run, g.num_vertices(), g.num_edges(), dev.arch());
     format!(
         "§V-F bandwidth efficiency (R-MAT scale {}, {} ms end-to-end):\n\
@@ -41,7 +47,10 @@ pub fn compilers(scale: &Scale) -> String {
             &cfg,
             compiler,
         );
-        let run = Xbfs::new(&dev, &g, cfg).expect("bench inputs are valid").run(default_source(&g)).expect("bench inputs are valid");
+        let run = Xbfs::new(&dev, &g, cfg)
+            .expect("bench inputs are valid")
+            .run(default_source(&g))
+            .expect("bench inputs are valid");
         let bu_ms: f64 = run
             .level_stats
             .iter()
@@ -55,7 +64,12 @@ pub fn compilers(scale: &Scale) -> String {
     let (hipcc_bu, hipcc_total) = run_with(Compiler::HipccO3);
     let (o0_bu, o0_total) = run_with(Compiler::ClangO0);
     let rows = vec![
-        vec!["clang -O3".into(), f3(clang_bu), f3(clang_total), "1.00x".into()],
+        vec![
+            "clang -O3".into(),
+            f3(clang_bu),
+            f3(clang_total),
+            "1.00x".into(),
+        ],
         vec![
             "hipcc -O3".into(),
             f3(hipcc_bu),

@@ -4,7 +4,7 @@ use crate::common::{f2, f3, mi250x_functional, mk_device, render_table, sci, Sca
 use gcd_sim::{ArchProfile, Compiler, Device, ExecMode};
 use std::collections::BTreeMap;
 use xbfs_baselines::{BeamerLike, GpuBfs, GunrockLike};
-use xbfs_core::{Xbfs, XbfsConfig};
+use xbfs_core::{RunCtx, Xbfs, XbfsConfig};
 use xbfs_graph::stats::{level_profile, pick_sources};
 use xbfs_graph::{rearrange_by_degree, Dataset, RearrangeOrder};
 
@@ -40,9 +40,15 @@ pub fn fig5(scale: &Scale) -> String {
         let src = crate::common::default_source(&g);
         let run = if label.starts_with("(c)") {
             let rg = rearrange_by_degree(&g, RearrangeOrder::DegreeDescending);
-            Xbfs::new(&dev, &rg, cfg).expect("bench inputs are valid").run(src).expect("bench inputs are valid")
+            Xbfs::new(&dev, &rg, cfg)
+                .expect("bench inputs are valid")
+                .run(src)
+                .expect("bench inputs are valid")
         } else {
-            Xbfs::new(&dev, &g, cfg).expect("bench inputs are valid").run(src).expect("bench inputs are valid")
+            Xbfs::new(&dev, &g, cfg)
+                .expect("bench inputs are valid")
+                .run(src)
+                .expect("bench inputs are valid")
         };
         let mut per_kernel: BTreeMap<String, f64> = BTreeMap::new();
         for ls in &run.level_stats {
@@ -178,9 +184,10 @@ pub fn fig8_rows(scale: &Scale) -> Vec<Fig8Row> {
 
             let baseline_gteps = |engine: &dyn GpuBfs| {
                 let dev = Device::mi250x();
+                let ctx = RunCtx::new(&dev, &g); // uploaded once per engine
                 let (mut edges, mut ms) = (0u64, 0.0f64);
                 for &s in &sources {
-                    let run = engine.run(&dev, &g, s);
+                    let run = engine.run_in(&ctx, s);
                     edges += run.traversed_edges;
                     ms += run.total_ms;
                 }
@@ -238,9 +245,7 @@ pub fn fig8(scale: &Scale) -> String {
 /// Extension of Fig. 8: every baseline engine head-to-head with XBFS on
 /// every dataset (n-to-n GTEPS). The §II related-work taxonomy, measured.
 pub fn baselines_sweep(scale: &Scale) -> String {
-    use xbfs_baselines::{
-        EnterpriseLike, HierarchicalQueue, SimpleTopDown, SsspAsync,
-    };
+    use xbfs_baselines::{EnterpriseLike, HierarchicalQueue, SimpleTopDown, SsspAsync};
     let engines: Vec<Box<dyn GpuBfs>> = vec![
         Box::new(GunrockLike),
         Box::new(EnterpriseLike),
@@ -267,9 +272,10 @@ pub fn baselines_sweep(scale: &Scale) -> String {
         let mut row = vec![d.to_string(), f2(gteps_of_runs(edges, ms))];
         for e in &engines {
             let dev = Device::mi250x();
+            let ctx = RunCtx::new(&dev, &g); // uploaded once per engine
             let (mut edges, mut ms) = (0u64, 0.0f64);
             for &s in &sources {
-                let run = e.run(&dev, &g, s);
+                let run = e.run_in(&ctx, s);
                 edges += run.traversed_edges;
                 ms += run.total_ms;
             }

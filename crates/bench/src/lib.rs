@@ -17,8 +17,22 @@ pub use common::Scale;
 
 /// Every experiment by name, in paper order.
 pub const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig5", "fig6", "fig7", "table3", "table4", "table5", "table6", "fig8", "baselines",
-    "efficiency", "compilers", "ablations", "alpha", "scaling",
+    "table1",
+    "table2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig8",
+    "baselines",
+    "efficiency",
+    "compilers",
+    "ablations",
+    "alpha",
+    "scaling",
 ];
 
 /// Run one experiment by name and return its report.

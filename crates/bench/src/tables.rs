@@ -11,7 +11,8 @@ pub const TABLE_SEED: u64 = 20240625;
 /// pairs plus the run itself.
 fn timing_run(graph: &Csr, cfg: XbfsConfig, source: u32, shift: u32) -> xbfs_core::BfsRun {
     let dev = mi250x_timing(&cfg, shift);
-    Xbfs::new(&dev, graph, cfg).expect("bench inputs are valid").run(source).expect("bench inputs are valid")
+    let xbfs = Xbfs::new(&dev, graph, cfg).expect("bench inputs are valid");
+    xbfs.run(source).expect("bench inputs are valid")
 }
 
 /// The shared single-source for the profiler tables.
@@ -245,7 +246,10 @@ mod tests {
     fn profiler_tables_have_kernel_rows() {
         let s = Scale::smoke();
         let t3 = profiler_table(&s, Strategy::ScanFree);
-        assert!(t3.contains("fq_expand") || t3.contains("fq_generate"), "{t3}");
+        assert!(
+            t3.contains("fq_expand") || t3.contains("fq_generate"),
+            "{t3}"
+        );
         let t5 = profiler_table(&s, Strategy::BottomUp);
         for k in ["bu_count", "bu_reduce", "bu_scan", "bu_place", "bu_expand"] {
             assert!(t5.contains(k), "missing {k} in\n{t5}");

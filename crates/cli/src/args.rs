@@ -74,7 +74,14 @@ mod tests {
 
     #[test]
     fn parses_mixed_forms() {
-        let a = parse(&["bfs", "input.bin", "--source", "5", "--scale=18", "--validate"]);
+        let a = parse(&[
+            "bfs",
+            "input.bin",
+            "--source",
+            "5",
+            "--scale=18",
+            "--validate",
+        ]);
         assert_eq!(a.command, "bfs");
         assert_eq!(a.positional, vec!["input.bin"]);
         assert_eq!(a.get::<u32>("source", 0).unwrap(), 5);
@@ -88,7 +95,9 @@ mod tests {
         let a = parse(&["generate"]);
         assert_eq!(a.get::<u32>("scale", 14).unwrap(), 14);
         assert!(a.require("out").is_err());
-        assert!(parse(&["x", "--scale", "abc"]).get::<u32>("scale", 1).is_err());
+        assert!(parse(&["x", "--scale", "abc"])
+            .get::<u32>("scale", 1)
+            .is_err());
     }
 
     #[test]

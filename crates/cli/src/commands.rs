@@ -130,9 +130,10 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
         ],
         "msbfs" => vec!["sources"],
         "compare" => vec!["source"],
+        "sweep" => vec!["sources", "threads", "seed", "alpha", "json"],
         _ => return None,
     };
-    if matches!(command, "bfs" | "run" | "msbfs" | "compare") {
+    if matches!(command, "bfs" | "run" | "msbfs" | "compare" | "sweep") {
         opts.extend(DEVICE_OPTS);
     }
     Some(opts)
@@ -163,10 +164,13 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "cluster" => cluster(args),
         "msbfs" => msbfs(args),
         "compare" => compare(args),
+        "sweep" => sweep(args),
         "analyze" => analyze(args),
         "trace" => trace_cmd(args),
         "help" | "" => Ok(HELP.to_string()),
-        other => Err(CliError::usage(format!("unknown command {other:?}\n{HELP}"))),
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}\n{HELP}"
+        ))),
     }
 }
 
@@ -193,6 +197,12 @@ COMMANDS
             degrade@FROM-TO:FACTOR, seed=N
   msbfs     FILE [--sources N]      concurrent multi-source BFS (iBFS-style)
   compare   FILE [--source N]       XBFS vs every baseline engine
+  sweep     FILE [--sources N] [--threads T] [--seed N] [--alpha F] [--json FILE]
+            batched multi-source sweep: one pooled engine per OS thread runs
+            N sources back-to-back, then the same sources are re-run with a
+            per-source in-process rebuild (the bit-identity reference);
+            reports host runs/sec, aggregate modeled GTEPS and the speedup,
+            and verifies the two passes produce bit-identical results
   analyze   FILE                    connected components, diameter estimate
   trace     summarize FILE          summarize a recorded trace (xbfs-trace-v1
                                     JSON or chrome trace.json)
@@ -217,8 +227,7 @@ pub fn load_graph(path: &str) -> Result<Csr, CliError> {
         Some("bin") => io::read_binary_file(p).map_err(err),
         Some("mtx") => {
             let f = std::fs::File::open(p).map_err(err)?;
-            io::read_matrix_market(std::io::BufReader::new(f), BuildOptions::default())
-                .map_err(err)
+            io::read_matrix_market(std::io::BufReader::new(f), BuildOptions::default()).map_err(err)
         }
         _ => io::read_edge_list_file(p, BuildOptions::default()).map_err(err),
     }
@@ -328,12 +337,14 @@ fn mk_device(args: &Args, streams: usize) -> Result<Device, CliError> {
         ExecMode::Functional
     };
     let mut dev = Device::new(arch, mode, streams);
-    dev.set_compiler(match args.get::<String>("compiler", "clang".into())?.as_str() {
-        "clang" => Compiler::ClangO3,
-        "hipcc" => Compiler::HipccO3,
-        "clang-O0" => Compiler::ClangO0,
-        other => return Err(CliError::usage(format!("unknown compiler {other:?}"))),
-    });
+    dev.set_compiler(
+        match args.get::<String>("compiler", "clang".into())?.as_str() {
+            "clang" => Compiler::ClangO3,
+            "hipcc" => Compiler::HipccO3,
+            "clang-O0" => Compiler::ClangO0,
+            other => return Err(CliError::usage(format!("unknown compiler {other:?}"))),
+        },
+    );
     Ok(dev)
 }
 
@@ -396,7 +407,10 @@ fn bfs(args: &Args) -> Result<String, CliError> {
         let samples = pick_sources(&g, 3, 9);
         let (tuned, result) = xbfs_core::tune_alpha(&dev, &g, &samples, cfg, None);
         cfg = tuned;
-        tuned_note = format!("auto-tuned alpha = {} (paper's method, §V-D)\n", result.best_alpha);
+        tuned_note = format!(
+            "auto-tuned alpha = {} (paper's method, §V-D)\n",
+            result.best_alpha
+        );
     }
     let (trace_opt, recorder) = trace_setup(args)?;
     let xbfs = Xbfs::new(&dev, &g, cfg)?;
@@ -482,15 +496,18 @@ fn cluster(args: &Args) -> Result<String, CliError> {
     let recovery = match args.get::<String>("recovery", "spare".into())?.as_str() {
         "spare" => RecoveryPolicy::PromoteSpare,
         "degrade" => RecoveryPolicy::Degrade,
-        other => return Err(CliError::usage(format!("unknown recovery policy {other:?}"))),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown recovery policy {other:?}"
+            )))
+        }
     };
     let plan = match args.options.get("inject-faults") {
         Some(spec) => parse_fault_plan(spec, cfg.num_gcds)?,
         None => FaultPlan::none(),
     };
     // Checkpointing defaults on (every level) when faults are injected.
-    let checkpoint_every =
-        args.get::<u32>("checkpoint-every", u32::from(!plan.is_empty()))?;
+    let checkpoint_every = args.get::<u32>("checkpoint-every", u32::from(!plan.is_empty()))?;
     let faults = FaultConfig {
         plan,
         recovery,
@@ -527,7 +544,15 @@ fn cluster(args: &Args) -> Result<String, CliError> {
     ));
     out.push_str(&format!(
         "{:>5} {:>3} {:>6} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}\n",
-        "level", "try", "mode", "frontier", "exchanged", "retrans", "retry ms", "recov ms", "time ms"
+        "level",
+        "try",
+        "mode",
+        "frontier",
+        "exchanged",
+        "retrans",
+        "retry ms",
+        "recov ms",
+        "time ms"
     ));
     for l in &run.level_stats {
         out.push_str(&format!(
@@ -548,8 +573,7 @@ fn cluster(args: &Args) -> Result<String, CliError> {
         out.push_str(&format!(
             "recovery: rank {} died at level {}, policy {}, resumed from level {} \
              with {} GCDs ({:.4} ms overhead)\n",
-            r.dead_rank, r.detected_level, r.policy, r.restored_level, r.gcds_after,
-            r.overhead_ms
+            r.dead_rank, r.detected_level, r.policy, r.restored_level, r.gcds_after, r.overhead_ms
         ));
     }
     out.push_str(&format!(
@@ -588,7 +612,9 @@ fn cluster(args: &Args) -> Result<String, CliError> {
 fn msbfs(args: &Args) -> Result<String, CliError> {
     let path = args.positional.first().ok_or("usage: xbfs msbfs FILE")?;
     let g = load_graph(path)?;
-    let k = args.get::<usize>("sources", 8)?.clamp(1, xbfs_core::MAX_CONCURRENT);
+    let k = args
+        .get::<usize>("sources", 8)?
+        .clamp(1, xbfs_core::MAX_CONCURRENT);
     let sources = pick_sources(&g, k, 7);
     let dev = mk_device(args, 1)?;
     let run = ms_bfs(&dev, &g, &sources);
@@ -645,6 +671,156 @@ fn compare(args: &Args) -> Result<String, CliError> {
             run.total_ms,
             run.gteps
         ));
+    }
+    Ok(out)
+}
+
+/// One run's digest inside a sweep: the aggregates plus a hash that pins
+/// the full per-run result (levels and modeled time, bit for bit).
+struct SweepRec {
+    ms: f64,
+    edges: u64,
+    digest: u64,
+}
+
+/// FNV-1a over the modeled time's bit pattern and the level array: any
+/// per-run divergence between the pooled and rebuilt paths changes it.
+fn sweep_digest(source: u32, run: &xbfs_core::BfsRun) -> u64 {
+    fn mix(acc: u64, v: u64) -> u64 {
+        (acc ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+    }
+    let mut h = mix(0xcbf2_9ce4_8422_2325, u64::from(source));
+    h = mix(h, run.total_ms.to_bits());
+    for &l in &run.levels {
+        h = mix(h, u64::from(l));
+    }
+    h
+}
+
+fn sweep(args: &Args) -> Result<String, CliError> {
+    let path = args.positional.first().ok_or("usage: xbfs sweep FILE")?;
+    let g = load_graph(path)?;
+    let n = args.get::<usize>("sources", 64)?.max(1);
+    let seed = args.get::<u64>("seed", 13)?;
+    let default_threads = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(8);
+    let threads = args.get::<usize>("threads", default_threads)?.clamp(1, n);
+    let cfg = XbfsConfig {
+        alpha: args.get("alpha", 0.1)?,
+        ..XbfsConfig::default()
+    };
+    let sources = pick_sources(&g, n, seed);
+    let n = sources.len(); // graphs smaller than --sources yield fewer
+
+    // Pooled pass: one engine per OS thread. Each engine owns its device,
+    // uploads the graph once, and recycles its BFS state across its whole
+    // chunk of sources via the epoch-based O(frontier) reset.
+    let chunk = n.div_ceil(threads);
+    let t0 = std::time::Instant::now();
+    let mut pooled: Vec<SweepRec> = Vec::with_capacity(n);
+    std::thread::scope(|scope| -> Result<(), CliError> {
+        let mut handles = Vec::new();
+        for part in sources.chunks(chunk) {
+            let g = &g;
+            handles.push(scope.spawn(move || -> Result<Vec<SweepRec>, CliError> {
+                let dev = mk_device(args, cfg.required_streams())?;
+                let xbfs = Xbfs::new(dev, g, cfg)?;
+                part.iter()
+                    .map(|&s| {
+                        let run = xbfs.run(s)?;
+                        Ok(SweepRec {
+                            ms: run.total_ms,
+                            edges: run.traversed_edges,
+                            digest: sweep_digest(s, &run),
+                        })
+                    })
+                    .collect()
+            }));
+        }
+        for h in handles {
+            pooled.extend(h.join().expect("sweep worker panicked")?);
+        }
+        Ok(())
+    })?;
+    let pooled_wall = t0.elapsed().as_secs_f64();
+
+    // Rebuild pass: the unpooled in-process path — a fresh device, a fresh
+    // graph upload, freshly allocated BFS state per source. This is the
+    // bit-identity reference; a shell loop over `xbfs bfs` additionally
+    // pays process spawn + graph load per run (CI measures that baseline).
+    let t1 = std::time::Instant::now();
+    let mut rebuilt: Vec<SweepRec> = Vec::with_capacity(n);
+    for &s in &sources {
+        let dev = mk_device(args, cfg.required_streams())?;
+        let xbfs = Xbfs::new(dev, &g, cfg)?;
+        let run = xbfs.run(s)?;
+        rebuilt.push(SweepRec {
+            ms: run.total_ms,
+            edges: run.traversed_edges,
+            digest: sweep_digest(s, &run),
+        });
+    }
+    let rebuilt_wall = t1.elapsed().as_secs_f64();
+
+    let checksum = |recs: &[SweepRec]| recs.iter().fold(0u64, |a, r| a ^ r.digest);
+    let (ck_pooled, ck_rebuilt) = (checksum(&pooled), checksum(&rebuilt));
+    if ck_pooled != ck_rebuilt {
+        return Err(CliError::new(
+            format!(
+                "pooled sweep diverged from per-run rebuild \
+                 (checksum {ck_pooled:#018x} vs {ck_rebuilt:#018x})"
+            ),
+            exit_code::VALIDATION,
+        ));
+    }
+
+    let edges: u64 = pooled.iter().map(|r| r.edges).sum();
+    let model_ms: f64 = pooled.iter().map(|r| r.ms).sum();
+    let agg_gteps = edges as f64 / (model_ms * 1e-3).max(1e-12) / 1e9;
+    let pooled_rps = n as f64 / pooled_wall.max(1e-9);
+    let rebuilt_rps = n as f64 / rebuilt_wall.max(1e-9);
+    let speedup = pooled_rps / rebuilt_rps.max(1e-9);
+
+    let mut out = format!(
+        "sweep: {n} sources on {threads} thread(s), |V| = {}, |E| = {}\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    out.push_str(&format!(
+        "pooled engine:      {pooled_rps:>9.1} runs/sec ({pooled_wall:.3} s wall, \
+         {agg_gteps:.2} GTEPS aggregate modeled)\n"
+    ));
+    out.push_str(&format!(
+        "in-process rebuild: {rebuilt_rps:>9.1} runs/sec ({rebuilt_wall:.3} s wall; \
+         fresh device + upload + alloc, no process spawn)\n"
+    ));
+    out.push_str(&format!(
+        "speedup vs in-process rebuild: {speedup:.2}x runs/sec; \
+         results bit-identical (checksum {ck_pooled:#018x})\n"
+    ));
+    if let Some(json_path) = args.options.get("json") {
+        let json = format!(
+            "{{\n\
+             \x20 \"schema\": \"xbfs-sweep-v1\",\n\
+             \x20 \"graph\": {{\"path\": {path:?}, \"vertices\": {}, \"edges\": {}}},\n\
+             \x20 \"sources\": {n},\n\
+             \x20 \"threads\": {threads},\n\
+             \x20 \"seed\": {seed},\n\
+             \x20 \"pooled\": {{\"wall_ms\": {:.3}, \"runs_per_sec\": {pooled_rps:.3}, \
+             \"aggregate_gteps\": {agg_gteps:.4}}},\n\
+             \x20 \"unpooled\": {{\"wall_ms\": {:.3}, \"runs_per_sec\": {rebuilt_rps:.3}}},\n\
+             \x20 \"speedup\": {speedup:.3},\n\
+             \x20 \"checksum\": \"{ck_pooled:#018x}\"\n\
+             }}\n",
+            g.num_vertices(),
+            g.num_edges(),
+            pooled_wall * 1000.0,
+            rebuilt_wall * 1000.0,
+        );
+        std::fs::write(json_path, json)
+            .map_err(|e| CliError::io(format!("cannot write {json_path}: {e}")))?;
+        out.push_str(&format!("sweep record written to {json_path}\n"));
     }
     Ok(out)
 }
@@ -732,14 +908,22 @@ fn summarize_xbfs_trace(doc: &JsonValue) -> Result<String, String> {
     for l in levels {
         let mode = {
             let s = json_attr(l, "strategy");
-            if s.is_empty() { json_attr(l, "mode") } else { s }
+            if s.is_empty() {
+                json_attr(l, "mode")
+            } else {
+                s
+            }
         };
         out.push_str(&format!(
             "{:>5} {:>3} {:>12} {:>12} {:>10.4}\n",
             json_attr(l, "level"),
             {
                 let a = json_attr(l, "attempt");
-                if a.is_empty() { "0".into() } else { a }
+                if a.is_empty() {
+                    "0".into()
+                } else {
+                    a
+                }
             },
             mode,
             json_attr(l, "frontier_count"),
@@ -770,7 +954,9 @@ fn summarize_xbfs_trace(doc: &JsonValue) -> Result<String, String> {
     ));
     out.push_str(&format!(
         "total {:.4} ms\n",
-        doc.get("total_ms").and_then(JsonValue::as_f64).unwrap_or(0.0)
+        doc.get("total_ms")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0)
     ));
     Ok(out)
 }
@@ -814,14 +1000,22 @@ fn summarize_chrome_trace(doc: &JsonValue) -> Result<String, String> {
         let args = l.get("args").cloned().unwrap_or(JsonValue::Obj(Vec::new()));
         let mode = {
             let s = json_attr(&args, "strategy");
-            if s.is_empty() { json_attr(&args, "mode") } else { s }
+            if s.is_empty() {
+                json_attr(&args, "mode")
+            } else {
+                s
+            }
         };
         out.push_str(&format!(
             "{:>5} {:>3} {:>12} {:>12} {:>10.4}\n",
             json_attr(&args, "level"),
             {
                 let a = json_attr(&args, "attempt");
-                if a.is_empty() { "0".into() } else { a }
+                if a.is_empty() {
+                    "0".into()
+                } else {
+                    a
+                }
             },
             mode,
             json_attr(&args, "frontier_count"),
@@ -889,11 +1083,54 @@ mod tests {
         let path = tmp("g4.bin");
         run(&["generate", "--out", &path, "--scale", "9"]).unwrap();
         let cmp = run(&["compare", &path]).unwrap();
-        assert!(cmp.contains("gunrock-like") && cmp.contains("beamer-like"), "{cmp}");
+        assert!(
+            cmp.contains("gunrock-like") && cmp.contains("beamer-like"),
+            "{cmp}"
+        );
         let ms = run(&["msbfs", &path, "--sources", "4"]).unwrap();
         assert!(ms.contains("sharing gain"), "{ms}");
         let an = run(&["analyze", &path]).unwrap();
         assert!(an.contains("components"), "{an}");
+    }
+
+    #[test]
+    fn sweep_reports_throughput_and_writes_json() {
+        let path = tmp("g10.bin");
+        run(&["generate", "--out", &path, "--scale", "9"]).unwrap();
+        let json = tmp("g10_sweep.json");
+        let out = run(&[
+            "sweep",
+            &path,
+            "--sources",
+            "8",
+            "--threads",
+            "2",
+            "--json",
+            &json,
+        ])
+        .unwrap();
+        assert!(out.contains("runs/sec"), "{out}");
+        assert!(out.contains("GTEPS aggregate"), "{out}");
+        assert!(out.contains("bit-identical"), "{out}");
+        let doc = JsonValue::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some("xbfs-sweep-v1")
+        );
+        assert_eq!(doc.get("sources").and_then(JsonValue::as_f64), Some(8.0));
+        assert!(doc.get("speedup").and_then(JsonValue::as_f64).unwrap() > 0.0);
+        assert!(
+            doc.get("pooled")
+                .and_then(|p| p.get("runs_per_sec"))
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        // Unknown options stay usage errors.
+        assert_eq!(
+            run(&["sweep", &path, "--frobnicate"]).unwrap_err().code,
+            exit_code::USAGE
+        );
     }
 
     #[test]
@@ -930,9 +1167,23 @@ mod tests {
         let json = tmp("g6.json");
         let csv = tmp("g6.csv");
         let out = run(&[
-            "cluster", &path, "--gcds", "4", "--source", "1",
-            "--inject-faults", "crash@2:rank1", "--checkpoint-every", "1",
-            "--recovery", "spare", "--validate", "--json", &json, "--csv", &csv,
+            "cluster",
+            &path,
+            "--gcds",
+            "4",
+            "--source",
+            "1",
+            "--inject-faults",
+            "crash@2:rank1",
+            "--checkpoint-every",
+            "1",
+            "--recovery",
+            "spare",
+            "--validate",
+            "--json",
+            &json,
+            "--csv",
+            &csv,
         ])
         .unwrap();
         assert!(out.contains("recovery: rank 1 died at level 2"), "{out}");
@@ -954,8 +1205,15 @@ mod tests {
 
         // chrome trace to a file, then summarize it.
         let chrome = tmp("g8_trace.json");
-        let out = run(&["run", &path, "--source", "0", "--trace", &format!("chrome:{chrome}")])
-            .unwrap();
+        let out = run(&[
+            "run",
+            &path,
+            "--source",
+            "0",
+            "--trace",
+            &format!("chrome:{chrome}"),
+        ])
+        .unwrap();
         assert!(out.contains("chrome trace written"), "{out}");
         let body = std::fs::read_to_string(&chrome).unwrap();
         let doc = JsonValue::parse(&body).expect("chrome trace must be valid JSON");
@@ -977,7 +1235,10 @@ mod tests {
         // json:- replaces the report with pure machine-readable JSON.
         let json = run(&["run", &path, "--source", "0", "--trace", "json:-"]).unwrap();
         let doc = JsonValue::parse(&json).expect("stdout must be pure JSON");
-        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some("xbfs-trace-v1"));
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some("xbfs-trace-v1")
+        );
         assert_eq!(
             doc.get("levels").and_then(JsonValue::as_arr).unwrap().len(),
             depth
@@ -991,7 +1252,10 @@ mod tests {
 
         // table and rocprof CSV render too.
         let table = run(&["run", &path, "--source", "0", "--trace", "table:-"]).unwrap();
-        assert!(table.contains("level") && table.contains("total"), "{table}");
+        assert!(
+            table.contains("level") && table.contains("total"),
+            "{table}"
+        );
         let csv = run(&["run", &path, "--source", "0", "--trace", "csv:-"]).unwrap();
         assert!(csv.starts_with("phase,kernel,runtime_ms"), "{csv}");
 
@@ -1011,13 +1275,24 @@ mod tests {
         let path = tmp("g9.bin");
         run(&["generate", "--out", &path, "--scale", "10"]).unwrap();
         let out = run(&[
-            "cluster", &path, "--gcds", "4", "--source", "1",
-            "--inject-faults", "crash@1:rank1", "--trace", "json:-",
+            "cluster",
+            &path,
+            "--gcds",
+            "4",
+            "--source",
+            "1",
+            "--inject-faults",
+            "crash@1:rank1",
+            "--trace",
+            "json:-",
         ])
         .unwrap();
         // `json:-` output is the pure trace; the crash warning goes to stderr only.
         let doc = JsonValue::parse(&out).expect("stdout must be pure JSON");
-        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some("xbfs-trace-v1"));
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some("xbfs-trace-v1")
+        );
         let spans = doc.get("spans").and_then(JsonValue::as_arr).unwrap();
         let named = |n: &str| {
             spans
@@ -1028,7 +1303,10 @@ mod tests {
         assert!(named("level") > 0);
         assert!(named("collective") > 0);
         assert_eq!(named("recovery"), 1, "crash must produce a recovery span");
-        assert!(named("checkpoint") > 0, "fault mode defaults to checkpointing");
+        assert!(
+            named("checkpoint") > 0,
+            "fault mode defaults to checkpointing"
+        );
         let events = doc.get("events").and_then(JsonValue::as_arr).unwrap();
         let evt = |n: &str| {
             events
@@ -1040,12 +1318,22 @@ mod tests {
         // With a file path, the warning lands in the report.
         let trace_path = tmp("g9_trace.json");
         let report = run(&[
-            "cluster", &path, "--gcds", "4", "--source", "1",
-            "--inject-faults", "crash@1:rank1", "--trace",
+            "cluster",
+            &path,
+            "--gcds",
+            "4",
+            "--source",
+            "1",
+            "--inject-faults",
+            "crash@1:rank1",
+            "--trace",
             &format!("json:{trace_path}"),
         ])
         .unwrap();
-        assert!(report.contains("warning: tracing a run with planned GCD crashes"), "{report}");
+        assert!(
+            report.contains("warning: tracing a run with planned GCD crashes"),
+            "{report}"
+        );
         assert!(report.contains("json trace written"), "{report}");
         let summary = run(&["trace", "summarize", &trace_path]).unwrap();
         assert!(summary.contains("1 recoveries"), "{summary}");
@@ -1054,7 +1342,9 @@ mod tests {
     #[test]
     fn trace_summarize_rejects_garbage() {
         assert_eq!(
-            run(&["trace", "summarize", "/does/not/exist.json"]).unwrap_err().code,
+            run(&["trace", "summarize", "/does/not/exist.json"])
+                .unwrap_err()
+                .code,
             exit_code::IO
         );
         let bad = tmp("bad_trace.json");
@@ -1069,7 +1359,10 @@ mod tests {
             exit_code::INVALID_INPUT
         );
         assert_eq!(run(&["trace"]).unwrap_err().code, exit_code::USAGE);
-        assert_eq!(run(&["trace", "frobnicate"]).unwrap_err().code, exit_code::USAGE);
+        assert_eq!(
+            run(&["trace", "frobnicate"]).unwrap_err().code,
+            exit_code::USAGE
+        );
     }
 
     #[test]
@@ -1081,13 +1374,24 @@ mod tests {
         assert_eq!(e.code, exit_code::INVALID_INPUT);
         // More drops than the retry budget -> unrecovered fault.
         let e = run(&[
-            "cluster", &path, "--gcds", "2", "--inject-faults", "drop@0:0-1x9",
+            "cluster",
+            &path,
+            "--gcds",
+            "2",
+            "--inject-faults",
+            "drop@0:0-1x9",
         ])
         .unwrap_err();
         assert_eq!(e.code, exit_code::UNRECOVERED_FAULT, "{}", e.message);
         // Random plans parse and run (crash recovery on by default).
         let out = run(&[
-            "cluster", &path, "--gcds", "2", "--inject-faults", "random:7", "--validate",
+            "cluster",
+            &path,
+            "--gcds",
+            "2",
+            "--inject-faults",
+            "random:7",
+            "--validate",
         ])
         .unwrap();
         assert!(out.contains("VALID"), "{out}");

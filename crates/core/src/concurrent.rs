@@ -21,6 +21,149 @@ use xbfs_graph::Csr;
 /// Maximum sources per batch (bits in the visited mask).
 pub const MAX_CONCURRENT: usize = 32;
 
+/// A persistent multi-source engine: the graph upload and every device
+/// buffer are built **once**, and each [`MsBfs::run_batch`] reuses them —
+/// repeat batches over one graph pay only the traversal itself. The
+/// free-standing [`ms_bfs`] is a one-shot convenience wrapper.
+pub struct MsBfs<'d> {
+    device: &'d Device,
+    g: DeviceGraph,
+    degrees: Vec<u32>,
+    seen: BufU32,
+    fresh: BufU32,
+    frontier: BufU32,
+    next_frontier: BufU32,
+    counters: BufU32,
+    /// Per-slot level arrays, grown lazily to the widest batch seen.
+    level_of: Vec<BufU32>,
+    /// Cached `"msbfs level N"` phase labels.
+    labels: Vec<String>,
+}
+
+impl<'d> MsBfs<'d> {
+    /// Upload `graph` and allocate the reusable traversal state.
+    pub fn new(device: &'d Device, graph: &Csr) -> Self {
+        let n = graph.num_vertices();
+        Self {
+            device,
+            g: DeviceGraph::upload(device, graph),
+            degrees: (0..n as u32).map(|v| graph.degree(v)).collect(),
+            seen: device.alloc_u32(n),
+            fresh: device.alloc_u32(n),
+            frontier: device.alloc_u32(n),
+            next_frontier: device.alloc_u32(n),
+            counters: device.alloc_u32(2),
+            level_of: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Run up to [`MAX_CONCURRENT`] BFS instances in one shared traversal.
+    pub fn run_batch(&mut self, sources: &[u32]) -> MsBfsRun {
+        assert!(!sources.is_empty(), "need at least one source");
+        assert!(
+            sources.len() <= MAX_CONCURRENT,
+            "at most {MAX_CONCURRENT} concurrent sources"
+        );
+        let n = self.g.num_vertices();
+        for &s in sources {
+            assert!((s as usize) < n, "source {s} out of range");
+        }
+        let device = self.device;
+        while self.level_of.len() < sources.len() {
+            self.level_of.push(device.alloc_u32(n));
+        }
+        let level_of = &self.level_of[..sources.len()];
+
+        device.reset_timeline();
+        device.set_phase("msbfs init");
+        // Untimed host-side zeroing mirrors the zeroed-on-alloc semantics
+        // the one-shot path used to get from fresh buffers.
+        self.seen.host_fill(0);
+        self.fresh.host_fill(0);
+        for l in level_of {
+            device.fill_u32(0, l, UNVISITED);
+        }
+        // Seed: sources may coincide; OR their bits. ≤ 32 entries, sorted
+        // by vertex — equivalent to the dedup'd init frontier.
+        let mut seeds: Vec<(u32, u32)> = Vec::with_capacity(sources.len());
+        for (i, &s) in sources.iter().enumerate() {
+            level_of[i].store(s as usize, 0);
+            match seeds.binary_search_by_key(&s, |&(v, _)| v) {
+                Ok(p) => seeds[p].1 |= 1 << i,
+                Err(p) => seeds.insert(p, (s, 1 << i)),
+            }
+        }
+        for (i, &(v, bits)) in seeds.iter().enumerate() {
+            self.frontier.store(i, v);
+            self.seen.store(v as usize, bits);
+        }
+        device.charge_transfer(0, 4 * (seeds.len() as u64 + 1));
+        let mut qlen = seeds.len();
+        let mut level = 0u32;
+
+        while qlen > 0 {
+            let idx = level as usize;
+            while self.labels.len() <= idx {
+                self.labels
+                    .push(format!("msbfs level {}", self.labels.len()));
+            }
+            device.set_phase(self.labels[idx].as_str());
+            device.fill_u32(0, &self.fresh, 0);
+            device.fill_u32(0, &self.counters, 0);
+            device.launch(
+                0,
+                LaunchCfg::new("msbfs_expand", qlen).with_registers(48),
+                |w| expand_kernel(w, &self.g, &self.seen, &self.fresh, &self.frontier, qlen),
+            );
+            // Fold: merge fresh bits into seen, record levels, build the
+            // next union frontier.
+            let lvl = level + 1;
+            device.launch(0, LaunchCfg::new("msbfs_fold", n).with_registers(32), |w| {
+                fold_kernel(
+                    w,
+                    &self.seen,
+                    &self.fresh,
+                    &self.next_frontier,
+                    &self.counters,
+                    level_of,
+                    lvl,
+                )
+            });
+            device.sync();
+            device.charge_transfer(0, 4);
+            qlen = self.counters.load(0) as usize;
+            // Pointer-swap frontiers (free on real hardware).
+            std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+            level += 1;
+        }
+
+        let total_ms = device.elapsed_us() / 1000.0;
+        let levels: Vec<Vec<u32>> = level_of.iter().map(|b| b.to_host()).collect();
+        let traversed_edges: u64 = levels
+            .iter()
+            .map(|ls| {
+                ls.iter()
+                    .zip(&self.degrees)
+                    .filter(|&(&l, _)| l != UNVISITED)
+                    .map(|(_, &d)| u64::from(d))
+                    .sum::<u64>()
+            })
+            .sum();
+        let gteps = if total_ms > 0.0 {
+            traversed_edges as f64 / (total_ms * 1e-3) / 1e9
+        } else {
+            0.0
+        };
+        MsBfsRun {
+            levels,
+            total_ms,
+            traversed_edges,
+            gteps,
+        }
+    }
+}
+
 /// Result of a concurrent run.
 #[derive(Debug, Clone)]
 pub struct MsBfsRun {
@@ -35,95 +178,12 @@ pub struct MsBfsRun {
 }
 
 /// Run up to [`MAX_CONCURRENT`] BFS instances in one shared traversal.
+///
+/// One-shot convenience over [`MsBfs`]: builds the engine (upload +
+/// buffers) and runs a single batch. Batched drivers should keep an
+/// [`MsBfs`] alive instead.
 pub fn ms_bfs(device: &Device, graph: &Csr, sources: &[u32]) -> MsBfsRun {
-    assert!(!sources.is_empty(), "need at least one source");
-    assert!(
-        sources.len() <= MAX_CONCURRENT,
-        "at most {MAX_CONCURRENT} concurrent sources"
-    );
-    let n = graph.num_vertices();
-    for &s in sources {
-        assert!((s as usize) < n, "source {s} out of range");
-    }
-    let g = DeviceGraph::upload(device, graph);
-
-    device.reset_timeline();
-    device.set_phase("msbfs init");
-    let seen = device.alloc_u32(n); // bit s = visited by source s
-    let fresh = device.alloc_u32(n); // bits claimed during this level
-    let mut frontier = device.alloc_u32(n); // union frontier (vertex ids)
-    let mut next_frontier = device.alloc_u32(n);
-    let counters = device.alloc_u32(2); // [0] = next frontier len
-    let level_of: Vec<BufU32> = (0..sources.len()).map(|_| device.alloc_u32(n)).collect();
-    for l in &level_of {
-        device.fill_u32(0, l, UNVISITED);
-    }
-    // Seed: sources may coincide; OR their bits.
-    let mut seed_mask = vec![0u32; n];
-    for (i, &s) in sources.iter().enumerate() {
-        seed_mask[s as usize] |= 1 << i;
-        level_of[i].store(s as usize, 0);
-    }
-    let mut init_frontier: Vec<u32> = sources.to_vec();
-    init_frontier.sort_unstable();
-    init_frontier.dedup();
-    for (i, &v) in init_frontier.iter().enumerate() {
-        frontier.store(i, v);
-        seen.store(v as usize, seed_mask[v as usize]);
-    }
-    device.charge_transfer(0, 4 * (init_frontier.len() as u64 + 1));
-    let mut qlen = init_frontier.len();
-    let mut level = 0u32;
-
-    // Reusable frontier/seen swap not needed: `fresh` is zeroed per level.
-    while qlen > 0 {
-        device.set_phase(format!("msbfs level {level}"));
-        device.fill_u32(0, &fresh, 0);
-        device.fill_u32(0, &counters, 0);
-        device.launch(
-            0,
-            LaunchCfg::new("msbfs_expand", qlen).with_registers(48),
-            |w| expand_kernel(w, &g, &seen, &fresh, &frontier, qlen),
-        );
-        // Fold: merge fresh bits into seen, record levels, build the next
-        // union frontier.
-        let lvl = level + 1;
-        device.launch(
-            0,
-            LaunchCfg::new("msbfs_fold", n).with_registers(32),
-            |w| fold_kernel(w, &seen, &fresh, &next_frontier, &counters, &level_of, lvl),
-        );
-        device.sync();
-        device.charge_transfer(0, 4);
-        qlen = counters.load(0) as usize;
-        // Pointer-swap frontiers (free on real hardware).
-        std::mem::swap(&mut frontier, &mut next_frontier);
-        level += 1;
-    }
-
-    let total_ms = device.elapsed_us() / 1000.0;
-    let levels: Vec<Vec<u32>> = level_of.iter().map(|b| b.to_host()).collect();
-    let traversed_edges: u64 = levels
-        .iter()
-        .map(|ls| {
-            ls.iter()
-                .enumerate()
-                .filter(|(_, &l)| l != UNVISITED)
-                .map(|(v, _)| graph.degree(v as u32) as u64)
-                .sum::<u64>()
-        })
-        .sum();
-    let gteps = if total_ms > 0.0 {
-        traversed_edges as f64 / (total_ms * 1e-3) / 1e9
-    } else {
-        0.0
-    };
-    MsBfsRun {
-        levels,
-        total_ms,
-        traversed_edges,
-        gteps,
-    }
+    MsBfs::new(device, graph).run_batch(sources)
 }
 
 /// Expansion: each frontier vertex pushes `its bits & !seen` to neighbors
@@ -314,10 +374,7 @@ mod tests {
         let dev = Device::mi250x();
         let shared = ms_bfs(&dev, &g, &sources);
         let xbfs = crate::Xbfs::new(&dev, &g, crate::XbfsConfig::default()).unwrap();
-        let sequential_ms: f64 = sources
-            .iter()
-            .map(|&s| xbfs.run(s).unwrap().total_ms)
-            .sum();
+        let sequential_ms: f64 = sources.iter().map(|&s| xbfs.run(s).unwrap().total_ms).sum();
         assert!(
             shared.total_ms < 0.5 * sequential_ms,
             "shared {} ms should be well under sequential {} ms",

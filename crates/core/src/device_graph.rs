@@ -21,16 +21,38 @@ pub struct DeviceGraph {
 
 impl DeviceGraph {
     /// Upload `g` (untimed — the paper's measured window starts after the
-    /// graph is resident, matching its n-to-n protocol).
+    /// graph is resident, matching its n-to-n protocol). Buffers come from
+    /// the device pool: re-uploading an identically shaped graph after a
+    /// [`DeviceGraph::release_to_pool`] reuses the same device addresses,
+    /// which keeps modeled timings bit-identical across engine rebuilds.
     pub fn upload(device: &Device, g: &Csr) -> Self {
         let degrees: Vec<u32> = (0..g.num_vertices() as u32).map(|v| g.degree(v)).collect();
+        let offsets = device.pool_acquire_u64(g.offsets().len());
+        offsets.host_write(g.offsets());
+        let adjacency = device.pool_acquire_u32(g.adjacency().len());
+        adjacency.host_write(g.adjacency());
+        let degree_buf = device.pool_acquire_u32(degrees.len());
+        degree_buf.host_write(&degrees);
         Self {
-            offsets: device.upload_u64(g.offsets()),
-            adjacency: device.upload_u32(g.adjacency()),
-            degrees: device.upload_u32(&degrees),
+            offsets,
+            adjacency,
+            degrees: degree_buf,
             num_vertices: g.num_vertices(),
             num_edges: g.num_edges(),
         }
+    }
+
+    /// Park the graph's buffers in the device pool, in reverse upload
+    /// order so the pool's LIFO free lists hand each one back to the same
+    /// role on the next upload. Call after releasing any state acquired
+    /// later than the upload (see `BfsState::release_to_pool`).
+    pub fn release_to_pool(&mut self, device: &Device) {
+        device.pool_release_u32(std::mem::replace(&mut self.degrees, BufU32::placeholder()));
+        device.pool_release_u32(std::mem::replace(
+            &mut self.adjacency,
+            BufU32::placeholder(),
+        ));
+        device.pool_release_u64(std::mem::replace(&mut self.offsets, BufU64::placeholder()));
     }
 
     /// Number of vertices.

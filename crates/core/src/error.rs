@@ -30,12 +30,18 @@ pub enum XbfsError {
 impl fmt::Display for XbfsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::InsufficientStreams { required, available } => write!(
+            Self::InsufficientStreams {
+                required,
+                available,
+            } => write!(
                 f,
                 "config requires {required} streams, device has {available}"
             ),
             Self::EmptyGraph => write!(f, "graph has no vertices"),
-            Self::SourceOutOfRange { source, num_vertices } => write!(
+            Self::SourceOutOfRange {
+                source,
+                num_vertices,
+            } => write!(
                 f,
                 "source vertex {source} out of range (graph has {num_vertices} vertices)"
             ),

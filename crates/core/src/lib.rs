@@ -39,20 +39,22 @@ pub mod controller;
 pub mod device_graph;
 pub mod efficiency;
 pub mod error;
+pub mod run_ctx;
 pub mod runner;
 pub mod state;
 pub mod stats;
 pub mod strategy;
 pub mod tuner;
 
-pub use concurrent::{ms_bfs, MsBfsRun, MAX_CONCURRENT};
+pub use concurrent::{ms_bfs, MsBfs, MsBfsRun, MAX_CONCURRENT};
 pub use config::XbfsConfig;
 pub use controller::Controller;
 pub use device_graph::DeviceGraph;
 pub use efficiency::{bandwidth_efficiency, Efficiency};
 pub use error::XbfsError;
+pub use run_ctx::RunCtx;
 pub use runner::Xbfs;
-pub use state::{BfsState, BinThresholds, QueueState, UNVISITED};
+pub use state::{decode_level, is_unvisited, BfsState, BinThresholds, QueueState, UNVISITED};
 pub use stats::{BfsRun, LevelStats};
 pub use strategy::Strategy;
 pub use tuner::{tune_alpha, TuneResult};

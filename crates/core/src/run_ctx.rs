@@ -1,0 +1,101 @@
+//! Shared per-graph run context: everything a multi-source driver should
+//! build **once** and reuse across runs — the device binding, the uploaded
+//! device-resident graph, and the host-side degree table.
+//!
+//! Before PR 3 every multi-source loop (Graph500 harness, the analytics in
+//! `xbfs-apps`, the bench tables, the baseline engines) re-uploaded the
+//! CSR and re-derived degrees per source. A [`RunCtx`] hoists that work
+//! out of the loop; engines take `&RunCtx` per run and touch only
+//! O(|frontier work|) state.
+
+use crate::device_graph::DeviceGraph;
+use gcd_sim::Device;
+use xbfs_graph::Csr;
+
+/// A device + uploaded graph + host degree table, built once per
+/// (device, graph) pair and shared by every run against that pair.
+pub struct RunCtx<'d> {
+    device: &'d Device,
+    graph: DeviceGraph,
+    host_degrees: Vec<u32>,
+}
+
+impl<'d> RunCtx<'d> {
+    /// Upload `g` to `device` and cache its degree table.
+    pub fn new(device: &'d Device, g: &Csr) -> Self {
+        let host_degrees = (0..g.num_vertices() as u32).map(|v| g.degree(v)).collect();
+        Self {
+            device,
+            graph: DeviceGraph::upload(device, g),
+            host_degrees,
+        }
+    }
+
+    /// The device runs execute on.
+    pub fn device(&self) -> &'d Device {
+        self.device
+    }
+
+    /// The device-resident graph.
+    pub fn graph(&self) -> &DeviceGraph {
+        &self.graph
+    }
+
+    /// Host-side degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> u32 {
+        self.host_degrees[v as usize]
+    }
+
+    /// The full host-side degree table.
+    pub fn degrees(&self) -> &[u32] {
+        &self.host_degrees
+    }
+
+    /// Vertex count of the uploaded graph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Edge count of the uploaded graph.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Sum of degrees over vertices whose BFS level is not `sentinel` —
+    /// the Graph500 "traversed edges" convention shared by the XBFS runner
+    /// and every baseline.
+    pub fn traversed_edges(&self, levels: &[u32], sentinel: u32) -> u64 {
+        levels
+            .iter()
+            .zip(&self.host_degrees)
+            .filter(|&(&l, _)| l != sentinel)
+            .map(|(_, &d)| u64::from(d))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbfs_graph::generators::erdos_renyi;
+
+    #[test]
+    fn ctx_caches_graph_and_degrees() {
+        let g = erdos_renyi(100, 400, 3);
+        let dev = Device::mi250x();
+        let ctx = RunCtx::new(&dev, &g);
+        assert_eq!(ctx.num_vertices(), 100);
+        assert_eq!(ctx.num_edges(), g.num_edges());
+        for v in 0..100u32 {
+            assert_eq!(ctx.degree(v), g.degree(v));
+        }
+        let levels = vec![u32::MAX; 100];
+        assert_eq!(ctx.traversed_edges(&levels, u32::MAX), 0);
+        let zeros = vec![0u32; 100];
+        assert_eq!(
+            ctx.traversed_edges(&zeros, u32::MAX),
+            (0..100u32).map(|v| u64::from(g.degree(v))).sum::<u64>()
+        );
+    }
+}

@@ -2,30 +2,71 @@
 //! simulated GCD, exactly mirroring the structure of the ported code —
 //! per-level counter memset, strategy dispatch, device sync, counter
 //! readback, controller decision.
+//!
+//! Since PR 3 the runner is a *throughput engine*: BFS state is acquired
+//! from the device buffer pool once at construction, reset between runs in
+//! O(1) by advancing an epoch bias (no O(|V|) fill kernels), and per-level
+//! scratch (phase-label strings) is cached across runs. Back-to-back runs
+//! from different sources therefore cost O(|frontier work|), not O(|V|).
 
 use crate::config::XbfsConfig;
 use crate::controller::Controller;
-use crate::error::XbfsError;
 use crate::device_graph::DeviceGraph;
-use crate::state::{ctr, ectr, BfsState, QueueState, UNVISITED};
+use crate::error::XbfsError;
+use crate::state::{ctr, decode_level, ectr, BfsState, QueueState, UNVISITED};
 use crate::stats::{BfsRun, LevelStats};
 use crate::strategy::{
-    launch_bottom_up_level, launch_generation_scan, launch_reset_counters,
-    launch_top_down_expand, Strategy,
+    launch_bottom_up_level, launch_generation_scan, launch_reset_counters, launch_top_down_expand,
+    Strategy,
 };
 use gcd_sim::Device;
+use parking_lot::Mutex;
+use std::borrow::Borrow;
 use xbfs_graph::Csr;
 use xbfs_telemetry::{names, AttrValue, Recorder};
 
+/// Per-engine mutable run context, reused across runs: the pooled BFS
+/// state, the previous run's depth (how far to advance the epoch), and
+/// cached per-level phase labels so the steady-state level loop performs
+/// no scratch allocation.
+struct RunInner {
+    /// `Some` until drop, when the buffers return to the device pool.
+    st: Option<BfsState>,
+    /// Depth of the previous run; bounds the epoch advance on reset.
+    last_depth: u32,
+    /// `labels[l] == "level l"`, grown lazily and kept across runs.
+    labels: Vec<String>,
+    /// How many times the scratch grew (label allocations). Steady-state
+    /// repeat runs must not bump this — asserted in tests.
+    scratch_allocs: u64,
+}
+
+/// Return the cached phase label for `level`, allocating only the first
+/// time this engine reaches a given depth.
+fn phase_label<'s>(labels: &'s mut Vec<String>, scratch_allocs: &mut u64, level: u32) -> &'s str {
+    let idx = level as usize;
+    while labels.len() <= idx {
+        labels.push(format!("level {}", labels.len()));
+        *scratch_allocs += 1;
+    }
+    labels[idx].as_str()
+}
+
 /// An XBFS instance bound to a device-resident graph.
-pub struct Xbfs<'a> {
-    device: &'a Device,
+///
+/// Generic over how it holds the device: `Xbfs<&Device>` borrows a device
+/// owned elsewhere (the common case, inferred from `Xbfs::new(&dev, ..)`),
+/// while `Xbfs<Device>` owns one outright — used by long-lived engines
+/// (e.g. `xbfs-apps`) that would otherwise be self-referential.
+pub struct Xbfs<D: Borrow<Device>> {
+    device: D,
     graph: DeviceGraph,
     cfg: XbfsConfig,
     host_degrees: Vec<u32>,
+    inner: Mutex<RunInner>,
 }
 
-impl<'a> Xbfs<'a> {
+impl<D: Borrow<Device>> Xbfs<D> {
     /// Upload `g` and prepare a runner. The device must have at least
     /// [`XbfsConfig::required_streams`] streams.
     ///
@@ -33,28 +74,49 @@ impl<'a> Xbfs<'a> {
     /// graphs), the bottom-up strategy pulls through **out**-edges, so
     /// results are exact on directed graphs only with a configuration that
     /// never selects bottom-up — use [`XbfsConfig::directed`] for those.
-    pub fn new(device: &'a Device, g: &Csr, cfg: XbfsConfig) -> Result<Self, XbfsError> {
-        if device.num_streams() < cfg.required_streams() {
+    pub fn new(device: D, g: &Csr, cfg: XbfsConfig) -> Result<Self, XbfsError> {
+        let dev: &Device = device.borrow();
+        if dev.num_streams() < cfg.required_streams() {
             return Err(XbfsError::InsufficientStreams {
                 required: cfg.required_streams(),
-                available: device.num_streams(),
+                available: dev.num_streams(),
             });
         }
         if g.num_vertices() == 0 {
             return Err(XbfsError::EmptyGraph);
         }
         let host_degrees = (0..g.num_vertices() as u32).map(|v| g.degree(v)).collect();
+        let graph = DeviceGraph::upload(dev, g);
+        let st = BfsState::from_pool(dev, g.num_vertices(), cfg.record_parents, cfg.seg_len);
         Ok(Self {
-            device,
-            graph: DeviceGraph::upload(device, g),
+            graph,
             cfg,
             host_degrees,
+            inner: Mutex::new(RunInner {
+                st: Some(st),
+                last_depth: 0,
+                labels: Vec::new(),
+                scratch_allocs: 0,
+            }),
+            device,
         })
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &XbfsConfig {
         &self.cfg
+    }
+
+    /// The device this engine runs on.
+    pub fn device(&self) -> &Device {
+        self.device.borrow()
+    }
+
+    /// Number of times the reusable per-run scratch had to grow. After a
+    /// warm-up run, repeat runs of no greater depth keep this constant —
+    /// the level loop performs no scratch allocation.
+    pub fn scratch_allocs(&self) -> u64 {
+        self.inner.lock().scratch_allocs
     }
 
     /// Run one BFS from `source`, returning levels plus full per-level
@@ -71,7 +133,7 @@ impl<'a> Xbfs<'a> {
     /// telemetry call is a single relaxed atomic load, so this is the
     /// same hot path `run` uses.
     pub fn run_traced(&self, source: u32, rec: &Recorder) -> Result<BfsRun, XbfsError> {
-        let dev = self.device;
+        let dev: &Device = self.device.borrow();
         let g = &self.graph;
         let n = g.num_vertices();
         if (source as usize) >= n {
@@ -82,7 +144,17 @@ impl<'a> Xbfs<'a> {
         }
         let controller = Controller::new(self.cfg.alpha, self.cfg.scan_free_max_ratio);
 
-        let mut st = BfsState::new(dev, n, self.cfg.record_parents, self.cfg.seg_len);
+        let mut guard = self.inner.lock();
+        let RunInner {
+            st,
+            last_depth,
+            labels,
+            scratch_allocs,
+        } = &mut *guard;
+        let st = st.as_mut().expect("state is released only on drop");
+        // O(1) between-run reset: advance the epoch past everything the
+        // previous run stored instead of re-filling O(|V|) arrays.
+        st.reset_in_place(*last_depth);
         dev.reset_timeline();
         let _ = dev.take_reports();
 
@@ -90,18 +162,24 @@ impl<'a> Xbfs<'a> {
         rec.span_attr(run_span, "engine", AttrValue::Str("xbfs".into()));
         rec.span_attr(run_span, "source", AttrValue::U64(u64::from(source)));
         rec.span_attr(run_span, "vertices", AttrValue::U64(n as u64));
-        rec.span_attr(run_span, "edges", AttrValue::U64(self.graph.num_edges() as u64));
+        rec.span_attr(
+            run_span,
+            "edges",
+            AttrValue::U64(self.graph.num_edges() as u64),
+        );
         rec.span_attr(run_span, "alpha", AttrValue::F64(self.cfg.alpha));
 
         // --- measured window starts ---
+        // Epoch-versioned state needs no O(|V|) fill kernels here: entries
+        // from older epochs read as unvisited, and the parent array decode
+        // is gated on visited-ness, so seeding the source is the whole
+        // initialization (satellite of the paper's "n to n" window).
         let init_span = rec.begin_span(Some(run_span), names::span::INIT, 0, 0.0);
         dev.set_phase("init");
-        dev.fill_u32(0, &st.status, UNVISITED);
         if let Some(parents) = &st.parents {
-            dev.fill_u32(0, parents, UNVISITED);
             parents.store(source as usize, source);
         }
-        st.status.store(source as usize, 0);
+        st.status.store(source as usize, st.base); // level 0, epoch-encoded
         st.queues[0].store(0, source);
         dev.charge_transfer(0, 8); // seed the source + queue head
         rec.end_span(init_span, dev.elapsed_us());
@@ -122,7 +200,7 @@ impl<'a> Xbfs<'a> {
         loop {
             let ratio = frontier_edges as f64 / m;
             let strategy = self.cfg.forced.unwrap_or_else(|| controller.choose(ratio));
-            dev.set_phase(format!("level {level}"));
+            dev.set_phase(phase_label(labels, scratch_allocs, level));
             let t0 = dev.elapsed_us();
             let mut used_nfg = true;
 
@@ -146,8 +224,8 @@ impl<'a> Xbfs<'a> {
 
             match strategy {
                 Strategy::BottomUp => {
-                    launch_reset_counters(dev, 0, &st);
-                    launch_bottom_up_level(dev, g, &st, level, &self.cfg);
+                    launch_reset_counters(dev, 0, st);
+                    launch_bottom_up_level(dev, g, st, st.base + level, &self.cfg);
                 }
                 Strategy::ScanFree | Strategy::SingleScan => {
                     let mut qstate = if !self.cfg.nfg {
@@ -155,7 +233,9 @@ impl<'a> Xbfs<'a> {
                     } else if frontier_has_proactive {
                         // Stale exact queues miss proactive claims; the
                         // superset (or a fresh scan) covers them.
-                        superset.map(QueueState::Superset).unwrap_or(QueueState::None)
+                        superset
+                            .map(QueueState::Superset)
+                            .unwrap_or(QueueState::None)
                     } else if let Some(lens) = exact {
                         QueueState::Exact(lens)
                     } else if let Some(len) = superset {
@@ -168,8 +248,8 @@ impl<'a> Xbfs<'a> {
                         // kernel 1; also the fallback scan-free pays when
                         // no queue survived).
                         used_nfg = false;
-                        launch_reset_counters(dev, 0, &st);
-                        launch_generation_scan(dev, 0, g, &st, level, &self.cfg);
+                        launch_reset_counters(dev, 0, st);
+                        launch_generation_scan(dev, 0, g, st, st.base + level, &self.cfg);
                         dev.sync();
                         dev.charge_transfer(0, 12);
                         let lens = st.next_queue_lens();
@@ -180,9 +260,17 @@ impl<'a> Xbfs<'a> {
                         rec.end_span(qg, q1);
                         expand_start = q1;
                     }
-                    launch_reset_counters(dev, 0, &st);
+                    launch_reset_counters(dev, 0, st);
                     let atomic_claim = strategy == Strategy::ScanFree;
-                    launch_top_down_expand(dev, g, &st, level, qstate, atomic_claim, &self.cfg);
+                    launch_top_down_expand(
+                        dev,
+                        g,
+                        st,
+                        st.base + level,
+                        qstate,
+                        atomic_claim,
+                        &self.cfg,
+                    );
                 }
             }
 
@@ -269,9 +357,23 @@ impl<'a> Xbfs<'a> {
         }
         let total_us = dev.elapsed_us();
         // --- measured window ends ---
+        *last_depth = level_stats.len() as u32;
 
-        let levels = st.status.to_host();
-        let parents = st.parents.as_ref().map(|p| p.to_host());
+        // Decode epoch-encoded status back to plain levels; parent entries
+        // are only meaningful for vertices this run actually visited.
+        let mut levels = st.status.to_host();
+        for l in &mut levels {
+            *l = decode_level(*l, st.base);
+        }
+        let parents = st.parents.as_ref().map(|p| {
+            let mut ps = p.to_host();
+            for (pv, &l) in ps.iter_mut().zip(&levels) {
+                if l == UNVISITED {
+                    *pv = UNVISITED;
+                }
+            }
+            ps
+        });
         let traversed_edges: u64 = levels
             .iter()
             .zip(&self.host_degrees)
@@ -298,6 +400,19 @@ impl<'a> Xbfs<'a> {
             traversed_edges,
             gteps,
         })
+    }
+}
+
+impl<D: Borrow<Device>> Drop for Xbfs<D> {
+    /// Return the BFS state and graph buffers to the device pool so the
+    /// next engine of the same shape on this device reuses them (same
+    /// addresses, hence bit-identical modeled timings). State goes back
+    /// first — it was acquired last, and the pool's free lists are LIFO.
+    fn drop(&mut self) {
+        if let Some(st) = self.inner.get_mut().st.take() {
+            st.release_to_pool(self.device.borrow());
+        }
+        self.graph.release_to_pool(self.device.borrow());
     }
 }
 
@@ -449,7 +564,10 @@ mod tests {
         let g = erdos_renyi(10, 20, 1);
         let dev = Device::mi250x(); // 1 stream
         let err = Xbfs::new(&dev, &g, XbfsConfig::naive_port()).err().unwrap();
-        assert!(matches!(err, XbfsError::InsufficientStreams { available: 1, .. }));
+        assert!(matches!(
+            err,
+            XbfsError::InsufficientStreams { available: 1, .. }
+        ));
     }
 
     #[test]

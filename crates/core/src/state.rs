@@ -7,6 +7,27 @@ use gcd_sim::{BufU32, BufU64, Device};
 /// `status[v]` holds the BFS level of `v`, or this sentinel.
 pub const UNVISITED: u32 = u32::MAX;
 
+/// Epoch-versioned unvisited test: a status entry counts as unvisited
+/// unless it belongs to the current run's epoch (`raw >= base`). With
+/// `base == 0` this degenerates to the classic `raw == UNVISITED` check, so
+/// freshly allocated (zeroed or `UNVISITED`-filled) state behaves exactly
+/// as before epochs existed.
+#[inline]
+pub fn is_unvisited(raw: u32, base: u32) -> bool {
+    raw == UNVISITED || raw < base
+}
+
+/// Decode an epoch-encoded status entry back to a plain BFS level
+/// (`UNVISITED` for entries from older epochs).
+#[inline]
+pub fn decode_level(raw: u32, base: u32) -> u32 {
+    if is_unvisited(raw, base) {
+        UNVISITED
+    } else {
+        raw - base
+    }
+}
+
 /// Counter-block indices (a single `BufU32` so one memset clears them all).
 pub mod ctr {
     /// Lengths of the three degree-binned next-frontier queues.
@@ -91,6 +112,10 @@ pub struct BfsState {
     pub edge_counters: BufU64,
     /// Segment length for the double-scan, in vertices.
     pub seg_len: usize,
+    /// Epoch bias: level `L` of the current run is stored as `base + L`,
+    /// and any entry below `base` (or `UNVISITED`) is unvisited. `0` gives
+    /// the legacy un-versioned semantics.
+    pub base: u32,
 }
 
 impl BfsState {
@@ -120,6 +145,88 @@ impl BfsState {
             counters: device.alloc_u32(ctr::N),
             edge_counters: device.alloc_u64(ectr::N),
             seg_len,
+            base: 0,
+        }
+    }
+
+    /// Build state from the device buffer pool (epoch-versioned from the
+    /// start). Pool buffers may hold stale contents; every buffer other
+    /// than `status` is fully rewritten before it is read (queues are
+    /// bounded by host-tracked lengths, counters are reset per level,
+    /// `seg_counts`/`block_sums`/`bu_queue` are rewritten by the
+    /// double-scan, parents decode is gated on status), so only `status`
+    /// needs one host-side zeroing to establish epoch `1 > 0`.
+    pub fn from_pool(device: &Device, n: usize, record_parents: bool, seg_len: usize) -> Self {
+        assert!(seg_len >= 1);
+        let n_segs = n.div_ceil(seg_len);
+        let width = device.arch().wavefront_size;
+        let n_blocks = n_segs.div_ceil(width);
+        let status = device.pool_acquire_u32(n);
+        status.host_fill(0);
+        Self {
+            status,
+            parents: record_parents.then(|| device.pool_acquire_u32(n)),
+            queues: [
+                device.pool_acquire_u32(n),
+                device.pool_acquire_u32(n),
+                device.pool_acquire_u32(n),
+            ],
+            next_queues: [
+                device.pool_acquire_u32(n),
+                device.pool_acquire_u32(n),
+                device.pool_acquire_u32(n),
+            ],
+            bu_queue: device.pool_acquire_u32(n),
+            seg_counts: device.pool_acquire_u32(n_segs),
+            block_sums: device.pool_acquire_u32(n_blocks),
+            seg_offsets: device.pool_acquire_u32(n_segs),
+            counters: device.pool_acquire_u32(ctr::N),
+            edge_counters: device.pool_acquire_u64(ectr::N),
+            seg_len,
+            base: 1,
+        }
+    }
+
+    /// Return every buffer to the device pool so the next
+    /// [`BfsState::from_pool`] of the same shape reuses them. Buffers are
+    /// released in reverse acquisition order: the pool's free lists are
+    /// LIFO, so a rebuilt state pops each buffer back into the same role —
+    /// repeat engine constructions see an identical memory layout.
+    pub fn release_to_pool(self, device: &Device) {
+        device.pool_release_u64(self.edge_counters);
+        device.pool_release_u32(self.counters);
+        device.pool_release_u32(self.seg_offsets);
+        device.pool_release_u32(self.block_sums);
+        device.pool_release_u32(self.seg_counts);
+        device.pool_release_u32(self.bu_queue);
+        let [nq0, nq1, nq2] = self.next_queues;
+        let [q0, q1, q2] = self.queues;
+        device.pool_release_u32(nq2);
+        device.pool_release_u32(nq1);
+        device.pool_release_u32(nq0);
+        device.pool_release_u32(q2);
+        device.pool_release_u32(q1);
+        device.pool_release_u32(q0);
+        if let Some(p) = self.parents {
+            device.pool_release_u32(p);
+        }
+        device.pool_release_u32(self.status);
+    }
+
+    /// O(1) reset between runs: advance the epoch past every value the
+    /// previous run (of `prev_depth` levels) can have stored, instead of
+    /// re-filling O(|V|) arrays. Proactive bottom-up claims write up to
+    /// `base + L + 2` at level `L ≤ prev_depth`, so `prev_depth + 3` clears
+    /// them all. Falls back to one host-side zeroing long before the bias
+    /// could near `UNVISITED`.
+    pub fn reset_in_place(&mut self, prev_depth: u32) {
+        let advance = prev_depth.saturating_add(3);
+        match self.base.checked_add(advance) {
+            Some(b) if b < u32::MAX / 2 => self.base = b,
+            _ => {
+                self.status.host_fill(0);
+                self.base = 1;
+            }
         }
     }
 
@@ -202,5 +309,48 @@ mod tests {
         st.queues[0].store(0, 42);
         st.swap_queues();
         assert_eq!(st.next_queues[0].load(0), 42);
+    }
+
+    #[test]
+    fn epoch_predicates() {
+        assert!(is_unvisited(UNVISITED, 0));
+        assert!(!is_unvisited(0, 0)); // legacy semantics at base 0
+        assert!(is_unvisited(0, 1)); // stale zero under epoch 1
+        assert!(is_unvisited(9, 10));
+        assert!(!is_unvisited(10, 10));
+        assert_eq!(decode_level(12, 10), 2);
+        assert_eq!(decode_level(3, 10), UNVISITED);
+        assert_eq!(decode_level(UNVISITED, 10), UNVISITED);
+    }
+
+    #[test]
+    fn reset_in_place_advances_epoch_and_falls_back_safely() {
+        let dev = Device::mi250x();
+        let mut st = BfsState::from_pool(&dev, 8, false, 64);
+        assert_eq!(st.base, 1);
+        st.status.store(2, st.base + 4); // visited at level 4
+        st.reset_in_place(4);
+        assert_eq!(st.base, 8); // 1 + 4 + 3
+        assert!(is_unvisited(st.status.load(2), st.base));
+        // Near the bias ceiling the reset falls back to a real clear.
+        st.base = u32::MAX / 2 - 1;
+        st.reset_in_place(10);
+        assert_eq!(st.base, 1);
+        assert!(st.status.to_host().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn pooled_state_round_trips_with_stable_addresses() {
+        let dev = Device::mi250x();
+        let st = BfsState::from_pool(&dev, 100, true, 64);
+        let status_addr = st.status.addr(0);
+        let q1_addr = st.queues[1].addr(0);
+        st.release_to_pool(&dev);
+        let st2 = BfsState::from_pool(&dev, 100, true, 64);
+        assert_eq!(st2.status.addr(0), status_addr);
+        assert_eq!(st2.queues[1].addr(0), q1_addr);
+        let (hits, misses) = dev.pool_stats();
+        assert_eq!(hits, 14); // every buffer of the rebuild came from the pool
+        assert_eq!(misses, 14);
     }
 }

@@ -22,7 +22,7 @@
 //! `L+1` during this same pass claims itself at `L+2`.
 
 use crate::device_graph::DeviceGraph;
-use crate::state::{ctr, ectr, BfsState, UNVISITED};
+use crate::state::{ctr, ectr, is_unvisited, BfsState};
 use gcd_sim::WaveCtx;
 
 /// Kernel 1: per-segment unvisited counts. Launch with
@@ -57,7 +57,7 @@ pub fn bu_count(w: &mut WaveCtx, st: &BfsState, n: usize) {
         w.vload32(&st.status, &idxs, &mut sts);
         w.alu(1);
         for (&l, &s) in lane_of.iter().zip(&sts) {
-            if s == UNVISITED {
+            if is_unvisited(s, st.base) {
                 counts[l] += 1;
             }
         }
@@ -164,7 +164,7 @@ pub fn bu_place(w: &mut WaveCtx, st: &BfsState, n: usize) {
         w.alu(1);
         let mut writes = Vec::new();
         for ((&i, &l), &s) in idxs.iter().zip(&lane_of).zip(&sts) {
-            if s == UNVISITED {
+            if is_unvisited(s, st.base) {
                 writes.push((cursors[l], i as u32));
                 cursors[l] += 1;
             }
@@ -207,7 +207,7 @@ pub fn bu_expand_thread(
     let vs: Vec<u32> = vs
         .iter()
         .zip(&cur)
-        .filter(|&(_, &s)| s == UNVISITED)
+        .filter(|&(_, &s)| is_unvisited(s, st.base))
         .map(|(&v, _)| v)
         .collect();
     if vs.is_empty() {
@@ -288,10 +288,7 @@ pub fn bu_expand_thread(
         return;
     }
     if let Some(parents) = &st.parents {
-        let writes: Vec<(usize, u32)> = claimed
-            .iter()
-            .map(|&(v, p, _)| (v as usize, p))
-            .collect();
+        let writes: Vec<(usize, u32)> = claimed.iter().map(|&(v, p, _)| (v as usize, p)).collect();
         w.vstore32(parents, &writes);
     }
     let didx: Vec<usize> = claimed.iter().map(|&(v, _, _)| v as usize).collect();
@@ -335,7 +332,7 @@ pub fn bu_expand_wave(
         return;
     }
     let v = w.sload32(&st.bu_queue, vid);
-    if w.sload32(&st.status, v as usize) != UNVISITED {
+    if !is_unvisited(w.sload32(&st.status, v as usize), st.base) {
         return;
     }
     let off = w.sload64(&g.offsets, v as usize);
@@ -353,9 +350,7 @@ pub fn bu_expand_wave(
         let nsidx: Vec<usize> = nbrs.iter().map(|&v| v as usize).collect();
         let mut nsts = Vec::with_capacity(count);
         w.vload32(&st.status, &nsidx, &mut nsts);
-        let found = w.ballot(
-            &nsts.iter().map(|&s| s == opts.level).collect::<Vec<_>>(),
-        );
+        let found = w.ballot(&nsts.iter().map(|&s| s == opts.level).collect::<Vec<_>>());
         if found != 0 {
             let lane = found.trailing_zeros() as usize;
             claim = Some((next, nbrs[lane]));
@@ -391,6 +386,7 @@ pub fn bu_expand_wave(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::UNVISITED;
     use gcd_sim::{Device, LaunchCfg};
     use xbfs_graph::generators::erdos_renyi;
     use xbfs_graph::Csr;
@@ -494,11 +490,7 @@ mod tests {
         // its second probe (k = 1); lane(0) probes 1, 2, then reads 4 at
         // k = 2 — after 4's claim landed — and proactively claims level 2.
         // Vertices 1, 2 stay unvisited this pass (true level 3).
-        let g = Csr::from_parts(
-            vec![0, 3, 4, 5, 6, 8],
-            vec![1, 2, 4, 0, 0, 4, 0, 3],
-        )
-        .unwrap();
+        let g = Csr::from_parts(vec![0, 3, 4, 5, 6, 8], vec![1, 2, 4, 0, 0, 4, 0, 3]).unwrap();
         let dev = Device::mi250x();
         let dg = DeviceGraph::upload(&dev, &g);
         let st = BfsState::new(&dev, 5, true, 64);
@@ -553,9 +545,6 @@ mod tests {
         assert_eq!(s_thread, s_wave);
         // The wave-per-vertex variant wastes lanes: far more instructions
         // for identical output (the §IV-A degradation).
-        assert!(
-            i_wave > 3 * i_thread,
-            "wave {i_wave} vs thread {i_thread}"
-        );
+        assert!(i_wave > 3 * i_thread, "wave {i_wave} vs thread {i_thread}");
     }
 }

@@ -161,8 +161,7 @@ pub fn launch_top_down_expand(
             let q = &st.bu_queue;
             dev.launch(
                 0,
-                LaunchCfg::new("fq_expand_filtered", len)
-                    .with_registers(regs::TOP_DOWN_EXPAND),
+                LaunchCfg::new("fq_expand_filtered", len).with_registers(regs::TOP_DOWN_EXPAND),
                 move |w| topdown::expand_thread(w, g, st, q, &opts),
             );
         }
@@ -218,8 +217,7 @@ pub fn launch_bottom_up_level(
     if cfg.balancing_bottom_up {
         dev.launch(
             0,
-            LaunchCfg::new("bu_expand_wave", bu_len * width)
-                .with_registers(regs::BOTTOM_UP_EXPAND),
+            LaunchCfg::new("bu_expand_wave", bu_len * width).with_registers(regs::BOTTOM_UP_EXPAND),
             move |w| bottom_up::bu_expand_wave(w, g, st, bu_len, &opts),
         );
     } else {

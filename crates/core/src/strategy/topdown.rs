@@ -11,7 +11,7 @@
 //! for the large bin.
 
 use crate::device_graph::DeviceGraph;
-use crate::state::{ctr, ectr, BfsState, BinThresholds, UNVISITED};
+use crate::state::{ctr, ectr, is_unvisited, BfsState, BinThresholds};
 use gcd_sim::{BufU32, WaveCtx};
 
 /// Waves cooperating on one large-bin vertex.
@@ -37,8 +37,11 @@ pub struct TopDownOpts {
     pub thresholds: BinThresholds,
 }
 
-/// A vertex claimed during expansion: `(vertex, parent)`.
-type Claim = (u32, u32);
+/// A vertex claimed during expansion: `(vertex, parent, observed_status)`.
+/// The observed (stale-epoch or `UNVISITED`) status is what a CAS claim
+/// must compare against: `next = base + level + 1` can never collide with a
+/// pre-epoch value, so CAS-from-observed keeps exactly-once claiming.
+type Claim = (u32, u32, u32);
 
 /// Claim the unvisited members of `cands` and append winners to `claimed`.
 fn claim_candidates(
@@ -55,7 +58,7 @@ fn claim_candidates(
     if opts.atomic_claim {
         let ops: Vec<(usize, u32, u32)> = cands
             .iter()
-            .map(|&(v, _)| (v as usize, UNVISITED, next))
+            .map(|&(v, _, observed)| (v as usize, observed, next))
             .collect();
         let mut results = Vec::with_capacity(ops.len());
         w.vcas32(&st.status, &ops, &mut results);
@@ -66,8 +69,7 @@ fn claim_candidates(
         }
     } else {
         // Plain stores: benign same-value races (single-scan, §III-B).
-        let writes: Vec<(usize, u32)> =
-            cands.iter().map(|&(v, _)| (v as usize, next)).collect();
+        let writes: Vec<(usize, u32)> = cands.iter().map(|&(v, _, _)| (v as usize, next)).collect();
         w.vstore32(&st.status, &writes);
         claimed.extend_from_slice(cands);
     }
@@ -86,13 +88,12 @@ fn commit_claims(
         return;
     }
     if let Some(parents) = &st.parents {
-        let writes: Vec<(usize, u32)> =
-            claimed.iter().map(|&(v, p)| (v as usize, p)).collect();
+        let writes: Vec<(usize, u32)> = claimed.iter().map(|&(v, p, _)| (v as usize, p)).collect();
         w.vstore32(parents, &writes);
     }
     // Degrees of claimed vertices: needed for the edge-ratio counter and,
     // when balancing, for bin selection.
-    let didx: Vec<usize> = claimed.iter().map(|&(v, _)| v as usize).collect();
+    let didx: Vec<usize> = claimed.iter().map(|&(v, _, _)| v as usize).collect();
     let mut cdegs = Vec::with_capacity(didx.len());
     w.vload32(&g.degrees, &didx, &mut cdegs);
     let deg_sum = w.wave_reduce_add(&cdegs);
@@ -113,7 +114,7 @@ fn enqueue_binned(
     degs: &[u32],
 ) {
     let mut bins: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for (&(v, _), &d) in claimed.iter().zip(degs) {
+    for (&(v, _, _), &d) in claimed.iter().zip(degs) {
         let b = if opts.balancing {
             opts.thresholds.bin(d)
         } else {
@@ -197,7 +198,10 @@ pub fn expand_thread(
         if active.is_empty() {
             break;
         }
-        let aidx: Vec<usize> = active.iter().map(|&&(_, o, _)| (o + u64::from(k)) as usize).collect();
+        let aidx: Vec<usize> = active
+            .iter()
+            .map(|&&(_, o, _)| (o + u64::from(k)) as usize)
+            .collect();
         let parents: Vec<u32> = active.iter().map(|&&(u, _, _)| u).collect();
         let mut vs = Vec::with_capacity(aidx.len());
         w.vload32(&g.adjacency, &aidx, &mut vs);
@@ -209,8 +213,8 @@ pub fn expand_thread(
             .iter()
             .zip(&parents)
             .zip(&svs)
-            .filter(|&(_, &s)| s == UNVISITED)
-            .map(|((&v, &p), _)| (v, p))
+            .filter(|&(_, &s)| is_unvisited(s, st.base))
+            .map(|((&v, &p), &s)| (v, p, s))
             .collect();
         claim_candidates(w, st, opts, &cands, &mut claimed);
         k += 1;
@@ -287,8 +291,8 @@ fn expand_cooperative(
         let cands: Vec<Claim> = vs
             .iter()
             .zip(&svs)
-            .filter(|&(_, &s)| s == UNVISITED)
-            .map(|(&v, _)| (v, u))
+            .filter(|&(_, &s)| is_unvisited(s, st.base))
+            .map(|(&v, &s)| (v, u, s))
             .collect();
         claim_candidates(w, st, opts, &cands, &mut claimed);
         base += stride;
@@ -354,8 +358,8 @@ pub fn expand_block(
                 let cands: Vec<Claim> = vs
                     .iter()
                     .zip(&svs)
-                    .filter(|&(_, &s)| s == UNVISITED)
-                    .map(|(&v, _)| (v, u))
+                    .filter(|&(_, &s)| is_unvisited(s, st.base))
+                    .map(|(&v, &s)| (v, u, s))
                     .collect();
                 claim_candidates(w, st, opts, &cands, &mut claimed);
                 base += stride;
@@ -373,13 +377,13 @@ pub fn expand_block(
         let mut cursor = head[0] as usize;
         let mut writes: Vec<(usize, u32)> = Vec::new();
         let mut overflow: Vec<Claim> = Vec::new();
-        for &(v, p) in &claimed {
+        for &(v, p, s) in &claimed {
             if cursor < stage_cap {
                 writes.push((1 + 2 * cursor, v));
                 writes.push((2 + 2 * cursor, p));
                 cursor += 1;
             } else {
-                overflow.push((v, p));
+                overflow.push((v, p, s));
             }
         }
         writes.push((0, cursor as u32));
@@ -400,7 +404,8 @@ pub fn expand_block(
     let idxs: Vec<usize> = (0..2 * n_staged).map(|i| 1 + i).collect();
     let mut flat = Vec::with_capacity(idxs.len());
     g.lds_gather(&idxs, &mut flat);
-    let staged: Vec<Claim> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    // Observed statuses aren't staged: the block commit never re-claims.
+    let staged: Vec<Claim> = flat.chunks_exact(2).map(|c| (c[0], c[1], 0)).collect();
     g.wave(0, |w| commit_claims(w, dg, st, opts, &staged));
 }
 
@@ -439,7 +444,7 @@ pub fn generation_scan(
         balancing,
         thresholds,
     };
-    let claims: Vec<Claim> = members.iter().map(|&v| (v, 0)).collect();
+    let claims: Vec<Claim> = members.iter().map(|&v| (v, 0, 0)).collect();
     let didx: Vec<usize> = members.iter().map(|&v| v as usize).collect();
     let mut degs = Vec::with_capacity(didx.len());
     w.vload32(&g.degrees, &didx, &mut degs);
@@ -449,6 +454,7 @@ pub fn generation_scan(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::UNVISITED;
     use gcd_sim::{Device, LaunchCfg};
     use xbfs_graph::generators::erdos_renyi;
     use xbfs_graph::Csr;
@@ -545,11 +551,9 @@ mod tests {
             let (dev, dg, st) = setup(&g, 5);
             let mut o = opts(true);
             o.filter = filter;
-            dev.launch_groups(
-                0,
-                GroupCfg::new("b", 1).with_waves(GROUP_WAVES),
-                |grp| expand_block(grp, &dg, &st, &st.queues[0], 1, &o),
-            );
+            dev.launch_groups(0, GroupCfg::new("b", 1).with_waves(GROUP_WAVES), |grp| {
+                expand_block(grp, &dg, &st, &st.queues[0], 1, &o)
+            });
             (st.status.to_host(), st.counters.load(ctr::CLAIMED))
         };
         let run_thread = || {
@@ -588,7 +592,9 @@ mod tests {
         let status = st.status.to_host();
         assert!(status[1..].iter().all(|&s| s == 1));
         // All claimed vertices must be enqueued exactly once.
-        let lens: usize = (0..3).map(|b| st.counters.load(ctr::QUEUE_LEN[b]) as usize).sum();
+        let lens: usize = (0..3)
+            .map(|b| st.counters.load(ctr::QUEUE_LEN[b]) as usize)
+            .sum();
         assert_eq!(lens, n - 1);
     }
 

@@ -48,7 +48,11 @@ pub fn tune_alpha(
         let xbfs = Xbfs::new(device, graph, cfg).expect("tuner inputs validated by caller");
         let total_ms: f64 = sources
             .iter()
-            .map(|&s| xbfs.run(s).expect("tuner sources validated by caller").total_ms)
+            .map(|&s| {
+                xbfs.run(s)
+                    .expect("tuner sources validated by caller")
+                    .total_ms
+            })
             .sum();
         sweep.push((alpha, total_ms));
     }
@@ -76,8 +80,7 @@ mod tests {
         let g = rmat_graph(RmatParams::graph500(12), 3);
         let dev = Device::mi250x();
         let sources = pick_sources(&g, 3, 1);
-        let (cfg, result) =
-            tune_alpha(&dev, &g, &sources, XbfsConfig::default(), None);
+        let (cfg, result) = tune_alpha(&dev, &g, &sources, XbfsConfig::default(), None);
         assert!(DEFAULT_CANDIDATES.contains(&result.best_alpha));
         assert_eq!(cfg.alpha, result.best_alpha);
         assert!(cfg.scan_free_max_ratio <= cfg.alpha);
@@ -100,9 +103,7 @@ mod tests {
         let sources = pick_sources(&g, 2, 2);
         let (cfg, _) = tune_alpha(&dev, &g, &sources, XbfsConfig::default(), None);
         let run = Xbfs::new(&dev, &g, cfg).unwrap().run(sources[0]).unwrap();
-        assert!(run
-            .strategy_trace()
-            .contains(&crate::Strategy::BottomUp));
+        assert!(run.strategy_trace().contains(&crate::Strategy::BottomUp));
     }
 
     #[test]
@@ -110,13 +111,7 @@ mod tests {
         let g = rmat_graph(RmatParams::graph500(9), 1);
         let dev = Device::mi250x();
         let sources = pick_sources(&g, 1, 1);
-        let (_, result) = tune_alpha(
-            &dev,
-            &g,
-            &sources,
-            XbfsConfig::default(),
-            Some(&[0.3, 0.6]),
-        );
+        let (_, result) = tune_alpha(&dev, &g, &sources, XbfsConfig::default(), Some(&[0.3, 0.6]));
         assert!(result.best_alpha == 0.3 || result.best_alpha == 0.6);
         assert_eq!(result.sweep.len(), 2);
     }

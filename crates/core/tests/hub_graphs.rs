@@ -64,7 +64,10 @@ fn mega_hub_routes_through_the_block_kernel() {
 fn mega_hub_exact_in_timing_mode() {
     let g = three_bin_graph(5000);
     let dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Timing, 1);
-    let run = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(5000).unwrap();
+    let run = Xbfs::new(&dev, &g, XbfsConfig::default())
+        .unwrap()
+        .run(5000)
+        .unwrap();
     assert_eq!(run.levels, bfs_levels_serial(&g, 5000));
 }
 
@@ -75,7 +78,11 @@ fn mega_hub_exact_on_warp32_and_with_parents() {
         record_parents: true,
         ..XbfsConfig::cuda_original()
     };
-    let dev = Device::new(ArchProfile::p6000(), ExecMode::Functional, cfg.required_streams());
+    let dev = Device::new(
+        ArchProfile::p6000(),
+        ExecMode::Functional,
+        cfg.required_streams(),
+    );
     let run = Xbfs::new(&dev, &g, cfg).unwrap().run(17).unwrap();
     assert_eq!(run.levels, bfs_levels_serial(&g, 17));
     let parents = run.parents.unwrap();
@@ -89,6 +96,9 @@ fn source_in_the_large_bin() {
     // binning the source.
     let g = three_bin_graph(6000);
     let dev = Device::mi250x();
-    let run = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(0).unwrap();
+    let run = Xbfs::new(&dev, &g, XbfsConfig::default())
+        .unwrap()
+        .run(0)
+        .unwrap();
     assert_eq!(run.levels, bfs_levels_serial(&g, 0));
 }

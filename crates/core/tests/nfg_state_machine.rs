@@ -14,12 +14,7 @@ fn rmat() -> xbfs_graph::Csr {
 fn kernel_names(run: &xbfs_core::BfsRun) -> Vec<(u32, Vec<String>)> {
     run.level_stats
         .iter()
-        .map(|l| {
-            (
-                l.level,
-                l.kernels.iter().map(|k| k.name.clone()).collect(),
-            )
-        })
+        .map(|l| (l.level, l.kernels.iter().map(|k| k.name.clone()).collect()))
         .collect()
 }
 
@@ -28,7 +23,10 @@ fn scan_free_levels_chain_without_generation_scans() {
     let g = rmat();
     let src = pick_sources(&g, 1, 1)[0];
     let dev = Device::mi250x();
-    let run = Xbfs::new(&dev, &g, XbfsConfig::forced(Strategy::ScanFree)).unwrap().run(src).unwrap();
+    let run = Xbfs::new(&dev, &g, XbfsConfig::forced(Strategy::ScanFree))
+        .unwrap()
+        .run(src)
+        .unwrap();
     // Level 0 starts from the seeded source queue; every level chains the
     // atomically-built next queue, so `fq_generate` never appears.
     for (level, names) in kernel_names(&run) {
@@ -45,7 +43,10 @@ fn forced_single_scan_pays_one_generation_scan_per_level_after_the_first() {
     let g = rmat();
     let src = pick_sources(&g, 1, 1)[0];
     let dev = Device::mi250x();
-    let run = Xbfs::new(&dev, &g, XbfsConfig::forced(Strategy::SingleScan)).unwrap().run(src).unwrap();
+    let run = Xbfs::new(&dev, &g, XbfsConfig::forced(Strategy::SingleScan))
+        .unwrap()
+        .run(src)
+        .unwrap();
     for (level, names) in kernel_names(&run) {
         let scans = names.iter().filter(|n| n.as_str() == "fq_generate").count();
         if level == 0 {
@@ -62,7 +63,10 @@ fn adaptive_run_uses_filtered_expansion_after_bottom_up() {
     let g = rmat();
     let src = pick_sources(&g, 1, 1)[0];
     let dev = Device::mi250x();
-    let run = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(src).unwrap();
+    let run = Xbfs::new(&dev, &g, XbfsConfig::default())
+        .unwrap()
+        .run(src)
+        .unwrap();
     let trace = run.strategy_trace();
     let Some(last_bu) = trace.iter().rposition(|&s| s == Strategy::BottomUp) else {
         panic!("R-MAT adaptive run should include bottom-up: {trace:?}");

@@ -34,6 +34,13 @@ macro_rules! impl_buf {
                 Self { base, data }
             }
 
+            /// Zero-length placeholder at address 0 — for moving a real
+            /// buffer out of a struct field (e.g. into the device pool)
+            /// without leaving the field uninhabited.
+            pub fn placeholder() -> Self {
+                Self::new(0, 0)
+            }
+
             /// Number of elements.
             #[inline]
             pub fn len(&self) -> usize {
@@ -49,7 +56,11 @@ macro_rules! impl_buf {
             /// Device byte address of element `idx`.
             #[inline]
             pub fn addr(&self, idx: usize) -> u64 {
-                debug_assert!(idx < self.data.len(), "device OOB: {idx} >= {}", self.data.len());
+                debug_assert!(
+                    idx < self.data.len(),
+                    "device OOB: {idx} >= {}",
+                    self.data.len()
+                );
                 self.base + ($width as u64) * idx as u64
             }
 
@@ -76,12 +87,7 @@ macro_rules! impl_buf {
             /// Raw compare-exchange; returns the previous value on success.
             #[inline]
             pub fn cas(&self, idx: usize, current: $prim, new: $prim) -> Result<$prim, $prim> {
-                self.data[idx].compare_exchange(
-                    current,
-                    new,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                )
+                self.data[idx].compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
             }
 
             /// Raw fetch-add.
@@ -104,7 +110,10 @@ macro_rules! impl_buf {
 
             /// Copy device contents back to a host vector (untraced).
             pub fn to_host(&self) -> Vec<$prim> {
-                self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+                self.data
+                    .iter()
+                    .map(|a| a.load(Ordering::Relaxed))
+                    .collect()
             }
 
             /// Fill with a value from the host (untraced; use the device

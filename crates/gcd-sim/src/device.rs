@@ -8,9 +8,10 @@ use crate::coalescer::Coalescer;
 use crate::group::{GroupCfg, GroupCtx};
 use crate::kernel::{KernelReport, LaunchCfg, WaveStats};
 use crate::l2::L2Model;
-use crate::wave::WaveCtx;
+use crate::wave::{MemSink, WaveCtx};
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Execution fidelity.
@@ -20,9 +21,23 @@ pub enum ExecMode {
     /// approximated by the per-wave coalescer only (no shared L2 model).
     /// Fast — used for end-to-end GTEPS experiments.
     Functional,
-    /// Wavefronts replay sequentially through a shared L2 model, producing
-    /// exact rocprofiler-style counters. Slow — used for Tables I, III–VI.
+    /// Wavefronts replay through a shared L2 model, producing exact
+    /// rocprofiler-style counters. Slow — used for Tables I, III–VI. See
+    /// [`TimingReplay`] for how the replay is scheduled.
     Timing,
+}
+
+/// How timing-mode launches drive the shared L2 model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingReplay {
+    /// One wave at a time through the L2 — the original reference path.
+    Sequential,
+    /// Two-phase: waves execute through `into_par_iter`, capturing their
+    /// coalescer misses in order; the captured lines are then replayed
+    /// through the L2 in wave order. Bit-identical to [`Self::Sequential`]
+    /// (DESIGN.md §8) while keeping every dispatch parallel-shaped.
+    #[default]
+    Parallel,
 }
 
 /// Per-wave coalescer capacity in lines (≈ the 16 KiB L0/L1 vector cache of
@@ -42,6 +57,7 @@ const LDS_PER_CU: usize = 64 << 10;
 pub struct Device {
     arch: ArchProfile,
     mode: ExecMode,
+    replay: TimingReplay,
     compiler: Compiler,
     l2: Mutex<L2Model>,
     next_addr: AtomicU64,
@@ -52,6 +68,13 @@ pub struct Device {
     reports: Mutex<Vec<KernelReport>>,
     phase: Mutex<String>,
     profiling: bool,
+    /// Free lists of released buffers, keyed by exact element count.
+    /// Pool-acquired buffers keep their previous contents *and address*, so
+    /// repeat runs see an identical memory layout.
+    pool_u32: Mutex<HashMap<usize, Vec<BufU32>>>,
+    pool_u64: Mutex<HashMap<usize, Vec<BufU64>>>,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
 }
 
 impl Device {
@@ -62,6 +85,7 @@ impl Device {
         Self {
             arch,
             mode,
+            replay: TimingReplay::default(),
             compiler: Compiler::ClangO3,
             l2: Mutex::new(l2),
             next_addr: AtomicU64::new(0),
@@ -70,6 +94,10 @@ impl Device {
             reports: Mutex::new(Vec::new()),
             phase: Mutex::new(String::new()),
             profiling: true,
+            pool_u32: Mutex::new(HashMap::new()),
+            pool_u64: Mutex::new(HashMap::new()),
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
         }
     }
 
@@ -86,6 +114,17 @@ impl Device {
     /// The execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// Select how timing-mode launches replay through the L2 (the default,
+    /// [`TimingReplay::Parallel`], is bit-identical to the sequential path).
+    pub fn set_timing_replay(&mut self, replay: TimingReplay) {
+        self.replay = replay;
+    }
+
+    /// Current timing-replay schedule.
+    pub fn timing_replay(&self) -> TimingReplay {
+        self.replay
     }
 
     /// Select the compiler model (paper §IV-A).
@@ -140,6 +179,52 @@ impl Device {
     /// Upload a host slice of `u64` (untimed).
     pub fn upload_u64(&self, src: &[u64]) -> BufU64 {
         BufU64::from_slice(self.bump(8 * src.len().max(1) as u64), src)
+    }
+
+    // ---- buffer pool ----
+    //
+    // Back-to-back BFS runs reuse identical buffer shapes; the pool turns
+    // per-run O(|V|) allocation into a free-list pop. Released buffers keep
+    // their contents — consumers either rewrite them fully or version their
+    // entries by epoch (see `BfsState::reset_in_place` in xbfs-core).
+
+    /// Acquire a `u32` buffer of exactly `len` elements: reuse a released
+    /// one if available, else allocate fresh (zeroed).
+    pub fn pool_acquire_u32(&self, len: usize) -> BufU32 {
+        if let Some(buf) = self.pool_u32.lock().get_mut(&len).and_then(Vec::pop) {
+            self.pool_hits.fetch_add(1, Ordering::Relaxed);
+            return buf;
+        }
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+        self.alloc_u32(len)
+    }
+
+    /// Acquire a `u64` buffer of exactly `len` elements from the pool.
+    pub fn pool_acquire_u64(&self, len: usize) -> BufU64 {
+        if let Some(buf) = self.pool_u64.lock().get_mut(&len).and_then(Vec::pop) {
+            self.pool_hits.fetch_add(1, Ordering::Relaxed);
+            return buf;
+        }
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+        self.alloc_u64(len)
+    }
+
+    /// Return a `u32` buffer to the free pool (contents retained).
+    pub fn pool_release_u32(&self, buf: BufU32) {
+        self.pool_u32.lock().entry(buf.len()).or_default().push(buf);
+    }
+
+    /// Return a `u64` buffer to the free pool (contents retained).
+    pub fn pool_release_u64(&self, buf: BufU64) {
+        self.pool_u64.lock().entry(buf.len()).or_default().push(buf);
+    }
+
+    /// `(hits, misses)` of pool acquisitions since device creation.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (
+            self.pool_hits.load(Ordering::Relaxed),
+            self.pool_misses.load(Ordering::Relaxed),
+        )
     }
 
     // ---- timeline ----
@@ -217,13 +302,13 @@ impl Device {
     {
         let width = self.arch.wavefront_size;
         let n_waves = cfg.items.div_ceil(width);
-        let stats = match self.mode {
-            ExecMode::Functional => (0..n_waves)
+        let stats = match (self.mode, self.replay) {
+            (ExecMode::Functional, _) => (0..n_waves)
                 .into_par_iter()
                 .map_init(
                     || Coalescer::new(COALESCER_LINES, self.arch.line_bytes),
                     |co, w| {
-                        let mut ctx = WaveCtx::new(w, width, cfg.items, co, None);
+                        let mut ctx = WaveCtx::new(w, width, cfg.items, co, MemSink::Functional);
                         body(&mut ctx);
                         ctx.stats
                     },
@@ -232,13 +317,39 @@ impl Device {
                     a.merge(&b);
                     a
                 }),
-            ExecMode::Timing => {
+            (ExecMode::Timing, TimingReplay::Parallel) => {
+                // Phase A: waves run in parallel, each against its own cold
+                // coalescer, capturing L2-bound lines in execution order.
+                let captured: Vec<(WaveStats, Vec<(u64, bool)>)> = (0..n_waves)
+                    .into_par_iter()
+                    .map_init(
+                        || Coalescer::new(COALESCER_LINES, self.arch.line_bytes),
+                        |co, w| {
+                            let mut misses = Vec::new();
+                            let mut ctx = WaveCtx::new(
+                                w,
+                                width,
+                                cfg.items,
+                                co,
+                                MemSink::Capture(&mut misses),
+                            );
+                            body(&mut ctx);
+                            let stats = ctx.stats;
+                            (stats, misses)
+                        },
+                    )
+                    .collect();
+                // Phase B: classify the capture through the shared L2 in
+                // wave order — bit-identical to the sequential schedule.
+                self.classify_captured(captured)
+            }
+            (ExecMode::Timing, TimingReplay::Sequential) => {
                 let mut l2 = self.l2.lock();
                 l2.reset_counters();
                 let mut co = Coalescer::new(COALESCER_LINES, self.arch.line_bytes);
                 let mut total = WaveStats::default();
                 for w in 0..n_waves {
-                    let mut ctx = WaveCtx::new(w, width, cfg.items, &mut co, Some(&mut l2));
+                    let mut ctx = WaveCtx::new(w, width, cfg.items, &mut co, MemSink::L2(&mut l2));
                     body(&mut ctx);
                     total.merge(&ctx.stats);
                 }
@@ -264,8 +375,8 @@ impl Device {
         F: Fn(&mut GroupCtx) + Sync,
     {
         let width = self.arch.wavefront_size;
-        let stats = match self.mode {
-            ExecMode::Functional => (0..cfg.groups)
+        let stats = match (self.mode, self.replay) {
+            (ExecMode::Functional, _) => (0..cfg.groups)
                 .into_par_iter()
                 .map(|gid| {
                     let mut ctx = GroupCtx::new(
@@ -274,7 +385,7 @@ impl Device {
                         width,
                         self.arch.line_bytes,
                         COALESCER_LINES,
-                        None,
+                        MemSink::Functional,
                     );
                     body(&mut ctx);
                     ctx.stats
@@ -283,7 +394,30 @@ impl Device {
                     a.merge(&b);
                     a
                 }),
-            ExecMode::Timing => {
+            (ExecMode::Timing, TimingReplay::Parallel) => {
+                // Same two-phase schedule as `launch`, one capture per
+                // group (a group's waves already execute in a fixed order).
+                let captured: Vec<(WaveStats, Vec<(u64, bool)>)> = (0..cfg.groups)
+                    .into_par_iter()
+                    .map(|gid| {
+                        let mut misses = Vec::new();
+                        let mut ctx = GroupCtx::new(
+                            gid,
+                            cfg,
+                            width,
+                            self.arch.line_bytes,
+                            COALESCER_LINES,
+                            MemSink::Capture(&mut misses),
+                        );
+                        body(&mut ctx);
+                        let stats = ctx.stats;
+                        drop(ctx);
+                        (stats, misses)
+                    })
+                    .collect();
+                self.classify_captured(captured)
+            }
+            (ExecMode::Timing, TimingReplay::Sequential) => {
                 let mut l2 = self.l2.lock();
                 l2.reset_counters();
                 let mut total = WaveStats::default();
@@ -294,7 +428,7 @@ impl Device {
                         width,
                         self.arch.line_bytes,
                         COALESCER_LINES,
-                        Some(&mut l2),
+                        MemSink::L2(&mut l2),
                     );
                     body(&mut ctx);
                     total.merge(&ctx.stats);
@@ -314,6 +448,40 @@ impl Device {
             self.reports.lock().push(report.clone());
         }
         report
+    }
+
+    /// Phase B of the parallel timing replay: push every captured line
+    /// through the shared L2 in wave/group order, settle each unit's
+    /// deferred `l2_hits`/`hbm_lines`, and merge the totals.
+    ///
+    /// Determinism: the flattened line sequence is exactly what the
+    /// sequential schedule would have issued (capture preserves intra-wave
+    /// order, waves are concatenated in index order), and
+    /// [`L2Model::replay`] is bit-identical to per-line `access_line` calls.
+    /// All other `WaveStats` fields are plain sums, so the merged report
+    /// cannot depend on the Phase-A execution schedule.
+    fn classify_captured(&self, captured: Vec<(WaveStats, Vec<(u64, bool)>)>) -> WaveStats {
+        let mut l2 = self.l2.lock();
+        l2.reset_counters();
+        let flat: Vec<u64> = captured
+            .iter()
+            .flat_map(|(_, misses)| misses.iter().map(|&(line, _)| line))
+            .collect();
+        let hit = l2.replay(&flat);
+        let mut total = WaveStats::default();
+        let mut i = 0;
+        for (mut stats, misses) in captured {
+            for &(_, is_read) in &misses {
+                if hit[i] {
+                    stats.l2_hits += 1;
+                } else if is_read {
+                    stats.hbm_lines += 1;
+                }
+                i += 1;
+            }
+            total.merge(&stats);
+        }
+        total
     }
 
     /// Convert raw counters into a rocprof-style report. `lds` carries
@@ -482,8 +650,16 @@ mod tests {
             let mut out = Vec::new();
             w.vload32(&buf, &idxs, &mut out);
         });
-        assert!(r1.l2_hit_pct < 5.0, "cold pass should miss: {}", r1.l2_hit_pct);
-        assert!(r2.l2_hit_pct > 90.0, "warm pass should hit: {}", r2.l2_hit_pct);
+        assert!(
+            r1.l2_hit_pct < 5.0,
+            "cold pass should miss: {}",
+            r1.l2_hit_pct
+        );
+        assert!(
+            r2.l2_hit_pct > 90.0,
+            "warm pass should hit: {}",
+            r2.l2_hit_pct
+        );
         assert!(r1.fetch_kb > 10.0 * r2.fetch_kb.max(0.001));
     }
 
@@ -549,16 +725,24 @@ mod tests {
     fn register_pressure_lowers_occupancy() {
         let dev = Device::mi250x();
         let buf = dev.alloc_u32(1 << 14);
-        let light = dev.launch(0, LaunchCfg::new("light", 1 << 14).with_registers(16), |w| {
-            let idxs: Vec<usize> = w.lanes().collect();
-            let mut out = Vec::new();
-            w.vload32(&buf, &idxs, &mut out);
-        });
-        let heavy = dev.launch(0, LaunchCfg::new("heavy", 1 << 14).with_registers(128), |w| {
-            let idxs: Vec<usize> = w.lanes().collect();
-            let mut out = Vec::new();
-            w.vload32(&buf, &idxs, &mut out);
-        });
+        let light = dev.launch(
+            0,
+            LaunchCfg::new("light", 1 << 14).with_registers(16),
+            |w| {
+                let idxs: Vec<usize> = w.lanes().collect();
+                let mut out = Vec::new();
+                w.vload32(&buf, &idxs, &mut out);
+            },
+        );
+        let heavy = dev.launch(
+            0,
+            LaunchCfg::new("heavy", 1 << 14).with_registers(128),
+            |w| {
+                let idxs: Vec<usize> = w.lanes().collect();
+                let mut out = Vec::new();
+                w.vload32(&buf, &idxs, &mut out);
+            },
+        );
         assert!(heavy.occupancy < light.occupancy);
     }
 
@@ -568,5 +752,83 @@ mod tests {
         let r = dev.launch(0, LaunchCfg::new("empty", 0), |_w| {});
         assert!((r.runtime_ms - dev.arch().launch_us / 1000.0).abs() < 1e-9);
         assert_eq!(r.stats.instructions, 0);
+    }
+
+    /// The default parallel timing replay must be bit-identical to the
+    /// sequential reference schedule: same counters, same modeled times,
+    /// same L2 residency carried into the next kernel.
+    #[test]
+    fn parallel_timing_replay_is_bit_identical_to_sequential() {
+        let run = |replay: TimingReplay| {
+            let mut dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Timing, 1);
+            dev.set_timing_replay(replay);
+            let buf = dev.alloc_u32(1 << 16);
+            let aux = dev.alloc_u32(1 << 10);
+            // Kernel 1: strided gather (cold L2) + atomics.
+            dev.launch(0, LaunchCfg::new("gather", 1 << 14), |w| {
+                let idxs: Vec<usize> = w.lanes().map(|g| (g * 7) % (1 << 16)).collect();
+                let mut out = Vec::new();
+                w.vload32(&buf, &idxs, &mut out);
+                w.wave_add32(&aux, 0, 1);
+            });
+            // Kernel 2: re-reads a subset — L2 residency from kernel 1
+            // must carry over identically.
+            dev.launch(0, LaunchCfg::new("rescan", 1 << 13), |w| {
+                let idxs: Vec<usize> = w.lanes().map(|g| g * 2).collect();
+                let mut out = Vec::new();
+                w.vload32(&buf, &idxs, &mut out);
+            });
+            // Kernel 3: a workgroup launch with LDS staging.
+            dev.launch_groups(0, GroupCfg::new("grouped", 64), |g| {
+                for wv in 0..g.waves_per_group() {
+                    g.wave(wv, |w| {
+                        let idxs: Vec<usize> = w.lanes().map(|i| i % (1 << 16)).collect();
+                        let mut out = Vec::new();
+                        w.vload32(&buf, &idxs, &mut out);
+                    });
+                }
+                g.barrier();
+            });
+            (dev.take_reports(), dev.elapsed_us())
+        };
+        let (seq_reports, seq_us) = run(TimingReplay::Sequential);
+        let (par_reports, par_us) = run(TimingReplay::Parallel);
+        assert_eq!(seq_reports.len(), par_reports.len());
+        for (s, p) in seq_reports.iter().zip(&par_reports) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.stats, p.stats, "kernel {} counters diverged", s.name);
+            assert_eq!(
+                s.runtime_ms.to_bits(),
+                p.runtime_ms.to_bits(),
+                "kernel {} modeled time diverged",
+                s.name
+            );
+            assert_eq!(s.l2_hit_pct.to_bits(), p.l2_hit_pct.to_bits());
+            assert_eq!(s.fetch_kb.to_bits(), p.fetch_kb.to_bits());
+        }
+        assert_eq!(seq_us.to_bits(), par_us.to_bits());
+    }
+
+    #[test]
+    fn pool_reuses_buffers_with_identical_addresses() {
+        let dev = Device::mi250x();
+        let a = dev.pool_acquire_u32(1024);
+        let addr = a.addr(0);
+        a.host_fill(42);
+        dev.pool_release_u32(a);
+        // Same length: the released buffer (contents and address intact)
+        // comes back.
+        let b = dev.pool_acquire_u32(1024);
+        assert_eq!(b.addr(0), addr);
+        assert!(b.to_host().iter().all(|&v| v == 42), "contents retained");
+        // Different length: fresh allocation.
+        let c = dev.pool_acquire_u32(512);
+        assert_ne!(c.addr(0), addr);
+        assert_eq!(dev.pool_stats(), (1, 2));
+        let w = dev.pool_acquire_u64(16);
+        dev.pool_release_u64(w);
+        let w2 = dev.pool_acquire_u64(16);
+        assert_eq!(dev.pool_stats(), (2, 3));
+        drop((b, c, w2));
     }
 }

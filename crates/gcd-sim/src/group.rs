@@ -9,7 +9,7 @@
 
 use crate::coalescer::Coalescer;
 use crate::kernel::WaveStats;
-use crate::wave::WaveCtx;
+use crate::wave::{MemSink, WaveCtx};
 
 /// Launch shape of a workgroup kernel.
 #[derive(Debug, Clone, Copy)]
@@ -69,7 +69,7 @@ pub struct GroupCtx<'a> {
     /// Per-wave coalescers (waves of a group share the CU's L1 in reality;
     /// one coalescer per wave is the conservative choice).
     coalescers: Vec<Coalescer>,
-    l2: Option<&'a mut crate::l2::L2Model>,
+    sink: MemSink<'a>,
     line_bytes: usize,
     items_per_group: usize,
 }
@@ -81,7 +81,7 @@ impl<'a> GroupCtx<'a> {
         width: usize,
         line_bytes: usize,
         coalescer_lines: usize,
-        l2: Option<&'a mut crate::l2::L2Model>,
+        sink: MemSink<'a>,
     ) -> Self {
         let coalescers = (0..cfg.waves_per_group)
             .map(|_| Coalescer::new(coalescer_lines, line_bytes))
@@ -93,7 +93,7 @@ impl<'a> GroupCtx<'a> {
             lds: vec![0; cfg.lds_bytes / 4],
             stats: WaveStats::default(),
             coalescers,
-            l2,
+            sink,
             line_bytes,
             items_per_group: cfg.waves_per_group * width,
         }
@@ -131,7 +131,7 @@ impl<'a> GroupCtx<'a> {
             self.width,
             items,
             &mut self.coalescers[wave],
-            self.l2.as_deref_mut(),
+            self.sink.reborrow(),
         );
         body(&mut ctx);
         self.stats.merge(&ctx.stats);
@@ -178,7 +178,10 @@ mod tests {
 
     #[test]
     fn cfg_builder() {
-        let c = GroupCfg::new("k", 10).with_waves(8).with_lds(4096).with_registers(64);
+        let c = GroupCfg::new("k", 10)
+            .with_waves(8)
+            .with_lds(4096)
+            .with_registers(64);
         assert_eq!(c.waves_per_group, 8);
         assert_eq!(c.lds_bytes, 4096);
         assert_eq!(c.registers_per_thread, 64);
@@ -186,7 +189,7 @@ mod tests {
 
     #[test]
     fn lds_round_trip_and_charging() {
-        let mut g = GroupCtx::new(0, GroupCfg::new("k", 1), 64, 64, 128, None);
+        let mut g = GroupCtx::new(0, GroupCfg::new("k", 1), 64, 64, 128, MemSink::Functional);
         assert_eq!(g.lds_len(), (16 << 10) / 4);
         g.lds_scatter(&[(0, 7), (100, 9)]);
         let mut out = Vec::new();
@@ -199,14 +202,28 @@ mod tests {
 
     #[test]
     fn barrier_charges_all_waves() {
-        let mut g = GroupCtx::new(0, GroupCfg::new("k", 1).with_waves(4), 64, 64, 128, None);
+        let mut g = GroupCtx::new(
+            0,
+            GroupCfg::new("k", 1).with_waves(4),
+            64,
+            64,
+            128,
+            MemSink::Functional,
+        );
         g.barrier();
         assert_eq!(g.stats.instructions, 4);
     }
 
     #[test]
     fn wave_ids_are_global() {
-        let mut g = GroupCtx::new(3, GroupCfg::new("k", 8).with_waves(4), 64, 64, 128, None);
+        let mut g = GroupCtx::new(
+            3,
+            GroupCfg::new("k", 8).with_waves(4),
+            64,
+            64,
+            128,
+            MemSink::Functional,
+        );
         let mut seen = Vec::new();
         for wv in 0..4 {
             g.wave(wv, |w| {
@@ -214,16 +231,20 @@ mod tests {
             });
         }
         // Group 3, 4 waves of width 64: global waves 12..16.
-        assert_eq!(
-            seen,
-            vec![(12, 768), (13, 832), (14, 896), (15, 960)]
-        );
+        assert_eq!(seen, vec![(12, 768), (13, 832), (14, 896), (15, 960)]);
     }
 
     #[test]
     #[should_panic(expected = "wave index out of range")]
     fn rejects_bad_wave_index() {
-        let mut g = GroupCtx::new(0, GroupCfg::new("k", 1).with_waves(2), 64, 64, 128, None);
+        let mut g = GroupCtx::new(
+            0,
+            GroupCfg::new("k", 1).with_waves(2),
+            64,
+            64,
+            128,
+            MemSink::Functional,
+        );
         g.wave(2, |_| {});
     }
 }

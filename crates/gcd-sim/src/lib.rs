@@ -24,8 +24,10 @@
 //!
 //! Two fidelity levels ([`device::ExecMode`]): `Functional` runs waves in
 //! parallel on host cores for end-to-end GTEPS experiments; `Timing`
-//! replays waves sequentially through the shared L2 to regenerate the
-//! paper's profiler tables.
+//! replays waves through the shared L2 to regenerate the paper's profiler
+//! tables — by default via the two-phase parallel capture/replay schedule
+//! ([`device::TimingReplay`]), which is bit-identical to the sequential
+//! reference path.
 
 pub mod arch;
 pub mod buffer;
@@ -39,7 +41,7 @@ pub mod wave;
 
 pub use arch::{ArchProfile, Compiler, CompilerModel};
 pub use buffer::{BufU32, BufU64};
-pub use device::{Device, ExecMode};
+pub use device::{Device, ExecMode, TimingReplay};
 pub use group::{GroupCfg, GroupCtx};
 pub use kernel::{KernelReport, LaunchCfg, WaveStats};
 pub use profiler::{group_by_phase, PhaseProfile};

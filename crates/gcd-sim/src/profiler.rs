@@ -94,13 +94,21 @@ pub fn from_csv(csv: &str) -> Result<Vec<KernelReport>, String> {
         .enumerate()
         .map(|(i, row)| {
             if row.len() != 10 {
-                return Err(format!("row {}: expected 10 fields, got {}", i + 1, row.len()));
+                return Err(format!(
+                    "row {}: expected 10 fields, got {}",
+                    i + 1,
+                    row.len()
+                ));
             }
             let f64_at = |j: usize| -> Result<f64, String> {
-                row[j].parse().map_err(|e| format!("row {}: field {j}: {e}", i + 1))
+                row[j]
+                    .parse()
+                    .map_err(|e| format!("row {}: field {j}: {e}", i + 1))
             };
             let u64_at = |j: usize| -> Result<u64, String> {
-                row[j].parse().map_err(|e| format!("row {}: field {j}: {e}", i + 1))
+                row[j]
+                    .parse()
+                    .map_err(|e| format!("row {}: field {j}: {e}", i + 1))
             };
             Ok(KernelReport {
                 phase: row[0].clone(),

@@ -18,13 +18,39 @@ use crate::coalescer::Coalescer;
 use crate::kernel::WaveStats;
 use crate::l2::L2Model;
 
+/// Where a wave's coalescer misses go — the three classification regimes a
+/// launch can run under.
+pub(crate) enum MemSink<'a> {
+    /// Functional mode: no shared L2 model; every read miss is charged as an
+    /// HBM fetch (documented overestimate).
+    Functional,
+    /// Sequential timing: classify each miss through the shared L2 the
+    /// moment it happens.
+    L2(&'a mut L2Model),
+    /// Parallel timing, phase A: record `(line, is_read)` in execution order
+    /// and defer L2 classification to a later in-order replay.
+    Capture(&'a mut Vec<(u64, bool)>),
+}
+
+impl MemSink<'_> {
+    /// Reborrow for handing the sink to a shorter-lived [`WaveCtx`] (one per
+    /// `GroupCtx::wave` call).
+    pub(crate) fn reborrow(&mut self) -> MemSink<'_> {
+        match self {
+            MemSink::Functional => MemSink::Functional,
+            MemSink::L2(l2) => MemSink::L2(l2),
+            MemSink::Capture(buf) => MemSink::Capture(buf),
+        }
+    }
+}
+
 /// Execution context of a single wavefront.
 pub struct WaveCtx<'a> {
     wave_id: usize,
     width: usize,
     items: usize,
     coalescer: &'a mut Coalescer,
-    l2: Option<&'a mut L2Model>,
+    sink: MemSink<'a>,
     missed: Vec<u64>,
     /// Counters accumulated by this wave.
     pub stats: WaveStats,
@@ -36,7 +62,7 @@ impl<'a> WaveCtx<'a> {
         width: usize,
         items: usize,
         coalescer: &'a mut Coalescer,
-        l2: Option<&'a mut L2Model>,
+        sink: MemSink<'a>,
     ) -> Self {
         coalescer.reset();
         Self {
@@ -44,7 +70,7 @@ impl<'a> WaveCtx<'a> {
             width,
             items,
             coalescer,
-            l2,
+            sink,
             missed: Vec::with_capacity(8),
             stats: WaveStats::default(),
         }
@@ -101,21 +127,22 @@ impl<'a> WaveCtx<'a> {
         for i in 0..self.missed.len() {
             let line = self.missed[i];
             self.stats.l2_accesses += 1;
-            match self.l2.as_deref_mut() {
-                Some(l2) => {
+            match &mut self.sink {
+                MemSink::L2(l2) => {
                     if l2.access_line(line) {
                         self.stats.l2_hits += 1;
                     } else if is_read {
                         self.stats.hbm_lines += 1;
                     }
                 }
-                // Functional mode: no shared L2 model; every coalescer miss
-                // is charged as an HBM fetch (documented overestimate).
-                None => {
+                MemSink::Functional => {
                     if is_read {
                         self.stats.hbm_lines += 1;
                     }
                 }
+                // `l2_hits`/`hbm_lines` are settled later by the in-order
+                // replay (`Device::classify_captured`).
+                MemSink::Capture(buf) => buf.push((line, is_read)),
             }
         }
         if !is_read {
@@ -210,7 +237,12 @@ impl<'a> WaveCtx<'a> {
         }
     }
 
-    fn charge_atomics(&mut self, idxs: impl Iterator<Item = usize> + Clone, buf_base: u64, elem: u64) {
+    fn charge_atomics(
+        &mut self,
+        idxs: impl Iterator<Item = usize> + Clone,
+        buf_base: u64,
+        elem: u64,
+    ) {
         let n = idxs.clone().count() as u64;
         self.stats.atomics += n;
         // Ops hitting the same cache line within one wave op serialize at
@@ -338,7 +370,11 @@ impl<'a> WaveCtx<'a> {
     pub fn shfl_down(&mut self, vals: &[u32], delta: usize, out: &mut Vec<u32>) {
         self.stats.instructions += 1;
         for (i, &v) in vals.iter().enumerate() {
-            out.push(if i + delta < vals.len() { vals[i + delta] } else { v });
+            out.push(if i + delta < vals.len() {
+                vals[i + delta]
+            } else {
+                v
+            });
         }
     }
 
@@ -384,13 +420,13 @@ mod tests {
     use super::*;
 
     fn ctx_with<'a>(co: &'a mut Coalescer) -> WaveCtx<'a> {
-        WaveCtx::new(0, 64, 1024, co, None)
+        WaveCtx::new(0, 64, 1024, co, MemSink::Functional)
     }
 
     #[test]
     fn lanes_respect_partial_waves() {
         let mut co = Coalescer::new(64, 64);
-        let ctx = WaveCtx::new(2, 64, 140, &mut co, None);
+        let ctx = WaveCtx::new(2, 64, 140, &mut co, MemSink::Functional);
         let lanes: Vec<usize> = ctx.lanes().collect();
         assert_eq!(lanes.first(), Some(&128));
         assert_eq!(lanes.len(), 12); // 140 - 128
@@ -429,7 +465,11 @@ mod tests {
         let mut ctx = ctx_with(&mut co);
         let mut out = Vec::new();
         // Three CAS on the same line (idx 0, 1, 2), one far away.
-        ctx.vcas32(&buf, &[(0, 0, 1), (1, 0, 1), (2, 0, 1), (32, 0, 1)], &mut out);
+        ctx.vcas32(
+            &buf,
+            &[(0, 0, 1), (1, 0, 1), (2, 0, 1), (32, 0, 1)],
+            &mut out,
+        );
         assert_eq!(ctx.stats.atomics, 4);
         assert_eq!(ctx.stats.atomic_conflicts, 2);
         assert!(out.iter().all(|r| r.is_ok()));
@@ -463,7 +503,7 @@ mod tests {
         let mut l2 = L2Model::new(1 << 20, 16, 64);
         let mut out = Vec::new();
         {
-            let mut ctx = WaveCtx::new(0, 64, 1024, &mut co, Some(&mut l2));
+            let mut ctx = WaveCtx::new(0, 64, 1024, &mut co, MemSink::L2(&mut l2));
             let idxs: Vec<usize> = (0..64).map(|i| i * 16).collect(); // distinct lines
             ctx.vload32(&buf, &idxs, &mut out);
             assert_eq!(ctx.stats.l2_accesses, 64);
@@ -471,12 +511,35 @@ mod tests {
         }
         // Second wave re-reads the same lines: coalescer is reset but L2 is
         // warm, so fetches become L2 hits.
-        let mut ctx = WaveCtx::new(1, 64, 1024, &mut co, Some(&mut l2));
+        let mut ctx = WaveCtx::new(1, 64, 1024, &mut co, MemSink::L2(&mut l2));
         out.clear();
         let idxs: Vec<usize> = (0..64).map(|i| i * 16).collect();
         ctx.vload32(&buf, &idxs, &mut out);
         assert_eq!(ctx.stats.l2_hits, 64);
         assert_eq!(ctx.stats.hbm_lines, 0);
+    }
+
+    #[test]
+    fn capture_sink_records_misses_in_order_and_defers_classification() {
+        let buf = BufU32::new(0, 1024);
+        let mut co = Coalescer::new(4, 64); // tiny: everything spills
+        let mut misses = Vec::new();
+        let mut ctx = WaveCtx::new(0, 64, 1024, &mut co, MemSink::Capture(&mut misses));
+        let idxs: Vec<usize> = (0..32).map(|i| i * 16).collect(); // distinct lines
+        let mut out = Vec::new();
+        ctx.vload32(&buf, &idxs, &mut out);
+        ctx.vstore32(&buf, &[(512, 1)]);
+        assert_eq!(ctx.stats.l2_accesses, 33);
+        // Classification is deferred to the replay phase.
+        assert_eq!(ctx.stats.l2_hits, 0);
+        assert_eq!(ctx.stats.hbm_lines, 0);
+        drop(ctx);
+        assert_eq!(misses.len(), 33);
+        assert!(misses[..32].iter().all(|&(_, is_read)| is_read));
+        assert!(!misses[32].1, "store miss must be captured as a write");
+        // Lines appear in execution order.
+        let lines: Vec<u64> = misses[..4].iter().map(|&(l, _)| l).collect();
+        assert_eq!(lines, vec![0, 1, 2, 3]);
     }
 
     #[test]

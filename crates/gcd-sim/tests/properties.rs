@@ -139,11 +139,7 @@ fn cas_races_have_exactly_one_winner() {
     slot.host_fill(u32::MAX);
     dev.launch(0, LaunchCfg::new("cas_storm", 64 * 64), |w| {
         let mut results = Vec::new();
-        w.vcas32(
-            &slot,
-            &[(0, u32::MAX, w.wave_id() as u32)],
-            &mut results,
-        );
+        w.vcas32(&slot, &[(0, u32::MAX, w.wave_id() as u32)], &mut results);
         if results[0].is_ok() {
             w.wave_add32(&wins, 0, 1);
         }

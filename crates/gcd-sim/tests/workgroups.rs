@@ -18,45 +18,47 @@ fn block_scan_via_lds_carries() {
     let tile = width * wpg;
     let groups = n / tile;
 
-    dev.launch_groups(0, GroupCfg::new("block_scan", groups).with_waves(wpg), |g| {
-        let base = g.group_id() * tile;
-        // Phase 1: each wave scans its slice, stores its total in LDS.
-        for wv in 0..wpg {
-            let mut total = 0u32;
-            g.wave(wv, |w| {
-                let idxs: Vec<usize> =
-                    (0..width).map(|l| base + wv * width + l).collect();
-                let mut vals = Vec::with_capacity(width);
-                w.vload32(&input, &idxs, &mut vals);
-                let mut pref = Vec::with_capacity(width);
-                total = w.wave_prefix_sum(&vals, &mut pref);
-                let writes: Vec<(usize, u32)> =
-                    idxs.iter().zip(&pref).map(|(&i, &p)| (i, p)).collect();
-                w.vstore32(&output, &writes);
-            });
-            g.lds_scatter(&[(wv, total)]);
-        }
-        g.barrier();
-        // Phase 2: add the exclusive carry of preceding waves.
-        let mut totals = Vec::new();
-        g.lds_gather(&(0..wpg).collect::<Vec<_>>(), &mut totals);
-        for wv in 1..wpg {
-            let carry: u32 = totals[..wv].iter().sum();
-            g.wave(wv, |w| {
-                let idxs: Vec<usize> =
-                    (0..width).map(|l| base + wv * width + l).collect();
-                let mut vals = Vec::with_capacity(width);
-                w.vload32(&output, &idxs, &mut vals);
-                w.alu(1);
-                let writes: Vec<(usize, u32)> = idxs
-                    .iter()
-                    .zip(&vals)
-                    .map(|(&i, &v)| (i, v + carry))
-                    .collect();
-                w.vstore32(&output, &writes);
-            });
-        }
-    });
+    dev.launch_groups(
+        0,
+        GroupCfg::new("block_scan", groups).with_waves(wpg),
+        |g| {
+            let base = g.group_id() * tile;
+            // Phase 1: each wave scans its slice, stores its total in LDS.
+            for wv in 0..wpg {
+                let mut total = 0u32;
+                g.wave(wv, |w| {
+                    let idxs: Vec<usize> = (0..width).map(|l| base + wv * width + l).collect();
+                    let mut vals = Vec::with_capacity(width);
+                    w.vload32(&input, &idxs, &mut vals);
+                    let mut pref = Vec::with_capacity(width);
+                    total = w.wave_prefix_sum(&vals, &mut pref);
+                    let writes: Vec<(usize, u32)> =
+                        idxs.iter().zip(&pref).map(|(&i, &p)| (i, p)).collect();
+                    w.vstore32(&output, &writes);
+                });
+                g.lds_scatter(&[(wv, total)]);
+            }
+            g.barrier();
+            // Phase 2: add the exclusive carry of preceding waves.
+            let mut totals = Vec::new();
+            g.lds_gather(&(0..wpg).collect::<Vec<_>>(), &mut totals);
+            for wv in 1..wpg {
+                let carry: u32 = totals[..wv].iter().sum();
+                g.wave(wv, |w| {
+                    let idxs: Vec<usize> = (0..width).map(|l| base + wv * width + l).collect();
+                    let mut vals = Vec::with_capacity(width);
+                    w.vload32(&output, &idxs, &mut vals);
+                    w.alu(1);
+                    let writes: Vec<(usize, u32)> = idxs
+                        .iter()
+                        .zip(&vals)
+                        .map(|(&i, &v)| (i, v + carry))
+                        .collect();
+                    w.vstore32(&output, &writes);
+                });
+            }
+        },
+    );
 
     // Verify against a host scan per tile.
     let inp = input.to_host();

@@ -100,8 +100,7 @@ impl CsrBuilder {
         let mut edges = self.edges;
 
         if opts.symmetrize {
-            let rev: Vec<(VertexId, VertexId)> =
-                edges.par_iter().map(|&(u, v)| (v, u)).collect();
+            let rev: Vec<(VertexId, VertexId)> = edges.par_iter().map(|&(u, v)| (v, u)).collect();
             edges.extend(rev);
         }
         if opts.remove_self_loops {

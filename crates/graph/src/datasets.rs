@@ -120,12 +120,8 @@ impl Dataset {
     pub fn generate(self, scale_shift: u32, seed: u64) -> Csr {
         let shrink = |v: u64| ((v >> scale_shift) as usize).max(256);
         match self {
-            Dataset::LiveJournal => {
-                barabasi_albert(shrink(4_036_538), 8, seed)
-            }
-            Dataset::Orkut => {
-                barabasi_albert(shrink(3_072_627), 38, seed)
-            }
+            Dataset::LiveJournal => barabasi_albert(shrink(4_036_538), 8, seed),
+            Dataset::Orkut => barabasi_albert(shrink(3_072_627), 38, seed),
             Dataset::USpatent => {
                 let n = shrink(6_009_555);
                 // ≈ 180 layers at paper scale keeps BFS deep at any shift.

@@ -26,7 +26,10 @@ pub fn layered_citation_graph(
     seed: u64,
 ) -> Csr {
     assert!(num_layers >= 2, "need at least two layers");
-    assert!(num_vertices >= num_layers, "need at least one vertex per layer");
+    assert!(
+        num_vertices >= num_layers,
+        "need at least one vertex per layer"
+    );
     assert!(max_back >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let per_layer = num_vertices / num_layers;

@@ -16,8 +16,8 @@ pub mod community;
 pub mod layered;
 pub mod random;
 pub mod rmat;
-pub mod small_world;
 pub mod scale_free;
+pub mod small_world;
 
 pub use community::community_graph;
 pub use layered::layered_citation_graph;

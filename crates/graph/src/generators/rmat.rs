@@ -99,10 +99,14 @@ pub fn rmat_graph(params: RmatParams, seed: u64) -> Csr {
     let mut edges: Vec<(VertexId, VertexId)> = (0..chunks)
         .into_par_iter()
         .flat_map_iter(|ci| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ci as u64 + 1)));
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ci as u64 + 1)),
+            );
             let count = CHUNK.min(m - ci * CHUNK);
             let p = params;
-            (0..count).map(move |_| gen_edge(&mut rng, &p)).collect::<Vec<_>>()
+            (0..count)
+                .map(move |_| gen_edge(&mut rng, &p))
+                .collect::<Vec<_>>()
         })
         .collect();
 
@@ -162,10 +166,7 @@ mod tests {
         let max = g.max_degree() as f64;
         let avg = g.average_degree();
         // R-MAT is heavily skewed: hub degree far above average.
-        assert!(
-            max > 8.0 * avg,
-            "expected skew, got max {max} avg {avg}"
-        );
+        assert!(max > 8.0 * avg, "expected skew, got max {max} avg {avg}");
     }
 
     #[test]

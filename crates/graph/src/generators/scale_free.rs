@@ -66,10 +66,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            barabasi_albert(500, 4, 11),
-            barabasi_albert(500, 4, 11)
-        );
+        assert_eq!(barabasi_albert(500, 4, 11), barabasi_albert(500, 4, 11));
     }
 
     #[test]
@@ -77,10 +74,7 @@ mod tests {
         let g = barabasi_albert(2000, 8, 3);
         // Undirected: avg directed degree ≈ 2 * attach.
         let avg = g.average_degree();
-        assert!(
-            (avg - 16.0).abs() < 2.0,
-            "avg degree {avg} not near 16"
-        );
+        assert!((avg - 16.0).abs() < 2.0, "avg degree {avg} not near 16");
     }
 
     #[test]

@@ -65,7 +65,11 @@ mod tests {
         let small = watts_strogatz(2000, 3, 0.2, 2);
         let depth = |g: &Csr| {
             let l = bfs_levels_serial(g, 0);
-            l.iter().filter(|&&x| x != UNVISITED).max().copied().unwrap()
+            l.iter()
+                .filter(|&&x| x != UNVISITED)
+                .max()
+                .copied()
+                .unwrap()
         };
         assert!(
             depth(&small) < depth(&lattice) / 3,

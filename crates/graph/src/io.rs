@@ -31,15 +31,25 @@ pub fn read_edge_list<R: BufRead>(reader: R, opts: BuildOptions) -> io::Result<C
             }
         };
         let u: u64 = u.parse().map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("bad vertex id {u:?}: {e}"))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad vertex id {u:?}: {e}"),
+            )
         })?;
         let v: u64 = v.parse().map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("bad vertex id {v:?}: {e}"))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad vertex id {v:?}: {e}"),
+            )
         })?;
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     if n > u32::MAX as usize {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -90,9 +100,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R, opts: BuildOptions) -> io::Resu
                     ));
                 }
             }
-            None => {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "empty file"))
-            }
+            None => return Err(io::Error::new(io::ErrorKind::InvalidData, "empty file")),
         }
     };
     let header_lc = header.to_lowercase();
@@ -117,9 +125,8 @@ pub fn read_matrix_market<R: BufRead>(reader: R, opts: BuildOptions) -> io::Resu
     }
     let mut it = size_line.split_whitespace();
     let parse = |s: Option<&str>| -> io::Result<usize> {
-        s.and_then(|x| x.parse().ok()).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "malformed size line")
-        })
+        s.and_then(|x| x.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed size line"))
     };
     let rows = parse(it.next())?;
     let cols = parse(it.next())?;
@@ -314,9 +321,7 @@ mod tests {
     #[test]
     fn matrix_market_rejects_malformed() {
         let missing_header = "3 3 1\n1 2\n";
-        assert!(
-            read_matrix_market(Cursor::new(missing_header), BuildOptions::raw()).is_err()
-        );
+        assert!(read_matrix_market(Cursor::new(missing_header), BuildOptions::raw()).is_err());
         let wrong_count = "%%MatrixMarket matrix coordinate pattern general\n2 2 5\n1 2\n";
         assert!(read_matrix_market(Cursor::new(wrong_count), BuildOptions::raw()).is_err());
         let oob = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 9\n";

@@ -151,10 +151,7 @@ mod tests {
     #[test]
     fn histogram_buckets() {
         // Degrees: 0, 1, 2, 5
-        let g = Csr::from_parts(
-            vec![0, 0, 1, 3, 8],
-            vec![2, 1, 3, 1, 1, 2, 2, 2],
-        );
+        let g = Csr::from_parts(vec![0, 0, 1, 3, 8], vec![2, 1, 3, 1, 1, 2, 2, 2]);
         // Build something simpler instead: directed graph, raw.
         let g = g.unwrap_or_else(|| panic!("bad test graph"));
         let h = degree_histogram(&g);

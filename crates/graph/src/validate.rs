@@ -88,7 +88,10 @@ pub fn validate_bfs_tree(
             }
             // Tree edge must exist in the graph.
             if !g.neighbors(v).contains(&p) {
-                return Err(ValidationError::PhantomTreeEdge { child: v, parent: p });
+                return Err(ValidationError::PhantomTreeEdge {
+                    child: v,
+                    parent: p,
+                });
             }
             v = p;
         }
@@ -276,11 +279,7 @@ mod tests {
     fn rejects_non_bfs_tree_with_level_skip() {
         // Triangle 0-1-2 plus pendant 3 off vertex 2.
         // A DFS tree 0->1->2->3 puts 2 at level 2, but edge (0,2) spans 2.
-        let g = Csr::from_parts(
-            vec![0, 2, 4, 7, 8],
-            vec![1, 2, 0, 2, 0, 1, 3, 2],
-        )
-        .unwrap();
+        let g = Csr::from_parts(vec![0, 2, 4, 7, 8], vec![1, 2, 0, 2, 0, 1, 3, 2]).unwrap();
         let p = vec![0, 0, 1, 2];
         assert!(matches!(
             validate_bfs_tree(&g, 0, &p),

@@ -25,8 +25,12 @@ fn rmat_is_thread_count_independent() {
 #[test]
 fn rearrangement_is_thread_count_independent() {
     let g = rmat_graph(RmatParams::graph500(11), 5);
-    let single = in_pool(1, || rearrange_by_degree(&g, RearrangeOrder::DegreeDescending));
-    let many = in_pool(8, || rearrange_by_degree(&g, RearrangeOrder::DegreeDescending));
+    let single = in_pool(1, || {
+        rearrange_by_degree(&g, RearrangeOrder::DegreeDescending)
+    });
+    let many = in_pool(8, || {
+        rearrange_by_degree(&g, RearrangeOrder::DegreeDescending)
+    });
     assert_eq!(single, many);
 }
 

@@ -33,7 +33,7 @@
 
 use crate::error::ClusterError;
 use crate::faults::{
-    faulty_allgather, faulty_alltoall, faulty_allreduce, FaultConfig, FaultPlan, RecoveryPolicy,
+    faulty_allgather, faulty_allreduce, faulty_alltoall, FaultConfig, FaultPlan, RecoveryPolicy,
 };
 use crate::interconnect::LinkModel;
 use crate::partition::Partition;
@@ -166,7 +166,11 @@ impl ClusterRun {
             self.traversed_edges,
             self.gteps,
             self.gteps_per_gcd,
-            self.level_stats.iter().map(|l| l.level).max().map_or(0, |l| l + 1),
+            self.level_stats
+                .iter()
+                .map(|l| l.level)
+                .max()
+                .map_or(0, |l| l + 1),
         ));
         for (i, r) in self.recoveries.iter().enumerate() {
             if i > 0 {
@@ -175,7 +179,11 @@ impl ClusterRun {
             s.push_str(&format!(
                 "{{\"detected_level\":{},\"dead_rank\":{},\"policy\":\"{}\",\
                  \"restored_level\":{},\"gcds_after\":{},\"overhead_ms\":{:.6}}}",
-                r.detected_level, r.dead_rank, r.policy, r.restored_level, r.gcds_after,
+                r.detected_level,
+                r.dead_rank,
+                r.policy,
+                r.restored_level,
+                r.gcds_after,
                 r.overhead_ms,
             ));
         }
@@ -279,6 +287,58 @@ struct LevelComm {
     retry_us: f64,
 }
 
+/// Host-side scratch reused across levels and runs so the level loop does
+/// no heap allocation. Everything here is host bookkeeping; reuse never
+/// touches the modeled timeline.
+#[derive(Default)]
+struct LevelScratch {
+    /// `send[src][dst]` byte counts for the push all-to-all.
+    send: Vec<Vec<u64>>,
+    /// Per-destination receive byte counts, refilled for each rank.
+    recv: Vec<u64>,
+    /// Per-rank inbox fill levels.
+    inbox_lens: Vec<usize>,
+    /// OR-merge of the per-rank frontier bitmaps (pull levels).
+    merged: Vec<u32>,
+    /// Cached `"L<n> push"` / `"L<n> pull"` phase labels, grown on demand.
+    push_labels: Vec<String>,
+    pull_labels: Vec<String>,
+}
+
+impl LevelScratch {
+    /// Resize the comm buffers for the current cluster shape (changes only
+    /// after a graceful-degradation recovery shrinks the cluster).
+    fn ensure(&mut self, p: usize, bitmap_words: usize) {
+        if self.send.len() != p {
+            self.send = vec![vec![0u64; p]; p];
+            self.recv = vec![0u64; p];
+            self.inbox_lens = vec![0usize; p];
+        }
+        if self.merged.len() != bitmap_words {
+            self.merged = vec![0u32; bitmap_words];
+        }
+    }
+}
+
+/// Cached phase-label lookup: formats `"L<level> <suffix>"` once per level
+/// ever seen and hands back the cached string thereafter.
+fn level_label<'s>(labels: &'s mut Vec<String>, suffix: &str, level: u32) -> &'s str {
+    let idx = level as usize;
+    while labels.len() <= idx {
+        labels.push(format!("L{} {suffix}", labels.len()));
+    }
+    labels[idx].as_str()
+}
+
+/// Max device clock across the fleet (free function so level drivers can
+/// call it while holding disjoint field borrows).
+fn fleet_elapsed(ranks: &[RankState]) -> f64 {
+    ranks
+        .iter()
+        .map(|r| r.device.elapsed_us())
+        .fold(0.0, f64::max)
+}
+
 /// A cluster of simulated GCDs ready to run BFS on a partitioned graph.
 pub struct GcdCluster<'g> {
     graph: &'g Csr,
@@ -286,6 +346,7 @@ pub struct GcdCluster<'g> {
     link: LinkModel,
     cfg: ClusterConfig,
     ranks: Vec<RankState>,
+    scratch: LevelScratch,
 }
 
 impl<'g> GcdCluster<'g> {
@@ -308,6 +369,7 @@ impl<'g> GcdCluster<'g> {
             link,
             cfg,
             ranks,
+            scratch: LevelScratch::default(),
         })
     }
 
@@ -404,11 +466,19 @@ impl<'g> GcdCluster<'g> {
         rec.span_attr(run_span, "num_gcds", AttrValue::U64(initial_p as u64));
         rec.span_attr(run_span, "source", AttrValue::U64(u64::from(source)));
         rec.span_attr(run_span, "vertices", AttrValue::U64(n as u64));
-        rec.span_attr(run_span, "edges", AttrValue::U64(self.graph.num_edges() as u64));
+        rec.span_attr(
+            run_span,
+            "edges",
+            AttrValue::U64(self.graph.num_edges() as u64),
+        );
         rec.span_attr(run_span, "alpha", AttrValue::F64(self.cfg.alpha));
         rec.span_attr(run_span, "push_only", AttrValue::Bool(self.cfg.push_only));
         if !faults.plan.is_empty() {
-            rec.span_attr(run_span, "fault_plan", AttrValue::Str(faults.plan.to_spec()));
+            rec.span_attr(
+                run_span,
+                "fault_plan",
+                AttrValue::Str(faults.plan.to_spec()),
+            );
         }
 
         // --- init (measured) ---
@@ -486,7 +556,11 @@ impl<'g> GcdCluster<'g> {
                         "restored_level",
                         AttrValue::U64(u64::from(report.restored_level)),
                     );
-                    rec.span_attr(rspan, "gcds_after", AttrValue::U64(report.gcds_after as u64));
+                    rec.span_attr(
+                        rspan,
+                        "gcds_after",
+                        AttrValue::U64(report.gcds_after as u64),
+                    );
                     rec.span_attr(rspan, "overhead_ms", AttrValue::F64(report.overhead_ms));
                     rec.event(
                         Some(rspan),
@@ -523,8 +597,18 @@ impl<'g> GcdCluster<'g> {
                     ("alpha".into(), AttrValue::F64(self.cfg.alpha)),
                 ],
             );
-            rec.counter(names::metric::FRONTIER_SIZE, 0, clock_us, frontier_count as f64);
-            rec.counter(names::metric::FRONTIER_EDGES, 0, clock_us, frontier_edges as f64);
+            rec.counter(
+                names::metric::FRONTIER_SIZE,
+                0,
+                clock_us,
+                frontier_count as f64,
+            );
+            rec.counter(
+                names::metric::FRONTIER_EDGES,
+                0,
+                clock_us,
+                frontier_edges as f64,
+            );
             rec.counter(names::metric::FRONTIER_RATIO, 0, clock_us, ratio);
             let comm = if bottom_up {
                 self.run_pull_level(level, &frontier_lens, faults, rec, lvl_span)?
@@ -602,7 +686,11 @@ impl<'g> GcdCluster<'g> {
                 );
                 rec.span_attr(lvl_span, "frontier_count", AttrValue::U64(frontier_count));
                 rec.span_attr(lvl_span, "frontier_edges", AttrValue::U64(frontier_edges));
-                rec.span_attr(lvl_span, "exchanged_bytes", AttrValue::U64(row.exchanged_bytes));
+                rec.span_attr(
+                    lvl_span,
+                    "exchanged_bytes",
+                    AttrValue::U64(row.exchanged_bytes),
+                );
                 rec.span_attr(
                     lvl_span,
                     "retransmitted_bytes",
@@ -610,7 +698,12 @@ impl<'g> GcdCluster<'g> {
                 );
                 rec.span_attr(lvl_span, "retry_ms", AttrValue::F64(row.retry_ms));
                 rec.span_attr(lvl_span, "recovery_ms", AttrValue::F64(row.recovery_ms));
-                rec.counter(names::metric::EXCHANGED_BYTES, 0, clock_us, row.exchanged_bytes as f64);
+                rec.counter(
+                    names::metric::EXCHANGED_BYTES,
+                    0,
+                    clock_us,
+                    row.exchanged_bytes as f64,
+                );
                 rec.counter(
                     names::metric::RETRANSMITTED_BYTES,
                     0,
@@ -659,7 +752,12 @@ impl<'g> GcdCluster<'g> {
                     ],
                 );
                 rec.end_span(ck, clock_us);
-                rec.counter(names::metric::CHECKPOINT_BYTES, 0, clock_us, ckpt_bytes as f64);
+                rec.counter(
+                    names::metric::CHECKPOINT_BYTES,
+                    0,
+                    clock_us,
+                    ckpt_bytes as f64,
+                );
             }
         }
 
@@ -685,12 +783,22 @@ impl<'g> GcdCluster<'g> {
         rec.span_attr(
             run_span,
             "depth",
-            AttrValue::U64(stats.iter().map(|l| u64::from(l.level) + 1).max().unwrap_or(0)),
+            AttrValue::U64(
+                stats
+                    .iter()
+                    .map(|l| u64::from(l.level) + 1)
+                    .max()
+                    .unwrap_or(0),
+            ),
         );
         rec.span_attr(run_span, "total_ms", AttrValue::F64(total_ms));
         rec.span_attr(run_span, "traversed_edges", AttrValue::U64(traversed_edges));
         rec.span_attr(run_span, "gteps", AttrValue::F64(gteps));
-        rec.span_attr(run_span, "recoveries", AttrValue::U64(recoveries.len() as u64));
+        rec.span_attr(
+            run_span,
+            "recoveries",
+            AttrValue::U64(recoveries.len() as u64),
+        );
         rec.end_span(run_span, total_us);
         Ok(ClusterRun {
             source,
@@ -722,7 +830,13 @@ impl<'g> GcdCluster<'g> {
         let n = self.graph.num_vertices();
         let mut status = vec![UNVISITED; n];
         let mut frontier = Vec::with_capacity(frontier_count as usize);
-        for ((part, r), &flen) in self.partition.parts.iter().zip(&self.ranks).zip(frontier_lens) {
+        for ((part, r), &flen) in self
+            .partition
+            .parts
+            .iter()
+            .zip(&self.ranks)
+            .zip(frontier_lens)
+        {
             let local = r.status.to_host();
             status[part.start as usize..part.end as usize].copy_from_slice(&local[..part.len()]);
             for i in 0..flen {
@@ -817,9 +931,7 @@ impl<'g> GcdCluster<'g> {
         for (part, r) in self.partition.parts.iter().zip(&self.ranks) {
             r.device.advance_to(t_detect);
             if !part.is_empty() {
-                let mut local = restored.status
-                    [part.start as usize..part.end as usize]
-                    .to_vec();
+                let mut local = restored.status[part.start as usize..part.end as usize].to_vec();
                 local.resize(part.len().max(1), UNVISITED);
                 r.status.host_write(&local);
             } else {
@@ -855,25 +967,32 @@ impl<'g> GcdCluster<'g> {
     }
 
     fn max_elapsed(&self) -> f64 {
-        self.ranks
-            .iter()
-            .map(|r| r.device.elapsed_us())
-            .fold(0.0, f64::max)
+        fleet_elapsed(&self.ranks)
     }
 
     /// Top-down push level.
     fn run_push_level(
-        &self,
+        &mut self,
         level: u32,
         frontier_lens: &[usize],
         faults: &FaultConfig,
         rec: &Recorder,
         lvl_span: SpanId,
     ) -> Result<LevelComm, ClusterError> {
-        let p = self.cfg.num_gcds;
+        let Self {
+            partition,
+            link,
+            cfg,
+            ranks,
+            scratch,
+            ..
+        } = self;
+        let p = cfg.num_gcds;
+        scratch.ensure(p, ranks[0].bitmap.len());
         // Phase 1: local expansion into local claims + remote buckets.
-        for (rank, r) in self.ranks.iter().enumerate() {
-            r.device.set_phase(format!("L{level} push"));
+        for (rank, r) in ranks.iter().enumerate() {
+            r.device
+                .set_phase(level_label(&mut scratch.push_labels, "push", level));
             r.device.fill_u32(0, &r.counters, 0);
             r.device.launch(
                 0,
@@ -888,8 +1007,7 @@ impl<'g> GcdCluster<'g> {
             if qlen == 0 {
                 continue;
             }
-            let part = &self.partition.parts[rank];
-            let partition = &self.partition;
+            let part = &partition.parts[rank];
             r.device.launch(
                 0,
                 LaunchCfg::new("dist_expand", qlen).with_registers(48),
@@ -899,39 +1017,42 @@ impl<'g> GcdCluster<'g> {
 
         // Phase 2: exchange. Gather bucket sizes, charge the all-to-all
         // (with retries and degradation under the fault plan).
-        let mut send = vec![vec![0u64; p]; p]; // send[src][dst] bytes
-        for (rank, r) in self.ranks.iter().enumerate() {
+        let LevelScratch {
+            send,
+            recv,
+            inbox_lens,
+            ..
+        } = scratch;
+        for (rank, r) in ranks.iter().enumerate() {
             for (d, cell) in send[rank].iter_mut().enumerate() {
                 *cell = 4 * u64::from(r.counters.load(d));
             }
         }
         let mut comm = LevelComm::default();
-        let t0 = self.max_elapsed();
+        let t0 = fleet_elapsed(ranks);
         let mut t_end = t0;
         for (rank, sent) in send.iter().enumerate() {
-            let recv: Vec<u64> = send.iter().map(|row| row[rank]).collect();
-            let cost = faulty_alltoall(
-                &self.link,
-                &faults.plan,
-                &faults.retry,
-                level,
-                rank,
-                sent,
-                &recv,
-            )?;
+            for (d, slot) in recv.iter_mut().enumerate() {
+                *slot = send[d][rank];
+            }
+            let cost = faulty_alltoall(link, &faults.plan, &faults.retry, level, rank, sent, recv)?;
             t_end = t_end.max(t0 + cost.time_us);
             comm.exchanged += sent.iter().sum::<u64>();
             comm.retransmitted += cost.retransmitted_bytes;
             comm.retry_us = comm.retry_us.max(cost.retry_us);
         }
-        for r in &self.ranks {
+        for r in ranks.iter() {
             r.device.advance_to(t_end);
         }
         if rec.is_enabled() {
             let coll = rec.begin_span(Some(lvl_span), names::span::COLLECTIVE, 0, t0);
             rec.span_attr(coll, "kind", AttrValue::Str("alltoall".into()));
             rec.span_attr(coll, "bytes", AttrValue::U64(comm.exchanged));
-            rec.span_attr(coll, "retransmitted_bytes", AttrValue::U64(comm.retransmitted));
+            rec.span_attr(
+                coll,
+                "retransmitted_bytes",
+                AttrValue::U64(comm.retransmitted),
+            );
             rec.span_attr(coll, "retry_ms", AttrValue::F64(comm.retry_us / 1000.0));
             rec.end_span(coll, t_end);
             if comm.retransmitted > 0 {
@@ -948,14 +1069,14 @@ impl<'g> GcdCluster<'g> {
             }
         }
         // Deliver candidates into inboxes (data motion already charged).
-        let mut inbox_lens = vec![0usize; p];
-        for (src, r) in self.ranks.iter().enumerate() {
+        inbox_lens.fill(0);
+        for (src, r) in ranks.iter().enumerate() {
             for (dst, inbox_len) in inbox_lens.iter_mut().enumerate() {
                 let cnt = r.counters.load(dst) as usize;
                 if dst == src || cnt == 0 {
                     continue;
                 }
-                let dstate = &self.ranks[dst];
+                let dstate = &ranks[dst];
                 let cap = dstate.inbox.len();
                 for i in 0..cnt {
                     let slot = *inbox_len + i;
@@ -967,12 +1088,12 @@ impl<'g> GcdCluster<'g> {
         }
 
         // Phase 3: claim received candidates.
-        for (rank, r) in self.ranks.iter().enumerate() {
+        for (rank, r) in ranks.iter().enumerate() {
             let in_len = inbox_lens[rank];
             if in_len == 0 {
                 continue;
             }
-            let part = &self.partition.parts[rank];
+            let part = &partition.parts[rank];
             r.device.launch(
                 0,
                 LaunchCfg::new("dist_claim", in_len).with_registers(24),
@@ -984,17 +1105,27 @@ impl<'g> GcdCluster<'g> {
 
     /// Bottom-up pull level.
     fn run_pull_level(
-        &self,
+        &mut self,
         level: u32,
         frontier_lens: &[usize],
         faults: &FaultConfig,
         rec: &Recorder,
         lvl_span: SpanId,
     ) -> Result<LevelComm, ClusterError> {
-        let p = self.cfg.num_gcds;
+        let Self {
+            graph,
+            partition,
+            link,
+            cfg,
+            ranks,
+            scratch,
+        } = self;
+        let p = cfg.num_gcds;
+        scratch.ensure(p, ranks[0].bitmap.len());
         // Phase 1: each rank sets bits for its frontier slice.
-        for (rank, r) in self.ranks.iter().enumerate() {
-            r.device.set_phase(format!("L{level} pull"));
+        for (rank, r) in ranks.iter().enumerate() {
+            r.device
+                .set_phase(level_label(&mut scratch.pull_labels, "pull", level));
             r.device.fill_u32(0, &r.counters, 0);
             r.device.fill_u32(0, &r.bitmap, 0);
             r.device.launch(
@@ -1028,18 +1159,11 @@ impl<'g> GcdCluster<'g> {
 
         // Phase 2: allgather the bitmap slices (every rank ends with the
         // full global bitmap). Bytes per rank: its slice of |V|/8.
-        let slice_bytes = (self.graph.num_vertices().div_ceil(8) / p.max(1)).max(4) as u64;
-        let ag_t0 = self.max_elapsed();
-        let cost = faulty_allgather(
-            &self.link,
-            &faults.plan,
-            &faults.retry,
-            level,
-            p,
-            slice_bytes,
-        )?;
-        let t = self.max_elapsed() + cost.time_us;
-        for r in &self.ranks {
+        let slice_bytes = (graph.num_vertices().div_ceil(8) / p.max(1)).max(4) as u64;
+        let ag_t0 = fleet_elapsed(ranks);
+        let cost = faulty_allgather(link, &faults.plan, &faults.retry, level, p, slice_bytes)?;
+        let t = fleet_elapsed(ranks) + cost.time_us;
+        for r in ranks.iter() {
             r.device.advance_to(t);
         }
         if rec.is_enabled() {
@@ -1066,23 +1190,23 @@ impl<'g> GcdCluster<'g> {
                 );
             }
         }
-        // Merge host-side (motion already charged): OR all slices together.
-        let words = self.ranks[0].bitmap.len();
-        let mut merged = vec![0u32; words];
-        for r in &self.ranks {
-            let local = r.bitmap.to_host();
-            for (m, w) in merged.iter_mut().zip(&local) {
-                *m |= w;
+        // Merge host-side (motion already charged): OR all slices together,
+        // word by word into the reused scratch buffer (no per-level Vec).
+        let merged = &mut scratch.merged;
+        merged.fill(0);
+        for r in ranks.iter() {
+            for (i, m) in merged.iter_mut().enumerate() {
+                *m |= r.bitmap.load(i);
             }
         }
-        for r in &self.ranks {
-            r.bitmap.host_write(&merged);
+        for r in ranks.iter() {
+            r.bitmap.host_write(merged);
         }
 
         // Phase 3: pull — every locally unvisited vertex probes neighbors
         // against the bitmap with early termination (XBFS bottom-up).
-        for (rank, r) in self.ranks.iter().enumerate() {
-            let part = &self.partition.parts[rank];
+        for (rank, r) in ranks.iter().enumerate() {
+            let part = &partition.parts[rank];
             if part.is_empty() {
                 continue;
             }
@@ -1203,10 +1327,7 @@ fn claim_kernel(
     let mut vs = Vec::with_capacity(gids.len());
     w.vload32(&r.inbox, &gids, &mut vs);
     let sidx: Vec<usize> = vs.iter().map(|&v| part.to_local(v) as usize).collect();
-    let ops: Vec<(usize, u32, u32)> = sidx
-        .iter()
-        .map(|&i| (i, UNVISITED, level + 1))
-        .collect();
+    let ops: Vec<(usize, u32, u32)> = sidx.iter().map(|&i| (i, UNVISITED, level + 1)).collect();
     let mut results = Vec::with_capacity(ops.len());
     w.vcas32(&r.status, &ops, &mut results);
     let winners: Vec<u32> = sidx
@@ -1388,7 +1509,10 @@ mod tests {
         };
         let run = check(&g, cfg, 1);
         assert!(run.level_stats.iter().any(|l| l.bottom_up), "no pull level");
-        assert!(run.level_stats.iter().any(|l| !l.bottom_up), "no push level");
+        assert!(
+            run.level_stats.iter().any(|l| !l.bottom_up),
+            "no push level"
+        );
         assert!(run.gteps > 0.0);
         assert!((run.gteps_per_gcd - run.gteps / 4.0).abs() < 1e-9);
     }
@@ -1502,8 +1626,14 @@ mod tests {
         assert_eq!(run.recoveries[0].restored_level, 0);
         assert_eq!(cluster.num_gcds(), 3, "cluster stays degraded");
         // Levels 0 and 1 ran twice.
-        assert!(run.level_stats.iter().any(|l| l.level == 0 && l.attempt == 1));
-        assert!(run.level_stats.iter().any(|l| l.level == 1 && l.attempt == 1));
+        assert!(run
+            .level_stats
+            .iter()
+            .any(|l| l.level == 0 && l.attempt == 1));
+        assert!(run
+            .level_stats
+            .iter()
+            .any(|l| l.level == 1 && l.attempt == 1));
         // Per-GCD GTEPS stays normalized to the initial cluster size.
         assert!((run.gteps_per_gcd - run.gteps / 4.0).abs() < 1e-12);
     }
@@ -1532,7 +1662,11 @@ mod tests {
         };
         let clean = check(&g, cfg, 0);
         let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
-        let faults = fault_cfg("drop@0:0-1x2,degrade@1-2:0.5", RecoveryPolicy::PromoteSpare, 0);
+        let faults = fault_cfg(
+            "drop@0:0-1x2,degrade@1-2:0.5",
+            RecoveryPolicy::PromoteSpare,
+            0,
+        );
         let run = cluster.run_with_faults(0, &faults).unwrap();
         assert_eq!(run.levels, clean.levels);
         let l0 = &run.level_stats[0];
@@ -1578,7 +1712,10 @@ mod tests {
             .map(|l| l.level)
             .collect();
         assert!(!flagged.is_empty(), "expected checkpoints every 2 levels");
-        assert!(flagged.iter().all(|l| l % 2 == 1), "boundary levels: {flagged:?}");
+        assert!(
+            flagged.iter().all(|l| l % 2 == 1),
+            "boundary levels: {flagged:?}"
+        );
         assert!(run.total_ms > clean.total_ms, "checkpoints must cost time");
     }
 
@@ -1607,10 +1744,13 @@ mod tests {
         // The recorded plan reproduces the run exactly.
         let mut again = GcdCluster::new(&g, run.config, LinkModel::frontier()).unwrap();
         let rerun = again
-            .run_with_faults(run.source, &FaultConfig {
-                plan: FaultPlan::parse(&run.fault_plan.to_spec()).unwrap(),
-                ..FaultConfig::default()
-            })
+            .run_with_faults(
+                run.source,
+                &FaultConfig {
+                    plan: FaultPlan::parse(&run.fault_plan.to_spec()).unwrap(),
+                    ..FaultConfig::default()
+                },
+            )
             .unwrap();
         assert_eq!(rerun.levels, run.levels);
         assert_eq!(rerun.total_ms, run.total_ms);

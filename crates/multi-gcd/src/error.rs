@@ -51,17 +51,29 @@ impl fmt::Display for ClusterError {
         match self {
             Self::InvalidConfig(why) => write!(f, "invalid cluster config: {why}"),
             Self::EmptyGraph => write!(f, "graph has no vertices"),
-            Self::SourceOutOfRange { source, num_vertices } => write!(
+            Self::SourceOutOfRange {
+                source,
+                num_vertices,
+            } => write!(
                 f,
                 "source vertex {source} out of range (graph has {num_vertices} vertices)"
             ),
             Self::FaultSpec(why) => write!(f, "bad fault spec: {why}"),
             Self::InvalidFaultPlan(why) => write!(f, "fault plan not applicable: {why}"),
-            Self::LinkFailed { level, src, dst, attempts } => write!(
+            Self::LinkFailed {
+                level,
+                src,
+                dst,
+                attempts,
+            } => write!(
                 f,
                 "link {src}->{dst} failed at level {level} after {attempts} attempts"
             ),
-            Self::Unrecoverable { rank, level, reason } => write!(
+            Self::Unrecoverable {
+                rank,
+                level,
+                reason,
+            } => write!(
                 f,
                 "GCD {rank} crash at level {level} is unrecoverable: {reason}"
             ),

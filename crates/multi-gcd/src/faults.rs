@@ -86,9 +86,8 @@ impl FaultPlan {
     ///   inclusive level window,
     /// * `seed=<n>` — recorded seed.
     pub fn parse(spec: &str) -> Result<Self, ClusterError> {
-        let bad = |tok: &str, why: &str| {
-            Err(ClusterError::FaultSpec(format!("token `{tok}`: {why}")))
-        };
+        let bad =
+            |tok: &str, why: &str| Err(ClusterError::FaultSpec(format!("token `{tok}`: {why}")));
         let mut plan = Self::none();
         for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
             if let Some(rest) = tok.strip_prefix("seed=") {
@@ -116,7 +115,12 @@ impl FaultPlan {
                 };
                 match (level.parse(), src.parse(), dst.parse(), drops.parse()) {
                     (Ok(level), Ok(src), Ok(dst), Ok(drops)) => {
-                        plan.events.push(FaultEvent::LinkDrop { level, src, dst, drops })
+                        plan.events.push(FaultEvent::LinkDrop {
+                            level,
+                            src,
+                            dst,
+                            drops,
+                        })
                     }
                     _ => return bad(tok, "level, ranks and count must be integers"),
                 }
@@ -135,7 +139,11 @@ impl FaultPlan {
                         if from_level > to_level {
                             return bad(tok, "window start exceeds end");
                         }
-                        plan.events.push(FaultEvent::Degrade { from_level, to_level, factor })
+                        plan.events.push(FaultEvent::Degrade {
+                            from_level,
+                            to_level,
+                            factor,
+                        })
                     }
                     _ => return bad(tok, "levels must be integers, factor a float"),
                 }
@@ -156,10 +164,19 @@ impl FaultPlan {
         for ev in &self.events {
             parts.push(match *ev {
                 FaultEvent::GcdCrash { rank, level } => format!("crash@{level}:rank{rank}"),
-                FaultEvent::LinkDrop { level, src, dst, drops } => {
+                FaultEvent::LinkDrop {
+                    level,
+                    src,
+                    dst,
+                    drops,
+                } => {
                     format!("drop@{level}:{src}-{dst}x{drops}")
                 }
-                FaultEvent::Degrade { from_level, to_level, factor } => {
+                FaultEvent::Degrade {
+                    from_level,
+                    to_level,
+                    factor,
+                } => {
                     format!("degrade@{from_level}-{to_level}:{factor}")
                 }
             });
@@ -250,11 +267,12 @@ impl FaultPlan {
         self.events
             .iter()
             .map(|ev| match *ev {
-                FaultEvent::LinkDrop { level: l, src: s, dst: d, drops }
-                    if l == level && s == src && d == dst =>
-                {
-                    drops
-                }
+                FaultEvent::LinkDrop {
+                    level: l,
+                    src: s,
+                    dst: d,
+                    drops,
+                } if l == level && s == src && d == dst => drops,
                 _ => 0,
             })
             .sum()
@@ -265,11 +283,11 @@ impl FaultPlan {
         self.events
             .iter()
             .map(|ev| match *ev {
-                FaultEvent::Degrade { from_level, to_level, factor }
-                    if (from_level..=to_level).contains(&level) =>
-                {
-                    factor
-                }
+                FaultEvent::Degrade {
+                    from_level,
+                    to_level,
+                    factor,
+                } if (from_level..=to_level).contains(&level) => factor,
                 _ => 1.0,
             })
             .product::<f64>()
@@ -566,7 +584,8 @@ pub fn faulty_allreduce(
                 });
             }
             let retry_us = retry.penalty_us(drops);
-            cost.time_us += transfer_scaled(link, src, dst, bytes, bw) * f64::from(drops) + retry_us;
+            cost.time_us +=
+                transfer_scaled(link, src, dst, bytes, bw) * f64::from(drops) + retry_us;
             cost.retransmitted_bytes += bytes * u64::from(drops);
             cost.retry_us += retry_us;
         }
@@ -667,10 +686,17 @@ mod tests {
         let link = LinkModel::frontier();
         let retry = RetryPolicy::default();
         let plan = FaultPlan::parse("drop@0:0-1x2").unwrap();
-        let clean = faulty_alltoall(&link, &FaultPlan::none(), &retry, 0, 0, &[0, 1 << 20], &[0, 0])
-            .unwrap();
-        let faulty =
-            faulty_alltoall(&link, &plan, &retry, 0, 0, &[0, 1 << 20], &[0, 0]).unwrap();
+        let clean = faulty_alltoall(
+            &link,
+            &FaultPlan::none(),
+            &retry,
+            0,
+            0,
+            &[0, 1 << 20],
+            &[0, 0],
+        )
+        .unwrap();
+        let faulty = faulty_alltoall(&link, &plan, &retry, 0, 0, &[0, 1 << 20], &[0, 0]).unwrap();
         assert_eq!(clean.retransmitted_bytes, 0);
         assert_eq!(faulty.retransmitted_bytes, 2 << 20);
         assert!(faulty.retry_us >= retry.penalty_us(2));
@@ -692,7 +718,12 @@ mod tests {
         let clean = faulty_allgather(&link, &FaultPlan::none(), &retry, 0, 4, big).unwrap();
         let slow = faulty_allgather(&link, &plan, &retry, 0, 4, big).unwrap();
         // Bandwidth halves → the bandwidth term doubles.
-        assert!(slow.time_us > 1.8 * clean.time_us, "{} vs {}", slow.time_us, clean.time_us);
+        assert!(
+            slow.time_us > 1.8 * clean.time_us,
+            "{} vs {}",
+            slow.time_us,
+            clean.time_us
+        );
         // Off-window levels are unaffected.
         let off = faulty_allgather(&link, &plan, &retry, 5, 4, big).unwrap();
         assert_eq!(off.time_us, clean.time_us);

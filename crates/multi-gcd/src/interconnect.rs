@@ -64,12 +64,24 @@ impl LinkModel {
         let tx: f64 = send
             .iter()
             .enumerate()
-            .map(|(d, &b)| if b > 0 { self.transfer_us(rank, d, b) } else { 0.0 })
+            .map(|(d, &b)| {
+                if b > 0 {
+                    self.transfer_us(rank, d, b)
+                } else {
+                    0.0
+                }
+            })
             .sum();
         let rx: f64 = recv
             .iter()
             .enumerate()
-            .map(|(s, &b)| if b > 0 { self.transfer_us(s, rank, b) } else { 0.0 })
+            .map(|(s, &b)| {
+                if b > 0 {
+                    self.transfer_us(s, rank, b)
+                } else {
+                    0.0
+                }
+            })
             .sum();
         tx.max(rx)
     }

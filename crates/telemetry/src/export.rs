@@ -273,7 +273,11 @@ impl TraceSink for TableSink {
         for s in trace.spans_named(names::span::LEVEL) {
             let mode = {
                 let m = attr_str(s, "strategy");
-                if m.is_empty() { attr_str(s, "mode") } else { m }
+                if m.is_empty() {
+                    attr_str(s, "mode")
+                } else {
+                    m
+                }
             };
             let mut notes: Vec<String> = Vec::new();
             if s.attr("used_nfg") == Some(&AttrValue::Bool(false)) {
@@ -303,9 +307,7 @@ impl TraceSink for TableSink {
                 attr_str(s, "frontier_edges"),
                 {
                     let r = attr_str(s, "ratio");
-                    r.parse::<f64>()
-                        .map(|r| format!("{r:.3e}"))
-                        .unwrap_or(r)
+                    r.parse::<f64>().map(|r| format!("{r:.3e}")).unwrap_or(r)
                 },
                 s.dur_us() / 1000.0,
                 fetch,
@@ -382,10 +384,13 @@ mod tests {
         rec.span_attr(k, "fetch_kb", AttrValue::F64(12.5));
         rec.end_span(k, 2.0);
         rec.end_span(lvl, 4.0);
-        rec.event(Some(lvl), names::event::STRATEGY_CHOICE, 0, 1.0, vec![(
-            "ratio".into(),
-            AttrValue::F64(0.001),
-        )]);
+        rec.event(
+            Some(lvl),
+            names::event::STRATEGY_CHOICE,
+            0,
+            1.0,
+            vec![("ratio".into(), AttrValue::F64(0.001))],
+        );
         rec.counter(names::metric::FRONTIER_SIZE, 0, 1.0, 1.0);
         rec.end_span(run, 5.0);
         rec.finish()
@@ -418,11 +423,23 @@ mod tests {
             doc.get("schema").and_then(JsonValue::as_str),
             Some("xbfs-trace-v1")
         );
-        assert_eq!(doc.get("levels").and_then(JsonValue::as_arr).unwrap().len(), 1);
-        assert_eq!(doc.get("spans").and_then(JsonValue::as_arr).unwrap().len(), 3);
-        assert_eq!(doc.get("events").and_then(JsonValue::as_arr).unwrap().len(), 1);
+        assert_eq!(
+            doc.get("levels").and_then(JsonValue::as_arr).unwrap().len(),
+            1
+        );
+        assert_eq!(
+            doc.get("spans").and_then(JsonValue::as_arr).unwrap().len(),
+            3
+        );
+        assert_eq!(
+            doc.get("events").and_then(JsonValue::as_arr).unwrap().len(),
+            1
+        );
         let lvl = &doc.get("levels").unwrap().as_arr().unwrap()[0];
-        assert_eq!(lvl.get("strategy").and_then(JsonValue::as_str), Some("scan-free"));
+        assert_eq!(
+            lvl.get("strategy").and_then(JsonValue::as_str),
+            Some("scan-free")
+        );
     }
 
     #[test]
@@ -461,7 +478,10 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some(CSV_HEADER));
         let row = lines.next().unwrap();
-        assert!(row.starts_with("\"level 0, attempt 1\",fq_expand_thread,"), "{row}");
+        assert!(
+            row.starts_with("\"level 0, attempt 1\",fq_expand_thread,"),
+            "{row}"
+        );
     }
 
     #[test]

@@ -238,9 +238,7 @@ impl<'a> Parser<'a> {
                             let cp = self.hex4()?;
                             out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
                         }
-                        other => {
-                            return Err(self.err(format!("bad escape \\{}", other as char)))
-                        }
+                        other => return Err(self.err(format!("bad escape \\{}", other as char))),
                     }
                 }
                 Some(_) => {
@@ -310,10 +308,9 @@ mod tests {
 
     #[test]
     fn parses_scalars_and_structures() {
-        let v = JsonValue::parse(
-            r#"{"a": 1.5, "b": [true, false, null], "s": "x\ny", "neg": -3e2}"#,
-        )
-        .unwrap();
+        let v =
+            JsonValue::parse(r#"{"a": 1.5, "b": [true, false, null], "s": "x\ny", "neg": -3e2}"#)
+                .unwrap();
         assert_eq!(v.get("a").and_then(JsonValue::as_f64), Some(1.5));
         assert_eq!(v.get("neg").and_then(JsonValue::as_f64), Some(-300.0));
         assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x\ny"));

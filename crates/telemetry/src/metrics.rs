@@ -69,7 +69,10 @@ impl Histogram {
     /// Record one sample (non-finite samples are dropped).
     pub fn record(&self, value: f64) {
         if value.is_finite() {
-            self.samples.lock().unwrap_or_else(|e| e.into_inner()).push(value);
+            self.samples
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(value);
         }
     }
 

@@ -354,9 +354,7 @@ impl Trace {
                         s.id, p.id
                     ));
                 }
-                if s.start_us + eps < p.start_us
-                    || p.end_us.is_some_and(|pe| end > pe + eps)
-                {
+                if s.start_us + eps < p.start_us || p.end_us.is_some_and(|pe| end > pe + eps) {
                     return Err(format!(
                         "span {} ({:?}) [{}, {end}] escapes parent {} ({:?}) [{}, {:?}]",
                         s.id, s.name, s.start_us, p.id, p.name, p.start_us, p.end_us
@@ -383,10 +381,13 @@ mod tests {
         let run = rec.begin_span(None, "run", 0, 0.0);
         rec.span_attr(run, "source", AttrValue::U64(7));
         let lvl = rec.begin_span(Some(run), "level", 0, 1.0);
-        rec.event(Some(lvl), "strategy.choice", 0, 1.0, vec![(
-            "strategy".into(),
-            AttrValue::Str("scan-free".into()),
-        )]);
+        rec.event(
+            Some(lvl),
+            "strategy.choice",
+            0,
+            1.0,
+            vec![("strategy".into(), AttrValue::Str("scan-free".into()))],
+        );
         rec.counter("frontier.size", 0, 1.0, 42.0);
         rec.end_span(lvl, 5.0);
         rec.end_span(run, 6.0);

@@ -23,7 +23,10 @@ fn reference_trace() -> Trace {
     let init = rec.begin_span(Some(run), names::span::INIT, 0, 0.0);
     rec.end_span(init, 2.0);
 
-    for (i, (strategy, count)) in [("scan-free", 1u64), ("bottom-up", 9u64)].iter().enumerate() {
+    for (i, (strategy, count)) in [("scan-free", 1u64), ("bottom-up", 9u64)]
+        .iter()
+        .enumerate()
+    {
         let t0 = 2.0 + 10.0 * i as f64;
         let lvl = rec.begin_span(Some(run), names::span::LEVEL, 0, t0);
         rec.span_attr(lvl, "level", AttrValue::U64(i as u64));
@@ -114,14 +117,19 @@ fn chrome_export_matches_golden_file_and_parses_back() {
     for l in levels {
         let args = l.get("args").expect("args");
         assert!(args.get("strategy").and_then(JsonValue::as_str).is_some());
-        assert!(args.get("frontier_count").and_then(JsonValue::as_f64).is_some());
+        assert!(args
+            .get("frontier_count")
+            .and_then(JsonValue::as_f64)
+            .is_some());
     }
     // The recovery span and restore event survive export.
     assert!(events
         .iter()
         .any(|e| e.get("name").and_then(JsonValue::as_str) == Some(names::span::RECOVERY)));
-    assert!(events
-        .iter()
-        .any(|e| e.get("name").and_then(JsonValue::as_str)
-            == Some(names::event::RECOVERY_RESTORE)));
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(JsonValue::as_str)
+                == Some(names::event::RECOVERY_RESTORE))
+    );
 }

@@ -64,7 +64,10 @@ fn main() {
     println!("min    {:.2} GTEPS", teps[0] / 1e9);
     println!("median {:.2} GTEPS", teps[teps.len() / 2] / 1e9);
     println!("max    {:.2} GTEPS", teps[teps.len() - 1] / 1e9);
-    println!("harmonic mean {:.2} GTEPS  (the Graph500 headline number)", harmonic / 1e9);
+    println!(
+        "harmonic mean {:.2} GTEPS  (the Graph500 headline number)",
+        harmonic / 1e9
+    );
     println!("\nfor reference: Frontier's CPU Graph500 run averages ~0.4 GTEPS per GCD;");
     println!("the paper's XBFS port reaches ~43 GTEPS on one GCD at scale 25.");
 }

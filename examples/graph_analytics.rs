@@ -8,8 +8,8 @@
 //! ```
 
 use xbfs_apps::{
-    betweenness_centrality, connected_components, estimate_diameter, khop_sizes,
-    largest_component, strongly_connected_components,
+    betweenness_centrality, connected_components, estimate_diameter, khop_sizes, largest_component,
+    strongly_connected_components,
 };
 use xbfs_graph::builder::{BuildOptions, CsrBuilder};
 use xbfs_graph::stats::pick_sources;
@@ -54,7 +54,10 @@ fn main() {
         samples.len()
     );
     for (v, score) in top.iter().take(5) {
-        println!("  vertex {v:>7} (degree {:>4}): {score:.1}", lj.degree(*v as u32));
+        println!(
+            "  vertex {v:>7} (degree {:>4}): {score:.1}",
+            lj.degree(*v as u32)
+        );
     }
 
     // --- SCC on a directed web-like graph (forward + backward BFS) ---

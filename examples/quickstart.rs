@@ -28,11 +28,17 @@ fn main() {
     let device = Device::mi250x();
     let xbfs = Xbfs::new(&device, &graph, XbfsConfig::default()).unwrap();
     let source = pick_sources(&graph, 1, 7)[0];
-    println!("running XBFS from source {source} on a simulated {}...", device.arch().name);
+    println!(
+        "running XBFS from source {source} on a simulated {}...",
+        device.arch().name
+    );
     let run = xbfs.run(source).unwrap();
 
     println!("\nper-level controller decisions:");
-    println!("{:>5} {:>12} {:>12} {:>12} {:>10} {:>6}", "level", "strategy", "frontier", "edge ratio", "time (ms)", "NFG");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>10} {:>6}",
+        "level", "strategy", "frontier", "edge ratio", "time (ms)", "NFG"
+    );
     for l in &run.level_stats {
         println!(
             "{:>5} {:>12} {:>12} {:>12.3e} {:>10.4} {:>6}",

@@ -21,8 +21,14 @@ fn main() {
         _ => Dataset::LiveJournal,
     };
     let spec = dataset.spec();
-    println!("building the {} analog ({}), 1/2^{shift} paper scale...", spec.name, spec.analog);
-    let graph = rearrange_by_degree(&dataset.generate(shift, 99), RearrangeOrder::DegreeDescending);
+    println!(
+        "building the {} analog ({}), 1/2^{shift} paper scale...",
+        spec.name, spec.analog
+    );
+    let graph = rearrange_by_degree(
+        &dataset.generate(shift, 99),
+        RearrangeOrder::DegreeDescending,
+    );
     println!(
         "  |V| = {}, |E| = {}, avg degree {:.1}",
         graph.num_vertices(),

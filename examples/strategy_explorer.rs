@@ -32,7 +32,10 @@ fn main() {
     for strat in [Strategy::ScanFree, Strategy::SingleScan, Strategy::BottomUp] {
         let cfg = XbfsConfig::forced(strat);
         let device = Device::mi250x();
-        let run = Xbfs::new(&device, &graph, cfg).unwrap().run(source).unwrap();
+        let run = Xbfs::new(&device, &graph, cfg)
+            .unwrap()
+            .run(source)
+            .unwrap();
         println!(
             "  forced {:>11}: {:>8.3} ms, {:>6.2} GTEPS, {} levels",
             strat.to_string(),
@@ -54,7 +57,10 @@ fn main() {
             ..XbfsConfig::default()
         };
         let device = Device::mi250x();
-        let run = Xbfs::new(&device, &graph, cfg).unwrap().run(source).unwrap();
+        let run = Xbfs::new(&device, &graph, cfg)
+            .unwrap()
+            .run(source)
+            .unwrap();
         let trace: String = run
             .strategy_trace()
             .iter()

@@ -10,8 +10,8 @@ cargo build --release --workspace --benches --examples
 echo "==> cargo test --workspace"
 cargo test -q --workspace --no-fail-fast
 
-echo "==> cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings -W clippy::perf"
+cargo clippy --workspace --all-targets -- -D warnings -W clippy::perf
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check || echo "(fmt differences are advisory, not a gate)"
@@ -32,5 +32,30 @@ grep -q '"gteps"' "$SMOKE/BENCH_pr2.json"
 "$XBFS" trace summarize "$SMOKE/cluster_trace.json" | grep -q '1 recoveries'
 cp "$SMOKE/BENCH_pr2.json" BENCH_pr2.json
 echo "    wrote BENCH_pr2.json"
+
+echo "==> sweep smoke (pooled multi-source throughput)"
+"$XBFS" generate --out "$SMOKE/sweep.bin" --scale 11 --seed 11
+mkdir -p results
+# default --threads = available cores (a forced count oversubscribes 1-core boxes)
+"$XBFS" sweep "$SMOKE/sweep.bin" --sources 64 \
+  --json results/BENCH_pr3.json | tee "$SMOKE/sweep.out"
+grep -q "runs/sec" "$SMOKE/sweep.out"
+grep -q "bit-identical" "$SMOKE/sweep.out"
+grep -q '"schema": "xbfs-sweep-v1"' results/BENCH_pr3.json
+# acceptance gate: >= 3x the runs/sec of a shell loop over `xbfs bfs`,
+# which pays process spawn + graph load + upload + alloc on every run
+"$XBFS" bfs "$SMOKE/sweep.bin" --source 1 > /dev/null # warm the file cache
+T0=$(date +%s%N)
+for i in $(seq 1 16); do
+  "$XBFS" bfs "$SMOKE/sweep.bin" --source $((i * 50)) > /dev/null
+done
+T1=$(date +%s%N)
+LOOPED_RPS=$(awk -v ns="$((T1 - T0))" 'BEGIN { printf "%.1f", 16 / (ns / 1e9) }')
+POOLED_RPS=$(grep -o '"runs_per_sec": [0-9.]*' results/BENCH_pr3.json \
+  | head -1 | grep -o '[0-9.]*$')
+echo "    pooled sweep ${POOLED_RPS} runs/sec vs looped xbfs bfs ${LOOPED_RPS} runs/sec"
+awk -v p="$POOLED_RPS" -v l="$LOOPED_RPS" 'BEGIN { exit !(p >= 3.0 * l) }' \
+  || { echo "pooled sweep < 3x looped xbfs bfs" >&2; exit 1; }
+echo "    wrote results/BENCH_pr3.json"
 
 echo "CI gate passed."

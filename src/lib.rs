@@ -28,10 +28,9 @@ pub fn run_xbfs(graph: &Csr, source: u32, cfg: XbfsConfig) -> BfsRun {
         ExecMode::Functional,
         cfg.required_streams(),
     );
-    Xbfs::new(&device, graph, cfg)
-        .expect("device built to match config")
-        .run(source)
-        .expect("source must be in range")
+    // The engine can own its device outright (`Xbfs<Device>`).
+    let xbfs = Xbfs::new(device, graph, cfg).expect("device built to match config");
+    xbfs.run(source).expect("source must be in range")
 }
 
 /// Harmonic-mean GTEPS over several sources (the paper's "n-to-n" summary

@@ -4,8 +4,7 @@
 
 use gcd_sim::{ArchProfile, Device, ExecMode};
 use xbfs_baselines::{
-    BeamerLike, EnterpriseLike, GpuBfs, GunrockLike, HierarchicalQueue, SimpleTopDown,
-    SsspAsync,
+    BeamerLike, EnterpriseLike, GpuBfs, GunrockLike, HierarchicalQueue, SimpleTopDown, SsspAsync,
 };
 use xbfs_core::{Strategy, Xbfs, XbfsConfig};
 use xbfs_graph::reference::bfs_levels_parallel;
@@ -66,7 +65,10 @@ fn rearranged_graphs_give_identical_levels() {
         ] {
             let rg = rearrange_by_degree(&g, order);
             let dev = Device::mi250x();
-            let run = Xbfs::new(&dev, &rg, XbfsConfig::default()).unwrap().run(s).unwrap();
+            let run = Xbfs::new(&dev, &rg, XbfsConfig::default())
+                .unwrap()
+                .run(s)
+                .unwrap();
             assert_eq!(run.levels, expect, "dataset {d}, order {order:?}");
         }
     }
@@ -93,11 +95,13 @@ fn timing_and_functional_modes_agree() {
     let s = pick_sources(&g, 1, 2)[0];
     let run_f = {
         let dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Functional, 1);
-        Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(s).unwrap()
+        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap();
+        xbfs.run(s).unwrap()
     };
     let run_t = {
         let dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Timing, 1);
-        Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap().run(s).unwrap()
+        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap();
+        xbfs.run(s).unwrap()
     };
     assert_eq!(run_f.levels, run_t.levels);
     assert_eq!(run_f.strategy_trace(), run_t.strategy_trace());

@@ -19,7 +19,8 @@ fn run_cfg(g: &xbfs_graph::Csr, cfg: XbfsConfig, src: u32) -> xbfs_core::BfsRun 
         ExecMode::Functional,
         cfg.required_streams(),
     );
-    Xbfs::new(&dev, g, cfg).unwrap().run(src).unwrap()
+    let xbfs = Xbfs::new(&dev, g, cfg).unwrap();
+    xbfs.run(src).unwrap()
 }
 
 /// §III / Fig. 7: at the peak-ratio level bottom-up is fastest; at the
@@ -150,7 +151,8 @@ fn stream_consolidation_helps_more_on_amd() {
             ..XbfsConfig::optimized_amd()
         };
         let dev = Device::new(arch, ExecMode::Functional, cfg.required_streams());
-        Xbfs::new(&dev, &g, cfg).unwrap().run(src).unwrap().total_ms
+        let xbfs = Xbfs::new(&dev, &g, cfg).unwrap();
+        xbfs.run(src).unwrap().total_ms
     };
     let amd_multi = run_streams(ArchProfile::mi250x_gcd(), true);
     let amd_single = run_streams(ArchProfile::mi250x_gcd(), false);
@@ -177,9 +179,8 @@ fn compiler_model_matches_claims() {
     let bu_ms_with = |c: Compiler| {
         let mut dev = Device::new(ArchProfile::mi250x_gcd(), ExecMode::Functional, 1);
         dev.set_compiler(c);
-        Xbfs::new(&dev, &g, cfg)
-            .unwrap()
-            .run(src)
+        let xbfs = Xbfs::new(&dev, &g, cfg).unwrap();
+        xbfs.run(src)
             .unwrap()
             .level_stats
             .iter()
@@ -206,7 +207,10 @@ fn nfg_is_used_and_helps() {
     assert!(
         with.level_stats.iter().filter(|l| l.used_nfg).count() >= with.level_stats.len() - 1,
         "NFG should apply on nearly every level: {:?}",
-        with.level_stats.iter().map(|l| l.used_nfg).collect::<Vec<_>>()
+        with.level_stats
+            .iter()
+            .map(|l| l.used_nfg)
+            .collect::<Vec<_>>()
     );
     let without = run_cfg(
         &g,
@@ -233,7 +237,8 @@ fn optimized_port_beats_naive_port() {
             cfg.required_streams(),
         );
         dev.set_compiler(Compiler::HipccO3);
-        Xbfs::new(&dev, &g, cfg).unwrap().run(src).unwrap().total_ms
+        let xbfs = Xbfs::new(&dev, &g, cfg).unwrap();
+        xbfs.run(src).unwrap().total_ms
     };
     let optimized = run_cfg(&g, XbfsConfig::optimized_amd(), src).total_ms;
     assert!(

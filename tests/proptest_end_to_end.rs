@@ -5,8 +5,7 @@
 use gcd_sim::Device;
 use proptest::prelude::*;
 use xbfs_baselines::{
-    BeamerLike, EnterpriseLike, GpuBfs, GunrockLike, HierarchicalQueue, SimpleTopDown,
-    SsspAsync,
+    BeamerLike, EnterpriseLike, GpuBfs, GunrockLike, HierarchicalQueue, SimpleTopDown, SsspAsync,
 };
 use xbfs_core::{Xbfs, XbfsConfig};
 use xbfs_graph::builder::{BuildOptions, CsrBuilder};

@@ -110,7 +110,9 @@ fn traced_faulted_cluster_run_records_recovery_and_matches_untraced() {
     assert!((plain.total_ms - run.total_ms).abs() < 1e-12);
 
     let trace = rec.finish();
-    trace.well_formed().expect("cluster trace must be well-formed");
+    trace
+        .well_formed()
+        .expect("cluster trace must be well-formed");
 
     // One level span per executed level-attempt (recovery re-executes some).
     assert_eq!(
@@ -121,11 +123,17 @@ fn traced_faulted_cluster_run_records_recovery_and_matches_untraced() {
         trace.spans_named(names::span::RECOVERY).count(),
         run.recoveries.len()
     );
-    assert!(!run.recoveries.is_empty(), "crash plan must trigger recovery");
+    assert!(
+        !run.recoveries.is_empty(),
+        "crash plan must trigger recovery"
+    );
     assert!(trace.spans_named(names::span::CHECKPOINT).count() > 0);
     assert!(trace.spans_named(names::span::COLLECTIVE).count() > 0);
     assert_eq!(trace.events_named(names::event::FAULT_CRASH).count(), 1);
-    assert_eq!(trace.events_named(names::event::RECOVERY_RESTORE).count(), 1);
+    assert_eq!(
+        trace.events_named(names::event::RECOVERY_RESTORE).count(),
+        1
+    );
 
     // Root carries the cluster summary.
     let root = trace.roots().next().expect("run root span");

@@ -80,7 +80,10 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
     let t0 = Instant::now();
     f(&mut b);
     let wall = t0.elapsed();
-    println!("bench {label}: {:.3} ms (single pass)", wall.as_secs_f64() * 1e3);
+    println!(
+        "bench {label}: {:.3} ms (single pass)",
+        wall.as_secs_f64() * 1e3
+    );
 }
 
 /// Timing handle passed to benchmark closures.

@@ -192,7 +192,7 @@ pub mod strategy {
             }
         )*};
     }
-    impl_tuple_strategy!((A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E));
+    impl_tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
 }
 
 pub mod collection {
@@ -312,9 +312,7 @@ mod tests {
     use crate::prelude::*;
 
     fn arb_pair() -> impl Strategy<Value = (usize, Vec<u32>)> {
-        (1usize..10).prop_flat_map(|n| {
-            (Just(n), crate::collection::vec(0..n as u32, 0..20))
-        })
+        (1usize..10).prop_flat_map(|n| (Just(n), crate::collection::vec(0..n as u32, 0..20)))
     }
 
     proptest! {

@@ -208,7 +208,10 @@ mod tests {
         let v = vec![3u32, 1, 2];
         let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, vec![6, 2, 4]);
-        let total = (0..5usize).into_par_iter().map(|x| x as u64).reduce(|| 0, |a, b| a + b);
+        let total = (0..5usize)
+            .into_par_iter()
+            .map(|x| x as u64)
+            .reduce(|| 0, |a, b| a + b);
         assert_eq!(total, 10);
         let mut s = vec![5, 4, 1];
         s.par_sort_unstable();
@@ -216,7 +219,10 @@ mod tests {
         let mut acc = 0u32;
         v.par_iter().for_each(|&x| acc += x);
         assert_eq!(acc, 6);
-        let flat: Vec<u32> = (0..3u32).into_par_iter().flat_map_iter(|x| vec![x; 2]).collect();
+        let flat: Vec<u32> = (0..3u32)
+            .into_par_iter()
+            .flat_map_iter(|x| vec![x; 2])
+            .collect();
         assert_eq!(flat, vec![0, 0, 1, 1, 2, 2]);
         let mapped: Vec<u32> = (0..3u32)
             .into_par_iter()

@@ -45,11 +45,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match derived_type_name(&input) {
-        Some((name, false)) => {
-            format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
-                .parse()
-                .unwrap()
-        }
+        Some((name, false)) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
         _ => TokenStream::new(),
     }
 }
