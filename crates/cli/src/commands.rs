@@ -4,7 +4,7 @@
 use crate::args::Args;
 use gcd_sim::{ArchProfile, Compiler, Device, ExecMode};
 use std::path::Path;
-use xbfs_core::{ms_bfs, Strategy, Xbfs, XbfsConfig, XbfsError};
+use xbfs_core::{ms_bfs, BitflipPlan, Sabotage, Strategy, Xbfs, XbfsConfig, XbfsError};
 use xbfs_graph::builder::BuildOptions;
 use xbfs_graph::generators::{rmat_graph, RmatParams};
 use xbfs_graph::stats::{level_profile, pick_sources, summarize};
@@ -13,7 +13,7 @@ use xbfs_multi_gcd::{
     ClusterConfig, ClusterError, FaultConfig, FaultEvent, FaultPlan, GcdCluster, LinkModel,
     RecoveryPolicy,
 };
-use xbfs_telemetry::{names, JsonValue, Recorder, TraceFormat};
+use xbfs_telemetry::{names, AttrValue, JsonValue, Recorder, TraceFormat};
 
 /// Exit codes the `xbfs` binary maps failures to.
 pub mod exit_code {
@@ -31,6 +31,9 @@ pub mod exit_code {
     pub const UNRECOVERED_FAULT: i32 = 5;
     /// BFS output failed Graph500 validation.
     pub const VALIDATION: i32 = 6;
+    /// Silent data corruption detected (checksum, pool guard, or result
+    /// certificate) and not corrected.
+    pub const INTEGRITY: i32 = 7;
 }
 
 /// A CLI failure: a user-facing message plus the process exit code.
@@ -80,7 +83,13 @@ impl From<&str> for CliError {
 
 impl From<XbfsError> for CliError {
     fn from(e: XbfsError) -> Self {
-        Self::new(e.to_string(), exit_code::INVALID_INPUT)
+        match e {
+            // Stable "IntegrityError:" prefix — CI greps for it.
+            XbfsError::Integrity(i) => {
+                Self::new(format!("IntegrityError: {i}"), exit_code::INTEGRITY)
+            }
+            other => Self::new(other.to_string(), exit_code::INVALID_INPUT),
+        }
     }
 }
 
@@ -112,6 +121,8 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "forced",
             "rearrange",
             "validate",
+            "verify",
+            "inject-bitflips",
             "csv",
             "trace",
         ],
@@ -130,7 +141,19 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
         ],
         "msbfs" => vec!["sources"],
         "compare" => vec!["source"],
-        "sweep" => vec!["sources", "threads", "seed", "alpha", "json"],
+        "sweep" => vec![
+            "sources",
+            "threads",
+            "seed",
+            "alpha",
+            "json",
+            "verify",
+            "inject-bitflips",
+            "max-pool-bytes",
+            "deadline-factor",
+            "retries",
+            "trace",
+        ],
         _ => return None,
     };
     if matches!(command, "bfs" | "run" | "msbfs" | "compare" | "sweep") {
@@ -185,9 +208,14 @@ COMMANDS
   convert   IN OUT        convert between .txt (edge list), .mtx and .bin
   info      FILE          print graph statistics and a level profile
   bfs       FILE [--source N] [--alpha F | --auto-alpha] [--forced scan-free|single-scan|bottom-up]
-            [--rearrange] [--validate] [--arch mi250x|mi100|p6000] [--compiler clang|hipcc|clang-O0]
+            [--rearrange] [--validate] [--verify] [--inject-bitflips SPEC]
+            [--arch mi250x|mi100|p6000] [--compiler clang|hipcc|clang-O0]
             [--timing] [--csv FILE] [--trace FMT:PATH]
-            run one BFS and report per-level stats (`run` is an alias)
+            run one BFS and report per-level stats (`run` is an alias);
+            --verify certifies the result (CSR + pool checksums, O(V+E)
+            certificate) and --inject-bitflips flips seeded bits in device
+            state: comma-separated status[:N], parents[:N], csr[:N],
+            pool[:N], seed=N
   cluster   FILE [--gcds N] [--source N] [--alpha F] [--push-only]
             [--inject-faults SPEC|random[:SEED]] [--checkpoint-every N]
             [--recovery spare|degrade] [--validate] [--json FILE] [--csv FILE]
@@ -198,11 +226,22 @@ COMMANDS
   msbfs     FILE [--sources N]      concurrent multi-source BFS (iBFS-style)
   compare   FILE [--source N]       XBFS vs every baseline engine
   sweep     FILE [--sources N] [--threads T] [--seed N] [--alpha F] [--json FILE]
+            [--verify] [--inject-bitflips SPEC] [--max-pool-bytes B]
+            [--deadline-factor F] [--retries N] [--trace FMT:PATH]
             batched multi-source sweep: one pooled engine per OS thread runs
             N sources back-to-back, then the same sources are re-run with a
             per-source in-process rebuild (the bit-identity reference);
             reports host runs/sec, aggregate modeled GTEPS and the speedup,
-            and verifies the two passes produce bit-identical results
+            and verifies the two passes produce bit-identical results.
+            --verify turns the sweep into a self-healing supervisor: every
+            run is certified, runs failing certification are quarantined
+            and re-executed on a fresh engine (non-pooled state) with
+            bounded retries (--retries, default 2) and backoff, runs
+            exceeding --deadline-factor (default 25) x the first run's
+            modeled time are flagged, and a health section lands in the
+            report and JSON. --inject-bitflips (implies --verify) corrupts
+            device state per run; --max-pool-bytes caps parked pool memory
+            with LRU trimming (pressure events counted in health)
   analyze   FILE                    connected components, diameter estimate
   trace     summarize FILE          summarize a recorded trace (xbfs-trace-v1
                                     JSON or chrome trace.json)
@@ -216,7 +255,8 @@ TRACING
 
 EXIT CODES
   0 ok, 1 generic, 2 usage, 3 I/O, 4 invalid input, 5 unrecovered fault,
-  6 validation failure
+  6 validation failure, 7 integrity violation (silent data corruption
+  detected and not corrected)
 ";
 
 /// Load a graph by extension (.bin, .mtx, anything else = edge list).
@@ -361,6 +401,17 @@ fn trace_setup(args: &Args) -> Result<(Option<(TraceFormat, String)>, Recorder),
     }
 }
 
+/// Parse `--inject-bitflips` into a plan. `None` when the option is
+/// absent; an unparsable spec is the user's fault, not corruption.
+fn parse_bitflip_plan(args: &Args) -> Result<Option<BitflipPlan>, CliError> {
+    match args.options.get("inject-bitflips") {
+        Some(spec) => BitflipPlan::parse(spec)
+            .map(Some)
+            .map_err(|e| CliError::new(e, exit_code::INVALID_INPUT)),
+        None => Ok(None),
+    }
+}
+
 /// Deliver a recorded trace. Path `-` replaces the whole command output
 /// with the rendered trace (pure JSON/CSV on stdout, pipeable); any other
 /// path writes the file and appends a note to `out`.
@@ -387,9 +438,11 @@ fn bfs(args: &Args) -> Result<String, CliError> {
     if args.flag("rearrange") {
         g = rearrange_by_degree(&g, RearrangeOrder::DegreeDescending);
     }
+    // The certificate's parent-tree checks need recorded parents, so
+    // --verify implies them just like --validate does.
     let mut cfg = XbfsConfig {
         alpha: args.get("alpha", 0.1)?,
-        record_parents: args.flag("validate"),
+        record_parents: args.flag("validate") || args.flag("verify"),
         ..XbfsConfig::default()
     };
     if let Some(f) = args.options.get("forced") {
@@ -413,10 +466,43 @@ fn bfs(args: &Args) -> Result<String, CliError> {
         );
     }
     let (trace_opt, recorder) = trace_setup(args)?;
+    let plan = parse_bitflip_plan(args)?;
     let xbfs = Xbfs::new(&dev, &g, cfg)?;
-    let run = xbfs.run_traced(source, &recorder)?;
+
+    let mut cert_note = String::new();
+    let run = match (&plan, args.flag("verify")) {
+        (None, false) => xbfs.run_traced(source, &recorder)?,
+        (None, true) => {
+            let (run, cert) = xbfs.run_verified(source, &recorder, None)?;
+            cert_note = format!(
+                "certified: {} vertices reached, depth {}, levels checksum {:#018x}\n",
+                cert.visited, cert.depth, cert.levels_checksum
+            );
+            run
+        }
+        (Some(plan), true) => {
+            let sab = Sabotage { plan, salt: 0 };
+            let (run, cert) = xbfs.run_verified(source, &recorder, Some(&sab))?;
+            cert_note = format!(
+                "certified: {} vertices reached, depth {}, levels checksum {:#018x}\n",
+                cert.visited, cert.depth, cert.levels_checksum
+            );
+            run
+        }
+        (Some(plan), false) => {
+            // The "what does corruption do when nothing checks" baseline.
+            eprintln!(
+                "warning: --inject-bitflips without --verify: corrupting \
+                 device state ({}) with no detection",
+                plan.to_spec()
+            );
+            let sab = Sabotage { plan, salt: 0 };
+            xbfs.run_with_sabotage(source, &recorder, &sab)?
+        }
+    };
 
     let mut out = tuned_note;
+    out.push_str(&cert_note);
     out.push_str(&format!(
         "source {source}: {} levels, {:.4} ms, {:.2} GTEPS\n",
         run.depth(),
@@ -697,6 +783,231 @@ fn sweep_digest(source: u32, run: &xbfs_core::BfsRun) -> u64 {
     h
 }
 
+/// Aggregated supervisor health for one sweep: every detection,
+/// quarantine, re-execution and resource-pressure event, summed across
+/// workers. Lands in the report text and the `xbfs-sweep-v1` JSON.
+#[derive(Default)]
+struct SweepHealth {
+    certified: u64,
+    sdc_detected: u64,
+    quarantined: u64,
+    reexecuted: u64,
+    corrected: u64,
+    // An exhausted-retries abort fails the whole sweep (exit 7), so any
+    // report that gets emitted shows 0 here; the field documents the
+    // schema for consumers.
+    aborted: u64,
+    deadline_exceeded: u64,
+    pool_pressure_events: u64,
+    engine_rebuilds: u64,
+}
+
+impl SweepHealth {
+    fn add(&mut self, o: &SweepHealth) {
+        self.certified += o.certified;
+        self.sdc_detected += o.sdc_detected;
+        self.quarantined += o.quarantined;
+        self.reexecuted += o.reexecuted;
+        self.corrected += o.corrected;
+        self.aborted += o.aborted;
+        self.deadline_exceeded += o.deadline_exceeded;
+        self.pool_pressure_events += o.pool_pressure_events;
+        self.engine_rebuilds += o.engine_rebuilds;
+    }
+}
+
+/// Why a sweep worker ended an engine generation early: the run that
+/// failed certification, and the retry budget that applies to it.
+struct IntegrityFailure {
+    source: u32,
+    retries: u32,
+    error: xbfs_core::IntegrityError,
+}
+
+/// One sweep worker: its chunk of sources on a pooled engine. With
+/// supervision (`sup`) every run is certified; a run failing certification
+/// is quarantined, the engine *and its device* are discarded (a corrupted
+/// CSR or parked buffer must not outlive detection — re-parking it would
+/// checksum the corrupted contents), and the run re-executes on a rebuilt
+/// engine with fresh, non-pooled state under bounded exponential backoff.
+/// Bit flips, when injected, hit only attempt 0 — retries and the rebuilt
+/// reference pass stay clean, which is what keeps the sweep's bit-identity
+/// check meaningful under fault injection.
+#[allow(clippy::too_many_arguments)]
+fn sweep_worker(
+    args: &Args,
+    g: &Csr,
+    cfg: XbfsConfig,
+    part: &[u32],
+    plan: Option<&BitflipPlan>,
+    sup: Option<(f64, u32)>,
+    max_pool_bytes: Option<u64>,
+    rec: &Recorder,
+    track: usize,
+    t0: &std::time::Instant,
+) -> Result<(Vec<SweepRec>, SweepHealth), CliError> {
+    let now_us = || t0.elapsed().as_secs_f64() * 1e6;
+    let mut health = SweepHealth::default();
+    let mk = || -> Result<Device, CliError> {
+        let dev = mk_device(args, cfg.required_streams())?;
+        dev.set_pool_limit(max_pool_bytes);
+        Ok(dev)
+    };
+    let span = rec.begin_span(None, names::span::SWEEP, track, now_us());
+    rec.span_attr(span, "worker", AttrValue::U64(track as u64));
+    rec.span_attr(span, "runs", AttrValue::U64(part.len() as u64));
+
+    let mut recs = Vec::with_capacity(part.len());
+    let mut deadline_ms: Option<f64> = None;
+    let mut idx = 0usize; // next source in `part`
+    let mut attempt: u32 = 0; // retry attempt for part[idx]
+                              // Each iteration is one engine *generation*: a fresh device and a
+                              // fresh engine. A generation ends when the chunk completes, or when a
+                              // run fails certification — then the engine AND its device are
+                              // discarded, because a corrupted CSR or parked buffer must not
+                              // survive into the next generation (re-parking it would checksum the
+                              // corrupted contents). Pool pressure is read after the engine drops:
+                              // the drop parks its BFS state, which is where a byte cap trims.
+    while idx < part.len() {
+        let dev = mk()?;
+        let quarantined = {
+            let engine = Xbfs::new(&dev, g, cfg)?;
+            loop {
+                if idx >= part.len() {
+                    break None;
+                }
+                let s = part[idx];
+                let Some((deadline_factor, retries)) = sup else {
+                    let run = engine.run(s)?;
+                    recs.push(SweepRec {
+                        ms: run.total_ms,
+                        edges: run.traversed_edges,
+                        digest: sweep_digest(s, &run),
+                    });
+                    idx += 1;
+                    continue;
+                };
+                // Injection targets attempt 0 only: retries run clean, so
+                // a corrected run is bit-identical to the rebuilt
+                // reference.
+                let sab = (attempt == 0)
+                    .then(|| {
+                        plan.map(|p| Sabotage {
+                            plan: p,
+                            salt: u64::from(s),
+                        })
+                    })
+                    .flatten();
+                match engine.run_verified(s, &Recorder::disabled(), sab.as_ref()) {
+                    Ok((run, _cert)) => {
+                        health.certified += 1;
+                        if attempt > 0 {
+                            health.corrected += 1;
+                        }
+                        // The first certified run calibrates the worker's
+                        // modeled-time deadline; exceedances are flagged
+                        // in health (and the trace), not failures.
+                        let dl = *deadline_ms.get_or_insert(run.total_ms * deadline_factor);
+                        if run.total_ms > dl {
+                            health.deadline_exceeded += 1;
+                            rec.event(
+                                Some(span),
+                                names::event::DEADLINE_EXCEEDED,
+                                track,
+                                now_us(),
+                                vec![
+                                    ("source".into(), AttrValue::U64(u64::from(s))),
+                                    ("modeled_ms".into(), AttrValue::F64(run.total_ms)),
+                                    ("deadline_ms".into(), AttrValue::F64(dl)),
+                                ],
+                            );
+                        }
+                        recs.push(SweepRec {
+                            ms: run.total_ms,
+                            edges: run.traversed_edges,
+                            digest: sweep_digest(s, &run),
+                        });
+                        idx += 1;
+                        attempt = 0;
+                    }
+                    Err(XbfsError::Integrity(e)) => {
+                        health.sdc_detected += 1;
+                        rec.event(
+                            Some(span),
+                            names::event::SDC_DETECTED,
+                            track,
+                            now_us(),
+                            vec![
+                                ("source".into(), AttrValue::U64(u64::from(s))),
+                                ("attempt".into(), AttrValue::U64(u64::from(attempt))),
+                                ("error".into(), AttrValue::Str(e.to_string())),
+                            ],
+                        );
+                        if attempt == 0 {
+                            health.quarantined += 1;
+                            rec.event(
+                                Some(span),
+                                names::event::QUARANTINED,
+                                track,
+                                now_us(),
+                                vec![("source".into(), AttrValue::U64(u64::from(s)))],
+                            );
+                        }
+                        break Some(IntegrityFailure {
+                            source: s,
+                            retries,
+                            error: e,
+                        });
+                    }
+                    Err(other) => return Err(other.into()),
+                }
+            }
+        }; // engine dropped here; its state parks into the pool
+        health.pool_pressure_events += dev.pool_pressure_events();
+        let Some(fail) = quarantined else { break };
+        health.engine_rebuilds += 1;
+        if attempt >= fail.retries {
+            return Err(CliError::new(
+                format!(
+                    "IntegrityError: source {} failed certification after {} \
+                     attempt(s): {}",
+                    fail.source,
+                    attempt + 1,
+                    fail.error
+                ),
+                exit_code::INTEGRITY,
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1 << attempt.min(6)));
+        attempt += 1;
+        health.reexecuted += 1;
+        rec.event(
+            Some(span),
+            names::event::REEXECUTED,
+            track,
+            now_us(),
+            vec![
+                ("source".into(), AttrValue::U64(u64::from(fail.source))),
+                ("attempt".into(), AttrValue::U64(u64::from(attempt))),
+            ],
+        );
+    }
+    rec.counter(
+        names::metric::POOL_PRESSURE_EVENTS,
+        track,
+        now_us(),
+        health.pool_pressure_events as f64,
+    );
+    rec.counter(
+        names::metric::CERTIFIED_RUNS,
+        track,
+        now_us(),
+        health.certified as f64,
+    );
+    rec.end_span(span, now_us());
+    Ok((recs, health))
+}
+
 fn sweep(args: &Args) -> Result<String, CliError> {
     let path = args.positional.first().ok_or("usage: xbfs sweep FILE")?;
     let g = load_graph(path)?;
@@ -706,12 +1017,34 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         .map_or(1, |p| p.get())
         .min(8);
     let threads = args.get::<usize>("threads", default_threads)?.clamp(1, n);
+    let plan = parse_bitflip_plan(args)?;
+    // Injection without verification would just trip the bit-identity
+    // check with an unexplained exit 6 — in a sweep, injection implies
+    // the supervisor.
+    let verify = args.flag("verify") || plan.is_some();
+    let deadline_factor = args.get::<f64>("deadline-factor", 25.0)?;
+    if deadline_factor < 1.0 {
+        return Err(CliError::usage("--deadline-factor must be >= 1"));
+    }
+    let retries = args.get::<u32>("retries", 2)?;
+    let max_pool_bytes = match args.options.get("max-pool-bytes") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| CliError::usage(format!("bad --max-pool-bytes {v:?}")))?,
+        ),
+        None => None,
+    };
+    // Both passes share the config (the certificate's parent-tree checks
+    // need recorded parents), so the bit-identity digests stay comparable.
     let cfg = XbfsConfig {
         alpha: args.get("alpha", 0.1)?,
+        record_parents: verify,
         ..XbfsConfig::default()
     };
     let sources = pick_sources(&g, n, seed);
     let n = sources.len(); // graphs smaller than --sources yield fewer
+    let sup = verify.then_some((deadline_factor, retries));
+    let (trace_opt, recorder) = trace_setup(args)?;
 
     // Pooled pass: one engine per OS thread. Each engine owns its device,
     // uploads the graph once, and recycles its BFS state across its whole
@@ -719,27 +1052,30 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     let chunk = n.div_ceil(threads);
     let t0 = std::time::Instant::now();
     let mut pooled: Vec<SweepRec> = Vec::with_capacity(n);
+    let mut health = SweepHealth::default();
     std::thread::scope(|scope| -> Result<(), CliError> {
         let mut handles = Vec::new();
-        for part in sources.chunks(chunk) {
-            let g = &g;
-            handles.push(scope.spawn(move || -> Result<Vec<SweepRec>, CliError> {
-                let dev = mk_device(args, cfg.required_streams())?;
-                let xbfs = Xbfs::new(dev, g, cfg)?;
-                part.iter()
-                    .map(|&s| {
-                        let run = xbfs.run(s)?;
-                        Ok(SweepRec {
-                            ms: run.total_ms,
-                            edges: run.traversed_edges,
-                            digest: sweep_digest(s, &run),
-                        })
-                    })
-                    .collect()
+        for (track, part) in sources.chunks(chunk).enumerate() {
+            let (g, rec, t0, plan) = (&g, &recorder, &t0, plan.as_ref());
+            handles.push(scope.spawn(move || {
+                sweep_worker(
+                    args,
+                    g,
+                    cfg,
+                    part,
+                    plan,
+                    sup,
+                    max_pool_bytes,
+                    rec,
+                    track,
+                    t0,
+                )
             }));
         }
         for h in handles {
-            pooled.extend(h.join().expect("sweep worker panicked")?);
+            let (recs, wh) = h.join().expect("sweep worker panicked")?;
+            pooled.extend(recs);
+            health.add(&wh);
         }
         Ok(())
     })?;
@@ -799,6 +1135,28 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         "speedup vs in-process rebuild: {speedup:.2}x runs/sec; \
          results bit-identical (checksum {ck_pooled:#018x})\n"
     ));
+    if verify {
+        out.push_str(&format!(
+            "supervisor: {}/{n} certified, {} SDC detected, {} quarantined, \
+             {} re-executed, {} corrected, {} aborted\n",
+            health.certified,
+            health.sdc_detected,
+            health.quarantined,
+            health.reexecuted,
+            health.corrected,
+            health.aborted,
+        ));
+        out.push_str(&format!(
+            "            {} deadline exceedance(s), {} pool pressure event(s), \
+             {} engine rebuild(s)\n",
+            health.deadline_exceeded, health.pool_pressure_events, health.engine_rebuilds,
+        ));
+    } else if let Some(cap) = max_pool_bytes {
+        out.push_str(&format!(
+            "pool pressure: {} event(s) under the {cap}-byte cap\n",
+            health.pool_pressure_events
+        ));
+    }
     if let Some(json_path) = args.options.get("json") {
         let json = format!(
             "{{\n\
@@ -811,16 +1169,35 @@ fn sweep(args: &Args) -> Result<String, CliError> {
              \"aggregate_gteps\": {agg_gteps:.4}}},\n\
              \x20 \"unpooled\": {{\"wall_ms\": {:.3}, \"runs_per_sec\": {rebuilt_rps:.3}}},\n\
              \x20 \"speedup\": {speedup:.3},\n\
+             \x20 \"verified\": {verify},\n\
+             \x20 \"health\": {{\"certified\": {}, \"sdc_detected\": {}, \
+             \"quarantined\": {}, \"reexecuted\": {}, \"corrected\": {}, \
+             \"aborted\": {}, \"deadline_exceeded\": {}, \
+             \"pool_pressure_events\": {}, \"engine_rebuilds\": {}}},\n\
              \x20 \"checksum\": \"{ck_pooled:#018x}\"\n\
              }}\n",
             g.num_vertices(),
             g.num_edges(),
             pooled_wall * 1000.0,
             rebuilt_wall * 1000.0,
+            health.certified,
+            health.sdc_detected,
+            health.quarantined,
+            health.reexecuted,
+            health.corrected,
+            health.aborted,
+            health.deadline_exceeded,
+            health.pool_pressure_events,
+            health.engine_rebuilds,
         );
         std::fs::write(json_path, json)
             .map_err(|e| CliError::io(format!("cannot write {json_path}: {e}")))?;
         out.push_str(&format!("sweep record written to {json_path}\n"));
+    }
+    if let Some((fmt, trace_path)) = trace_opt {
+        if let Some(direct) = emit_trace(&mut out, fmt, &trace_path, &recorder)? {
+            return Ok(direct);
+        }
     }
     Ok(out)
 }
@@ -1129,6 +1506,124 @@ mod tests {
         // Unknown options stay usage errors.
         assert_eq!(
             run(&["sweep", &path, "--frobnicate"]).unwrap_err().code,
+            exit_code::USAGE
+        );
+    }
+
+    #[test]
+    fn bfs_verify_certifies_clean_runs() {
+        let path = tmp("g20.bin");
+        run(&["generate", "--out", &path, "--scale", "9"]).unwrap();
+        let out = run(&["bfs", &path, "--verify"]).unwrap();
+        assert!(out.contains("certified:"), "{out}");
+        assert!(out.contains("levels checksum"), "{out}");
+        // An unparsable bit-flip spec is the user's fault, not corruption.
+        let err = run(&["bfs", &path, "--verify", "--inject-bitflips", "bogus"]).unwrap_err();
+        assert_eq!(err.code, exit_code::INVALID_INPUT, "{err}");
+    }
+
+    #[test]
+    fn bfs_verify_detects_injected_bitflips() {
+        let path = tmp("g21.bin");
+        run(&["generate", "--out", &path, "--scale", "9"]).unwrap();
+        for spec in ["status,seed=7", "parents,seed=3", "csr,seed=9"] {
+            let err = run(&["bfs", &path, "--verify", "--inject-bitflips", spec]).unwrap_err();
+            assert_eq!(err.code, exit_code::INTEGRITY, "{spec}: {err}");
+            assert!(err.message.starts_with("IntegrityError:"), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn sweep_supervisor_self_heals_under_injection() {
+        let path = tmp("g22.bin");
+        run(&["generate", "--out", &path, "--scale", "9"]).unwrap();
+        let json = tmp("g22_sweep.json");
+        let out = run(&[
+            "sweep",
+            &path,
+            "--sources",
+            "6",
+            "--threads",
+            "2",
+            "--inject-bitflips",
+            "status,seed=5",
+            "--json",
+            &json,
+        ])
+        .unwrap();
+        // Every injected run is detected, quarantined, re-executed, and
+        // corrected; the corrected results stay bit-identical to the
+        // clean rebuilt reference.
+        assert!(out.contains("bit-identical"), "{out}");
+        assert!(out.contains("6/6 certified"), "{out}");
+        let doc = JsonValue::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        let health = doc.get("health").expect("health section");
+        let get = |k: &str| health.get(k).and_then(JsonValue::as_f64).unwrap();
+        assert_eq!(get("sdc_detected"), 6.0);
+        assert_eq!(get("quarantined"), 6.0);
+        assert_eq!(get("reexecuted"), 6.0);
+        assert_eq!(get("corrected"), 6.0);
+        assert_eq!(get("aborted"), 0.0);
+        assert!(get("engine_rebuilds") >= 6.0);
+        assert_eq!(doc.get("verified").and_then(JsonValue::as_bool), Some(true));
+    }
+
+    #[test]
+    fn sweep_retries_exhausted_aborts_with_integrity_exit() {
+        let path = tmp("g23.bin");
+        run(&["generate", "--out", &path, "--scale", "9"]).unwrap();
+        let err = run(&[
+            "sweep",
+            &path,
+            "--sources",
+            "4",
+            "--threads",
+            "1",
+            "--inject-bitflips",
+            "csr,seed=11",
+            "--retries",
+            "0",
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, exit_code::INTEGRITY, "{err}");
+        assert!(err.message.starts_with("IntegrityError:"), "{err}");
+        assert!(err.message.contains("failed certification"), "{err}");
+    }
+
+    #[test]
+    fn sweep_pool_cap_reports_pressure_and_stays_bit_identical() {
+        let path = tmp("g24.bin");
+        run(&["generate", "--out", &path, "--scale", "9"]).unwrap();
+        let json = tmp("g24_sweep.json");
+        let out = run(&[
+            "sweep",
+            &path,
+            "--sources",
+            "8",
+            "--threads",
+            "2",
+            "--max-pool-bytes",
+            "2048",
+            "--json",
+            &json,
+        ])
+        .unwrap();
+        // The byte cap degrades pooling to fresh allocation, never
+        // correctness: results remain bit-identical, pressure is counted.
+        assert!(out.contains("bit-identical"), "{out}");
+        assert!(out.contains("pool pressure"), "{out}");
+        let doc = JsonValue::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        let pressure = doc
+            .get("health")
+            .and_then(|h| h.get("pool_pressure_events"))
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert!(pressure > 0.0, "cap of 2 KB must trim state parks");
+        // A bad cap value is a usage error.
+        assert_eq!(
+            run(&["sweep", &path, "--max-pool-bytes", "lots"])
+                .unwrap_err()
+                .code,
             exit_code::USAGE
         );
     }

@@ -4,7 +4,8 @@
 //! adjacency (`csr`), plus a precomputed 4-byte degree array that XBFS keeps
 //! to avoid loading two offsets per vertex in expansion kernels.
 
-use gcd_sim::{BufU32, BufU64, Device};
+use crate::integrity::IntegrityError;
+use gcd_sim::{fnv1a, BufU32, BufU64, Device};
 use xbfs_graph::Csr;
 
 /// A CSR graph uploaded to the device.
@@ -17,6 +18,28 @@ pub struct DeviceGraph {
     pub degrees: BufU32,
     num_vertices: usize,
     num_edges: usize,
+    /// FNV-1a digest of the topology at upload time; [`DeviceGraph::verify`]
+    /// re-derives it from device memory to detect in-place corruption.
+    checksum: u64,
+}
+
+/// Digest the full topology (shape first, then every word). The per-word
+/// FNV-1a mix is bijective, so any single-word corruption in offsets,
+/// adjacency, or degrees always changes the digest.
+fn csr_digest(
+    num_vertices: usize,
+    num_edges: usize,
+    offsets: impl Iterator<Item = u64>,
+    adjacency: impl Iterator<Item = u32>,
+    degrees: impl Iterator<Item = u32>,
+) -> u64 {
+    fnv1a(
+        [num_vertices as u64, num_edges as u64]
+            .into_iter()
+            .chain(offsets)
+            .chain(adjacency.map(u64::from))
+            .chain(degrees.map(u64::from)),
+    )
 }
 
 impl DeviceGraph {
@@ -33,12 +56,47 @@ impl DeviceGraph {
         adjacency.host_write(g.adjacency());
         let degree_buf = device.pool_acquire_u32(degrees.len());
         degree_buf.host_write(&degrees);
+        let checksum = csr_digest(
+            g.num_vertices(),
+            g.num_edges(),
+            g.offsets().iter().copied(),
+            g.adjacency().iter().copied(),
+            degrees.iter().copied(),
+        );
         Self {
             offsets,
             adjacency,
             degrees: degree_buf,
             num_vertices: g.num_vertices(),
             num_edges: g.num_edges(),
+            checksum,
+        }
+    }
+
+    /// The topology digest recorded at upload.
+    #[inline]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Re-derive the topology digest from device memory and compare it to
+    /// the upload-time record — an O(|V| + |E|) sweep that detects any
+    /// single-word corruption of the resident CSR.
+    pub fn verify(&self) -> Result<(), IntegrityError> {
+        let actual = csr_digest(
+            self.num_vertices,
+            self.num_edges,
+            (0..self.offsets.len()).map(|i| self.offsets.load(i)),
+            (0..self.adjacency.len()).map(|i| self.adjacency.load(i)),
+            (0..self.degrees.len()).map(|i| self.degrees.load(i)),
+        );
+        if actual == self.checksum {
+            Ok(())
+        } else {
+            Err(IntegrityError::GraphChecksum {
+                expected: self.checksum,
+                actual,
+            })
         }
     }
 
@@ -86,5 +144,24 @@ mod tests {
         for v in 0..128u32 {
             assert_eq!(deg[v as usize], g.degree(v));
         }
+    }
+
+    #[test]
+    fn verify_detects_any_single_bit_flip() {
+        let g = erdos_renyi(64, 200, 7);
+        let dev = Device::mi250x();
+        let dg = DeviceGraph::upload(&dev, &g);
+        assert!(dg.verify().is_ok());
+        // Flip one bit in each region; every flip must change the digest.
+        dg.adjacency.store(5, dg.adjacency.load(5) ^ (1 << 13));
+        assert!(dg.verify().is_err());
+        dg.adjacency.store(5, dg.adjacency.load(5) ^ (1 << 13));
+        dg.offsets.store(10, dg.offsets.load(10) ^ (1 << 40));
+        assert!(dg.verify().is_err());
+        dg.offsets.store(10, dg.offsets.load(10) ^ (1 << 40));
+        dg.degrees.store(0, dg.degrees.load(0) ^ 1);
+        assert!(dg.verify().is_err());
+        dg.degrees.store(0, dg.degrees.load(0) ^ 1);
+        assert!(dg.verify().is_ok(), "restored graph verifies again");
     }
 }

@@ -4,6 +4,7 @@
 //! panics, so library users and the CLI can map them to messages and exit
 //! codes.
 
+use crate::integrity::IntegrityError;
 use std::fmt;
 
 /// Why an XBFS operation failed.
@@ -25,6 +26,9 @@ pub enum XbfsError {
         /// Vertices in the graph.
         num_vertices: usize,
     },
+    /// Silent data corruption was detected by a checksum, a pool guard,
+    /// or the result certificate (see [`IntegrityError`]).
+    Integrity(IntegrityError),
 }
 
 impl fmt::Display for XbfsError {
@@ -45,8 +49,15 @@ impl fmt::Display for XbfsError {
                 f,
                 "source vertex {source} out of range (graph has {num_vertices} vertices)"
             ),
+            Self::Integrity(e) => write!(f, "integrity violation: {e}"),
         }
     }
 }
 
 impl std::error::Error for XbfsError {}
+
+impl From<IntegrityError> for XbfsError {
+    fn from(e: IntegrityError) -> Self {
+        Self::Integrity(e)
+    }
+}

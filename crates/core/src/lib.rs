@@ -39,6 +39,7 @@ pub mod controller;
 pub mod device_graph;
 pub mod efficiency;
 pub mod error;
+pub mod integrity;
 pub mod run_ctx;
 pub mod runner;
 pub mod state;
@@ -52,6 +53,9 @@ pub use controller::Controller;
 pub use device_graph::DeviceGraph;
 pub use efficiency::{bandwidth_efficiency, Efficiency};
 pub use error::XbfsError;
+pub use integrity::{
+    apply_sabotage, certify_run, BitflipPlan, CertViolation, Certificate, IntegrityError, Sabotage,
+};
 pub use run_ctx::RunCtx;
 pub use runner::Xbfs;
 pub use state::{decode_level, is_unvisited, BfsState, BinThresholds, QueueState, UNVISITED};

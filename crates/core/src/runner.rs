@@ -13,6 +13,7 @@ use crate::config::XbfsConfig;
 use crate::controller::Controller;
 use crate::device_graph::DeviceGraph;
 use crate::error::XbfsError;
+use crate::integrity::{apply_sabotage, certify_run, Certificate, Sabotage};
 use crate::state::{ctr, decode_level, ectr, BfsState, QueueState, UNVISITED};
 use crate::stats::{BfsRun, LevelStats};
 use crate::strategy::{
@@ -133,6 +134,82 @@ impl<D: Borrow<Device>> Xbfs<D> {
     /// telemetry call is a single relaxed atomic load, so this is the
     /// same hot path `run` uses.
     pub fn run_traced(&self, source: u32, rec: &Recorder) -> Result<BfsRun, XbfsError> {
+        self.run_impl(source, rec, None)
+    }
+
+    /// Run with certificate validation: the pool and CSR are checksummed
+    /// around the run and the output is validated by
+    /// [`crate::integrity::certify_run`]; any detection surfaces as
+    /// [`XbfsError::Integrity`]. The run itself is the exact hot path
+    /// [`Xbfs::run`] executes, so certified fault-free results are
+    /// bit-identical to unverified ones.
+    pub fn run_certified(&self, source: u32) -> Result<(BfsRun, Certificate), XbfsError> {
+        self.run_certified_traced(source, &Recorder::disabled())
+    }
+
+    /// [`Xbfs::run_certified`] with telemetry (see [`Xbfs::run_traced`]).
+    pub fn run_certified_traced(
+        &self,
+        source: u32,
+        rec: &Recorder,
+    ) -> Result<(BfsRun, Certificate), XbfsError> {
+        self.run_verified(source, rec, None)
+    }
+
+    /// Run with bit-flip injection but *no* verification — the "what does
+    /// corruption do when nothing checks" baseline the CLI exposes as
+    /// `--inject-bitflips` without `--verify`.
+    pub fn run_with_sabotage(
+        &self,
+        source: u32,
+        rec: &Recorder,
+        sabotage: &Sabotage<'_>,
+    ) -> Result<BfsRun, XbfsError> {
+        self.run_impl(source, rec, Some(sabotage))
+    }
+
+    /// The full verified pipeline: pre-run pool sweep, the (optionally
+    /// sabotaged) run, CSR checksum re-check, certificate validation, and
+    /// a post-run pool sweep. Injection, when requested, happens inside
+    /// the run — this is how the detection path is exercised end to end.
+    pub fn run_verified(
+        &self,
+        source: u32,
+        rec: &Recorder,
+        sabotage: Option<&Sabotage<'_>>,
+    ) -> Result<(BfsRun, Certificate), XbfsError> {
+        let dev: &Device = self.device.borrow();
+        // Surface corruption the pool already quarantined (e.g. during
+        // engine construction) before investing in a run.
+        if let Some(f) = dev.take_pool_faults().into_iter().next() {
+            return Err(crate::integrity::IntegrityError::Pool(f).into());
+        }
+        dev.verify_pool()
+            .map_err(crate::integrity::IntegrityError::Pool)?;
+        let run = self.run_impl(source, rec, sabotage)?;
+        self.graph.verify()?;
+        let cert = certify_run(
+            &self.graph.offsets.to_host(),
+            &self.graph.adjacency.to_host(),
+            &run,
+        )
+        .map_err(crate::integrity::IntegrityError::Certificate)?;
+        // Catch corruption of buffers that sat parked during the run, and
+        // any quarantine the run's own acquires performed.
+        dev.verify_pool()
+            .map_err(crate::integrity::IntegrityError::Pool)?;
+        if let Some(f) = dev.take_pool_faults().into_iter().next() {
+            return Err(crate::integrity::IntegrityError::Pool(f).into());
+        }
+        Ok((run, cert))
+    }
+
+    fn run_impl(
+        &self,
+        source: u32,
+        rec: &Recorder,
+        sabotage: Option<&Sabotage<'_>>,
+    ) -> Result<BfsRun, XbfsError> {
         let dev: &Device = self.device.borrow();
         let g = &self.graph;
         let n = g.num_vertices();
@@ -358,6 +435,14 @@ impl<D: Borrow<Device>> Xbfs<D> {
         let total_us = dev.elapsed_us();
         // --- measured window ends ---
         *last_depth = level_stats.len() as u32;
+
+        // Fault injection point: corrupt live device state after the level
+        // loop but before host readback, modeling an SDC the measured
+        // window never observed. A `None` plan leaves the path untouched,
+        // so clean runs are bit-identical with or without verification.
+        if let Some(sab) = sabotage {
+            apply_sabotage(dev, g, st, sab);
+        }
 
         // Decode epoch-encoded status back to plain levels; parent entries
         // are only meaningful for vertices this run actually visited.

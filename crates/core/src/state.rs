@@ -217,16 +217,22 @@ impl BfsState {
     /// previous run (of `prev_depth` levels) can have stored, instead of
     /// re-filling O(|V|) arrays. Proactive bottom-up claims write up to
     /// `base + L + 2` at level `L ≤ prev_depth`, so `prev_depth + 3` clears
-    /// them all. Falls back to one host-side zeroing long before the bias
-    /// could near `UNVISITED`.
+    /// them all.
+    ///
+    /// Overflow guard: the *next* run's deepest possible store is
+    /// `base + (n - 1) + 2` (BFS depth is bounded by the vertex count, and
+    /// proactive claims reach two levels ahead). If that worst case could
+    /// wrap u32 or collide with the [`UNVISITED`] sentinel — which would
+    /// make stale entries read as visited — fall back to one real
+    /// host-side zeroing and restart the epoch at 1. The check is done in
+    /// u64 so the comparison itself cannot overflow.
     pub fn reset_in_place(&mut self, prev_depth: u32) {
-        let advance = prev_depth.saturating_add(3);
-        match self.base.checked_add(advance) {
-            Some(b) if b < u32::MAX / 2 => self.base = b,
-            _ => {
-                self.status.host_fill(0);
-                self.base = 1;
-            }
+        let next = u64::from(self.base) + u64::from(prev_depth) + 3;
+        if next + self.status.len() as u64 + 1 < u64::from(UNVISITED) {
+            self.base = next as u32;
+        } else {
+            self.status.host_fill(0);
+            self.base = 1;
         }
     }
 
@@ -333,10 +339,38 @@ mod tests {
         assert_eq!(st.base, 8); // 1 + 4 + 3
         assert!(is_unvisited(st.status.load(2), st.base));
         // Near the bias ceiling the reset falls back to a real clear.
-        st.base = u32::MAX / 2 - 1;
+        st.base = u32::MAX - 20;
         st.reset_in_place(10);
         assert_eq!(st.base, 1);
         assert!(st.status.to_host().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn epoch_never_wraps_after_thousands_of_resets() {
+        let dev = Device::mi250x();
+        let mut st = BfsState::from_pool(&dev, 8, false, 64);
+        // Pathologically deep runs push the bias toward the u32 ceiling in
+        // ~1000 resets; 5000 iterations force several refill fallbacks.
+        let deep = u32::MAX / 1024;
+        for round in 0..5000u32 {
+            // Simulate a run that stored its deepest possible level.
+            st.status.store(3, st.base.wrapping_add(deep));
+            st.reset_in_place(deep);
+            assert!(st.base >= 1, "round {round}");
+            // Headroom invariant: even a worst-case next run (depth n-1,
+            // proactive claims two levels ahead) cannot reach UNVISITED.
+            assert!(
+                u64::from(st.base) + st.status.len() as u64 + 1 < u64::from(UNVISITED),
+                "round {round}: base {} leaves no headroom",
+                st.base
+            );
+            // The previous run's deepest write must now read as unvisited.
+            assert!(
+                is_unvisited(st.status.load(3), st.base),
+                "round {round}: stale level leaked into the new epoch"
+            );
+        }
+        st.release_to_pool(&dev);
     }
 
     #[test]

@@ -53,6 +53,13 @@ macro_rules! impl_buf {
                 self.data.is_empty()
             }
 
+            /// Device base address of the buffer (valid even when empty —
+            /// unlike [`Self::addr`], which bounds-checks its index).
+            #[inline]
+            pub(crate) fn base_addr(&self) -> u64 {
+                self.base
+            }
+
             /// Device byte address of element `idx`.
             #[inline]
             pub fn addr(&self, idx: usize) -> u64 {

@@ -8,11 +8,12 @@ use crate::coalescer::Coalescer;
 use crate::group::{GroupCfg, GroupCtx};
 use crate::kernel::{KernelReport, LaunchCfg, WaveStats};
 use crate::l2::L2Model;
+use crate::pool::{fnv1a, splitmix64, PoolError, POOL_CANARY};
 use crate::wave::{MemSink, WaveCtx};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Execution fidelity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +54,143 @@ const LATENCY_HIDING_WAVES: f64 = 4.0;
 /// LDS capacity per CU, bytes (CDNA: 64 KiB).
 const LDS_PER_CU: usize = 64 << 10;
 
+/// A buffer parked in a free list, with the integrity metadata written at
+/// release time and re-checked whenever the entry is handed back out.
+struct Parked<B> {
+    buf: B,
+    /// Byte footprint counted against the pool cap.
+    bytes: u64,
+    /// FNV-1a digest of the contents at release time.
+    checksum: u64,
+    /// `POOL_CANARY ^ addr ^ len` — distinguishes clobbered free-list
+    /// metadata from clobbered buffer contents.
+    canary: u64,
+    /// Monotonic release stamp; smallest stamp = least recently released,
+    /// the eviction order under a pool byte cap.
+    stamp: u64,
+}
+
+/// The buffer surface the pool needs, implemented for both typed buffers
+/// so park/acquire/trim logic is written once.
+trait ParkedBuf {
+    fn elem_count(&self) -> usize;
+    fn byte_len(&self) -> u64;
+    fn base_addr(&self) -> u64;
+    /// FNV-1a digest of the current contents.
+    fn content_digest(&self) -> u64;
+}
+
+impl ParkedBuf for BufU32 {
+    fn elem_count(&self) -> usize {
+        self.len()
+    }
+    fn byte_len(&self) -> u64 {
+        self.len() as u64 * u64::from(self.elem_bytes())
+    }
+    fn base_addr(&self) -> u64 {
+        BufU32::base_addr(self)
+    }
+    fn content_digest(&self) -> u64 {
+        fnv1a((0..self.len()).map(|i| u64::from(self.load(i))))
+    }
+}
+
+impl ParkedBuf for BufU64 {
+    fn elem_count(&self) -> usize {
+        self.len()
+    }
+    fn byte_len(&self) -> u64 {
+        self.len() as u64 * u64::from(self.elem_bytes())
+    }
+    fn base_addr(&self) -> u64 {
+        BufU64::base_addr(self)
+    }
+    fn content_digest(&self) -> u64 {
+        fnv1a((0..self.len()).map(|i| self.load(i)))
+    }
+}
+
+impl<B: ParkedBuf> Parked<B> {
+    fn new(buf: B, stamp: u64) -> Self {
+        let bytes = buf.byte_len();
+        let checksum = buf.content_digest();
+        let canary = POOL_CANARY ^ buf.base_addr() ^ buf.elem_count() as u64;
+        Self {
+            buf,
+            bytes,
+            checksum,
+            canary,
+            stamp,
+        }
+    }
+
+    /// Re-verify canary then contents against the release-time records.
+    fn check(&self) -> Result<(), PoolError> {
+        let addr = self.buf.base_addr();
+        let len = self.buf.elem_count();
+        if self.canary != POOL_CANARY ^ addr ^ len as u64 {
+            return Err(PoolError::CanaryClobbered { addr, len });
+        }
+        let actual = self.buf.content_digest();
+        if actual != self.checksum {
+            return Err(PoolError::ChecksumMismatch {
+                addr,
+                len,
+                expected: self.checksum,
+                actual,
+            });
+        }
+        Ok(())
+    }
+
+    /// Unpark, verifying first when `verify` is set.
+    fn into_verified(self, verify: bool) -> Result<B, PoolError> {
+        if verify {
+            self.check()?;
+        }
+        Ok(self.buf)
+    }
+}
+
+/// Scan a typed pool for corrupted entries; the first one found is removed
+/// (its bytes uncounted), pushed onto the fault ledger, and returned.
+fn verify_parked<B: ParkedBuf>(
+    map: &mut HashMap<usize, Vec<Parked<B>>>,
+    pool_bytes: &AtomicU64,
+    ledger: &Mutex<Vec<PoolError>>,
+) -> Result<(), PoolError> {
+    for entries in map.values_mut() {
+        for i in 0..entries.len() {
+            if let Err(e) = entries[i].check() {
+                let victim = entries.swap_remove(i);
+                pool_bytes.fetch_sub(victim.bytes, Ordering::Relaxed);
+                ledger.lock().push(e.clone());
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `(stamp, size_class)` of the least recently released entry, if any.
+fn oldest_stamp<B>(map: &HashMap<usize, Vec<Parked<B>>>) -> Option<(u64, usize)> {
+    map.iter()
+        .flat_map(|(&k, v)| v.iter().map(move |p| (p.stamp, k)))
+        .min()
+}
+
+/// Remove the oldest entry of size class `k`; returns its byte footprint.
+fn evict_oldest<B>(map: &mut HashMap<usize, Vec<Parked<B>>>, k: usize) -> u64 {
+    let entries = map.get_mut(&k).expect("trim picked a present size class");
+    let idx = entries
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, p)| p.stamp)
+        .map(|(i, _)| i)
+        .expect("trim picked a non-empty size class");
+    entries.remove(idx).bytes
+}
+
 /// A simulated GPU (one MI250X GCD by default).
 pub struct Device {
     arch: ArchProfile,
@@ -71,10 +209,22 @@ pub struct Device {
     /// Free lists of released buffers, keyed by exact element count.
     /// Pool-acquired buffers keep their previous contents *and address*, so
     /// repeat runs see an identical memory layout.
-    pool_u32: Mutex<HashMap<usize, Vec<BufU32>>>,
-    pool_u64: Mutex<HashMap<usize, Vec<BufU64>>>,
+    pool_u32: Mutex<HashMap<usize, Vec<Parked<BufU32>>>>,
+    pool_u64: Mutex<HashMap<usize, Vec<Parked<BufU64>>>>,
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
+    /// Bytes currently parked across both free pools.
+    pool_bytes: AtomicU64,
+    /// Byte cap on parked buffers (`u64::MAX` = uncapped).
+    pool_limit: AtomicU64,
+    /// Monotonic stamp source for LRU eviction order.
+    pool_stamp: AtomicU64,
+    /// Releases that trimmed or bypassed the pool because of the byte cap.
+    pool_pressure: AtomicU64,
+    /// Whether acquires re-verify checksums/canaries (on by default).
+    pool_verify: AtomicBool,
+    /// Ledger of detected pool faults, drained by [`Device::take_pool_faults`].
+    pool_faults: Mutex<Vec<PoolError>>,
 }
 
 impl Device {
@@ -98,6 +248,12 @@ impl Device {
             pool_u64: Mutex::new(HashMap::new()),
             pool_hits: AtomicU64::new(0),
             pool_misses: AtomicU64::new(0),
+            pool_bytes: AtomicU64::new(0),
+            pool_limit: AtomicU64::new(u64::MAX),
+            pool_stamp: AtomicU64::new(0),
+            pool_pressure: AtomicU64::new(0),
+            pool_verify: AtomicBool::new(true),
+            pool_faults: Mutex::new(Vec::new()),
         }
     }
 
@@ -187,36 +343,46 @@ impl Device {
     // per-run O(|V|) allocation into a free-list pop. Released buffers keep
     // their contents — consumers either rewrite them fully or version their
     // entries by epoch (see `BfsState::reset_in_place` in xbfs-core).
+    //
+    // Since PR 4 every parked entry carries a release-time FNV-1a content
+    // checksum and a canary; acquires re-verify both and quarantine (drop)
+    // corrupted entries, falling back to a fresh allocation. A byte cap
+    // (`set_pool_limit`) bounds parked memory with least-recently-released
+    // eviction, and releases are guarded against double-release and foreign
+    // buffers. Detected faults land in a ledger (`take_pool_faults`) so the
+    // integrity layer above can surface them as typed errors.
 
     /// Acquire a `u32` buffer of exactly `len` elements: reuse a released
-    /// one if available, else allocate fresh (zeroed).
+    /// one if available, else allocate fresh (zeroed). A parked entry that
+    /// fails verification is quarantined and replaced by a fresh
+    /// allocation (recorded as a miss plus a ledger fault).
     pub fn pool_acquire_u32(&self, len: usize) -> BufU32 {
-        if let Some(buf) = self.pool_u32.lock().get_mut(&len).and_then(Vec::pop) {
-            self.pool_hits.fetch_add(1, Ordering::Relaxed);
-            return buf;
-        }
-        self.pool_misses.fetch_add(1, Ordering::Relaxed);
-        self.alloc_u32(len)
+        let popped = self.pool_u32.lock().get_mut(&len).and_then(Vec::pop);
+        self.admit_acquired(popped, len, Self::alloc_u32)
     }
 
-    /// Acquire a `u64` buffer of exactly `len` elements from the pool.
+    /// Acquire a `u64` buffer of exactly `len` elements from the pool (see
+    /// [`Device::pool_acquire_u32`] for the verification semantics).
     pub fn pool_acquire_u64(&self, len: usize) -> BufU64 {
-        if let Some(buf) = self.pool_u64.lock().get_mut(&len).and_then(Vec::pop) {
-            self.pool_hits.fetch_add(1, Ordering::Relaxed);
-            return buf;
-        }
-        self.pool_misses.fetch_add(1, Ordering::Relaxed);
-        self.alloc_u64(len)
+        let popped = self.pool_u64.lock().get_mut(&len).and_then(Vec::pop);
+        self.admit_acquired(popped, len, Self::alloc_u64)
     }
 
     /// Return a `u32` buffer to the free pool (contents retained).
+    /// Release faults are debug assertions here; use
+    /// [`Device::try_pool_release_u32`] to handle them as typed errors.
     pub fn pool_release_u32(&self, buf: BufU32) {
-        self.pool_u32.lock().entry(buf.len()).or_default().push(buf);
+        if let Err(e) = self.try_pool_release_u32(buf) {
+            debug_assert!(false, "pool_release_u32: {e}");
+        }
     }
 
-    /// Return a `u64` buffer to the free pool (contents retained).
+    /// Return a `u64` buffer to the free pool (contents retained). See
+    /// [`Device::pool_release_u32`].
     pub fn pool_release_u64(&self, buf: BufU64) {
-        self.pool_u64.lock().entry(buf.len()).or_default().push(buf);
+        if let Err(e) = self.try_pool_release_u64(buf) {
+            debug_assert!(false, "pool_release_u64: {e}");
+        }
     }
 
     /// `(hits, misses)` of pool acquisitions since device creation.
@@ -225,6 +391,185 @@ impl Device {
             self.pool_hits.load(Ordering::Relaxed),
             self.pool_misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Bytes currently parked across both free pools.
+    pub fn pool_bytes(&self) -> u64 {
+        self.pool_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cap parked pool memory at `bytes` (`None` = uncapped). Lowering the
+    /// cap trims least-recently-released entries immediately; releases
+    /// that would exceed it evict old entries or bypass the pool entirely,
+    /// each counted as a pressure event.
+    pub fn set_pool_limit(&self, bytes: Option<u64>) {
+        self.pool_limit
+            .store(bytes.unwrap_or(u64::MAX), Ordering::Relaxed);
+        self.trim_pool();
+    }
+
+    /// Releases that trimmed or bypassed the pool under the byte cap.
+    pub fn pool_pressure_events(&self) -> u64 {
+        self.pool_pressure.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable acquire-time checksum+canary verification (on by
+    /// default; the cost is one linear pass over the reused buffer).
+    pub fn set_pool_verify(&self, on: bool) {
+        self.pool_verify.store(on, Ordering::Relaxed);
+    }
+
+    /// Drain the ledger of pool faults detected so far (quarantined
+    /// corrupt entries, rejected double/foreign releases).
+    pub fn take_pool_faults(&self) -> Vec<PoolError> {
+        std::mem::take(&mut self.pool_faults.lock())
+    }
+
+    /// Re-verify every parked entry in place. The first corrupted entry is
+    /// removed from the pool (quarantined), recorded in the fault ledger,
+    /// and returned as an error. `Ok(())` means every parked buffer still
+    /// matches its release-time checksum and canary.
+    pub fn verify_pool(&self) -> Result<(), PoolError> {
+        verify_parked(
+            &mut self.pool_u32.lock(),
+            &self.pool_bytes,
+            &self.pool_faults,
+        )?;
+        verify_parked(
+            &mut self.pool_u64.lock(),
+            &self.pool_bytes,
+            &self.pool_faults,
+        )
+    }
+
+    /// Fault-injection hook: flip one seeded bit in one parked `u32`
+    /// buffer's contents (the device-memory SDC model for pooled state).
+    /// Returns the victim's `(base_addr, word_index, bit)` or `None` when
+    /// nothing is parked. Deterministic for a given seed and pool state.
+    pub fn corrupt_parked(&self, seed: u64) -> Option<(u64, usize, u32)> {
+        let mut s = seed;
+        let pool = self.pool_u32.lock();
+        let mut keys: Vec<usize> = pool.keys().copied().filter(|k| *k > 0).collect();
+        keys.sort_unstable();
+        let total: usize = keys.iter().map(|k| pool[k].len()).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut pick = splitmix64(&mut s) as usize % total;
+        for k in keys {
+            let entries = &pool[&k];
+            if pick < entries.len() {
+                let p = &entries[pick];
+                let word = splitmix64(&mut s) as usize % p.buf.len();
+                let bit = (splitmix64(&mut s) % 32) as u32;
+                p.buf.store(word, p.buf.load(word) ^ (1 << bit));
+                return Some((p.buf.addr(0), word, bit));
+            }
+            pick -= entries.len();
+        }
+        unreachable!("pick < total")
+    }
+
+    /// Shared acquire tail: verify a popped entry (quarantining it on
+    /// failure) or fall back to a fresh allocation.
+    fn admit_acquired<B: ParkedBuf>(
+        &self,
+        popped: Option<Parked<B>>,
+        len: usize,
+        alloc: impl Fn(&Self, usize) -> B,
+    ) -> B {
+        if let Some(p) = popped {
+            self.pool_bytes.fetch_sub(p.bytes, Ordering::Relaxed);
+            match p.into_verified(self.pool_verify.load(Ordering::Relaxed)) {
+                Ok(buf) => {
+                    self.pool_hits.fetch_add(1, Ordering::Relaxed);
+                    return buf;
+                }
+                Err(e) => self.pool_faults.lock().push(e), // quarantined: drop it
+            }
+        }
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+        alloc(self, len)
+    }
+
+    /// Shared release front: guard against foreign and double releases,
+    /// then park the buffer (or bypass the pool under byte-cap pressure).
+    fn park<B: ParkedBuf>(
+        &self,
+        pool: &Mutex<HashMap<usize, Vec<Parked<B>>>>,
+        buf: B,
+    ) -> Result<(), PoolError> {
+        if buf.elem_count() == 0 {
+            return Ok(()); // placeholders carry no storage
+        }
+        let len = buf.elem_count();
+        let addr = buf.base_addr();
+        let bytes = buf.byte_len();
+        if addr + bytes > self.next_addr.load(Ordering::Relaxed) {
+            let e = PoolError::ForeignBuffer { addr, len };
+            self.pool_faults.lock().push(e.clone());
+            return Err(e);
+        }
+        if bytes > self.pool_limit.load(Ordering::Relaxed) {
+            // The cap cannot hold this buffer at all: drop it and let the
+            // next acquire fall back to a fresh allocation.
+            self.pool_pressure.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        {
+            let mut map = pool.lock();
+            let entries = map.entry(len).or_default();
+            if entries.iter().any(|p| p.buf.base_addr() == addr) {
+                let e = PoolError::DoubleRelease { addr, len };
+                self.pool_faults.lock().push(e.clone());
+                return Err(e);
+            }
+            entries.push(Parked::new(
+                buf,
+                self.pool_stamp.fetch_add(1, Ordering::Relaxed),
+            ));
+            self.pool_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        self.trim_pool();
+        Ok(())
+    }
+
+    /// Guarded release of a `u32` buffer: rejects double releases and
+    /// buffers foreign to this device with a typed [`PoolError`] instead
+    /// of corrupting the free list.
+    pub fn try_pool_release_u32(&self, buf: BufU32) -> Result<(), PoolError> {
+        self.park(&self.pool_u32, buf)
+    }
+
+    /// Guarded release of a `u64` buffer (see
+    /// [`Device::try_pool_release_u32`]).
+    pub fn try_pool_release_u64(&self, buf: BufU64) -> Result<(), PoolError> {
+        self.park(&self.pool_u64, buf)
+    }
+
+    /// Evict least-recently-released entries (across both typed pools)
+    /// until parked bytes fit under the cap. Locks are taken in a fixed
+    /// u32-then-u64 order and never held by callers, so trims from
+    /// concurrent releases cannot deadlock.
+    fn trim_pool(&self) {
+        loop {
+            let limit = self.pool_limit.load(Ordering::Relaxed);
+            if self.pool_bytes.load(Ordering::Relaxed) <= limit {
+                return;
+            }
+            let mut p32 = self.pool_u32.lock();
+            let mut p64 = self.pool_u64.lock();
+            let min32 = oldest_stamp(&p32);
+            let min64 = oldest_stamp(&p64);
+            let freed = match (min32, min64) {
+                (Some((s32, k)), Some((s64, _))) if s32 <= s64 => evict_oldest(&mut p32, k),
+                (Some((_, k)), None) => evict_oldest(&mut p32, k),
+                (_, Some((_, k))) => evict_oldest(&mut p64, k),
+                (None, None) => return,
+            };
+            self.pool_bytes.fetch_sub(freed, Ordering::Relaxed);
+            self.pool_pressure.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     // ---- timeline ----
@@ -830,5 +1175,105 @@ mod tests {
         let w2 = dev.pool_acquire_u64(16);
         assert_eq!(dev.pool_stats(), (2, 3));
         drop((b, c, w2));
+    }
+
+    #[test]
+    fn pool_rejects_double_release() {
+        let dev = Device::mi250x();
+        let a = dev.pool_acquire_u32(64);
+        let addr = a.addr(0);
+        dev.pool_release_u32(a);
+        // Forge a second handle at the same address (the only way to
+        // double-release without unsafe code, since release moves the
+        // buffer). The guarded API must reject it with a typed error.
+        let forged = BufU32::new(addr, 64);
+        match dev.try_pool_release_u32(forged) {
+            Err(PoolError::DoubleRelease { addr: a2, len: 64 }) => assert_eq!(a2, addr),
+            other => panic!("expected DoubleRelease, got {other:?}"),
+        }
+        assert_eq!(dev.take_pool_faults().len(), 1);
+    }
+
+    #[test]
+    fn pool_rejects_foreign_buffers() {
+        let dev = Device::mi250x();
+        // An address beyond this device's bump-allocator watermark cannot
+        // have come from it.
+        let foreign = BufU32::new(1 << 40, 8);
+        match dev.try_pool_release_u32(foreign) {
+            Err(PoolError::ForeignBuffer { len: 8, .. }) => {}
+            other => panic!("expected ForeignBuffer, got {other:?}"),
+        }
+        // Empty placeholders are a silent no-op, not a fault.
+        assert!(dev.try_pool_release_u32(BufU32::placeholder()).is_ok());
+        assert_eq!(dev.take_pool_faults().len(), 1);
+    }
+
+    #[test]
+    fn pool_quarantines_corrupted_entries_on_acquire() {
+        let dev = Device::mi250x();
+        let a = dev.pool_acquire_u32(256);
+        a.host_fill(7);
+        dev.pool_release_u32(a);
+        let (addr, word, _bit) = dev.corrupt_parked(99).expect("one parked buffer");
+        // Acquire detects the flip, quarantines the entry, and hands back
+        // a fresh allocation instead of the poisoned one.
+        let b = dev.pool_acquire_u32(256);
+        assert_ne!(b.addr(0), addr, "poisoned buffer must not be reused");
+        assert!(b.to_host().iter().all(|&v| v == 0), "fresh zeroed alloc");
+        let faults = dev.take_pool_faults();
+        assert_eq!(faults.len(), 1);
+        assert!(
+            matches!(&faults[0], PoolError::ChecksumMismatch { addr: a2, .. } if *a2 == addr),
+            "got {faults:?} (flipped word {word})"
+        );
+        // Misses: initial alloc + post-quarantine realloc; zero hits.
+        assert_eq!(dev.pool_stats(), (0, 2));
+    }
+
+    #[test]
+    fn verify_pool_detects_parked_corruption() {
+        let dev = Device::mi250x();
+        let a = dev.pool_acquire_u32(128);
+        dev.pool_release_u32(a);
+        assert!(dev.verify_pool().is_ok());
+        dev.corrupt_parked(5).expect("one parked buffer");
+        let err = dev.verify_pool().expect_err("corruption must be found");
+        assert!(matches!(err, PoolError::ChecksumMismatch { .. }));
+        // The corrupt entry was quarantined; a second scan is clean.
+        assert!(dev.verify_pool().is_ok());
+        assert_eq!(dev.pool_bytes(), 0);
+    }
+
+    #[test]
+    fn pool_byte_cap_trims_least_recently_released() {
+        let dev = Device::mi250x();
+        let a = dev.pool_acquire_u32(100); // 400 B, released first (LRU)
+        let a_addr = a.addr(0);
+        let b = dev.pool_acquire_u32(50); // 200 B
+        let c = dev.pool_acquire_u64(25); // 200 B
+        dev.set_pool_limit(Some(500));
+        dev.pool_release_u32(a);
+        dev.pool_release_u32(b);
+        // Releasing b pushed parked bytes to 600 > 500, evicting the
+        // least recently released entry (a, 400 B).
+        assert_eq!(dev.pool_bytes(), 200);
+        dev.pool_release_u64(c);
+        assert_eq!(dev.pool_bytes(), 400);
+        assert!(dev.pool_pressure_events() >= 1);
+        // The LRU victim was `a`: acquiring its size class misses.
+        let a2 = dev.pool_acquire_u32(100);
+        assert_ne!(a2.addr(0), a_addr, "trimmed buffer is gone");
+        // Oversized release under a tiny cap bypasses the pool entirely.
+        dev.set_pool_limit(Some(100));
+        let before = dev.pool_pressure_events();
+        dev.pool_release_u32(a2);
+        assert!(dev.pool_pressure_events() > before);
+        assert!(dev.pool_bytes() <= 100);
+        // Uncapping restores normal parking.
+        dev.set_pool_limit(None);
+        let d = dev.pool_acquire_u32(10);
+        dev.pool_release_u32(d);
+        assert_eq!(dev.pool_bytes(), 40);
     }
 }

@@ -36,6 +36,7 @@ pub mod device;
 pub mod group;
 pub mod kernel;
 pub mod l2;
+pub mod pool;
 pub mod profiler;
 pub mod wave;
 
@@ -44,5 +45,6 @@ pub use buffer::{BufU32, BufU64};
 pub use device::{Device, ExecMode, TimingReplay};
 pub use group::{GroupCfg, GroupCtx};
 pub use kernel::{KernelReport, LaunchCfg, WaveStats};
+pub use pool::{fnv1a, fnv1a_mix, splitmix64, PoolError};
 pub use profiler::{group_by_phase, PhaseProfile};
 pub use wave::{popc64, WaveCtx};

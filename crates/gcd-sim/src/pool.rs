@@ -1,0 +1,166 @@
+//! Buffer-pool integrity primitives: the typed pool fault taxonomy, the
+//! FNV-1a content checksum shared by the pool and the `xbfs-core`
+//! certificate layer, and the canary constant stamped on parked entries.
+//!
+//! Why FNV-1a: mixing one word is `acc' = (acc ^ w) * PRIME`. XOR with a
+//! fixed accumulator and multiplication by an odd constant are both
+//! bijections on `u64`, so changing a *single* word (of any width up to 64
+//! bits) always changes the final digest — a lone bit flip in a parked
+//! buffer is detected with certainty, not merely with high probability.
+//! Multi-word corruptions can in principle cancel, but that is outside the
+//! single-event-upset model this layer defends against (DESIGN.md §9).
+
+use std::fmt;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Mix one word into an FNV-1a accumulator.
+#[inline]
+pub fn fnv1a_mix(acc: u64, v: u64) -> u64 {
+    (acc ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// FNV-1a digest of a word stream.
+pub fn fnv1a<I: IntoIterator<Item = u64>>(words: I) -> u64 {
+    words.into_iter().fold(FNV_OFFSET, fnv1a_mix)
+}
+
+/// Base value of the per-entry canary; each parked buffer stores
+/// `POOL_CANARY ^ address ^ length` so a clobbered free-list entry is
+/// distinguishable from clobbered buffer contents.
+pub const POOL_CANARY: u64 = 0x5a5a_c3c3_9696_f00d;
+
+/// One splitmix64 step — the workspace's standard seedable stream, used
+/// here to pick deterministic corruption targets in parked buffers.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A detected buffer-pool integrity fault.
+///
+/// Release-side faults ([`Self::DoubleRelease`], [`Self::ForeignBuffer`])
+/// are caller bugs and are returned to the caller (plus recorded in the
+/// device's fault ledger). Acquire-side faults ([`Self::ChecksumMismatch`],
+/// [`Self::CanaryClobbered`]) are silent-data-corruption detections: the
+/// poisoned entry is quarantined (dropped) and the acquire transparently
+/// falls back to a fresh allocation, with the fault left in the ledger for
+/// the integrity layer to surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A buffer with this base address is already parked in the free list.
+    DoubleRelease {
+        /// Device base address of the buffer.
+        addr: u64,
+        /// Element count of the buffer.
+        len: usize,
+    },
+    /// The buffer does not come from this device's address space.
+    ForeignBuffer {
+        /// Device base address of the buffer.
+        addr: u64,
+        /// Element count of the buffer.
+        len: usize,
+    },
+    /// A parked buffer's contents no longer match the checksum recorded
+    /// when it was released — corruption while sitting in the pool.
+    ChecksumMismatch {
+        /// Device base address of the buffer.
+        addr: u64,
+        /// Element count of the buffer.
+        len: usize,
+        /// Digest recorded at release time.
+        expected: u64,
+        /// Digest recomputed at detection time.
+        actual: u64,
+    },
+    /// A parked entry's canary word was clobbered (free-list metadata
+    /// corruption rather than buffer-content corruption).
+    CanaryClobbered {
+        /// Device base address of the buffer.
+        addr: u64,
+        /// Element count of the buffer.
+        len: usize,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DoubleRelease { addr, len } => write!(
+                f,
+                "double release: buffer at {addr:#x} ({len} elems) is already in the pool"
+            ),
+            Self::ForeignBuffer { addr, len } => write!(
+                f,
+                "foreign buffer: {addr:#x} ({len} elems) was not allocated by this device"
+            ),
+            Self::ChecksumMismatch {
+                addr,
+                len,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "pooled buffer at {addr:#x} ({len} elems) corrupted while parked: \
+                 checksum {actual:#018x}, expected {expected:#018x}"
+            ),
+            Self::CanaryClobbered { addr, len } => write!(
+                f,
+                "pool canary clobbered for buffer at {addr:#x} ({len} elems)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_single_word_flip_always_changes_digest() {
+        // The bijection argument, checked over a bit sweep: flipping any
+        // single bit of any word changes the digest.
+        let words = [7u64, 0, u64::MAX, 0x1234_5678_9abc_def0];
+        let base = fnv1a(words.iter().copied());
+        for i in 0..words.len() {
+            for bit in 0..64 {
+                let mut w = words;
+                w[i] ^= 1 << bit;
+                assert_ne!(fnv1a(w.iter().copied()), base, "word {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_varies() {
+        let mut a = 42;
+        let mut b = 42;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        assert_ne!(splitmix64(&mut a), splitmix64(&mut a));
+    }
+
+    #[test]
+    fn pool_errors_render() {
+        let e = PoolError::ChecksumMismatch {
+            addr: 0x40,
+            len: 8,
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("corrupted while parked"));
+        assert!(PoolError::DoubleRelease { addr: 0, len: 1 }
+            .to_string()
+            .contains("double release"));
+    }
+}

@@ -82,6 +82,8 @@ pub mod names {
         pub const RECOVERY: &str = "recovery";
         /// One kernel dispatch (leaf; carries rocprof counters as attrs).
         pub const KERNEL: &str = "kernel";
+        /// One `xbfs sweep` supervisor worker (parent of its runs).
+        pub const SWEEP: &str = "sweep";
     }
 
     /// Instant-event names.
@@ -96,6 +98,15 @@ pub mod names {
         pub const RECOVERY_RESTORE: &str = "recovery.restore";
         /// A checkpoint was taken at a level boundary.
         pub const CHECKPOINT_TAKEN: &str = "checkpoint.taken";
+        /// Silent data corruption was detected (checksum, pool guard, or
+        /// certificate).
+        pub const SDC_DETECTED: &str = "integrity.sdc";
+        /// A run failing certification was quarantined by the supervisor.
+        pub const QUARANTINED: &str = "integrity.quarantine";
+        /// A quarantined run was re-executed on fresh state.
+        pub const REEXECUTED: &str = "integrity.reexec";
+        /// A sweep run exceeded its modeled-time deadline.
+        pub const DEADLINE_EXCEEDED: &str = "sweep.deadline_exceeded";
     }
 
     /// Counter/gauge metric names.
@@ -120,5 +131,9 @@ pub mod names {
         pub const CHECKPOINT_BYTES: &str = "ckpt.bytes";
         /// Crash-recovery overhead, ms.
         pub const RECOVERY_MS: &str = "recovery.ms";
+        /// Pool releases trimmed or bypassed under the byte cap.
+        pub const POOL_PRESSURE_EVENTS: &str = "pool.pressure_events";
+        /// Runs that passed certificate validation.
+        pub const CERTIFIED_RUNS: &str = "integrity.certified_runs";
     }
 }

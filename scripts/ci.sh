@@ -58,4 +58,52 @@ awk -v p="$POOLED_RPS" -v l="$LOOPED_RPS" 'BEGIN { exit !(p >= 3.0 * l) }' \
   || { echo "pooled sweep < 3x looped xbfs bfs" >&2; exit 1; }
 echo "    wrote results/BENCH_pr3.json"
 
+echo "==> corruption smoke (SDC detection + self-healing supervisor)"
+"$XBFS" generate --out "$SMOKE/corrupt.bin" --scale 11 --seed 4
+# every injection target must be detected: exit 7 + IntegrityError on stderr.
+# (pool flips need a parked victim buffer, which a fresh `bfs` process
+# doesn't have — tests/integrity.rs covers that target.)
+for SPEC in "status,seed=7" "parents,seed=13" "csr,seed=29"; do
+  if "$XBFS" bfs "$SMOKE/corrupt.bin" --source 5 --verify \
+      --inject-bitflips "$SPEC" 2> "$SMOKE/verify.err"; then
+    echo "injection $SPEC escaped detection" >&2
+    exit 1
+  else
+    test $? -eq 7
+  fi
+  grep -q "IntegrityError" "$SMOKE/verify.err"
+done
+# clean certified runs succeed and print the certificate
+"$XBFS" bfs "$SMOKE/corrupt.bin" --source 5 --verify | grep -q "certified:"
+# a clean verified sweep certifies every run and reports health
+"$XBFS" sweep "$SMOKE/corrupt.bin" --sources 32 --verify \
+  --json results/BENCH_pr4.json | tee "$SMOKE/sweep_clean.out"
+grep -q "certified" "$SMOKE/sweep_clean.out"
+grep -q '"schema": "xbfs-sweep-v1"' results/BENCH_pr4.json
+grep -q '"verified": true' results/BENCH_pr4.json
+CLEAN_SUM=$(grep -o '"checksum": "[^"]*"' results/BENCH_pr4.json)
+# under injection the supervisor quarantines, re-executes, and the healed
+# sweep is bit-identical to the clean one
+"$XBFS" sweep "$SMOKE/corrupt.bin" --sources 32 --inject-bitflips status,seed=7 \
+  --json "$SMOKE/BENCH_pr4_healed.json" | tee "$SMOKE/sweep_healed.out"
+grep -q "32/32 certified" "$SMOKE/sweep_healed.out"
+HEALED_SUM=$(grep -o '"checksum": "[^"]*"' "$SMOKE/BENCH_pr4_healed.json")
+test "$CLEAN_SUM" = "$HEALED_SUM"
+# exhausted retries must abort with the integrity exit code, not 0
+if "$XBFS" sweep "$SMOKE/corrupt.bin" --sources 8 \
+    --inject-bitflips csr,seed=11 --retries 0 2> "$SMOKE/exhausted.err"; then
+  echo "expected exit 7 for exhausted retries" >&2
+  exit 1
+else
+  test $? -eq 7
+fi
+grep -q "IntegrityError" "$SMOKE/exhausted.err"
+# a pool byte cap degrades gracefully: pressure counted, results unchanged
+"$XBFS" sweep "$SMOKE/corrupt.bin" --sources 32 --verify --max-pool-bytes 4096 \
+  --json "$SMOKE/BENCH_pr4_capped.json" | tee "$SMOKE/sweep_capped.out"
+grep -q "pool pressure" "$SMOKE/sweep_capped.out"
+CAPPED_SUM=$(grep -o '"checksum": "[^"]*"' "$SMOKE/BENCH_pr4_capped.json")
+test "$CLEAN_SUM" = "$CAPPED_SUM"
+echo "    wrote results/BENCH_pr4.json"
+
 echo "CI gate passed."
