@@ -13,13 +13,12 @@ use xbfs_multi_gcd::{
     ClusterConfig, ClusterError, FaultConfig, FaultEvent, FaultPlan, GcdCluster, LinkModel,
     RecoveryPolicy,
 };
+use xbfs_server::{run_loadgen, ChaosPlan, DeviceFactory, LoadgenConfig, ServeConfig, Server};
 use xbfs_telemetry::{names, AttrValue, JsonValue, Recorder, TraceFormat};
 
 /// Exit codes the `xbfs` binary maps failures to.
 pub mod exit_code {
-    /// Catch-all failure (reserved; every current error maps to a
-    /// specific code below).
-    #[allow(dead_code)]
+    /// Catch-all failure (internal invariant broken, worker panic).
     pub const GENERIC: i32 = 1;
     /// Bad command line (unknown command/option, unparsable value).
     pub const USAGE: i32 = 2;
@@ -34,6 +33,10 @@ pub mod exit_code {
     /// Silent data corruption detected (checksum, pool guard, or result
     /// certificate) and not corrected.
     pub const INTEGRITY: i32 = 7;
+    /// A deadline budget expired before the run finished.
+    pub const TIMEOUT: i32 = 8;
+    /// Load generation shed more than the allowed fraction of requests.
+    pub const OVERLOADED: i32 = 9;
 }
 
 /// A CLI failure: a user-facing message plus the process exit code.
@@ -88,6 +91,7 @@ impl From<XbfsError> for CliError {
             XbfsError::Integrity(i) => {
                 Self::new(format!("IntegrityError: {i}"), exit_code::INTEGRITY)
             }
+            XbfsError::DeadlineExceeded { .. } => Self::new(e.to_string(), exit_code::TIMEOUT),
             other => Self::new(other.to_string(), exit_code::INVALID_INPUT),
         }
     }
@@ -123,8 +127,38 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "validate",
             "verify",
             "inject-bitflips",
+            "deadline-ms",
             "csv",
             "trace",
+        ],
+        "serve" => vec![
+            "addr",
+            "workers",
+            "queue-cap",
+            "retry-after-ms",
+            "verify",
+            "allow-chaos",
+            "max-retries",
+            "breaker-threshold",
+            "breaker-cooldown-ms",
+            "deadline-ms",
+            "alpha",
+            "json",
+            "trace",
+        ],
+        "loadgen" => vec![
+            "addr",
+            "requests",
+            "rps",
+            "connections",
+            "sources",
+            "seed",
+            "deadline-ms",
+            "verify",
+            "chaos",
+            "shutdown",
+            "max-shed-pct",
+            "json",
         ],
         "cluster" => vec![
             "gcds",
@@ -156,7 +190,10 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
         ],
         _ => return None,
     };
-    if matches!(command, "bfs" | "run" | "msbfs" | "compare" | "sweep") {
+    if matches!(
+        command,
+        "bfs" | "run" | "msbfs" | "compare" | "sweep" | "serve"
+    ) {
         opts.extend(DEVICE_OPTS);
     }
     Some(opts)
@@ -188,6 +225,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "msbfs" => msbfs(args),
         "compare" => compare(args),
         "sweep" => sweep(args),
+        "serve" => serve(args),
+        "loadgen" => loadgen(args),
         "analyze" => analyze(args),
         "trace" => trace_cmd(args),
         "help" | "" => Ok(HELP.to_string()),
@@ -209,13 +248,15 @@ COMMANDS
   info      FILE          print graph statistics and a level profile
   bfs       FILE [--source N] [--alpha F | --auto-alpha] [--forced scan-free|single-scan|bottom-up]
             [--rearrange] [--validate] [--verify] [--inject-bitflips SPEC]
-            [--arch mi250x|mi100|p6000] [--compiler clang|hipcc|clang-O0]
-            [--timing] [--csv FILE] [--trace FMT:PATH]
+            [--deadline-ms MS] [--arch mi250x|mi100|p6000]
+            [--compiler clang|hipcc|clang-O0] [--timing] [--csv FILE]
+            [--trace FMT:PATH]
             run one BFS and report per-level stats (`run` is an alias);
             --verify certifies the result (CSR + pool checksums, O(V+E)
             certificate) and --inject-bitflips flips seeded bits in device
             state: comma-separated status[:N], parents[:N], csr[:N],
-            pool[:N], seed=N
+            pool[:N], seed=N; --deadline-ms aborts with exit 8 when the
+            modeled run time exceeds the budget
   cluster   FILE [--gcds N] [--source N] [--alpha F] [--push-only]
             [--inject-faults SPEC|random[:SEED]] [--checkpoint-every N]
             [--recovery spare|degrade] [--validate] [--json FILE] [--csv FILE]
@@ -242,6 +283,32 @@ COMMANDS
             report and JSON. --inject-bitflips (implies --verify) corrupts
             device state per run; --max-pool-bytes caps parked pool memory
             with LRU trimming (pressure events counted in health)
+  serve     FILE [--addr HOST:PORT] [--workers N] [--queue-cap N]
+            [--retry-after-ms MS] [--verify] [--allow-chaos] [--max-retries N]
+            [--breaker-threshold N] [--breaker-cooldown-ms MS]
+            [--deadline-ms MS] [--alpha F] [--json FILE] [--trace FMT:PATH]
+            long-running BFS daemon: loads the graph once, keeps one warm
+            pooled engine per worker, and serves `xbfs-serve-v1` (JSON
+            lines over TCP). A bounded admission queue sheds overload with
+            explicit `overloaded` + retry-after-ms responses, deadlines
+            propagate into the run loop as typed timeouts, worker panics
+            are contained (engine + device quarantined, request replayed
+            bit-identically), and repeated uncorrected failures trip a
+            circuit breaker. Drains gracefully on a wire `shutdown` op:
+            in-flight requests complete, new ones are rejected, and the
+            merged serve report is printed (and written with --json).
+            --allow-chaos honors client chaos tokens (test servers only)
+  loadgen   --addr HOST:PORT [--requests N] [--rps F] [--connections N]
+            [--sources N] [--seed N] [--deadline-ms MS] [--verify]
+            [--chaos SPEC] [--shutdown] [--max-shed-pct F] [--json FILE]
+            open-loop load generator for `xbfs serve`: paces N requests at
+            a target RPS over pipelined connections, measures latency from
+            each request's scheduled time (no coordinated omission), and
+            reports accepted/shed plus p50/p99/p999. --chaos stamps fault
+            tokens server-side: comma-separated panic[:N], bitflip[:N],
+            slow[@MS][:N], seed=N (every Nth request). --shutdown drains
+            the server afterwards; --max-shed-pct fails with exit 9 when
+            shedding exceeds the bound; --json writes xbfs-loadgen-v1
   analyze   FILE                    connected components, diameter estimate
   trace     summarize FILE          summarize a recorded trace (xbfs-trace-v1
                                     JSON or chrome trace.json)
@@ -256,7 +323,8 @@ TRACING
 EXIT CODES
   0 ok, 1 generic, 2 usage, 3 I/O, 4 invalid input, 5 unrecovered fault,
   6 validation failure, 7 integrity violation (silent data corruption
-  detected and not corrected)
+  detected and not corrected), 8 deadline exceeded, 9 overloaded
+  (loadgen shed more than --max-shed-pct)
 ";
 
 /// Load a graph by extension (.bin, .mtx, anything else = edge list).
@@ -401,6 +469,18 @@ fn trace_setup(args: &Args) -> Result<(Option<(TraceFormat, String)>, Recorder),
     }
 }
 
+/// Parse an optional float option; absent is `None`, unparsable is a
+/// usage error.
+fn opt_f64(args: &Args, key: &str) -> Result<Option<f64>, CliError> {
+    args.options
+        .get(key)
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| CliError::usage(format!("bad --{key} {v:?}")))
+        })
+        .transpose()
+}
+
 /// Parse `--inject-bitflips` into a plan. `None` when the option is
 /// absent; an unparsable spec is the user's fault, not corruption.
 fn parse_bitflip_plan(args: &Args) -> Result<Option<BitflipPlan>, CliError> {
@@ -414,22 +494,26 @@ fn parse_bitflip_plan(args: &Args) -> Result<Option<BitflipPlan>, CliError> {
 
 /// Deliver a recorded trace. Path `-` replaces the whole command output
 /// with the rendered trace (pure JSON/CSV on stdout, pipeable); any other
-/// path writes the file and appends a note to `out`.
-fn emit_trace(
-    out: &mut String,
-    fmt: TraceFormat,
-    path: &str,
-    rec: &Recorder,
-) -> Result<Option<String>, CliError> {
+/// path writes the file and appends a note to `out`. Never fails: the
+/// trace is an exporter of an already-finished run, and a full disk or a
+/// bad path must not turn a successful run into a nonzero exit.
+fn emit_trace(out: &mut String, fmt: TraceFormat, path: &str, rec: &Recorder) -> Option<String> {
     let sink = fmt.sink();
     let rendered = sink.export(&rec.finish());
     if path == "-" {
-        return Ok(Some(rendered));
+        return Some(rendered);
     }
-    std::fs::write(path, &rendered)
-        .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
-    out.push_str(&format!("{} trace written to {path}\n", sink.name()));
-    Ok(None)
+    match std::fs::write(path, &rendered) {
+        Ok(()) => out.push_str(&format!("{} trace written to {path}\n", sink.name())),
+        Err(e) => {
+            eprintln!("warning: cannot write trace {path}: {e}; run results unaffected");
+            out.push_str(&format!(
+                "{} trace NOT written ({path}: {e})\n",
+                sink.name()
+            ));
+        }
+    }
+    None
 }
 
 fn bfs(args: &Args) -> Result<String, CliError> {
@@ -467,39 +551,29 @@ fn bfs(args: &Args) -> Result<String, CliError> {
     }
     let (trace_opt, recorder) = trace_setup(args)?;
     let plan = parse_bitflip_plan(args)?;
+    let deadline_ms = opt_f64(args, "deadline-ms")?;
     let xbfs = Xbfs::new(&dev, &g, cfg)?;
 
+    let verify = args.flag("verify");
+    if let (Some(plan), false) = (&plan, verify) {
+        // The "what does corruption do when nothing checks" baseline.
+        eprintln!(
+            "warning: --inject-bitflips without --verify: corrupting \
+             device state ({}) with no detection",
+            plan.to_spec()
+        );
+    }
+    let sab = plan.as_ref().map(|plan| Sabotage { plan, salt: 0 });
+    // One governed entry point: sabotage, deadline budget and
+    // certification compose; a blown budget maps to exit code 8.
+    let (run, cert) = xbfs.run_governed(source, &recorder, sab.as_ref(), deadline_ms, verify)?;
     let mut cert_note = String::new();
-    let run = match (&plan, args.flag("verify")) {
-        (None, false) => xbfs.run_traced(source, &recorder)?,
-        (None, true) => {
-            let (run, cert) = xbfs.run_verified(source, &recorder, None)?;
-            cert_note = format!(
-                "certified: {} vertices reached, depth {}, levels checksum {:#018x}\n",
-                cert.visited, cert.depth, cert.levels_checksum
-            );
-            run
-        }
-        (Some(plan), true) => {
-            let sab = Sabotage { plan, salt: 0 };
-            let (run, cert) = xbfs.run_verified(source, &recorder, Some(&sab))?;
-            cert_note = format!(
-                "certified: {} vertices reached, depth {}, levels checksum {:#018x}\n",
-                cert.visited, cert.depth, cert.levels_checksum
-            );
-            run
-        }
-        (Some(plan), false) => {
-            // The "what does corruption do when nothing checks" baseline.
-            eprintln!(
-                "warning: --inject-bitflips without --verify: corrupting \
-                 device state ({}) with no detection",
-                plan.to_spec()
-            );
-            let sab = Sabotage { plan, salt: 0 };
-            xbfs.run_with_sabotage(source, &recorder, &sab)?
-        }
-    };
+    if let Some(cert) = &cert {
+        cert_note = format!(
+            "certified: {} vertices reached, depth {}, levels checksum {:#018x}\n",
+            cert.visited, cert.depth, cert.levels_checksum
+        );
+    }
 
     let mut out = tuned_note;
     out.push_str(&cert_note);
@@ -522,7 +596,14 @@ fn bfs(args: &Args) -> Result<String, CliError> {
         ));
     }
     if args.flag("validate") {
-        let parents = run.parents.as_ref().expect("parents recorded");
+        // cfg.record_parents is set above whenever --validate is; a run
+        // without parents here is an engine invariant break, not a crash.
+        let Some(parents) = run.parents.as_ref() else {
+            return Err(CliError::new(
+                "internal: --validate needs recorded parents but the run kept none",
+                exit_code::GENERIC,
+            ));
+        };
         match xbfs_graph::validate_bfs_tree(&g, source, parents) {
             Ok(_) => out.push_str("BFS tree: VALID (Graph500-style checks passed)\n"),
             Err(e) => {
@@ -539,12 +620,18 @@ fn bfs(args: &Args) -> Result<String, CliError> {
             .iter()
             .flat_map(|l| l.kernels.iter().cloned())
             .collect();
-        std::fs::write(csv_path, gcd_sim::profiler::to_csv(&reports))
-            .map_err(|e| CliError::io(format!("cannot write {csv_path}: {e}")))?;
-        out.push_str(&format!("kernel counters written to {csv_path}\n"));
+        // Exporters never abort a finished run: the BFS result above is
+        // valid whether or not the side file lands.
+        match std::fs::write(csv_path, gcd_sim::profiler::to_csv(&reports)) {
+            Ok(()) => out.push_str(&format!("kernel counters written to {csv_path}\n")),
+            Err(e) => {
+                eprintln!("warning: cannot write {csv_path}: {e}; run results unaffected");
+                out.push_str(&format!("kernel counters NOT written ({csv_path}: {e})\n"));
+            }
+        }
     }
     if let Some((fmt, trace_path)) = trace_opt {
-        if let Some(direct) = emit_trace(&mut out, fmt, &trace_path, &recorder)? {
+        if let Some(direct) = emit_trace(&mut out, fmt, &trace_path, &recorder) {
             return Ok(direct);
         }
     }
@@ -688,7 +775,7 @@ fn cluster(args: &Args) -> Result<String, CliError> {
         out.push_str(&format!("per-level stats written to {csv_path}\n"));
     }
     if let Some((fmt, trace_path)) = trace_opt {
-        if let Some(direct) = emit_trace(&mut out, fmt, &trace_path, &recorder)? {
+        if let Some(direct) = emit_trace(&mut out, fmt, &trace_path, &recorder) {
             return Ok(direct);
         }
     }
@@ -767,20 +854,6 @@ struct SweepRec {
     ms: f64,
     edges: u64,
     digest: u64,
-}
-
-/// FNV-1a over the modeled time's bit pattern and the level array: any
-/// per-run divergence between the pooled and rebuilt paths changes it.
-fn sweep_digest(source: u32, run: &xbfs_core::BfsRun) -> u64 {
-    fn mix(acc: u64, v: u64) -> u64 {
-        (acc ^ v).wrapping_mul(0x0000_0100_0000_01b3)
-    }
-    let mut h = mix(0xcbf2_9ce4_8422_2325, u64::from(source));
-    h = mix(h, run.total_ms.to_bits());
-    for &l in &run.levels {
-        h = mix(h, u64::from(l));
-    }
-    h
 }
 
 /// Aggregated supervisor health for one sweep: every detection,
@@ -882,7 +955,7 @@ fn sweep_worker(
                     recs.push(SweepRec {
                         ms: run.total_ms,
                         edges: run.traversed_edges,
-                        digest: sweep_digest(s, &run),
+                        digest: run.digest(),
                     });
                     idx += 1;
                     continue;
@@ -925,7 +998,7 @@ fn sweep_worker(
                         recs.push(SweepRec {
                             ms: run.total_ms,
                             edges: run.traversed_edges,
-                            digest: sweep_digest(s, &run),
+                            digest: run.digest(),
                         });
                         idx += 1;
                         attempt = 0;
@@ -1073,7 +1146,14 @@ fn sweep(args: &Args) -> Result<String, CliError> {
             }));
         }
         for h in handles {
-            let (recs, wh) = h.join().expect("sweep worker panicked")?;
+            // A panicking worker thread must not take the whole sweep's
+            // process down with an opaque abort: surface it typed.
+            let (recs, wh) = h.join().map_err(|_| {
+                CliError::new(
+                    "sweep worker thread panicked; partial results discarded",
+                    exit_code::GENERIC,
+                )
+            })??;
             pooled.extend(recs);
             health.add(&wh);
         }
@@ -1094,7 +1174,7 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         rebuilt.push(SweepRec {
             ms: run.total_ms,
             edges: run.traversed_edges,
-            digest: sweep_digest(s, &run),
+            digest: run.digest(),
         });
     }
     let rebuilt_wall = t1.elapsed().as_secs_f64();
@@ -1195,8 +1275,220 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         out.push_str(&format!("sweep record written to {json_path}\n"));
     }
     if let Some((fmt, trace_path)) = trace_opt {
-        if let Some(direct) = emit_trace(&mut out, fmt, &trace_path, &recorder)? {
+        if let Some(direct) = emit_trace(&mut out, fmt, &trace_path, &recorder) {
             return Ok(direct);
+        }
+    }
+    Ok(out)
+}
+
+/// `xbfs serve`: the resilient BFS daemon. Loads the graph once, keeps
+/// one warm pooled engine per worker, and serves `xbfs-serve-v1` until a
+/// wire `shutdown` drains it; the merged serve report is the output.
+fn serve(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: xbfs serve FILE [--addr HOST:PORT] (see `xbfs help`)")?;
+    let g = std::sync::Arc::new(load_graph(path)?);
+    let verify = args.flag("verify");
+    // The certificate's parent-tree checks need recorded parents, same
+    // as `bfs --verify`.
+    let xcfg = XbfsConfig {
+        alpha: args.get("alpha", 0.1)?,
+        record_parents: verify,
+        ..XbfsConfig::default()
+    };
+    let scfg = ServeConfig {
+        addr: args.get("addr", "127.0.0.1:0".to_string())?,
+        workers: args.get("workers", 2)?,
+        queue_cap: args.get("queue-cap", 32)?,
+        retry_after_ms: args.get("retry-after-ms", 25)?,
+        verify,
+        allow_chaos: args.flag("allow-chaos"),
+        max_retries: args.get("max-retries", 2)?,
+        breaker_threshold: args.get("breaker-threshold", 3)?,
+        breaker_cooldown_ms: args.get("breaker-cooldown-ms", 250)?,
+        default_deadline_ms: opt_f64(args, "deadline-ms")?,
+    };
+    let (workers, queue_cap) = (scfg.workers, scfg.queue_cap);
+
+    // Validate --arch/--compiler once up front; the factory re-parses the
+    // already-validated names so quarantine rebuilds can mint fresh
+    // devices long after `args` is gone.
+    let streams = xcfg.required_streams();
+    mk_device(args, streams)?;
+    let arch = args.get::<String>("arch", "mi250x".into())?;
+    let compiler = args.get::<String>("compiler", "clang".into())?;
+    let timing = args.flag("timing");
+    let factory: DeviceFactory = std::sync::Arc::new(move || {
+        let profile = match arch.as_str() {
+            "mi100" => ArchProfile::mi100(),
+            "p6000" => ArchProfile::p6000(),
+            _ => ArchProfile::mi250x_gcd(),
+        };
+        let mode = if timing {
+            ExecMode::Timing
+        } else {
+            ExecMode::Functional
+        };
+        let mut dev = Device::new(profile, mode, streams);
+        dev.set_compiler(match compiler.as_str() {
+            "hipcc" => Compiler::HipccO3,
+            "clang-O0" => Compiler::ClangO0,
+            _ => Compiler::ClangO3,
+        });
+        dev
+    });
+
+    let (trace_opt, recorder) = trace_setup(args)?;
+    let rec = std::sync::Arc::new(recorder);
+    let handle = Server::start(scfg, g, xcfg, factory, std::sync::Arc::clone(&rec))
+        .map_err(|e| CliError::io(format!("cannot start server: {e}")))?;
+    // The banner goes to stderr immediately (stdout is the end-of-life
+    // report) so scripts can scrape the bound port before sending load.
+    eprintln!(
+        "xbfs serve: listening on {} ({workers} worker(s), queue cap {queue_cap}); \
+         drain with the wire `shutdown` op or `xbfs loadgen --shutdown`",
+        handle.addr()
+    );
+
+    let report = handle.join();
+    let mut out = format!(
+        "serve report: accepted {} (ok {} timeout {} error {}), shed {}, \
+         rejected while draining {}\n\
+         recovery: replayed {} panics-recovered {} engine-rebuilds {} \
+         breaker-trips {} breaker-fast-rejects {}\n\
+         wire: connections {} dropped {} bad-lines {} chaos-ignored {}; \
+         max queue depth {}\n\
+         drain: {}\n",
+        report.accepted,
+        report.ok,
+        report.timeouts,
+        report.errors,
+        report.shed,
+        report.rejected_draining,
+        report.replayed,
+        report.panics_recovered,
+        report.rebuilds,
+        report.breaker_trips,
+        report.breaker_fast_rejects,
+        report.connections,
+        report.dropped_connections,
+        report.bad_lines,
+        report.chaos_ignored,
+        report.max_queue_depth,
+        if report.drain_clean {
+            "clean"
+        } else {
+            "NOT CLEAN"
+        },
+    );
+    if let Some(json_path) = args.options.get("json") {
+        std::fs::write(json_path, report.to_json() + "\n")
+            .map_err(|e| CliError::io(format!("cannot write {json_path}: {e}")))?;
+        out.push_str(&format!("serve report written to {json_path}\n"));
+    }
+    if let Some((fmt, trace_path)) = trace_opt {
+        if let Some(direct) = emit_trace(&mut out, fmt, &trace_path, &rec) {
+            return Ok(direct);
+        }
+    }
+    if !report.drain_clean {
+        return Err(CliError::new(
+            format!("serve: drain was not clean (work lost or dropped)\n{out}"),
+            exit_code::GENERIC,
+        ));
+    }
+    Ok(out)
+}
+
+/// `xbfs loadgen`: open-loop load generator for `xbfs serve`.
+fn loadgen(args: &Args) -> Result<String, CliError> {
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .ok_or("usage: xbfs loadgen --addr HOST:PORT (see `xbfs help`)")?;
+    // The chaos grammar is the shared xbfs-spec one (same tokenizer as
+    // --inject-bitflips and --inject-faults), parsed client-side so a bad
+    // spec fails before any load is sent.
+    let chaos = match args.options.get("chaos") {
+        Some(spec) => Some(
+            ChaosPlan::parse(spec)
+                .map_err(|e| CliError::new(e.to_string(), exit_code::INVALID_INPUT))?,
+        ),
+        None => None,
+    };
+    let cfg = LoadgenConfig {
+        addr,
+        requests: args.get("requests", 100)?,
+        rps: args.get("rps", 200.0)?,
+        connections: args.get("connections", 4)?,
+        source_max: args.get("sources", 1)?,
+        seed: args.get("seed", 1)?,
+        deadline_ms: opt_f64(args, "deadline-ms")?,
+        verify: args.flag("verify").then_some(true),
+        chaos,
+        shutdown_after: args.flag("shutdown"),
+        ..LoadgenConfig::default()
+    };
+    let report = run_loadgen(&cfg)
+        .map_err(|e| CliError::io(format!("loadgen against {}: {e}", cfg.addr)))?;
+
+    let mut out = format!(
+        "loadgen: {} requests at target {:.0} rps over {} connection(s); \
+         achieved {:.0} rps in {:.0} ms\n\
+         ok {} shed {} ({:.1}%) timeouts {} errors {} lost {}; replayed {}\n\
+         latency ms from scheduled send: p50 {:.3} p99 {:.3} p999 {:.3} max {:.3}\n\
+         digests consistent per source: {}\n",
+        report.sent,
+        cfg.rps,
+        cfg.connections,
+        report.achieved_rps,
+        report.elapsed_ms,
+        report.ok,
+        report.shed,
+        report.shed_pct(),
+        report.timeouts,
+        report.errors,
+        report.lost,
+        report.replayed,
+        report.p50_ms,
+        report.p99_ms,
+        report.p999_ms,
+        report.max_ms,
+        report.digests_consistent,
+    );
+    if let Some(json_path) = args.options.get("json") {
+        std::fs::write(json_path, report.to_json() + "\n")
+            .map_err(|e| CliError::io(format!("cannot write {json_path}: {e}")))?;
+        out.push_str(&format!("loadgen record written to {json_path}\n"));
+    }
+    if report.lost > 0 {
+        return Err(CliError::new(
+            format!(
+                "loadgen: {} request(s) lost (connection died before an answer)\n{out}",
+                report.lost
+            ),
+            exit_code::GENERIC,
+        ));
+    }
+    if !report.digests_consistent {
+        return Err(CliError::new(
+            format!("IntegrityError: served digests diverged across repeats of a source\n{out}"),
+            exit_code::INTEGRITY,
+        ));
+    }
+    if let Some(limit) = opt_f64(args, "max-shed-pct")? {
+        if report.shed_pct() > limit {
+            return Err(CliError::new(
+                format!(
+                    "loadgen: shed {:.1}% of requests, over --max-shed-pct {limit}\n{out}",
+                    report.shed_pct()
+                ),
+                exit_code::OVERLOADED,
+            ));
         }
     }
     Ok(out)
@@ -1890,5 +2182,107 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("VALID"), "{out}");
+    }
+
+    #[test]
+    fn bfs_deadline_maps_to_timeout_exit_code() {
+        let path = tmp("deadline.bin");
+        run(&["generate", "--out", &path, "--scale", "9"]).unwrap();
+        // A sub-microsecond modeled budget cannot cover any level.
+        let e = run(&["bfs", &path, "--deadline-ms", "0.000001"]).unwrap_err();
+        assert_eq!(e.code, exit_code::TIMEOUT, "{}", e.message);
+        assert!(e.message.contains("deadline"), "{}", e.message);
+        // A generous budget changes nothing about a normal run.
+        let out = run(&["bfs", &path, "--deadline-ms", "100000"]).unwrap();
+        assert!(out.contains("GTEPS"), "{out}");
+        // The combination with --verify still certifies.
+        let out = run(&["bfs", &path, "--deadline-ms", "100000", "--verify"]).unwrap();
+        assert!(out.contains("certified:"), "{out}");
+    }
+
+    #[test]
+    fn exporters_never_abort_a_finished_run() {
+        let path = tmp("softfail.bin");
+        run(&["generate", "--out", &path, "--scale", "9"]).unwrap();
+        // Unwritable side-file paths demote to warnings: the run's own
+        // report still lands and the exit code stays 0.
+        let out = run(&[
+            "bfs",
+            &path,
+            "--csv",
+            "/nonexistent-dir/k.csv",
+            "--trace",
+            "json:/nonexistent-dir/t.json",
+        ])
+        .unwrap();
+        assert!(out.contains("GTEPS"), "{out}");
+        assert!(out.contains("kernel counters NOT written"), "{out}");
+        assert!(out.contains("trace NOT written"), "{out}");
+    }
+
+    #[test]
+    fn serve_and_loadgen_round_trip() {
+        let path = tmp("serve.bin");
+        run(&["generate", "--out", &path, "--scale", "9"]).unwrap();
+        let json = tmp("loadgen.json");
+        // Grab a free port, release it, and hand it to the server (the
+        // dispatch API has no way to report an OS-assigned port back).
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let srv = std::thread::spawn({
+            let (path, addr) = (path.clone(), addr.clone());
+            move || {
+                run(&[
+                    "serve",
+                    &path,
+                    "--addr",
+                    &addr,
+                    "--workers",
+                    "2",
+                    "--queue-cap",
+                    "64",
+                ])
+            }
+        });
+        // Wait until the listener is up before generating load.
+        for _ in 0..200 {
+            if std::net::TcpStream::connect(&addr).is_ok() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let out = run(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--requests",
+            "24",
+            "--rps",
+            "400",
+            "--connections",
+            "3",
+            "--sources",
+            "8",
+            "--max-shed-pct",
+            "0",
+            "--shutdown",
+            "--json",
+            &json,
+        ])
+        .unwrap();
+        assert!(out.contains("lost 0"), "{out}");
+        assert!(out.contains("digests consistent per source: true"), "{out}");
+        let doc = JsonValue::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("format").and_then(|f| f.as_str()),
+            Some("xbfs-loadgen-v1")
+        );
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_f64), Some(24.0));
+        // --shutdown drained the server; its report must be clean.
+        let srv_out = srv.join().unwrap().unwrap();
+        assert!(srv_out.contains("drain: clean"), "{srv_out}");
     }
 }

@@ -29,6 +29,16 @@ pub enum XbfsError {
     /// Silent data corruption was detected by a checksum, a pool guard,
     /// or the result certificate (see [`IntegrityError`]).
     Integrity(IntegrityError),
+    /// The run's modeled clock crossed its deadline budget between levels.
+    /// Times are integer microseconds so the error stays `Eq`-comparable.
+    DeadlineExceeded {
+        /// Last BFS level that completed before the abort.
+        level: u32,
+        /// Modeled device time when the deadline check fired, µs.
+        elapsed_us: u64,
+        /// The budget the run was given, µs.
+        deadline_us: u64,
+    },
 }
 
 impl fmt::Display for XbfsError {
@@ -50,6 +60,14 @@ impl fmt::Display for XbfsError {
                 "source vertex {source} out of range (graph has {num_vertices} vertices)"
             ),
             Self::Integrity(e) => write!(f, "integrity violation: {e}"),
+            Self::DeadlineExceeded {
+                level,
+                elapsed_us,
+                deadline_us,
+            } => write!(
+                f,
+                "deadline exceeded after level {level}: {elapsed_us}us elapsed, budget {deadline_us}us"
+            ),
         }
     }
 }

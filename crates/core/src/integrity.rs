@@ -69,33 +69,35 @@ impl BitflipPlan {
     }
 
     /// Parse a spec like `status:2,csr,seed=7` (a bare kind means one
-    /// flip). Unknown kinds and malformed counts are errors.
+    /// flip). Unknown kinds and malformed counts are errors, reported in
+    /// the shared ``token `X`: why`` shape of [`xbfs_spec`].
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = Self::none();
-        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-            if let Some(seed) = part.strip_prefix("seed=") {
-                plan.seed = seed
-                    .parse()
-                    .map_err(|_| format!("bad seed in bitflip spec: {part:?}"))?;
-                continue;
-            }
-            let (kind, count) = match part.split_once(':') {
-                Some((k, c)) => (
-                    k,
-                    c.parse::<u32>()
-                        .map_err(|_| format!("bad count in bitflip spec: {part:?}"))?,
-                ),
-                None => (part, 1),
-            };
-            match kind {
-                "status" => plan.status += count,
-                "parents" => plan.parents += count,
-                "csr" => plan.csr += count,
-                "pool" => plan.pool += count,
-                _ => {
-                    return Err(format!(
-                        "unknown bitflip target {kind:?} (expected status|parents|csr|pool)"
-                    ))
+        for tok in xbfs_spec::tokenize(spec) {
+            match tok {
+                xbfs_spec::Token::Assign {
+                    key: "seed", value, ..
+                } => {
+                    plan.seed = tok.num("seed", value).map_err(|e| e.to_string())?;
+                }
+                xbfs_spec::Token::Assign { .. } => {
+                    return Err(tok
+                        .err("unknown assignment (expected seed=<n>)")
+                        .to_string())
+                }
+                xbfs_spec::Token::Item { kind, .. } => {
+                    let count = tok.arg_count(1).map_err(|e| e.to_string())?;
+                    match kind {
+                        "status" => plan.status += count,
+                        "parents" => plan.parents += count,
+                        "csr" => plan.csr += count,
+                        "pool" => plan.pool += count,
+                        _ => {
+                            return Err(tok
+                                .err("unknown bitflip target (expected status|parents|csr|pool)")
+                                .to_string())
+                        }
+                    }
                 }
             }
         }

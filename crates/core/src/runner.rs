@@ -134,7 +134,16 @@ impl<D: Borrow<Device>> Xbfs<D> {
     /// telemetry call is a single relaxed atomic load, so this is the
     /// same hot path `run` uses.
     pub fn run_traced(&self, source: u32, rec: &Recorder) -> Result<BfsRun, XbfsError> {
-        self.run_impl(source, rec, None)
+        self.run_impl(source, rec, None, None)
+    }
+
+    /// [`Xbfs::run`] under a modeled-time budget: between levels the device
+    /// clock is checked against `deadline_ms`, and a run that crosses it
+    /// aborts with [`XbfsError::DeadlineExceeded`] instead of finishing.
+    /// The pooled state stays reusable after an abort — the next run's
+    /// epoch reset clears the partial traversal in O(1).
+    pub fn run_with_deadline(&self, source: u32, deadline_ms: f64) -> Result<BfsRun, XbfsError> {
+        self.run_impl(source, &Recorder::disabled(), None, Some(deadline_ms))
     }
 
     /// Run with certificate validation: the pool and CSR are checksummed
@@ -165,7 +174,31 @@ impl<D: Borrow<Device>> Xbfs<D> {
         rec: &Recorder,
         sabotage: &Sabotage<'_>,
     ) -> Result<BfsRun, XbfsError> {
-        self.run_impl(source, rec, Some(sabotage))
+        self.run_impl(source, rec, Some(sabotage), None)
+    }
+
+    /// The serving layer's entry point: one run under every governor at
+    /// once. `deadline_ms` bounds the modeled clock (see
+    /// [`Xbfs::run_with_deadline`]), `verify` turns on the full
+    /// [`Xbfs::run_verified`] pipeline (pool sweeps, CSR re-check,
+    /// certificate), and `sabotage` injects faults for chaos testing.
+    /// With `verify` off the certificate is `None` and the run is the
+    /// exact unverified hot path.
+    pub fn run_governed(
+        &self,
+        source: u32,
+        rec: &Recorder,
+        sabotage: Option<&Sabotage<'_>>,
+        deadline_ms: Option<f64>,
+        verify: bool,
+    ) -> Result<(BfsRun, Option<Certificate>), XbfsError> {
+        if verify {
+            self.run_checked(source, rec, sabotage, deadline_ms)
+                .map(|(run, cert)| (run, Some(cert)))
+        } else {
+            self.run_impl(source, rec, sabotage, deadline_ms)
+                .map(|run| (run, None))
+        }
     }
 
     /// The full verified pipeline: pre-run pool sweep, the (optionally
@@ -178,6 +211,16 @@ impl<D: Borrow<Device>> Xbfs<D> {
         rec: &Recorder,
         sabotage: Option<&Sabotage<'_>>,
     ) -> Result<(BfsRun, Certificate), XbfsError> {
+        self.run_checked(source, rec, sabotage, None)
+    }
+
+    fn run_checked(
+        &self,
+        source: u32,
+        rec: &Recorder,
+        sabotage: Option<&Sabotage<'_>>,
+        deadline_ms: Option<f64>,
+    ) -> Result<(BfsRun, Certificate), XbfsError> {
         let dev: &Device = self.device.borrow();
         // Surface corruption the pool already quarantined (e.g. during
         // engine construction) before investing in a run.
@@ -186,7 +229,7 @@ impl<D: Borrow<Device>> Xbfs<D> {
         }
         dev.verify_pool()
             .map_err(crate::integrity::IntegrityError::Pool)?;
-        let run = self.run_impl(source, rec, sabotage)?;
+        let run = self.run_impl(source, rec, sabotage, deadline_ms)?;
         self.graph.verify()?;
         let cert = certify_run(
             &self.graph.offsets.to_host(),
@@ -209,6 +252,7 @@ impl<D: Borrow<Device>> Xbfs<D> {
         source: u32,
         rec: &Recorder,
         sabotage: Option<&Sabotage<'_>>,
+        deadline_ms: Option<f64>,
     ) -> Result<BfsRun, XbfsError> {
         let dev: &Device = self.device.borrow();
         let g = &self.graph;
@@ -427,6 +471,25 @@ impl<D: Borrow<Device>> Xbfs<D> {
             pending_pro = (proactive, proactive_edges);
             if next_count == 0 {
                 break;
+            }
+            // Deadline gate, between levels only: a run that completes on
+            // its last level is never a timeout. The abort leaves partial
+            // marks up to two levels past the last recorded one (proactive
+            // claims), which `reset_in_place`'s +3 epoch skip already
+            // covers — the state is fully reusable by the next run.
+            if let Some(budget_ms) = deadline_ms {
+                let budget_us = budget_ms * 1000.0;
+                if t1 > budget_us {
+                    *last_depth = level_stats.len() as u32;
+                    rec.span_attr(run_span, "deadline_ms", AttrValue::F64(budget_ms));
+                    rec.span_attr(run_span, "timed_out", AttrValue::Bool(true));
+                    rec.end_span(run_span, t1);
+                    return Err(XbfsError::DeadlineExceeded {
+                        level,
+                        elapsed_us: t1 as u64,
+                        deadline_us: budget_us as u64,
+                    });
+                }
             }
             frontier_count = next_count;
             frontier_edges = next_edges;
@@ -663,5 +726,67 @@ mod tests {
             Xbfs::new(&dev, &g, XbfsConfig::default()).err(),
             Some(XbfsError::EmptyGraph)
         );
+    }
+
+    #[test]
+    fn tight_deadline_aborts_with_typed_error() {
+        let g = rmat_graph(RmatParams::graph500(10), 3);
+        let dev = Device::mi250x();
+        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap();
+        let full = xbfs.run(0).unwrap();
+        assert!(full.depth() > 2, "need a multi-level run to abort");
+        // A budget below the full runtime must fire between levels.
+        let err = xbfs
+            .run_with_deadline(0, full.total_ms / 100.0)
+            .unwrap_err();
+        match err {
+            XbfsError::DeadlineExceeded {
+                level,
+                elapsed_us,
+                deadline_us,
+            } => {
+                assert!((level as usize) < full.depth());
+                assert!(elapsed_us > deadline_us);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pooled_state_survives_deadline_abort() {
+        // An aborted run must leave the epoch-versioned state reusable:
+        // the very next run on the same engine is bit-identical to a run
+        // on a fresh engine.
+        let g = rmat_graph(RmatParams::graph500(9), 7);
+        let dev = Device::mi250x();
+        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap();
+        let reference = xbfs.run(5).unwrap();
+        assert!(xbfs.run_with_deadline(5, 1e-6).is_err());
+        let after_abort = xbfs.run(5).unwrap();
+        assert_eq!(after_abort.levels, reference.levels);
+        assert_eq!(after_abort.digest(), reference.digest());
+        // And a generous budget behaves exactly like no budget at all.
+        let roomy = xbfs
+            .run_with_deadline(5, reference.total_ms * 100.0)
+            .unwrap();
+        assert_eq!(roomy.digest(), reference.digest());
+    }
+
+    #[test]
+    fn run_governed_composes_deadline_and_verification() {
+        let g = erdos_renyi(2000, 8000, 5);
+        let dev = Device::mi250x();
+        let xbfs = Xbfs::new(&dev, &g, XbfsConfig::default()).unwrap();
+        let rec = Recorder::disabled();
+        let (run, cert) = xbfs.run_governed(0, &rec, None, Some(1e9), true).unwrap();
+        assert!(cert.is_some(), "verify=true must yield a certificate");
+        assert_eq!(run.levels, bfs_levels_serial(&g, 0));
+        let (fast, no_cert) = xbfs.run_governed(0, &rec, None, None, false).unwrap();
+        assert!(no_cert.is_none());
+        assert_eq!(fast.digest(), run.digest());
+        let err = xbfs
+            .run_governed(0, &rec, None, Some(1e-6), true)
+            .unwrap_err();
+        assert!(matches!(err, XbfsError::DeadlineExceeded { .. }));
     }
 }

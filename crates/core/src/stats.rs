@@ -73,6 +73,23 @@ impl BfsRun {
     pub fn strategy_trace(&self) -> Vec<Strategy> {
         self.level_stats.iter().map(|l| l.strategy).collect()
     }
+
+    /// FNV-1a digest over source, modeled total time, and the full level
+    /// array. Two runs with equal digests are bit-identical in everything
+    /// the sweep and serving layers compare — the replay/bit-identity
+    /// checks in the sweep supervisor and the serve protocol both quote
+    /// this value.
+    pub fn digest(&self) -> u64 {
+        fn mix(acc: u64, v: u64) -> u64 {
+            (acc ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+        }
+        let mut h = mix(0xcbf2_9ce4_8422_2325, u64::from(self.source));
+        h = mix(h, self.total_ms.to_bits());
+        for &l in &self.levels {
+            h = mix(h, u64::from(l));
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -82,3 +82,10 @@ impl fmt::Display for ClusterError {
 }
 
 impl std::error::Error for ClusterError {}
+
+impl From<xbfs_spec::SpecError> for ClusterError {
+    /// Shared-grammar spec failures are fault-spec errors here.
+    fn from(e: xbfs_spec::SpecError) -> Self {
+        Self::FaultSpec(e.to_string())
+    }
+}

@@ -86,69 +86,75 @@ impl FaultPlan {
     ///   inclusive level window,
     /// * `seed=<n>` — recorded seed.
     pub fn parse(spec: &str) -> Result<Self, ClusterError> {
-        let bad =
-            |tok: &str, why: &str| Err(ClusterError::FaultSpec(format!("token `{tok}`: {why}")));
+        // One shared tokenizer (`xbfs_spec`) across fault, bitflip and
+        // chaos plans; only the fault vocabulary lives here.
         let mut plan = Self::none();
-        for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
-            if let Some(rest) = tok.strip_prefix("seed=") {
-                match rest.parse() {
-                    Ok(s) => plan.seed = s,
-                    Err(_) => return bad(tok, "seed must be an integer"),
+        for tok in xbfs_spec::tokenize(spec) {
+            match tok {
+                xbfs_spec::Token::Assign {
+                    key: "seed", value, ..
+                } => {
+                    plan.seed = tok.num("seed", value)?;
                 }
-            } else if let Some(rest) = tok.strip_prefix("crash@") {
-                let Some((level, rank)) = rest.split_once(":rank") else {
-                    return bad(tok, "expected crash@<level>:rank<r>");
-                };
-                match (level.parse(), rank.parse()) {
-                    (Ok(level), Ok(rank)) => plan.events.push(FaultEvent::GcdCrash { rank, level }),
-                    _ => return bad(tok, "level and rank must be integers"),
+                xbfs_spec::Token::Assign { .. } => {
+                    return Err(tok.err("unknown assignment (expected seed=<n>)").into());
                 }
-            } else if let Some(rest) = tok.strip_prefix("drop@") {
-                let Some((level, route)) = rest.split_once(':') else {
-                    return bad(tok, "expected drop@<level>:<src>-<dst>x<n>");
-                };
-                let Some((pair, drops)) = route.split_once('x') else {
-                    return bad(tok, "expected drop@<level>:<src>-<dst>x<n>");
-                };
-                let Some((src, dst)) = pair.split_once('-') else {
-                    return bad(tok, "expected drop@<level>:<src>-<dst>x<n>");
-                };
-                match (level.parse(), src.parse(), dst.parse(), drops.parse()) {
-                    (Ok(level), Ok(src), Ok(dst), Ok(drops)) => {
-                        plan.events.push(FaultEvent::LinkDrop {
-                            level,
-                            src,
-                            dst,
-                            drops,
-                        })
-                    }
-                    _ => return bad(tok, "level, ranks and count must be integers"),
-                }
-            } else if let Some(rest) = tok.strip_prefix("degrade@") {
-                let Some((window, factor)) = rest.split_once(':') else {
-                    return bad(tok, "expected degrade@<from>-<to>:<factor>");
-                };
-                let Some((from, to)) = window.split_once('-') else {
-                    return bad(tok, "expected degrade@<from>-<to>:<factor>");
-                };
-                match (from.parse(), to.parse(), factor.parse::<f64>()) {
-                    (Ok(from_level), Ok(to_level), Ok(factor)) => {
-                        if !(factor > 0.0 && factor <= 1.0) {
-                            return bad(tok, "factor must be in (0, 1]");
+                xbfs_spec::Token::Item { kind, at, arg, .. } => {
+                    let at = |what: &str| at.ok_or_else(|| tok.err(format!("expected {what}")));
+                    let arg = |what: &str| arg.ok_or_else(|| tok.err(format!("expected {what}")));
+                    match kind {
+                        "crash" => {
+                            let level = tok.num("level", at("crash@<level>:rank<r>")?)?;
+                            let rank = arg("crash@<level>:rank<r>")?
+                                .strip_prefix("rank")
+                                .ok_or_else(|| tok.err("expected crash@<level>:rank<r>"))?;
+                            let rank = tok.num("rank", rank)?;
+                            plan.events.push(FaultEvent::GcdCrash { rank, level });
                         }
-                        if from_level > to_level {
-                            return bad(tok, "window start exceeds end");
+                        "drop" => {
+                            let level = tok.num("level", at("drop@<level>:<src>-<dst>x<n>")?)?;
+                            let route = arg("drop@<level>:<src>-<dst>x<n>")?;
+                            let (pair, drops) = route
+                                .split_once('x')
+                                .ok_or_else(|| tok.err("expected drop@<level>:<src>-<dst>x<n>"))?;
+                            let (src, dst) = pair
+                                .split_once('-')
+                                .ok_or_else(|| tok.err("expected drop@<level>:<src>-<dst>x<n>"))?;
+                            plan.events.push(FaultEvent::LinkDrop {
+                                level,
+                                src: tok.num("src rank", src)?,
+                                dst: tok.num("dst rank", dst)?,
+                                drops: tok.num("drop count", drops)?,
+                            });
                         }
-                        plan.events.push(FaultEvent::Degrade {
-                            from_level,
-                            to_level,
-                            factor,
-                        })
+                        "degrade" => {
+                            let window = at("degrade@<from>-<to>:<factor>")?;
+                            let (from, to) = window
+                                .split_once('-')
+                                .ok_or_else(|| tok.err("expected degrade@<from>-<to>:<factor>"))?;
+                            let from_level: u32 = tok.num("from level", from)?;
+                            let to_level: u32 = tok.num("to level", to)?;
+                            let factor: f64 =
+                                tok.num("factor", arg("degrade@<from>-<to>:<factor>")?)?;
+                            if !(factor > 0.0 && factor <= 1.0) {
+                                return Err(tok.err("factor must be in (0, 1]").into());
+                            }
+                            if from_level > to_level {
+                                return Err(tok.err("window start exceeds end").into());
+                            }
+                            plan.events.push(FaultEvent::Degrade {
+                                from_level,
+                                to_level,
+                                factor,
+                            });
+                        }
+                        _ => {
+                            return Err(tok
+                                .err("unknown fault kind (crash@/drop@/degrade@/seed=)")
+                                .into())
+                        }
                     }
-                    _ => return bad(tok, "levels must be integers, factor a float"),
                 }
-            } else {
-                return bad(tok, "unknown fault kind (crash@/drop@/degrade@/seed=)");
             }
         }
         Ok(plan)

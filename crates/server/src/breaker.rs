@@ -1,0 +1,169 @@
+//! Circuit breaker for the serving layer.
+//!
+//! Consecutive *uncorrected* failures (a request that exhausted its
+//! quarantine-and-replay retries) trip the breaker. While open, BFS
+//! requests are rejected immediately with a backoff hint — burning a
+//! worker rebuild per request on a substrate that keeps failing helps
+//! nobody. After a cooldown the breaker goes half-open: one probe request
+//! is admitted; success closes the breaker, failure re-opens it for
+//! another cooldown.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open { since: Instant },
+    HalfOpen { probe_out: bool },
+}
+
+struct Inner {
+    state: State,
+    consecutive_failures: u32,
+    trips: u64,
+    fast_rejects: u64,
+}
+
+/// Trip-after-N-consecutive-failures breaker with cooldown + half-open
+/// probing. All methods are O(1) under one small mutex.
+pub struct CircuitBreaker {
+    inner: Mutex<Inner>,
+    threshold: u32,
+    cooldown: Duration,
+}
+
+impl CircuitBreaker {
+    /// Trips after `threshold` consecutive failures; stays open for
+    /// `cooldown_ms` before letting a probe through.
+    pub fn new(threshold: u32, cooldown_ms: u64) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                state: State::Closed,
+                consecutive_failures: 0,
+                trips: 0,
+                fast_rejects: 0,
+            }),
+            threshold: threshold.max(1),
+            cooldown: Duration::from_millis(cooldown_ms),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// May this request proceed? `Err(retry_after_ms)` means reject fast.
+    pub fn admit(&self) -> Result<(), u64> {
+        let mut g = self.lock();
+        match g.state {
+            State::Closed => Ok(()),
+            State::Open { since } => {
+                let elapsed = since.elapsed();
+                if elapsed >= self.cooldown {
+                    g.state = State::HalfOpen { probe_out: true };
+                    Ok(()) // this caller is the probe
+                } else {
+                    g.fast_rejects += 1;
+                    let left = self.cooldown - elapsed;
+                    Err((left.as_millis() as u64).max(1))
+                }
+            }
+            State::HalfOpen { probe_out: false } => {
+                g.state = State::HalfOpen { probe_out: true };
+                Ok(())
+            }
+            State::HalfOpen { probe_out: true } => {
+                g.fast_rejects += 1;
+                Err((self.cooldown.as_millis() as u64).max(1))
+            }
+        }
+    }
+
+    /// Report a request that ended well (certified, or cleanly typed).
+    pub fn record_success(&self) {
+        let mut g = self.lock();
+        g.consecutive_failures = 0;
+        g.state = State::Closed;
+    }
+
+    /// Report a request that exhausted its retries. Returns `true` when
+    /// this failure tripped the breaker open.
+    pub fn record_failure(&self) -> bool {
+        let mut g = self.lock();
+        g.consecutive_failures += 1;
+        let should_trip = match g.state {
+            State::Closed => g.consecutive_failures >= self.threshold,
+            // A failed half-open probe re-opens immediately.
+            State::HalfOpen { .. } => true,
+            State::Open { .. } => false,
+        };
+        if should_trip {
+            g.state = State::Open {
+                since: Instant::now(),
+            };
+            g.trips += 1;
+        }
+        should_trip
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.lock().trips
+    }
+
+    /// Requests rejected fast while the breaker was open.
+    pub fn fast_rejects(&self) -> u64 {
+        self.lock().fast_rejects
+    }
+
+    /// Is the breaker currently rejecting (open and still cooling down)?
+    pub fn is_open(&self) -> bool {
+        let g = self.lock();
+        matches!(g.state, State::Open { since } if since.elapsed() < self.cooldown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_and_rejects_fast() {
+        let b = CircuitBreaker::new(3, 10_000);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure());
+        assert_eq!(b.trips(), 1);
+        assert!(b.admit().is_err());
+        assert!(b.fast_rejects() >= 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let b = CircuitBreaker::new(2, 10_000);
+        b.record_failure();
+        b.record_success();
+        assert!(!b.record_failure(), "streak must restart after success");
+        assert!(b.admit().is_ok());
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let b = CircuitBreaker::new(1, 0); // cooldown elapses immediately
+        assert!(b.record_failure());
+        assert!(b.admit().is_ok(), "post-cooldown admit is the probe");
+        b.record_success();
+        assert!(b.admit().is_ok());
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(1, 0);
+        b.record_failure();
+        assert!(b.admit().is_ok());
+        assert!(b.record_failure(), "failed probe re-trips");
+        assert_eq!(b.trips(), 2);
+    }
+}

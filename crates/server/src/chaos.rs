@@ -1,0 +1,216 @@
+//! Chaos injection plans for the serving layer.
+//!
+//! The **load generator** owns the plan: `--chaos` takes a spec in the
+//! shared [`xbfs_spec`] grammar (the same tokenizer behind
+//! `--inject-faults` and `--inject-bitflips`), decides deterministically
+//! which requests carry which action, and stamps a single action token
+//! into the request's `chaos` field. The **server** only ever sees that
+//! per-request token, and honors it solely when started with
+//! `--allow-chaos` — a production server ignores (and counts) stamped
+//! chaos instead of executing it.
+//!
+//! Spec grammar (comma-separated):
+//!
+//! - `panic[:N]`   — every Nth selected request panics inside the worker
+//! - `bitflip[:N]` — every Nth selected request runs under seeded bit
+//!   flips in device status words (exercises certify-and-retry)
+//! - `slow[@MS][:N]` — every Nth selected request sleeps `MS` wall ms
+//!   server-side before running (default 50)
+//! - `seed=S`      — phase-shifts the selection so repeated runs vary
+//!
+//! Periods are per-kind over the request index; precedence when several
+//! kinds fire on the same index is panic > bitflip > slow, so a single
+//! request carries exactly one action.
+
+use xbfs_spec::{tokenize, SpecError, Token};
+
+/// What one request is asked to suffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// No injection.
+    None,
+    /// Deliberate panic inside the worker's run closure.
+    Panic,
+    /// Seeded bit flips in device state (detected by certification).
+    Bitflip,
+    /// Wall-clock sleep before the run, ms.
+    Slow(u64),
+}
+
+impl ChaosAction {
+    /// Wire encoding for the request's `chaos` field.
+    pub fn token(self) -> Option<String> {
+        match self {
+            Self::None => None,
+            Self::Panic => Some("panic".into()),
+            Self::Bitflip => Some("bitflip".into()),
+            Self::Slow(ms) => Some(format!("slow@{ms}")),
+        }
+    }
+
+    /// Decode a request's `chaos` field. Unknown tokens are an error so
+    /// a typo'd injection cannot silently become a no-op in a chaos test.
+    pub fn from_token(tok: &str) -> Result<Self, String> {
+        match tok {
+            "panic" => Ok(Self::Panic),
+            "bitflip" => Ok(Self::Bitflip),
+            other => match other.strip_prefix("slow@") {
+                Some(ms) => ms
+                    .parse::<u64>()
+                    .map(Self::Slow)
+                    .map_err(|_| format!("bad slow duration in chaos token `{other}`")),
+                None if other == "slow" => Ok(Self::Slow(50)),
+                None => Err(format!("unknown chaos token `{other}`")),
+            },
+        }
+    }
+}
+
+/// A parsed `--chaos` spec: per-kind periods plus a selection seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Fire a panic every this-many requests (None = never).
+    pub panic_every: Option<u64>,
+    /// Fire bit flips every this-many requests.
+    pub bitflip_every: Option<u64>,
+    /// Fire a slowdown every this-many requests.
+    pub slow_every: Option<u64>,
+    /// Sleep duration for slowdowns, wall ms.
+    pub slow_ms: u64,
+    /// Phase shift for the periodic selection.
+    pub seed: u64,
+}
+
+impl ChaosPlan {
+    /// Parse the comma-separated spec (see module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<Self, SpecError> {
+        let mut plan = Self {
+            slow_ms: 50,
+            ..Self::default()
+        };
+        let mut any = false;
+        for tok in tokenize(spec) {
+            any = true;
+            match tok {
+                Token::Assign {
+                    key: "seed", value, ..
+                } => {
+                    plan.seed = tok.num("seed", value)?;
+                }
+                Token::Assign { key, .. } => {
+                    return Err(tok.err(format!("unknown key `{key}` (expected seed=)")));
+                }
+                Token::Item { kind: "panic", .. } => {
+                    plan.panic_every = Some(u64::from(tok.arg_count(1)?.max(1)));
+                }
+                Token::Item {
+                    kind: "bitflip", ..
+                } => {
+                    plan.bitflip_every = Some(u64::from(tok.arg_count(1)?.max(1)));
+                }
+                Token::Item {
+                    kind: "slow",
+                    at,
+                    arg,
+                    ..
+                } => {
+                    if let Some(ms) = at {
+                        plan.slow_ms = tok.num("slow duration (ms)", ms)?;
+                    }
+                    let every: u64 = match arg {
+                        Some(n) => tok.num("slow period", n)?,
+                        None => 1,
+                    };
+                    plan.slow_every = Some(every.max(1));
+                }
+                Token::Item { kind, .. } => {
+                    return Err(tok.err(format!(
+                        "unknown chaos kind `{kind}` (expected panic, bitflip, slow)"
+                    )));
+                }
+            }
+        }
+        if !any {
+            return Err(SpecError {
+                token: spec.trim().to_string(),
+                why: "empty chaos spec".into(),
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Deterministic per-request selection: request `index` under this
+    /// plan suffers exactly one action (or none). Periods are phase
+    /// shifted by the seed so `seed=` varies which requests are hit
+    /// without changing the hit *rate*.
+    pub fn action(&self, index: u64) -> ChaosAction {
+        let hit = |period: Option<u64>, salt: u64| {
+            period.is_some_and(|p| (index + self.seed + salt).is_multiple_of(p))
+        };
+        if hit(self.panic_every, 0) {
+            ChaosAction::Panic
+        } else if hit(self.bitflip_every, 1) {
+            ChaosAction::Bitflip
+        } else if hit(self.slow_every, 2) {
+            ChaosAction::Slow(self.slow_ms)
+        } else {
+            ChaosAction::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let p = ChaosPlan::parse("panic:10,bitflip:7,slow@120:3,seed=42").unwrap();
+        assert_eq!(p.panic_every, Some(10));
+        assert_eq!(p.bitflip_every, Some(7));
+        assert_eq!(p.slow_every, Some(3));
+        assert_eq!(p.slow_ms, 120);
+        assert_eq!(p.seed, 42);
+    }
+
+    #[test]
+    fn defaults_and_bare_kinds() {
+        let p = ChaosPlan::parse("slow").unwrap();
+        assert_eq!(p.slow_every, Some(1));
+        assert_eq!(p.slow_ms, 50);
+        assert_eq!(p.action(0), ChaosAction::Slow(50));
+    }
+
+    #[test]
+    fn rejects_unknown_kind_and_key() {
+        assert!(ChaosPlan::parse("crash:3").is_err());
+        assert!(ChaosPlan::parse("salt=9").is_err());
+        assert!(ChaosPlan::parse("").is_err());
+        assert!(ChaosPlan::parse("panic:x").is_err());
+    }
+
+    #[test]
+    fn panic_takes_precedence_and_rate_is_periodic() {
+        let p = ChaosPlan::parse("panic:4,slow:1").unwrap();
+        let hits = (0..100)
+            .filter(|&i| p.action(i) == ChaosAction::Panic)
+            .count();
+        assert_eq!(hits, 25);
+        // Every non-panic request still slows: slow:1 fires always.
+        assert!((0..100).all(|i| p.action(i) != ChaosAction::None));
+    }
+
+    #[test]
+    fn action_tokens_round_trip() {
+        for a in [
+            ChaosAction::Panic,
+            ChaosAction::Bitflip,
+            ChaosAction::Slow(75),
+        ] {
+            let tok = a.token().unwrap();
+            assert_eq!(ChaosAction::from_token(&tok).unwrap(), a);
+        }
+        assert!(ChaosAction::from_token("meltdown").is_err());
+        assert_eq!(ChaosAction::None.token(), None);
+    }
+}

@@ -1,0 +1,46 @@
+//! Resilient BFS serving layer.
+//!
+//! A long-running daemon (`xbfs serve`) loads the graph once, keeps warm
+//! pooled [`xbfs_core::Xbfs`] engines across worker threads, and serves BFS
+//! requests over a JSON-lines-over-TCP protocol (`xbfs-serve-v1`). The
+//! robustness story is the point:
+//!
+//! - **Admission control** — a bounded queue ([`AdmissionQueue`]) sheds
+//!   load explicitly (`overloaded` + `retry_after_ms`) instead of letting
+//!   latency collapse under backlog.
+//! - **Deadlines** — per-request wall budgets: queue wait is charged
+//!   against the budget, the remainder rides into the run loop as a
+//!   modeled-time deadline ([`xbfs_core::Xbfs::run_governed`]), and
+//!   exceedances surface as typed `timeout` responses.
+//! - **Panic isolation** — worker threads wrap execution in
+//!   `catch_unwind`; a panicking engine is quarantined (engine *and*
+//!   device discarded — a corrupted pool must not survive), rebuilt
+//!   fresh, and the request replayed. Replayed results are bit-identical
+//!   to a single-shot run: that is the pool-reuse invariant PR 3/4
+//!   established, and the e2e tests re-assert it through the socket.
+//! - **Circuit breaker** — consecutive uncorrected integrity failures
+//!   trip the breaker ([`CircuitBreaker`]); while open, BFS requests are
+//!   rejected fast instead of burning a poisoned substrate.
+//! - **Graceful drain** — `shutdown` (or [`ServerHandle::initiate_drain`])
+//!   stops admissions, completes everything already accepted, closes
+//!   connections, and flushes one merged report.
+//!
+//! The load generator ([`loadgen`]) is the other half: an open-loop
+//! client that drives a server past capacity on purpose and reports
+//! shed/accepted counts and p50/p99/p999 latency from *scheduled* send
+//! times (so coordinated omission cannot hide queueing delay).
+
+pub mod breaker;
+pub mod chaos;
+pub mod loadgen;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod worker;
+
+pub use breaker::CircuitBreaker;
+pub use chaos::{ChaosAction, ChaosPlan};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use protocol::{BfsRequest, Request, ResponseSummary, PROTOCOL};
+pub use queue::{Admission, AdmissionQueue, QueueStats};
+pub use server::{DeviceFactory, ServeConfig, ServeReport, Server, ServerHandle};

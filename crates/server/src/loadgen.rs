@@ -1,0 +1,411 @@
+//! Open-loop load generator for `xbfs serve`.
+//!
+//! Open-loop means the send schedule is fixed up front from the target
+//! RPS: request `i` is *due* at `start + i/rps`, and latency is measured
+//! from that scheduled instant — not from when the socket write finally
+//! happened. A closed-loop client slows down when the server does, which
+//! silently hides queueing delay (coordinated omission); an open-loop
+//! one keeps the pressure on and charges the server for every
+//! millisecond a response was late relative to the schedule.
+//!
+//! The generator drives `connections` sockets round-robin, stamps chaos
+//! actions from a [`ChaosPlan`] (server-side injection, honored only
+//! under `--allow-chaos`), and reports accepted/shed/timeout counts,
+//! p50/p99/p999 latency, and whether every `ok` digest was consistent
+//! per source — a cheap cross-request determinism check on the server.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::chaos::ChaosPlan;
+use crate::protocol::{self, PROTOCOL};
+
+/// What to throw at the server.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Total requests to send.
+    pub requests: u64,
+    /// Target offered load, requests per second.
+    pub rps: f64,
+    /// Concurrent connections (requests round-robin across them).
+    pub connections: usize,
+    /// Sources are drawn uniformly from `0..source_max`.
+    pub source_max: u32,
+    /// RNG seed for the source mix.
+    pub seed: u64,
+    /// Per-request deadline to stamp, ms.
+    pub deadline_ms: Option<f64>,
+    /// Per-request verify override to stamp.
+    pub verify: Option<bool>,
+    /// Chaos plan; selected requests carry an action token.
+    pub chaos: Option<ChaosPlan>,
+    /// Send a `shutdown` after the last response (graceful drain).
+    pub shutdown_after: bool,
+    /// Give up waiting for stragglers after this long, ms.
+    pub recv_timeout_ms: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:4000".into(),
+            requests: 100,
+            rps: 200.0,
+            connections: 4,
+            source_max: 1,
+            seed: 1,
+            deadline_ms: None,
+            verify: None,
+            chaos: None,
+            shutdown_after: false,
+            recv_timeout_ms: 30_000,
+        }
+    }
+}
+
+/// What happened, from the client's side of the wire.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadgenReport {
+    /// Requests written to a socket.
+    pub sent: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// `overloaded` responses (shed/breaker/draining).
+    pub shed: u64,
+    /// `timeout` responses.
+    pub timeouts: u64,
+    /// `error` responses.
+    pub errors: u64,
+    /// Requests with no response (connection died / straggler cutoff).
+    pub lost: u64,
+    /// `ok` responses that took more than one attempt (replayed after a
+    /// quarantine server-side).
+    pub replayed: u64,
+    /// Median latency from scheduled send, ms.
+    pub p50_ms: f64,
+    /// 99th percentile latency, ms.
+    pub p99_ms: f64,
+    /// 99.9th percentile latency, ms.
+    pub p999_ms: f64,
+    /// Worst observed latency, ms.
+    pub max_ms: f64,
+    /// Every `ok` digest agreed per source (server determinism held).
+    pub digests_consistent: bool,
+    /// Wall time of the whole drive, ms.
+    pub elapsed_ms: f64,
+    /// Offered load actually achieved, requests/second.
+    pub achieved_rps: f64,
+}
+
+impl LoadgenReport {
+    /// Shed fraction of everything that got an answer or was sent.
+    pub fn shed_pct(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.shed as f64 * 100.0 / self.sent as f64
+        }
+    }
+
+    /// `xbfs-loadgen-v1` JSON object (single line).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"format\":\"xbfs-loadgen-v1\",\"sent\":{},\"ok\":{},\"shed\":{},\
+             \"timeouts\":{},\"errors\":{},\"lost\":{},\"replayed\":{},\
+             \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"p999_ms\":{:.3},\"max_ms\":{:.3},\
+             \"shed_pct\":{:.2},\"digests_consistent\":{},\"elapsed_ms\":{:.1},\
+             \"achieved_rps\":{:.1}}}",
+            self.sent,
+            self.ok,
+            self.shed,
+            self.timeouts,
+            self.errors,
+            self.lost,
+            self.replayed,
+            self.p50_ms,
+            self.p99_ms,
+            self.p999_ms,
+            self.max_ms,
+            self.shed_pct(),
+            self.digests_consistent,
+            self.elapsed_ms,
+            self.achieved_rps
+        )
+    }
+}
+
+/// splitmix64: tiny, seedable, good enough for a source mix.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Nearest-rank percentile: the smallest sample with at least `q` of
+/// the distribution at or below it.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+struct Sample {
+    status: String,
+    latency_ms: f64,
+    source: u32,
+    digest: Option<String>,
+    attempts: u32,
+}
+
+/// Drive one server. Blocks until all responses arrived (or the
+/// straggler cutoff) and optionally drains the server afterwards.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    let n_conns = cfg.connections.max(1);
+    let start = Instant::now();
+    let (agg_tx, agg_rx) = mpsc::channel::<Sample>();
+
+    let mut threads = Vec::new();
+    for c in 0..n_conns {
+        // Connection c owns requests c, c+n, c+2n, … of the schedule.
+        let stream = TcpStream::connect(&cfg.addr)?;
+        stream.set_nodelay(true).ok();
+        let cfg = cfg.clone();
+        let agg = agg_tx.clone();
+        threads.push(std::thread::spawn(move || {
+            drive_connection(&cfg, c, n_conns, stream, start, &agg)
+        }));
+    }
+    drop(agg_tx);
+
+    let mut sent = 0u64;
+    for t in threads {
+        sent += t.join().unwrap_or(0);
+    }
+
+    // Aggregate samples (the channel is closed: every sender is gone).
+    let mut latencies = Vec::new();
+    let mut report = LoadgenReport {
+        sent,
+        ..Default::default()
+    };
+    let mut digests: HashMap<u32, String> = HashMap::new();
+    report.digests_consistent = true;
+    let mut answered = 0u64;
+    while let Ok(s) = agg_rx.recv() {
+        answered += 1;
+        match s.status.as_str() {
+            "ok" => {
+                report.ok += 1;
+                if s.attempts > 1 {
+                    report.replayed += 1;
+                }
+                latencies.push(s.latency_ms);
+                if let Some(d) = s.digest {
+                    match digests.get(&s.source) {
+                        Some(prev) if *prev != d => report.digests_consistent = false,
+                        Some(_) => {}
+                        None => {
+                            digests.insert(s.source, d);
+                        }
+                    }
+                }
+            }
+            "overloaded" => report.shed += 1,
+            "timeout" => report.timeouts += 1,
+            _ => report.errors += 1,
+        }
+    }
+    report.lost = sent.saturating_sub(answered);
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    report.p50_ms = percentile(&latencies, 0.50);
+    report.p99_ms = percentile(&latencies, 0.99);
+    report.p999_ms = percentile(&latencies, 0.999);
+    report.max_ms = latencies.last().copied().unwrap_or(0.0);
+    report.elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+    report.achieved_rps = if report.elapsed_ms > 0.0 {
+        sent as f64 * 1000.0 / report.elapsed_ms
+    } else {
+        0.0
+    };
+
+    if cfg.shutdown_after {
+        let _ = send_shutdown(&cfg.addr);
+    }
+    Ok(report)
+}
+
+/// Ask a server to drain (fire-and-confirm).
+pub fn send_shutdown(addr: &str) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(2000)))
+        .ok();
+    writeln!(
+        stream,
+        "{{\"v\":\"{PROTOCOL}\",\"op\":\"shutdown\",\"id\":0}}"
+    )?;
+    let mut line = String::new();
+    let _ = BufReader::new(stream).read_line(&mut line);
+    Ok(())
+}
+
+/// One connection: a reader thread collects responses while this thread
+/// paces sends on the global schedule. Returns how many were sent.
+fn drive_connection(
+    cfg: &LoadgenConfig,
+    conn_idx: usize,
+    n_conns: usize,
+    stream: TcpStream,
+    start: Instant,
+    agg: &mpsc::Sender<Sample>,
+) -> u64 {
+    let rps = if cfg.rps > 0.0 { cfg.rps } else { 1000.0 };
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    reader_stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+
+    // id → (scheduled send offset ms, source)
+    let (meta_tx, meta_rx) = mpsc::channel::<(u64, f64, u32)>();
+    let agg = agg.clone();
+    let cutoff = Duration::from_millis(cfg.recv_timeout_ms);
+    let reader = std::thread::spawn(move || {
+        let mut meta: HashMap<u64, (f64, u32)> = HashMap::new();
+        let mut expected: Option<u64> = None; // set when writer finishes
+        let mut received = 0u64;
+        let mut reader = BufReader::new(reader_stream);
+        let mut line = String::new();
+        let deadline = Instant::now() + cutoff;
+        loop {
+            // Absorb any new send metadata (non-blocking).
+            loop {
+                match meta_rx.try_recv() {
+                    Ok((id, at, src)) => {
+                        meta.insert(id, (at, src));
+                    }
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        expected.get_or_insert(meta.len() as u64 + received);
+                        break;
+                    }
+                }
+            }
+            if expected.is_some_and(|e| received >= e) || Instant::now() > deadline {
+                break;
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => break, // server closed
+                Ok(_) if line.ends_with('\n') => {
+                    let raw = std::mem::take(&mut line);
+                    if let Ok(resp) = protocol::parse_response(raw.trim()) {
+                        received += 1;
+                        let (at_ms, source) = meta
+                            .remove(&resp.id)
+                            .unwrap_or((0.0, resp.source.unwrap_or(0)));
+                        let now_ms = start.elapsed().as_secs_f64() * 1000.0;
+                        let _ = agg.send(Sample {
+                            status: resp.status,
+                            latency_ms: (now_ms - at_ms).max(0.0),
+                            source,
+                            digest: resp.digest,
+                            attempts: resp.attempts.unwrap_or(1),
+                        });
+                    }
+                }
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
+        }
+    });
+
+    let mut writer = stream;
+    let mut rng = cfg.seed ^ (conn_idx as u64).wrapping_mul(0x9e37_79b9);
+    let mut sent = 0u64;
+    let mut i = conn_idx as u64;
+    while i < cfg.requests {
+        // Open loop: request i is due at start + i/rps, regardless of
+        // how the server is doing.
+        let due = Duration::from_secs_f64(i as f64 / rps);
+        let elapsed = start.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+        let scheduled_ms = due.as_secs_f64() * 1000.0;
+        let source = (splitmix64(&mut rng) % u64::from(cfg.source_max.max(1))) as u32;
+        let mut req =
+            format!("{{\"v\":\"{PROTOCOL}\",\"op\":\"bfs\",\"id\":{i},\"source\":{source}");
+        if let Some(d) = cfg.deadline_ms {
+            req.push_str(&format!(",\"deadline_ms\":{d}"));
+        }
+        if let Some(v) = cfg.verify {
+            req.push_str(&format!(",\"verify\":{v}"));
+        }
+        if let Some(tok) = cfg.chaos.and_then(|p| p.action(i).token()) {
+            req.push_str(&format!(",\"chaos\":\"{tok}\""));
+        }
+        req.push('}');
+        // Register metadata before the write so the reader can never see
+        // a response to an unknown id.
+        let _ = meta_tx.send((i, scheduled_ms, source));
+        if writeln!(writer, "{req}").is_err() {
+            break;
+        }
+        sent += 1;
+        i += n_conns as u64;
+    }
+    drop(meta_tx); // reader learns the final expected count
+    let _ = writer.shutdown(std::net::Shutdown::Write);
+    let _ = reader.join();
+    sent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let mut v: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(percentile(&v, 0.50), 500.0);
+        assert_eq!(percentile(&v, 0.99), 990.0);
+        assert_eq!(percentile(&v, 0.999), 999.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        assert_ne!(splitmix64(&mut a), splitmix64(&mut b).wrapping_add(1));
+    }
+
+    #[test]
+    fn report_json_has_format_tag() {
+        let r = LoadgenReport {
+            sent: 10,
+            ok: 8,
+            shed: 2,
+            ..Default::default()
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"format\":\"xbfs-loadgen-v1\""));
+        assert!(j.contains("\"shed_pct\":20.00"));
+    }
+}

@@ -1,0 +1,333 @@
+//! `xbfs-serve-v1`: JSON lines over TCP.
+//!
+//! One request per line, one response line per request. Requests carry a
+//! client-chosen `id` that the matching response echoes, so clients may
+//! pipeline and match out-of-order completions (a FIFO queue consumed by
+//! several workers completes out of order across connections).
+//!
+//! Ops: `ping`, `info`, `stats`, `shutdown`, and `bfs`. A `bfs` response
+//! has one of four statuses:
+//!
+//! - `ok` — levels computed; carries depth/total_ms/gteps, the FNV-1a
+//!   result digest ([`xbfs_core::BfsRun::digest`], hex), queue wait,
+//!   attempt count, and whether the result was certified.
+//! - `overloaded` — shed by admission control, breaker, or drain;
+//!   carries `retry_after_ms`.
+//! - `timeout` — the deadline budget expired (in queue, or mid-run as a
+//!   typed [`xbfs_core::XbfsError::DeadlineExceeded`]).
+//! - `error` — a typed failure (bad source, uncorrected integrity, …).
+//!
+//! Parsing uses the telemetry crate's std-only JSON reader; building is
+//! plain string assembly with [`xbfs_telemetry::json::escape`] on every
+//! interpolated string.
+
+use xbfs_core::BfsRun;
+use xbfs_telemetry::json::{escape, JsonValue};
+
+/// Protocol identifier, echoed in every request and response.
+pub const PROTOCOL: &str = "xbfs-serve-v1";
+
+/// A parsed `bfs` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfsRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// BFS source vertex.
+    pub source: u32,
+    /// Wall-clock budget for queue wait + run, ms. `None` uses the
+    /// server default (possibly unlimited).
+    pub deadline_ms: Option<f64>,
+    /// Override the server's verify default for this request.
+    pub verify: Option<bool>,
+    /// Chaos action token (see [`crate::chaos::ChaosAction`]); honored
+    /// only by servers started with `--allow-chaos`.
+    pub chaos: Option<String>,
+}
+
+/// Any request the server understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check; answered inline.
+    Ping {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Graph and capacity description; answered inline.
+    Info {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Current serving counters; answered inline.
+    Stats {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Initiate graceful drain.
+    Shutdown {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Run one BFS (queued through admission control).
+    Bfs(BfsRequest),
+}
+
+fn get_u64(v: &JsonValue, key: &str) -> Option<u64> {
+    v.get(key)?.as_f64().map(|f| f as u64)
+}
+
+/// Parse one request line. Errors are human-readable and become an
+/// `error` response carrying id 0 when no id could be recovered.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = JsonValue::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    if let Some(proto) = v.get("v").and_then(|p| p.as_str()) {
+        if proto != PROTOCOL {
+            return Err(format!("unsupported protocol `{proto}`"));
+        }
+    }
+    let id = get_u64(&v, "id").ok_or("missing numeric `id`")?;
+    let op = v
+        .get("op")
+        .and_then(|o| o.as_str())
+        .ok_or("missing string `op`")?;
+    match op {
+        "ping" => Ok(Request::Ping { id }),
+        "info" => Ok(Request::Info { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "bfs" => {
+            let source = v
+                .get("source")
+                .and_then(|s| s.as_f64())
+                .ok_or("bfs needs numeric `source`")? as u32;
+            Ok(Request::Bfs(BfsRequest {
+                id,
+                source,
+                deadline_ms: v.get("deadline_ms").and_then(|d| d.as_f64()),
+                verify: v.get("verify").and_then(|b| b.as_bool()),
+                chaos: v
+                    .get("chaos")
+                    .and_then(|c| c.as_str())
+                    .map(|s| s.to_string()),
+            }))
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+fn head(id: u64, status: &str) -> String {
+    format!("{{\"v\":\"{PROTOCOL}\",\"id\":{id},\"status\":\"{status}\"")
+}
+
+/// `ok` response for a completed run.
+pub fn ok_line(id: u64, run: &BfsRun, certified: bool, wait_ms: f64, attempts: u32) -> String {
+    let reached = run
+        .levels
+        .iter()
+        .filter(|&&l| l != xbfs_core::UNVISITED)
+        .count();
+    format!(
+        "{},\"source\":{},\"depth\":{},\"reached\":{},\"total_ms\":{:.6},\"gteps\":{:.6},\
+         \"digest\":\"{:#018x}\",\"certified\":{},\"wait_ms\":{:.3},\"attempts\":{}}}",
+        head(id, "ok"),
+        run.source,
+        run.depth(),
+        reached,
+        run.total_ms,
+        run.gteps,
+        run.digest(),
+        certified,
+        wait_ms,
+        attempts
+    )
+}
+
+/// `overloaded` response (admission shed, breaker open, or draining).
+pub fn overloaded_line(id: u64, reason: &str, retry_after_ms: u64) -> String {
+    // NB: `escape` returns the string *with* surrounding quotes.
+    format!(
+        "{},\"reason\":{},\"retry_after_ms\":{}}}",
+        head(id, "overloaded"),
+        escape(reason),
+        retry_after_ms
+    )
+}
+
+/// `timeout` response: the deadline expired in-queue or mid-run.
+pub fn timeout_line(id: u64, where_: &str, elapsed_ms: f64, deadline_ms: f64) -> String {
+    format!(
+        "{},\"where\":{},\"elapsed_ms\":{:.3},\"deadline_ms\":{:.3}}}",
+        head(id, "timeout"),
+        escape(where_),
+        elapsed_ms,
+        deadline_ms
+    )
+}
+
+/// `error` response with an error kind and message.
+pub fn error_line(id: u64, kind: &str, message: &str) -> String {
+    format!(
+        "{},\"kind\":{},\"error\":{}}}",
+        head(id, "error"),
+        escape(kind),
+        escape(message)
+    )
+}
+
+/// `ok` response to `ping`.
+pub fn pong_line(id: u64) -> String {
+    format!("{},\"pong\":true}}", head(id, "ok"))
+}
+
+/// `ok` response to `info`.
+pub fn info_line(
+    id: u64,
+    vertices: usize,
+    edges: usize,
+    workers: usize,
+    queue_cap: usize,
+) -> String {
+    format!(
+        "{},\"vertices\":{},\"edges\":{},\"workers\":{},\"queue_cap\":{}}}",
+        head(id, "ok"),
+        vertices,
+        edges,
+        workers,
+        queue_cap
+    )
+}
+
+/// `ok` response to `shutdown` (drain initiated).
+pub fn shutdown_line(id: u64) -> String {
+    format!("{},\"draining\":true}}", head(id, "ok"))
+}
+
+/// What a client can learn from any response line without knowing which
+/// op produced it — everything the load generator needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseSummary {
+    /// Echoed correlation id.
+    pub id: u64,
+    /// `ok`, `overloaded`, `timeout`, or `error`.
+    pub status: String,
+    /// Result digest (hex) for `ok` BFS responses.
+    pub digest: Option<String>,
+    /// Source vertex for `ok` BFS responses.
+    pub source: Option<u32>,
+    /// Backoff hint for `overloaded`.
+    pub retry_after_ms: Option<u64>,
+    /// Attempts for `ok` BFS responses (>1 means replayed after
+    /// quarantine).
+    pub attempts: Option<u32>,
+    /// Error kind for `error` responses.
+    pub kind: Option<String>,
+}
+
+/// Parse one response line into the summary clients act on.
+pub fn parse_response(line: &str) -> Result<ResponseSummary, String> {
+    let v = JsonValue::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let id = get_u64(&v, "id").ok_or("response missing `id`")?;
+    let status = v
+        .get("status")
+        .and_then(|s| s.as_str())
+        .ok_or("response missing `status`")?
+        .to_string();
+    Ok(ResponseSummary {
+        id,
+        status,
+        digest: v
+            .get("digest")
+            .and_then(|d| d.as_str())
+            .map(|s| s.to_string()),
+        source: v.get("source").and_then(|s| s.as_f64()).map(|f| f as u32),
+        retry_after_ms: get_u64(&v, "retry_after_ms"),
+        attempts: get_u64(&v, "attempts").map(|a| a as u32),
+        kind: v
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .map(|s| s.to_string()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_request_round_trip() {
+        let line = format!(
+            "{{\"v\":\"{PROTOCOL}\",\"op\":\"bfs\",\"id\":7,\"source\":12,\
+             \"deadline_ms\":250.5,\"verify\":true,\"chaos\":\"panic\"}}"
+        );
+        let req = parse_request(&line).unwrap();
+        assert_eq!(
+            req,
+            Request::Bfs(BfsRequest {
+                id: 7,
+                source: 12,
+                deadline_ms: Some(250.5),
+                verify: Some(true),
+                chaos: Some("panic".into()),
+            })
+        );
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        for (op, want) in [
+            ("ping", Request::Ping { id: 1 }),
+            ("info", Request::Info { id: 1 }),
+            ("stats", Request::Stats { id: 1 }),
+            ("shutdown", Request::Shutdown { id: 1 }),
+        ] {
+            let line = format!("{{\"op\":\"{op}\",\"id\":1}}");
+            assert_eq!(parse_request(&line).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"op\":\"bfs\"}").is_err()); // no id
+        assert!(parse_request("{\"op\":\"bfs\",\"id\":1}").is_err()); // no source
+        assert!(parse_request("{\"op\":\"nope\",\"id\":1}").is_err());
+        assert!(
+            parse_request("{\"v\":\"xbfs-serve-v0\",\"op\":\"ping\",\"id\":1}").is_err(),
+            "wrong protocol version must be rejected"
+        );
+    }
+
+    #[test]
+    fn response_lines_parse_back() {
+        let over = overloaded_line(3, "queue full", 40);
+        let s = parse_response(&over).unwrap();
+        assert_eq!((s.id, s.status.as_str()), (3, "overloaded"));
+        assert_eq!(s.retry_after_ms, Some(40));
+
+        let err = error_line(4, "integrity", "uncorrected after 2 retries");
+        let s = parse_response(&err).unwrap();
+        assert_eq!(s.status, "error");
+        assert_eq!(s.kind.as_deref(), Some("integrity"));
+
+        let to = timeout_line(5, "run", 12.0, 10.0);
+        assert_eq!(parse_response(&to).unwrap().status, "timeout");
+    }
+
+    #[test]
+    fn ok_line_carries_digest_and_attempts() {
+        let run = BfsRun {
+            source: 2,
+            levels: vec![1, 0, 1, xbfs_core::UNVISITED],
+            parents: None,
+            level_stats: vec![],
+            total_ms: 1.5,
+            traversed_edges: 6,
+            gteps: 0.004,
+        };
+        let line = ok_line(9, &run, true, 3.25, 2);
+        let s = parse_response(&line).unwrap();
+        assert_eq!(s.status, "ok");
+        assert_eq!(s.source, Some(2));
+        assert_eq!(s.attempts, Some(2));
+        assert_eq!(s.digest.unwrap(), format!("{:#018x}", run.digest()));
+    }
+}

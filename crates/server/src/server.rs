@@ -1,0 +1,536 @@
+//! The serving daemon: TCP listener, connection handlers, worker pool,
+//! and the graceful-drain choreography.
+//!
+//! Thread layout: one accept thread, one handler thread per connection,
+//! `workers` engine threads consuming the admission queue. A handler
+//! never runs BFS itself — it parses requests, applies breaker/admission
+//! policy, and forwards accepted jobs with a per-connection response
+//! channel; completions are written back in finish order, matched by id.
+//!
+//! Drain: `initiate_drain` (or the wire `shutdown` op) flips the
+//! draining flag, moves the queue to `Draining` (reject new, keep
+//! serving queued), and pokes the accept loop awake with a
+//! self-connection. Handlers close once their in-flight requests are
+//! answered; workers exit when the queue runs dry; `join` then merges
+//! everything into one [`ServeReport`]. Every accepted request is
+//! answered before the process exits — the report's `drain_clean` says
+//! so explicitly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gcd_sim::Device;
+use xbfs_graph::Csr;
+use xbfs_telemetry::{names, AttrValue, Recorder};
+
+use crate::breaker::CircuitBreaker;
+use crate::protocol::{self, Request};
+use crate::queue::{Admission, AdmissionQueue};
+use crate::worker::{worker_loop, Job};
+
+/// Builds one fresh device per engine generation. Fresh devices (not
+/// clones) are what make a rebuilt engine's modeled timeline — and hence
+/// its result digest — bit-identical to a single-shot run.
+pub type DeviceFactory = Arc<dyn Fn() -> Device + Send + Sync>;
+
+/// Serving-layer policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Engine worker threads (each owns one warm pooled engine).
+    pub workers: usize,
+    /// Admission-queue bound; beyond it requests are shed.
+    pub queue_cap: usize,
+    /// Base backoff hint attached to shed responses, ms.
+    pub retry_after_ms: u64,
+    /// Certify every run by default (per-request `verify` overrides).
+    pub verify: bool,
+    /// Honor chaos tokens stamped on requests (test servers only).
+    pub allow_chaos: bool,
+    /// Replays after quarantine before a request fails typed.
+    pub max_retries: u32,
+    /// Consecutive uncorrected failures that trip the breaker.
+    pub breaker_threshold: u32,
+    /// Breaker cooldown before the half-open probe, ms.
+    pub breaker_cooldown_ms: u64,
+    /// Deadline applied when a request does not carry one, ms.
+    pub default_deadline_ms: Option<f64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 32,
+            retry_after_ms: 25,
+            verify: false,
+            allow_chaos: false,
+            max_retries: 2,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 250,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Lock-free serving counters (relaxed; merged once at drain).
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) ok: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) replayed: AtomicU64,
+    pub(crate) panics_recovered: AtomicU64,
+    pub(crate) rebuilds: AtomicU64,
+    pub(crate) chaos_ignored: AtomicU64,
+    pub(crate) undelivered: AtomicU64,
+    pub(crate) breaker_trips_seen: AtomicU64,
+    pub(crate) connections: AtomicU64,
+    pub(crate) dropped_connections: AtomicU64,
+    pub(crate) bad_lines: AtomicU64,
+}
+
+/// Everything handlers and workers share.
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) queue: AdmissionQueue<Job>,
+    pub(crate) breaker: CircuitBreaker,
+    pub(crate) graph: Arc<Csr>,
+    pub(crate) xcfg: xbfs_core::XbfsConfig,
+    pub(crate) factory: DeviceFactory,
+    pub(crate) stats: Counters,
+    pub(crate) rec: Arc<Recorder>,
+    pub(crate) draining: AtomicBool,
+    started: Instant,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    pub(crate) fn now_us(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e6
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Flip to draining and wake the accept loop with a self-connection
+    /// (idempotent; safe from any thread).
+    pub(crate) fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.rec
+            .event(None, names::event::DRAIN, 0, self.now_us(), vec![]);
+        self.queue.drain();
+        // The accept loop blocks in accept(); a throwaway connection is
+        // the std-only way to make it re-check the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+}
+
+/// Merged end-of-life report: one line of truth per robustness claim.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeReport {
+    /// Requests admitted by the queue.
+    pub accepted: u64,
+    /// Requests shed (queue full).
+    pub shed: u64,
+    /// Requests rejected during drain.
+    pub rejected_draining: u64,
+    /// Requests answered `ok`.
+    pub ok: u64,
+    /// Requests answered `timeout` (queue or run budget).
+    pub timeouts: u64,
+    /// Requests answered `error`.
+    pub errors: u64,
+    /// `ok` responses that needed a quarantine replay first.
+    pub replayed: u64,
+    /// Worker panics contained by `catch_unwind`.
+    pub panics_recovered: u64,
+    /// Engine generations discarded + rebuilt.
+    pub rebuilds: u64,
+    /// Chaos tokens ignored because `--allow-chaos` was off.
+    pub chaos_ignored: u64,
+    /// Breaker trips over the server's life.
+    pub breaker_trips: u64,
+    /// Requests rejected fast while the breaker was open.
+    pub breaker_fast_rejects: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections that died with an unanswered in-flight request.
+    pub dropped_connections: u64,
+    /// Unparsable request lines (answered with a typed error).
+    pub bad_lines: u64,
+    /// Deepest queue backlog observed.
+    pub max_queue_depth: usize,
+    /// Every accepted request was answered and nothing was lost.
+    pub drain_clean: bool,
+}
+
+impl ServeReport {
+    /// `xbfs-serve-report-v1` JSON object (single line).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"format\":\"xbfs-serve-report-v1\",\"accepted\":{},\"shed\":{},\
+             \"rejected_draining\":{},\"ok\":{},\"timeouts\":{},\"errors\":{},\
+             \"replayed\":{},\"panics_recovered\":{},\"rebuilds\":{},\
+             \"chaos_ignored\":{},\"breaker_trips\":{},\"breaker_fast_rejects\":{},\
+             \"connections\":{},\"dropped_connections\":{},\"bad_lines\":{},\
+             \"max_queue_depth\":{},\"drain_clean\":{}}}",
+            self.accepted,
+            self.shed,
+            self.rejected_draining,
+            self.ok,
+            self.timeouts,
+            self.errors,
+            self.replayed,
+            self.panics_recovered,
+            self.rebuilds,
+            self.chaos_ignored,
+            self.breaker_trips,
+            self.breaker_fast_rejects,
+            self.connections,
+            self.dropped_connections,
+            self.bad_lines,
+            self.max_queue_depth,
+            self.drain_clean
+        )
+    }
+}
+
+/// The daemon. [`Server::start`] returns a handle; the server lives
+/// until a drain is initiated (wire `shutdown` or
+/// [`ServerHandle::initiate_drain`]) and [`ServerHandle::join`] reaps it.
+pub struct Server;
+
+/// Running-server handle: address, drain trigger, and the join that
+/// yields the merged report.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn workers + accept loop, and return immediately.
+    pub fn start(
+        cfg: ServeConfig,
+        graph: Arc<Csr>,
+        xcfg: xbfs_core::XbfsConfig,
+        factory: DeviceFactory,
+        rec: Arc<Recorder>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(cfg.queue_cap, cfg.retry_after_ms),
+            breaker: CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown_ms),
+            graph,
+            xcfg,
+            factory,
+            stats: Counters::default(),
+            rec,
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+            addr,
+            cfg,
+        });
+
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("xbfs-worker-{i}"))
+                    .spawn(move || worker_loop(sh, i))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let sh = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("xbfs-accept".into())
+            .spawn(move || accept_loop(sh, listener))
+            .expect("spawn accept thread");
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept,
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `127.0.0.1:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin graceful drain from the host process (equivalent to the
+    /// wire `shutdown` op). Idempotent.
+    pub fn initiate_drain(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Block until the drain completes and merge the final report.
+    /// Joining without a drain in progress waits for a wire `shutdown`.
+    pub fn join(self) -> ServeReport {
+        // Accept loop exits once draining; it joins all handlers first,
+        // and handlers only exit with zero in-flight requests.
+        let _ = self.accept.join();
+        // Queue is in Draining; workers exit when it runs dry.
+        for w in self.workers {
+            let _ = w.join();
+        }
+        // Anything still queued now is a bug — close() surfaces it.
+        let abandoned = self.shared.queue.close();
+        let q = self.shared.queue.stats();
+        let s = &self.shared.stats;
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServeReport {
+            accepted: q.accepted,
+            shed: q.shed,
+            rejected_draining: q.rejected_draining,
+            ok: ld(&s.ok),
+            timeouts: ld(&s.timeouts),
+            errors: ld(&s.errors),
+            replayed: ld(&s.replayed),
+            panics_recovered: ld(&s.panics_recovered),
+            rebuilds: ld(&s.rebuilds),
+            chaos_ignored: ld(&s.chaos_ignored),
+            breaker_trips: self.shared.breaker.trips(),
+            breaker_fast_rejects: self.shared.breaker.fast_rejects(),
+            connections: ld(&s.connections),
+            dropped_connections: ld(&s.dropped_connections),
+            bad_lines: ld(&s.bad_lines),
+            max_queue_depth: q.max_depth,
+            drain_clean: abandoned.is_empty()
+                && ld(&s.undelivered) == 0
+                && ld(&s.dropped_connections) == 0
+                && q.accepted == ld(&s.ok) + ld(&s.timeouts) + ld(&s.errors),
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if shared.is_draining() {
+            break; // the wake-up connection (or a late client) is dropped
+        }
+        match conn {
+            Ok(stream) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let sh = Arc::clone(&shared);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("xbfs-conn".into())
+                    .spawn(move || handle_conn(sh, stream))
+                {
+                    handlers.push(h);
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+    drop(listener);
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Serve one connection until EOF (or until drain completes with no
+/// in-flight requests). All socket writes happen on this thread;
+/// completions arrive over the per-connection channel.
+fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
+    // A finite read timeout lets the handler poll the response channel
+    // and the draining flag while the client is idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let Ok(mut writer) = stream.try_clone() else {
+        shared
+            .stats
+            .dropped_connections
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let (tx, rx) = mpsc::channel::<String>();
+    let mut pending: usize = 0;
+    let mut eof = false;
+    let mut lost = false; // a completed response could not be delivered
+    let mut line = String::new();
+
+    'serve: loop {
+        // 1. Flush any completed responses.
+        while let Ok(resp) = rx.try_recv() {
+            pending -= 1;
+            if writeln!(writer, "{resp}").is_err() {
+                lost = true;
+                break 'serve;
+            }
+        }
+        // 2. Exit once everything owed here is answered and either the
+        //    client closed or the server is draining.
+        if (eof || shared.is_draining()) && pending == 0 {
+            break;
+        }
+        // 3. Read the next request line (timeout keeps us responsive).
+        if !eof {
+            match reader.read_line(&mut line) {
+                Ok(0) => eof = true,
+                Ok(_) if line.ends_with('\n') => {
+                    let req = std::mem::take(&mut line);
+                    dispatch_line(&shared, &tx, &mut writer, &mut pending, req.trim());
+                }
+                Ok(_) => eof = true, // partial line at EOF
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => eof = true,
+            }
+        } else {
+            // EOF with responses still owed: wait on the channel.
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(resp) => {
+                    pending -= 1;
+                    if writeln!(writer, "{resp}").is_err() {
+                        lost = true;
+                        break;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    if lost || pending > 0 {
+        // In-flight requests whose responses can no longer be delivered.
+        shared
+            .stats
+            .dropped_connections
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Parse + answer one request line; `bfs` goes through breaker and
+/// admission control, everything else is answered inline.
+fn dispatch_line(
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<String>,
+    writer: &mut TcpStream,
+    pending: &mut usize,
+    raw: &str,
+) {
+    if raw.is_empty() {
+        return;
+    }
+    let reply = |writer: &mut TcpStream, s: String| {
+        let _ = writeln!(writer, "{s}");
+    };
+    let req = match protocol::parse_request(raw) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.stats.bad_lines.fetch_add(1, Ordering::Relaxed);
+            reply(writer, protocol::error_line(0, "usage", &e));
+            return;
+        }
+    };
+    match req {
+        Request::Ping { id } => reply(writer, protocol::pong_line(id)),
+        Request::Info { id } => reply(
+            writer,
+            protocol::info_line(
+                id,
+                shared.graph.num_vertices(),
+                shared.graph.num_edges(),
+                shared.cfg.workers,
+                shared.cfg.queue_cap,
+            ),
+        ),
+        Request::Stats { id } => {
+            let s = &shared.stats;
+            let q = shared.queue.stats();
+            let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+            reply(
+                writer,
+                format!(
+                    "{{\"v\":\"{}\",\"id\":{id},\"status\":\"ok\",\"accepted\":{},\
+                     \"shed\":{},\"ok\":{},\"timeouts\":{},\"errors\":{},\"depth\":{},\
+                     \"breaker_open\":{}}}",
+                    protocol::PROTOCOL,
+                    q.accepted,
+                    q.shed,
+                    ld(&s.ok),
+                    ld(&s.timeouts),
+                    ld(&s.errors),
+                    shared.queue.depth(),
+                    shared.breaker.is_open()
+                ),
+            );
+        }
+        Request::Shutdown { id } => {
+            reply(writer, protocol::shutdown_line(id));
+            shared.begin_drain();
+        }
+        Request::Bfs(bfs) => {
+            let id = bfs.id;
+            if shared.is_draining() {
+                reply(
+                    writer,
+                    protocol::overloaded_line(id, "draining", shared.cfg.retry_after_ms),
+                );
+                return;
+            }
+            if let Err(retry_ms) = shared.breaker.admit() {
+                reply(
+                    writer,
+                    protocol::overloaded_line(id, "breaker-open", retry_ms),
+                );
+                return;
+            }
+            let job = Job {
+                req: bfs,
+                enqueued: Instant::now(),
+                resp: tx.clone(),
+            };
+            match shared.queue.submit(job) {
+                Admission::Accepted { .. } => {
+                    *pending += 1;
+                    shared.rec.counter(
+                        names::metric::QUEUE_DEPTH,
+                        0,
+                        shared.now_us(),
+                        shared.queue.depth() as f64,
+                    );
+                }
+                Admission::Shed { retry_after_ms } => {
+                    shared.rec.event(
+                        None,
+                        names::event::SHED,
+                        0,
+                        shared.now_us(),
+                        vec![("id".into(), AttrValue::U64(id))],
+                    );
+                    reply(
+                        writer,
+                        protocol::overloaded_line(id, "queue-full", retry_after_ms),
+                    );
+                }
+                Admission::Draining => {
+                    reply(
+                        writer,
+                        protocol::overloaded_line(id, "draining", shared.cfg.retry_after_ms),
+                    );
+                }
+            }
+        }
+    }
+}

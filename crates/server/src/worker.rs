@@ -1,0 +1,335 @@
+//! Panic-isolated worker execution.
+//!
+//! Each worker thread owns one warm pooled engine (device *and*
+//! [`Xbfs`] state) and pops jobs off the admission queue until it
+//! drains. Execution runs under `catch_unwind`: a panicking engine — or
+//! one whose run fails certification — is **quarantined**: the engine
+//! and its device are discarded together (a corrupted pool must never
+//! re-park poisoned buffers, the invariant PR 4's sweep supervisor
+//! established), a fresh pair is built, and the request is replayed with
+//! injection stripped. Because a fresh device + fresh engine reproduces
+//! the exact modeled timeline of a single-shot run, a replayed response
+//! is bit-identical to `xbfs bfs` on the same graph and source — the e2e
+//! tests assert this through the socket via the result digest.
+//!
+//! Deadline accounting: the request's wall budget is charged for queue
+//! wait first; whatever remains is granted to the run as a modeled-time
+//! budget via [`Xbfs::run_governed`]. A budget exhausted in-queue is
+//! answered `timeout` without touching an engine.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use gcd_sim::Device;
+use xbfs_core::{BitflipPlan, Sabotage, Xbfs, XbfsError};
+use xbfs_telemetry::{names, AttrValue};
+
+use crate::chaos::ChaosAction;
+use crate::protocol::{self, BfsRequest};
+use crate::server::Shared;
+
+/// One admitted request in flight: the parsed request, when it was
+/// admitted, and the channel that delivers the response line back to the
+/// connection that owns it.
+pub(crate) struct Job {
+    pub(crate) req: BfsRequest,
+    pub(crate) enqueued: Instant,
+    pub(crate) resp: mpsc::Sender<String>,
+}
+
+/// Engine generation: device + warm pooled engine, discarded together.
+type Engine = Xbfs<Device>;
+
+fn build_engine(shared: &Shared) -> Result<Engine, XbfsError> {
+    Xbfs::new((shared.factory)(), &shared.graph, shared.xcfg)
+}
+
+/// Drop a possibly-poisoned engine without letting its destructor take
+/// the worker down: after a panic mid-run the pool bookkeeping may be
+/// arbitrarily wrong, and `Drop` parks buffers back into it.
+fn discard(engine: &mut Option<Engine>) {
+    if let Some(e) = engine.take() {
+        let _ = catch_unwind(AssertUnwindSafe(move || drop(e)));
+    }
+}
+
+/// Deliver a response line; a dead connection with an answered-but-lost
+/// request is the one "dropped" case the smoke test asserts never
+/// happens under clean shutdown.
+fn deliver(shared: &Shared, job_resp: &mpsc::Sender<String>, line: String) {
+    if job_resp.send(line).is_err() {
+        shared.stats.undelivered.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The worker thread body: pop until the queue drains, serve each job
+/// with quarantine-and-replay, then park the final engine generation.
+pub(crate) fn worker_loop(shared: Arc<Shared>, worker_idx: usize) {
+    let mut engine: Option<Engine> = None;
+    while let Some((ticket, job)) = shared.queue.pop() {
+        serve_one(&shared, &mut engine, ticket, job, worker_idx);
+    }
+    // Normal teardown: the engine is healthy, let Drop park its buffers.
+    drop(engine);
+}
+
+fn serve_one(
+    shared: &Shared,
+    engine: &mut Option<Engine>,
+    ticket: u64,
+    job: Job,
+    worker_idx: usize,
+) {
+    let id = job.req.id;
+    let wait_ms = job.enqueued.elapsed().as_secs_f64() * 1000.0;
+    let now = shared.now_us();
+    let rec = &shared.rec;
+    let span = rec.begin_span(None, names::span::REQUEST, worker_idx, now);
+    rec.span_attr(span, "id", AttrValue::U64(id));
+    rec.span_attr(span, "ticket", AttrValue::U64(ticket));
+    rec.span_attr(span, "source", AttrValue::U64(u64::from(job.req.source)));
+    rec.counter(names::metric::WAIT_MS, worker_idx, now, wait_ms);
+
+    let outcome = execute(shared, engine, ticket, &job, wait_ms);
+    rec.span_attr(span, "status", AttrValue::Str(outcome.status.into()));
+    rec.span_attr(
+        span,
+        "attempts",
+        AttrValue::U64(u64::from(outcome.attempts)),
+    );
+    rec.end_span(span, shared.now_us());
+    deliver(shared, &job.resp, outcome.line);
+}
+
+struct Outcome {
+    line: String,
+    status: &'static str,
+    attempts: u32,
+}
+
+fn execute(
+    shared: &Shared,
+    engine: &mut Option<Engine>,
+    ticket: u64,
+    job: &Job,
+    wait_ms: f64,
+) -> Outcome {
+    let id = job.req.id;
+    let stats = &shared.stats;
+
+    // Wall budget: queue wait spends it first. What is left is granted
+    // to the run as a modeled-time budget (see DESIGN.md §10 for why the
+    // two clocks are fungible here).
+    let deadline_ms = job.req.deadline_ms.or(shared.cfg.default_deadline_ms);
+    let run_budget_ms = match deadline_ms {
+        Some(d) if wait_ms >= d => {
+            stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            return Outcome {
+                line: protocol::timeout_line(id, "queue", wait_ms, d),
+                status: "timeout",
+                attempts: 0,
+            };
+        }
+        Some(d) => Some(d - wait_ms),
+        None => None,
+    };
+
+    // Chaos is honored only when the server opted in; a production
+    // server counts and ignores stamped chaos instead of executing it.
+    let chaos = match &job.req.chaos {
+        Some(tok) if shared.cfg.allow_chaos => match ChaosAction::from_token(tok) {
+            Ok(a) => a,
+            Err(e) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return Outcome {
+                    line: protocol::error_line(id, "usage", &e),
+                    status: "error",
+                    attempts: 0,
+                };
+            }
+        },
+        Some(_) => {
+            stats.chaos_ignored.fetch_add(1, Ordering::Relaxed);
+            ChaosAction::None
+        }
+        None => ChaosAction::None,
+    };
+    // Undetected bit flips would silently corrupt the response; chaos
+    // flips therefore imply certification so they are caught + replayed.
+    let verify = job.req.verify.unwrap_or(shared.cfg.verify) || chaos == ChaosAction::Bitflip;
+    let flip_plan = (chaos == ChaosAction::Bitflip)
+        .then(|| BitflipPlan::parse("status:1").expect("static chaos bitflip spec parses"));
+
+    let max_attempts = shared.cfg.max_retries + 1;
+    let mut attempt = 0u32;
+    loop {
+        if engine.is_none() {
+            match build_engine(shared) {
+                Ok(e) => *engine = Some(e),
+                Err(err) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.breaker.record_failure();
+                    return Outcome {
+                        line: protocol::error_line(id, "engine", &err.to_string()),
+                        status: "error",
+                        attempts: attempt + 1,
+                    };
+                }
+            }
+        }
+        let eng = engine.as_ref().expect("just built");
+
+        // Injection targets attempt 0 only, so a replay after quarantine
+        // runs clean and reproduces the single-shot result bit for bit.
+        let act = if attempt == 0 {
+            chaos
+        } else {
+            ChaosAction::None
+        };
+        if let ChaosAction::Slow(ms) = act {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if act == ChaosAction::Panic {
+                panic!("chaos: injected worker panic (ticket {ticket})");
+            }
+            let sab = (act == ChaosAction::Bitflip)
+                .then(|| {
+                    flip_plan
+                        .as_ref()
+                        .map(|plan| Sabotage { plan, salt: ticket })
+                })
+                .flatten();
+            eng.run_governed(
+                job.req.source,
+                &xbfs_telemetry::Recorder::disabled(),
+                sab.as_ref(),
+                run_budget_ms,
+                verify,
+            )
+        }));
+
+        match result {
+            Ok(Ok((run, cert))) => {
+                shared.breaker.record_success();
+                stats.ok.fetch_add(1, Ordering::Relaxed);
+                if attempt > 0 {
+                    stats.replayed.fetch_add(1, Ordering::Relaxed);
+                }
+                return Outcome {
+                    line: protocol::ok_line(id, &run, cert.is_some(), wait_ms, attempt + 1),
+                    status: "ok",
+                    attempts: attempt + 1,
+                };
+            }
+            Ok(Err(XbfsError::DeadlineExceeded {
+                elapsed_us,
+                deadline_us,
+                ..
+            })) => {
+                // A run that outlived its budget is a typed timeout, not
+                // a substrate failure: the breaker does not count it.
+                stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Outcome {
+                    line: protocol::timeout_line(
+                        id,
+                        "run",
+                        wait_ms + elapsed_us as f64 / 1000.0,
+                        wait_ms + deadline_us as f64 / 1000.0,
+                    ),
+                    status: "timeout",
+                    attempts: attempt + 1,
+                };
+            }
+            Ok(Err(XbfsError::Integrity(e))) => {
+                quarantine(shared, engine, "integrity", ticket);
+                attempt += 1;
+                if attempt >= max_attempts {
+                    return give_up(shared, id, attempt, "integrity", &e.to_string());
+                }
+            }
+            Ok(Err(other)) => {
+                // Client-input errors (bad source, …): typed, no retry,
+                // and no breaker penalty — the substrate is fine.
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return Outcome {
+                    line: protocol::error_line(id, "invalid", &other.to_string()),
+                    status: "error",
+                    attempts: attempt + 1,
+                };
+            }
+            Err(panic_payload) => {
+                let msg = panic_message(&panic_payload);
+                stats.panics_recovered.fetch_add(1, Ordering::Relaxed);
+                shared.rec.event(
+                    None,
+                    names::event::PANIC_RECOVERED,
+                    0,
+                    shared.now_us(),
+                    vec![
+                        ("ticket".into(), AttrValue::U64(ticket)),
+                        ("message".into(), AttrValue::Str(msg.clone())),
+                    ],
+                );
+                quarantine(shared, engine, "panic", ticket);
+                attempt += 1;
+                if attempt >= max_attempts {
+                    return give_up(shared, id, attempt, "panic", &msg);
+                }
+            }
+        }
+    }
+}
+
+fn quarantine(shared: &Shared, engine: &mut Option<Engine>, why: &str, ticket: u64) {
+    discard(engine);
+    shared.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+    shared.rec.event(
+        None,
+        names::event::QUARANTINED,
+        0,
+        shared.now_us(),
+        vec![
+            ("ticket".into(), AttrValue::U64(ticket)),
+            ("why".into(), AttrValue::Str(why.into())),
+        ],
+    );
+}
+
+fn give_up(shared: &Shared, id: u64, attempts: u32, kind: &str, msg: &str) -> Outcome {
+    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+    if shared.breaker.record_failure() {
+        shared
+            .stats
+            .breaker_trips_seen
+            .fetch_add(1, Ordering::Relaxed);
+        shared.rec.event(
+            None,
+            names::event::BREAKER_TRIP,
+            0,
+            shared.now_us(),
+            vec![("kind".into(), AttrValue::Str(kind.into()))],
+        );
+    }
+    Outcome {
+        line: protocol::error_line(
+            id,
+            kind,
+            &format!("uncorrected after {attempts} attempts: {msg}"),
+        ),
+        status: "error",
+        attempts,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

@@ -1,0 +1,152 @@
+//! Admission-queue properties: under any interleaving of concurrent
+//! submitters, workers, and a drain, the queue must (1) account for
+//! every request exactly once (accepted + shed + rejected = submitted),
+//! (2) execute every accepted request exactly once and lose none,
+//! (3) hand work out FIFO by ticket, and (4) never exceed its bound.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use xbfs_server::{Admission, AdmissionQueue};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serial accounting + FIFO: whatever mix of submissions happens,
+    /// the counters add up and pops come out in ticket order.
+    #[test]
+    fn serial_accounting_holds(cap in 1usize..16, n in 0usize..64) {
+        let q = AdmissionQueue::new(cap, 5);
+        let mut accepted = 0u64;
+        let mut shed = 0u64;
+        for i in 0..n {
+            match q.submit(i) {
+                Admission::Accepted { .. } => accepted += 1,
+                Admission::Shed { retry_after_ms } => {
+                    prop_assert!(retry_after_ms >= 5, "hint must respect the base");
+                    shed += 1;
+                }
+                Admission::Draining => unreachable!("queue is open"),
+            }
+            prop_assert!(q.depth() <= cap, "bound violated");
+        }
+        prop_assert_eq!(accepted + shed, n as u64);
+        let stats = q.stats();
+        prop_assert_eq!(stats.accepted, accepted);
+        prop_assert_eq!(stats.shed, shed);
+        prop_assert!(stats.max_depth <= cap);
+
+        q.drain();
+        let mut last_ticket = None;
+        let mut popped = 0u64;
+        while let Some((t, _)) = q.pop() {
+            if let Some(prev) = last_ticket {
+                prop_assert!(t > prev, "FIFO order by ticket violated");
+            }
+            last_ticket = Some(t);
+            popped += 1;
+        }
+        // Nothing was popped during submission, so everything accepted
+        // is still queued and must drain out exactly once.
+        prop_assert_eq!(popped, accepted);
+    }
+
+    /// Concurrent submit/consume/drain: no request is lost, none is
+    /// executed twice, and the bound holds throughout.
+    #[test]
+    fn concurrent_exactly_once(
+        cap in 1usize..12,
+        n_submitters in 1usize..4,
+        n_workers in 1usize..4,
+        per_submitter in 1usize..40,
+    ) {
+        let q = Arc::new(AdmissionQueue::new(cap, 5));
+        let executed = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let accepted_total = Arc::new(AtomicU64::new(0));
+        let shed_total = Arc::new(AtomicU64::new(0));
+        let rejected_total = Arc::new(AtomicU64::new(0));
+
+        let workers: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let executed = Arc::clone(&executed);
+                std::thread::spawn(move || {
+                    while let Some((_, item)) = q.pop() {
+                        executed.lock().unwrap().push(item);
+                    }
+                })
+            })
+            .collect();
+
+        let submitters: Vec<_> = (0..n_submitters)
+            .map(|s| {
+                let q = Arc::clone(&q);
+                let acc = Arc::clone(&accepted_total);
+                let shed = Arc::clone(&shed_total);
+                let rej = Arc::clone(&rejected_total);
+                std::thread::spawn(move || {
+                    for i in 0..per_submitter {
+                        // Unique payload per (submitter, index).
+                        let item = (s * 10_000 + i) as u64;
+                        match q.submit(item) {
+                            Admission::Accepted { .. } => {
+                                acc.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Admission::Shed { .. } => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Admission::Draining => {
+                                rej.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for s in submitters {
+            s.join().unwrap();
+        }
+        // All submissions done: drain lets workers finish and exit.
+        q.drain();
+        for w in workers {
+            w.join().unwrap();
+        }
+
+        let executed = executed.lock().unwrap();
+        let accepted = accepted_total.load(Ordering::Relaxed);
+        let shed = shed_total.load(Ordering::Relaxed);
+        let rejected = rejected_total.load(Ordering::Relaxed);
+        let submitted = (n_submitters * per_submitter) as u64;
+
+        prop_assert_eq!(accepted + shed + rejected, submitted,
+            "every submission accounted exactly once");
+        prop_assert_eq!(executed.len() as u64, accepted,
+            "every accepted request executed, nothing lost");
+        let unique: HashSet<_> = executed.iter().copied().collect();
+        prop_assert_eq!(unique.len(), executed.len(),
+            "no request executed twice");
+        prop_assert!(q.stats().max_depth <= cap, "bound violated");
+        prop_assert!(q.close().is_empty(), "nothing may linger after drain");
+    }
+}
+
+/// A worker blocked on an empty open queue must wake and exit when the
+/// drain happens-after its block (regression for a lost-wakeup bug
+/// class; not a property test because it is about blocking semantics).
+#[test]
+fn drain_wakes_every_blocked_worker() {
+    let q = Arc::new(AdmissionQueue::<u32>::new(4, 5));
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    q.drain();
+    for w in workers {
+        assert_eq!(w.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,280 @@
+//! End-to-end serving-layer tests over a real socket: panic isolation
+//! (an injected worker panic never kills the listener, and the replayed
+//! result is bit-identical to a single-shot run), deadline timeouts,
+//! load shedding, chaos gating, and graceful drain.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gcd_sim::Device;
+use xbfs_core::{Xbfs, XbfsConfig};
+use xbfs_graph::generators::erdos_renyi;
+use xbfs_graph::Csr;
+use xbfs_server::{protocol, ServeConfig, Server, ServerHandle};
+use xbfs_telemetry::Recorder;
+
+fn test_graph() -> Arc<Csr> {
+    Arc::new(erdos_renyi(3000, 12_000, 7))
+}
+
+fn start(cfg: ServeConfig, g: Arc<Csr>) -> ServerHandle {
+    Server::start(
+        cfg,
+        g,
+        XbfsConfig::default(),
+        Arc::new(Device::mi250x),
+        Arc::new(Recorder::disabled()),
+    )
+    .expect("server binds")
+}
+
+/// A client connection with line-level send/recv helpers.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let writer = TcpStream::connect(addr).expect("connect");
+        writer
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(writer.try_clone().unwrap());
+        Self { writer, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send");
+    }
+
+    fn recv(&mut self) -> protocol::ResponseSummary {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        protocol::parse_response(line.trim()).expect("parse response")
+    }
+
+    fn bfs(&mut self, id: u64, source: u32, extra: &str) -> protocol::ResponseSummary {
+        self.send(&format!(
+            "{{\"v\":\"xbfs-serve-v1\",\"op\":\"bfs\",\"id\":{id},\"source\":{source}{extra}}}"
+        ));
+        self.recv()
+    }
+}
+
+/// The digest a plain single-shot engine computes for this source — the
+/// bit-identity reference every served result must match.
+fn reference_digest(g: &Csr, source: u32) -> String {
+    let dev = Device::mi250x();
+    let eng = Xbfs::new(&dev, g, XbfsConfig::default()).unwrap();
+    format!("{:#018x}", eng.run(source).unwrap().digest())
+}
+
+#[test]
+fn serves_bfs_and_drains_cleanly() {
+    let g = test_graph();
+    let handle = start(ServeConfig::default(), Arc::clone(&g));
+    let mut c = Client::connect(handle.addr());
+
+    // ping / info answer inline.
+    c.send("{\"op\":\"ping\",\"id\":1}");
+    assert_eq!(c.recv().status, "ok");
+    c.send("{\"op\":\"info\",\"id\":2}");
+    assert_eq!(c.recv().status, "ok");
+
+    // Served results match the single-shot reference bit for bit.
+    for (id, src) in [(10u64, 0u32), (11, 42), (12, 2999)] {
+        let r = c.bfs(id, src, "");
+        assert_eq!(r.status, "ok", "source {src}");
+        assert_eq!(r.id, id);
+        assert_eq!(
+            r.digest.as_deref(),
+            Some(reference_digest(&g, src).as_str()),
+            "served result must be bit-identical to a fresh engine"
+        );
+    }
+
+    handle.initiate_drain();
+    let report = handle.join();
+    assert!(report.drain_clean, "clean drain: {report:?}");
+    assert_eq!(report.ok, 3);
+    assert_eq!(report.dropped_connections, 0);
+}
+
+#[test]
+fn worker_panic_is_contained_and_replay_is_bit_identical() {
+    let g = test_graph();
+    let cfg = ServeConfig {
+        allow_chaos: true,
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg, Arc::clone(&g));
+    let mut c = Client::connect(handle.addr());
+
+    // A chaos panic fires inside the worker on attempt 0; the
+    // supervisor quarantines the engine, rebuilds, and replays clean.
+    let r = c.bfs(1, 17, ",\"chaos\":\"panic\"");
+    assert_eq!(r.status, "ok", "replay after panic must succeed: {r:?}");
+    assert_eq!(r.attempts, Some(2), "one panic, one clean replay");
+    assert_eq!(
+        r.digest.as_deref(),
+        Some(reference_digest(&g, 17).as_str()),
+        "replayed result must be bit-identical to a single-shot run"
+    );
+
+    // The listener survived: the same connection keeps working, and so
+    // does a brand-new one.
+    let r = c.bfs(2, 17, "");
+    assert_eq!(r.status, "ok");
+    assert_eq!(r.attempts, Some(1));
+    let mut c2 = Client::connect(handle.addr());
+    c2.send("{\"op\":\"ping\",\"id\":3}");
+    assert_eq!(c2.recv().status, "ok");
+
+    handle.initiate_drain();
+    let report = handle.join();
+    assert!(report.drain_clean, "{report:?}");
+    assert_eq!(report.panics_recovered, 1);
+    assert_eq!(report.rebuilds, 1);
+    assert_eq!(report.replayed, 1);
+}
+
+#[test]
+fn chaos_is_ignored_without_opt_in() {
+    let g = test_graph();
+    let handle = start(ServeConfig::default(), Arc::clone(&g)); // allow_chaos: false
+    let mut c = Client::connect(handle.addr());
+    let r = c.bfs(1, 5, ",\"chaos\":\"panic\"");
+    assert_eq!(r.status, "ok", "production servers ignore stamped chaos");
+    assert_eq!(r.attempts, Some(1));
+    handle.initiate_drain();
+    let report = handle.join();
+    assert_eq!(report.chaos_ignored, 1);
+    assert_eq!(report.panics_recovered, 0);
+}
+
+#[test]
+fn bitflip_chaos_is_detected_and_replayed() {
+    let g = test_graph();
+    let cfg = ServeConfig {
+        allow_chaos: true,
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg, Arc::clone(&g));
+    let mut c = Client::connect(handle.addr());
+    let r = c.bfs(1, 99, ",\"chaos\":\"bitflip\"");
+    assert_eq!(r.status, "ok", "{r:?}");
+    assert!(
+        r.attempts.unwrap_or(0) >= 2,
+        "certification must catch the flip and force a replay"
+    );
+    assert_eq!(
+        r.digest.as_deref(),
+        Some(reference_digest(&g, 99).as_str()),
+        "corrected result must be bit-identical"
+    );
+    handle.initiate_drain();
+    let report = handle.join();
+    assert!(report.rebuilds >= 1);
+    assert!(report.drain_clean, "{report:?}");
+}
+
+#[test]
+fn impossible_deadline_times_out_typed() {
+    let g = test_graph();
+    let handle = start(ServeConfig::default(), Arc::clone(&g));
+    let mut c = Client::connect(handle.addr());
+    // A nanosecond-scale budget cannot cover a multi-level run.
+    let r = c.bfs(1, 0, ",\"deadline_ms\":0.000001");
+    assert_eq!(r.status, "timeout");
+    // The engine survives a timeout: the next request is clean.
+    let r = c.bfs(2, 0, "");
+    assert_eq!(r.status, "ok");
+    assert_eq!(
+        r.digest.as_deref(),
+        Some(reference_digest(&g, 0).as_str()),
+        "state must be fully reusable after a deadline abort"
+    );
+    handle.initiate_drain();
+    let report = handle.join();
+    assert_eq!(report.timeouts, 1);
+    assert!(report.drain_clean, "{report:?}");
+}
+
+#[test]
+fn bad_source_is_a_typed_error_not_a_crash() {
+    let g = test_graph();
+    let handle = start(ServeConfig::default(), Arc::clone(&g));
+    let mut c = Client::connect(handle.addr());
+    let r = c.bfs(1, 1_000_000, "");
+    assert_eq!(r.status, "error");
+    assert_eq!(r.kind.as_deref(), Some("invalid"));
+    let r = c.bfs(2, 1, "");
+    assert_eq!(r.status, "ok", "server keeps serving after a bad request");
+    handle.initiate_drain();
+    let report = handle.join();
+    assert!(report.drain_clean, "{report:?}");
+}
+
+#[test]
+fn overload_sheds_explicitly_and_nothing_is_lost() {
+    let g = test_graph();
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 2,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg, Arc::clone(&g));
+    let mut c = Client::connect(handle.addr());
+
+    // Pipeline a burst far past capacity without reading.
+    let burst = 30u64;
+    for id in 0..burst {
+        c.send(&format!(
+            "{{\"v\":\"xbfs-serve-v1\",\"op\":\"bfs\",\"id\":{id},\"source\":0}}"
+        ));
+    }
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for _ in 0..burst {
+        let r = c.recv();
+        match r.status.as_str() {
+            "ok" => ok += 1,
+            "overloaded" => {
+                assert!(r.retry_after_ms.unwrap_or(0) > 0, "hint required");
+                shed += 1;
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert_eq!(ok + shed, burst, "every request answered exactly once");
+    assert!(shed > 0, "a 2-deep queue must shed under a 30-burst");
+    assert!(ok > 0, "accepted requests still complete");
+
+    handle.initiate_drain();
+    let report = handle.join();
+    assert_eq!(report.ok, ok);
+    assert_eq!(report.shed, shed);
+    assert_eq!(report.dropped_connections, 0);
+    assert!(report.drain_clean, "{report:?}");
+}
+
+#[test]
+fn shutdown_op_drains_and_rejects_late_requests() {
+    let g = test_graph();
+    let handle = start(ServeConfig::default(), Arc::clone(&g));
+    let mut c = Client::connect(handle.addr());
+    let r = c.bfs(1, 3, "");
+    assert_eq!(r.status, "ok");
+    c.send("{\"op\":\"shutdown\",\"id\":2}");
+    assert_eq!(c.recv().status, "ok");
+    // join() returning at all is the drain assertion: accept loop,
+    // handlers, and workers all exited on the wire-initiated shutdown.
+    let report = handle.join();
+    assert!(report.drain_clean, "{report:?}");
+    assert_eq!(report.ok, 1);
+}

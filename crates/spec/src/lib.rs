@@ -1,0 +1,231 @@
+#![warn(missing_docs)]
+
+//! `xbfs-spec` — the one spec grammar every injection plan in the
+//! workspace parses.
+//!
+//! Three subsystems accept comma-separated plan specs on the command
+//! line: the multi-GCD fault plans (`crash@2:rank1,drop@1:0-2x3,seed=7`),
+//! the single-GCD bit-flip plans (`status:2,csr,seed=7`), and the serving
+//! layer's chaos plans (`panic:8,slow@25:4,seed=3`). Before this crate
+//! each hand-rolled its own `split(',')` loop with its own error wording;
+//! now all three share one tokenizer and one error shape, so a malformed
+//! token is reported the same way (`token `X`: why`) no matter which
+//! subsystem rejected it.
+//!
+//! The grammar, shared by every consumer:
+//!
+//! ```text
+//! spec   := token ("," token)*          (empty tokens are skipped)
+//! token  := key "=" value               assignment, e.g. seed=42
+//!         | kind ["@" at] [":" arg]     item, e.g. crash@2:rank1, status:3
+//! ```
+//!
+//! Consumers iterate [`tokenize`] and match on [`Token`]; numeric fields
+//! go through [`Token::num`] / [`Token::arg_count`] so "not an integer"
+//! errors carry the offending token verbatim.
+
+use std::fmt;
+
+/// A spec parse failure: the offending token plus why it was rejected.
+///
+/// Renders as ``token `X`: why`` — the message shape shared by every plan
+/// parser in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The comma-separated token that failed, verbatim.
+    pub token: String,
+    /// Human-readable reason.
+    pub why: String,
+}
+
+impl SpecError {
+    /// Build an error for `token`.
+    pub fn new(token: impl Into<String>, why: impl Into<String>) -> Self {
+        Self {
+            token: token.into(),
+            why: why.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "token `{}`: {}", self.token, self.why)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One comma-separated token of a spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token<'a> {
+    /// `key=value`, e.g. `seed=42`.
+    Assign {
+        /// Text before the `=`.
+        key: &'a str,
+        /// Text after the `=`.
+        value: &'a str,
+        /// The whole token, for error reporting.
+        raw: &'a str,
+    },
+    /// `kind[@at][:arg]`, e.g. `crash@2:rank1`, `status:3`, `csr`.
+    Item {
+        /// Text before any `@`/`:`.
+        kind: &'a str,
+        /// Text between `@` and `:` (or the end), when present.
+        at: Option<&'a str>,
+        /// Text after the first `:` past the kind/at, when present.
+        arg: Option<&'a str>,
+        /// The whole token, for error reporting.
+        raw: &'a str,
+    },
+}
+
+impl<'a> Token<'a> {
+    /// The token verbatim as it appeared in the spec.
+    pub fn raw(&self) -> &'a str {
+        match self {
+            Token::Assign { raw, .. } | Token::Item { raw, .. } => raw,
+        }
+    }
+
+    /// An error blaming this token.
+    pub fn err(&self, why: impl Into<String>) -> SpecError {
+        SpecError::new(self.raw(), why)
+    }
+
+    /// Parse `text` (one field of this token) as a number, blaming the
+    /// token with "`what` must be …" on failure.
+    pub fn num<T: std::str::FromStr>(&self, what: &str, text: &str) -> Result<T, SpecError> {
+        text.parse()
+            .map_err(|_| self.err(format!("{what} must be a number (got {text:?})")))
+    }
+
+    /// For `kind[:N]` items: the count `N`, defaulting to `default` when
+    /// the `:arg` part is absent. An `@at` part is rejected — counted
+    /// items have no position field.
+    pub fn arg_count(&self, default: u32) -> Result<u32, SpecError> {
+        match self {
+            Token::Assign { .. } => Err(self.err("expected an item, not an assignment")),
+            Token::Item { at: Some(_), .. } => {
+                Err(self.err("unexpected `@` (this kind takes only a count)"))
+            }
+            Token::Item { arg: None, .. } => Ok(default),
+            Token::Item { arg: Some(a), .. } => self.num("count", a),
+        }
+    }
+}
+
+/// Split `spec` into [`Token`]s: comma-separated, whitespace-trimmed,
+/// empty tokens skipped. Tokenization itself never fails — classification
+/// errors (unknown kind, bad numbers) are the consumer's to raise via
+/// [`Token::err`], so the message names the subsystem's own vocabulary.
+pub fn tokenize(spec: &str) -> impl Iterator<Item = Token<'_>> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|raw| {
+            if let Some((key, value)) = raw.split_once('=') {
+                // `=` wins over `@`/`:` so values may contain either.
+                Token::Assign { key, value, raw }
+            } else {
+                let (head, arg) = match raw.split_once(':') {
+                    Some((h, a)) => (h, Some(a)),
+                    None => (raw, None),
+                };
+                let (kind, at) = match head.split_once('@') {
+                    Some((k, a)) => (k, Some(a)),
+                    None => (head, None),
+                };
+                Token::Item { kind, at, arg, raw }
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(spec: &str) -> Vec<Token<'_>> {
+        tokenize(spec).collect()
+    }
+
+    #[test]
+    fn classifies_assignments_and_items() {
+        let t = toks("seed=42, crash@2:rank1 ,status:3,csr,,");
+        assert_eq!(t.len(), 4);
+        assert_eq!(
+            t[0],
+            Token::Assign {
+                key: "seed",
+                value: "42",
+                raw: "seed=42"
+            }
+        );
+        assert_eq!(
+            t[1],
+            Token::Item {
+                kind: "crash",
+                at: Some("2"),
+                arg: Some("rank1"),
+                raw: "crash@2:rank1"
+            }
+        );
+        assert_eq!(
+            t[2],
+            Token::Item {
+                kind: "status",
+                at: None,
+                arg: Some("3"),
+                raw: "status:3"
+            }
+        );
+        assert_eq!(
+            t[3],
+            Token::Item {
+                kind: "csr",
+                at: None,
+                arg: None,
+                raw: "csr"
+            }
+        );
+    }
+
+    #[test]
+    fn empty_spec_yields_no_tokens() {
+        assert!(toks("").is_empty());
+        assert!(toks(" , ,").is_empty());
+    }
+
+    #[test]
+    fn counts_default_and_parse() {
+        let t = toks("status,parents:4,pool:x,slow@9:2");
+        assert_eq!(t[0].arg_count(1).unwrap(), 1);
+        assert_eq!(t[1].arg_count(1).unwrap(), 4);
+        let e = t[2].arg_count(1).unwrap_err();
+        assert_eq!(e.token, "pool:x");
+        assert!(e.why.contains("count"), "{e}");
+        // `@` on a counted item is rejected with the token named.
+        assert!(t[3].arg_count(1).is_err());
+    }
+
+    #[test]
+    fn error_display_shape_is_stable() {
+        let e = SpecError::new("meteor@3", "unknown fault kind");
+        assert_eq!(e.to_string(), "token `meteor@3`: unknown fault kind");
+    }
+
+    #[test]
+    fn assignment_wins_over_decorations() {
+        // Values may contain `@` or `:` — e.g. addr=127.0.0.1:4000.
+        let t = toks("addr=127.0.0.1:4000");
+        assert_eq!(
+            t[0],
+            Token::Assign {
+                key: "addr",
+                value: "127.0.0.1:4000",
+                raw: "addr=127.0.0.1:4000"
+            }
+        );
+    }
+}

@@ -84,6 +84,8 @@ pub mod names {
         pub const KERNEL: &str = "kernel";
         /// One `xbfs sweep` supervisor worker (parent of its runs).
         pub const SWEEP: &str = "sweep";
+        /// One admitted serving-layer request (queue wait + execution).
+        pub const REQUEST: &str = "request";
     }
 
     /// Instant-event names.
@@ -107,6 +109,14 @@ pub mod names {
         pub const REEXECUTED: &str = "integrity.reexec";
         /// A sweep run exceeded its modeled-time deadline.
         pub const DEADLINE_EXCEEDED: &str = "sweep.deadline_exceeded";
+        /// Admission control shed a request (queue full).
+        pub const SHED: &str = "serve.shed";
+        /// A worker panic was contained and the engine quarantined.
+        pub const PANIC_RECOVERED: &str = "serve.panic_recovered";
+        /// The circuit breaker tripped open.
+        pub const BREAKER_TRIP: &str = "serve.breaker_trip";
+        /// Graceful drain was initiated.
+        pub const DRAIN: &str = "serve.drain";
     }
 
     /// Counter/gauge metric names.
@@ -135,5 +145,9 @@ pub mod names {
         pub const POOL_PRESSURE_EVENTS: &str = "pool.pressure_events";
         /// Runs that passed certificate validation.
         pub const CERTIFIED_RUNS: &str = "integrity.certified_runs";
+        /// Admission-queue backlog depth at submit time.
+        pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+        /// Per-request queue wait, wall ms.
+        pub const WAIT_MS: &str = "serve.wait_ms";
     }
 }

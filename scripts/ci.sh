@@ -106,4 +106,29 @@ CAPPED_SUM=$(grep -o '"checksum": "[^"]*"' "$SMOKE/BENCH_pr4_capped.json")
 test "$CLEAN_SUM" = "$CAPPED_SUM"
 echo "    wrote results/BENCH_pr4.json"
 
+echo "==> serve smoke (load shedding past capacity, zero drops, clean drain)"
+"$XBFS" generate --out "$SMOKE/serve.bin" --scale 13 --seed 5
+PORT=$((20000 + RANDOM % 20000))
+# a deliberately tiny server: 1 worker, 2-deep queue — overload must shed
+"$XBFS" serve "$SMOKE/serve.bin" --addr "127.0.0.1:$PORT" --workers 1 \
+  --queue-cap 2 --json "$SMOKE/serve_report.json" > "$SMOKE/serve.out" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then break; fi
+  sleep 0.1
+done
+# offer far more than it can take; --shutdown drains the daemon afterwards
+"$XBFS" loadgen --addr "127.0.0.1:$PORT" --requests 400 --rps 4000 \
+  --connections 8 --sources 16 --max-shed-pct 98 \
+  --json results/BENCH_pr5.json --shutdown | tee "$SMOKE/loadgen.out"
+wait "$SERVE_PID" # clean drain is exit 0; lost work would make this nonzero
+grep -q '"format":"xbfs-loadgen-v1"' results/BENCH_pr5.json
+grep -q '"lost":0,' results/BENCH_pr5.json
+grep -q '"digests_consistent":true' results/BENCH_pr5.json
+SHED=$(grep -o '"shed":[0-9]*' results/BENCH_pr5.json | grep -o '[0-9]*$')
+test "$SHED" -gt 0 || { echo "expected nonzero shed past capacity" >&2; exit 1; }
+grep -q '"dropped_connections":0' "$SMOKE/serve_report.json"
+grep -q '"drain_clean":true' "$SMOKE/serve_report.json"
+echo "    wrote results/BENCH_pr5.json (shed=$SHED)"
+
 echo "CI gate passed."
