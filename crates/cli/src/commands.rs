@@ -103,6 +103,7 @@ impl From<ClusterError> for CliError {
             ClusterError::LinkFailed { .. } | ClusterError::Unrecoverable { .. } => {
                 exit_code::UNRECOVERED_FAULT
             }
+            ClusterError::DeadlineExceeded { .. } => exit_code::TIMEOUT,
             _ => exit_code::INVALID_INPUT,
         };
         Self::new(e.to_string(), code)
@@ -142,6 +143,8 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "breaker-threshold",
             "breaker-cooldown-ms",
             "deadline-ms",
+            "cluster",
+            "checkpoint-every",
             "alpha",
             "json",
             "trace",
@@ -156,6 +159,7 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "deadline-ms",
             "verify",
             "chaos",
+            "retries",
             "shutdown",
             "max-shed-pct",
             "json",
@@ -286,7 +290,8 @@ COMMANDS
   serve     FILE [--addr HOST:PORT] [--workers N] [--queue-cap N]
             [--retry-after-ms MS] [--verify] [--allow-chaos] [--max-retries N]
             [--breaker-threshold N] [--breaker-cooldown-ms MS]
-            [--deadline-ms MS] [--alpha F] [--json FILE] [--trace FMT:PATH]
+            [--deadline-ms MS] [--cluster N] [--checkpoint-every N]
+            [--alpha F] [--json FILE] [--trace FMT:PATH]
             long-running BFS daemon: loads the graph once, keeps one warm
             pooled engine per worker, and serves `xbfs-serve-v1` (JSON
             lines over TCP). A bounded admission queue sheds overload with
@@ -297,18 +302,32 @@ COMMANDS
             circuit breaker. Drains gracefully on a wire `shutdown` op:
             in-flight requests complete, new ones are rejected, and the
             merged serve report is printed (and written with --json).
+            --cluster N serves each request on a partitioned N-GCD engine
+            instead of a single device: rank crashes injected via chaos
+            are recovered mid-request by level-synchronous checkpoint/
+            restart (snapshot cadence --checkpoint-every, default 1) and
+            per-rank health lands in the serve report. Completed request
+            ids are remembered in a small LRU, so a client that resends
+            an id after a timeout gets the cached response (marked
+            deduped:true) instead of double-executing.
             --allow-chaos honors client chaos tokens (test servers only)
   loadgen   --addr HOST:PORT [--requests N] [--rps F] [--connections N]
             [--sources N] [--seed N] [--deadline-ms MS] [--verify]
-            [--chaos SPEC] [--shutdown] [--max-shed-pct F] [--json FILE]
+            [--chaos SPEC] [--retries N] [--shutdown] [--max-shed-pct F]
+            [--json FILE]
             open-loop load generator for `xbfs serve`: paces N requests at
             a target RPS over pipelined connections, measures latency from
             each request's scheduled time (no coordinated omission), and
             reports accepted/shed plus p50/p99/p999. --chaos stamps fault
             tokens server-side: comma-separated panic[:N], bitflip[:N],
-            slow[@MS][:N], seed=N (every Nth request). --shutdown drains
-            the server afterwards; --max-shed-pct fails with exit 9 when
-            shedding exceeds the bound; --json writes xbfs-loadgen-v1
+            slow[@MS][:N], crash[@LVL][:N], rank=R, seed=N (every Nth
+            request; crash targets cluster servers and injects a rank-R
+            crash at level LVL). --retries N re-sends shed requests after
+            the server's retry-after hint with jittered exponential
+            backoff (latency still measured from the original schedule);
+            --shutdown drains the server afterwards; --max-shed-pct fails
+            with exit 9 when shedding exceeds the bound; --json writes
+            xbfs-loadgen-v1
   analyze   FILE                    connected components, diameter estimate
   trace     summarize FILE          summarize a recorded trace (xbfs-trace-v1
                                     JSON or chrome trace.json)
@@ -1170,7 +1189,14 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     for &s in &sources {
         let dev = mk_device(args, cfg.required_streams())?;
         let xbfs = Xbfs::new(dev, &g, cfg)?;
-        let run = xbfs.run(s)?;
+        // Under --verify the pooled pass certifies every run; the rebuild
+        // reference must pay the same certification cost or the
+        // pooled-vs-unpooled ratio compares different amounts of work.
+        let run = if verify {
+            xbfs.run_verified(s, &Recorder::disabled(), None)?.0
+        } else {
+            xbfs.run(s)?
+        };
         rebuilt.push(SweepRec {
             ms: run.total_ms,
             edges: run.traversed_edges,
@@ -1299,6 +1325,16 @@ fn serve(args: &Args) -> Result<String, CliError> {
         record_parents: verify,
         ..XbfsConfig::default()
     };
+    let cluster = match args.options.get("cluster") {
+        Some(_) => {
+            let n: usize = args.get("cluster", 4)?;
+            if n < 2 {
+                return Err(CliError::usage("--cluster needs at least 2 GCDs"));
+            }
+            Some(n)
+        }
+        None => None,
+    };
     let scfg = ServeConfig {
         addr: args.get("addr", "127.0.0.1:0".to_string())?,
         workers: args.get("workers", 2)?,
@@ -1310,6 +1346,9 @@ fn serve(args: &Args) -> Result<String, CliError> {
         breaker_threshold: args.get("breaker-threshold", 3)?,
         breaker_cooldown_ms: args.get("breaker-cooldown-ms", 250)?,
         default_deadline_ms: opt_f64(args, "deadline-ms")?,
+        cluster,
+        checkpoint_every: args.get("checkpoint-every", 1)?,
+        ..ServeConfig::default()
     };
     let (workers, queue_cap) = (scfg.workers, scfg.queue_cap);
 
@@ -1347,8 +1386,12 @@ fn serve(args: &Args) -> Result<String, CliError> {
         .map_err(|e| CliError::io(format!("cannot start server: {e}")))?;
     // The banner goes to stderr immediately (stdout is the end-of-life
     // report) so scripts can scrape the bound port before sending load.
+    let backend = match cluster {
+        Some(n) => format!("{n}-GCD cluster engine per worker"),
+        None => "single-device engine per worker".into(),
+    };
     eprintln!(
-        "xbfs serve: listening on {} ({workers} worker(s), queue cap {queue_cap}); \
+        "xbfs serve: listening on {} ({workers} worker(s), queue cap {queue_cap}, {backend}); \
          drain with the wire `shutdown` op or `xbfs loadgen --shutdown`",
         handle.addr()
     );
@@ -1384,6 +1427,22 @@ fn serve(args: &Args) -> Result<String, CliError> {
             "NOT CLEAN"
         },
     );
+    if report.deduped > 0 {
+        out.push_str(&format!(
+            "idempotent replays answered from cache: {}\n",
+            report.deduped
+        ));
+    }
+    if report.cluster > 0 {
+        out.push_str(&format!("cluster: {} rank(s)\n", report.cluster));
+        for (rank, h) in report.rank_health.iter().enumerate() {
+            out.push_str(&format!(
+                "  rank {rank}: crashes {} checkpoints-restored {} \
+                 retransmitted {} B\n",
+                h.crashes, h.checkpoints_restored, h.retransmitted_bytes
+            ));
+        }
+    }
     if let Some(json_path) = args.options.get("json") {
         std::fs::write(json_path, report.to_json() + "\n")
             .map_err(|e| CliError::io(format!("cannot write {json_path}: {e}")))?;
@@ -1430,6 +1489,7 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
         deadline_ms: opt_f64(args, "deadline-ms")?,
         verify: args.flag("verify").then_some(true),
         chaos,
+        retries: args.get("retries", 0)?,
         shutdown_after: args.flag("shutdown"),
         ..LoadgenConfig::default()
     };
@@ -1440,6 +1500,7 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
         "loadgen: {} requests at target {:.0} rps over {} connection(s); \
          achieved {:.0} rps in {:.0} ms\n\
          ok {} shed {} ({:.1}%) timeouts {} errors {} lost {}; replayed {}\n\
+         retries: sent {} retried-then-ok {}\n\
          latency ms from scheduled send: p50 {:.3} p99 {:.3} p999 {:.3} max {:.3}\n\
          digests consistent per source: {}\n",
         report.sent,
@@ -1454,6 +1515,8 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
         report.errors,
         report.lost,
         report.replayed,
+        report.retries_sent,
+        report.retried_ok,
         report.p50_ms,
         report.p99_ms,
         report.p999_ms,

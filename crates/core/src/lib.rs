@@ -59,6 +59,6 @@ pub use integrity::{
 pub use run_ctx::RunCtx;
 pub use runner::Xbfs;
 pub use state::{decode_level, is_unvisited, BfsState, BinThresholds, QueueState, UNVISITED};
-pub use stats::{BfsRun, LevelStats};
+pub use stats::{levels_digest, BfsRun, LevelStats};
 pub use strategy::Strategy;
 pub use tuner::{tune_alpha, TuneResult};

@@ -58,6 +58,23 @@ pub struct BfsRun {
     pub gteps: f64,
 }
 
+/// FNV-1a digest over a source vertex and a per-vertex level array —
+/// the backend-independent part of a BFS result. Two runs with equal
+/// digests found the same levels from the same source, regardless of
+/// which engine (single-GCD, pooled, or partitioned cluster) produced
+/// them or how long it took; this is the value cross-backend
+/// bit-identity checks compare.
+pub fn levels_digest(source: u32, levels: &[u32]) -> u64 {
+    fn mix(acc: u64, v: u64) -> u64 {
+        (acc ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+    }
+    let mut h = mix(0xcbf2_9ce4_8422_2325, u64::from(source));
+    for &l in levels {
+        h = mix(h, u64::from(l));
+    }
+    h
+}
+
 impl BfsRun {
     /// BFS depth (number of levels with a non-empty frontier).
     pub fn depth(&self) -> usize {
@@ -89,6 +106,15 @@ impl BfsRun {
             h = mix(h, u64::from(l));
         }
         h
+    }
+
+    /// Backend-independent result digest: [`levels_digest`] over this
+    /// run's source and levels. Unlike [`BfsRun::digest`] it excludes
+    /// the modeled time, so a cluster run (whose timeline includes
+    /// exchange, checkpoint, and recovery costs) can be compared
+    /// bit-for-bit against a single-device run of the same traversal.
+    pub fn result_digest(&self) -> u64 {
+        levels_digest(self.source, &self.levels)
     }
 }
 
@@ -124,5 +150,26 @@ mod tests {
         };
         assert!((l.fetch_kb() - 30.0).abs() < 1e-12);
         assert!((l.kernel_ms() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_digest_ignores_timing_but_not_levels() {
+        let mk = |total_ms: f64, levels: Vec<u32>| BfsRun {
+            source: 3,
+            levels,
+            parents: None,
+            level_stats: vec![],
+            total_ms,
+            traversed_edges: 0,
+            gteps: 0.0,
+        };
+        let a = mk(1.0, vec![0, 1, 1, 2]);
+        let b = mk(9.5, vec![0, 1, 1, 2]);
+        assert_ne!(a.digest(), b.digest(), "full digest covers total_ms");
+        assert_eq!(a.result_digest(), b.result_digest());
+        assert_eq!(a.result_digest(), levels_digest(3, &[0, 1, 1, 2]));
+        let c = mk(1.0, vec![0, 1, 2, 2]);
+        assert_ne!(a.result_digest(), c.result_digest());
+        assert_ne!(levels_digest(3, &[0, 1]), levels_digest(4, &[0, 1]));
     }
 }

@@ -117,6 +117,21 @@ pub struct RecoveryReport {
     pub overhead_ms: f64,
 }
 
+/// Cumulative per-rank health counters, maintained across runs on the
+/// same cluster and drained by [`GcdCluster::take_health`]. Indexed by
+/// rank; the vector keeps its initial length even after a graceful-
+/// degradation recovery shrinks the cluster, so rank rows stay stable
+/// across a serving session.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankHealth {
+    /// Injected GCD crashes observed on this rank.
+    pub crashes: u64,
+    /// Checkpoint restores this rank participated in.
+    pub checkpoints_restored: u64,
+    /// Bytes this rank retransmitted through the retry layer.
+    pub retransmitted_bytes: u64,
+}
+
 /// Result of a distributed BFS.
 #[derive(Debug, Clone)]
 pub struct ClusterRun {
@@ -147,6 +162,26 @@ pub struct ClusterRun {
 }
 
 impl ClusterRun {
+    /// Backend-independent result digest ([`xbfs_core::levels_digest`]
+    /// over source + levels). Excludes the modeled timeline, so it
+    /// compares bit-for-bit against `BfsRun::result_digest()` from a
+    /// single-device run of the same traversal — and stays identical
+    /// between a fault-free run and one that paid for recoveries.
+    pub fn result_digest(&self) -> u64 {
+        xbfs_core::levels_digest(self.source, &self.levels)
+    }
+
+    /// Distinct BFS levels in the result (deepest assigned level + 1).
+    /// Unlike `level_stats.len()`, re-executed levels after a recovery
+    /// don't inflate this.
+    pub fn depth(&self) -> u32 {
+        self.levels
+            .iter()
+            .filter(|&&l| l != UNVISITED)
+            .max()
+            .map_or(0, |&l| l + 1)
+    }
+
     /// Serialize the run (config, seed, fault plan, recoveries, per-level
     /// stats) as a JSON object. Together with the graph, the `config`,
     /// `seed` and `fault_plan` fields reproduce the run exactly.
@@ -347,6 +382,7 @@ pub struct GcdCluster<'g> {
     cfg: ClusterConfig,
     ranks: Vec<RankState>,
     scratch: LevelScratch,
+    health: Vec<RankHealth>,
 }
 
 impl<'g> GcdCluster<'g> {
@@ -370,6 +406,7 @@ impl<'g> GcdCluster<'g> {
             cfg,
             ranks,
             scratch: LevelScratch::default(),
+            health: vec![RankHealth::default(); cfg.num_gcds],
         })
     }
 
@@ -419,6 +456,38 @@ impl<'g> GcdCluster<'g> {
         self.cfg.num_gcds
     }
 
+    /// Per-rank health counters accumulated since construction (or the
+    /// last [`GcdCluster::take_health`]).
+    pub fn rank_health(&self) -> &[RankHealth] {
+        &self.health
+    }
+
+    /// Drain the per-rank health counters. Serving layers flush these
+    /// into their own accumulators after every request, so a quarantined
+    /// and rebuilt cluster starts clean without losing history.
+    pub fn take_health(&mut self) -> Vec<RankHealth> {
+        let fresh = vec![RankHealth::default(); self.health.len()];
+        std::mem::replace(&mut self.health, fresh)
+    }
+
+    /// Attribute a collective's retransmitted bytes across the ranks
+    /// that participated. Ring/pairwise collectives do not expose
+    /// per-sender counts, so the model splits evenly (remainder to
+    /// rank 0); the personalized all-to-all attributes exactly.
+    fn spread_retransmits(health: &mut [RankHealth], p: usize, bytes: u64) {
+        if bytes == 0 || p == 0 {
+            return;
+        }
+        let share = bytes / p as u64;
+        let rem = bytes % p as u64;
+        for h in health.iter_mut().take(p) {
+            h.retransmitted_bytes += share;
+        }
+        if let Some(h) = health.first_mut() {
+            h.retransmitted_bytes += rem;
+        }
+    }
+
     /// Run one fault-free distributed BFS from `source`.
     pub fn run(&mut self, source: VertexId) -> Result<ClusterRun, ClusterError> {
         self.run_with_faults(source, &FaultConfig::none())
@@ -449,6 +518,26 @@ impl<'g> GcdCluster<'g> {
         source: VertexId,
         faults: &FaultConfig,
         rec: &Recorder,
+    ) -> Result<ClusterRun, ClusterError> {
+        self.run_governed(source, faults, rec, None)
+    }
+
+    /// Like [`GcdCluster::run_with_faults_traced`], but under an
+    /// optional modeled-time budget (`deadline_ms`): the fleet clock is
+    /// checked between levels — and immediately after a crash recovery
+    /// is charged — and a run that crosses the budget aborts with
+    /// [`ClusterError::DeadlineExceeded`] instead of finishing. A run
+    /// that completes on its last level is never a timeout. Recovery
+    /// overhead counts against the budget, which is what lets a serving
+    /// layer promise "recovered within the request's remaining
+    /// deadline". The cluster state stays reusable after an abort: the
+    /// next run's init re-uploads status arrays and resets timelines.
+    pub fn run_governed(
+        &mut self,
+        source: VertexId,
+        faults: &FaultConfig,
+        rec: &Recorder,
+        deadline_ms: Option<f64>,
     ) -> Result<ClusterRun, ClusterError> {
         let n = self.graph.num_vertices();
         if (source as usize) >= n {
@@ -524,11 +613,35 @@ impl<'g> GcdCluster<'g> {
         let mut attempts: HashMap<u32, u32> = HashMap::new();
         let mut pending_recovery_us = 0.0f64;
 
+        // Deadline gate, shared by the between-levels and post-recovery
+        // check sites. Ends the run span before surfacing the typed
+        // error so an aborted trace is still well formed.
+        let check_deadline = |elapsed_us: f64, level: u32| -> Result<(), ClusterError> {
+            let Some(budget_ms) = deadline_ms else {
+                return Ok(());
+            };
+            let budget_us = budget_ms * 1000.0;
+            if elapsed_us > budget_us {
+                rec.span_attr(run_span, "deadline_ms", AttrValue::F64(budget_ms));
+                rec.span_attr(run_span, "timed_out", AttrValue::Bool(true));
+                rec.end_span(run_span, elapsed_us);
+                return Err(ClusterError::DeadlineExceeded {
+                    level,
+                    elapsed_us: elapsed_us as u64,
+                    deadline_us: budget_us as u64,
+                });
+            }
+            Ok(())
+        };
+
         loop {
             // Crash scheduled at this level and not yet handled?
             if let Some(rank) = faults.plan.crash_at(level) {
                 if rank < self.cfg.num_gcds && !fired_crashes.contains(&(rank, level)) {
                     fired_crashes.push((rank, level));
+                    if let Some(h) = self.health.get_mut(rank) {
+                        h.crashes += 1;
+                    }
                     let t_crash = self.max_elapsed();
                     rec.event(
                         Some(run_span),
@@ -575,6 +688,15 @@ impl<'g> GcdCluster<'g> {
                     rec.end_span(rspan, clock_us);
                     rec.counter(names::metric::RECOVERY_MS, 0, clock_us, report.overhead_ms);
                     recoveries.push(report);
+                    // Every rank present after recovery restored its
+                    // status partition from the checkpoint.
+                    let p_now = self.cfg.num_gcds;
+                    for h in self.health.iter_mut().take(p_now) {
+                        h.checkpoints_restored += 1;
+                    }
+                    // A recovery that exhausted the budget aborts here
+                    // instead of burning levels it cannot finish.
+                    check_deadline(clock_us, level)?;
                     continue;
                 }
             }
@@ -625,6 +747,7 @@ impl<'g> GcdCluster<'g> {
             for r in &self.ranks {
                 r.device.advance_to(t);
             }
+            Self::spread_retransmits(&mut self.health, p, ar.retransmitted_bytes);
             if rec.is_enabled() {
                 let ac = rec.begin_span(Some(lvl_span), names::span::COLLECTIVE, 0, ar_t0);
                 rec.span_attr(ac, "kind", AttrValue::Str("allreduce".into()));
@@ -717,6 +840,7 @@ impl<'g> GcdCluster<'g> {
             if claimed == 0 {
                 break;
             }
+            check_deadline(clock_us, level + 1)?;
             self.swap_frontiers();
             frontier_count = claimed;
             frontier_edges = claimed_edges;
@@ -985,6 +1109,7 @@ impl<'g> GcdCluster<'g> {
             cfg,
             ranks,
             scratch,
+            health,
             ..
         } = self;
         let p = cfg.num_gcds;
@@ -1040,6 +1165,10 @@ impl<'g> GcdCluster<'g> {
             comm.exchanged += sent.iter().sum::<u64>();
             comm.retransmitted += cost.retransmitted_bytes;
             comm.retry_us = comm.retry_us.max(cost.retry_us);
+            // The all-to-all knows its sender: exact attribution.
+            if let Some(h) = health.get_mut(rank) {
+                h.retransmitted_bytes += cost.retransmitted_bytes;
+            }
         }
         for r in ranks.iter() {
             r.device.advance_to(t_end);
@@ -1119,6 +1248,7 @@ impl<'g> GcdCluster<'g> {
             cfg,
             ranks,
             scratch,
+            health,
         } = self;
         let p = cfg.num_gcds;
         scratch.ensure(p, ranks[0].bitmap.len());
@@ -1166,6 +1296,7 @@ impl<'g> GcdCluster<'g> {
         for r in ranks.iter() {
             r.device.advance_to(t);
         }
+        Self::spread_retransmits(health, p, cost.retransmitted_bytes);
         if rec.is_enabled() {
             let coll = rec.begin_span(Some(lvl_span), names::span::COLLECTIVE, 0, ag_t0);
             rec.span_attr(coll, "kind", AttrValue::Str("allgather".into()));
@@ -1717,6 +1848,129 @@ mod tests {
             "boundary levels: {flagged:?}"
         );
         assert!(run.total_ms > clean.total_ms, "checkpoints must cost time");
+    }
+
+    #[test]
+    fn governed_run_times_out_typed_and_state_is_reusable() {
+        let g = rmat_graph(RmatParams::graph500(10), 3);
+        let cfg = ClusterConfig {
+            num_gcds: 4,
+            ..ClusterConfig::node_of_8()
+        };
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        let clean = cluster.run(1).unwrap();
+        assert!(clean.level_stats.len() > 2, "need a multi-level run");
+        let rec = Recorder::disabled();
+        let err = cluster
+            .run_governed(1, &FaultConfig::none(), &rec, Some(clean.total_ms / 100.0))
+            .unwrap_err();
+        match err {
+            ClusterError::DeadlineExceeded {
+                level,
+                elapsed_us,
+                deadline_us,
+            } => {
+                assert!(level > 0, "gate fires between levels");
+                assert!(elapsed_us > deadline_us);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // The cluster is fully reusable after an abort.
+        let again = cluster.run(1).unwrap();
+        assert_eq!(again.levels, clean.levels);
+        // A generous budget behaves exactly like no budget at all.
+        let roomy = cluster
+            .run_governed(1, &FaultConfig::none(), &rec, Some(clean.total_ms * 100.0))
+            .unwrap();
+        assert_eq!(roomy.levels, clean.levels);
+        assert_eq!(roomy.result_digest(), clean.result_digest());
+    }
+
+    #[test]
+    fn recovery_overhead_counts_against_the_budget() {
+        let g = rmat_graph(RmatParams::graph500(11), 3);
+        let cfg = ClusterConfig {
+            num_gcds: 4,
+            ..ClusterConfig::node_of_8()
+        };
+        let clean = check(&g, cfg, 1);
+        let faults = fault_cfg("crash@2:rank1", RecoveryPolicy::PromoteSpare, 1);
+        let rec = Recorder::disabled();
+        // Generous budget: the crash is recovered *within* it.
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        let run = cluster
+            .run_governed(1, &faults, &rec, Some(clean.total_ms * 100.0))
+            .unwrap();
+        assert_eq!(run.recoveries.len(), 1);
+        assert_eq!(run.levels, clean.levels, "recovered within the budget");
+        // A budget below even the fault-free runtime cannot absorb the
+        // recovery: the run aborts typed instead of overrunning.
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        let err = cluster
+            .run_governed(1, &faults, &rec, Some(clean.total_ms * 0.2))
+            .unwrap_err();
+        assert!(
+            matches!(err, ClusterError::DeadlineExceeded { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn rank_health_tracks_crashes_restores_and_retransmits() {
+        let g = rmat_graph(RmatParams::graph500(11), 3);
+        let cfg = ClusterConfig {
+            num_gcds: 4,
+            ..ClusterConfig::node_of_8()
+        };
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        assert!(cluster.rank_health().iter().all(|h| h == &RankHealth::default()));
+        let faults = fault_cfg("crash@2:rank1,drop@0:0-1x2", RecoveryPolicy::PromoteSpare, 1);
+        cluster.run_with_faults(1, &faults).unwrap();
+        let health = cluster.take_health();
+        assert_eq!(health.len(), 4);
+        assert_eq!(health[1].crashes, 1, "crash lands on the victim rank");
+        assert_eq!(health[0].crashes, 0);
+        assert!(
+            health.iter().all(|h| h.checkpoints_restored >= 1),
+            "every present rank restored from the checkpoint: {health:?}"
+        );
+        assert!(
+            health[0].retransmitted_bytes > 0,
+            "rank 0 sent the dropped messages: {health:?}"
+        );
+        // take_health drains: the next snapshot is clean, and a clean
+        // run accumulates nothing.
+        assert!(cluster.rank_health().iter().all(|h| h == &RankHealth::default()));
+        cluster.run(1).unwrap();
+        assert!(cluster.take_health().iter().all(|h| h.crashes == 0
+            && h.checkpoints_restored == 0
+            && h.retransmitted_bytes == 0));
+    }
+
+    #[test]
+    fn result_digest_matches_single_device_engine() {
+        use gcd_sim::Device;
+        use xbfs_core::{Xbfs, XbfsConfig};
+        let g = rmat_graph(RmatParams::graph500(10), 3);
+        let dev = Device::mi250x();
+        let single = Xbfs::new(&dev, &g, XbfsConfig::default())
+            .unwrap()
+            .run(1)
+            .unwrap();
+        let cfg = ClusterConfig {
+            num_gcds: 4,
+            ..ClusterConfig::node_of_8()
+        };
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        let clean = cluster.run(1).unwrap();
+        assert_eq!(clean.result_digest(), single.result_digest());
+        // A chaos-recovered run still matches: the digest sees levels,
+        // not the (recovery-inflated) timeline.
+        let faults = fault_cfg("crash@1:rank0", RecoveryPolicy::PromoteSpare, 1);
+        let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
+        let healed = cluster.run_with_faults(1, &faults).unwrap();
+        assert!(healed.total_ms > clean.total_ms);
+        assert_eq!(healed.result_digest(), single.result_digest());
     }
 
     #[test]

@@ -35,6 +35,17 @@ pub enum ClusterError {
         /// Transmission attempts made (1 + retries).
         attempts: u32,
     },
+    /// The run crossed its modeled-time deadline between levels (crash
+    /// recovery time included — a recovery that blows the budget aborts
+    /// the run instead of silently overrunning it).
+    DeadlineExceeded {
+        /// Level about to run when the budget expired.
+        level: u32,
+        /// Modeled cluster time consumed, µs.
+        elapsed_us: u64,
+        /// The budget that was exceeded, µs.
+        deadline_us: u64,
+    },
     /// A GCD crash could not be recovered from.
     Unrecoverable {
         /// Rank that died.
@@ -68,6 +79,15 @@ impl fmt::Display for ClusterError {
             } => write!(
                 f,
                 "link {src}->{dst} failed at level {level} after {attempts} attempts"
+            ),
+            Self::DeadlineExceeded {
+                level,
+                elapsed_us,
+                deadline_us,
+            } => write!(
+                f,
+                "deadline exceeded before level {level}: {elapsed_us}us modeled \
+                 (budget {deadline_us}us)"
             ),
             Self::Unrecoverable {
                 rank,

@@ -16,11 +16,17 @@
 //!   flips in device status words (exercises certify-and-retry)
 //! - `slow[@MS][:N]` — every Nth selected request sleeps `MS` wall ms
 //!   server-side before running (default 50)
+//! - `crash[@L][:N]` — every Nth selected request carries a rank-crash
+//!   injection for a `--cluster` server: the victim rank (default 0,
+//!   set with `rank=R`) dies at level `L` (default 1) and is recovered
+//!   by checkpoint/restart mid-request. The stamped wire token is the
+//!   shared fault-plan grammar's `crash@<level>:rank<r>`.
+//! - `rank=R`      — victim rank for `crash` injections
 //! - `seed=S`      — phase-shifts the selection so repeated runs vary
 //!
 //! Periods are per-kind over the request index; precedence when several
-//! kinds fire on the same index is panic > bitflip > slow, so a single
-//! request carries exactly one action.
+//! kinds fire on the same index is crash > panic > bitflip > slow, so a
+//! single request carries exactly one action.
 
 use xbfs_spec::{tokenize, SpecError, Token};
 
@@ -35,6 +41,15 @@ pub enum ChaosAction {
     Bitflip,
     /// Wall-clock sleep before the run, ms.
     Slow(u64),
+    /// A GCD rank crash injected into the cluster engine's fault plan
+    /// (cluster servers only): the rank dies at the given level and is
+    /// recovered by level-synchronous checkpoint/restart mid-request.
+    Crash {
+        /// Level at which the rank dies.
+        level: u32,
+        /// Victim rank.
+        rank: usize,
+    },
 }
 
 impl ChaosAction {
@@ -45,6 +60,7 @@ impl ChaosAction {
             Self::Panic => Some("panic".into()),
             Self::Bitflip => Some("bitflip".into()),
             Self::Slow(ms) => Some(format!("slow@{ms}")),
+            Self::Crash { level, rank } => Some(format!("crash@{level}:rank{rank}")),
         }
     }
 
@@ -60,7 +76,24 @@ impl ChaosAction {
                     .map(Self::Slow)
                     .map_err(|_| format!("bad slow duration in chaos token `{other}`")),
                 None if other == "slow" => Ok(Self::Slow(50)),
-                None => Err(format!("unknown chaos token `{other}`")),
+                None => match other.strip_prefix("crash@") {
+                    // The wire token reuses the fault-plan grammar:
+                    // `crash@<level>:rank<r>`.
+                    Some(rest) => {
+                        let (level, rank) = rest
+                            .split_once(":rank")
+                            .ok_or_else(|| format!("expected crash@<level>:rank<r>, got `{other}`"))?;
+                        Ok(Self::Crash {
+                            level: level.parse::<u32>().map_err(|_| {
+                                format!("bad crash level in chaos token `{other}`")
+                            })?,
+                            rank: rank.parse::<usize>().map_err(|_| {
+                                format!("bad crash rank in chaos token `{other}`")
+                            })?,
+                        })
+                    }
+                    None => Err(format!("unknown chaos token `{other}`")),
+                },
             },
         }
     }
@@ -77,6 +110,12 @@ pub struct ChaosPlan {
     pub slow_every: Option<u64>,
     /// Sleep duration for slowdowns, wall ms.
     pub slow_ms: u64,
+    /// Fire a cluster rank crash every this-many requests.
+    pub crash_every: Option<u64>,
+    /// Level at which injected crashes fire.
+    pub crash_level: u32,
+    /// Victim rank for injected crashes.
+    pub crash_rank: usize,
     /// Phase shift for the periodic selection.
     pub seed: u64,
 }
@@ -86,6 +125,7 @@ impl ChaosPlan {
     pub fn parse(spec: &str) -> Result<Self, SpecError> {
         let mut plan = Self {
             slow_ms: 50,
+            crash_level: 1,
             ..Self::default()
         };
         let mut any = false;
@@ -97,8 +137,13 @@ impl ChaosPlan {
                 } => {
                     plan.seed = tok.num("seed", value)?;
                 }
+                Token::Assign {
+                    key: "rank", value, ..
+                } => {
+                    plan.crash_rank = tok.num("rank", value)?;
+                }
                 Token::Assign { key, .. } => {
-                    return Err(tok.err(format!("unknown key `{key}` (expected seed=)")));
+                    return Err(tok.err(format!("unknown key `{key}` (expected seed=, rank=)")));
                 }
                 Token::Item { kind: "panic", .. } => {
                     plan.panic_every = Some(u64::from(tok.arg_count(1)?.max(1)));
@@ -123,9 +168,24 @@ impl ChaosPlan {
                     };
                     plan.slow_every = Some(every.max(1));
                 }
+                Token::Item {
+                    kind: "crash",
+                    at,
+                    arg,
+                    ..
+                } => {
+                    if let Some(level) = at {
+                        plan.crash_level = tok.num("crash level", level)?;
+                    }
+                    let every: u64 = match arg {
+                        Some(n) => tok.num("crash period", n)?,
+                        None => 1,
+                    };
+                    plan.crash_every = Some(every.max(1));
+                }
                 Token::Item { kind, .. } => {
                     return Err(tok.err(format!(
-                        "unknown chaos kind `{kind}` (expected panic, bitflip, slow)"
+                        "unknown chaos kind `{kind}` (expected panic, bitflip, slow, crash)"
                     )));
                 }
             }
@@ -147,7 +207,12 @@ impl ChaosPlan {
         let hit = |period: Option<u64>, salt: u64| {
             period.is_some_and(|p| (index + self.seed + salt).is_multiple_of(p))
         };
-        if hit(self.panic_every, 0) {
+        if hit(self.crash_every, 3) {
+            ChaosAction::Crash {
+                level: self.crash_level,
+                rank: self.crash_rank,
+            }
+        } else if hit(self.panic_every, 0) {
             ChaosAction::Panic
         } else if hit(self.bitflip_every, 1) {
             ChaosAction::Bitflip
@@ -183,10 +248,36 @@ mod tests {
 
     #[test]
     fn rejects_unknown_kind_and_key() {
-        assert!(ChaosPlan::parse("crash:3").is_err());
+        assert!(ChaosPlan::parse("meltdown:3").is_err());
         assert!(ChaosPlan::parse("salt=9").is_err());
         assert!(ChaosPlan::parse("").is_err());
         assert!(ChaosPlan::parse("panic:x").is_err());
+        assert!(ChaosPlan::parse("crash@x:3").is_err());
+        assert!(ChaosPlan::parse("rank=y").is_err());
+    }
+
+    #[test]
+    fn crash_plan_parses_and_takes_precedence() {
+        let p = ChaosPlan::parse("crash@2:5,rank=1,panic:1").unwrap();
+        assert_eq!(p.crash_every, Some(5));
+        assert_eq!(p.crash_level, 2);
+        assert_eq!(p.crash_rank, 1);
+        // Index 0 is hit by both (salt 3 shifts crash to indices ≡ 2 mod 5);
+        // find a crash index and check it wins over the always-on panic.
+        let crash_idx = (0..5)
+            .find(|&i| matches!(p.action(i), ChaosAction::Crash { .. }))
+            .unwrap();
+        assert_eq!(
+            p.action(crash_idx),
+            ChaosAction::Crash { level: 2, rank: 1 }
+        );
+        let hits = (0..100)
+            .filter(|&i| matches!(p.action(i), ChaosAction::Crash { .. }))
+            .count();
+        assert_eq!(hits, 20);
+        // Bare crash defaults: level 1, rank 0, every request.
+        let bare = ChaosPlan::parse("crash").unwrap();
+        assert_eq!(bare.action(0), ChaosAction::Crash { level: 1, rank: 0 });
     }
 
     #[test]
@@ -206,6 +297,7 @@ mod tests {
             ChaosAction::Panic,
             ChaosAction::Bitflip,
             ChaosAction::Slow(75),
+            ChaosAction::Crash { level: 3, rank: 2 },
         ] {
             let tok = a.token().unwrap();
             assert_eq!(ChaosAction::from_token(&tok).unwrap(), a);

@@ -1,0 +1,126 @@
+//! Idempotent request replay: a small LRU of completed `ok` responses.
+//!
+//! A client that times out waiting for a response and reconnects will
+//! resend the same request id. Without dedup the server re-executes it —
+//! harmless for BFS results but it double-charges capacity and, under a
+//! chaos plan, can double-inject faults. The cache remembers the last N
+//! completed `(id, source)` pairs and answers replays inline from the
+//! stored response line (marked with `"deduped":true`), so a replayed
+//! completed request never re-enters the queue.
+//!
+//! Only *completed* (`ok`) responses are recorded: sheds and timeouts must
+//! stay retryable, and requests carrying a chaos token bypass the cache
+//! entirely so chaos soaks always exercise the real path. The key includes
+//! the source vertex so an id reused for a *different* request (a buggy
+//! client, not a replay) is not answered with stale data.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Bounded LRU of completed responses keyed by `(id, source)`.
+#[derive(Debug)]
+pub struct DedupCache {
+    cap: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<(u64, u32), String>,
+    /// Recency order, oldest first. Entries are moved to the back on hit.
+    order: VecDeque<(u64, u32)>,
+}
+
+impl DedupCache {
+    /// Cache holding at most `cap` completed responses (`cap == 0`
+    /// disables dedup entirely).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Response line for an already-completed `(id, source)`, refreshed
+    /// as most-recently-used. `None` means the request is new (or aged
+    /// out) and must execute.
+    pub fn lookup(&self, id: u64, source: u32) -> Option<String> {
+        if self.cap == 0 {
+            return None;
+        }
+        let key = (id, source);
+        let mut inner = self.inner.lock().unwrap();
+        let line = inner.map.get(&key).cloned()?;
+        if let Some(pos) = inner.order.iter().position(|k| *k == key) {
+            inner.order.remove(pos);
+            inner.order.push_back(key);
+        }
+        Some(line)
+    }
+
+    /// Record a completed `ok` response so replays of this id are
+    /// answered from cache. Evicts the least-recently-used entry when
+    /// full.
+    pub fn record(&self, id: u64, source: u32, line: &str) {
+        if self.cap == 0 {
+            return;
+        }
+        let key = (id, source);
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(key, line.to_string()).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.cap {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_replays() {
+        let c = DedupCache::new(4);
+        assert!(c.lookup(1, 5).is_none());
+        c.record(1, 5, "{\"id\":1}");
+        assert_eq!(c.lookup(1, 5).as_deref(), Some("{\"id\":1}"));
+        // Same id, different source: a different request, not a replay.
+        assert!(c.lookup(1, 6).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = DedupCache::new(2);
+        c.record(1, 0, "a");
+        c.record(2, 0, "b");
+        assert!(c.lookup(1, 0).is_some()); // refresh 1 → 2 is now LRU
+        c.record(3, 0, "c");
+        assert!(c.lookup(2, 0).is_none(), "LRU entry evicted");
+        assert!(c.lookup(1, 0).is_some());
+        assert!(c.lookup(3, 0).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = DedupCache::new(0);
+        c.record(1, 0, "a");
+        assert!(c.lookup(1, 0).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -24,6 +24,18 @@
 //! - **Graceful drain** — `shutdown` (or [`ServerHandle::initiate_drain`])
 //!   stops admissions, completes everything already accepted, closes
 //!   connections, and flushes one merged report.
+//! - **Cluster serving** — `--cluster N` swaps each worker's engine for a
+//!   partitioned multi-GCD [`xbfs_multi_gcd::GcdCluster`]: the graph is
+//!   partitioned once, per-request runs reuse the partitioning, injected
+//!   rank crashes are recovered mid-request by level-synchronous
+//!   checkpoint/restart *within the deadline budget*, and per-rank
+//!   health (crashes, restores, retransmitted bytes) lands in the serve
+//!   report. Responses carry the backend-independent levels-only digest,
+//!   bit-identical to a fault-free single-device run.
+//! - **Idempotent replay** — completed request ids are remembered in a
+//!   small LRU ([`DedupCache`]); a client that reconnects after a timeout
+//!   and resends an id gets the cached response (`"deduped":true`)
+//!   instead of double-executing.
 //!
 //! The load generator ([`loadgen`]) is the other half: an open-loop
 //! client that drives a server past capacity on purpose and reports
@@ -32,6 +44,7 @@
 
 pub mod breaker;
 pub mod chaos;
+pub mod dedup;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
@@ -40,6 +53,7 @@ pub mod worker;
 
 pub use breaker::CircuitBreaker;
 pub use chaos::{ChaosAction, ChaosPlan};
+pub use dedup::DedupCache;
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use protocol::{BfsRequest, Request, ResponseSummary, PROTOCOL};
 pub use queue::{Admission, AdmissionQueue, QueueStats};

@@ -13,6 +13,15 @@
 //! under `--allow-chaos`), and reports accepted/shed/timeout counts,
 //! p50/p99/p999 latency, and whether every `ok` digest was consistent
 //! per source — a cheap cross-request determinism check on the server.
+//!
+//! Shed responses carry `retry_after_ms`; with `retries > 0` the
+//! generator honors it: the request is resent after the hinted backoff
+//! (doubled per attempt, plus deterministic jitter so retries from many
+//! clients don't re-synchronize into the same burst), up to the cap.
+//! Latency for a retried-then-ok request still counts from the original
+//! scheduled send — retrying does not hide the wait. Only requests shed
+//! on their final attempt count as `shed`; `retried_ok` reports how many
+//! succeeded only thanks to a retry.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -48,6 +57,9 @@ pub struct LoadgenConfig {
     pub shutdown_after: bool,
     /// Give up waiting for stragglers after this long, ms.
     pub recv_timeout_ms: u64,
+    /// Resend a shed request up to this many times, honoring the
+    /// server's `retry_after_ms` hint with jittered backoff (0 = never).
+    pub retries: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -64,6 +76,7 @@ impl Default for LoadgenConfig {
             chaos: None,
             shutdown_after: false,
             recv_timeout_ms: 30_000,
+            retries: 0,
         }
     }
 }
@@ -75,7 +88,7 @@ pub struct LoadgenReport {
     pub sent: u64,
     /// `ok` responses.
     pub ok: u64,
-    /// `overloaded` responses (shed/breaker/draining).
+    /// Requests shed on their final attempt (retries, if any, exhausted).
     pub shed: u64,
     /// `timeout` responses.
     pub timeouts: u64,
@@ -86,6 +99,11 @@ pub struct LoadgenReport {
     /// `ok` responses that took more than one attempt (replayed after a
     /// quarantine server-side).
     pub replayed: u64,
+    /// Requests that were shed at least once and then succeeded on a
+    /// client-side retry.
+    pub retried_ok: u64,
+    /// Retry sends performed (beyond the original request writes).
+    pub retries_sent: u64,
     /// Median latency from scheduled send, ms.
     pub p50_ms: f64,
     /// 99th percentile latency, ms.
@@ -117,6 +135,7 @@ impl LoadgenReport {
         format!(
             "{{\"format\":\"xbfs-loadgen-v1\",\"sent\":{},\"ok\":{},\"shed\":{},\
              \"timeouts\":{},\"errors\":{},\"lost\":{},\"replayed\":{},\
+             \"retried_ok\":{},\"retries_sent\":{},\
              \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"p999_ms\":{:.3},\"max_ms\":{:.3},\
              \"shed_pct\":{:.2},\"digests_consistent\":{},\"elapsed_ms\":{:.1},\
              \"achieved_rps\":{:.1}}}",
@@ -127,6 +146,8 @@ impl LoadgenReport {
             self.errors,
             self.lost,
             self.replayed,
+            self.retried_ok,
+            self.retries_sent,
             self.p50_ms,
             self.p99_ms,
             self.p999_ms,
@@ -164,6 +185,10 @@ struct Sample {
     source: u32,
     digest: Option<String>,
     attempts: u32,
+    /// The request was resent at least once after a shed.
+    retried: bool,
+    /// Retry sends this request consumed.
+    retries_used: u32,
 }
 
 /// Drive one server. Blocks until all responses arrived (or the
@@ -202,11 +227,15 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let mut answered = 0u64;
     while let Ok(s) = agg_rx.recv() {
         answered += 1;
+        report.retries_sent += u64::from(s.retries_used);
         match s.status.as_str() {
             "ok" => {
                 report.ok += 1;
                 if s.attempts > 1 {
                     report.replayed += 1;
+                }
+                if s.retried {
+                    report.retried_ok += 1;
                 }
                 latencies.push(s.latency_ms);
                 if let Some(d) = s.digest {
@@ -258,8 +287,19 @@ pub fn send_shutdown(addr: &str) -> std::io::Result<()> {
     Ok(())
 }
 
-/// One connection: a reader thread collects responses while this thread
-/// paces sends on the global schedule. Returns how many were sent.
+/// Everything the reader needs about one in-flight request.
+struct Pending {
+    scheduled_ms: f64,
+    source: u32,
+    /// Full request line, kept so a shed can be resent verbatim.
+    req: String,
+    retries_left: u32,
+    retries_used: u32,
+}
+
+/// One connection: a reader thread collects responses (and resends shed
+/// requests after their hinted backoff) while this thread paces sends on
+/// the global schedule. Returns how many were sent.
 fn drive_connection(
     cfg: &LoadgenConfig,
     conn_idx: usize,
@@ -276,15 +316,22 @@ fn drive_connection(
     reader_stream
         .set_read_timeout(Some(Duration::from_millis(100)))
         .ok();
+    // Writer and reader both send on the socket (paced requests here,
+    // retries there); whole-line writes are serialized by this mutex.
+    let writer = std::sync::Arc::new(std::sync::Mutex::new(stream));
 
-    // id → (scheduled send offset ms, source)
-    let (meta_tx, meta_rx) = mpsc::channel::<(u64, f64, u32)>();
+    let (meta_tx, meta_rx) = mpsc::channel::<(u64, Pending)>();
     let agg = agg.clone();
     let cutoff = Duration::from_millis(cfg.recv_timeout_ms);
+    let retry_writer = std::sync::Arc::clone(&writer);
+    let mut retry_rng = cfg.seed ^ 0xdead_beef ^ (conn_idx as u64).wrapping_mul(0x85eb_ca6b);
+    let max_retries = cfg.retries;
     let reader = std::thread::spawn(move || {
-        let mut meta: HashMap<u64, (f64, u32)> = HashMap::new();
+        let mut meta: HashMap<u64, Pending> = HashMap::new();
         let mut expected: Option<u64> = None; // set when writer finishes
-        let mut received = 0u64;
+        let mut resolved = 0u64;
+        // Shed ids waiting out their backoff before a resend.
+        let mut backlog: Vec<(Instant, u64)> = Vec::new();
         let mut reader = BufReader::new(reader_stream);
         let mut line = String::new();
         let deadline = Instant::now() + cutoff;
@@ -292,36 +339,90 @@ fn drive_connection(
             // Absorb any new send metadata (non-blocking).
             loop {
                 match meta_rx.try_recv() {
-                    Ok((id, at, src)) => {
-                        meta.insert(id, (at, src));
+                    Ok((id, p)) => {
+                        meta.insert(id, p);
                     }
                     Err(mpsc::TryRecvError::Empty) => break,
                     Err(mpsc::TryRecvError::Disconnected) => {
-                        expected.get_or_insert(meta.len() as u64 + received);
+                        // Unresolved ids (including those awaiting a
+                        // retry) are still in `meta`.
+                        expected.get_or_insert(meta.len() as u64 + resolved);
                         break;
                     }
                 }
             }
-            if expected.is_some_and(|e| received >= e) || Instant::now() > deadline {
+            if expected.is_some_and(|e| resolved >= e) || Instant::now() > deadline {
                 break;
+            }
+            // Fire retries whose backoff elapsed.
+            let now = Instant::now();
+            let mut k = 0;
+            while k < backlog.len() {
+                if backlog[k].0 <= now {
+                    let (_, id) = backlog.swap_remove(k);
+                    if let Some(p) = meta.get_mut(&id) {
+                        p.retries_used += 1;
+                        let mut w = retry_writer.lock().unwrap();
+                        let _ = writeln!(w, "{}", p.req);
+                    }
+                } else {
+                    k += 1;
+                }
             }
             match reader.read_line(&mut line) {
                 Ok(0) => break, // server closed
                 Ok(_) if line.ends_with('\n') => {
                     let raw = std::mem::take(&mut line);
                     if let Ok(resp) = protocol::parse_response(raw.trim()) {
-                        received += 1;
-                        let (at_ms, source) = meta
-                            .remove(&resp.id)
-                            .unwrap_or((0.0, resp.source.unwrap_or(0)));
-                        let now_ms = start.elapsed().as_secs_f64() * 1000.0;
-                        let _ = agg.send(Sample {
-                            status: resp.status,
-                            latency_ms: (now_ms - at_ms).max(0.0),
-                            source,
-                            digest: resp.digest,
-                            attempts: resp.attempts.unwrap_or(1),
-                        });
+                        // The writer registers metadata on a channel, and a
+                        // fast server's response can outrun the absorb at
+                        // the loop top (we were already blocked in
+                        // `read_line`). Drain again before deciding whether
+                        // this id is known, or the stale entry both dodges
+                        // retry/latency accounting and inflates `expected`.
+                        while let Ok((id, p)) = meta_rx.try_recv() {
+                            meta.insert(id, p);
+                        }
+                        // A shed with retry budget left is not resolved:
+                        // honor the server's backoff hint (doubled per
+                        // attempt, jittered) and resend.
+                        let retriable = resp.status == "overloaded"
+                            && meta.get(&resp.id).is_some_and(|p| p.retries_left > 0);
+                        if retriable {
+                            let p = meta.get_mut(&resp.id).expect("checked above");
+                            p.retries_left -= 1;
+                            let attempt = max_retries - p.retries_left; // 1-based
+                            let base = resp.retry_after_ms.unwrap_or(25).max(1);
+                            let backoff = base << (attempt - 1).min(6);
+                            let jitter = splitmix64(&mut retry_rng) % (base / 2 + 1);
+                            backlog.push((
+                                Instant::now() + Duration::from_millis(backoff + jitter),
+                                resp.id,
+                            ));
+                        } else {
+                            resolved += 1;
+                            let (at_ms, source, retried, retries_used) = meta
+                                .remove(&resp.id)
+                                .map(|p| {
+                                    (
+                                        p.scheduled_ms,
+                                        p.source,
+                                        p.retries_used > 0,
+                                        p.retries_used,
+                                    )
+                                })
+                                .unwrap_or((0.0, resp.source.unwrap_or(0), false, 0));
+                            let now_ms = start.elapsed().as_secs_f64() * 1000.0;
+                            let _ = agg.send(Sample {
+                                status: resp.status,
+                                latency_ms: (now_ms - at_ms).max(0.0),
+                                source,
+                                digest: resp.digest,
+                                attempts: resp.attempts.unwrap_or(1),
+                                retried,
+                                retries_used,
+                            });
+                        }
                     }
                 }
                 Ok(_) => break,
@@ -333,7 +434,6 @@ fn drive_connection(
         }
     });
 
-    let mut writer = stream;
     let mut rng = cfg.seed ^ (conn_idx as u64).wrapping_mul(0x9e37_79b9);
     let mut sent = 0u64;
     let mut i = conn_idx as u64;
@@ -361,16 +461,30 @@ fn drive_connection(
         req.push('}');
         // Register metadata before the write so the reader can never see
         // a response to an unknown id.
-        let _ = meta_tx.send((i, scheduled_ms, source));
-        if writeln!(writer, "{req}").is_err() {
+        let _ = meta_tx.send((
+            i,
+            Pending {
+                scheduled_ms,
+                source,
+                req: req.clone(),
+                retries_left: cfg.retries,
+                retries_used: 0,
+            },
+        ));
+        let write_ok = {
+            let mut w = writer.lock().unwrap();
+            writeln!(w, "{req}").is_ok()
+        };
+        if !write_ok {
             break;
         }
         sent += 1;
         i += n_conns as u64;
     }
     drop(meta_tx); // reader learns the final expected count
-    let _ = writer.shutdown(std::net::Shutdown::Write);
     let _ = reader.join();
+    // Reader is done (everything resolved or cutoff hit) — now it is
+    // safe to close the write side; dropping the stream does it.
     sent
 }
 

@@ -22,6 +22,7 @@
 //! interpolated string.
 
 use xbfs_core::BfsRun;
+use xbfs_multi_gcd::ClusterRun;
 use xbfs_telemetry::json::{escape, JsonValue};
 
 /// Protocol identifier, echoed in every request and response.
@@ -141,6 +142,43 @@ pub fn ok_line(id: u64, run: &BfsRun, certified: bool, wait_ms: f64, attempts: u
     )
 }
 
+/// `ok` response for a run completed on the partitioned cluster engine.
+///
+/// The digest is the *levels-only* [`ClusterRun::result_digest`] — bit
+/// identical to a fault-free single-device run over the same graph and
+/// source — so chaos soaks can certify recovered results against a
+/// reference. `recoveries` counts mid-request checkpoint restores.
+pub fn cluster_ok_line(
+    id: u64,
+    run: &ClusterRun,
+    certified: bool,
+    wait_ms: f64,
+    attempts: u32,
+    recoveries: u64,
+) -> String {
+    let reached = run
+        .levels
+        .iter()
+        .filter(|&&l| l != xbfs_core::UNVISITED)
+        .count();
+    format!(
+        "{},\"source\":{},\"depth\":{},\"reached\":{},\"total_ms\":{:.6},\"gteps\":{:.6},\
+         \"digest\":\"{:#018x}\",\"certified\":{},\"wait_ms\":{:.3},\"attempts\":{},\
+         \"recoveries\":{}}}",
+        head(id, "ok"),
+        run.source,
+        run.depth(),
+        reached,
+        run.total_ms,
+        run.gteps,
+        run.result_digest(),
+        certified,
+        wait_ms,
+        attempts,
+        recoveries
+    )
+}
+
 /// `overloaded` response (admission shed, breaker open, or draining).
 pub fn overloaded_line(id: u64, reason: &str, retry_after_ms: u64) -> String {
     // NB: `escape` returns the string *with* surrounding quotes.
@@ -220,6 +258,11 @@ pub struct ResponseSummary {
     pub attempts: Option<u32>,
     /// Error kind for `error` responses.
     pub kind: Option<String>,
+    /// Mid-request checkpoint restores for cluster `ok` responses.
+    pub recoveries: Option<u64>,
+    /// True when the response was served from the idempotency cache
+    /// instead of re-executing (a replayed completed id).
+    pub deduped: Option<bool>,
 }
 
 /// Parse one response line into the summary clients act on.
@@ -245,7 +288,18 @@ pub fn parse_response(line: &str) -> Result<ResponseSummary, String> {
             .get("kind")
             .and_then(|k| k.as_str())
             .map(|s| s.to_string()),
+        recoveries: get_u64(&v, "recoveries"),
+        deduped: v.get("deduped").and_then(|d| d.as_bool()),
     })
+}
+
+/// Mark a completed `ok` line as replayed from the idempotency cache:
+/// splices `"deduped":true` before the closing brace.
+pub fn mark_deduped(line: &str) -> String {
+    match line.strip_suffix('}') {
+        Some(body) => format!("{body},\"deduped\":true}}"),
+        None => line.to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +382,55 @@ mod tests {
         assert_eq!(s.status, "ok");
         assert_eq!(s.source, Some(2));
         assert_eq!(s.attempts, Some(2));
+        assert_eq!(s.digest.unwrap(), format!("{:#018x}", run.digest()));
+        assert_eq!(s.recoveries, None);
+        assert_eq!(s.deduped, None);
+    }
+
+    #[test]
+    fn cluster_ok_line_carries_levels_digest_and_recoveries() {
+        let run = ClusterRun {
+            source: 1,
+            config: xbfs_multi_gcd::ClusterConfig::node_of_8(),
+            seed: 0,
+            fault_plan: xbfs_multi_gcd::FaultPlan::default(),
+            levels: vec![1, 0, 1, 2, u32::MAX],
+            level_stats: vec![],
+            recoveries: vec![],
+            total_ms: 2.25,
+            traversed_edges: 8,
+            gteps: 0.003,
+            gteps_per_gcd: 0.0004,
+        };
+        let line = cluster_ok_line(11, &run, true, 1.5, 1, 3);
+        let s = parse_response(&line).unwrap();
+        assert_eq!(s.status, "ok");
+        assert_eq!(s.source, Some(1));
+        assert_eq!(s.recoveries, Some(3));
+        // Levels-only digest: identical to a single-device run of the
+        // same traversal regardless of modeled timing.
+        assert_eq!(
+            s.digest.unwrap(),
+            format!("{:#018x}", xbfs_core::levels_digest(1, &run.levels))
+        );
+        assert!(line.contains("\"depth\":3"));
+    }
+
+    #[test]
+    fn mark_deduped_splices_flag() {
+        let run = BfsRun {
+            source: 2,
+            levels: vec![1, 0, 1],
+            parents: None,
+            level_stats: vec![],
+            total_ms: 1.5,
+            traversed_edges: 6,
+            gteps: 0.004,
+        };
+        let line = mark_deduped(&ok_line(9, &run, true, 3.25, 1));
+        let s = parse_response(&line).unwrap();
+        assert_eq!(s.deduped, Some(true));
+        assert_eq!(s.status, "ok");
         assert_eq!(s.digest.unwrap(), format!("{:#018x}", run.digest()));
     }
 }

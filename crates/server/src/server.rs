@@ -25,9 +25,11 @@ use std::time::{Duration, Instant};
 
 use gcd_sim::Device;
 use xbfs_graph::Csr;
+use xbfs_multi_gcd::RankHealth;
 use xbfs_telemetry::{names, AttrValue, Recorder};
 
 use crate::breaker::CircuitBreaker;
+use crate::dedup::DedupCache;
 use crate::protocol::{self, Request};
 use crate::queue::{Admission, AdmissionQueue};
 use crate::worker::{worker_loop, Job};
@@ -60,6 +62,15 @@ pub struct ServeConfig {
     pub breaker_cooldown_ms: u64,
     /// Deadline applied when a request does not carry one, ms.
     pub default_deadline_ms: Option<f64>,
+    /// Route requests through the partitioned multi-GCD engine with this
+    /// many modeled GCDs per worker (`None` = single-device engine).
+    pub cluster: Option<usize>,
+    /// Cluster checkpoint cadence: snapshot status partitions every N
+    /// levels so an injected rank crash restarts from the latest
+    /// checkpoint instead of from scratch.
+    pub checkpoint_every: u32,
+    /// Completed responses remembered for idempotent replay (0 disables).
+    pub dedup_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +86,9 @@ impl Default for ServeConfig {
             breaker_threshold: 3,
             breaker_cooldown_ms: 250,
             default_deadline_ms: None,
+            cluster: None,
+            checkpoint_every: 1,
+            dedup_cap: 128,
         }
     }
 }
@@ -94,6 +108,7 @@ pub(crate) struct Counters {
     pub(crate) connections: AtomicU64,
     pub(crate) dropped_connections: AtomicU64,
     pub(crate) bad_lines: AtomicU64,
+    pub(crate) deduped: AtomicU64,
 }
 
 /// Everything handlers and workers share.
@@ -107,6 +122,11 @@ pub(crate) struct Shared {
     pub(crate) stats: Counters,
     pub(crate) rec: Arc<Recorder>,
     pub(crate) draining: AtomicBool,
+    pub(crate) dedup: DedupCache,
+    /// Per-rank health merged from every worker's cluster engine (empty
+    /// for single-device servers). Indexed by rank of the initial
+    /// partitioning; Degrade leaves dead ranks' entries frozen.
+    pub(crate) rank_health: std::sync::Mutex<Vec<RankHealth>>,
     started: Instant,
     addr: SocketAddr,
 }
@@ -132,6 +152,19 @@ impl Shared {
         // The accept loop blocks in accept(); a throwaway connection is
         // the std-only way to make it re-check the flag.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+
+    /// Fold one cluster run's per-rank health into the server-wide view.
+    pub(crate) fn merge_rank_health(&self, health: &[RankHealth]) {
+        let mut acc = self.rank_health.lock().unwrap();
+        if acc.len() < health.len() {
+            acc.resize(health.len(), RankHealth::default());
+        }
+        for (a, h) in acc.iter_mut().zip(health) {
+            a.crashes += h.crashes;
+            a.checkpoints_restored += h.checkpoints_restored;
+            a.retransmitted_bytes += h.retransmitted_bytes;
+        }
     }
 }
 
@@ -170,6 +203,15 @@ pub struct ServeReport {
     pub bad_lines: u64,
     /// Deepest queue backlog observed.
     pub max_queue_depth: usize,
+    /// Replayed ids answered from the idempotency cache (never
+    /// re-executed, never re-queued).
+    pub deduped: u64,
+    /// Modeled GCDs per worker engine (0 = single-device).
+    pub cluster: usize,
+    /// Per-rank health across every cluster run served (empty for
+    /// single-device servers): injected crashes observed, checkpoint
+    /// restores performed, and bytes retransmitted over degraded links.
+    pub rank_health: Vec<RankHealth>,
     /// Every accepted request was answered and nothing was lost.
     pub drain_clean: bool,
 }
@@ -177,13 +219,13 @@ pub struct ServeReport {
 impl ServeReport {
     /// `xbfs-serve-report-v1` JSON object (single line).
     pub fn to_json(&self) -> String {
-        format!(
+        let mut s = format!(
             "{{\"format\":\"xbfs-serve-report-v1\",\"accepted\":{},\"shed\":{},\
              \"rejected_draining\":{},\"ok\":{},\"timeouts\":{},\"errors\":{},\
              \"replayed\":{},\"panics_recovered\":{},\"rebuilds\":{},\
              \"chaos_ignored\":{},\"breaker_trips\":{},\"breaker_fast_rejects\":{},\
              \"connections\":{},\"dropped_connections\":{},\"bad_lines\":{},\
-             \"max_queue_depth\":{},\"drain_clean\":{}}}",
+             \"max_queue_depth\":{},\"deduped\":{},\"cluster\":{},\"rank_health\":[",
             self.accepted,
             self.shed,
             self.rejected_draining,
@@ -200,8 +242,21 @@ impl ServeReport {
             self.dropped_connections,
             self.bad_lines,
             self.max_queue_depth,
-            self.drain_clean
-        )
+            self.deduped,
+            self.cluster,
+        );
+        for (rank, h) in self.rank_health.iter().enumerate() {
+            if rank > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rank\":{rank},\"crashes\":{},\"checkpoints_restored\":{},\
+                 \"retransmitted_bytes\":{}}}",
+                h.crashes, h.checkpoints_restored, h.retransmitted_bytes
+            ));
+        }
+        s.push_str(&format!("],\"drain_clean\":{}}}", self.drain_clean));
+        s
     }
 }
 
@@ -239,6 +294,8 @@ impl Server {
             stats: Counters::default(),
             rec,
             draining: AtomicBool::new(false),
+            dedup: DedupCache::new(cfg.dedup_cap),
+            rank_health: std::sync::Mutex::new(Vec::new()),
             started: Instant::now(),
             addr,
             cfg,
@@ -313,6 +370,9 @@ impl ServerHandle {
             dropped_connections: ld(&s.dropped_connections),
             bad_lines: ld(&s.bad_lines),
             max_queue_depth: q.max_depth,
+            deduped: ld(&s.deduped),
+            cluster: self.shared.cfg.cluster.unwrap_or(0),
+            rank_health: self.shared.rank_health.lock().unwrap().clone(),
             drain_clean: abandoned.is_empty()
                 && ld(&s.undelivered) == 0
                 && ld(&s.dropped_connections) == 0
@@ -482,6 +542,24 @@ fn dispatch_line(
         }
         Request::Bfs(bfs) => {
             let id = bfs.id;
+            // Idempotent replay: an id we already completed is answered
+            // from cache — even while draining or with the breaker open,
+            // since nothing re-executes. Chaos-carrying requests bypass
+            // the cache so soaks always exercise the real path.
+            if bfs.chaos.is_none() {
+                if let Some(cached) = shared.dedup.lookup(id, bfs.source) {
+                    shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+                    shared.rec.event(
+                        None,
+                        names::event::DEDUP_HIT,
+                        0,
+                        shared.now_us(),
+                        vec![("id".into(), AttrValue::U64(id))],
+                    );
+                    reply(writer, protocol::mark_deduped(&cached));
+                    return;
+                }
+            }
             if shared.is_draining() {
                 reply(
                     writer,

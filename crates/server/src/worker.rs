@@ -1,21 +1,31 @@
-//! Panic-isolated worker execution.
+//! Panic-isolated worker execution over either engine backend.
 //!
-//! Each worker thread owns one warm pooled engine (device *and*
-//! [`Xbfs`] state) and pops jobs off the admission queue until it
-//! drains. Execution runs under `catch_unwind`: a panicking engine — or
-//! one whose run fails certification — is **quarantined**: the engine
-//! and its device are discarded together (a corrupted pool must never
-//! re-park poisoned buffers, the invariant PR 4's sweep supervisor
-//! established), a fresh pair is built, and the request is replayed with
-//! injection stripped. Because a fresh device + fresh engine reproduces
-//! the exact modeled timeline of a single-shot run, a replayed response
-//! is bit-identical to `xbfs bfs` on the same graph and source — the e2e
-//! tests assert this through the socket via the result digest.
+//! Each worker thread owns one warm engine — a pooled single-device
+//! [`Xbfs`] or, for `--cluster N` servers, a partitioned [`GcdCluster`]
+//! spanning N modeled GCDs — and pops jobs off the admission queue until
+//! it drains. Execution runs under `catch_unwind`: a panicking engine, a
+//! run failing certification, or a cluster rank crash that checkpoint/
+//! restart could not recover is **quarantined**: the engine (and, for the
+//! single-device backend, its device) is discarded, a fresh one is built,
+//! and the request is replayed with injection stripped. Because a fresh
+//! engine reproduces the exact result of a single-shot run, a replayed
+//! response carries the same digest as a fault-free execution — the e2e
+//! tests assert this through the socket.
+//!
+//! The cluster backend partitions the graph **once** at engine build;
+//! per-request runs reuse the partitioning (and the engine's level
+//! scratch) and only re-upload status arrays. An injected rank crash
+//! (chaos `crash@L`, wire token `crash@<level>:rank<r>`) becomes a
+//! [`FaultPlan`] for that one run: the rank dies mid-request and is
+//! restored from the latest level-synchronous checkpoint *within the
+//! request's remaining deadline budget* — recovery overhead counts
+//! against it. Per-rank health (crashes, restores, retransmitted bytes)
+//! is drained after every run into the server-wide accumulator, so a
+//! quarantined cluster loses no history.
 //!
 //! Deadline accounting: the request's wall budget is charged for queue
 //! wait first; whatever remains is granted to the run as a modeled-time
-//! budget via [`Xbfs::run_governed`]. A budget exhausted in-queue is
-//! answered `timeout` without touching an engine.
+//! budget (see DESIGN.md §10 for why the two clocks are fungible).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -24,6 +34,10 @@ use std::time::Instant;
 
 use gcd_sim::Device;
 use xbfs_core::{BitflipPlan, Sabotage, Xbfs, XbfsError};
+use xbfs_graph::Csr;
+use xbfs_multi_gcd::{
+    ClusterConfig, ClusterError, FaultConfig, FaultPlan, GcdCluster, LinkModel,
+};
 use xbfs_telemetry::{names, AttrValue};
 
 use crate::chaos::ChaosAction;
@@ -39,17 +53,35 @@ pub(crate) struct Job {
     pub(crate) resp: mpsc::Sender<String>,
 }
 
-/// Engine generation: device + warm pooled engine, discarded together.
-type Engine = Xbfs<Device>;
+/// Engine generation, discarded and rebuilt as a unit on quarantine.
+enum Engine<'g> {
+    /// Warm pooled single-device engine (device + state together).
+    Single(Box<Xbfs<Device>>),
+    /// Partitioned multi-GCD engine borrowing the server's graph.
+    Cluster(Box<GcdCluster<'g>>),
+}
 
-fn build_engine(shared: &Shared) -> Result<Engine, XbfsError> {
-    Xbfs::new((shared.factory)(), &shared.graph, shared.xcfg)
+fn build_engine<'g>(shared: &Shared, graph: &'g Csr) -> Result<Engine<'g>, String> {
+    match shared.cfg.cluster {
+        Some(n) => {
+            let cfg = ClusterConfig {
+                num_gcds: n,
+                ..ClusterConfig::node_of_8()
+            };
+            GcdCluster::new(graph, cfg, LinkModel::frontier())
+                .map(|c| Engine::Cluster(Box::new(c)))
+                .map_err(|e| e.to_string())
+        }
+        None => Xbfs::new((shared.factory)(), graph, shared.xcfg)
+            .map(|e| Engine::Single(Box::new(e)))
+            .map_err(|e| e.to_string()),
+    }
 }
 
 /// Drop a possibly-poisoned engine without letting its destructor take
 /// the worker down: after a panic mid-run the pool bookkeeping may be
 /// arbitrarily wrong, and `Drop` parks buffers back into it.
-fn discard(engine: &mut Option<Engine>) {
+fn discard(engine: &mut Option<Engine<'_>>) {
     if let Some(e) = engine.take() {
         let _ = catch_unwind(AssertUnwindSafe(move || drop(e)));
     }
@@ -67,17 +99,21 @@ fn deliver(shared: &Shared, job_resp: &mpsc::Sender<String>, line: String) {
 /// The worker thread body: pop until the queue drains, serve each job
 /// with quarantine-and-replay, then park the final engine generation.
 pub(crate) fn worker_loop(shared: Arc<Shared>, worker_idx: usize) {
-    let mut engine: Option<Engine> = None;
+    // The cluster engine borrows the graph; holding our own Arc clone
+    // (declared before `engine`, so dropped after it) pins it.
+    let graph = Arc::clone(&shared.graph);
+    let mut engine: Option<Engine<'_>> = None;
     while let Some((ticket, job)) = shared.queue.pop() {
-        serve_one(&shared, &mut engine, ticket, job, worker_idx);
+        serve_one(&shared, &graph, &mut engine, ticket, job, worker_idx);
     }
     // Normal teardown: the engine is healthy, let Drop park its buffers.
     drop(engine);
 }
 
-fn serve_one(
+fn serve_one<'g>(
     shared: &Shared,
-    engine: &mut Option<Engine>,
+    graph: &'g Csr,
+    engine: &mut Option<Engine<'g>>,
     ticket: u64,
     job: Job,
     worker_idx: usize,
@@ -92,7 +128,7 @@ fn serve_one(
     rec.span_attr(span, "source", AttrValue::U64(u64::from(job.req.source)));
     rec.counter(names::metric::WAIT_MS, worker_idx, now, wait_ms);
 
-    let outcome = execute(shared, engine, ticket, &job, wait_ms);
+    let outcome = execute(shared, graph, engine, ticket, &job, wait_ms);
     rec.span_attr(span, "status", AttrValue::Str(outcome.status.into()));
     rec.span_attr(
         span,
@@ -100,6 +136,12 @@ fn serve_one(
         AttrValue::U64(u64::from(outcome.attempts)),
     );
     rec.end_span(span, shared.now_us());
+    // Completed requests become idempotent: a replay of this id is
+    // answered from cache instead of re-executing. Chaos-carrying
+    // requests are never cached (soaks must exercise the real path).
+    if outcome.status == "ok" && job.req.chaos.is_none() {
+        shared.dedup.record(id, job.req.source, &outcome.line);
+    }
     deliver(shared, &job.resp, outcome.line);
 }
 
@@ -109,9 +151,34 @@ struct Outcome {
     attempts: u32,
 }
 
-fn execute(
+/// What one engine attempt decided.
+enum Step {
+    /// Terminal: answer the client with this outcome.
+    Finish(Outcome),
+    /// Quarantine the engine and replay (injection stripped).
+    Retry {
+        kind: &'static str,
+        msg: String,
+    },
+}
+
+/// Everything one attempt needs, bundled so the per-backend runners stay
+/// readable.
+struct Attempt<'a> {
+    shared: &'a Shared,
+    job: &'a Job,
+    act: ChaosAction,
+    verify: bool,
+    ticket: u64,
+    run_budget_ms: Option<f64>,
+    wait_ms: f64,
+    attempt: u32,
+}
+
+fn execute<'g>(
     shared: &Shared,
-    engine: &mut Option<Engine>,
+    graph: &'g Csr,
+    engine: &mut Option<Engine<'g>>,
     ticket: u64,
     job: &Job,
     wait_ms: f64,
@@ -156,6 +223,25 @@ fn execute(
         }
         None => ChaosAction::None,
     };
+    // Backend-specific injections: rank crashes need a partitioned
+    // cluster to kill a rank of; bitflips target the single-device pool.
+    let mismatch = match (chaos, shared.cfg.cluster) {
+        (ChaosAction::Crash { .. }, None) => {
+            Some("crash chaos requires a --cluster server")
+        }
+        (ChaosAction::Bitflip, Some(_)) => {
+            Some("bitflip chaos requires a single-device server")
+        }
+        _ => None,
+    };
+    if let Some(why) = mismatch {
+        stats.errors.fetch_add(1, Ordering::Relaxed);
+        return Outcome {
+            line: protocol::error_line(id, "usage", why),
+            status: "error",
+            attempts: 0,
+        };
+    }
     // Undetected bit flips would silently corrupt the response; chaos
     // flips therefore imply certification so they are caught + replayed.
     let verify = job.req.verify.unwrap_or(shared.cfg.verify) || chaos == ChaosAction::Bitflip;
@@ -166,23 +252,22 @@ fn execute(
     let mut attempt = 0u32;
     loop {
         if engine.is_none() {
-            match build_engine(shared) {
+            match build_engine(shared, graph) {
                 Ok(e) => *engine = Some(e),
                 Err(err) => {
                     stats.errors.fetch_add(1, Ordering::Relaxed);
                     shared.breaker.record_failure();
                     return Outcome {
-                        line: protocol::error_line(id, "engine", &err.to_string()),
+                        line: protocol::error_line(id, "engine", &err),
                         status: "error",
                         attempts: attempt + 1,
                     };
                 }
             }
         }
-        let eng = engine.as_ref().expect("just built");
 
         // Injection targets attempt 0 only, so a replay after quarantine
-        // runs clean and reproduces the single-shot result bit for bit.
+        // runs clean and reproduces the fault-free result bit for bit.
         let act = if attempt == 0 {
             chaos
         } else {
@@ -191,23 +276,61 @@ fn execute(
         if let ChaosAction::Slow(ms) = act {
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
+        let ctx = Attempt {
+            shared,
+            job,
+            act,
+            verify,
+            ticket,
+            run_budget_ms,
+            wait_ms,
+            attempt,
+        };
+        let step = match engine.as_mut().expect("just built") {
+            Engine::Single(eng) => ctx.run_single(eng, flip_plan.as_ref()),
+            Engine::Cluster(cluster) => {
+                let step = ctx.run_cluster(cluster, graph);
+                // Drain per-rank health every attempt — before any
+                // quarantine discards the engine — so crashes, restores
+                // and retransmits survive into the serve report.
+                let health = cluster.take_health();
+                shared.merge_rank_health(&health);
+                step
+            }
+        };
+        match step {
+            Step::Finish(outcome) => return outcome,
+            Step::Retry { kind, msg } => {
+                quarantine(shared, engine, kind, ticket);
+                attempt += 1;
+                if attempt >= max_attempts {
+                    return give_up(shared, id, attempt, kind, &msg);
+                }
+            }
+        }
+    }
+}
+
+impl Attempt<'_> {
+    /// One attempt on the warm pooled single-device engine.
+    fn run_single(&self, eng: &Xbfs<Device>, flip_plan: Option<&BitflipPlan>) -> Step {
+        let shared = self.shared;
+        let stats = &shared.stats;
+        let id = self.job.req.id;
+        let ticket = self.ticket;
         let result = catch_unwind(AssertUnwindSafe(|| {
-            if act == ChaosAction::Panic {
+            if self.act == ChaosAction::Panic {
                 panic!("chaos: injected worker panic (ticket {ticket})");
             }
-            let sab = (act == ChaosAction::Bitflip)
-                .then(|| {
-                    flip_plan
-                        .as_ref()
-                        .map(|plan| Sabotage { plan, salt: ticket })
-                })
+            let sab = (self.act == ChaosAction::Bitflip)
+                .then(|| flip_plan.map(|plan| Sabotage { plan, salt: ticket }))
                 .flatten();
             eng.run_governed(
-                job.req.source,
+                self.job.req.source,
                 &xbfs_telemetry::Recorder::disabled(),
                 sab.as_ref(),
-                run_budget_ms,
-                verify,
+                self.run_budget_ms,
+                self.verify,
             )
         }));
 
@@ -215,75 +338,207 @@ fn execute(
             Ok(Ok((run, cert))) => {
                 shared.breaker.record_success();
                 stats.ok.fetch_add(1, Ordering::Relaxed);
-                if attempt > 0 {
+                if self.attempt > 0 {
                     stats.replayed.fetch_add(1, Ordering::Relaxed);
                 }
-                return Outcome {
-                    line: protocol::ok_line(id, &run, cert.is_some(), wait_ms, attempt + 1),
+                Step::Finish(Outcome {
+                    line: protocol::ok_line(
+                        id,
+                        &run,
+                        cert.is_some(),
+                        self.wait_ms,
+                        self.attempt + 1,
+                    ),
                     status: "ok",
-                    attempts: attempt + 1,
-                };
+                    attempts: self.attempt + 1,
+                })
             }
             Ok(Err(XbfsError::DeadlineExceeded {
                 elapsed_us,
                 deadline_us,
                 ..
-            })) => {
-                // A run that outlived its budget is a typed timeout, not
-                // a substrate failure: the breaker does not count it.
-                stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                return Outcome {
-                    line: protocol::timeout_line(
-                        id,
-                        "run",
-                        wait_ms + elapsed_us as f64 / 1000.0,
-                        wait_ms + deadline_us as f64 / 1000.0,
-                    ),
-                    status: "timeout",
-                    attempts: attempt + 1,
-                };
-            }
-            Ok(Err(XbfsError::Integrity(e))) => {
-                quarantine(shared, engine, "integrity", ticket);
-                attempt += 1;
-                if attempt >= max_attempts {
-                    return give_up(shared, id, attempt, "integrity", &e.to_string());
-                }
-            }
+            })) => Step::Finish(self.timeout(elapsed_us, deadline_us)),
+            Ok(Err(XbfsError::Integrity(e))) => Step::Retry {
+                kind: "integrity",
+                msg: e.to_string(),
+            },
             Ok(Err(other)) => {
                 // Client-input errors (bad source, …): typed, no retry,
                 // and no breaker penalty — the substrate is fine.
                 stats.errors.fetch_add(1, Ordering::Relaxed);
-                return Outcome {
+                Step::Finish(Outcome {
                     line: protocol::error_line(id, "invalid", &other.to_string()),
                     status: "error",
-                    attempts: attempt + 1,
-                };
+                    attempts: self.attempt + 1,
+                })
             }
-            Err(panic_payload) => {
-                let msg = panic_message(&panic_payload);
-                stats.panics_recovered.fetch_add(1, Ordering::Relaxed);
-                shared.rec.event(
-                    None,
-                    names::event::PANIC_RECOVERED,
-                    0,
-                    shared.now_us(),
-                    vec![
-                        ("ticket".into(), AttrValue::U64(ticket)),
-                        ("message".into(), AttrValue::Str(msg.clone())),
-                    ],
-                );
-                quarantine(shared, engine, "panic", ticket);
-                attempt += 1;
-                if attempt >= max_attempts {
-                    return give_up(shared, id, attempt, "panic", &msg);
+            Err(payload) => Step::Retry {
+                kind: "panic",
+                msg: self.note_panic(&payload),
+            },
+        }
+    }
+
+    /// One attempt on the partitioned cluster engine. A `Crash` action
+    /// becomes a one-run [`FaultPlan`]; the engine recovers it from the
+    /// latest checkpoint within the remaining deadline budget.
+    fn run_cluster(&self, cluster: &mut GcdCluster<'_>, graph: &Csr) -> Step {
+        let shared = self.shared;
+        let stats = &shared.stats;
+        let id = self.job.req.id;
+        let ticket = self.ticket;
+        let fault_cfg = match self.act {
+            ChaosAction::Crash { level, rank } => {
+                match FaultPlan::parse(&format!("crash@{level}:rank{rank}")) {
+                    Ok(plan) => FaultConfig {
+                        plan,
+                        checkpoint_every: shared.cfg.checkpoint_every,
+                        ..FaultConfig::default()
+                    },
+                    Err(e) => {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                        return Step::Finish(Outcome {
+                            line: protocol::error_line(id, "usage", &e.to_string()),
+                            status: "error",
+                            attempts: self.attempt + 1,
+                        });
+                    }
                 }
             }
+            _ => FaultConfig {
+                checkpoint_every: shared.cfg.checkpoint_every,
+                ..FaultConfig::default()
+            },
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if self.act == ChaosAction::Panic {
+                panic!("chaos: injected worker panic (ticket {ticket})");
+            }
+            cluster.run_governed(
+                self.job.req.source,
+                &fault_cfg,
+                &xbfs_telemetry::Recorder::disabled(),
+                self.run_budget_ms,
+            )
+        }));
+
+        match result {
+            Ok(Ok(run)) => {
+                // The cluster engine has no certificate machinery; its
+                // certification is a host-side validation of the level
+                // array against the graph. A failure is treated exactly
+                // like a single-device integrity fault: quarantine the
+                // engine and replay clean.
+                if self.verify {
+                    if let Err(e) =
+                        xbfs_graph::validate_bfs_levels(graph, self.job.req.source, &run.levels)
+                    {
+                        return Step::Retry {
+                            kind: "integrity",
+                            msg: format!("cluster result failed validation: {e:?}"),
+                        };
+                    }
+                }
+                let recoveries = run.recoveries.len() as u64;
+                if recoveries > 0 {
+                    shared.rec.event(
+                        None,
+                        names::event::RANK_RECOVERED,
+                        0,
+                        shared.now_us(),
+                        vec![
+                            ("ticket".into(), AttrValue::U64(ticket)),
+                            ("recoveries".into(), AttrValue::U64(recoveries)),
+                        ],
+                    );
+                }
+                shared.breaker.record_success();
+                stats.ok.fetch_add(1, Ordering::Relaxed);
+                if self.attempt > 0 {
+                    stats.replayed.fetch_add(1, Ordering::Relaxed);
+                }
+                Step::Finish(Outcome {
+                    line: protocol::cluster_ok_line(
+                        id,
+                        &run,
+                        self.verify,
+                        self.wait_ms,
+                        self.attempt + 1,
+                        recoveries,
+                    ),
+                    status: "ok",
+                    attempts: self.attempt + 1,
+                })
+            }
+            Ok(Err(ClusterError::DeadlineExceeded {
+                elapsed_us,
+                deadline_us,
+                ..
+            })) => Step::Finish(self.timeout(elapsed_us, deadline_us)),
+            Ok(Err(
+                e @ (ClusterError::Unrecoverable { .. } | ClusterError::LinkFailed { .. }),
+            )) => {
+                // Checkpoint/restart could not save this run — the whole
+                // cluster engine is suspect. Quarantine it and replay the
+                // victim request on a rebuilt cluster.
+                Step::Retry {
+                    kind: "unrecoverable",
+                    msg: e.to_string(),
+                }
+            }
+            Ok(Err(other)) => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                Step::Finish(Outcome {
+                    line: protocol::error_line(id, "invalid", &other.to_string()),
+                    status: "error",
+                    attempts: self.attempt + 1,
+                })
+            }
+            Err(payload) => Step::Retry {
+                kind: "panic",
+                msg: self.note_panic(&payload),
+            },
         }
+    }
+
+    /// Typed mid-run timeout: counted, never a breaker penalty.
+    fn timeout(&self, elapsed_us: u64, deadline_us: u64) -> Outcome {
+        self.shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        Outcome {
+            line: protocol::timeout_line(
+                self.job.req.id,
+                "run",
+                self.wait_ms + elapsed_us as f64 / 1000.0,
+                self.wait_ms + deadline_us as f64 / 1000.0,
+            ),
+            status: "timeout",
+            attempts: self.attempt + 1,
+        }
+    }
+
+    /// Count + record a contained panic, returning its message.
+    fn note_panic(&self, payload: &(dyn std::any::Any + Send)) -> String {
+        let msg = panic_message(payload);
+        let shared = self.shared;
+        shared
+            .stats
+            .panics_recovered
+            .fetch_add(1, Ordering::Relaxed);
+        shared.rec.event(
+            None,
+            names::event::PANIC_RECOVERED,
+            0,
+            shared.now_us(),
+            vec![
+                ("ticket".into(), AttrValue::U64(self.ticket)),
+                ("message".into(), AttrValue::Str(msg.clone())),
+            ],
+        );
+        msg
     }
 }
 
-fn quarantine(shared: &Shared, engine: &mut Option<Engine>, why: &str, ticket: u64) {
+fn quarantine(shared: &Shared, engine: &mut Option<Engine<'_>>, why: &str, ticket: u64) {
     discard(engine);
     shared.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
     shared.rec.event(

@@ -1,7 +1,9 @@
 //! End-to-end serving-layer tests over a real socket: panic isolation
 //! (an injected worker panic never kills the listener, and the replayed
 //! result is bit-identical to a single-shot run), deadline timeouts,
-//! load shedding, chaos gating, and graceful drain.
+//! load shedding, chaos gating, graceful drain, cluster serving with
+//! mid-request checkpoint/restart, idempotent replay, and client-side
+//! shed retries.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -12,7 +14,9 @@ use gcd_sim::Device;
 use xbfs_core::{Xbfs, XbfsConfig};
 use xbfs_graph::generators::erdos_renyi;
 use xbfs_graph::Csr;
-use xbfs_server::{protocol, ServeConfig, Server, ServerHandle};
+use xbfs_server::{
+    protocol, run_loadgen, ChaosPlan, LoadgenConfig, ServeConfig, Server, ServerHandle,
+};
 use xbfs_telemetry::Recorder;
 
 fn test_graph() -> Arc<Csr> {
@@ -70,6 +74,15 @@ fn reference_digest(g: &Csr, source: u32) -> String {
     let dev = Device::mi250x();
     let eng = Xbfs::new(&dev, g, XbfsConfig::default()).unwrap();
     format!("{:#018x}", eng.run(source).unwrap().digest())
+}
+
+/// The backend-independent levels-only digest of a fault-free
+/// single-device run — what a `--cluster` server's responses must match
+/// bit for bit, crashes or not.
+fn reference_levels_digest(g: &Csr, source: u32) -> String {
+    let dev = Device::mi250x();
+    let eng = Xbfs::new(&dev, g, XbfsConfig::default()).unwrap();
+    format!("{:#018x}", eng.run(source).unwrap().result_digest())
 }
 
 #[test]
@@ -261,6 +274,197 @@ fn overload_sheds_explicitly_and_nothing_is_lost() {
     assert_eq!(report.shed, shed);
     assert_eq!(report.dropped_connections, 0);
     assert!(report.drain_clean, "{report:?}");
+}
+
+#[test]
+fn cluster_recovers_rank_crash_within_request_and_digest_matches_single_device() {
+    let g = test_graph();
+    let cfg = ServeConfig {
+        cluster: Some(4),
+        allow_chaos: true,
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg, Arc::clone(&g));
+    let mut c = Client::connect(handle.addr());
+
+    // Rank 1 dies at level 1 mid-request; checkpoint/restart recovers it
+    // inside the request — the response is ok on attempt 1 (no replay)
+    // with ≥1 recovery, and the digest is bit-identical to a fault-free
+    // single-device run.
+    let r = c.bfs(1, 42, ",\"chaos\":\"crash@1:rank1\",\"deadline_ms\":60000");
+    assert_eq!(r.status, "ok", "{r:?}");
+    assert_eq!(r.attempts, Some(1), "recovered within the request, not replayed");
+    assert!(
+        r.recoveries.unwrap_or(0) >= 1,
+        "a mid-request checkpoint restore must be reported: {r:?}"
+    );
+    assert_eq!(
+        r.digest.as_deref(),
+        Some(reference_levels_digest(&g, 42).as_str()),
+        "recovered levels must be bit-identical to fault-free"
+    );
+
+    // A clean request on the same warm cluster matches too.
+    let r = c.bfs(2, 42, "");
+    assert_eq!(r.status, "ok");
+    assert_eq!(r.recoveries, Some(0));
+    assert_eq!(
+        r.digest.as_deref(),
+        Some(reference_levels_digest(&g, 42).as_str())
+    );
+
+    handle.initiate_drain();
+    let report = handle.join();
+    assert!(report.drain_clean, "{report:?}");
+    assert_eq!(report.cluster, 4);
+    assert_eq!(report.rank_health.len(), 4, "per-rank health for all 4 GCDs");
+    assert_eq!(report.rank_health[1].crashes, 1, "{:?}", report.rank_health);
+    let restores: u64 = report
+        .rank_health
+        .iter()
+        .map(|h| h.checkpoints_restored)
+        .sum();
+    assert!(restores >= 1, "{:?}", report.rank_health);
+}
+
+#[test]
+fn crash_chaos_on_single_device_server_is_a_usage_error() {
+    let g = test_graph();
+    let cfg = ServeConfig {
+        allow_chaos: true,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg, Arc::clone(&g));
+    let mut c = Client::connect(handle.addr());
+    let r = c.bfs(1, 0, ",\"chaos\":\"crash@1:rank0\"");
+    assert_eq!(r.status, "error");
+    assert_eq!(r.kind.as_deref(), Some("usage"));
+    handle.initiate_drain();
+    let report = handle.join();
+    assert!(report.drain_clean, "{report:?}");
+}
+
+#[test]
+fn replayed_completed_id_is_answered_from_cache_not_reexecuted() {
+    let g = test_graph();
+    let handle = start(ServeConfig::default(), Arc::clone(&g));
+    let mut c = Client::connect(handle.addr());
+
+    let first = c.bfs(7, 19, "");
+    assert_eq!(first.status, "ok");
+    assert_eq!(first.deduped, None);
+
+    // A reconnect-after-timeout replays the same id: the cached response
+    // comes back (marked), and the server does not execute it again.
+    let mut c2 = Client::connect(handle.addr());
+    let replay = c2.bfs(7, 19, "");
+    assert_eq!(replay.status, "ok");
+    assert_eq!(replay.deduped, Some(true), "{replay:?}");
+    assert_eq!(replay.digest, first.digest);
+
+    // Same id with a different source is a different request, not a
+    // replay — it must execute.
+    let other = c.bfs(7, 20, "");
+    assert_eq!(other.status, "ok");
+    assert_eq!(other.deduped, None);
+
+    handle.initiate_drain();
+    let report = handle.join();
+    assert!(report.drain_clean, "{report:?}");
+    assert_eq!(report.ok, 2, "only two executions for three requests");
+    assert_eq!(report.deduped, 1);
+}
+
+#[test]
+fn loadgen_retries_shed_requests_until_they_land() {
+    let g = test_graph();
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg, Arc::clone(&g));
+
+    // A burst far past a 1-deep queue: without retries much of it is
+    // shed; with retries everything eventually lands.
+    let report = run_loadgen(&LoadgenConfig {
+        addr: handle.addr().to_string(),
+        requests: 30,
+        rps: 3000.0,
+        connections: 2,
+        source_max: 4,
+        retries: 10,
+        ..LoadgenConfig::default()
+    })
+    .expect("loadgen runs");
+
+    assert_eq!(report.lost, 0, "{report:?}");
+    assert!(report.retried_ok >= 1, "retries must rescue sheds: {report:?}");
+    assert!(report.retries_sent >= report.retried_ok);
+    assert!(report.digests_consistent, "{report:?}");
+    assert_eq!(
+        report.ok + report.shed + report.timeouts + report.errors,
+        report.sent,
+        "{report:?}"
+    );
+
+    handle.initiate_drain();
+    let sreport = handle.join();
+    assert!(sreport.drain_clean, "{sreport:?}");
+}
+
+#[test]
+fn chaos_soak_on_cluster_loses_nothing_and_recovers_ranks() {
+    let g = test_graph();
+    let cfg = ServeConfig {
+        cluster: Some(4),
+        allow_chaos: true,
+        workers: 2,
+        queue_cap: 16,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg, Arc::clone(&g));
+
+    // Every third request carries a rank-1 crash at level 1; retries
+    // absorb any sheds so nothing is lost.
+    let report = run_loadgen(&LoadgenConfig {
+        addr: handle.addr().to_string(),
+        requests: 24,
+        rps: 500.0,
+        connections: 2,
+        source_max: 1, // one source → digests_consistent compares
+        // crash-recovered responses against clean ones
+        chaos: Some(ChaosPlan::parse("crash@1:3,rank=1").expect("chaos spec")),
+        retries: 10,
+        ..LoadgenConfig::default()
+    })
+    .expect("loadgen runs");
+
+    assert_eq!(report.lost, 0, "{report:?}");
+    assert!(report.ok > 0, "{report:?}");
+    assert!(
+        report.digests_consistent,
+        "crash-recovered results must match clean ones: {report:?}"
+    );
+
+    // And the shared single source matches the fault-free single-device
+    // reference bit for bit.
+    let mut c = Client::connect(handle.addr());
+    let r = c.bfs(1_000_000, 0, "");
+    assert_eq!(r.digest.as_deref(), Some(reference_levels_digest(&g, 0).as_str()));
+
+    handle.initiate_drain();
+    let sreport = handle.join();
+    assert!(sreport.drain_clean, "{sreport:?}");
+    let crashes: u64 = sreport.rank_health.iter().map(|h| h.crashes).sum();
+    let restores: u64 = sreport
+        .rank_health
+        .iter()
+        .map(|h| h.checkpoints_restored)
+        .sum();
+    assert!(crashes >= 1, "{:?}", sreport.rank_health);
+    assert!(restores >= 1, "{:?}", sreport.rank_health);
 }
 
 #[test]

@@ -117,6 +117,12 @@ pub mod names {
         pub const BREAKER_TRIP: &str = "serve.breaker_trip";
         /// Graceful drain was initiated.
         pub const DRAIN: &str = "serve.drain";
+        /// A replayed completed id was answered from the idempotency
+        /// cache instead of re-executing.
+        pub const DEDUP_HIT: &str = "serve.dedup_hit";
+        /// A cluster rank crashed mid-request and was recovered by
+        /// checkpoint/restart inside the request's deadline budget.
+        pub const RANK_RECOVERED: &str = "serve.rank_recovered";
     }
 
     /// Counter/gauge metric names.

@@ -131,4 +131,44 @@ grep -q '"dropped_connections":0' "$SMOKE/serve_report.json"
 grep -q '"drain_clean":true' "$SMOKE/serve_report.json"
 echo "    wrote results/BENCH_pr5.json (shed=$SHED)"
 
+echo "==> certified sweep perf gate (pooled >= unpooled, both certified)"
+# Both passes of a --verify sweep now certify every run, so the speedup is
+# an apples-to-apples pooled-vs-unpooled ratio on the certified path.
+CERT_SPEEDUP=$(grep -o '"speedup": [0-9.]*' results/BENCH_pr4.json | grep -o '[0-9.]*$')
+echo "    certified pooled-vs-unpooled speedup: ${CERT_SPEEDUP}x"
+awk -v s="$CERT_SPEEDUP" 'BEGIN { exit !(s >= 1.0) }' \
+  || { echo "certified pooled sweep slower than unpooled rebuild" >&2; exit 1; }
+
+echo "==> cluster serve smoke (rank crashes under live load: shed, heal, drain)"
+"$XBFS" generate --out "$SMOKE/clsrv.bin" --scale 12 --seed 6
+PORT=$((20000 + RANDOM % 20000))
+# 2 workers, each a 4-GCD partitioned cluster engine; chaos honored
+"$XBFS" serve "$SMOKE/clsrv.bin" --addr "127.0.0.1:$PORT" --workers 2 \
+  --cluster 4 --allow-chaos \
+  --json "$SMOKE/cluster_serve_report.json" > "$SMOKE/cluster_serve.out" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then break; fi
+  sleep 0.1
+done
+# every 3rd request injects a rank-1 crash at level 1 (recovered in-request
+# by checkpoint/restart); shed requests are retried until they land
+"$XBFS" loadgen --addr "127.0.0.1:$PORT" --requests 48 --rps 400 \
+  --connections 4 --sources 1 --chaos "crash@1:3,rank=1" --retries 10 \
+  --max-shed-pct 90 --json "$SMOKE/cluster_loadgen.json" --shutdown \
+  | tee "$SMOKE/cluster_loadgen.out"
+wait "$SERVE_PID" # clean drain is exit 0; lost work would make this nonzero
+grep -q '"lost":0,' "$SMOKE/cluster_loadgen.json"
+grep -q '"digests_consistent":true' "$SMOKE/cluster_loadgen.json"
+grep -q '"retried_ok":' "$SMOKE/cluster_loadgen.json"
+grep -q '"drain_clean":true' "$SMOKE/cluster_serve_report.json"
+grep -q '"cluster":4' "$SMOKE/cluster_serve_report.json"
+RESTORES=$(grep -o '"checkpoints_restored":[0-9]*' "$SMOKE/cluster_serve_report.json" \
+  | awk -F: '{ s += $2 } END { print s + 0 }')
+test "$RESTORES" -ge 1 || { echo "expected >= 1 checkpoint restore" >&2; exit 1; }
+printf '{"schema":"xbfs-bench-pr6-v1","certified_sweep_speedup":%s,"loadgen":%s,"serve":%s}\n' \
+  "$CERT_SPEEDUP" "$(cat "$SMOKE/cluster_loadgen.json")" \
+  "$(cat "$SMOKE/cluster_serve_report.json")" > results/BENCH_pr6.json
+echo "    wrote results/BENCH_pr6.json (restores=$RESTORES)"
+
 echo "CI gate passed."
