@@ -146,6 +146,9 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "cluster",
             "checkpoint-every",
             "alpha",
+            "metrics-addr",
+            "flight-dir",
+            "flight-ring",
             "json",
             "trace",
         ],
@@ -162,8 +165,10 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "retries",
             "shutdown",
             "max-shed-pct",
+            "progress-every-ms",
             "json",
         ],
+        "top" => vec!["interval-ms", "frames"],
         "cluster" => vec![
             "gcds",
             "source",
@@ -231,6 +236,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "sweep" => sweep(args),
         "serve" => serve(args),
         "loadgen" => loadgen(args),
+        "top" => top_cmd(args),
         "analyze" => analyze(args),
         "trace" => trace_cmd(args),
         "help" | "" => Ok(HELP.to_string()),
@@ -291,7 +297,8 @@ COMMANDS
             [--retry-after-ms MS] [--verify] [--allow-chaos] [--max-retries N]
             [--breaker-threshold N] [--breaker-cooldown-ms MS]
             [--deadline-ms MS] [--cluster N] [--checkpoint-every N]
-            [--alpha F] [--json FILE] [--trace FMT:PATH]
+            [--alpha F] [--metrics-addr HOST:PORT] [--flight-dir DIR]
+            [--flight-ring N] [--json FILE] [--trace FMT:PATH]
             long-running BFS daemon: loads the graph once, keeps one warm
             pooled engine per worker, and serves `xbfs-serve-v1` (JSON
             lines over TCP). A bounded admission queue sheds overload with
@@ -310,11 +317,20 @@ COMMANDS
             ids are remembered in a small LRU, so a client that resends
             an id after a timeout gets the cached response (marked
             deduped:true) instead of double-executing.
-            --allow-chaos honors client chaos tokens (test servers only)
+            --allow-chaos honors client chaos tokens (test servers only).
+            Every stage feeds an always-on metrics registry: a wire
+            `metrics` op returns an xbfs-metrics-v1 snapshot, and
+            --metrics-addr binds an HTTP listener serving /metrics
+            (Prometheus text) and /metrics.json, scrapeable mid-load
+            without perturbing workers. A per-worker flight recorder
+            keeps the last --flight-ring events (default 64); on a
+            worker panic, engine quarantine or breaker trip the ring is
+            dumped to --flight-dir (default under the system temp dir)
+            and the dump paths land in the serve report
   loadgen   --addr HOST:PORT [--requests N] [--rps F] [--connections N]
             [--sources N] [--seed N] [--deadline-ms MS] [--verify]
             [--chaos SPEC] [--retries N] [--shutdown] [--max-shed-pct F]
-            [--json FILE]
+            [--progress-every-ms MS] [--json FILE]
             open-loop load generator for `xbfs serve`: paces N requests at
             a target RPS over pipelined connections, measures latency from
             each request's scheduled time (no coordinated omission), and
@@ -327,7 +343,15 @@ COMMANDS
             backoff (latency still measured from the original schedule);
             --shutdown drains the server afterwards; --max-shed-pct fails
             with exit 9 when shedding exceeds the bound; --json writes
-            xbfs-loadgen-v1
+            xbfs-loadgen-v1. A one-line progress report (sent / ok /
+            shed / p99-so-far) goes to stderr every --progress-every-ms
+            (default 1000; 0 silences it)
+  top       HOST:PORT [--interval-ms MS] [--frames N]
+            live dashboard over a running server's metrics plane: polls
+            the wire `metrics` op at the serve address and renders
+            queue / worker / breaker / pool / rank state with rates
+            from successive snapshots; runs until the server drains,
+            or for exactly N frames with --frames
   analyze   FILE                    connected components, diameter estimate
   trace     summarize FILE          summarize a recorded trace (xbfs-trace-v1
                                     JSON or chrome trace.json)
@@ -1348,6 +1372,9 @@ fn serve(args: &Args) -> Result<String, CliError> {
         default_deadline_ms: opt_f64(args, "deadline-ms")?,
         cluster,
         checkpoint_every: args.get("checkpoint-every", 1)?,
+        metrics_addr: args.options.get("metrics-addr").cloned(),
+        flight_dir: args.options.get("flight-dir").cloned(),
+        flight_ring: args.get("flight-ring", 64)?,
         ..ServeConfig::default()
     };
     let (workers, queue_cap) = (scfg.workers, scfg.queue_cap);
@@ -1395,6 +1422,13 @@ fn serve(args: &Args) -> Result<String, CliError> {
          drain with the wire `shutdown` op or `xbfs loadgen --shutdown`",
         handle.addr()
     );
+    if let Some(maddr) = handle.metrics_addr() {
+        eprintln!(
+            "xbfs serve: metrics on http://{maddr}/metrics (Prometheus) and \
+             /metrics.json (xbfs-metrics-v1); watch live with `xbfs top {}`",
+            handle.addr()
+        );
+    }
 
     let report = handle.join();
     let mut out = format!(
@@ -1432,6 +1466,15 @@ fn serve(args: &Args) -> Result<String, CliError> {
             "idempotent replays answered from cache: {}\n",
             report.deduped
         ));
+    }
+    if !report.flight_dumps.is_empty() {
+        out.push_str(&format!(
+            "flight recorder: {} dump(s)\n",
+            report.flight_dumps.len()
+        ));
+        for p in &report.flight_dumps {
+            out.push_str(&format!("  {p}\n"));
+        }
     }
     if report.cluster > 0 {
         out.push_str(&format!("cluster: {} rank(s)\n", report.cluster));
@@ -1491,6 +1534,7 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
         chaos,
         retries: args.get("retries", 0)?,
         shutdown_after: args.flag("shutdown"),
+        progress_every_ms: args.get("progress-every-ms", 1000)?,
         ..LoadgenConfig::default()
     };
     let report = run_loadgen(&cfg)
@@ -1555,6 +1599,28 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// `xbfs top`: a live terminal dashboard over a running server's
+/// metrics plane. Connects to the *serve* address (wire protocol) and
+/// polls the `metrics` op, rendering one frame per snapshot with rates
+/// computed from successive scrapes. Runs until the server drains (or
+/// for --frames N when scripted).
+fn top_cmd(args: &Args) -> Result<String, CliError> {
+    let addr = args
+        .positional
+        .first()
+        .ok_or("usage: xbfs top HOST:PORT [--interval-ms MS] [--frames N]")?;
+    let interval = std::time::Duration::from_millis(args.get("interval-ms", 1000)?);
+    let frames = match args.get::<u64>("frames", 0)? {
+        0 => None,
+        n => Some(n),
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let rendered = xbfs_server::top::run_top(addr, interval, frames, &mut out)
+        .map_err(|e| CliError::io(format!("top against {addr}: {e}")))?;
+    Ok(format!("top: rendered {rendered} frame(s)\n"))
 }
 
 fn analyze(args: &Args) -> Result<String, CliError> {
@@ -2295,8 +2361,13 @@ mod tests {
             l.local_addr().unwrap().port()
         };
         let addr = format!("127.0.0.1:{port}");
+        let mport = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let maddr = format!("127.0.0.1:{mport}");
         let srv = std::thread::spawn({
-            let (path, addr) = (path.clone(), addr.clone());
+            let (path, addr, maddr) = (path.clone(), addr.clone(), maddr.clone());
             move || {
                 run(&[
                     "serve",
@@ -2307,6 +2378,8 @@ mod tests {
                     "2",
                     "--queue-cap",
                     "64",
+                    "--metrics-addr",
+                    &maddr,
                 ])
             }
         });
@@ -2317,6 +2390,18 @@ mod tests {
             }
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
+        // The metrics plane is up alongside the serve listener: one
+        // Prometheus scrape and one rendered `top` frame.
+        {
+            use std::io::{Read as _, Write as _};
+            let mut s = std::net::TcpStream::connect(&maddr).unwrap();
+            write!(s, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+            let mut prom = String::new();
+            s.read_to_string(&mut prom).unwrap();
+            assert!(prom.contains("xbfs_serve_queue_depth"), "{prom}");
+        }
+        let top_out = run(&["top", &addr, "--frames", "1", "--interval-ms", "10"]).unwrap();
+        assert!(top_out.contains("top: rendered 1 frame(s)"), "{top_out}");
         let out = run(&[
             "loadgen",
             "--addr",

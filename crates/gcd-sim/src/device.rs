@@ -191,6 +191,22 @@ fn evict_oldest<B>(map: &mut HashMap<usize, Vec<Parked<B>>>, k: usize) -> u64 {
     entries.remove(idx).bytes
 }
 
+/// One sample of the device pool's live statistics, taken by
+/// [`Device::pool_gauges`] for the serving metrics plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolGauges {
+    /// Acquisitions served from a parked buffer.
+    pub hits: u64,
+    /// Acquisitions that had to allocate fresh.
+    pub misses: u64,
+    /// Bytes currently parked across both free pools.
+    pub parked_bytes: u64,
+    /// Releases trimmed or bypassed under the byte cap.
+    pub pressure_events: u64,
+    /// The configured byte cap, if any.
+    pub limit_bytes: Option<u64>,
+}
+
 /// A simulated GPU (one MI250X GCD by default).
 pub struct Device {
     arch: ArchProfile,
@@ -411,6 +427,21 @@ impl Device {
     /// Releases that trimmed or bypassed the pool under the byte cap.
     pub fn pool_pressure_events(&self) -> u64 {
         self.pool_pressure.load(Ordering::Relaxed)
+    }
+
+    /// All live pool statistics in one call, for the serving metrics
+    /// plane: each field is a single relaxed load of its own atomic, so
+    /// sampling never blocks kernel execution (the fields are mutually
+    /// racy but individually exact — the right trade for gauges).
+    pub fn pool_gauges(&self) -> PoolGauges {
+        let limit = self.pool_limit.load(Ordering::Relaxed);
+        PoolGauges {
+            hits: self.pool_hits.load(Ordering::Relaxed),
+            misses: self.pool_misses.load(Ordering::Relaxed),
+            parked_bytes: self.pool_bytes.load(Ordering::Relaxed),
+            pressure_events: self.pool_pressure.load(Ordering::Relaxed),
+            limit_bytes: (limit != u64::MAX).then_some(limit),
+        }
     }
 
     /// Enable/disable acquire-time checksum+canary verification (on by

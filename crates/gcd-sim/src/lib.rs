@@ -42,7 +42,7 @@ pub mod wave;
 
 pub use arch::{ArchProfile, Compiler, CompilerModel};
 pub use buffer::{BufU32, BufU64};
-pub use device::{Device, ExecMode, TimingReplay};
+pub use device::{Device, ExecMode, PoolGauges, TimingReplay};
 pub use group::{GroupCfg, GroupCtx};
 pub use kernel::{KernelReport, LaunchCfg, WaveStats};
 pub use pool::{fnv1a, fnv1a_mix, splitmix64, PoolError};

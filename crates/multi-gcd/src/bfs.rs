@@ -96,6 +96,12 @@ pub struct ClusterLevelStats {
     pub recovery_ms: f64,
     /// True if a checkpoint was taken right after this level.
     pub checkpointed: bool,
+    /// Modeled time this level spent expanding/claiming frontiers on
+    /// the devices (kernel launches outside the collectives), ms.
+    pub expand_ms: f64,
+    /// Modeled time this level spent in inter-GCD exchange (all-to-all
+    /// or allgather plus the termination allreduce), ms.
+    pub exchange_ms: f64,
     /// Modeled wall time of the level (compute + comm + faults), ms.
     pub time_ms: f64,
 }
@@ -230,7 +236,8 @@ impl ClusterRun {
             s.push_str(&format!(
                 "{{\"level\":{},\"attempt\":{},\"bottom_up\":{},\"frontier_count\":{},\
                  \"frontier_edges\":{},\"exchanged_bytes\":{},\"retransmitted_bytes\":{},\
-                 \"retry_ms\":{:.6},\"recovery_ms\":{:.6},\"checkpointed\":{},\"time_ms\":{:.6}}}",
+                 \"retry_ms\":{:.6},\"recovery_ms\":{:.6},\"checkpointed\":{},\
+                 \"expand_ms\":{:.6},\"exchange_ms\":{:.6},\"time_ms\":{:.6}}}",
                 l.level,
                 l.attempt,
                 l.bottom_up,
@@ -241,6 +248,8 @@ impl ClusterRun {
                 l.retry_ms,
                 l.recovery_ms,
                 l.checkpointed,
+                l.expand_ms,
+                l.exchange_ms,
                 l.time_ms,
             ));
         }
@@ -252,11 +261,11 @@ impl ClusterRun {
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
             "level,attempt,bottom_up,frontier_count,frontier_edges,exchanged_bytes,\
-             retransmitted_bytes,retry_ms,recovery_ms,checkpointed,time_ms\n",
+             retransmitted_bytes,retry_ms,recovery_ms,checkpointed,expand_ms,exchange_ms,time_ms\n",
         );
         for l in &self.level_stats {
             s.push_str(&format!(
-                "{},{},{},{},{},{},{},{:.6},{:.6},{},{:.6}\n",
+                "{},{},{},{},{},{},{},{:.6},{:.6},{},{:.6},{:.6},{:.6}\n",
                 l.level,
                 l.attempt,
                 l.bottom_up,
@@ -267,6 +276,8 @@ impl ClusterRun {
                 l.retry_ms,
                 l.recovery_ms,
                 l.checkpointed,
+                l.expand_ms,
+                l.exchange_ms,
                 l.time_ms,
             ));
         }
@@ -320,6 +331,11 @@ struct LevelComm {
     exchanged: u64,
     retransmitted: u64,
     retry_us: f64,
+    /// Modeled µs the level's device phases (expand/claim/pull) took.
+    expand_us: f64,
+    /// Modeled µs the level's inter-GCD exchange took (excluding the
+    /// termination allreduce, which the level loop adds).
+    exchange_us: f64,
 }
 
 /// Host-side scratch reused across levels and runs so the level loop does
@@ -794,6 +810,8 @@ impl<'g> GcdCluster<'g> {
                 retry_ms: (comm.retry_us + ar.retry_us) / 1000.0,
                 recovery_ms: pending_recovery_us / 1000.0,
                 checkpointed: false,
+                expand_ms: comm.expand_us / 1000.0,
+                exchange_ms: (comm.exchange_us + (t - ar_t0)) / 1000.0,
                 time_ms: (self.max_elapsed() - clock_us) / 1000.0,
             });
             pending_recovery_us = 0.0;
@@ -1114,6 +1132,7 @@ impl<'g> GcdCluster<'g> {
         } = self;
         let p = cfg.num_gcds;
         scratch.ensure(p, ranks[0].bitmap.len());
+        let t_entry = fleet_elapsed(ranks);
         // Phase 1: local expansion into local claims + remote buckets.
         for (rank, r) in ranks.iter().enumerate() {
             r.device
@@ -1155,6 +1174,7 @@ impl<'g> GcdCluster<'g> {
         }
         let mut comm = LevelComm::default();
         let t0 = fleet_elapsed(ranks);
+        comm.expand_us = t0 - t_entry;
         let mut t_end = t0;
         for (rank, sent) in send.iter().enumerate() {
             for (d, slot) in recv.iter_mut().enumerate() {
@@ -1229,6 +1249,8 @@ impl<'g> GcdCluster<'g> {
                 |w| claim_kernel(w, r, part, level, p),
             );
         }
+        comm.exchange_us = t_end - t0;
+        comm.expand_us += fleet_elapsed(ranks) - t_end;
         Ok(comm)
     }
 
@@ -1252,6 +1274,7 @@ impl<'g> GcdCluster<'g> {
         } = self;
         let p = cfg.num_gcds;
         scratch.ensure(p, ranks[0].bitmap.len());
+        let t_entry = fleet_elapsed(ranks);
         // Phase 1: each rank sets bits for its frontier slice.
         for (rank, r) in ranks.iter().enumerate() {
             r.device
@@ -1351,6 +1374,8 @@ impl<'g> GcdCluster<'g> {
             exchanged: slice_bytes * p as u64,
             retransmitted: cost.retransmitted_bytes,
             retry_us: cost.retry_us,
+            expand_us: (ag_t0 - t_entry) + (fleet_elapsed(ranks) - t),
+            exchange_us: t - ag_t0,
         })
     }
 }
@@ -1644,6 +1669,26 @@ mod tests {
             run.level_stats.iter().any(|l| !l.bottom_up),
             "no push level"
         );
+        // Expand/exchange decomposition: both phases account for modeled
+        // time, and together they never exceed the level's wall time
+        // (retry stalls and sync overheads make up any remainder).
+        for l in &run.level_stats {
+            assert!(
+                l.expand_ms >= 0.0 && l.exchange_ms >= 0.0,
+                "level {}",
+                l.level
+            );
+            assert!(
+                l.expand_ms + l.exchange_ms <= l.time_ms + 1e-6,
+                "level {}: expand {} + exchange {} > time {}",
+                l.level,
+                l.expand_ms,
+                l.exchange_ms,
+                l.time_ms
+            );
+        }
+        assert!(run.level_stats.iter().any(|l| l.expand_ms > 0.0));
+        assert!(run.level_stats.iter().any(|l| l.exchange_ms > 0.0));
         assert!(run.gteps > 0.0);
         assert!((run.gteps_per_gcd - run.gteps / 4.0).abs() < 1e-9);
     }
@@ -1923,8 +1968,15 @@ mod tests {
             ..ClusterConfig::node_of_8()
         };
         let mut cluster = GcdCluster::new(&g, cfg, LinkModel::frontier()).unwrap();
-        assert!(cluster.rank_health().iter().all(|h| h == &RankHealth::default()));
-        let faults = fault_cfg("crash@2:rank1,drop@0:0-1x2", RecoveryPolicy::PromoteSpare, 1);
+        assert!(cluster
+            .rank_health()
+            .iter()
+            .all(|h| h == &RankHealth::default()));
+        let faults = fault_cfg(
+            "crash@2:rank1,drop@0:0-1x2",
+            RecoveryPolicy::PromoteSpare,
+            1,
+        );
         cluster.run_with_faults(1, &faults).unwrap();
         let health = cluster.take_health();
         assert_eq!(health.len(), 4);
@@ -1940,11 +1992,15 @@ mod tests {
         );
         // take_health drains: the next snapshot is clean, and a clean
         // run accumulates nothing.
-        assert!(cluster.rank_health().iter().all(|h| h == &RankHealth::default()));
+        assert!(cluster
+            .rank_health()
+            .iter()
+            .all(|h| h == &RankHealth::default()));
         cluster.run(1).unwrap();
-        assert!(cluster.take_health().iter().all(|h| h.crashes == 0
-            && h.checkpoints_restored == 0
-            && h.retransmitted_bytes == 0));
+        assert!(cluster
+            .take_health()
+            .iter()
+            .all(|h| h.crashes == 0 && h.checkpoints_restored == 0 && h.retransmitted_bytes == 0));
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod faults;
 pub mod interconnect;
 pub mod partition;
 
-pub use bfs::{ClusterConfig, ClusterLevelStats, ClusterRun, GcdCluster, RankHealth, RecoveryReport};
+pub use bfs::{
+    ClusterConfig, ClusterLevelStats, ClusterRun, GcdCluster, RankHealth, RecoveryReport,
+};
 pub use error::ClusterError;
 pub use faults::{FaultConfig, FaultEvent, FaultPlan, RecoveryPolicy, RetryPolicy};
 pub use interconnect::LinkModel;

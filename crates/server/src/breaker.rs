@@ -23,6 +23,25 @@ struct Inner {
     consecutive_failures: u32,
     trips: u64,
     fast_rejects: u64,
+    /// State-kind changes (closed/open/half-open), any direction.
+    transitions: u64,
+}
+
+impl Inner {
+    /// Change state, counting it as a transition when the state *kind*
+    /// changes (probe_out toggles within half-open don't count).
+    fn set_state(&mut self, next: State) {
+        let changed = !matches!(
+            (self.state, next),
+            (State::Closed, State::Closed)
+                | (State::Open { .. }, State::Open { .. })
+                | (State::HalfOpen { .. }, State::HalfOpen { .. })
+        );
+        if changed {
+            self.transitions += 1;
+        }
+        self.state = next;
+    }
 }
 
 /// Trip-after-N-consecutive-failures breaker with cooldown + half-open
@@ -43,6 +62,7 @@ impl CircuitBreaker {
                 consecutive_failures: 0,
                 trips: 0,
                 fast_rejects: 0,
+                transitions: 0,
             }),
             threshold: threshold.max(1),
             cooldown: Duration::from_millis(cooldown_ms),
@@ -61,7 +81,7 @@ impl CircuitBreaker {
             State::Open { since } => {
                 let elapsed = since.elapsed();
                 if elapsed >= self.cooldown {
-                    g.state = State::HalfOpen { probe_out: true };
+                    g.set_state(State::HalfOpen { probe_out: true });
                     Ok(()) // this caller is the probe
                 } else {
                     g.fast_rejects += 1;
@@ -70,7 +90,7 @@ impl CircuitBreaker {
                 }
             }
             State::HalfOpen { probe_out: false } => {
-                g.state = State::HalfOpen { probe_out: true };
+                g.set_state(State::HalfOpen { probe_out: true });
                 Ok(())
             }
             State::HalfOpen { probe_out: true } => {
@@ -84,7 +104,7 @@ impl CircuitBreaker {
     pub fn record_success(&self) {
         let mut g = self.lock();
         g.consecutive_failures = 0;
-        g.state = State::Closed;
+        g.set_state(State::Closed);
     }
 
     /// Report a request that exhausted its retries. Returns `true` when
@@ -99,9 +119,9 @@ impl CircuitBreaker {
             State::Open { .. } => false,
         };
         if should_trip {
-            g.state = State::Open {
+            g.set_state(State::Open {
                 since: Instant::now(),
-            };
+            });
             g.trips += 1;
         }
         should_trip
@@ -121,6 +141,22 @@ impl CircuitBreaker {
     pub fn is_open(&self) -> bool {
         let g = self.lock();
         matches!(g.state, State::Open { since } if since.elapsed() < self.cooldown)
+    }
+
+    /// Current state as a stable gauge code: 0 = closed, 1 = half-open,
+    /// 2 = open.
+    pub fn state_code(&self) -> u8 {
+        match self.lock().state {
+            State::Closed => 0,
+            State::HalfOpen { .. } => 1,
+            State::Open { .. } => 2,
+        }
+    }
+
+    /// State-kind changes since creation (closed ↔ open ↔ half-open in
+    /// any direction) — the live-plane transition counter.
+    pub fn transitions(&self) -> u64 {
+        self.lock().transitions
     }
 }
 
@@ -165,5 +201,24 @@ mod tests {
         assert!(b.admit().is_ok());
         assert!(b.record_failure(), "failed probe re-trips");
         assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn state_codes_and_transitions_track_the_lifecycle() {
+        let b = CircuitBreaker::new(1, 0);
+        assert_eq!(b.state_code(), 0);
+        assert_eq!(b.transitions(), 0);
+        assert!(b.record_failure()); // closed -> open
+        assert_eq!(b.state_code(), 2);
+        assert_eq!(b.transitions(), 1);
+        assert!(b.admit().is_ok()); // open -> half-open (probe)
+        assert_eq!(b.state_code(), 1);
+        assert_eq!(b.transitions(), 2);
+        b.record_success(); // half-open -> closed
+        assert_eq!(b.state_code(), 0);
+        assert_eq!(b.transitions(), 3);
+        // Redundant success: no state-kind change, no transition.
+        b.record_success();
+        assert_eq!(b.transitions(), 3);
     }
 }

@@ -80,16 +80,16 @@ impl ChaosAction {
                     // The wire token reuses the fault-plan grammar:
                     // `crash@<level>:rank<r>`.
                     Some(rest) => {
-                        let (level, rank) = rest
-                            .split_once(":rank")
-                            .ok_or_else(|| format!("expected crash@<level>:rank<r>, got `{other}`"))?;
+                        let (level, rank) = rest.split_once(":rank").ok_or_else(|| {
+                            format!("expected crash@<level>:rank<r>, got `{other}`")
+                        })?;
                         Ok(Self::Crash {
-                            level: level.parse::<u32>().map_err(|_| {
-                                format!("bad crash level in chaos token `{other}`")
-                            })?,
-                            rank: rank.parse::<usize>().map_err(|_| {
-                                format!("bad crash rank in chaos token `{other}`")
-                            })?,
+                            level: level
+                                .parse::<u32>()
+                                .map_err(|_| format!("bad crash level in chaos token `{other}`"))?,
+                            rank: rank
+                                .parse::<usize>()
+                                .map_err(|_| format!("bad crash rank in chaos token `{other}`"))?,
                         })
                     }
                     None => Err(format!("unknown chaos token `{other}`")),

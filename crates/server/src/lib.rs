@@ -36,6 +36,13 @@
 //!   small LRU ([`DedupCache`]); a client that reconnects after a timeout
 //!   and resends an id gets the cached response (`"deduped":true`)
 //!   instead of double-executing.
+//! - **Live metrics plane** — an always-on, lock-light registry
+//!   ([`metrics::ServerMetrics`]) instrumenting every stage (admission,
+//!   workers, breaker, pools, cluster health), scrapeable mid-load via
+//!   the wire `metrics` op or a dedicated `--metrics-addr` listener
+//!   (Prometheus text + `xbfs-metrics-v1` JSON), plus a crash-forensics
+//!   flight recorder dumped on panic/quarantine/breaker-open and a live
+//!   terminal dashboard ([`top`]).
 //!
 //! The load generator ([`loadgen`]) is the other half: an open-loop
 //! client that drives a server past capacity on purpose and reports
@@ -46,9 +53,11 @@ pub mod breaker;
 pub mod chaos;
 pub mod dedup;
 pub mod loadgen;
+pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod top;
 pub mod worker;
 
 pub use breaker::CircuitBreaker;

@@ -26,8 +26,11 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+use xbfs_telemetry::LogHistogram;
 
 use crate::chaos::ChaosPlan;
 use crate::protocol::{self, PROTOCOL};
@@ -60,6 +63,9 @@ pub struct LoadgenConfig {
     /// Resend a shed request up to this many times, honoring the
     /// server's `retry_after_ms` hint with jittered backoff (0 = never).
     pub retries: u32,
+    /// Print a one-line progress report (sent / ok / shed / p99-so-far)
+    /// to stderr this often, ms (0 = silent).
+    pub progress_every_ms: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -77,6 +83,7 @@ impl Default for LoadgenConfig {
             shutdown_after: false,
             recv_timeout_ms: 30_000,
             retries: 0,
+            progress_every_ms: 0,
         }
     }
 }
@@ -191,12 +198,86 @@ struct Sample {
     retries_used: u32,
 }
 
+/// Live counters behind the periodic progress line: updated by the
+/// sender threads (`sent`) and the aggregator (`ok`/`shed`/latency),
+/// read by the printer. The histogram makes p99-so-far O(1) to read.
+struct Progress {
+    sent: AtomicU64,
+    ok: AtomicU64,
+    shed: AtomicU64,
+    latency_ms: LogHistogram,
+}
+
+impl Progress {
+    fn new() -> Self {
+        Self {
+            sent: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            latency_ms: LogHistogram::new(),
+        }
+    }
+
+    fn note(&self, s: &Sample) {
+        match s.status.as_str() {
+            "ok" => {
+                self.ok.fetch_add(1, Ordering::Relaxed);
+                self.latency_ms.record(s.latency_ms);
+            }
+            "overloaded" => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    fn line(&self) -> String {
+        format!(
+            "loadgen: sent {} ok {} shed {} p99-so-far {:.1}ms",
+            self.sent.load(Ordering::Relaxed),
+            self.ok.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.latency_ms.snapshot().quantile(99.0).unwrap_or(0.0)
+        )
+    }
+}
+
 /// Drive one server. Blocks until all responses arrived (or the
 /// straggler cutoff) and optionally drains the server afterwards.
 pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let n_conns = cfg.connections.max(1);
     let start = Instant::now();
     let (agg_tx, agg_rx) = mpsc::channel::<Sample>();
+    let progress = Arc::new(Progress::new());
+
+    // The aggregator consumes samples *live* (not after the fact) so the
+    // progress printer always has current ok/shed/p99 numbers.
+    let collector = {
+        let prog = Arc::clone(&progress);
+        std::thread::spawn(move || {
+            let mut samples = Vec::new();
+            while let Ok(s) = agg_rx.recv() {
+                prog.note(&s);
+                samples.push(s);
+            }
+            samples
+        })
+    };
+    let stop_printer = Arc::new(AtomicBool::new(false));
+    let printer = (cfg.progress_every_ms > 0).then(|| {
+        let prog = Arc::clone(&progress);
+        let stop = Arc::clone(&stop_printer);
+        let every = Duration::from_millis(cfg.progress_every_ms.max(1));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(every);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                eprintln!("{}", prog.line());
+            }
+        })
+    });
 
     let mut threads = Vec::new();
     for c in 0..n_conns {
@@ -205,8 +286,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         stream.set_nodelay(true).ok();
         let cfg = cfg.clone();
         let agg = agg_tx.clone();
+        let prog = Arc::clone(&progress);
         threads.push(std::thread::spawn(move || {
-            drive_connection(&cfg, c, n_conns, stream, start, &agg)
+            drive_connection(&cfg, c, n_conns, stream, start, &agg, &prog)
         }));
     }
     drop(agg_tx);
@@ -216,7 +298,15 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         sent += t.join().unwrap_or(0);
     }
 
-    // Aggregate samples (the channel is closed: every sender is gone).
+    // Every sender is gone, so the collector's channel closes and it
+    // returns the full sample set.
+    let samples = collector.join().unwrap_or_default();
+    stop_printer.store(true, Ordering::Relaxed);
+    if let Some(p) = printer {
+        let _ = p.join();
+        eprintln!("{} (final)", progress.line());
+    }
+
     let mut latencies = Vec::new();
     let mut report = LoadgenReport {
         sent,
@@ -225,7 +315,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let mut digests: HashMap<u32, String> = HashMap::new();
     report.digests_consistent = true;
     let mut answered = 0u64;
-    while let Ok(s) = agg_rx.recv() {
+    for s in samples {
         answered += 1;
         report.retries_sent += u64::from(s.retries_used);
         match s.status.as_str() {
@@ -307,6 +397,7 @@ fn drive_connection(
     stream: TcpStream,
     start: Instant,
     agg: &mpsc::Sender<Sample>,
+    progress: &Progress,
 ) -> u64 {
     let rps = if cfg.rps > 0.0 { cfg.rps } else { 1000.0 };
     let reader_stream = match stream.try_clone() {
@@ -404,12 +495,7 @@ fn drive_connection(
                             let (at_ms, source, retried, retries_used) = meta
                                 .remove(&resp.id)
                                 .map(|p| {
-                                    (
-                                        p.scheduled_ms,
-                                        p.source,
-                                        p.retries_used > 0,
-                                        p.retries_used,
-                                    )
+                                    (p.scheduled_ms, p.source, p.retries_used > 0, p.retries_used)
                                 })
                                 .unwrap_or((0.0, resp.source.unwrap_or(0), false, 0));
                             let now_ms = start.elapsed().as_secs_f64() * 1000.0;
@@ -479,6 +565,7 @@ fn drive_connection(
             break;
         }
         sent += 1;
+        progress.sent.fetch_add(1, Ordering::Relaxed);
         i += n_conns as u64;
     }
     drop(meta_tx); // reader learns the final expected count

@@ -68,6 +68,12 @@ pub enum Request {
         /// Correlation id.
         id: u64,
     },
+    /// One `xbfs-metrics-v1` snapshot of the live metrics plane;
+    /// answered inline without touching the workers.
+    Metrics {
+        /// Correlation id.
+        id: u64,
+    },
     /// Run one BFS (queued through admission control).
     Bfs(BfsRequest),
 }
@@ -95,6 +101,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "info" => Ok(Request::Info { id }),
         "stats" => Ok(Request::Stats { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
+        "metrics" => Ok(Request::Metrics { id }),
         "bfs" => {
             let source = v
                 .get("source")
@@ -239,6 +246,12 @@ pub fn shutdown_line(id: u64) -> String {
     format!("{},\"draining\":true}}", head(id, "ok"))
 }
 
+/// `ok` response to `metrics`: embeds the `xbfs-metrics-v1` snapshot
+/// object (already serialized, single line) under `"metrics"`.
+pub fn metrics_line(id: u64, snapshot_json: &str) -> String {
+    format!("{},\"metrics\":{}}}", head(id, "ok"), snapshot_json)
+}
+
 /// What a client can learn from any response line without knowing which
 /// op produced it — everything the load generator needs.
 #[derive(Debug, Clone, PartialEq)]
@@ -332,6 +345,7 @@ mod tests {
             ("info", Request::Info { id: 1 }),
             ("stats", Request::Stats { id: 1 }),
             ("shutdown", Request::Shutdown { id: 1 }),
+            ("metrics", Request::Metrics { id: 1 }),
         ] {
             let line = format!("{{\"op\":\"{op}\",\"id\":1}}");
             assert_eq!(parse_request(&line).unwrap(), want);

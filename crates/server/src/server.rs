@@ -18,6 +18,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -30,6 +31,7 @@ use xbfs_telemetry::{names, AttrValue, Recorder};
 
 use crate::breaker::CircuitBreaker;
 use crate::dedup::DedupCache;
+use crate::metrics::ServerMetrics;
 use crate::protocol::{self, Request};
 use crate::queue::{Admission, AdmissionQueue};
 use crate::worker::{worker_loop, Job};
@@ -71,6 +73,15 @@ pub struct ServeConfig {
     pub checkpoint_every: u32,
     /// Completed responses remembered for idempotent replay (0 disables).
     pub dedup_cap: usize,
+    /// Bind a second TCP listener here serving Prometheus-style text on
+    /// `GET /metrics` and the `xbfs-metrics-v1` JSON snapshot on
+    /// `GET /metrics.json` (`None` = main protocol's `metrics` op only).
+    pub metrics_addr: Option<String>,
+    /// Directory for flight-recorder dumps (`None` = a per-process dir
+    /// under the system temp dir).
+    pub flight_dir: Option<String>,
+    /// Events remembered per flight-recorder lane.
+    pub flight_ring: usize,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +100,9 @@ impl Default for ServeConfig {
             cluster: None,
             checkpoint_every: 1,
             dedup_cap: 128,
+            metrics_addr: None,
+            flight_dir: None,
+            flight_ring: 64,
         }
     }
 }
@@ -127,8 +141,12 @@ pub(crate) struct Shared {
     /// for single-device servers). Indexed by rank of the initial
     /// partitioning; Degrade leaves dead ranks' entries frozen.
     pub(crate) rank_health: std::sync::Mutex<Vec<RankHealth>>,
+    /// The always-on live metrics plane + flight recorder.
+    pub(crate) metrics: ServerMetrics,
     started: Instant,
     addr: SocketAddr,
+    /// Where the scrape listener is bound, for the drain wake-up poke.
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl Shared {
@@ -148,14 +166,23 @@ impl Shared {
         }
         self.rec
             .event(None, names::event::DRAIN, 0, self.now_us(), vec![]);
+        self.metrics.flight.note(
+            self.metrics.flight.control_lane(),
+            "drain",
+            "graceful drain initiated",
+        );
         self.queue.drain();
-        // The accept loop blocks in accept(); a throwaway connection is
-        // the std-only way to make it re-check the flag.
+        // The accept loops block in accept(); a throwaway connection is
+        // the std-only way to make them re-check the flag.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(maddr) = self.metrics_addr {
+            let _ = TcpStream::connect_timeout(&maddr, Duration::from_millis(200));
+        }
     }
 
     /// Fold one cluster run's per-rank health into the server-wide view.
     pub(crate) fn merge_rank_health(&self, health: &[RankHealth]) {
+        self.metrics.merge_rank_health(health);
         let mut acc = self.rank_health.lock().unwrap();
         if acc.len() < health.len() {
             acc.resize(health.len(), RankHealth::default());
@@ -165,6 +192,21 @@ impl Shared {
             a.checkpoints_restored += h.checkpoints_restored;
             a.retransmitted_bytes += h.retransmitted_bytes;
         }
+    }
+
+    /// One consistent scrape: refresh the sampled gauges (breaker state,
+    /// queue depth — both read from their owners, not shadow-tracked),
+    /// then freeze the registry. Runs entirely on the scraping thread;
+    /// workers are never stopped or signaled.
+    pub(crate) fn metrics_snapshot(&self) -> xbfs_telemetry::MetricsSnapshot {
+        let m = &self.metrics;
+        m.sync_breaker(
+            self.breaker.state_code(),
+            self.breaker.transitions(),
+            self.breaker.trips(),
+        );
+        m.queue_depth.set(self.queue.depth() as f64);
+        m.snapshot()
     }
 }
 
@@ -206,6 +248,9 @@ pub struct ServeReport {
     /// Replayed ids answered from the idempotency cache (never
     /// re-executed, never re-queued).
     pub deduped: u64,
+    /// Flight-recorder dump files written over the server's life
+    /// (worker panics, quarantines, breaker opens), oldest first.
+    pub flight_dumps: Vec<String>,
     /// Modeled GCDs per worker engine (0 = single-device).
     pub cluster: usize,
     /// Per-rank health across every cluster run served (empty for
@@ -255,6 +300,13 @@ impl ServeReport {
                 h.crashes, h.checkpoints_restored, h.retransmitted_bytes
             ));
         }
+        s.push_str("],\"flight_dumps\":[");
+        for (i, path) in self.flight_dumps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&xbfs_telemetry::json::escape(path));
+        }
         s.push_str(&format!("],\"drain_clean\":{}}}", self.drain_clean));
         s
     }
@@ -272,6 +324,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -285,6 +338,25 @@ impl Server {
     ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        // Bind the scrape listener up front so its address lands in
+        // `Shared` (the drain poke needs it) and bind errors surface to
+        // the caller instead of dying in a thread.
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(a) => Some(TcpListener::bind(a)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let flight_dir = cfg
+            .flight_dir
+            .as_ref()
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("xbfs-flight-{}", std::process::id()))
+            });
+        let metrics = ServerMetrics::new(cfg.workers.max(1), flight_dir, cfg.flight_ring);
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(cfg.queue_cap, cfg.retry_after_ms),
             breaker: CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown_ms),
@@ -296,8 +368,10 @@ impl Server {
             draining: AtomicBool::new(false),
             dedup: DedupCache::new(cfg.dedup_cap),
             rank_health: std::sync::Mutex::new(Vec::new()),
+            metrics,
             started: Instant::now(),
             addr,
+            metrics_addr,
             cfg,
         });
 
@@ -317,11 +391,20 @@ impl Server {
             .spawn(move || accept_loop(sh, listener))
             .expect("spawn accept thread");
 
+        let metrics_thread = metrics_listener.map(|l| {
+            let sh = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("xbfs-metrics".into())
+                .spawn(move || metrics_loop(sh, l))
+                .expect("spawn metrics thread")
+        });
+
         Ok(ServerHandle {
             addr,
             shared,
             accept,
             workers,
+            metrics_thread,
         })
     }
 }
@@ -330,6 +413,16 @@ impl ServerHandle {
     /// The bound address (useful with `127.0.0.1:0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Where the scrape listener is bound, when `metrics_addr` was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.shared.metrics_addr
+    }
+
+    /// Where flight-recorder dumps are written.
+    pub fn flight_dir(&self) -> PathBuf {
+        self.shared.metrics.flight_dir().to_path_buf()
     }
 
     /// Begin graceful drain from the host process (equivalent to the
@@ -347,6 +440,10 @@ impl ServerHandle {
         // Queue is in Draining; workers exit when it runs dry.
         for w in self.workers {
             let _ = w.join();
+        }
+        // The scrape listener was poked awake by begin_drain.
+        if let Some(m) = self.metrics_thread {
+            let _ = m.join();
         }
         // Anything still queued now is a bug — close() surfaces it.
         let abandoned = self.shared.queue.close();
@@ -371,6 +468,7 @@ impl ServerHandle {
             bad_lines: ld(&s.bad_lines),
             max_queue_depth: q.max_depth,
             deduped: ld(&s.deduped),
+            flight_dumps: self.shared.metrics.dump_paths(),
             cluster: self.shared.cfg.cluster.unwrap_or(0),
             rank_health: self.shared.rank_health.lock().unwrap().clone(),
             drain_clean: abandoned.is_empty()
@@ -379,6 +477,53 @@ impl ServerHandle {
                 && q.accepted == ld(&s.ok) + ld(&s.timeouts) + ld(&s.errors),
         }
     }
+}
+
+/// Serve scrapes on the dedicated listener until drain. Scrapes run
+/// entirely on this thread (snapshotting never stops a worker); one at a
+/// time is plenty for a monitoring endpoint.
+fn metrics_loop(shared: Arc<Shared>, listener: TcpListener) {
+    for conn in listener.incoming() {
+        if shared.is_draining() {
+            break; // the begin_drain wake-up poke (or a late scraper)
+        }
+        if let Ok(stream) = conn {
+            let _ = serve_scrape(&shared, stream);
+        }
+    }
+}
+
+/// Answer one minimal HTTP/1.0 scrape: `GET /metrics` returns the
+/// Prometheus text exposition, `GET /metrics.json` the `xbfs-metrics-v1`
+/// snapshot. Anything else is a 404.
+fn serve_scrape(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let path = line.split_whitespace().nth(1).unwrap_or("");
+    let (status, ctype, body) = if path == "/metrics.json" {
+        (
+            "200 OK",
+            "application/json",
+            shared.metrics_snapshot().to_json(),
+        )
+    } else if path == "/metrics" || path == "/" {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            shared.metrics_snapshot().to_prometheus(),
+        )
+    } else {
+        ("404 Not Found", "text/plain", "not found\n".to_string())
+    };
+    write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
 }
 
 fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
@@ -390,6 +535,7 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
         match conn {
             Ok(stream) => {
                 shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections.add(1);
                 let sh = Arc::clone(&shared);
                 if let Ok(h) = std::thread::Builder::new()
                     .name("xbfs-conn".into())
@@ -499,6 +645,7 @@ fn dispatch_line(
         Ok(r) => r,
         Err(e) => {
             shared.stats.bad_lines.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.bad_lines.add(1);
             reply(writer, protocol::error_line(0, "usage", &e));
             return;
         }
@@ -540,6 +687,10 @@ fn dispatch_line(
             reply(writer, protocol::shutdown_line(id));
             shared.begin_drain();
         }
+        Request::Metrics { id } => {
+            let snap = shared.metrics_snapshot();
+            reply(writer, protocol::metrics_line(id, &snap.to_json()));
+        }
         Request::Bfs(bfs) => {
             let id = bfs.id;
             // Idempotent replay: an id we already completed is answered
@@ -549,6 +700,7 @@ fn dispatch_line(
             if bfs.chaos.is_none() {
                 if let Some(cached) = shared.dedup.lookup(id, bfs.source) {
                     shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.deduped.add(1);
                     shared.rec.event(
                         None,
                         names::event::DEDUP_HIT,
@@ -561,6 +713,7 @@ fn dispatch_line(
                 }
             }
             if shared.is_draining() {
+                shared.metrics.rejected_draining.add(1);
                 reply(
                     writer,
                     protocol::overloaded_line(id, "draining", shared.cfg.retry_after_ms),
@@ -568,6 +721,13 @@ fn dispatch_line(
                 return;
             }
             if let Err(retry_ms) = shared.breaker.admit() {
+                shared.metrics.shed_breaker.add(1);
+                shared.metrics.retry_after_ms.set(retry_ms as f64);
+                shared.metrics.flight.note(
+                    shared.metrics.flight.control_lane(),
+                    "shed.breaker",
+                    format!("id={id} retry_after_ms={retry_ms}"),
+                );
                 reply(
                     writer,
                     protocol::overloaded_line(id, "breaker-open", retry_ms),
@@ -582,6 +742,8 @@ fn dispatch_line(
             match shared.queue.submit(job) {
                 Admission::Accepted { .. } => {
                     *pending += 1;
+                    shared.metrics.admitted.add(1);
+                    shared.metrics.queue_depth.set(shared.queue.depth() as f64);
                     shared.rec.counter(
                         names::metric::QUEUE_DEPTH,
                         0,
@@ -590,6 +752,13 @@ fn dispatch_line(
                     );
                 }
                 Admission::Shed { retry_after_ms } => {
+                    shared.metrics.shed_queue.add(1);
+                    shared.metrics.retry_after_ms.set(retry_after_ms as f64);
+                    shared.metrics.flight.note(
+                        shared.metrics.flight.control_lane(),
+                        "shed.queue",
+                        format!("id={id} retry_after_ms={retry_after_ms}"),
+                    );
                     shared.rec.event(
                         None,
                         names::event::SHED,
@@ -603,6 +772,7 @@ fn dispatch_line(
                     );
                 }
                 Admission::Draining => {
+                    shared.metrics.rejected_draining.add(1);
                     reply(
                         writer,
                         protocol::overloaded_line(id, "draining", shared.cfg.retry_after_ms),

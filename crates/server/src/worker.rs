@@ -35,12 +35,11 @@ use std::time::Instant;
 use gcd_sim::Device;
 use xbfs_core::{BitflipPlan, Sabotage, Xbfs, XbfsError};
 use xbfs_graph::Csr;
-use xbfs_multi_gcd::{
-    ClusterConfig, ClusterError, FaultConfig, FaultPlan, GcdCluster, LinkModel,
-};
+use xbfs_multi_gcd::{ClusterConfig, ClusterError, FaultConfig, FaultPlan, GcdCluster, LinkModel};
 use xbfs_telemetry::{names, AttrValue};
 
 use crate::chaos::ChaosAction;
+use crate::metrics::{WORKER_IDLE, WORKER_QUARANTINED, WORKER_RUNNING};
 use crate::protocol::{self, BfsRequest};
 use crate::server::Shared;
 
@@ -127,8 +126,18 @@ fn serve_one<'g>(
     rec.span_attr(span, "ticket", AttrValue::U64(ticket));
     rec.span_attr(span, "source", AttrValue::U64(u64::from(job.req.source)));
     rec.counter(names::metric::WAIT_MS, worker_idx, now, wait_ms);
+    let m = &shared.metrics;
+    if let Some(w) = m.workers.get(worker_idx) {
+        w.state.set(WORKER_RUNNING);
+    }
+    m.queue_wait_ms.record(wait_ms);
+    m.flight.note(
+        worker_idx,
+        "request.start",
+        format!("id={id} source={} wait_ms={wait_ms:.1}", job.req.source),
+    );
 
-    let outcome = execute(shared, graph, engine, ticket, &job, wait_ms);
+    let outcome = execute(shared, graph, engine, ticket, &job, wait_ms, worker_idx);
     rec.span_attr(span, "status", AttrValue::Str(outcome.status.into()));
     rec.span_attr(
         span,
@@ -136,6 +145,29 @@ fn serve_one<'g>(
         AttrValue::U64(u64::from(outcome.attempts)),
     );
     rec.end_span(span, shared.now_us());
+
+    let total_ms = job.enqueued.elapsed().as_secs_f64() * 1000.0;
+    m.finish_request(worker_idx, outcome.status, total_ms);
+    if let Some(d) = job.req.deadline_ms.or(shared.cfg.default_deadline_ms) {
+        m.deadline_headroom_ms.record((d - total_ms).max(0.0));
+    }
+    // The device's pool totals only move while this worker runs, so
+    // sampling once per request keeps the series current without
+    // touching the hot path inside the run.
+    if let Some(Engine::Single(eng)) = engine.as_ref() {
+        m.sample_pool(worker_idx, eng.device().pool_gauges());
+    }
+    m.flight.note(
+        worker_idx,
+        "request.finish",
+        format!(
+            "id={id} status={} attempts={} total_ms={total_ms:.1}",
+            outcome.status, outcome.attempts
+        ),
+    );
+    if let Some(w) = m.workers.get(worker_idx) {
+        w.state.set(WORKER_IDLE);
+    }
     // Completed requests become idempotent: a replay of this id is
     // answered from cache instead of re-executing. Chaos-carrying
     // requests are never cached (soaks must exercise the real path).
@@ -156,10 +188,7 @@ enum Step {
     /// Terminal: answer the client with this outcome.
     Finish(Outcome),
     /// Quarantine the engine and replay (injection stripped).
-    Retry {
-        kind: &'static str,
-        msg: String,
-    },
+    Retry { kind: &'static str, msg: String },
 }
 
 /// Everything one attempt needs, bundled so the per-backend runners stay
@@ -173,6 +202,7 @@ struct Attempt<'a> {
     run_budget_ms: Option<f64>,
     wait_ms: f64,
     attempt: u32,
+    worker: usize,
 }
 
 fn execute<'g>(
@@ -182,6 +212,7 @@ fn execute<'g>(
     ticket: u64,
     job: &Job,
     wait_ms: f64,
+    worker: usize,
 ) -> Outcome {
     let id = job.req.id;
     let stats = &shared.stats;
@@ -226,12 +257,8 @@ fn execute<'g>(
     // Backend-specific injections: rank crashes need a partitioned
     // cluster to kill a rank of; bitflips target the single-device pool.
     let mismatch = match (chaos, shared.cfg.cluster) {
-        (ChaosAction::Crash { .. }, None) => {
-            Some("crash chaos requires a --cluster server")
-        }
-        (ChaosAction::Bitflip, Some(_)) => {
-            Some("bitflip chaos requires a single-device server")
-        }
+        (ChaosAction::Crash { .. }, None) => Some("crash chaos requires a --cluster server"),
+        (ChaosAction::Bitflip, Some(_)) => Some("bitflip chaos requires a single-device server"),
         _ => None,
     };
     if let Some(why) = mismatch {
@@ -285,6 +312,7 @@ fn execute<'g>(
             run_budget_ms,
             wait_ms,
             attempt,
+            worker,
         };
         let step = match engine.as_mut().expect("just built") {
             Engine::Single(eng) => ctx.run_single(eng, flip_plan.as_ref()),
@@ -301,10 +329,10 @@ fn execute<'g>(
         match step {
             Step::Finish(outcome) => return outcome,
             Step::Retry { kind, msg } => {
-                quarantine(shared, engine, kind, ticket);
+                quarantine(shared, engine, kind, ticket, worker);
                 attempt += 1;
                 if attempt >= max_attempts {
-                    return give_up(shared, id, attempt, kind, &msg);
+                    return give_up(shared, id, attempt, kind, &msg, worker);
                 }
             }
         }
@@ -374,7 +402,7 @@ impl Attempt<'_> {
             }
             Err(payload) => Step::Retry {
                 kind: "panic",
-                msg: self.note_panic(&payload),
+                msg: self.note_panic(payload.as_ref()),
             },
         }
     }
@@ -439,6 +467,15 @@ impl Attempt<'_> {
                         };
                     }
                 }
+                // Per-level modeled-time split: how much of this run went
+                // to expanding frontiers vs exchanging them across links.
+                let (mut expand_us, mut exchange_us) = (0.0f64, 0.0f64);
+                for ls in &run.level_stats {
+                    expand_us += ls.expand_ms * 1000.0;
+                    exchange_us += ls.exchange_ms * 1000.0;
+                }
+                shared.metrics.cluster_expand_us.add(expand_us as u64);
+                shared.metrics.cluster_exchange_us.add(exchange_us as u64);
                 let recoveries = run.recoveries.len() as u64;
                 if recoveries > 0 {
                     shared.rec.event(
@@ -475,9 +512,7 @@ impl Attempt<'_> {
                 deadline_us,
                 ..
             })) => Step::Finish(self.timeout(elapsed_us, deadline_us)),
-            Ok(Err(
-                e @ (ClusterError::Unrecoverable { .. } | ClusterError::LinkFailed { .. }),
-            )) => {
+            Ok(Err(e @ (ClusterError::Unrecoverable { .. } | ClusterError::LinkFailed { .. }))) => {
                 // Checkpoint/restart could not save this run — the whole
                 // cluster engine is suspect. Quarantine it and replay the
                 // victim request on a rebuilt cluster.
@@ -496,7 +531,7 @@ impl Attempt<'_> {
             }
             Err(payload) => Step::Retry {
                 kind: "panic",
-                msg: self.note_panic(&payload),
+                msg: self.note_panic(payload.as_ref()),
             },
         }
     }
@@ -516,7 +551,9 @@ impl Attempt<'_> {
         }
     }
 
-    /// Count + record a contained panic, returning its message.
+    /// Count + record a contained panic, returning its message. Dumps
+    /// the flight recorder: a panic is exactly the moment the recent
+    /// per-worker event rings earn their keep.
     fn note_panic(&self, payload: &(dyn std::any::Any + Send)) -> String {
         let msg = panic_message(payload);
         let shared = self.shared;
@@ -524,6 +561,15 @@ impl Attempt<'_> {
             .stats
             .panics_recovered
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(w) = shared.metrics.workers.get(self.worker) {
+            w.panics.add(1);
+        }
+        shared.metrics.flight.note(
+            self.worker,
+            "panic",
+            format!("ticket={} {msg}", self.ticket),
+        );
+        shared.metrics.dump_flight("worker-panic");
         shared.rec.event(
             None,
             names::event::PANIC_RECOVERED,
@@ -538,8 +584,25 @@ impl Attempt<'_> {
     }
 }
 
-fn quarantine(shared: &Shared, engine: &mut Option<Engine<'_>>, why: &str, ticket: u64) {
+fn quarantine(
+    shared: &Shared,
+    engine: &mut Option<Engine<'_>>,
+    why: &str,
+    ticket: u64,
+    worker: usize,
+) {
+    let m = &shared.metrics;
+    if let Some(w) = m.workers.get(worker) {
+        w.state.set(WORKER_QUARANTINED);
+        w.rebuilds.add(1);
+    }
+    m.flight
+        .note(worker, "quarantine", format!("ticket={ticket} why={why}"));
+    m.dump_flight(&format!("quarantine-{why}"));
     discard(engine);
+    if let Some(w) = m.workers.get(worker) {
+        w.state.set(WORKER_RUNNING); // rebuilding + replaying next
+    }
     shared.stats.rebuilds.fetch_add(1, Ordering::Relaxed);
     shared.rec.event(
         None,
@@ -553,13 +616,26 @@ fn quarantine(shared: &Shared, engine: &mut Option<Engine<'_>>, why: &str, ticke
     );
 }
 
-fn give_up(shared: &Shared, id: u64, attempts: u32, kind: &str, msg: &str) -> Outcome {
+fn give_up(
+    shared: &Shared,
+    id: u64,
+    attempts: u32,
+    kind: &str,
+    msg: &str,
+    worker: usize,
+) -> Outcome {
     shared.stats.errors.fetch_add(1, Ordering::Relaxed);
     if shared.breaker.record_failure() {
         shared
             .stats
             .breaker_trips_seen
             .fetch_add(1, Ordering::Relaxed);
+        shared.metrics.flight.note(
+            worker,
+            "breaker.trip",
+            format!("id={id} kind={kind} after {attempts} attempts"),
+        );
+        shared.metrics.dump_flight("breaker-open");
         shared.rec.event(
             None,
             names::event::BREAKER_TRIP,

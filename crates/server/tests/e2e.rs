@@ -294,7 +294,11 @@ fn cluster_recovers_rank_crash_within_request_and_digest_matches_single_device()
     // single-device run.
     let r = c.bfs(1, 42, ",\"chaos\":\"crash@1:rank1\",\"deadline_ms\":60000");
     assert_eq!(r.status, "ok", "{r:?}");
-    assert_eq!(r.attempts, Some(1), "recovered within the request, not replayed");
+    assert_eq!(
+        r.attempts,
+        Some(1),
+        "recovered within the request, not replayed"
+    );
     assert!(
         r.recoveries.unwrap_or(0) >= 1,
         "a mid-request checkpoint restore must be reported: {r:?}"
@@ -318,7 +322,11 @@ fn cluster_recovers_rank_crash_within_request_and_digest_matches_single_device()
     let report = handle.join();
     assert!(report.drain_clean, "{report:?}");
     assert_eq!(report.cluster, 4);
-    assert_eq!(report.rank_health.len(), 4, "per-rank health for all 4 GCDs");
+    assert_eq!(
+        report.rank_health.len(),
+        4,
+        "per-rank health for all 4 GCDs"
+    );
     assert_eq!(report.rank_health[1].crashes, 1, "{:?}", report.rank_health);
     let restores: u64 = report
         .rank_health
@@ -400,7 +408,10 @@ fn loadgen_retries_shed_requests_until_they_land() {
     .expect("loadgen runs");
 
     assert_eq!(report.lost, 0, "{report:?}");
-    assert!(report.retried_ok >= 1, "retries must rescue sheds: {report:?}");
+    assert!(
+        report.retried_ok >= 1,
+        "retries must rescue sheds: {report:?}"
+    );
     assert!(report.retries_sent >= report.retried_ok);
     assert!(report.digests_consistent, "{report:?}");
     assert_eq!(
@@ -452,7 +463,10 @@ fn chaos_soak_on_cluster_loses_nothing_and_recovers_ranks() {
     // reference bit for bit.
     let mut c = Client::connect(handle.addr());
     let r = c.bfs(1_000_000, 0, "");
-    assert_eq!(r.digest.as_deref(), Some(reference_levels_digest(&g, 0).as_str()));
+    assert_eq!(
+        r.digest.as_deref(),
+        Some(reference_levels_digest(&g, 0).as_str())
+    );
 
     handle.initiate_drain();
     let sreport = handle.join();

@@ -46,13 +46,19 @@
 //! ```
 
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod registry;
 pub mod span;
 
 pub use export::{TraceFormat, TraceSink};
+pub use flight::{FlightEvent, FlightRecorder};
 pub use json::JsonValue;
-pub use metrics::{Counter, Gauge, Histogram};
+pub use metrics::{Counter, Gauge, Histogram, MetricUnit};
+pub use registry::{
+    HistogramSnapshot, LogHistogram, MetricsRegistry, MetricsSnapshot, SeriesSnapshot, SeriesValue,
+};
 pub use span::{AttrValue, CounterRecord, EventRecord, Recorder, SpanId, SpanRecord, Trace};
 
 /// Canonical span, event and metric names — the trace vocabulary shared by
@@ -155,5 +161,80 @@ pub mod names {
         pub const QUEUE_DEPTH: &str = "serve.queue_depth";
         /// Per-request queue wait, wall ms.
         pub const WAIT_MS: &str = "serve.wait_ms";
+    }
+
+    /// Canonical series names of the live metrics plane (the always-on
+    /// [`crate::MetricsRegistry`] scraped via `--metrics-addr` and the
+    /// `metrics` protocol op). Naming scheme: `<stage>.<what>[_total]`
+    /// — dotted stages (`serve`, `worker`, `breaker`, `pool`,
+    /// `cluster`), counters end in `_total`, gauges and histograms
+    /// don't; Prometheus exposition mangles dots to underscores and
+    /// prefixes `xbfs_`.
+    pub mod live {
+        /// Finished requests, labeled `status=ok|timeout|error`.
+        pub const REQUESTS_TOTAL: &str = "serve.requests_total";
+        /// Requests accepted into the admission queue.
+        pub const ADMITTED_TOTAL: &str = "serve.admitted_total";
+        /// Requests shed by admission control (queue full or breaker
+        /// open), labeled `reason=queue|breaker`.
+        pub const SHED_TOTAL: &str = "serve.shed_total";
+        /// Requests rejected because the server was draining.
+        pub const REJECTED_DRAINING_TOTAL: &str = "serve.rejected_draining_total";
+        /// Replayed ids answered from the idempotency cache.
+        pub const DEDUPED_TOTAL: &str = "serve.deduped_total";
+        /// Unparseable protocol lines.
+        pub const BAD_LINES_TOTAL: &str = "serve.bad_lines_total";
+        /// Accepted TCP connections.
+        pub const CONNECTIONS_TOTAL: &str = "serve.connections_total";
+        /// Current admission-queue depth (gauge).
+        pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+        /// Last retry_after_ms hint sent to a shed client (gauge).
+        pub const RETRY_AFTER_MS: &str = "serve.retry_after_ms";
+        /// Queue-wait distribution, wall ms (histogram).
+        pub const QUEUE_WAIT_MS: &str = "serve.queue_wait_ms";
+        /// End-to-end request latency, wall ms (histogram), labeled
+        /// `status=ok|timeout|error`.
+        pub const REQUEST_LATENCY_MS: &str = "serve.request_latency_ms";
+        /// Deadline headroom left at completion, wall ms (histogram).
+        pub const DEADLINE_HEADROOM_MS: &str = "serve.deadline_headroom_ms";
+        /// Per-worker state gauge: 0=idle, 1=running, 2=quarantined;
+        /// labeled `worker=<i>`.
+        pub const WORKER_STATE: &str = "worker.state";
+        /// Requests finished per worker, labeled `worker=<i>`.
+        pub const WORKER_REQUESTS_TOTAL: &str = "worker.requests_total";
+        /// Engine rebuilds after quarantine, labeled `worker=<i>`.
+        pub const WORKER_REBUILDS_TOTAL: &str = "worker.rebuilds_total";
+        /// Contained worker panics, labeled `worker=<i>`.
+        pub const WORKER_PANICS_TOTAL: &str = "worker.panics_total";
+        /// Breaker state gauge: 0=closed, 1=half-open, 2=open.
+        pub const BREAKER_STATE: &str = "breaker.state";
+        /// Breaker state transitions (any direction).
+        pub const BREAKER_TRANSITIONS_TOTAL: &str = "breaker.transitions_total";
+        /// Breaker trips to open.
+        pub const BREAKER_TRIPS_TOTAL: &str = "breaker.trips_total";
+        /// Flight-recorder dumps written.
+        pub const FLIGHT_DUMPS_TOTAL: &str = "serve.flight_dumps_total";
+        /// Device pool cache hits, labeled `worker=<i>`.
+        pub const POOL_HITS_TOTAL: &str = "pool.hits_total";
+        /// Device pool cache misses, labeled `worker=<i>`.
+        pub const POOL_MISSES_TOTAL: &str = "pool.misses_total";
+        /// Bytes currently parked in the device pool (gauge), labeled
+        /// `worker=<i>`.
+        pub const POOL_BYTES: &str = "pool.bytes";
+        /// Pool pressure events (cap trims/bypasses), labeled
+        /// `worker=<i>`.
+        pub const POOL_PRESSURE_TOTAL: &str = "pool.pressure_events_total";
+        /// Cluster rank crashes recovered, labeled `rank=<r>`.
+        pub const RANK_CRASHES_TOTAL: &str = "cluster.rank_crashes_total";
+        /// Checkpoint restores performed, labeled `rank=<r>`.
+        pub const RANK_RESTORES_TOTAL: &str = "cluster.rank_restores_total";
+        /// Bytes retransmitted by the retry layer, labeled `rank=<r>`.
+        pub const RANK_RETRANSMITTED_BYTES_TOTAL: &str = "cluster.rank_retransmitted_bytes_total";
+        /// Modeled time spent expanding frontiers across cluster
+        /// requests, µs.
+        pub const CLUSTER_EXPAND_US_TOTAL: &str = "cluster.expand_us_total";
+        /// Modeled time spent exchanging frontiers/collectives across
+        /// cluster requests, µs.
+        pub const CLUSTER_EXCHANGE_US_TOTAL: &str = "cluster.exchange_us_total";
     }
 }

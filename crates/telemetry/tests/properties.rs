@@ -1,7 +1,9 @@
-//! Property tests for span nesting/ordering and histogram percentiles.
+//! Property tests for span nesting/ordering and histogram percentiles —
+//! both the exact sample-retaining [`Histogram`] and the live plane's
+//! bucketed [`LogHistogram`].
 
 use proptest::prelude::*;
-use xbfs_telemetry::{AttrValue, Histogram, Recorder};
+use xbfs_telemetry::{AttrValue, Histogram, LogHistogram, Recorder};
 
 /// A random well-nested span program: at each step either open a child of
 /// the current span, close the current span, or emit an event/counter.
@@ -103,5 +105,72 @@ proptest! {
             h.record(v);
         }
         prop_assert_eq!(h.percentile(pq as f64 / 100.0).unwrap(), v);
+    }
+
+    /// Log-linear bucket percentiles bracket the exact nearest-rank
+    /// percentile of the recorded stream, and the bracket is never wider
+    /// than one bucket (≤ 12.5% relative width in the resolved range).
+    #[test]
+    fn log_histogram_percentile_bounds_bracket_exact(
+        raw in proptest::collection::vec(1u64..20_000_000, 1..300),
+        pq in 0u32..10_001,
+    ) {
+        // Spread samples over ~9 orders of magnitude: 1e-4 .. 2e4.
+        let mut samples: Vec<f64> = raw.iter().map(|&v| v as f64 / 1e3 / 1e1).collect();
+        let q = pq as f64 / 100.0; // 0.00..=100.00
+        let h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = samples.len();
+        // Exact nearest-rank percentile of the stream.
+        let rank = ((q / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        let exact = samples[rank - 1];
+
+        let (lo, hi) = snap.percentile_bounds(q).unwrap();
+        prop_assert!(lo <= exact && exact < hi,
+                     "p{}: exact {} outside bucket [{}, {})", q, exact, lo, hi);
+        // Bucket error bound: width ≤ lo/8 once past the underflow bucket.
+        if lo > 0.0 && hi.is_finite() {
+            prop_assert!(hi - lo <= lo / 8.0 + 1e-12,
+                         "bucket [{}, {}) wider than 12.5%", lo, hi);
+        }
+        // The displayed quantile is within one bucket of exact too.
+        let shown = snap.quantile(q).unwrap();
+        prop_assert!(shown >= exact && shown <= exact * (1.0 + 1.0 / 8.0) + 1e-12);
+    }
+
+    /// Merging snapshots is exactly concatenation: recording one stream
+    /// split across two histograms and merging their snapshots yields
+    /// the snapshot of the whole stream (counts, sum, and therefore
+    /// every percentile).
+    #[test]
+    fn log_histogram_merge_equals_concatenated_stream(
+        raw in proptest::collection::vec(0u64..2_000_000_000, 0..300),
+        split in 0u32..=100,
+    ) {
+        let samples: Vec<f64> = raw.iter().map(|&v| v as f64 / 1e4).collect();
+        let cut = samples.len() * split as usize / 100;
+        let (left, right) = samples.split_at(cut);
+
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let whole = LogHistogram::new();
+        for &s in left {
+            a.record(s);
+        }
+        for &s in right {
+            b.record(s);
+        }
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        prop_assert_eq!(merged, whole.snapshot());
     }
 }

@@ -30,8 +30,9 @@ grep -q '"gteps"' "$SMOKE/BENCH_pr2.json"
 "$XBFS" cluster "$SMOKE/g.bin" --gcds 4 --inject-faults crash@1:rank1 \
   --checkpoint-every 1 --trace json:- > "$SMOKE/cluster_trace.json"
 "$XBFS" trace summarize "$SMOKE/cluster_trace.json" | grep -q '1 recoveries'
-cp "$SMOKE/BENCH_pr2.json" BENCH_pr2.json
-echo "    wrote BENCH_pr2.json"
+mkdir -p results
+cp "$SMOKE/BENCH_pr2.json" results/BENCH_pr2.json
+echo "    wrote results/BENCH_pr2.json"
 
 echo "==> sweep smoke (pooled multi-source throughput)"
 "$XBFS" generate --out "$SMOKE/sweep.bin" --scale 11 --seed 11
@@ -170,5 +171,79 @@ printf '{"schema":"xbfs-bench-pr6-v1","certified_sweep_speedup":%s,"loadgen":%s,
   "$CERT_SPEEDUP" "$(cat "$SMOKE/cluster_loadgen.json")" \
   "$(cat "$SMOKE/cluster_serve_report.json")" > results/BENCH_pr6.json
 echo "    wrote results/BENCH_pr6.json (restores=$RESTORES)"
+
+echo "==> metrics smoke (mid-load scrape, flight recorder, scrape-overhead + perf gates)"
+"$XBFS" generate --out "$SMOKE/metrics.bin" --scale 12 --seed 8
+PORT=$((20000 + RANDOM % 20000))
+MPORT=$((40000 + RANDOM % 20000))
+"$XBFS" serve "$SMOKE/metrics.bin" --addr "127.0.0.1:$PORT" --workers 2 \
+  --allow-chaos --metrics-addr "127.0.0.1:$MPORT" --flight-dir "$SMOKE/flight" \
+  --json "$SMOKE/metrics_serve_report.json" > "$SMOKE/metrics_serve.out" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/$MPORT") 2>/dev/null; then break; fi
+  sleep 0.1
+done
+scrape() { # GET $1 from the metrics listener; response (headers+body) on stdout
+  exec 3<>"/dev/tcp/127.0.0.1/$MPORT"
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+  cat <&3
+  exec 3<&-
+}
+series_sum() { # sum every sample of series $1 in scrape file $2
+  awk -v s="$1" 'index($1, s) == 1 { t += $2 } END { print t + 0 }' "$2"
+}
+# Load in the background — every 9th request panics its worker (contained,
+# replayed, and flight-dumped) — and scrape twice while it runs.
+"$XBFS" loadgen --addr "127.0.0.1:$PORT" --requests 240 --rps 300 \
+  --connections 4 --sources 8 --retries 8 --chaos "panic:9" \
+  --progress-every-ms 200 --json "$SMOKE/metrics_loadgen.json" \
+  > "$SMOKE/metrics_loadgen.out" &
+LOAD_PID=$!
+sleep 0.4
+scrape /metrics > "$SMOKE/scrape1.txt"
+sleep 0.4
+scrape /metrics > "$SMOKE/scrape2.txt"
+grep -q '# TYPE xbfs_serve_requests_total counter' "$SMOKE/scrape2.txt"
+grep -q '^xbfs_serve_shed_total' "$SMOKE/scrape2.txt"
+grep -q '^xbfs_serve_queue_depth' "$SMOKE/scrape2.txt"
+grep -q '^xbfs_serve_request_latency_ms_bucket' "$SMOKE/scrape2.txt"
+scrape /metrics.json | grep -q '"format":"xbfs-metrics-v1"'
+# key counters are monotone across scrapes taken under live load
+for SERIES in xbfs_serve_requests_total xbfs_serve_admitted_total; do
+  A=$(series_sum "$SERIES" "$SMOKE/scrape1.txt")
+  B=$(series_sum "$SERIES" "$SMOKE/scrape2.txt")
+  awk -v a="$A" -v b="$B" 'BEGIN { exit !(b >= a) }' \
+    || { echo "$SERIES went backwards across scrapes ($A -> $B)" >&2; exit 1; }
+done
+wait "$LOAD_PID"
+# scrape cost, measured against the live (now idle) server
+T0=$(date +%s%N)
+for _ in $(seq 1 20); do scrape /metrics.json > /dev/null; done
+T1=$(date +%s%N)
+SCRAPE_MS=$(awk -v ns="$((T1 - T0))" 'BEGIN { printf "%.3f", ns / 20 / 1e6 }')
+"$XBFS" loadgen --addr "127.0.0.1:$PORT" --requests 4 --rps 100 \
+  --shutdown > /dev/null 2>&1
+wait "$SERVE_PID"
+grep -q '"lost":0,' "$SMOKE/metrics_loadgen.json"
+grep -q '"drain_clean":true' "$SMOKE/metrics_serve_report.json"
+# the forced panics left flight-recorder dumps, referenced by the report
+grep -q '"flight_dumps":\["' "$SMOKE/metrics_serve_report.json"
+DUMP=$(ls "$SMOKE"/flight/xbfs-flight-*.log | head -1)
+grep -q 'reason: worker-panic' "$DUMP"
+grep -q 'request.start' "$DUMP"
+echo "    flight dumps: $(ls "$SMOKE"/flight | wc -l), scrape overhead ${SCRAPE_MS} ms"
+
+echo "==> metrics overhead gate (always-on registry, unscraped: certified sweep >= 98% of PR 6)"
+CERT6=$(grep -o '"certified_sweep_speedup":[0-9.]*' results/BENCH_pr6.json | grep -o '[0-9.]*$')
+"$XBFS" sweep "$SMOKE/corrupt.bin" --sources 32 --verify --json "$SMOKE/cert7.json" > /dev/null
+CERT7=$(grep -o '"speedup": [0-9.]*' "$SMOKE/cert7.json" | grep -o '[0-9.]*$')
+echo "    certified sweep speedup with live metrics plane: ${CERT7}x (PR 6 baseline ${CERT6}x)"
+awk -v a="$CERT7" -v b="$CERT6" 'BEGIN { exit !(a >= 0.98 * b) }' \
+  || { echo "metrics plane regressed certified sweep by > 2%" >&2; exit 1; }
+printf '{"schema":"xbfs-bench-pr7-v1","certified_sweep_speedup":%s,"baseline_pr6_speedup":%s,"scrape_overhead_ms":%s,"loadgen":%s,"serve":%s}\n' \
+  "$CERT7" "$CERT6" "$SCRAPE_MS" "$(cat "$SMOKE/metrics_loadgen.json")" \
+  "$(cat "$SMOKE/metrics_serve_report.json")" > results/BENCH_pr7.json
+echo "    wrote results/BENCH_pr7.json"
 
 echo "CI gate passed."
