@@ -149,6 +149,8 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "metrics-addr",
             "flight-dir",
             "flight-ring",
+            "batch-width",
+            "batch-window-ms",
             "json",
             "trace",
         ],
@@ -195,6 +197,7 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "max-pool-bytes",
             "deadline-factor",
             "retries",
+            "multi-source",
             "trace",
         ],
         _ => return None,
@@ -278,7 +281,8 @@ COMMANDS
   compare   FILE [--source N]       XBFS vs every baseline engine
   sweep     FILE [--sources N] [--threads T] [--seed N] [--alpha F] [--json FILE]
             [--verify] [--inject-bitflips SPEC] [--max-pool-bytes B]
-            [--deadline-factor F] [--retries N] [--trace FMT:PATH]
+            [--deadline-factor F] [--retries N] [--multi-source]
+            [--trace FMT:PATH]
             batched multi-source sweep: one pooled engine per OS thread runs
             N sources back-to-back, then the same sources are re-run with a
             per-source in-process rebuild (the bit-identity reference);
@@ -292,13 +296,19 @@ COMMANDS
             modeled time are flagged, and a health section lands in the
             report and JSON. --inject-bitflips (implies --verify) corrupts
             device state per run; --max-pool-bytes caps parked pool memory
-            with LRU trimming (pressure events counted in health)
+            with LRU trimming (pressure events counted in health).
+            --multi-source adds a third pass: one persistent 64-wide
+            bit-parallel engine sweeps the same sources in batches of up
+            to 64, every slot checked bit-for-bit (levels digest) against
+            the rebuild reference; its throughput and speedup vs the
+            pooled single-source pass land in the report and JSON
   serve     FILE [--addr HOST:PORT] [--workers N] [--queue-cap N]
             [--retry-after-ms MS] [--verify] [--allow-chaos] [--max-retries N]
             [--breaker-threshold N] [--breaker-cooldown-ms MS]
             [--deadline-ms MS] [--cluster N] [--checkpoint-every N]
             [--alpha F] [--metrics-addr HOST:PORT] [--flight-dir DIR]
-            [--flight-ring N] [--json FILE] [--trace FMT:PATH]
+            [--flight-ring N] [--batch-width W] [--batch-window-ms MS]
+            [--json FILE] [--trace FMT:PATH]
             long-running BFS daemon: loads the graph once, keeps one warm
             pooled engine per worker, and serves `xbfs-serve-v1` (JSON
             lines over TCP). A bounded admission queue sheds overload with
@@ -326,7 +336,18 @@ COMMANDS
             keeps the last --flight-ring events (default 64); on a
             worker panic, engine quarantine or breaker trip the ring is
             dumped to --flight-dir (default under the system temp dir)
-            and the dump paths land in the serve report
+            and the dump paths land in the serve report.
+            --batch-width W (default 1, max 64) coalesces up to W queued
+            requests per worker into one 64-wide bit-parallel wave on a
+            shared engine; --batch-window-ms (default 2) bounds how long
+            a partially filled batch lingers for company. Every batched
+            response carries the same timing-independent levels digest a
+            solo run would report, each member keeps its own deadline
+            (a batch member never times out because of coalescing — the
+            batch runs under the tightest member budget and splits back
+            to solo runs on expiry), and a panic or failed certificate
+            quarantines the batch engine and replays members one by one
+            on a rebuilt engine. Does not compose with --cluster
   loadgen   --addr HOST:PORT [--requests N] [--rps F] [--connections N]
             [--sources N] [--seed N] [--deadline-ms MS] [--verify]
             [--chaos SPEC] [--retries N] [--shutdown] [--max-shed-pct F]
@@ -1143,6 +1164,7 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         return Err(CliError::usage("--deadline-factor must be >= 1"));
     }
     let retries = args.get::<u32>("retries", 2)?;
+    let multi_source = args.flag("multi-source");
     let max_pool_bytes = match args.options.get("max-pool-bytes") {
         Some(v) => Some(
             v.parse::<u64>()
@@ -1210,6 +1232,7 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     // pays process spawn + graph load per run (CI measures that baseline).
     let t1 = std::time::Instant::now();
     let mut rebuilt: Vec<SweepRec> = Vec::with_capacity(n);
+    let mut ref_levels: Vec<u64> = Vec::with_capacity(n);
     for &s in &sources {
         let dev = mk_device(args, cfg.required_streams())?;
         let xbfs = Xbfs::new(dev, &g, cfg)?;
@@ -1221,6 +1244,7 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         } else {
             xbfs.run(s)?
         };
+        ref_levels.push(run.result_digest());
         rebuilt.push(SweepRec {
             ms: run.total_ms,
             edges: run.traversed_edges,
@@ -1248,6 +1272,67 @@ fn sweep(args: &Args) -> Result<String, CliError> {
     let rebuilt_rps = n as f64 / rebuilt_wall.max(1e-9);
     let speedup = pooled_rps / rebuilt_rps.max(1e-9);
 
+    // Multi-source pass (--multi-source): one persistent 64-wide
+    // bit-parallel engine sweeps the whole source set in
+    // <= MAX_CONCURRENT-wide batches. Every slot's levels digest must
+    // match the per-run rebuild reference above bit-for-bit.
+    let mut multi_txt = String::new();
+    let mut multi_json = String::new();
+    if multi_source {
+        let dev = mk_device(args, cfg.required_streams())?;
+        let eng = xbfs_core::MsBfs::new(dev, &g)?;
+        let t2 = std::time::Instant::now();
+        let mut ms_model_ms = 0.0f64;
+        let mut ms_edges = 0u64;
+        let mut batches = 0usize;
+        let mut slot_digests: Vec<u64> = Vec::with_capacity(n);
+        for part in sources.chunks(xbfs_core::MAX_CONCURRENT) {
+            let (run, _certs) = eng.run_governed(part, None, verify).map_err(|e| {
+                let code = match e {
+                    XbfsError::Integrity(_) => exit_code::INTEGRITY,
+                    _ => exit_code::GENERIC,
+                };
+                CliError::new(format!("multi-source sweep: {e}"), code)
+            })?;
+            ms_model_ms += run.total_ms;
+            ms_edges += run.traversed_edges;
+            batches += 1;
+            for slot in 0..run.width() {
+                slot_digests.push(run.result_digest(slot));
+            }
+        }
+        let ms_wall = t2.elapsed().as_secs_f64();
+        if let Some(bad) = (0..n).find(|&i| slot_digests[i] != ref_levels[i]) {
+            return Err(CliError::new(
+                format!(
+                    "multi-source sweep diverged from per-run rebuild at source {} \
+                     (levels digest {:#018x} vs {:#018x})",
+                    sources[bad], slot_digests[bad], ref_levels[bad]
+                ),
+                exit_code::VALIDATION,
+            ));
+        }
+        let ms_ck = slot_digests.iter().fold(0u64, |a, d| a ^ d);
+        let ms_gteps = ms_edges as f64 / (ms_model_ms * 1e-3).max(1e-12) / 1e9;
+        let ms_rps = n as f64 / ms_wall.max(1e-9);
+        let ms_speedup = ms_rps / pooled_rps.max(1e-9);
+        multi_txt = format!(
+            "multi-source:       {ms_rps:>9.1} runs/sec ({ms_wall:.3} s wall, \
+             {batches} batch(es) of <= {}, {ms_gteps:.2} GTEPS aggregate modeled)\n\
+             speedup vs pooled single-source: {ms_speedup:.2}x runs/sec; \
+             slot levels bit-identical to rebuild (checksum {ms_ck:#018x})\n",
+            xbfs_core::MAX_CONCURRENT,
+        );
+        multi_json = format!(
+            "\x20 \"multi_source\": {{\"wall_ms\": {:.3}, \"runs_per_sec\": {ms_rps:.3}, \
+             \"batches\": {batches}, \"width\": {}, \"aggregate_gteps\": {ms_gteps:.4}, \
+             \"speedup_vs_pooled\": {ms_speedup:.3}, \
+             \"checksum\": \"{ms_ck:#018x}\"}},\n",
+            ms_wall * 1000.0,
+            xbfs_core::MAX_CONCURRENT,
+        );
+    }
+
     let mut out = format!(
         "sweep: {n} sources on {threads} thread(s), |V| = {}, |E| = {}\n",
         g.num_vertices(),
@@ -1265,6 +1350,7 @@ fn sweep(args: &Args) -> Result<String, CliError> {
         "speedup vs in-process rebuild: {speedup:.2}x runs/sec; \
          results bit-identical (checksum {ck_pooled:#018x})\n"
     ));
+    out.push_str(&multi_txt);
     if verify {
         out.push_str(&format!(
             "supervisor: {}/{n} certified, {} SDC detected, {} quarantined, \
@@ -1304,6 +1390,7 @@ fn sweep(args: &Args) -> Result<String, CliError> {
              \"quarantined\": {}, \"reexecuted\": {}, \"corrected\": {}, \
              \"aborted\": {}, \"deadline_exceeded\": {}, \
              \"pool_pressure_events\": {}, \"engine_rebuilds\": {}}},\n\
+             {multi_json}\
              \x20 \"checksum\": \"{ck_pooled:#018x}\"\n\
              }}\n",
             g.num_vertices(),
@@ -1359,6 +1446,30 @@ fn serve(args: &Args) -> Result<String, CliError> {
         }
         None => None,
     };
+    // Batched serving: coalesce up to --batch-width admitted single-source
+    // requests into one 64-wide bit-parallel wave. Width is capped by the
+    // visited-mask word (MAX_CONCURRENT = 64); the cluster engine has its
+    // own scheduling and does not compose with coalescing.
+    let batch_width = args.get::<usize>("batch-width", 1)?;
+    if batch_width == 0 {
+        return Err(CliError::usage("--batch-width must be >= 1"));
+    }
+    if batch_width > xbfs_core::MAX_CONCURRENT {
+        return Err(CliError::usage(format!(
+            "--batch-width {batch_width} exceeds the {}-wide visited mask",
+            xbfs_core::MAX_CONCURRENT
+        )));
+    }
+    if batch_width > 1 && cluster.is_some() {
+        return Err(CliError::usage(
+            "--batch-width > 1 does not compose with --cluster \
+             (the multi-GCD engine schedules one source at a time)",
+        ));
+    }
+    let batch_window_ms = args.get::<f64>("batch-window-ms", 2.0)?;
+    if !batch_window_ms.is_finite() || batch_window_ms < 0.0 {
+        return Err(CliError::usage("--batch-window-ms must be >= 0"));
+    }
     let scfg = ServeConfig {
         addr: args.get("addr", "127.0.0.1:0".to_string())?,
         workers: args.get("workers", 2)?,
@@ -1375,6 +1486,8 @@ fn serve(args: &Args) -> Result<String, CliError> {
         metrics_addr: args.options.get("metrics-addr").cloned(),
         flight_dir: args.options.get("flight-dir").cloned(),
         flight_ring: args.get("flight-ring", 64)?,
+        batch_width,
+        batch_window_ms,
         ..ServeConfig::default()
     };
     let (workers, queue_cap) = (scfg.workers, scfg.queue_cap);
@@ -1415,6 +1528,10 @@ fn serve(args: &Args) -> Result<String, CliError> {
     // report) so scripts can scrape the bound port before sending load.
     let backend = match cluster {
         Some(n) => format!("{n}-GCD cluster engine per worker"),
+        None if batch_width > 1 => format!(
+            "{batch_width}-wide batch engine per worker, \
+             {batch_window_ms} ms linger"
+        ),
         None => "single-device engine per worker".into(),
     };
     eprintln!(
@@ -1465,6 +1582,13 @@ fn serve(args: &Args) -> Result<String, CliError> {
         out.push_str(&format!(
             "idempotent replays answered from cache: {}\n",
             report.deduped
+        ));
+    }
+    if report.batch_width > 1 {
+        out.push_str(&format!(
+            "batching: width {} — {} batch(es) served {} request(s), \
+             largest batch {}\n",
+            report.batch_width, report.batches, report.batched_requests, report.max_batch_size
         ));
     }
     if !report.flight_dumps.is_empty() {

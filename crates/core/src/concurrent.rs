@@ -1,146 +1,351 @@
-//! Concurrent multi-source BFS (iBFS-style).
+//! Concurrent multi-source BFS (iBFS-style), 64 sources wide.
 //!
 //! The paper's introduction cites the authors' iBFS work: many BFS
-//! instances — e.g. the 64 search keys of a Graph500 run, or an all-pairs
-//! sweep for betweenness centrality — can share one traversal. This module
-//! implements the bit-parallel formulation on the simulated GCD: each
-//! vertex carries a 32-bit *visited mask* (one bit per concurrent source),
-//! a frontier level expands the union frontier once, and newly discovered
-//! `(vertex, source)` pairs are the bits that survive
-//! `frontier_bits & !seen_bits`, propagated with `atomicOr`.
+//! instances — e.g. the 64 search keys of a Graph500 run, or a burst of
+//! distance queries from different users — can share one traversal. This
+//! module implements the bit-parallel formulation on the simulated GCD:
+//! each vertex carries a 64-bit *visited mask* (one bit per concurrent
+//! source, matching the CDNA wave width), a frontier level expands the
+//! union frontier once, and newly discovered `(vertex, source)` pairs are
+//! the bits that survive `frontier_bits & !seen_bits`, propagated with a
+//! 64-bit `atomicOr`.
 //!
 //! Sharing pays because hub vertices are touched once per *level* instead
 //! of once per *source* — the same locality argument as the paper's
 //! degree-aware re-arrangement, one level up.
+//!
+//! [`MsBfs`] is a pooled run-context in the mold of [`crate::Xbfs`]: the
+//! graph is uploaded once, every buffer comes from the device pool (so a
+//! rebuilt engine reacquires the same addresses), and between batches the
+//! engine does **O(1) epoch resets** instead of O(|V|) fills — the seen
+//! mask is gated by a per-vertex epoch stamp, and the per-slot level
+//! arrays use the same base-offset encoding as [`crate::BfsState`].
+//! [`MsBfs::run_governed`] adds the serving governors: a modeled-time
+//! deadline checked between levels and optional per-slot certification
+//! ([`crate::integrity::certify_ms_run`]).
+
+use std::borrow::Borrow;
 
 use crate::device_graph::DeviceGraph;
+use crate::error::XbfsError;
+use crate::integrity::{certify_ms_run, Certificate, IntegrityError};
 use crate::state::UNVISITED;
-use gcd_sim::{BufU32, Device, LaunchCfg, WaveCtx};
+use crate::stats::levels_digest;
+use gcd_sim::{BufU32, BufU64, Device, LaunchCfg, WaveCtx};
+use parking_lot::Mutex;
 use xbfs_graph::Csr;
 
-/// Maximum sources per batch (bits in the visited mask).
-pub const MAX_CONCURRENT: usize = 32;
+/// Maximum sources per batch (bits in the visited mask = wave width).
+pub const MAX_CONCURRENT: usize = 64;
 
-/// A persistent multi-source engine: the graph upload and every device
-/// buffer are built **once**, and each [`MsBfs::run_batch`] reuses them —
-/// repeat batches over one graph pay only the traversal itself. The
-/// free-standing [`ms_bfs`] is a one-shot convenience wrapper.
-pub struct MsBfs<'d> {
-    device: &'d Device,
-    g: DeviceGraph,
-    degrees: Vec<u32>,
-    seen: BufU32,
-    fresh: BufU32,
+/// Mutable traversal state, pooled and reused across batches.
+struct MsInner {
+    /// Per-vertex 64-bit visited mask; valid only where `stamp == epoch`.
+    seen: BufU64,
+    /// Per-vertex freshly-discovered bits for the level in flight. The
+    /// fold pass zeroes every entry it consumes, so the buffer is
+    /// all-zero between levels and between batches (no per-level fill).
+    fresh: BufU64,
+    /// Per-vertex batch-epoch stamp gating `seen` (0 = never touched).
+    stamp: BufU32,
     frontier: BufU32,
     next_frontier: BufU32,
     counters: BufU32,
     /// Per-slot level arrays, grown lazily to the widest batch seen.
+    /// Values are `base + level`; anything `< base` (or `UNVISITED`) is
+    /// unvisited — the [`crate::BfsState`] epoch encoding.
     level_of: Vec<BufU32>,
+    /// Current batch epoch for `stamp` (advances once per batch).
+    epoch: u32,
+    /// Current level-encoding base.
+    base: u32,
+    /// Deepest level the previous batch wrote (bounds the base advance).
+    last_depth: u32,
+    /// Whether `frontier`/`next_frontier` are swapped relative to their
+    /// acquisition order — tracked so Drop releases them to the pool in a
+    /// deterministic order regardless of batch depths.
+    swapped: bool,
     /// Cached `"msbfs level N"` phase labels.
     labels: Vec<String>,
 }
 
-impl<'d> MsBfs<'d> {
-    /// Upload `graph` and allocate the reusable traversal state.
-    pub fn new(device: &'d Device, graph: &Csr) -> Self {
+/// A persistent, pooled multi-source engine: the graph upload and every
+/// device buffer are built **once**, and each batch reuses them — repeat
+/// batches over one graph pay only the traversal itself (resets are O(1)
+/// epoch bumps). The free-standing [`ms_bfs`] is a one-shot convenience
+/// wrapper.
+pub struct MsBfs<D: Borrow<Device>> {
+    device: D,
+    graph: DeviceGraph,
+    degrees: Vec<u32>,
+    inner: Mutex<MsInner>,
+}
+
+impl<D: Borrow<Device>> MsBfs<D> {
+    /// Upload `graph` and acquire the reusable traversal state from the
+    /// device pool.
+    pub fn new(device: D, graph: &Csr) -> Result<Self, XbfsError> {
         let n = graph.num_vertices();
-        Self {
-            device,
-            g: DeviceGraph::upload(device, graph),
-            degrees: (0..n as u32).map(|v| graph.degree(v)).collect(),
-            seen: device.alloc_u32(n),
-            fresh: device.alloc_u32(n),
-            frontier: device.alloc_u32(n),
-            next_frontier: device.alloc_u32(n),
-            counters: device.alloc_u32(2),
-            level_of: Vec::new(),
-            labels: Vec::new(),
+        if n == 0 {
+            return Err(XbfsError::EmptyGraph);
         }
+        let dev: &Device = device.borrow();
+        let g = DeviceGraph::upload(dev, graph);
+        let seen = dev.pool_acquire_u64(n);
+        let fresh = dev.pool_acquire_u64(n);
+        fresh.host_fill(0);
+        let stamp = dev.pool_acquire_u32(n);
+        stamp.host_fill(0);
+        let frontier = dev.pool_acquire_u32(n);
+        let next_frontier = dev.pool_acquire_u32(n);
+        let counters = dev.pool_acquire_u32(2);
+        let inner = MsInner {
+            seen,
+            fresh,
+            stamp,
+            frontier,
+            next_frontier,
+            counters,
+            level_of: Vec::new(),
+            epoch: 0,
+            base: 1,
+            last_depth: 0,
+            swapped: false,
+            labels: Vec::new(),
+        };
+        Ok(Self {
+            device,
+            graph: g,
+            degrees: (0..n as u32).map(|v| graph.degree(v)).collect(),
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// The device this engine runs on.
+    pub fn device(&self) -> &Device {
+        self.device.borrow()
+    }
+
+    /// Vertex count of the resident graph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
     }
 
     /// Run up to [`MAX_CONCURRENT`] BFS instances in one shared traversal.
-    pub fn run_batch(&mut self, sources: &[u32]) -> MsBfsRun {
+    ///
+    /// Panics on invalid input (empty / oversized batch, out-of-range
+    /// source); serving layers should use [`MsBfs::run_governed`], which
+    /// returns typed errors and supports deadlines and certification.
+    pub fn run_batch(&self, sources: &[u32]) -> MsBfsRun {
         assert!(!sources.is_empty(), "need at least one source");
         assert!(
             sources.len() <= MAX_CONCURRENT,
             "at most {MAX_CONCURRENT} concurrent sources"
         );
-        let n = self.g.num_vertices();
+        let n = self.graph.num_vertices();
         for &s in sources {
             assert!((s as usize) < n, "source {s} out of range");
         }
-        let device = self.device;
-        while self.level_of.len() < sources.len() {
-            self.level_of.push(device.alloc_u32(n));
+        self.run_impl(sources, None)
+            .expect("no deadline: run cannot fail")
+    }
+
+    /// The serving layer's entry point: one batch under every governor at
+    /// once. `deadline_ms` bounds the modeled clock (checked between
+    /// levels — a batch that completes on its last level is never a
+    /// timeout), `verify` runs the pool sweeps, CSR re-check, and the
+    /// per-slot certificate ([`certify_ms_run`]).
+    pub fn run_governed(
+        &self,
+        sources: &[u32],
+        deadline_ms: Option<f64>,
+        verify: bool,
+    ) -> Result<(MsBfsRun, Option<Vec<Certificate>>), XbfsError> {
+        assert!(!sources.is_empty(), "need at least one source");
+        assert!(
+            sources.len() <= MAX_CONCURRENT,
+            "at most {MAX_CONCURRENT} concurrent sources"
+        );
+        let n = self.graph.num_vertices();
+        for &s in sources {
+            if (s as usize) >= n {
+                return Err(XbfsError::SourceOutOfRange {
+                    source: s,
+                    num_vertices: n,
+                });
+            }
         }
-        let level_of = &self.level_of[..sources.len()];
+        if !verify {
+            return self.run_impl(sources, deadline_ms).map(|run| (run, None));
+        }
+        let dev: &Device = self.device.borrow();
+        // Surface corruption the pool already quarantined before investing
+        // in a batch, exactly like the single-source verified pipeline.
+        if let Some(f) = dev.take_pool_faults().into_iter().next() {
+            return Err(IntegrityError::Pool(f).into());
+        }
+        dev.verify_pool().map_err(IntegrityError::Pool)?;
+        let run = self.run_impl(sources, deadline_ms)?;
+        self.graph.verify()?;
+        let certs = certify_ms_run(
+            &self.graph.offsets.to_host(),
+            &self.graph.adjacency.to_host(),
+            &run,
+        )
+        .map_err(IntegrityError::Certificate)?;
+        dev.verify_pool().map_err(IntegrityError::Pool)?;
+        if let Some(f) = dev.take_pool_faults().into_iter().next() {
+            return Err(IntegrityError::Pool(f).into());
+        }
+        Ok((run, Some(certs)))
+    }
+
+    fn run_impl(&self, sources: &[u32], deadline_ms: Option<f64>) -> Result<MsBfsRun, XbfsError> {
+        let device: &Device = self.device.borrow();
+        let graph = &self.graph;
+        let n = graph.num_vertices();
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+
+        // O(1) between-batch resets: bump the stamp epoch (stale seen
+        // masks read as empty) and advance the level base past everything
+        // the previous batch wrote. Both wrap with an O(|V|) fallback fill.
+        if inner.epoch == u32::MAX {
+            inner.stamp.host_fill(0);
+            inner.epoch = 1;
+        } else {
+            inner.epoch += 1;
+        }
+        let next_base = u64::from(inner.base) + u64::from(inner.last_depth) + 3;
+        if next_base + n as u64 + 1 >= u64::from(UNVISITED) {
+            for l in &inner.level_of {
+                l.host_fill(UNVISITED);
+            }
+            inner.base = 1;
+        } else {
+            inner.base = next_base as u32;
+        }
+        while inner.level_of.len() < sources.len() {
+            let l = device.pool_acquire_u32(n);
+            // A recycled pool buffer may hold values that decode as
+            // visited under the current base; neutralize once on acquire.
+            l.host_fill(UNVISITED);
+            inner.level_of.push(l);
+        }
+        let epoch = inner.epoch;
+        let base = inner.base;
+        let level_of = &inner.level_of[..sources.len()];
 
         device.reset_timeline();
+        let _ = device.take_reports();
         device.set_phase("msbfs init");
-        // Untimed host-side zeroing mirrors the zeroed-on-alloc semantics
-        // the one-shot path used to get from fresh buffers.
-        self.seen.host_fill(0);
-        self.fresh.host_fill(0);
-        for l in level_of {
-            device.fill_u32(0, l, UNVISITED);
-        }
-        // Seed: sources may coincide; OR their bits. ≤ 32 entries, sorted
+        // Seed: sources may coincide; OR their bits. ≤ 64 entries, sorted
         // by vertex — equivalent to the dedup'd init frontier.
-        let mut seeds: Vec<(u32, u32)> = Vec::with_capacity(sources.len());
+        let mut seeds: Vec<(u32, u64)> = Vec::with_capacity(sources.len());
         for (i, &s) in sources.iter().enumerate() {
-            level_of[i].store(s as usize, 0);
+            level_of[i].store(s as usize, base);
             match seeds.binary_search_by_key(&s, |&(v, _)| v) {
                 Ok(p) => seeds[p].1 |= 1 << i,
                 Err(p) => seeds.insert(p, (s, 1 << i)),
             }
         }
         for (i, &(v, bits)) in seeds.iter().enumerate() {
-            self.frontier.store(i, v);
-            self.seen.store(v as usize, bits);
+            inner.frontier.store(i, v);
+            inner.seen.store(v as usize, bits);
+            inner.stamp.store(v as usize, epoch);
         }
-        device.charge_transfer(0, 4 * (seeds.len() as u64 + 1));
+        device.charge_transfer(0, 12 * (seeds.len() as u64 + 1));
+        let budget_us = deadline_ms.map(|d| d * 1000.0);
         let mut qlen = seeds.len();
         let mut level = 0u32;
+        let mut deepest = 0u32;
 
         while qlen > 0 {
             let idx = level as usize;
-            while self.labels.len() <= idx {
-                self.labels
-                    .push(format!("msbfs level {}", self.labels.len()));
+            while inner.labels.len() <= idx {
+                inner
+                    .labels
+                    .push(format!("msbfs level {}", inner.labels.len()));
             }
-            device.set_phase(self.labels[idx].as_str());
-            device.fill_u32(0, &self.fresh, 0);
-            device.fill_u32(0, &self.counters, 0);
+            device.set_phase(inner.labels[idx].as_str());
+            device.fill_u32(0, &inner.counters, 0);
             device.launch(
                 0,
-                LaunchCfg::new("msbfs_expand", qlen).with_registers(48),
-                |w| expand_kernel(w, &self.g, &self.seen, &self.fresh, &self.frontier, qlen),
+                LaunchCfg::new("msbfs_expand", qlen).with_registers(56),
+                |w| {
+                    expand_kernel(
+                        w,
+                        graph,
+                        &inner.seen,
+                        &inner.stamp,
+                        &inner.fresh,
+                        &inner.frontier,
+                        qlen,
+                        epoch,
+                    )
+                },
             );
             // Fold: merge fresh bits into seen, record levels, build the
-            // next union frontier.
-            let lvl = level + 1;
-            device.launch(0, LaunchCfg::new("msbfs_fold", n).with_registers(32), |w| {
+            // next union frontier, and zero the fresh entries consumed.
+            let enc = base + level + 1;
+            device.launch(0, LaunchCfg::new("msbfs_fold", n).with_registers(40), |w| {
                 fold_kernel(
                     w,
-                    &self.seen,
-                    &self.fresh,
-                    &self.next_frontier,
-                    &self.counters,
+                    &inner.seen,
+                    &inner.stamp,
+                    &inner.fresh,
+                    &inner.next_frontier,
+                    &inner.counters,
                     level_of,
-                    lvl,
+                    enc,
+                    epoch,
                 )
             });
             device.sync();
             device.charge_transfer(0, 4);
-            qlen = self.counters.load(0) as usize;
+            let produced = inner.counters.load(0) as usize;
+            if produced > 0 {
+                deepest = level + 1;
+            }
             // Pointer-swap frontiers (free on real hardware).
-            std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+            std::mem::swap(&mut inner.frontier, &mut inner.next_frontier);
+            inner.swapped = !inner.swapped;
+            qlen = produced;
             level += 1;
+            if let Some(budget) = budget_us {
+                let t1 = device.elapsed_us();
+                // A batch that completes on its last level is never a
+                // timeout — only abort while work remains. The fold pass
+                // already zeroed `fresh`, so the engine stays reusable.
+                if qlen > 0 && t1 > budget {
+                    inner.last_depth = deepest;
+                    return Err(XbfsError::DeadlineExceeded {
+                        level: level - 1,
+                        elapsed_us: t1 as u64,
+                        deadline_us: budget as u64,
+                    });
+                }
+            }
         }
+        inner.last_depth = deepest;
 
         let total_ms = device.elapsed_us() / 1000.0;
-        let levels: Vec<Vec<u32>> = level_of.iter().map(|b| b.to_host()).collect();
-        let traversed_edges: u64 = levels
+        let levels: Vec<Vec<u32>> = level_of
+            .iter()
+            .map(|b| {
+                b.to_host()
+                    .into_iter()
+                    .map(|raw| {
+                        if raw == UNVISITED || raw < base {
+                            UNVISITED
+                        } else {
+                            raw - base
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let slot_edges: Vec<u64> = levels
             .iter()
             .map(|ls| {
                 ls.iter()
@@ -149,32 +354,114 @@ impl<'d> MsBfs<'d> {
                     .map(|(_, &d)| u64::from(d))
                     .sum::<u64>()
             })
-            .sum();
+            .collect();
+        let traversed_edges = slot_edges.iter().sum();
         let gteps = if total_ms > 0.0 {
             traversed_edges as f64 / (total_ms * 1e-3) / 1e9
         } else {
             0.0
         };
-        MsBfsRun {
+        Ok(MsBfsRun {
+            sources: sources.to_vec(),
             levels,
+            slot_edges,
             total_ms,
             traversed_edges,
             gteps,
+        })
+    }
+}
+
+impl<D: Borrow<Device>> Drop for MsBfs<D> {
+    /// Release every pooled buffer in reverse acquisition order so the
+    /// pool's LIFO free lists hand each one back to the same role on the
+    /// next build — the bit-identical warm-rebuild invariant.
+    fn drop(&mut self) {
+        let device: &Device = self.device.borrow();
+        let inner = self.inner.get_mut();
+        if inner.swapped {
+            std::mem::swap(&mut inner.frontier, &mut inner.next_frontier);
+            inner.swapped = false;
         }
+        for l in inner.level_of.drain(..).rev() {
+            device.pool_release_u32(l);
+        }
+        device.pool_release_u32(std::mem::replace(
+            &mut inner.counters,
+            BufU32::placeholder(),
+        ));
+        device.pool_release_u32(std::mem::replace(
+            &mut inner.next_frontier,
+            BufU32::placeholder(),
+        ));
+        device.pool_release_u32(std::mem::replace(
+            &mut inner.frontier,
+            BufU32::placeholder(),
+        ));
+        device.pool_release_u32(std::mem::replace(&mut inner.stamp, BufU32::placeholder()));
+        device.pool_release_u64(std::mem::replace(&mut inner.fresh, BufU64::placeholder()));
+        device.pool_release_u64(std::mem::replace(&mut inner.seen, BufU64::placeholder()));
+        self.graph.release_to_pool(device);
     }
 }
 
 /// Result of a concurrent run.
 #[derive(Debug, Clone)]
 pub struct MsBfsRun {
+    /// The batch's sources, in slot order.
+    pub sources: Vec<u32>,
     /// `levels[i][v]` = BFS level of `v` from `sources[i]`.
     pub levels: Vec<Vec<u32>>,
+    /// Per-slot traversed edges (Graph500 convention).
+    pub slot_edges: Vec<u64>,
     /// Modeled end-to-end time for the whole batch, ms.
     pub total_ms: f64,
-    /// Sum of per-source traversed edges (Graph500 convention).
+    /// Sum of per-source traversed edges.
     pub traversed_edges: u64,
     /// Aggregate GTEPS across the batch.
     pub gteps: f64,
+}
+
+impl MsBfsRun {
+    /// Slots in the batch.
+    pub fn width(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Timing-independent per-slot digest — bit-identical to
+    /// [`crate::stats::BfsRun::result_digest`] of a solo run from the
+    /// same source on the same graph. This is what batched serving
+    /// answers with, so batching is invisible in the response payload.
+    pub fn result_digest(&self, slot: usize) -> u64 {
+        levels_digest(self.sources[slot], &self.levels[slot])
+    }
+
+    /// BFS depth of one slot (deepest finite level).
+    pub fn slot_depth(&self, slot: usize) -> u32 {
+        self.levels[slot]
+            .iter()
+            .filter(|&&l| l != UNVISITED)
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Vertices one slot reached.
+    pub fn slot_reached(&self, slot: usize) -> u64 {
+        self.levels[slot]
+            .iter()
+            .filter(|&&l| l != UNVISITED)
+            .count() as u64
+    }
+
+    /// Per-slot GTEPS share (slot edges over the shared batch time).
+    pub fn slot_gteps(&self, slot: usize) -> f64 {
+        if self.total_ms > 0.0 {
+            self.slot_edges[slot] as f64 / (self.total_ms * 1e-3) / 1e9
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Run up to [`MAX_CONCURRENT`] BFS instances in one shared traversal.
@@ -183,18 +470,25 @@ pub struct MsBfsRun {
 /// buffers) and runs a single batch. Batched drivers should keep an
 /// [`MsBfs`] alive instead.
 pub fn ms_bfs(device: &Device, graph: &Csr, sources: &[u32]) -> MsBfsRun {
-    MsBfs::new(device, graph).run_batch(sources)
+    MsBfs::new(device, graph)
+        .expect("one-shot ms_bfs requires a non-empty graph")
+        .run_batch(sources)
 }
 
 /// Expansion: each frontier vertex pushes `its bits & !seen` to neighbors
-/// with `atomicOr` into `fresh`.
+/// with a 64-bit `atomicOr` into `fresh`. Neighbor masks are gated by the
+/// epoch stamp: a stale stamp means the mask is leftover from an earlier
+/// batch and reads as empty.
+#[allow(clippy::too_many_arguments)]
 fn expand_kernel(
     w: &mut WaveCtx,
     g: &DeviceGraph,
-    seen: &BufU32,
-    fresh: &BufU32,
+    seen: &BufU64,
+    stamp: &BufU32,
+    fresh: &BufU64,
     frontier: &BufU32,
     qlen: usize,
+    epoch: u32,
 ) {
     let gids: Vec<usize> = w.lanes().filter(|&i| i < qlen).collect();
     if gids.is_empty() {
@@ -203,14 +497,16 @@ fn expand_kernel(
     let mut us = Vec::with_capacity(gids.len());
     w.vload32(frontier, &gids, &mut us);
     let uidx: Vec<usize> = us.iter().map(|&u| u as usize).collect();
+    // Frontier vertices were stamped when they were discovered, so their
+    // own masks need no gate.
     let mut ubits = Vec::with_capacity(uidx.len());
-    w.vload32(seen, &uidx, &mut ubits);
+    w.vload64(seen, &uidx, &mut ubits);
     let mut offs = Vec::with_capacity(uidx.len());
     w.vload64(&g.offsets, &uidx, &mut offs);
     let mut degs = Vec::with_capacity(uidx.len());
     w.vload32(&g.degrees, &uidx, &mut degs);
     struct Lane {
-        bits: u32,
+        bits: u64,
         off: u64,
         deg: u32,
     }
@@ -232,44 +528,49 @@ fn expand_kernel(
         let mut vs = Vec::with_capacity(aidx.len());
         w.vload32(&g.adjacency, &aidx, &mut vs);
         let sidx: Vec<usize> = vs.iter().map(|&v| v as usize).collect();
+        let mut sts = Vec::with_capacity(sidx.len());
+        w.vload32(stamp, &sidx, &mut sts);
         let mut svs = Vec::with_capacity(sidx.len());
-        w.vload32(seen, &sidx, &mut svs);
-        w.alu(1);
-        let ops: Vec<(usize, u32)> = sidx
+        w.vload64(seen, &sidx, &mut svs);
+        w.alu(2);
+        let ops: Vec<(usize, u64)> = sidx
             .iter()
-            .zip(lanes.iter().zip(&svs))
-            .filter_map(|(&i, (l, &sb))| {
+            .zip(lanes.iter().zip(sts.iter().zip(&svs)))
+            .filter_map(|(&i, (l, (&st, &sv)))| {
+                let sb = if st == epoch { sv } else { 0 };
                 let new = l.bits & !sb;
                 (new != 0).then_some((i, new))
             })
             .collect();
-        w.vor32(fresh, &ops);
+        w.vor64(fresh, &ops);
         k += 1;
     }
 }
 
-/// Fold: for every vertex with fresh bits, merge into `seen`, record the
-/// level for each new bit, enqueue into the next union frontier.
+/// Fold: for every vertex with fresh bits, merge into `seen` (stamping
+/// the epoch), record the level for each new bit, enqueue into the next
+/// union frontier — and zero the fresh entry, restoring the all-zero
+/// invariant without a per-level fill kernel.
+#[allow(clippy::too_many_arguments)]
 fn fold_kernel(
     w: &mut WaveCtx,
-    seen: &BufU32,
-    fresh: &BufU32,
+    seen: &BufU64,
+    stamp: &BufU32,
+    fresh: &BufU64,
     next_frontier: &BufU32,
     counters: &BufU32,
     level_of: &[BufU32],
-    level: u32,
+    enc_level: u32,
+    epoch: u32,
 ) {
     let gids: Vec<usize> = w.lanes().collect();
     if gids.is_empty() {
         return;
     }
     let mut fb = Vec::with_capacity(gids.len());
-    w.vload32(fresh, &gids, &mut fb);
+    w.vload64(fresh, &gids, &mut fb);
     w.alu(1);
-    // Bits might already be seen (a racing OR from a vertex claimed earlier
-    // this level cannot happen — expand reads `seen` of the *previous*
-    // level — but a source bit seeded at init can overlap).
-    let pending: Vec<(usize, u32)> = gids
+    let pending: Vec<(usize, u64)> = gids
         .iter()
         .zip(&fb)
         .filter(|&(_, &b)| b != 0)
@@ -279,27 +580,36 @@ fn fold_kernel(
         return;
     }
     let sidx: Vec<usize> = pending.iter().map(|&(v, _)| v).collect();
+    let mut sts = Vec::with_capacity(sidx.len());
+    w.vload32(stamp, &sidx, &mut sts);
     let mut sbits = Vec::with_capacity(sidx.len());
-    w.vload32(seen, &sidx, &mut sbits);
+    w.vload64(seen, &sidx, &mut sbits);
     let mut members: Vec<u32> = Vec::new();
-    let mut seen_writes: Vec<(usize, u32)> = Vec::new();
+    let mut seen_writes: Vec<(usize, u64)> = Vec::new();
+    let mut stamp_writes: Vec<(usize, u32)> = Vec::new();
+    let mut fresh_clears: Vec<(usize, u64)> = Vec::with_capacity(pending.len());
     let mut level_writes: Vec<Vec<(usize, u32)>> = vec![Vec::new(); level_of.len()];
-    for (&(v, b), &sb) in pending.iter().zip(&sbits) {
+    for (&(v, b), (&st, &raw_sb)) in pending.iter().zip(sts.iter().zip(&sbits)) {
+        fresh_clears.push((v, 0));
+        let sb = if st == epoch { raw_sb } else { 0 };
         let new = b & !sb;
         if new == 0 {
             continue;
         }
         seen_writes.push((v, sb | new));
+        stamp_writes.push((v, epoch));
         members.push(v as u32);
         let mut bits = new;
         while bits != 0 {
             let s = bits.trailing_zeros() as usize;
-            level_writes[s].push((v, level));
+            level_writes[s].push((v, enc_level));
             bits &= bits - 1;
         }
         w.alu(1);
     }
-    w.vstore32(seen, &seen_writes);
+    w.vstore64(fresh, &fresh_clears);
+    w.vstore64(seen, &seen_writes);
+    w.vstore32(stamp, &stamp_writes);
     for (s, writes) in level_writes.iter().enumerate() {
         if !writes.is_empty() {
             w.vstore32(&level_of[s], writes);
@@ -345,6 +655,7 @@ mod tests {
         let dev = Device::mi250x();
         let run = ms_bfs(&dev, &g, &[7, 7, 12]);
         assert_eq!(run.levels[0], run.levels[1]);
+        assert_eq!(run.result_digest(0), run.result_digest(1));
         assert_eq!(run.levels[0], bfs_levels_serial(&g, 7));
         assert_eq!(run.levels[2], bfs_levels_serial(&g, 12));
 
@@ -388,7 +699,93 @@ mod tests {
     fn rejects_oversized_batch() {
         let g = erdos_renyi(50, 100, 1);
         let dev = Device::mi250x();
-        let sources: Vec<u32> = (0..33).collect();
+        let sources: Vec<u32> = (0..65).collect();
         ms_bfs(&dev, &g, &sources);
+    }
+
+    #[test]
+    fn pooled_engine_reuse_is_bit_identical() {
+        // The tentpole invariant: an engine reused across many batches
+        // (epoch resets, no fills) answers exactly like a fresh one-shot
+        // engine, batch after batch — including interleaved widths.
+        let g = rmat_graph(RmatParams::graph500(10), 6);
+        let dev = Device::mi250x();
+        let engine = MsBfs::new(&dev, &g).unwrap();
+        let batches: Vec<Vec<u32>> = vec![
+            pick_sources(&g, 64, 1),
+            pick_sources(&g, 3, 2),
+            pick_sources(&g, 64, 1), // repeat of batch 0
+            vec![0, 0, 1],
+            pick_sources(&g, 17, 9),
+        ];
+        let first = engine.run_batch(&batches[0]);
+        for (bi, sources) in batches.iter().enumerate() {
+            let warm = engine.run_batch(sources);
+            let fresh = ms_bfs(&Device::mi250x(), &g, sources);
+            assert_eq!(warm.levels, fresh.levels, "batch {bi} levels diverged");
+            for slot in 0..sources.len() {
+                assert_eq!(
+                    warm.result_digest(slot),
+                    fresh.result_digest(slot),
+                    "batch {bi} slot {slot} digest diverged"
+                );
+            }
+        }
+        let again = engine.run_batch(&batches[0]);
+        assert_eq!(first.levels, again.levels);
+    }
+
+    #[test]
+    fn governed_deadline_aborts_and_engine_stays_reusable() {
+        let g = rmat_graph(RmatParams::graph500(11), 3);
+        let dev = Device::mi250x();
+        let engine = MsBfs::new(&dev, &g).unwrap();
+        let sources = pick_sources(&g, 32, 4);
+        // An absurdly small budget must abort between levels...
+        let err = engine
+            .run_governed(&sources, Some(1e-6), false)
+            .expect_err("1ns budget must abort");
+        assert!(matches!(err, XbfsError::DeadlineExceeded { .. }));
+        // ...and the engine must remain consistent for the next batch.
+        let (run, _) = engine.run_governed(&sources, None, false).unwrap();
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(run.levels[i], bfs_levels_serial(&g, s), "source {s}");
+        }
+    }
+
+    #[test]
+    fn governed_verify_certifies_every_slot() {
+        let g = rmat_graph(RmatParams::graph500(9), 8);
+        let dev = Device::mi250x();
+        let engine = MsBfs::new(&dev, &g).unwrap();
+        let sources = pick_sources(&g, 16, 7);
+        let (run, certs) = engine.run_governed(&sources, None, true).unwrap();
+        let certs = certs.expect("verify produces certificates");
+        assert_eq!(certs.len(), sources.len());
+        for (i, c) in certs.iter().enumerate() {
+            assert_eq!(c.visited, run.slot_reached(i));
+            assert_eq!(c.levels_checksum, run.result_digest(i));
+        }
+    }
+
+    #[test]
+    fn batched_digest_matches_solo_xbfs_result_digest() {
+        // The serving contract: a batched response's digest is
+        // bit-identical to what a solo single-source run would answer.
+        let g = rmat_graph(RmatParams::graph500(10), 12);
+        let dev = Device::mi250x();
+        let engine = MsBfs::new(&dev, &g).unwrap();
+        let sources = pick_sources(&g, 24, 13);
+        let run = engine.run_batch(&sources);
+        let solo_dev = Device::mi250x();
+        let xbfs = crate::Xbfs::new(&solo_dev, &g, crate::XbfsConfig::default()).unwrap();
+        for (i, &s) in sources.iter().enumerate() {
+            let solo = xbfs.run(s).unwrap();
+            assert_eq!(
+                run.result_digest(i),
+                solo.result_digest(),
+                "slot {i} source {s}"
+            );
+        }
     }
 }

@@ -26,9 +26,10 @@
 //! valid alternative parent), so "detected in 100% of injected runs" is a
 //! meaningful property rather than vacuously counting masked flips.
 
+use crate::concurrent::MsBfsRun;
 use crate::device_graph::DeviceGraph;
 use crate::state::{is_unvisited, BfsState, UNVISITED};
-use crate::stats::BfsRun;
+use crate::stats::{levels_digest, BfsRun};
 use gcd_sim::{fnv1a, splitmix64, Device, PoolError};
 use std::fmt;
 
@@ -660,6 +661,108 @@ pub fn certify_run(
     })
 }
 
+/// Validate a multi-source batch's output against the graph: level-edge
+/// consistency for **every slot** over the shared visited mask. Per slot
+/// this is the sourced subset of [`certify_run`] — source at level 0 (and
+/// nothing else at level 0), every edge relaxed (`level[to] ≤
+/// level[from] + 1`, no visited→unvisited neighbors), and every visited
+/// non-source vertex owning a predecessor one level up. The batch shares
+/// one edge sweep; slot checks ride along bit-parallel, so the cost is
+/// O(|V| + |E| · W) for a W-wide batch.
+///
+/// Returns one [`Certificate`] per slot. A slot certificate's
+/// `levels_checksum` is the slot's [`MsBfsRun::result_digest`] — the same
+/// levels-only fingerprint a solo run of that source would answer with,
+/// which is what lets batched serving prove response equivalence.
+pub fn certify_ms_run(
+    offsets: &[u64],
+    adjacency: &[u32],
+    run: &MsBfsRun,
+) -> Result<Vec<Certificate>, CertViolation> {
+    let n = offsets.len().saturating_sub(1);
+    let width = run.sources.len();
+    for (slot, levels) in run.levels.iter().enumerate() {
+        if levels.len() != n {
+            return Err(CertViolation::LengthMismatch {
+                expected: n,
+                actual: levels.len(),
+            });
+        }
+        let src = run.sources[slot] as usize;
+        if src >= n || levels[src] != 0 {
+            return Err(CertViolation::SourceNotLevelZero {
+                source: run.sources[slot],
+                level: levels.get(src).copied().unwrap_or(UNVISITED),
+            });
+        }
+    }
+
+    // One pass over every edge; per-slot predecessor marks live in a
+    // 64-bit mask per vertex (bit i = slot i found a predecessor).
+    let mut has_pred = vec![0u64; n];
+    for (slot, &s) in run.sources.iter().enumerate() {
+        has_pred[s as usize] |= 1 << slot;
+    }
+    for u in 0..n {
+        let beg = offsets[u] as usize;
+        let end = offsets[u + 1] as usize;
+        for &v in &adjacency[beg..end] {
+            for slot in 0..width {
+                let lu = run.levels[slot][u];
+                if lu == UNVISITED {
+                    continue;
+                }
+                let lv = run.levels[slot][v as usize];
+                if lv == UNVISITED {
+                    return Err(CertViolation::UnreachedNeighbor {
+                        vertex: u as u32,
+                        neighbor: v,
+                    });
+                }
+                if lv > lu + 1 {
+                    return Err(CertViolation::LevelSkip {
+                        from: u as u32,
+                        to: v,
+                        from_level: lu,
+                        to_level: lv,
+                    });
+                }
+                if lv == lu + 1 {
+                    has_pred[v as usize] |= 1 << slot;
+                }
+            }
+        }
+    }
+
+    let mut certs = Vec::with_capacity(width);
+    for (slot, levels) in run.levels.iter().enumerate() {
+        let src = run.sources[slot] as usize;
+        let mut visited = 0u64;
+        let mut depth = 0u32;
+        for (v, &l) in levels.iter().enumerate() {
+            if l == UNVISITED {
+                continue;
+            }
+            visited += 1;
+            depth = depth.max(l);
+            // A non-source vertex at level 0, or any visited vertex whose
+            // claimed level no in-neighbor supports, is corruption.
+            if v != src && (l == 0 || has_pred[v] & (1 << slot) == 0) {
+                return Err(CertViolation::NoPredecessor {
+                    vertex: v as u32,
+                    level: l,
+                });
+            }
+        }
+        certs.push(Certificate {
+            visited,
+            depth,
+            levels_checksum: levels_digest(run.sources[slot], levels),
+        });
+    }
+    Ok(certs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -754,5 +857,57 @@ mod tests {
         let run = xbfs.run(3).unwrap();
         let cert = certify_run(g.offsets(), g.adjacency(), &run).unwrap();
         assert_eq!(cert.visited, 1);
+    }
+
+    fn sample_ms_run() -> (Vec<u64>, Vec<u32>, MsBfsRun) {
+        let g = rmat_graph(RmatParams::graph500(8), 11);
+        let dev = Device::mi250x();
+        let eng = crate::concurrent::MsBfs::new(&dev, &g).unwrap();
+        let run = eng.run_batch(&[0, 5, 9, 5]);
+        (g.offsets().to_vec(), g.adjacency().to_vec(), run)
+    }
+
+    #[test]
+    fn clean_batch_certifies_every_slot_with_solo_digest() {
+        let (off, adj, run) = sample_ms_run();
+        let certs = certify_ms_run(&off, &adj, &run).expect("clean batch must certify");
+        assert_eq!(certs.len(), run.sources.len());
+        for (slot, cert) in certs.iter().enumerate() {
+            assert_eq!(
+                cert.levels_checksum,
+                run.result_digest(slot),
+                "slot {slot}: certificate must quote the levels digest a solo run answers with"
+            );
+            assert_eq!(
+                cert.visited,
+                run.levels[slot].iter().filter(|&&l| l != UNVISITED).count() as u64
+            );
+            assert_eq!(cert.depth, run.slot_depth(slot));
+        }
+        // Duplicate sources (slots 1 and 3) certify identically.
+        assert_eq!(certs[1], certs[3]);
+    }
+
+    #[test]
+    fn corrupting_one_slot_fails_batch_certification() {
+        let (off, adj, mut run) = sample_ms_run();
+        let v = run.levels[2]
+            .iter()
+            .position(|&l| l != UNVISITED && l != 0)
+            .unwrap();
+        run.levels[2][v] ^= 1 << 6;
+        assert!(certify_ms_run(&off, &adj, &run).is_err());
+    }
+
+    #[test]
+    fn batch_source_not_at_level_zero_is_a_violation() {
+        let (off, adj, mut run) = sample_ms_run();
+        let src = run.sources[1] as usize;
+        run.levels[1][src] = 3;
+        let err = certify_ms_run(&off, &adj, &run).unwrap_err();
+        assert!(
+            matches!(err, CertViolation::SourceNotLevelZero { .. }),
+            "{err}"
+        );
     }
 }

@@ -54,7 +54,8 @@ pub use device_graph::DeviceGraph;
 pub use efficiency::{bandwidth_efficiency, Efficiency};
 pub use error::XbfsError;
 pub use integrity::{
-    apply_sabotage, certify_run, BitflipPlan, CertViolation, Certificate, IntegrityError, Sabotage,
+    apply_sabotage, certify_ms_run, certify_run, BitflipPlan, CertViolation, Certificate,
+    IntegrityError, Sabotage,
 };
 pub use run_ctx::RunCtx;
 pub use runner::Xbfs;

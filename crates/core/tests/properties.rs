@@ -3,7 +3,7 @@
 
 use gcd_sim::{ArchProfile, Device, ExecMode};
 use proptest::prelude::*;
-use xbfs_core::{Strategy as BfsStrategy, Xbfs, XbfsConfig};
+use xbfs_core::{MsBfs, Strategy as BfsStrategy, Xbfs, XbfsConfig, MAX_CONCURRENT};
 use xbfs_graph::builder::{BuildOptions, CsrBuilder};
 use xbfs_graph::reference::bfs_levels_serial;
 use xbfs_graph::validate_bfs_tree;
@@ -111,6 +111,28 @@ proptest! {
         let run = Xbfs::new(&dev, &g, XbfsConfig::directed()).unwrap().run(src).unwrap();
         prop_assert!(!run.strategy_trace().contains(&BfsStrategy::BottomUp));
         prop_assert_eq!(run.levels, bfs_levels_serial(&g, src));
+    }
+
+    #[test]
+    fn batched_multi_source_equals_sequential_levels(
+        (g, _src) in arb_graph_and_source(),
+        raw_sources in proptest::collection::vec(0u32..80, 1..MAX_CONCURRENT + 1),
+    ) {
+        // One 64-wide bit-parallel wave over up to MAX_CONCURRENT random
+        // sources (duplicates included) must produce, slot for slot, the
+        // exact levels a sequential solo run finds for that source.
+        let n = g.num_vertices() as u32;
+        let sources: Vec<u32> = raw_sources.into_iter().map(|s| s % n).collect();
+        let dev = Device::mi250x();
+        let run = MsBfs::new(&dev, &g).unwrap().run_batch(&sources);
+        prop_assert_eq!(run.width(), sources.len());
+        for (slot, &src) in sources.iter().enumerate() {
+            prop_assert_eq!(
+                &run.levels[slot],
+                &bfs_levels_serial(&g, src),
+                "slot {} (source {})", slot, src
+            );
+        }
     }
 
     #[test]

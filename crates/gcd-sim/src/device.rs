@@ -949,6 +949,16 @@ impl Device {
             w.vstore32(buf, &writes);
         })
     }
+
+    /// Device-side fill of a `u64` buffer (same memset model, 8-byte
+    /// stores).
+    pub fn fill_u64(&self, stream: usize, buf: &BufU64, val: u64) -> KernelReport {
+        let cfg = LaunchCfg::new("fill_u64", buf.len()).with_registers(8);
+        self.launch(stream, cfg, |w| {
+            let writes: Vec<(usize, u64)> = w.lanes().map(|gid| (gid, val)).collect();
+            w.vstore64(buf, &writes);
+        })
+    }
 }
 
 #[cfg(test)]

@@ -299,6 +299,21 @@ impl<'a> WaveCtx<'a> {
         }
     }
 
+    /// Per-lane atomic-OR batch on 64-bit words (`atomicOr` on
+    /// `unsigned long long`) — the visited-mask update primitive of
+    /// wave-width-64 multi-source BFS.
+    pub fn vor64(&mut self, buf: &BufU64, ops: &[(usize, u64)]) {
+        if ops.is_empty() {
+            return;
+        }
+        self.charge_vector(ops.len());
+        self.charge_atomics(ops.iter().map(|o| o.0), buf.addr(0), 8);
+        for &(i, v) in ops {
+            self.trace(buf.addr(i), 8, true);
+            buf.fetch_or(i, v);
+        }
+    }
+
     /// Per-lane atomic-minimum batch (`atomicMin`); returns previous values
     /// in lane order. The relaxation primitive of SSSP-style BFS.
     pub fn vmin32(&mut self, buf: &BufU32, ops: &[(usize, u32)], out: &mut Vec<u32>) {

@@ -125,6 +125,9 @@ pub struct LoadgenReport {
     pub elapsed_ms: f64,
     /// Offered load actually achieved, requests/second.
     pub achieved_rps: f64,
+    /// `ok` responses per wall second — the throughput a batching server
+    /// is judged on (shed and failed requests don't count as served).
+    pub served_qps: f64,
 }
 
 impl LoadgenReport {
@@ -145,7 +148,7 @@ impl LoadgenReport {
              \"retried_ok\":{},\"retries_sent\":{},\
              \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"p999_ms\":{:.3},\"max_ms\":{:.3},\
              \"shed_pct\":{:.2},\"digests_consistent\":{},\"elapsed_ms\":{:.1},\
-             \"achieved_rps\":{:.1}}}",
+             \"achieved_rps\":{:.1},\"served_qps\":{:.1}}}",
             self.sent,
             self.ok,
             self.shed,
@@ -162,7 +165,8 @@ impl LoadgenReport {
             self.shed_pct(),
             self.digests_consistent,
             self.elapsed_ms,
-            self.achieved_rps
+            self.achieved_rps,
+            self.served_qps
         )
     }
 }
@@ -301,6 +305,10 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     // Every sender is gone, so the collector's channel closes and it
     // returns the full sample set.
     let samples = collector.join().unwrap_or_default();
+    // The run ends when the last response lands — clock it before the
+    // printer teardown, whose sleep granularity would otherwise round
+    // elapsed (and every rate derived from it) up to a whole tick.
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
     stop_printer.store(true, Ordering::Relaxed);
     if let Some(p) = printer {
         let _ = p.join();
@@ -349,9 +357,14 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     report.p99_ms = percentile(&latencies, 0.99);
     report.p999_ms = percentile(&latencies, 0.999);
     report.max_ms = latencies.last().copied().unwrap_or(0.0);
-    report.elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+    report.elapsed_ms = elapsed_ms;
     report.achieved_rps = if report.elapsed_ms > 0.0 {
         sent as f64 * 1000.0 / report.elapsed_ms
+    } else {
+        0.0
+    };
+    report.served_qps = if report.elapsed_ms > 0.0 {
+        report.ok as f64 * 1000.0 / report.elapsed_ms
     } else {
         0.0
     };

@@ -91,6 +91,12 @@ pub struct ServerMetrics {
     pub(crate) queue_wait_ms: Arc<LogHistogram>,
     pub(crate) deadline_headroom_ms: Arc<LogHistogram>,
 
+    // Batching stage (all zero / empty unless `--batch-width > 1`).
+    pub(crate) batches_total: Arc<Counter>,
+    pub(crate) batch_size: Arc<LogHistogram>,
+    pub(crate) batch_occupancy_pct: Arc<Gauge>,
+    pub(crate) linger_wait_ms: Arc<LogHistogram>,
+
     // Breaker.
     pub(crate) breaker_state: Arc<Gauge>,
     pub(crate) breaker_transitions: Arc<Counter>,
@@ -169,6 +175,10 @@ impl ServerMetrics {
                 MetricUnit::Millis,
                 &[],
             ),
+            batches_total: reg.counter(live::BATCHES_TOTAL, MetricUnit::Count, &[]),
+            batch_size: reg.histogram(live::BATCH_SIZE, MetricUnit::Count, &[]),
+            batch_occupancy_pct: reg.gauge(live::BATCH_OCCUPANCY_PCT, MetricUnit::Count, &[]),
+            linger_wait_ms: reg.histogram(live::LINGER_WAIT_MS, MetricUnit::Millis, &[]),
             breaker_state: reg.gauge(live::BREAKER_STATE, MetricUnit::State, &[]),
             breaker_transitions: reg.counter(
                 live::BREAKER_TRANSITIONS_TOTAL,

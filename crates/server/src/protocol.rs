@@ -21,7 +21,7 @@
 //! plain string assembly with [`xbfs_telemetry::json::escape`] on every
 //! interpolated string.
 
-use xbfs_core::BfsRun;
+use xbfs_core::{BfsRun, MsBfsRun};
 use xbfs_multi_gcd::ClusterRun;
 use xbfs_telemetry::json::{escape, JsonValue};
 
@@ -146,6 +146,41 @@ pub fn ok_line(id: u64, run: &BfsRun, certified: bool, wait_ms: f64, attempts: u
         certified,
         wait_ms,
         attempts
+    )
+}
+
+/// `ok` response for one member of a coalesced multi-source batch,
+/// demultiplexed from its slot of the shared traversal.
+///
+/// The digest is the slot's *levels-only* [`MsBfsRun::result_digest`] —
+/// bit-identical to the [`BfsRun::result_digest`] a solo run of the same
+/// source would produce, so batching is invisible in the response
+/// payload. `batch` carries how many members shared the traversal (1 for
+/// a lone request that outwaited its linger window).
+pub fn batched_ok_line(
+    id: u64,
+    run: &MsBfsRun,
+    slot: usize,
+    certified: bool,
+    wait_ms: f64,
+    attempts: u32,
+    batch: usize,
+) -> String {
+    format!(
+        "{},\"source\":{},\"depth\":{},\"reached\":{},\"total_ms\":{:.6},\"gteps\":{:.6},\
+         \"digest\":\"{:#018x}\",\"certified\":{},\"wait_ms\":{:.3},\"attempts\":{},\
+         \"batch\":{}}}",
+        head(id, "ok"),
+        run.sources[slot],
+        run.slot_depth(slot),
+        run.slot_reached(slot),
+        run.total_ms,
+        run.slot_gteps(slot),
+        run.result_digest(slot),
+        certified,
+        wait_ms,
+        attempts,
+        batch
     )
 }
 
@@ -276,6 +311,9 @@ pub struct ResponseSummary {
     /// True when the response was served from the idempotency cache
     /// instead of re-executing (a replayed completed id).
     pub deduped: Option<bool>,
+    /// How many requests shared the traversal, for batched `ok`
+    /// responses (absent on the solo path).
+    pub batch: Option<u64>,
 }
 
 /// Parse one response line into the summary clients act on.
@@ -303,6 +341,7 @@ pub fn parse_response(line: &str) -> Result<ResponseSummary, String> {
             .map(|s| s.to_string()),
         recoveries: get_u64(&v, "recoveries"),
         deduped: v.get("deduped").and_then(|d| d.as_bool()),
+        batch: get_u64(&v, "batch"),
     })
 }
 
@@ -428,6 +467,31 @@ mod tests {
             format!("{:#018x}", xbfs_core::levels_digest(1, &run.levels))
         );
         assert!(line.contains("\"depth\":3"));
+    }
+
+    #[test]
+    fn batched_ok_line_carries_slot_digest_and_width() {
+        let run = MsBfsRun {
+            sources: vec![0, 2],
+            levels: vec![vec![0, 1, 1, xbfs_core::UNVISITED], vec![1, 1, 0, 2]],
+            slot_edges: vec![4, 6],
+            total_ms: 1.25,
+            traversed_edges: 10,
+            gteps: 0.008,
+        };
+        let line = batched_ok_line(21, &run, 1, true, 0.5, 1, 2);
+        let s = parse_response(&line).unwrap();
+        assert_eq!((s.id, s.status.as_str()), (21, "ok"));
+        assert_eq!(s.source, Some(2));
+        assert_eq!(s.batch, Some(2));
+        // The demuxed digest is the slot's levels-only result digest —
+        // what a solo run of source 2 would report.
+        assert_eq!(
+            s.digest.unwrap(),
+            format!("{:#018x}", xbfs_core::levels_digest(2, &run.levels[1]))
+        );
+        assert!(line.contains("\"depth\":2"));
+        assert!(line.contains("\"reached\":4"));
     }
 
     #[test]

@@ -144,6 +144,47 @@ impl<T> AdmissionQueue<T> {
         }
     }
 
+    /// Block for the first item exactly like [`AdmissionQueue::pop`],
+    /// then **linger** up to `linger` collecting more — the batching
+    /// stage's coalescing primitive. Returns at most `max` items, in
+    /// strictly increasing ticket order.
+    ///
+    /// The linger window is bounded and only ever applies once company
+    /// already exists to wait for: if the queue holds `max` items they
+    /// are returned immediately, and a drain/close ends the linger early
+    /// so shutdown never waits out the window. A lone request therefore
+    /// waits at most `linger` — never indefinitely — before running solo.
+    pub fn pop_batch(&self, max: usize, linger: std::time::Duration) -> Option<Vec<(u64, T)>> {
+        let first = self.pop()?;
+        let mut out = vec![first];
+        let max = max.max(1);
+        if max == 1 {
+            return Some(out);
+        }
+        let deadline = std::time::Instant::now() + linger;
+        let mut g = self.lock();
+        loop {
+            while out.len() < max {
+                match g.q.pop_front() {
+                    Some(pair) => out.push(pair),
+                    None => break,
+                }
+            }
+            if out.len() >= max || g.state != QueueState::Open {
+                return Some(out);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Some(out);
+            }
+            let (guard, _timed_out) = self
+                .not_empty
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+        }
+    }
+
     /// Stop admitting; queued requests will still be served. Wakes every
     /// blocked `pop` so idle workers can observe the transition.
     pub fn drain(&self) {
@@ -234,6 +275,73 @@ mod tests {
         let left = q.close();
         assert_eq!(left.iter().map(|&(_, v)| v).collect::<Vec<_>>(), [7, 8]);
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_batch_collects_available_up_to_max() {
+        let q = AdmissionQueue::new(8, 10);
+        for v in 0..5 {
+            q.submit(v);
+        }
+        // A full batch returns immediately — no linger when already full.
+        let t0 = std::time::Instant::now();
+        let b = q
+            .pop_batch(3, std::time::Duration::from_secs(5))
+            .expect("items queued");
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1));
+        assert_eq!(b.iter().map(|&(t, _)| t).collect::<Vec<_>>(), [0, 1, 2]);
+        // Remaining two come out in order even with a generous max.
+        q.drain();
+        let b2 = q
+            .pop_batch(64, std::time::Duration::from_millis(1))
+            .unwrap();
+        assert_eq!(b2.iter().map(|&(_, v)| v).collect::<Vec<_>>(), [3, 4]);
+        assert_eq!(q.pop_batch(64, std::time::Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn pop_batch_lingers_for_late_company() {
+        use std::sync::Arc;
+        let q = Arc::new(AdmissionQueue::<u32>::new(8, 10));
+        q.submit(1);
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            q2.submit(2);
+        });
+        let b = q
+            .pop_batch(4, std::time::Duration::from_millis(500))
+            .unwrap();
+        h.join().unwrap();
+        // The late arrival landed inside the linger window.
+        assert_eq!(b.iter().map(|&(_, v)| v).collect::<Vec<_>>(), [1, 2]);
+    }
+
+    #[test]
+    fn pop_batch_lone_request_bounded_by_window() {
+        let q = AdmissionQueue::new(8, 10);
+        q.submit(9);
+        let t0 = std::time::Instant::now();
+        let b = q
+            .pop_batch(64, std::time::Duration::from_millis(25))
+            .unwrap();
+        let waited = t0.elapsed();
+        assert_eq!(b.len(), 1);
+        assert!(
+            waited < std::time::Duration::from_secs(2),
+            "lone request must not park: waited {waited:?}"
+        );
+    }
+
+    #[test]
+    fn pop_batch_width_one_skips_linger() {
+        let q = AdmissionQueue::new(8, 10);
+        q.submit(1);
+        q.submit(2);
+        let t0 = std::time::Instant::now();
+        let b = q.pop_batch(1, std::time::Duration::from_secs(10)).unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(t0.elapsed() < std::time::Duration::from_secs(1));
     }
 
     #[test]

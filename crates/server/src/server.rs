@@ -64,6 +64,15 @@ pub struct ServeConfig {
     pub breaker_cooldown_ms: u64,
     /// Deadline applied when a request does not carry one, ms.
     pub default_deadline_ms: Option<f64>,
+    /// Coalesce up to this many admitted requests into one bit-parallel
+    /// multi-source traversal per worker dispatch (1 = the classic solo
+    /// engine; capped at [`xbfs_core::MAX_CONCURRENT`]). Mutually
+    /// exclusive with `cluster`.
+    pub batch_width: usize,
+    /// How long a worker lingers for company after popping the first
+    /// request of a batch, wall ms. A lone request is never parked
+    /// longer than this.
+    pub batch_window_ms: f64,
     /// Route requests through the partitioned multi-GCD engine with this
     /// many modeled GCDs per worker (`None` = single-device engine).
     pub cluster: Option<usize>,
@@ -97,6 +106,8 @@ impl Default for ServeConfig {
             breaker_threshold: 3,
             breaker_cooldown_ms: 250,
             default_deadline_ms: None,
+            batch_width: 1,
+            batch_window_ms: 2.0,
             cluster: None,
             checkpoint_every: 1,
             dedup_cap: 128,
@@ -123,6 +134,9 @@ pub(crate) struct Counters {
     pub(crate) dropped_connections: AtomicU64,
     pub(crate) bad_lines: AtomicU64,
     pub(crate) deduped: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    pub(crate) max_batch: AtomicU64,
 }
 
 /// Everything handlers and workers share.
@@ -248,6 +262,15 @@ pub struct ServeReport {
     /// Replayed ids answered from the idempotency cache (never
     /// re-executed, never re-queued).
     pub deduped: u64,
+    /// Multi-source batches dispatched (0 unless `batch_width > 1`).
+    pub batches: u64,
+    /// Requests that rode a dispatched batch (ok, replayed, or shed
+    /// in-batch — everything the batcher coalesced).
+    pub batched_requests: u64,
+    /// Widest batch actually coalesced.
+    pub max_batch_size: u64,
+    /// Configured coalescing width (1 = solo engine).
+    pub batch_width: usize,
     /// Flight-recorder dump files written over the server's life
     /// (worker panics, quarantines, breaker opens), oldest first.
     pub flight_dumps: Vec<String>,
@@ -270,7 +293,9 @@ impl ServeReport {
              \"replayed\":{},\"panics_recovered\":{},\"rebuilds\":{},\
              \"chaos_ignored\":{},\"breaker_trips\":{},\"breaker_fast_rejects\":{},\
              \"connections\":{},\"dropped_connections\":{},\"bad_lines\":{},\
-             \"max_queue_depth\":{},\"deduped\":{},\"cluster\":{},\"rank_health\":[",
+             \"max_queue_depth\":{},\"deduped\":{},\"batches\":{},\
+             \"batched_requests\":{},\"max_batch_size\":{},\"batch_width\":{},\
+             \"cluster\":{},\"rank_health\":[",
             self.accepted,
             self.shed,
             self.rejected_draining,
@@ -288,6 +313,10 @@ impl ServeReport {
             self.bad_lines,
             self.max_queue_depth,
             self.deduped,
+            self.batches,
+            self.batched_requests,
+            self.max_batch_size,
+            self.batch_width,
             self.cluster,
         );
         for (rank, h) in self.rank_health.iter().enumerate() {
@@ -468,6 +497,10 @@ impl ServerHandle {
             bad_lines: ld(&s.bad_lines),
             max_queue_depth: q.max_depth,
             deduped: ld(&s.deduped),
+            batches: ld(&s.batches),
+            batched_requests: ld(&s.batched_requests),
+            max_batch_size: ld(&s.max_batch),
+            batch_width: self.shared.cfg.batch_width.max(1),
             flight_dumps: self.shared.metrics.dump_paths(),
             cluster: self.shared.cfg.cluster.unwrap_or(0),
             rank_health: self.shared.rank_health.lock().unwrap().clone(),

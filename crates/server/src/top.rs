@@ -275,6 +275,25 @@ pub fn render(prev: Option<&TopSnapshot>, curr: &TopSnapshot, addr: &str) -> Str
         curr.counter_family(live::POOL_PRESSURE_TOTAL),
     ));
 
+    // Batching stage: only rendered once a batch has actually launched,
+    // so solo (--batch-width 1) servers keep the familiar frame layout.
+    let batches = c(live::BATCHES_TOTAL, &[]);
+    if batches > 0 {
+        let (_, bsum, bp50, _) = curr
+            .hist(live::BATCH_SIZE, &[])
+            .unwrap_or((0, 0.0, 0.0, 0.0));
+        let occ = curr.gauge(live::BATCH_OCCUPANCY_PCT, &[]).unwrap_or(0.0);
+        let (_, _, lp50, lp99) = curr
+            .hist(live::LINGER_WAIT_MS, &[])
+            .unwrap_or((0, 0.0, 0.0, 0.0));
+        out.push_str(&format!(
+            "batching   batches {batches}{}  mean size {:.1} (p50 {bp50:.0})  \
+             occupancy {occ:.0}%  linger p50 {lp50:.2}ms p99 {lp99:.2}ms\n",
+            rate(prev, curr, batches, pc(live::BATCHES_TOTAL, &[])),
+            bsum / batches.max(1) as f64,
+        ));
+    }
+
     let crashes = curr.counter_family(live::RANK_CRASHES_TOTAL);
     let restores = curr.counter_family(live::RANK_RESTORES_TOTAL);
     let retx = curr.counter_family(live::RANK_RETRANSMITTED_BYTES_TOTAL);
@@ -406,5 +425,31 @@ mod tests {
         let frame = render(None, &b, "test:0");
         assert!(frame.contains("ok 50 "), "frame:\n{frame}");
         assert!(!frame.contains("/s)"), "frame:\n{frame}");
+        // Solo servers never launch a batch, so the batching row is absent.
+        assert!(!frame.contains("batching"), "frame:\n{frame}");
+    }
+
+    #[test]
+    fn batching_row_appears_once_batches_launch() {
+        let json = "{\"format\":\"xbfs-metrics-v1\",\"uptime_ms\":1000,\"series\":[\
+             {\"name\":\"serve.batches_total\",\"labels\":{},\
+              \"unit\":\"count\",\"kind\":\"counter\",\"value\":4},\
+             {\"name\":\"serve.batch_size\",\"labels\":{},\
+              \"unit\":\"count\",\"kind\":\"histogram\",\"count\":4,\"sum\":20.0,\
+              \"p50\":5.0,\"p99\":8.0,\"buckets\":[[8,4]]},\
+             {\"name\":\"serve.batch_occupancy_pct\",\"labels\":{},\
+              \"unit\":\"count\",\"kind\":\"gauge\",\"value\":75},\
+             {\"name\":\"serve.linger_wait_ms\",\"labels\":{},\
+              \"unit\":\"ms\",\"kind\":\"histogram\",\"count\":4,\"sum\":4.0,\
+              \"p50\":0.5,\"p99\":1.75,\"buckets\":[[2,4]]}]}";
+        let s = TopSnapshot::parse(&JsonValue::parse(json).unwrap()).unwrap();
+        let frame = render(None, &s, "test:0");
+        assert!(frame.contains("batching   batches 4"), "frame:\n{frame}");
+        assert!(frame.contains("mean size 5.0"), "frame:\n{frame}");
+        assert!(frame.contains("occupancy 75%"), "frame:\n{frame}");
+        assert!(
+            frame.contains("linger p50 0.50ms p99 1.75ms"),
+            "frame:\n{frame}"
+        );
     }
 }

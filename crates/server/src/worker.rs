@@ -33,7 +33,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use gcd_sim::Device;
-use xbfs_core::{BitflipPlan, Sabotage, Xbfs, XbfsError};
+use xbfs_core::{BitflipPlan, MsBfs, Sabotage, Xbfs, XbfsError, MAX_CONCURRENT};
 use xbfs_graph::Csr;
 use xbfs_multi_gcd::{ClusterConfig, ClusterError, FaultConfig, FaultPlan, GcdCluster, LinkModel};
 use xbfs_telemetry::{names, AttrValue};
@@ -56,6 +56,9 @@ pub(crate) struct Job {
 enum Engine<'g> {
     /// Warm pooled single-device engine (device + state together).
     Single(Box<Xbfs<Device>>),
+    /// Warm pooled bit-parallel multi-source engine: one traversal
+    /// serves up to [`MAX_CONCURRENT`] coalesced requests.
+    Batch(Box<MsBfs<Device>>),
     /// Partitioned multi-GCD engine borrowing the server's graph.
     Cluster(Box<GcdCluster<'g>>),
 }
@@ -71,6 +74,9 @@ fn build_engine<'g>(shared: &Shared, graph: &'g Csr) -> Result<Engine<'g>, Strin
                 .map(|c| Engine::Cluster(Box::new(c)))
                 .map_err(|e| e.to_string())
         }
+        None if shared.cfg.batch_width > 1 => MsBfs::new((shared.factory)(), graph)
+            .map(|e| Engine::Batch(Box::new(e)))
+            .map_err(|e| e.to_string()),
         None => Xbfs::new((shared.factory)(), graph, shared.xcfg)
             .map(|e| Engine::Single(Box::new(e)))
             .map_err(|e| e.to_string()),
@@ -102,8 +108,17 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, worker_idx: usize) {
     // (declared before `engine`, so dropped after it) pins it.
     let graph = Arc::clone(&shared.graph);
     let mut engine: Option<Engine<'_>> = None;
-    while let Some((ticket, job)) = shared.queue.pop() {
-        serve_one(&shared, &graph, &mut engine, ticket, job, worker_idx);
+    let width = shared.cfg.batch_width.clamp(1, MAX_CONCURRENT);
+    if width > 1 && shared.cfg.cluster.is_none() {
+        let linger =
+            std::time::Duration::from_secs_f64(shared.cfg.batch_window_ms.max(0.0) / 1000.0);
+        while let Some(batch) = shared.queue.pop_batch(width, linger) {
+            serve_batch(&shared, &graph, &mut engine, batch, worker_idx);
+        }
+    } else {
+        while let Some((ticket, job)) = shared.queue.pop() {
+            serve_one(&shared, &graph, &mut engine, ticket, job, worker_idx);
+        }
     }
     // Normal teardown: the engine is healthy, let Drop park its buffers.
     drop(engine);
@@ -137,7 +152,7 @@ fn serve_one<'g>(
         format!("id={id} source={} wait_ms={wait_ms:.1}", job.req.source),
     );
 
-    let outcome = execute(shared, graph, engine, ticket, &job, wait_ms, worker_idx);
+    let outcome = execute(shared, graph, engine, ticket, &job, wait_ms, worker_idx, 0);
     rec.span_attr(span, "status", AttrValue::Str(outcome.status.into()));
     rec.span_attr(
         span,
@@ -154,9 +169,7 @@ fn serve_one<'g>(
     // The device's pool totals only move while this worker runs, so
     // sampling once per request keeps the series current without
     // touching the hot path inside the run.
-    if let Some(Engine::Single(eng)) = engine.as_ref() {
-        m.sample_pool(worker_idx, eng.device().pool_gauges());
-    }
+    sample_engine_pool(shared, worker_idx, engine);
     m.flight.note(
         worker_idx,
         "request.finish",
@@ -205,6 +218,11 @@ struct Attempt<'a> {
     worker: usize,
 }
 
+/// Serve one request through the attempt/quarantine loop. `prior_attempts`
+/// pre-charges attempts already spent elsewhere (a failed batch attempt
+/// counts as one), so replayed batch members report honest attempt counts
+/// and burn their retry budget accordingly.
+#[allow(clippy::too_many_arguments)]
 fn execute<'g>(
     shared: &Shared,
     graph: &'g Csr,
@@ -213,6 +231,7 @@ fn execute<'g>(
     job: &Job,
     wait_ms: f64,
     worker: usize,
+    prior_attempts: u32,
 ) -> Outcome {
     let id = job.req.id;
     let stats = &shared.stats;
@@ -259,6 +278,9 @@ fn execute<'g>(
     let mismatch = match (chaos, shared.cfg.cluster) {
         (ChaosAction::Crash { .. }, None) => Some("crash chaos requires a --cluster server"),
         (ChaosAction::Bitflip, Some(_)) => Some("bitflip chaos requires a single-device server"),
+        (ChaosAction::Bitflip, None) if shared.cfg.batch_width > 1 => {
+            Some("bitflip chaos requires a batch-width 1 server")
+        }
         _ => None,
     };
     if let Some(why) = mismatch {
@@ -275,8 +297,10 @@ fn execute<'g>(
     let flip_plan = (chaos == ChaosAction::Bitflip)
         .then(|| BitflipPlan::parse("status:1").expect("static chaos bitflip spec parses"));
 
-    let max_attempts = shared.cfg.max_retries + 1;
-    let mut attempt = 0u32;
+    // A pre-charged attempt never eats the whole budget: a replayed
+    // batch member always gets at least one solo attempt.
+    let max_attempts = (shared.cfg.max_retries + 1).max(prior_attempts + 1);
+    let mut attempt = prior_attempts;
     loop {
         if engine.is_none() {
             match build_engine(shared, graph) {
@@ -316,6 +340,7 @@ fn execute<'g>(
         };
         let step = match engine.as_mut().expect("just built") {
             Engine::Single(eng) => ctx.run_single(eng, flip_plan.as_ref()),
+            Engine::Batch(eng) => ctx.run_batch_solo(eng),
             Engine::Cluster(cluster) => {
                 let step = ctx.run_cluster(cluster, graph);
                 // Drain per-rank health every attempt — before any
@@ -393,6 +418,68 @@ impl Attempt<'_> {
             Ok(Err(other)) => {
                 // Client-input errors (bad source, …): typed, no retry,
                 // and no breaker penalty — the substrate is fine.
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                Step::Finish(Outcome {
+                    line: protocol::error_line(id, "invalid", &other.to_string()),
+                    status: "error",
+                    attempts: self.attempt + 1,
+                })
+            }
+            Err(payload) => Step::Retry {
+                kind: "panic",
+                msg: self.note_panic(payload.as_ref()),
+            },
+        }
+    }
+
+    /// One attempt on the bit-parallel multi-source engine, run 1-wide:
+    /// the solo fallback of a batch-width server (lone members, and the
+    /// replay path after a batch quarantine or deadline split). Responses
+    /// carry the slot's levels-only digest, so every `ok` a batch-width
+    /// server emits — coalesced or solo — is digest-comparable.
+    fn run_batch_solo(&self, eng: &MsBfs<Device>) -> Step {
+        let shared = self.shared;
+        let stats = &shared.stats;
+        let id = self.job.req.id;
+        let ticket = self.ticket;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if self.act == ChaosAction::Panic {
+                panic!("chaos: injected worker panic (ticket {ticket})");
+            }
+            eng.run_governed(&[self.job.req.source], self.run_budget_ms, self.verify)
+        }));
+
+        match result {
+            Ok(Ok((run, certs))) => {
+                shared.breaker.record_success();
+                stats.ok.fetch_add(1, Ordering::Relaxed);
+                if self.attempt > 0 {
+                    stats.replayed.fetch_add(1, Ordering::Relaxed);
+                }
+                Step::Finish(Outcome {
+                    line: protocol::batched_ok_line(
+                        id,
+                        &run,
+                        0,
+                        certs.is_some(),
+                        self.wait_ms,
+                        self.attempt + 1,
+                        1,
+                    ),
+                    status: "ok",
+                    attempts: self.attempt + 1,
+                })
+            }
+            Ok(Err(XbfsError::DeadlineExceeded {
+                elapsed_us,
+                deadline_us,
+                ..
+            })) => Step::Finish(self.timeout(elapsed_us, deadline_us)),
+            Ok(Err(XbfsError::Integrity(e))) => Step::Retry {
+                kind: "integrity",
+                msg: e.to_string(),
+            },
+            Ok(Err(other)) => {
                 stats.errors.fetch_add(1, Ordering::Relaxed);
                 Step::Finish(Outcome {
                     line: protocol::error_line(id, "invalid", &other.to_string()),
@@ -551,37 +638,45 @@ impl Attempt<'_> {
         }
     }
 
-    /// Count + record a contained panic, returning its message. Dumps
-    /// the flight recorder: a panic is exactly the moment the recent
-    /// per-worker event rings earn their keep.
+    /// Count + record a contained panic, returning its message.
     fn note_panic(&self, payload: &(dyn std::any::Any + Send)) -> String {
-        let msg = panic_message(payload);
-        let shared = self.shared;
-        shared
-            .stats
-            .panics_recovered
-            .fetch_add(1, Ordering::Relaxed);
-        if let Some(w) = shared.metrics.workers.get(self.worker) {
-            w.panics.add(1);
-        }
-        shared.metrics.flight.note(
-            self.worker,
-            "panic",
-            format!("ticket={} {msg}", self.ticket),
-        );
-        shared.metrics.dump_flight("worker-panic");
-        shared.rec.event(
-            None,
-            names::event::PANIC_RECOVERED,
-            0,
-            shared.now_us(),
-            vec![
-                ("ticket".into(), AttrValue::U64(self.ticket)),
-                ("message".into(), AttrValue::Str(msg.clone())),
-            ],
-        );
-        msg
+        record_panic(self.shared, self.worker, self.ticket, payload)
     }
+}
+
+/// Count + record a contained panic, returning its message. Dumps the
+/// flight recorder: a panic is exactly the moment the recent per-worker
+/// event rings earn their keep.
+fn record_panic(
+    shared: &Shared,
+    worker: usize,
+    ticket: u64,
+    payload: &(dyn std::any::Any + Send),
+) -> String {
+    let msg = panic_message(payload);
+    shared
+        .stats
+        .panics_recovered
+        .fetch_add(1, Ordering::Relaxed);
+    if let Some(w) = shared.metrics.workers.get(worker) {
+        w.panics.add(1);
+    }
+    shared
+        .metrics
+        .flight
+        .note(worker, "panic", format!("ticket={ticket} {msg}"));
+    shared.metrics.dump_flight("worker-panic");
+    shared.rec.event(
+        None,
+        names::event::PANIC_RECOVERED,
+        0,
+        shared.now_us(),
+        vec![
+            ("ticket".into(), AttrValue::U64(ticket)),
+            ("message".into(), AttrValue::Str(msg.clone())),
+        ],
+    );
+    msg
 }
 
 fn quarantine(
@@ -652,6 +747,333 @@ fn give_up(
         ),
         status: "error",
         attempts,
+    }
+}
+
+/// Sample the single-device pool gauges of whichever warm engine this
+/// worker holds (the cluster backend has no device pool).
+fn sample_engine_pool(shared: &Shared, worker: usize, engine: &Option<Engine<'_>>) {
+    match engine.as_ref() {
+        Some(Engine::Single(e)) => shared.metrics.sample_pool(worker, e.device().pool_gauges()),
+        Some(Engine::Batch(e)) => shared.metrics.sample_pool(worker, e.device().pool_gauges()),
+        _ => {}
+    }
+}
+
+/// One triaged batch member: an admitted job plus everything the batch
+/// attempt needs to demultiplex it again (its slot, its own remaining
+/// budget, its effective verify, the chaos it carried).
+struct Member {
+    ticket: u64,
+    job: Job,
+    wait_ms: f64,
+    run_budget_ms: Option<f64>,
+    verify: bool,
+    panic_chaos: bool,
+    slow_ms: Option<u64>,
+    had_chaos: bool,
+    slot: usize,
+}
+
+/// Shed, reject, or admit one popped job into the batch. Members are
+/// always triaged (and answered) individually — a blown budget or a bad
+/// source never takes the batch down with it.
+fn triage(shared: &Shared, ticket: u64, job: Job, worker: usize) -> Option<Member> {
+    let id = job.req.id;
+    let wait_ms = job.enqueued.elapsed().as_secs_f64() * 1000.0;
+    shared.metrics.queue_wait_ms.record(wait_ms);
+    shared
+        .rec
+        .counter(names::metric::WAIT_MS, worker, shared.now_us(), wait_ms);
+    let reject = |status: &'static str, line: String| {
+        if status == "timeout" {
+            shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.metrics.finish_request(worker, status, wait_ms);
+        deliver(shared, &job.resp, line);
+    };
+    // Queue wait spends the wall budget first, exactly like the solo path.
+    let deadline_ms = job.req.deadline_ms.or(shared.cfg.default_deadline_ms);
+    let run_budget_ms = match deadline_ms {
+        Some(d) if wait_ms >= d => {
+            reject("timeout", protocol::timeout_line(id, "queue", wait_ms, d));
+            return None;
+        }
+        Some(d) => Some(d - wait_ms),
+        None => None,
+    };
+    // Validate the source up front: `run_governed` rejects a whole batch
+    // for one bad member, and that member's error is not its neighbors'.
+    let n = shared.graph.num_vertices();
+    if job.req.source as usize >= n {
+        let msg = XbfsError::SourceOutOfRange {
+            source: job.req.source,
+            num_vertices: n,
+        }
+        .to_string();
+        reject("error", protocol::error_line(id, "invalid", &msg));
+        return None;
+    }
+    let had_chaos = job.req.chaos.is_some();
+    let mut panic_chaos = false;
+    let mut slow_ms = None;
+    if let Some(tok) = &job.req.chaos {
+        if !shared.cfg.allow_chaos {
+            shared.stats.chaos_ignored.fetch_add(1, Ordering::Relaxed);
+        } else {
+            match ChaosAction::from_token(tok) {
+                Ok(ChaosAction::Panic) => panic_chaos = true,
+                Ok(ChaosAction::Slow(ms)) => slow_ms = Some(ms),
+                Ok(ChaosAction::None) => {}
+                Ok(ChaosAction::Bitflip) => {
+                    reject(
+                        "error",
+                        protocol::error_line(
+                            id,
+                            "usage",
+                            "bitflip chaos requires a batch-width 1 server",
+                        ),
+                    );
+                    return None;
+                }
+                Ok(ChaosAction::Crash { .. }) => {
+                    reject(
+                        "error",
+                        protocol::error_line(
+                            id,
+                            "usage",
+                            "crash chaos requires a --cluster server",
+                        ),
+                    );
+                    return None;
+                }
+                Err(e) => {
+                    reject("error", protocol::error_line(id, "usage", &e));
+                    return None;
+                }
+            }
+        }
+    }
+    let verify = job.req.verify.unwrap_or(shared.cfg.verify);
+    Some(Member {
+        ticket,
+        job,
+        wait_ms,
+        run_budget_ms,
+        verify,
+        panic_chaos,
+        slow_ms,
+        had_chaos,
+        slot: 0,
+    })
+}
+
+/// Epilogue shared by every batch-member outcome: latency + headroom
+/// series, idempotency cache, and delivery.
+fn finish_member(shared: &Shared, worker: usize, mb: &Member, status: &str, line: String) {
+    let total_ms = mb.job.enqueued.elapsed().as_secs_f64() * 1000.0;
+    shared.metrics.finish_request(worker, status, total_ms);
+    if let Some(d) = mb.job.req.deadline_ms.or(shared.cfg.default_deadline_ms) {
+        shared
+            .metrics
+            .deadline_headroom_ms
+            .record((d - total_ms).max(0.0));
+    }
+    if status == "ok" && !mb.had_chaos {
+        shared.dedup.record(mb.job.req.id, mb.job.req.source, &line);
+    }
+    deliver(shared, &mb.job.resp, line);
+}
+
+/// Re-run one batch member solo (1-wide) on the — possibly just
+/// rebuilt — batch engine, under its own remaining budget and the full
+/// quarantine-and-replay machinery. The failed batch attempt is
+/// pre-charged as attempt 1, so responses report honest attempt counts.
+fn replay_member<'g>(
+    shared: &Shared,
+    graph: &'g Csr,
+    engine: &mut Option<Engine<'g>>,
+    mut mb: Member,
+    worker: usize,
+) {
+    // Injection fired (or was stripped) on the batch attempt already.
+    mb.job.req.chaos = None;
+    let wait_ms = mb.job.enqueued.elapsed().as_secs_f64() * 1000.0;
+    let outcome = execute(
+        shared, graph, engine, mb.ticket, &mb.job, wait_ms, worker, 1,
+    );
+    finish_member(shared, worker, &mb, outcome.status, outcome.line);
+}
+
+/// Serve one coalesced batch: triage members individually, dedup
+/// duplicate sources into shared slots, run one bit-parallel traversal
+/// under the tightest member budget, and demultiplex per-slot results
+/// back to every member. A deadline blow splits the batch (healthy
+/// engine, solo re-runs under each member's own budget); a panic or
+/// integrity fault quarantines the engine and replays members solo on a
+/// rebuilt one — so batching never weakens any robustness guarantee.
+fn serve_batch<'g>(
+    shared: &Shared,
+    graph: &'g Csr,
+    engine: &mut Option<Engine<'g>>,
+    batch: Vec<(u64, Job)>,
+    worker: usize,
+) {
+    let m = &shared.metrics;
+    let width = shared.cfg.batch_width.clamp(1, MAX_CONCURRENT);
+    let size = batch.len();
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .batched_requests
+        .fetch_add(size as u64, Ordering::Relaxed);
+    shared
+        .stats
+        .max_batch
+        .fetch_max(size as u64, Ordering::Relaxed);
+    m.batches_total.add(1);
+    m.batch_size.record(size as f64);
+    m.batch_occupancy_pct
+        .set(size as f64 * 100.0 / width as f64);
+    if let Some((_, youngest)) = batch.last() {
+        // ~0 when the youngest arrival filled the batch; up to the
+        // linger window (plus queue wait) for a lone request that
+        // outwaited the clock.
+        m.linger_wait_ms
+            .record(youngest.enqueued.elapsed().as_secs_f64() * 1000.0);
+    }
+    if let Some(w) = m.workers.get(worker) {
+        w.state.set(WORKER_RUNNING);
+    }
+    let first_ticket = batch.first().map(|&(t, _)| t).unwrap_or(0);
+    m.flight.note(
+        worker,
+        "batch.start",
+        format!("size={size} ticket0={first_ticket}"),
+    );
+
+    let mut members: Vec<Member> = batch
+        .into_iter()
+        .filter_map(|(t, j)| triage(shared, t, j, worker))
+        .collect();
+    'run: {
+        if members.is_empty() {
+            break 'run;
+        }
+        // Duplicate sources share one slot: answered once, demuxed many.
+        let mut sources: Vec<u32> = Vec::new();
+        for mb in &mut members {
+            mb.slot = sources
+                .iter()
+                .position(|&s| s == mb.job.req.source)
+                .unwrap_or_else(|| {
+                    sources.push(mb.job.req.source);
+                    sources.len() - 1
+                });
+        }
+        // The batch runs under the *tightest* member's remaining budget;
+        // a blown batch is split below, so a generous member is never
+        // timed out by a stingy neighbor.
+        let budget = members
+            .iter()
+            .filter_map(|mb| mb.run_budget_ms)
+            .fold(None, |acc: Option<f64>, b| {
+                Some(acc.map_or(b, |a: f64| a.min(b)))
+            });
+        let verify = members.iter().any(|mb| mb.verify);
+        let panic_injected = members.iter().any(|mb| mb.panic_chaos);
+        if let Some(ms) = members.iter().filter_map(|mb| mb.slow_ms).max() {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        if engine.is_none() {
+            match build_engine(shared, graph) {
+                Ok(e) => *engine = Some(e),
+                Err(err) => {
+                    shared.breaker.record_failure();
+                    for mb in members {
+                        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        let line = protocol::error_line(mb.job.req.id, "engine", &err);
+                        finish_member(shared, worker, &mb, "error", line);
+                    }
+                    break 'run;
+                }
+            }
+        }
+        let result = {
+            let Some(Engine::Batch(eng)) = engine.as_ref() else {
+                unreachable!("batch workers always build the batch engine")
+            };
+            catch_unwind(AssertUnwindSafe(|| {
+                if panic_injected {
+                    panic!("chaos: injected worker panic (batch ticket0 {first_ticket})");
+                }
+                eng.run_governed(&sources, budget, verify)
+            }))
+        };
+        match result {
+            Ok(Ok((run, certs))) => {
+                shared.breaker.record_success();
+                let served = members.len();
+                for mb in members {
+                    shared.stats.ok.fetch_add(1, Ordering::Relaxed);
+                    let certified = certs.is_some() && mb.verify;
+                    let line = protocol::batched_ok_line(
+                        mb.job.req.id,
+                        &run,
+                        mb.slot,
+                        certified,
+                        mb.wait_ms,
+                        1,
+                        served,
+                    );
+                    finish_member(shared, worker, &mb, "ok", line);
+                }
+            }
+            Ok(Err(XbfsError::DeadlineExceeded { .. })) => {
+                // The tightest budget bound everyone; the engine is
+                // healthy. Split: re-run each member solo under its own
+                // budget, so nobody times out *because* of coalescing.
+                m.flight.note(
+                    worker,
+                    "batch.split",
+                    format!("size={} why=deadline", members.len()),
+                );
+                for mb in members {
+                    replay_member(shared, graph, engine, mb, worker);
+                }
+            }
+            Ok(Err(XbfsError::Integrity(e))) => {
+                m.flight.note(worker, "batch.integrity", format!("{e}"));
+                quarantine(shared, engine, "integrity", first_ticket, worker);
+                for mb in members {
+                    replay_member(shared, graph, engine, mb, worker);
+                }
+            }
+            Ok(Err(other)) => {
+                // Sources were validated at triage, so no member input
+                // explains this; treat the engine as poisoned.
+                m.flight.note(worker, "batch.error", format!("{other}"));
+                quarantine(shared, engine, "engine-error", first_ticket, worker);
+                for mb in members {
+                    replay_member(shared, graph, engine, mb, worker);
+                }
+            }
+            Err(payload) => {
+                record_panic(shared, worker, first_ticket, payload.as_ref());
+                quarantine(shared, engine, "panic", first_ticket, worker);
+                for mb in members {
+                    replay_member(shared, graph, engine, mb, worker);
+                }
+            }
+        }
+    }
+    sample_engine_pool(shared, worker, engine);
+    m.flight
+        .note(worker, "batch.finish", format!("ticket0={first_ticket}"));
+    if let Some(w) = m.workers.get(worker) {
+        w.state.set(WORKER_IDLE);
     }
 }
 

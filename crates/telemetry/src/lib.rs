@@ -236,5 +236,15 @@ pub mod names {
         /// Modeled time spent exchanging frontiers/collectives across
         /// cluster requests, µs.
         pub const CLUSTER_EXCHANGE_US_TOTAL: &str = "cluster.exchange_us_total";
+        /// Members coalesced per dispatched multi-source batch
+        /// (histogram).
+        pub const BATCH_SIZE: &str = "serve.batch_size";
+        /// Batches dispatched to the multi-source engine.
+        pub const BATCHES_TOTAL: &str = "serve.batches_total";
+        /// Last batch's fill of the configured width, percent (gauge).
+        pub const BATCH_OCCUPANCY_PCT: &str = "serve.batch_occupancy_pct";
+        /// Time the batcher lingered waiting for company, wall ms
+        /// (histogram).
+        pub const LINGER_WAIT_MS: &str = "serve.linger_wait_ms";
     }
 }

@@ -246,4 +246,58 @@ printf '{"schema":"xbfs-bench-pr7-v1","certified_sweep_speedup":%s,"baseline_pr6
   "$(cat "$SMOKE/metrics_serve_report.json")" > results/BENCH_pr7.json
 echo "    wrote results/BENCH_pr7.json"
 
+echo "==> batch smoke (64-wide waves: >= 2x solo served qps, zero lost, clean drains)"
+# scale 14 so a solo run costs real host time (the thing batching amortizes)
+"$XBFS" generate --out "$SMOKE/batch.bin" --scale 14 --seed 9
+batch_profile() { # $1 = --batch-width; writes loadgen json to $2, serve json to $3
+  local PORT=$((20000 + RANDOM % 20000))
+  "$XBFS" serve "$SMOKE/batch.bin" --addr "127.0.0.1:$PORT" --workers 1 \
+    --batch-width "$1" --batch-window-ms 5 --queue-cap 1024 \
+    --json "$3" > /dev/null &
+  local SRV=$!
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  # Same offered load both times: far past solo capacity, a hot-key source
+  # mix (16 distinct sources) the batcher can dedup and share, and a queue
+  # deep enough to hold the burst, so ok-counts match and served qps is
+  # the honest throughput difference.
+  "$XBFS" loadgen --addr "127.0.0.1:$PORT" --requests 600 --rps 4000 \
+    --connections 8 --sources 16 --retries 12 --max-shed-pct 99 \
+    --json "$2" --shutdown > /dev/null
+  wait "$SRV" # clean drain is exit 0; lost work would make this nonzero
+}
+batch_profile 1 "$SMOKE/loadgen_solo.json" "$SMOKE/serve_solo.json"
+batch_profile 64 "$SMOKE/loadgen_batched.json" "$SMOKE/serve_batched.json"
+for F in "$SMOKE/loadgen_solo.json" "$SMOKE/loadgen_batched.json"; do
+  grep -q '"lost":0,' "$F"
+  grep -q '"digests_consistent":true' "$F"
+done
+for F in "$SMOKE/serve_solo.json" "$SMOKE/serve_batched.json"; do
+  grep -q '"drain_clean":true' "$F"
+done
+# the batched server actually coalesced: waves launched, at least one wide
+BATCHES=$(grep -o '"batches":[0-9]*' "$SMOKE/serve_batched.json" | grep -o '[0-9]*$')
+MAXB=$(grep -o '"max_batch_size":[0-9]*' "$SMOKE/serve_batched.json" | grep -o '[0-9]*$')
+test "$BATCHES" -ge 1 || { echo "batched server never launched a batch" >&2; exit 1; }
+test "$MAXB" -ge 2 || { echo "no batch ever coalesced > 1 request" >&2; exit 1; }
+SOLO_QPS=$(grep -o '"served_qps":[0-9.]*' "$SMOKE/loadgen_solo.json" | grep -o '[0-9.]*$')
+BATCH_QPS=$(grep -o '"served_qps":[0-9.]*' "$SMOKE/loadgen_batched.json" | grep -o '[0-9.]*$')
+echo "    served qps: batch-width 64 = ${BATCH_QPS}, batch-width 1 = ${SOLO_QPS}"
+awk -v b="$BATCH_QPS" -v s="$SOLO_QPS" 'BEGIN { exit !(b >= 2.0 * s) }' \
+  || { echo "batched serving < 2x solo served qps" >&2; exit 1; }
+# the offline twin: a multi-source sweep pass, bit-identical to the rebuild
+"$XBFS" sweep "$SMOKE/batch.bin" --sources 96 --multi-source \
+  --json "$SMOKE/sweep_ms.json" | tee "$SMOKE/sweep_ms.out"
+grep -q "multi-source:" "$SMOKE/sweep_ms.out"
+grep -q "slot levels bit-identical" "$SMOKE/sweep_ms.out"
+grep -q '"multi_source":' "$SMOKE/sweep_ms.json"
+printf '{"schema":"xbfs-bench-pr8-v1","batched_served_qps":%s,"solo_served_qps":%s,"batches":%s,"max_batch_size":%s,"loadgen_batched":%s,"loadgen_solo":%s,"serve_batched":%s,"sweep_multi_source":%s}\n' \
+  "$BATCH_QPS" "$SOLO_QPS" "$BATCHES" "$MAXB" \
+  "$(cat "$SMOKE/loadgen_batched.json")" "$(cat "$SMOKE/loadgen_solo.json")" \
+  "$(cat "$SMOKE/serve_batched.json")" "$(cat "$SMOKE/sweep_ms.json")" \
+  > results/BENCH_pr8.json
+echo "    wrote results/BENCH_pr8.json"
+
 echo "CI gate passed."
