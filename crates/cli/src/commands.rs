@@ -13,7 +13,9 @@ use xbfs_multi_gcd::{
     ClusterConfig, ClusterError, FaultConfig, FaultEvent, FaultPlan, GcdCluster, LinkModel,
     RecoveryPolicy,
 };
-use xbfs_server::{run_loadgen, ChaosPlan, DeviceFactory, LoadgenConfig, ServeConfig, Server};
+use xbfs_server::{
+    run_loadgen, ChaosPlan, DeviceFactory, FsyncPolicy, LoadgenConfig, ServeConfig, Server,
+};
 use xbfs_telemetry::{names, AttrValue, JsonValue, Recorder, TraceFormat};
 
 /// Exit codes the `xbfs` binary maps failures to.
@@ -151,6 +153,9 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "flight-ring",
             "batch-width",
             "batch-window-ms",
+            "journal",
+            "journal-fsync",
+            "idle-timeout-ms",
             "json",
             "trace",
         ],
@@ -168,6 +173,7 @@ fn allowed_options(command: &str) -> Option<Vec<&'static str>> {
             "shutdown",
             "max-shed-pct",
             "progress-every-ms",
+            "no-reconnect",
             "json",
         ],
         "top" => vec!["interval-ms", "frames"],
@@ -308,7 +314,8 @@ COMMANDS
             [--deadline-ms MS] [--cluster N] [--checkpoint-every N]
             [--alpha F] [--metrics-addr HOST:PORT] [--flight-dir DIR]
             [--flight-ring N] [--batch-width W] [--batch-window-ms MS]
-            [--json FILE] [--trace FMT:PATH]
+            [--journal PATH] [--journal-fsync always|batch=N|off]
+            [--idle-timeout-ms MS] [--json FILE] [--trace FMT:PATH]
             long-running BFS daemon: loads the graph once, keeps one warm
             pooled engine per worker, and serves `xbfs-serve-v1` (JSON
             lines over TCP). A bounded admission queue sheds overload with
@@ -347,11 +354,25 @@ COMMANDS
             batch runs under the tightest member budget and splits back
             to solo runs on expiry), and a panic or failed certificate
             quarantines the batch engine and replays members one by one
-            on a rebuilt engine. Does not compose with --cluster
+            on a rebuilt engine. Does not compose with --cluster.
+            --journal PATH arms a CRC-framed write-ahead journal: every
+            admitted request and every terminal response is appended, so
+            a process killed mid-load (even SIGKILL) can be restarted on
+            the same path and will replay the journal torn-tail-
+            tolerantly — completed ids warm the dedup cache (resends get
+            the cached response), incomplete requests are re-enqueued
+            ahead of new traffic, and recovered results are bit-identical
+            to a fresh run. --journal-fsync picks the durability/latency
+            trade: always (fsync per record), batch=N (fsync every Nth
+            record, default batch=8), off (OS page cache only — still
+            survives SIGKILL, not power loss). Connections are kept
+            honest: request lines over 64 KiB are shed with a typed
+            `overlong` error and idle connections with nothing in flight
+            are closed after --idle-timeout-ms (default 30000; 0 = never)
   loadgen   --addr HOST:PORT [--requests N] [--rps F] [--connections N]
             [--sources N] [--seed N] [--deadline-ms MS] [--verify]
             [--chaos SPEC] [--retries N] [--shutdown] [--max-shed-pct F]
-            [--progress-every-ms MS] [--json FILE]
+            [--progress-every-ms MS] [--no-reconnect] [--json FILE]
             open-loop load generator for `xbfs serve`: paces N requests at
             a target RPS over pipelined connections, measures latency from
             each request's scheduled time (no coordinated omission), and
@@ -366,7 +387,12 @@ COMMANDS
             with exit 9 when shedding exceeds the bound; --json writes
             xbfs-loadgen-v1. A one-line progress report (sent / ok /
             shed / p99-so-far) goes to stderr every --progress-every-ms
-            (default 1000; 0 silences it)
+            (default 1000; 0 silences it). A dropped connection (server
+            crash, restart) is redialed automatically with jittered
+            backoff and every outstanding request is resent — latency
+            still counts from the original schedule, and the `reconnects`
+            count lands in the report (--no-reconnect disables this, so
+            a dead connection marks its outstanding requests lost)
   top       HOST:PORT [--interval-ms MS] [--frames N]
             live dashboard over a running server's metrics plane: polls
             the wire `metrics` op at the serve address and renders
@@ -1470,6 +1496,20 @@ fn serve(args: &Args) -> Result<String, CliError> {
     if !batch_window_ms.is_finite() || batch_window_ms < 0.0 {
         return Err(CliError::usage("--batch-window-ms must be >= 0"));
     }
+    // Durability: --journal PATH arms the write-ahead journal; the fsync
+    // policy grammar is parsed up front so a typo fails before the graph
+    // loads. --journal-fsync without --journal is a usage error (it would
+    // silently do nothing).
+    let journal = args.options.get("journal").cloned();
+    let journal_fsync = match args.options.get("journal-fsync") {
+        Some(spec) => {
+            if journal.is_none() {
+                return Err(CliError::usage("--journal-fsync requires --journal PATH"));
+            }
+            FsyncPolicy::parse(spec).map_err(|e| CliError::usage(e.to_string()))?
+        }
+        None => FsyncPolicy::Batch(8),
+    };
     let scfg = ServeConfig {
         addr: args.get("addr", "127.0.0.1:0".to_string())?,
         workers: args.get("workers", 2)?,
@@ -1488,6 +1528,9 @@ fn serve(args: &Args) -> Result<String, CliError> {
         flight_ring: args.get("flight-ring", 64)?,
         batch_width,
         batch_window_ms,
+        journal,
+        journal_fsync,
+        idle_timeout_ms: args.get("idle-timeout-ms", 30_000)?,
         ..ServeConfig::default()
     };
     let (workers, queue_cap) = (scfg.workers, scfg.queue_cap);
@@ -1546,6 +1589,12 @@ fn serve(args: &Args) -> Result<String, CliError> {
             handle.addr()
         );
     }
+    if let Some(jpath) = args.options.get("journal") {
+        eprintln!(
+            "xbfs serve: journaling to {jpath} (fsync {journal_fsync}); \
+             a restart on the same path replays incomplete requests"
+        );
+    }
 
     let report = handle.join();
     let mut out = format!(
@@ -1582,6 +1631,25 @@ fn serve(args: &Args) -> Result<String, CliError> {
         out.push_str(&format!(
             "idempotent replays answered from cache: {}\n",
             report.deduped
+        ));
+    }
+    if report.journal_appends > 0 || report.replayed_requests > 0 {
+        out.push_str(&format!(
+            "journal: {} append(s) {} fsync(s) {} B written\n",
+            report.journal_appends, report.journal_fsyncs, report.journal_bytes
+        ));
+    }
+    if report.replayed_requests > 0 {
+        out.push_str(&format!(
+            "crash recovery: re-enqueued {} incomplete request(s) from the \
+             journal in {:.1} ms\n",
+            report.replayed_requests, report.recovery_ms
+        ));
+    }
+    if report.long_lines > 0 || report.idle_disconnects > 0 {
+        out.push_str(&format!(
+            "read hygiene: overlong lines shed {} idle connections closed {}\n",
+            report.long_lines, report.idle_disconnects
         ));
     }
     if report.batch_width > 1 {
@@ -1659,6 +1727,7 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
         retries: args.get("retries", 0)?,
         shutdown_after: args.flag("shutdown"),
         progress_every_ms: args.get("progress-every-ms", 1000)?,
+        reconnect: !args.flag("no-reconnect"),
         ..LoadgenConfig::default()
     };
     let report = run_loadgen(&cfg)
@@ -1668,7 +1737,7 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
         "loadgen: {} requests at target {:.0} rps over {} connection(s); \
          achieved {:.0} rps in {:.0} ms\n\
          ok {} shed {} ({:.1}%) timeouts {} errors {} lost {}; replayed {}\n\
-         retries: sent {} retried-then-ok {}\n\
+         retries: sent {} retried-then-ok {}; reconnects {}\n\
          latency ms from scheduled send: p50 {:.3} p99 {:.3} p999 {:.3} max {:.3}\n\
          digests consistent per source: {}\n",
         report.sent,
@@ -1685,6 +1754,7 @@ fn loadgen(args: &Args) -> Result<String, CliError> {
         report.replayed,
         report.retries_sent,
         report.retried_ok,
+        report.reconnects,
         report.p50_ms,
         report.p99_ms,
         report.p999_ms,

@@ -36,6 +36,12 @@
 //!   small LRU ([`DedupCache`]); a client that reconnects after a timeout
 //!   and resends an id gets the cached response (`"deduped":true`)
 //!   instead of double-executing.
+//! - **Durability** — an optional CRC-framed write-ahead journal
+//!   ([`journal::Journal`]) records every admitted request and every
+//!   terminal response; a restart on the same `--journal` path replays
+//!   it torn-tail-tolerantly, warm-starts the dedup cache from
+//!   completion records, and re-enqueues incomplete requests ahead of
+//!   new traffic — so even SIGKILL of the process loses nothing.
 //! - **Live metrics plane** — an always-on, lock-light registry
 //!   ([`metrics::ServerMetrics`]) instrumenting every stage (admission,
 //!   workers, breaker, pools, cluster health), scrapeable mid-load via
@@ -52,6 +58,7 @@
 pub mod breaker;
 pub mod chaos;
 pub mod dedup;
+pub mod journal;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
@@ -63,6 +70,7 @@ pub mod worker;
 pub use breaker::CircuitBreaker;
 pub use chaos::{ChaosAction, ChaosPlan};
 pub use dedup::DedupCache;
+pub use journal::{replay_bytes, FsyncPolicy, Journal, Record, ReplayedJournal};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use protocol::{BfsRequest, Request, ResponseSummary, PROTOCOL};
 pub use queue::{Admission, AdmissionQueue, QueueStats};

@@ -63,6 +63,11 @@ pub struct LoadgenConfig {
     /// Resend a shed request up to this many times, honoring the
     /// server's `retry_after_ms` hint with jittered backoff (0 = never).
     pub retries: u32,
+    /// On EOF or a connection error, redial the server with jittered
+    /// backoff (until the straggler cutoff) and resend every outstanding
+    /// id. Latency still counts from the original schedule; the kill
+    /// harness depends on this surviving a server restart.
+    pub reconnect: bool,
     /// Print a one-line progress report (sent / ok / shed / p99-so-far)
     /// to stderr this often, ms (0 = silent).
     pub progress_every_ms: u64,
@@ -83,6 +88,7 @@ impl Default for LoadgenConfig {
             shutdown_after: false,
             recv_timeout_ms: 30_000,
             retries: 0,
+            reconnect: true,
             progress_every_ms: 0,
         }
     }
@@ -111,6 +117,8 @@ pub struct LoadgenReport {
     pub retried_ok: u64,
     /// Retry sends performed (beyond the original request writes).
     pub retries_sent: u64,
+    /// Connections re-established after a drop (server restart, EOF).
+    pub reconnects: u64,
     /// Median latency from scheduled send, ms.
     pub p50_ms: f64,
     /// 99th percentile latency, ms.
@@ -145,7 +153,7 @@ impl LoadgenReport {
         format!(
             "{{\"format\":\"xbfs-loadgen-v1\",\"sent\":{},\"ok\":{},\"shed\":{},\
              \"timeouts\":{},\"errors\":{},\"lost\":{},\"replayed\":{},\
-             \"retried_ok\":{},\"retries_sent\":{},\
+             \"retried_ok\":{},\"retries_sent\":{},\"reconnects\":{},\
              \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"p999_ms\":{:.3},\"max_ms\":{:.3},\
              \"shed_pct\":{:.2},\"digests_consistent\":{},\"elapsed_ms\":{:.1},\
              \"achieved_rps\":{:.1},\"served_qps\":{:.1}}}",
@@ -158,6 +166,7 @@ impl LoadgenReport {
             self.replayed,
             self.retried_ok,
             self.retries_sent,
+            self.reconnects,
             self.p50_ms,
             self.p99_ms,
             self.p999_ms,
@@ -283,6 +292,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         })
     });
 
+    let reconnects = Arc::new(AtomicU64::new(0));
     let mut threads = Vec::new();
     for c in 0..n_conns {
         // Connection c owns requests c, c+n, c+2n, … of the schedule.
@@ -291,8 +301,9 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         let cfg = cfg.clone();
         let agg = agg_tx.clone();
         let prog = Arc::clone(&progress);
+        let recon = Arc::clone(&reconnects);
         threads.push(std::thread::spawn(move || {
-            drive_connection(&cfg, c, n_conns, stream, start, &agg, &prog)
+            drive_connection(&cfg, c, n_conns, stream, start, &agg, &prog, &recon)
         }));
     }
     drop(agg_tx);
@@ -322,6 +333,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     };
     let mut digests: HashMap<u32, String> = HashMap::new();
     report.digests_consistent = true;
+    report.reconnects = reconnects.load(Ordering::Relaxed);
     let mut answered = 0u64;
     for s in samples {
         answered += 1;
@@ -390,6 +402,42 @@ pub fn send_shutdown(addr: &str) -> std::io::Result<()> {
     Ok(())
 }
 
+/// The shared write side of one loadgen connection. The paced sender and
+/// the reader's retry path both write whole lines through the mutex; the
+/// reader owns redialing, and swaps a fresh stream in here when the old
+/// one drops. `None` means "down, redial in progress"; `dead` means the
+/// redial budget is exhausted and writers should give up.
+struct Wire {
+    stream: std::sync::Mutex<Option<TcpStream>>,
+    dead: AtomicBool,
+}
+
+impl Wire {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream: std::sync::Mutex::new(Some(stream)),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Write one request line. On failure the stream is torn down so the
+    /// reader's next EOF kicks off the redial; callers retry or give up.
+    fn write_line(&self, s: &str) -> bool {
+        let mut g = self.stream.lock().unwrap();
+        match g.as_mut() {
+            Some(st) => {
+                if writeln!(st, "{s}").is_ok() {
+                    true
+                } else {
+                    *g = None;
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+}
+
 /// Everything the reader needs about one in-flight request.
 struct Pending {
     scheduled_ms: f64,
@@ -402,7 +450,13 @@ struct Pending {
 
 /// One connection: a reader thread collects responses (and resends shed
 /// requests after their hinted backoff) while this thread paces sends on
-/// the global schedule. Returns how many were sent.
+/// the global schedule. The reader also owns *redialing*: when the
+/// connection drops (EOF, reset — e.g. the server was killed), it
+/// reconnects with jittered backoff and resends every outstanding id
+/// verbatim, so a restarted server can answer them — from its warm dedup
+/// cache or by journal replay. Latency still counts from the original
+/// schedule. Returns how many were sent.
+#[allow(clippy::too_many_arguments)]
 fn drive_connection(
     cfg: &LoadgenConfig,
     conn_idx: usize,
@@ -411,6 +465,7 @@ fn drive_connection(
     start: Instant,
     agg: &mpsc::Sender<Sample>,
     progress: &Progress,
+    reconnects: &Arc<AtomicU64>,
 ) -> u64 {
     let rps = if cfg.rps > 0.0 { cfg.rps } else { 1000.0 };
     let reader_stream = match stream.try_clone() {
@@ -421,16 +476,21 @@ fn drive_connection(
         .set_read_timeout(Some(Duration::from_millis(100)))
         .ok();
     // Writer and reader both send on the socket (paced requests here,
-    // retries there); whole-line writes are serialized by this mutex.
-    let writer = std::sync::Arc::new(std::sync::Mutex::new(stream));
+    // retries + reconnect resends there); whole-line writes are
+    // serialized by the wire's mutex.
+    let wire = Arc::new(Wire::new(stream));
 
     let (meta_tx, meta_rx) = mpsc::channel::<(u64, Pending)>();
     let agg = agg.clone();
     let cutoff = Duration::from_millis(cfg.recv_timeout_ms);
-    let retry_writer = std::sync::Arc::clone(&writer);
+    let reader_wire = Arc::clone(&wire);
+    let reconnects = Arc::clone(reconnects);
+    let addr = cfg.addr.clone();
+    let allow_reconnect = cfg.reconnect;
     let mut retry_rng = cfg.seed ^ 0xdead_beef ^ (conn_idx as u64).wrapping_mul(0x85eb_ca6b);
     let max_retries = cfg.retries;
     let reader = std::thread::spawn(move || {
+        let wire = reader_wire;
         let mut meta: HashMap<u64, Pending> = HashMap::new();
         let mut expected: Option<u64> = None; // set when writer finishes
         let mut resolved = 0u64;
@@ -466,15 +526,15 @@ fn drive_connection(
                     let (_, id) = backlog.swap_remove(k);
                     if let Some(p) = meta.get_mut(&id) {
                         p.retries_used += 1;
-                        let mut w = retry_writer.lock().unwrap();
-                        let _ = writeln!(w, "{}", p.req);
+                        let _ = wire.write_line(&p.req);
                     }
                 } else {
                     k += 1;
                 }
             }
+            let mut conn_down = false;
             match reader.read_line(&mut line) {
-                Ok(0) => break, // server closed
+                Ok(0) => conn_down = true, // server closed
                 Ok(_) if line.ends_with('\n') => {
                     let raw = std::mem::take(&mut line);
                     if let Ok(resp) = protocol::parse_response(raw.trim()) {
@@ -503,32 +563,75 @@ fn drive_connection(
                                 Instant::now() + Duration::from_millis(backoff + jitter),
                                 resp.id,
                             ));
-                        } else {
+                        } else if let Some(p) = meta.remove(&resp.id) {
                             resolved += 1;
-                            let (at_ms, source, retried, retries_used) = meta
-                                .remove(&resp.id)
-                                .map(|p| {
-                                    (p.scheduled_ms, p.source, p.retries_used > 0, p.retries_used)
-                                })
-                                .unwrap_or((0.0, resp.source.unwrap_or(0), false, 0));
                             let now_ms = start.elapsed().as_secs_f64() * 1000.0;
                             let _ = agg.send(Sample {
                                 status: resp.status,
-                                latency_ms: (now_ms - at_ms).max(0.0),
-                                source,
+                                latency_ms: (now_ms - p.scheduled_ms).max(0.0),
+                                source: p.source,
                                 digest: resp.digest,
                                 attempts: resp.attempts.unwrap_or(1),
-                                retried,
-                                retries_used,
+                                retried: p.retries_used > 0,
+                                retries_used: p.retries_used,
                             });
                         }
+                        // Unknown id: a duplicate answer to an id already
+                        // resolved (a reconnect resend raced the original
+                        // response) — drop it, never double-count.
                     }
                 }
-                Ok(_) => break,
+                Ok(_) => conn_down = true, // partial line: peer went away
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut => {}
-                Err(_) => break,
+                Err(_) => conn_down = true,
+            }
+            if conn_down {
+                if !allow_reconnect {
+                    break;
+                }
+                // Redial with jittered backoff until the straggler
+                // cutoff; ECONNREFUSED while the server restarts is
+                // expected, not fatal.
+                let mut dialed = None;
+                let mut attempt = 0u32;
+                while Instant::now() < deadline {
+                    if let Ok(s) = TcpStream::connect(&addr) {
+                        dialed = Some(s);
+                        break;
+                    }
+                    attempt += 1;
+                    let backoff = (25u64 << attempt.min(4)).min(400);
+                    let jitter = splitmix64(&mut retry_rng) % (backoff / 2 + 1);
+                    std::thread::sleep(Duration::from_millis(backoff + jitter));
+                }
+                let fresh = dialed.and_then(|s| {
+                    s.set_nodelay(true).ok();
+                    s.set_read_timeout(Some(Duration::from_millis(100))).ok();
+                    s.try_clone().ok().map(|write_half| (s, write_half))
+                });
+                let Some((read_half, write_half)) = fresh else {
+                    wire.dead.store(true, Ordering::Relaxed);
+                    break;
+                };
+                *wire.stream.lock().unwrap() = Some(write_half);
+                reader = BufReader::new(read_half);
+                line.clear();
+                // Backlogged shed retries are covered by the full resend
+                // below; stale entries would only double-send.
+                backlog.clear();
+                while let Ok((id, p)) = meta_rx.try_recv() {
+                    meta.insert(id, p);
+                }
+                // Resend every outstanding id verbatim. The server
+                // answers completed ones from its (journal-warmed) dedup
+                // cache and re-executes the rest; latency still counts
+                // from the original schedule.
+                for p in meta.values() {
+                    let _ = wire.write_line(&p.req);
+                }
+                reconnects.fetch_add(1, Ordering::Relaxed);
             }
         }
     });
@@ -570,10 +673,17 @@ fn drive_connection(
                 retries_used: 0,
             },
         ));
-        let write_ok = {
-            let mut w = writer.lock().unwrap();
-            writeln!(w, "{req}").is_ok()
-        };
+        // A failed write waits for the reader to re-establish the wire
+        // (it is redialing the moment the drop surfaces on its side)
+        // instead of abandoning the rest of the schedule.
+        let mut write_ok = wire.write_line(&req);
+        if !write_ok && cfg.reconnect {
+            let give_up = Instant::now() + cutoff;
+            while !write_ok && !wire.dead.load(Ordering::Relaxed) && Instant::now() < give_up {
+                std::thread::sleep(Duration::from_millis(10));
+                write_ok = wire.write_line(&req);
+            }
+        }
         if !write_ok {
             break;
         }

@@ -85,6 +85,8 @@ pub struct ServerMetrics {
     pub(crate) rejected_draining: Arc<Counter>,
     pub(crate) deduped: Arc<Counter>,
     pub(crate) bad_lines: Arc<Counter>,
+    pub(crate) long_lines: Arc<Counter>,
+    pub(crate) idle_disconnects: Arc<Counter>,
     pub(crate) connections: Arc<Counter>,
     pub(crate) queue_depth: Arc<Gauge>,
     pub(crate) retry_after_ms: Arc<Gauge>,
@@ -107,6 +109,19 @@ pub struct ServerMetrics {
     breaker_transitions_seen: AtomicU64,
     breaker_trips_seen: AtomicU64,
     pub(crate) flight_dumps_total: Arc<Counter>,
+
+    // Durability (all zero unless `--journal` is set). The journal owns
+    // the authoritative totals; scrapes fold them in as deltas (same
+    // `fetch_max` guard as the breaker) so the append hot path touches
+    // only the journal's own relaxed atomics.
+    pub(crate) journal_appends: Arc<Counter>,
+    pub(crate) journal_fsyncs: Arc<Counter>,
+    pub(crate) journal_bytes: Arc<Counter>,
+    pub(crate) replayed_requests: Arc<Counter>,
+    pub(crate) recovery_ms: Arc<Gauge>,
+    journal_appends_seen: AtomicU64,
+    journal_fsyncs_seen: AtomicU64,
+    journal_bytes_seen: AtomicU64,
 
     // Per-worker.
     pub(crate) workers: Vec<WorkerMetrics>,
@@ -166,6 +181,8 @@ impl ServerMetrics {
             rejected_draining: reg.counter(live::REJECTED_DRAINING_TOTAL, MetricUnit::Count, &[]),
             deduped: reg.counter(live::DEDUPED_TOTAL, MetricUnit::Count, &[]),
             bad_lines: reg.counter(live::BAD_LINES_TOTAL, MetricUnit::Count, &[]),
+            long_lines: reg.counter(live::LONG_LINES_TOTAL, MetricUnit::Count, &[]),
+            idle_disconnects: reg.counter(live::IDLE_DISCONNECTS_TOTAL, MetricUnit::Count, &[]),
             connections: reg.counter(live::CONNECTIONS_TOTAL, MetricUnit::Count, &[]),
             queue_depth: reg.gauge(live::QUEUE_DEPTH, MetricUnit::Count, &[]),
             retry_after_ms: reg.gauge(live::RETRY_AFTER_MS, MetricUnit::Millis, &[]),
@@ -189,6 +206,14 @@ impl ServerMetrics {
             breaker_transitions_seen: AtomicU64::new(0),
             breaker_trips_seen: AtomicU64::new(0),
             flight_dumps_total: reg.counter(live::FLIGHT_DUMPS_TOTAL, MetricUnit::Count, &[]),
+            journal_appends: reg.counter(live::JOURNAL_APPENDS_TOTAL, MetricUnit::Count, &[]),
+            journal_fsyncs: reg.counter(live::JOURNAL_FSYNCS_TOTAL, MetricUnit::Count, &[]),
+            journal_bytes: reg.counter(live::JOURNAL_BYTES_TOTAL, MetricUnit::Bytes, &[]),
+            replayed_requests: reg.counter(live::REPLAYED_REQUESTS_TOTAL, MetricUnit::Count, &[]),
+            recovery_ms: reg.gauge(live::RECOVERY_MS, MetricUnit::Millis, &[]),
+            journal_appends_seen: AtomicU64::new(0),
+            journal_fsyncs_seen: AtomicU64::new(0),
+            journal_bytes_seen: AtomicU64::new(0),
             workers: worker_handles,
             cluster_expand_us: reg.counter(live::CLUSTER_EXPAND_US_TOTAL, MetricUnit::Micros, &[]),
             cluster_exchange_us: reg.counter(
@@ -215,6 +240,27 @@ impl ServerMetrics {
         let prev = self.breaker_trips_seen.fetch_max(trips, Ordering::Relaxed);
         if trips > prev {
             self.breaker_trips.add(trips - prev);
+        }
+    }
+
+    /// Fold the journal's current totals into the live series (same
+    /// scrape-time delta discipline as [`Self::sync_breaker`]).
+    pub(crate) fn sync_journal(&self, appends: u64, fsyncs: u64, bytes: u64) {
+        let prev = self
+            .journal_appends_seen
+            .fetch_max(appends, Ordering::Relaxed);
+        if appends > prev {
+            self.journal_appends.add(appends - prev);
+        }
+        let prev = self
+            .journal_fsyncs_seen
+            .fetch_max(fsyncs, Ordering::Relaxed);
+        if fsyncs > prev {
+            self.journal_fsyncs.add(fsyncs - prev);
+        }
+        let prev = self.journal_bytes_seen.fetch_max(bytes, Ordering::Relaxed);
+        if bytes > prev {
+            self.journal_bytes.add(bytes - prev);
         }
     }
 
@@ -437,6 +483,27 @@ mod tests {
             .find(live::RANK_RETRANSMITTED_BYTES_TOTAL, &[("rank", "1")])
             .unwrap();
         assert_eq!(bytes.value, SeriesValue::Counter(128));
+    }
+
+    #[test]
+    fn journal_sync_folds_deltas_once() {
+        let m = ServerMetrics::new(1, tmpdir("journal"), 16);
+        m.sync_journal(10, 2, 640);
+        m.sync_journal(10, 2, 640); // racing scrape: no double-add
+        m.sync_journal(15, 3, 1000);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.find(live::JOURNAL_APPENDS_TOTAL, &[]).unwrap().value,
+            SeriesValue::Counter(15)
+        );
+        assert_eq!(
+            snap.find(live::JOURNAL_FSYNCS_TOTAL, &[]).unwrap().value,
+            SeriesValue::Counter(3)
+        );
+        assert_eq!(
+            snap.find(live::JOURNAL_BYTES_TOTAL, &[]).unwrap().value,
+            SeriesValue::Counter(1000)
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! answered before the process exits — the report's `drain_clean` says
 //! so explicitly.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,6 +31,7 @@ use xbfs_telemetry::{names, AttrValue, Recorder};
 
 use crate::breaker::CircuitBreaker;
 use crate::dedup::DedupCache;
+use crate::journal::{FsyncPolicy, Journal};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{self, Request};
 use crate::queue::{Admission, AdmissionQueue};
@@ -91,6 +92,17 @@ pub struct ServeConfig {
     pub flight_dir: Option<String>,
     /// Events remembered per flight-recorder lane.
     pub flight_ring: usize,
+    /// Write-ahead request journal path (`None` = durability off). With a
+    /// journal, every admitted request and every terminal response is
+    /// CRC-framed to this file, and a restart on the same path replays
+    /// incomplete requests ahead of new traffic.
+    pub journal: Option<String>,
+    /// How often journal appends are forced to stable storage.
+    pub journal_fsync: FsyncPolicy,
+    /// Close a connection after this many ms with no request and nothing
+    /// in flight, so a stalled client cannot pin a handler thread forever
+    /// (0 disables).
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +126,9 @@ impl Default for ServeConfig {
             metrics_addr: None,
             flight_dir: None,
             flight_ring: 64,
+            journal: None,
+            journal_fsync: FsyncPolicy::Batch(8),
+            idle_timeout_ms: 30_000,
         }
     }
 }
@@ -137,6 +152,10 @@ pub(crate) struct Counters {
     pub(crate) batches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
     pub(crate) max_batch: AtomicU64,
+    pub(crate) replayed_requests: AtomicU64,
+    pub(crate) recovery_us: AtomicU64,
+    pub(crate) long_lines: AtomicU64,
+    pub(crate) idle_disconnects: AtomicU64,
 }
 
 /// Everything handlers and workers share.
@@ -157,6 +176,8 @@ pub(crate) struct Shared {
     pub(crate) rank_health: std::sync::Mutex<Vec<RankHealth>>,
     /// The always-on live metrics plane + flight recorder.
     pub(crate) metrics: ServerMetrics,
+    /// The write-ahead request journal (`None` = durability off).
+    pub(crate) journal: Option<Journal>,
     started: Instant,
     addr: SocketAddr,
     /// Where the scrape listener is bound, for the drain wake-up poke.
@@ -220,8 +241,48 @@ impl Shared {
             self.breaker.trips(),
         );
         m.queue_depth.set(self.queue.depth() as f64);
+        if let Some(j) = &self.journal {
+            m.sync_journal(j.appends(), j.fsyncs(), j.bytes_written());
+        }
         m.snapshot()
     }
+
+    /// Journal a completion record (no-op without a journal). `line`
+    /// rides along only for dedup-cacheable `ok` responses; an append
+    /// failure is noted in the flight recorder, never fatal to serving.
+    pub(crate) fn journal_done(
+        &self,
+        id: u64,
+        source: u32,
+        status: &str,
+        line: &str,
+        cacheable: bool,
+    ) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        let digest = extract_digest(line);
+        let cached = if cacheable { Some(line) } else { None };
+        if journal
+            .append_done(id, source, status, digest, cached)
+            .is_err()
+        {
+            self.metrics.flight.note(
+                self.metrics.flight.control_lane(),
+                "journal.error",
+                format!("done append failed id={id}"),
+            );
+        }
+    }
+}
+
+/// Pull the `"digest":"0x…"` value out of a response line without a full
+/// JSON parse — the journal rides the hot path.
+pub(crate) fn extract_digest(line: &str) -> Option<&str> {
+    let start = line.find("\"digest\":\"")? + "\"digest\":\"".len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
 }
 
 /// Merged end-of-life report: one line of truth per robustness claim.
@@ -271,6 +332,23 @@ pub struct ServeReport {
     pub max_batch_size: u64,
     /// Configured coalescing width (1 = solo engine).
     pub batch_width: usize,
+    /// Journal records appended (admits + completions; 0 without
+    /// `--journal`).
+    pub journal_appends: u64,
+    /// Explicit fsyncs the journal issued under its policy.
+    pub journal_fsyncs: u64,
+    /// Journal bytes written, frames included.
+    pub journal_bytes: u64,
+    /// Incomplete requests recovered from the journal and re-enqueued
+    /// ahead of new traffic at startup.
+    pub replayed_requests: u64,
+    /// Startup recovery time: journal replay + dedup warm-start +
+    /// re-enqueue, in ms (0.0 without a journal).
+    pub recovery_ms: f64,
+    /// Request lines shed for exceeding the length bound.
+    pub long_lines: u64,
+    /// Connections closed by the idle read timeout.
+    pub idle_disconnects: u64,
     /// Flight-recorder dump files written over the server's life
     /// (worker panics, quarantines, breaker opens), oldest first.
     pub flight_dumps: Vec<String>,
@@ -295,6 +373,9 @@ impl ServeReport {
              \"connections\":{},\"dropped_connections\":{},\"bad_lines\":{},\
              \"max_queue_depth\":{},\"deduped\":{},\"batches\":{},\
              \"batched_requests\":{},\"max_batch_size\":{},\"batch_width\":{},\
+             \"journal_appends\":{},\"journal_fsyncs\":{},\"journal_bytes\":{},\
+             \"replayed_requests\":{},\"recovery_ms\":{},\
+             \"long_lines\":{},\"idle_disconnects\":{},\
              \"cluster\":{},\"rank_health\":[",
             self.accepted,
             self.shed,
@@ -317,6 +398,13 @@ impl ServeReport {
             self.batched_requests,
             self.max_batch_size,
             self.batch_width,
+            self.journal_appends,
+            self.journal_fsyncs,
+            self.journal_bytes,
+            self.replayed_requests,
+            self.recovery_ms,
+            self.long_lines,
+            self.idle_disconnects,
             self.cluster,
         );
         for (rank, h) in self.rank_health.iter().enumerate() {
@@ -386,6 +474,20 @@ impl Server {
                 std::env::temp_dir().join(format!("xbfs-flight-{}", std::process::id()))
             });
         let metrics = ServerMetrics::new(cfg.workers.max(1), flight_dir, cfg.flight_ring);
+        // Open + replay the journal before anything serves: completions
+        // warm the dedup cache and incomplete admits are re-enqueued
+        // below, strictly ahead of new traffic (the listener is bound but
+        // the accept thread is not running yet — the OS backlog holds
+        // early connections).
+        let recovery_started = Instant::now();
+        let journal_state = match &cfg.journal {
+            Some(path) => Some(Journal::open(path, cfg.journal_fsync)?),
+            None => None,
+        };
+        let (journal, replay) = match journal_state {
+            Some((j, r)) => (Some(j), Some(r)),
+            None => (None, None),
+        };
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(cfg.queue_cap, cfg.retry_after_ms),
             breaker: CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown_ms),
@@ -398,13 +500,14 @@ impl Server {
             dedup: DedupCache::new(cfg.dedup_cap),
             rank_health: std::sync::Mutex::new(Vec::new()),
             metrics,
+            journal,
             started: Instant::now(),
             addr,
             metrics_addr,
             cfg,
         });
 
-        let workers = (0..shared.cfg.workers.max(1))
+        let workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers.max(1))
             .map(|i| {
                 let sh = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -413,6 +516,10 @@ impl Server {
                     .expect("spawn worker thread")
             })
             .collect();
+
+        if let Some(replay) = replay {
+            recover(&shared, replay, recovery_started);
+        }
 
         let sh = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -436,6 +543,69 @@ impl Server {
             metrics_thread,
         })
     }
+}
+
+/// Apply a replayed journal to a freshly built server: warm the dedup
+/// cache from completion records, then re-enqueue every incomplete
+/// request. Runs after the workers are spawned (recovered requests can
+/// outnumber the queue bound, so the queue must be draining while we
+/// fill it) and before the accept thread starts (the OS listen backlog
+/// holds new connections, so recovered requests are strictly ahead of
+/// new traffic). Recovered responses flow to a sink thread — the
+/// connections that asked for them died with the previous process; a
+/// client that still cares will resend the id and hit the warm dedup
+/// cache.
+fn recover(shared: &Arc<Shared>, replay: crate::journal::ReplayedJournal, started: Instant) {
+    for done in &replay.completed {
+        if let Some(line) = &done.line {
+            shared.dedup.record(done.id, done.source, line);
+        }
+    }
+    let n = replay.incomplete.len() as u64;
+    if n > 0 {
+        let (tx, rx) = mpsc::channel::<String>();
+        let _ = std::thread::Builder::new()
+            .name("xbfs-recovery".into())
+            .spawn(move || while rx.recv().is_ok() {});
+        for req in replay.incomplete {
+            // Recovery is the only submitter and workers only drain, so
+            // a depth check below the bound guarantees admission.
+            loop {
+                if shared.queue.depth() >= shared.cfg.queue_cap {
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+                let job = Job {
+                    req: req.clone(),
+                    enqueued: Instant::now(),
+                    resp: tx.clone(),
+                };
+                match shared.queue.submit(job) {
+                    Admission::Accepted { .. } => {
+                        shared.metrics.admitted.add(1);
+                        break;
+                    }
+                    Admission::Shed { .. } => std::thread::sleep(Duration::from_millis(1)),
+                    Admission::Draining => return,
+                }
+            }
+        }
+    }
+    shared.stats.replayed_requests.store(n, Ordering::Relaxed);
+    shared.metrics.replayed_requests.add(n);
+    let us = started.elapsed().as_micros() as u64;
+    shared.stats.recovery_us.store(us, Ordering::Relaxed);
+    shared.metrics.recovery_ms.set(us as f64 / 1000.0);
+    shared.metrics.flight.note(
+        shared.metrics.flight.control_lane(),
+        "journal.recovered",
+        format!(
+            "records={} completed={} re-enqueued={n} torn_bytes={}",
+            replay.records,
+            replay.completed.len(),
+            replay.torn_bytes
+        ),
+    );
 }
 
 impl ServerHandle {
@@ -476,9 +646,18 @@ impl ServerHandle {
         }
         // Anything still queued now is a bug — close() surfaces it.
         let abandoned = self.shared.queue.close();
+        // Final fsync: a drained journal is fully on stable storage no
+        // matter the policy.
+        if let Some(j) = &self.shared.journal {
+            let _ = j.sync();
+        }
         let q = self.shared.queue.stats();
         let s = &self.shared.stats;
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let (journal_appends, journal_fsyncs, journal_bytes) = match &self.shared.journal {
+            Some(j) => (j.appends(), j.fsyncs(), j.bytes_written()),
+            None => (0, 0, 0),
+        };
         ServeReport {
             accepted: q.accepted,
             shed: q.shed,
@@ -501,6 +680,13 @@ impl ServerHandle {
             batched_requests: ld(&s.batched_requests),
             max_batch_size: ld(&s.max_batch),
             batch_width: self.shared.cfg.batch_width.max(1),
+            journal_appends,
+            journal_fsyncs,
+            journal_bytes,
+            replayed_requests: ld(&s.replayed_requests),
+            recovery_ms: ld(&s.recovery_us) as f64 / 1000.0,
+            long_lines: ld(&s.long_lines),
+            idle_disconnects: ld(&s.idle_disconnects),
             flight_dumps: self.shared.metrics.dump_paths(),
             cluster: self.shared.cfg.cluster.unwrap_or(0),
             rank_health: self.shared.rank_health.lock().unwrap().clone(),
@@ -586,6 +772,12 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
     }
 }
 
+/// Longest request line a handler will buffer. One BFS request is well
+/// under a kilobyte; anything bigger is a confused or malicious client,
+/// and bounding the read turns it into a typed shed instead of an
+/// unbounded allocation.
+pub const MAX_REQUEST_LINE: usize = 64 * 1024;
+
 /// Serve one connection until EOF (or until drain completes with no
 /// in-flight requests). All socket writes happen on this thread;
 /// completions arrive over the per-connection channel.
@@ -606,6 +798,8 @@ fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
     let mut eof = false;
     let mut lost = false; // a completed response could not be delivered
     let mut line = String::new();
+    let idle_ms = shared.cfg.idle_timeout_ms;
+    let mut last_activity = Instant::now();
 
     'serve: loop {
         // 1. Flush any completed responses.
@@ -621,18 +815,60 @@ fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
         if (eof || shared.is_draining()) && pending == 0 {
             break;
         }
-        // 3. Read the next request line (timeout keeps us responsive).
+        // 3. Read the next request line (timeout keeps us responsive;
+        //    the `take` bound keeps a newline-less firehose from growing
+        //    `line` without limit — one byte past the cap proves the
+        //    line is overlong).
         if !eof {
-            match reader.read_line(&mut line) {
-                Ok(0) => eof = true,
+            let before = line.len();
+            let cap = (MAX_REQUEST_LINE + 1 - before) as u64;
+            match (&mut reader).take(cap).read_line(&mut line) {
                 Ok(_) if line.ends_with('\n') => {
+                    last_activity = Instant::now();
                     let req = std::mem::take(&mut line);
                     dispatch_line(&shared, &tx, &mut writer, &mut pending, req.trim());
                 }
-                Ok(_) => eof = true, // partial line at EOF
+                // Checked before the EOF arm: a cap-exhausted read also
+                // returns `Ok(0)` and must shed, not close quietly.
+                Ok(_) if line.len() > MAX_REQUEST_LINE => {
+                    // Overlong: answer typed and close — the line framing
+                    // is unrecoverable past the cap.
+                    shared.stats.long_lines.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.long_lines.add(1);
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        protocol::error_line(
+                            0,
+                            "overlong",
+                            &format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                        )
+                    );
+                    line.clear();
+                    eof = true;
+                }
+                Ok(_) => eof = true, // EOF (0) or partial line at EOF
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if line.len() > before {
+                        last_activity = Instant::now(); // partial bytes arrived
+                    } else if idle_ms > 0
+                        && pending == 0
+                        && line.is_empty()
+                        && last_activity.elapsed() >= Duration::from_millis(idle_ms)
+                    {
+                        // Nothing owed, nothing in progress, nothing said
+                        // for the whole idle budget: stop pinning a thread.
+                        shared
+                            .stats
+                            .idle_disconnects
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.idle_disconnects.add(1);
+                        break 'serve;
+                    }
+                }
                 Err(_) => eof = true,
             }
         } else {
@@ -767,6 +1003,9 @@ fn dispatch_line(
                 );
                 return;
             }
+            // The journal needs the request after `Job` takes ownership;
+            // clone up front only when journaling is on.
+            let journal_req = shared.journal.as_ref().map(|_| bfs.clone());
             let job = Job {
                 req: bfs,
                 enqueued: Instant::now(),
@@ -775,6 +1014,15 @@ fn dispatch_line(
             match shared.queue.submit(job) {
                 Admission::Accepted { .. } => {
                     *pending += 1;
+                    if let (Some(j), Some(req)) = (&shared.journal, &journal_req) {
+                        if j.append_admit(req).is_err() {
+                            shared.metrics.flight.note(
+                                shared.metrics.flight.control_lane(),
+                                "journal.error",
+                                format!("admit append failed id={id}"),
+                            );
+                        }
+                    }
                     shared.metrics.admitted.add(1);
                     shared.metrics.queue_depth.set(shared.queue.depth() as f64);
                     shared.rec.counter(

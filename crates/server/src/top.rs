@@ -310,6 +310,22 @@ pub fn render(prev: Option<&TopSnapshot>, curr: &TopSnapshot, addr: &str) -> Str
         ));
     }
 
+    // Durability stage: only rendered when a journal is in play (an
+    // append this life, or a replay from a previous one), so unjournaled
+    // servers keep the familiar frame layout.
+    let j_appends = c(live::JOURNAL_APPENDS_TOTAL, &[]);
+    let replayed = c(live::REPLAYED_REQUESTS_TOTAL, &[]);
+    if j_appends + replayed > 0 {
+        out.push_str(&format!(
+            "journal    appends {j_appends}{}  fsyncs {}  bytes {}  \
+             replayed {replayed}  recovery {:.1}ms\n",
+            rate(prev, curr, j_appends, pc(live::JOURNAL_APPENDS_TOTAL, &[])),
+            c(live::JOURNAL_FSYNCS_TOTAL, &[]),
+            fmt_bytes(c(live::JOURNAL_BYTES_TOTAL, &[]) as f64),
+            curr.gauge(live::RECOVERY_MS, &[]).unwrap_or(0.0),
+        ));
+    }
+
     out.push_str(&format!(
         "flight     dumps {}\n",
         c(live::FLIGHT_DUMPS_TOTAL, &[])
@@ -427,6 +443,31 @@ mod tests {
         assert!(!frame.contains("/s)"), "frame:\n{frame}");
         // Solo servers never launch a batch, so the batching row is absent.
         assert!(!frame.contains("batching"), "frame:\n{frame}");
+    }
+
+    #[test]
+    fn journal_row_appears_once_journaling_is_live() {
+        let json = "{\"format\":\"xbfs-metrics-v1\",\"uptime_ms\":1000,\"series\":[\
+             {\"name\":\"serve.journal_appends_total\",\"labels\":{},\
+              \"unit\":\"count\",\"kind\":\"counter\",\"value\":12},\
+             {\"name\":\"serve.journal_fsyncs_total\",\"labels\":{},\
+              \"unit\":\"count\",\"kind\":\"counter\",\"value\":2},\
+             {\"name\":\"serve.journal_bytes_total\",\"labels\":{},\
+              \"unit\":\"bytes\",\"kind\":\"counter\",\"value\":2048},\
+             {\"name\":\"serve.replayed_requests_total\",\"labels\":{},\
+              \"unit\":\"count\",\"kind\":\"counter\",\"value\":3},\
+             {\"name\":\"serve.recovery_ms\",\"labels\":{},\
+              \"unit\":\"ms\",\"kind\":\"gauge\",\"value\":7.5}]}";
+        let s = TopSnapshot::parse(&JsonValue::parse(json).unwrap()).unwrap();
+        let frame = render(None, &s, "test:0");
+        assert!(frame.contains("journal    appends 12"), "frame:\n{frame}");
+        assert!(frame.contains("fsyncs 2"), "frame:\n{frame}");
+        assert!(frame.contains("bytes 2.0KB"), "frame:\n{frame}");
+        assert!(frame.contains("replayed 3"), "frame:\n{frame}");
+        assert!(frame.contains("recovery 7.5ms"), "frame:\n{frame}");
+        // Unjournaled frames keep the familiar layout.
+        let bare = render(None, &snap(1000.0, 1), "test:0");
+        assert!(!bare.contains("journal"), "frame:\n{bare}");
     }
 
     #[test]

@@ -184,9 +184,13 @@ fn serve_one<'g>(
     // Completed requests become idempotent: a replay of this id is
     // answered from cache instead of re-executing. Chaos-carrying
     // requests are never cached (soaks must exercise the real path).
-    if outcome.status == "ok" && job.req.chaos.is_none() {
+    let cacheable = outcome.status == "ok" && job.req.chaos.is_none();
+    if cacheable {
         shared.dedup.record(id, job.req.source, &outcome.line);
     }
+    // The completion record lands before delivery: a crash after this
+    // point replays the id from the warm cache, not by re-execution.
+    shared.journal_done(id, job.req.source, outcome.status, &outcome.line, cacheable);
     deliver(shared, &job.resp, outcome.line);
 }
 
@@ -792,6 +796,9 @@ fn triage(shared: &Shared, ticket: u64, job: Job, worker: usize) -> Option<Membe
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
         }
         shared.metrics.finish_request(worker, status, wait_ms);
+        // Triage rejections are terminal too — without a completion
+        // record a restart would re-enqueue (and re-reject) them forever.
+        shared.journal_done(id, job.req.source, status, &line, false);
         deliver(shared, &job.resp, line);
     };
     // Queue wait spends the wall budget first, exactly like the solo path.
@@ -881,9 +888,11 @@ fn finish_member(shared: &Shared, worker: usize, mb: &Member, status: &str, line
             .deadline_headroom_ms
             .record((d - total_ms).max(0.0));
     }
-    if status == "ok" && !mb.had_chaos {
+    let cacheable = status == "ok" && !mb.had_chaos;
+    if cacheable {
         shared.dedup.record(mb.job.req.id, mb.job.req.source, &line);
     }
+    shared.journal_done(mb.job.req.id, mb.job.req.source, status, &line, cacheable);
     deliver(shared, &mb.job.resp, line);
 }
 

@@ -496,3 +496,156 @@ fn shutdown_op_drains_and_rejects_late_requests() {
     assert!(report.drain_clean, "{report:?}");
     assert_eq!(report.ok, 1);
 }
+
+// ---------------------------------------------------------------------
+// Durability: write-ahead journal, crash-consistent restart.
+// ---------------------------------------------------------------------
+
+fn journal_cfg(path: &std::path::Path) -> ServeConfig {
+    ServeConfig {
+        journal: Some(path.to_string_lossy().into_owned()),
+        journal_fsync: xbfs_server::FsyncPolicy::Always,
+        ..ServeConfig::default()
+    }
+}
+
+fn tmp_journal(name: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("xbfs-e2e-{}-{name}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// A restart on the same journal warm-starts the dedup cache: a client
+/// that resends a completed id gets the cached response (`deduped`)
+/// with the identical digest, without recomputation.
+#[test]
+fn restart_on_same_journal_dedupes_completed_ids() {
+    let g = test_graph();
+    let path = tmp_journal("dedup");
+
+    let handle = start(journal_cfg(&path), Arc::clone(&g));
+    let mut c = Client::connect(handle.addr());
+    let first = c.bfs(77, 5, "");
+    assert_eq!(first.status, "ok");
+    let digest = first.digest.clone().expect("ok carries a digest");
+    drop(c);
+    handle.initiate_drain();
+    let report = handle.join();
+    assert!(report.drain_clean, "{report:?}");
+    assert!(report.journal_appends >= 2, "admit + done: {report:?}");
+
+    // Process 2 on the same journal: the resent id must be answered from
+    // the warmed cache, bit-identical, and marked deduped.
+    let handle = start(journal_cfg(&path), Arc::clone(&g));
+    let mut c = Client::connect(handle.addr());
+    let replayed = c.bfs(77, 5, "");
+    assert_eq!(replayed.status, "ok");
+    assert_eq!(replayed.deduped, Some(true), "warm cache must answer");
+    assert_eq!(replayed.digest.as_deref(), Some(digest.as_str()));
+    assert_eq!(digest, reference_digest(&g, 5));
+    // A fresh id still executes normally.
+    let fresh = c.bfs(78, 6, "");
+    assert_eq!(fresh.status, "ok");
+    assert_ne!(fresh.deduped, Some(true));
+    drop(c);
+    handle.initiate_drain();
+    let report = handle.join();
+    assert!(report.drain_clean, "{report:?}");
+    assert!(report.deduped >= 1, "{report:?}");
+    assert_eq!(report.replayed_requests, 0, "nothing was incomplete");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Admits journaled by a process that died before answering are
+/// re-enqueued on restart and finish with digests bit-identical to a
+/// fresh run — even when the dead process also tore the journal tail.
+#[test]
+fn restart_replays_incomplete_admits_bit_identically() {
+    let g = test_graph();
+    let path = tmp_journal("replay");
+    let lost: &[(u64, u32)] = &[(1, 0), (2, 42), (3, 2999)];
+    {
+        // Simulate the dead process: admits with no completions, then a
+        // torn half-record where the SIGKILL landed.
+        let (j, _) = xbfs_server::Journal::open(&path, xbfs_server::FsyncPolicy::Always).unwrap();
+        for &(id, source) in lost {
+            j.append_admit(&xbfs_server::BfsRequest {
+                id,
+                source,
+                deadline_ms: None,
+                verify: None,
+                chaos: None,
+            })
+            .unwrap();
+        }
+    }
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(&[0x42, 0x00, 0x13]); // torn tail
+    std::fs::write(&path, &bytes).unwrap();
+
+    let handle = start(journal_cfg(&path), Arc::clone(&g));
+    handle.initiate_drain();
+    let report = handle.join();
+    assert!(report.drain_clean, "{report:?}");
+    assert_eq!(report.replayed_requests, lost.len() as u64, "{report:?}");
+    assert_eq!(report.ok, lost.len() as u64, "{report:?}");
+    assert!(report.recovery_ms >= 0.0, "{report:?}");
+
+    // The journal now closes the loop: no incomplete admits remain, and
+    // every recovered completion carries the fresh-run reference digest.
+    let healed = xbfs_server::replay_bytes(&std::fs::read(&path).unwrap());
+    assert!(healed.incomplete.is_empty(), "{healed:?}");
+    for &(id, source) in lost {
+        let d = healed
+            .completed
+            .iter()
+            .find(|d| d.id == id && d.source == source)
+            .unwrap_or_else(|| panic!("no completion journaled for id {id}"));
+        assert_eq!(d.status, "ok");
+        assert_eq!(
+            d.digest.as_deref(),
+            Some(reference_digest(&g, source).as_str()),
+            "recovered result must be bit-identical to a fresh run"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Read hygiene: a request line over the 64 KiB bound is shed with a
+/// typed `overlong` error instead of growing the buffer without limit,
+/// and an idle connection with nothing in flight is closed after the
+/// idle budget.
+#[test]
+fn overlong_lines_shed_and_idle_connections_close() {
+    let g = test_graph();
+    let handle = start(
+        ServeConfig {
+            idle_timeout_ms: 300,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&g),
+    );
+
+    // Overlong: a newline-less firehose one byte past the cap.
+    let mut c = Client::connect(handle.addr());
+    let blob = vec![b'x'; xbfs_server::server::MAX_REQUEST_LINE + 2];
+    c.writer.write_all(&blob).unwrap();
+    c.writer.flush().unwrap();
+    let r = c.recv();
+    assert_eq!(r.status, "error");
+    drop(c);
+
+    // Idle: no traffic at all → server closes within the idle budget.
+    let idle = TcpStream::connect(handle.addr()).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut line = String::new();
+    let n = BufReader::new(idle).read_line(&mut line).unwrap();
+    assert_eq!(n, 0, "idle connection must be closed, got {line:?}");
+
+    handle.initiate_drain();
+    let report = handle.join();
+    assert!(report.drain_clean, "{report:?}");
+    assert_eq!(report.long_lines, 1, "{report:?}");
+    assert!(report.idle_disconnects >= 1, "{report:?}");
+}

@@ -246,5 +246,20 @@ pub mod names {
         /// Time the batcher lingered waiting for company, wall ms
         /// (histogram).
         pub const LINGER_WAIT_MS: &str = "serve.linger_wait_ms";
+        /// Records appended to the write-ahead request journal.
+        pub const JOURNAL_APPENDS_TOTAL: &str = "serve.journal_appends_total";
+        /// Explicit fsyncs issued by the journal's fsync policy.
+        pub const JOURNAL_FSYNCS_TOTAL: &str = "serve.journal_fsyncs_total";
+        /// Bytes appended to the journal (frames included).
+        pub const JOURNAL_BYTES_TOTAL: &str = "serve.journal_bytes_total";
+        /// Incomplete requests re-enqueued from the journal at startup.
+        pub const REPLAYED_REQUESTS_TOTAL: &str = "serve.replayed_requests_total";
+        /// Startup journal recovery time — replay + dedup warm-start +
+        /// re-enqueue, wall ms (gauge; 0 for a fresh journal).
+        pub const RECOVERY_MS: &str = "serve.recovery_ms";
+        /// Request lines shed for exceeding the length bound.
+        pub const LONG_LINES_TOTAL: &str = "serve.long_lines_total";
+        /// Connections closed by the idle read timeout.
+        pub const IDLE_DISCONNECTS_TOTAL: &str = "serve.idle_disconnects_total";
     }
 }

@@ -300,4 +300,52 @@ printf '{"schema":"xbfs-bench-pr8-v1","batched_served_qps":%s,"solo_served_qps":
   > results/BENCH_pr8.json
 echo "    wrote results/BENCH_pr8.json"
 
+echo "==> durability smoke (journal overhead gate, then SIGKILL-under-load replay)"
+"$XBFS" generate --out "$SMOKE/dur.bin" --scale 12 --seed 10
+dur_profile() { # $1 = journal flags (or ""), $2 = loadgen json, $3 = serve json
+  local PORT=$((20000 + RANDOM % 20000))
+  # shellcheck disable=SC2086 — $1 is deliberately word-split serve flags
+  "$XBFS" serve "$SMOKE/dur.bin" --addr "127.0.0.1:$PORT" --workers 1 \
+    --queue-cap 1024 $1 --json "$3" > /dev/null &
+  local SRV=$!
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  "$XBFS" loadgen --addr "127.0.0.1:$PORT" --requests 400 --rps 4000 \
+    --connections 8 --sources 16 --retries 12 --max-shed-pct 99 \
+    --json "$2" --shutdown > /dev/null
+  wait "$SRV" # clean drain is exit 0; lost work would make this nonzero
+}
+# Same offered load with and without the journal: the WAL must cost < 10%
+# of served throughput under the default batch fsync policy.
+dur_profile "" "$SMOKE/loadgen_nojournal.json" "$SMOKE/serve_nojournal.json"
+dur_profile "--journal $SMOKE/ci.wal --journal-fsync batch=8" \
+  "$SMOKE/loadgen_journal.json" "$SMOKE/serve_journal.json"
+for F in "$SMOKE/loadgen_nojournal.json" "$SMOKE/loadgen_journal.json"; do
+  grep -q '"lost":0,' "$F"
+  grep -q '"digests_consistent":true' "$F"
+done
+JAPPENDS=$(grep -o '"journal_appends":[0-9]*' "$SMOKE/serve_journal.json" | grep -o '[0-9]*$')
+test "$JAPPENDS" -ge 1 || { echo "journaled server appended nothing" >&2; exit 1; }
+NOJ_QPS=$(grep -o '"served_qps":[0-9.]*' "$SMOKE/loadgen_nojournal.json" | grep -o '[0-9.]*$')
+J_QPS=$(grep -o '"served_qps":[0-9.]*' "$SMOKE/loadgen_journal.json" | grep -o '[0-9.]*$')
+echo "    served qps: journal(batch=8) = ${J_QPS}, no journal = ${NOJ_QPS}"
+awk -v j="$J_QPS" -v s="$NOJ_QPS" 'BEGIN { exit !(j >= 0.9 * s) }' \
+  || { echo "journaling cost > 10% of served qps" >&2; exit 1; }
+# The crash harness: SIGKILL the journaling server mid-load, restart it on
+# the same journal, and require lost=0, >= 1 replayed admit, consistent
+# digests across the crash boundary, and a clean final drain.
+KILLER_OUT="$SMOKE/killer.json" scripts/killer.sh "$SMOKE/dur.bin"
+grep -q '"lost":0,' "$SMOKE/killer.json"
+grep -q '"digests_consistent":true' "$SMOKE/killer.json"
+REPLAYED=$(grep -o '"replayed_requests":[0-9]*' "$SMOKE/killer.json" | head -1 | grep -o '[0-9]*$')
+RECOVERY_MS=$(grep -o '"recovery_ms":[0-9.]*' "$SMOKE/killer.json" | head -1 | grep -o '[0-9.]*$')
+JOVERHEAD=$(awk -v j="$J_QPS" -v s="$NOJ_QPS" 'BEGIN { printf "%.1f", (1 - j / s) * 100 }')
+printf '{"schema":"xbfs-bench-pr9-v1","journal_served_qps":%s,"nojournal_served_qps":%s,"journal_overhead_pct":%s,"recovery_ms":%s,"replayed_requests":%s,"killer":%s,"loadgen_journal":%s,"serve_journal":%s}\n' \
+  "$J_QPS" "$NOJ_QPS" "$JOVERHEAD" "${RECOVERY_MS:-0}" "${REPLAYED:-0}" \
+  "$(cat "$SMOKE/killer.json")" "$(cat "$SMOKE/loadgen_journal.json")" \
+  "$(cat "$SMOKE/serve_journal.json")" > results/BENCH_pr9.json
+echo "    wrote results/BENCH_pr9.json (overhead=${JOVERHEAD}%, replayed=$REPLAYED, recovery=${RECOVERY_MS}ms)"
+
 echo "CI gate passed."
